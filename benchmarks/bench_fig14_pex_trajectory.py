@@ -1,0 +1,71 @@
+"""Paper Fig. 14 — a sample PEX trajectory and the schematic-vs-PEX histogram.
+
+Top: one transfer-deployment trajectory (specs vs step) for a single
+target, showing the schematic-trained agent walking the PEX environment to
+a design that meets spec ("in 11 time steps the agent is able to
+converge").
+
+Bottom: the histogram of average percent difference between schematic and
+PEX simulation over a set of design points (the paper uses 50).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_histogram
+from repro.core import transfer_deploy
+from repro.core.transfer import schematic_pex_differences
+from repro.pex import PexSimulator
+from repro.topologies import NegGmOta, SchematicSimulator
+
+from benchmarks._harness import FULL_SCALE, get_trained_agent, publish
+
+NAME = "ngm_ota"
+
+
+def _run_fig14() -> str:
+    agent = get_trained_agent(NAME)
+    pex = PexSimulator(NegGmOta)
+    target = agent.sampler.fresh_targets(1, seed=3)[0]
+    transfer = transfer_deploy(agent.policy, pex, [target], max_steps=60,
+                               seed=3)
+    outcome = transfer.deployment.outcomes[0]
+
+    lines = ["Fig. 14 (top): sample PEX trajectory",
+             "target: " + agent.spec_space.describe_target(target),
+             f"{'step':>4s} " + " ".join(f"{n:>13s}"
+                                         for n in agent.spec_space.names)]
+    trajectory = outcome.trajectory or []
+    stride = max(1, len(trajectory) // 15)
+    for i, step in enumerate(trajectory):
+        if i % stride == 0 or i == len(trajectory) - 1:
+            lines.append(f"{i + 1:>4d} " + " ".join(
+                f"{step.specs[n]:>13.4g}" for n in agent.spec_space.names))
+    lines.append(f"converged: {outcome.success} in {outcome.steps} steps "
+                 "(paper: 11 steps for its example)")
+
+    n_designs = 50 if FULL_SCALE else 15
+    rng = np.random.default_rng(7)
+    schematic = SchematicSimulator(NegGmOta())
+    designs = []
+    while len(designs) < n_designs:
+        x = schematic.parameter_space.sample(rng)
+        if schematic.evaluate(x)["gain"] > 0.0011:  # skip latched designs
+            designs.append(x)
+    diffs = schematic_pex_differences(schematic, PexSimulator(NegGmOta),
+                                      designs)
+    avg = np.mean([np.abs(diffs[n]) for n in diffs], axis=0)
+    lines.append("")
+    lines.append(ascii_histogram(
+        avg, bins=8,
+        title=f"Fig. 14 (bottom): mean |percent difference| schematic vs "
+              f"PEX over {n_designs} designs"))
+    for name, values in diffs.items():
+        lines.append(f"  {name:15s} mean {np.mean(values):+7.2f}%  "
+                     f"sd {np.std(values):6.2f}%")
+    return "\n".join(lines)
+
+
+def test_fig14_pex_trajectory(benchmark):
+    text = benchmark.pedantic(_run_fig14, iterations=1, rounds=1)
+    publish("fig14_pex_trajectory.txt", text)
+    assert "PEX trajectory" in text

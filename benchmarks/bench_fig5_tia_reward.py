@@ -1,0 +1,38 @@
+"""Paper Fig. 5 — mean episode reward during TIA training.
+
+The curve must start deeply negative (specs missed) and rise past zero
+(the stopping criterion: "the agent has learned to reach the positive goal
+state across multiple target objectives").
+"""
+
+from repro.analysis import ascii_series, downsample_curve, line_plot
+
+from benchmarks._harness import get_trained_agent, publish
+
+
+def _run_fig5() -> str:
+    agent = get_trained_agent("tia")
+    history = agent.history
+    lines = [line_plot({"mean reward": (history.env_steps,
+                                       history.mean_reward)},
+                       x_label="env steps", y_label="mean episode reward",
+                       hlines=[0.0], width=60, height=14)]
+    lines.append(ascii_series(history.env_steps, history.mean_reward,
+                          label_x="env steps", label_y="mean episode reward",
+                          title="Fig. 5: TIA mean episode reward"))
+    lines.append(f"{'env steps':>10s} {'mean reward':>12s} {'success':>8s}")
+    for (steps, reward), success in zip(
+            downsample_curve(history.env_steps, history.mean_reward, 15),
+            [history.success_rate[history.env_steps.index(s)]
+             for s, _ in downsample_curve(history.env_steps,
+                                          history.mean_reward, 15)]):
+        lines.append(f"{steps:>10d} {reward:>12.2f} {success:>8.2f}")
+    lines.append(f"final mean reward: {history.final_mean_reward:.2f} "
+                 f"(crossed 0: {history.final_mean_reward >= 0.0})")
+    return "\n".join(lines)
+
+
+def test_fig5_tia_reward(benchmark):
+    text = benchmark.pedantic(_run_fig5, iterations=1, rounds=1)
+    publish("fig5_tia_reward.txt", text)
+    assert "mean episode reward" in text

@@ -1,0 +1,38 @@
+"""Paper Fig. 7 — mean reward over environment steps: two-stage op-amp.
+
+The paper notes the agent takes on the order of 1e4 steps to reach mean
+reward 0 and that wall-clock stays tractable because schematic simulation
+is milliseconds; both are reported here.
+"""
+
+from repro.analysis import ascii_series, downsample_curve, line_plot
+
+from benchmarks._harness import get_trained_agent, publish
+
+
+def _run_fig7() -> str:
+    agent = get_trained_agent("two_stage_opamp")
+    history = agent.history
+    lines = [line_plot({"mean reward": (history.env_steps,
+                                       history.mean_reward)},
+                       x_label="env steps", y_label="mean episode reward",
+                       hlines=[0.0], width=60, height=14)]
+    lines.append(ascii_series(history.env_steps, history.mean_reward,
+                          label_x="env steps", label_y="mean episode reward",
+                          title="Fig. 7: op-amp mean reward vs environment steps"))
+    lines.append(f"{'env steps':>10s} {'mean reward':>12s} {'success':>8s}")
+    curve = downsample_curve(history.env_steps, history.mean_reward, 15)
+    for steps, reward in curve:
+        success = history.success_rate[history.env_steps.index(steps)]
+        lines.append(f"{steps:>10d} {reward:>12.2f} {success:>8.2f}")
+    lines.append(f"total env steps: {history.env_steps[-1]} "
+                 f"(paper: ~1e4 steps to mean reward 0)")
+    lines.append(f"training wall time: {history.wall_time_s:.1f} s "
+                 "(paper: 1.3 h on 8 cores with 25 ms sims)")
+    return "\n".join(lines)
+
+
+def test_fig7_opamp_reward(benchmark):
+    text = benchmark.pedantic(_run_fig7, iterations=1, rounds=1)
+    publish("fig7_opamp_reward.txt", text)
+    assert "env steps" in text

@@ -1,0 +1,91 @@
+"""Parallel-environment scaling (paper §III-B's Ray axis).
+
+"We also utilize the capabilities of Ray to run multiple environments in
+parallel. Thus the wall clock time is just 1.3 hours on a 8 core CPU
+machine."  The reproduction's stand-in is
+:class:`repro.rl.ParallelVectorEnv`; this bench measures rollout
+throughput through the serial and multiprocess implementations at two
+per-simulation costs:
+
+* the real schematic environment (~ms per simulation);
+* the same environment with an artificial delay standing in for the
+  91-second PEX simulations of §III-D (scaled down to keep the bench
+  short — the *ratio* of per-step cost to IPC overhead is what decides
+  the speedup, and 10 ms is already two orders of magnitude above it).
+
+The reproduction target is the shape: speedup grows with per-step cost
+toward the worker count.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import SizingEnvConfig
+from repro.core.env import SizingEnv
+from repro.rl import ParallelVectorEnv, VectorEnv
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+from benchmarks._harness import FULL_SCALE, publish
+
+N_ENVS = 6
+N_STEPS = 200 if FULL_SCALE else 80
+DELAY_S = 0.01
+
+
+class DelayedEnv(SizingEnv):
+    """Sizing env with an artificial per-simulation delay (PEX stand-in)."""
+
+    def step(self, action):
+        time.sleep(DELAY_S)
+        return super().step(action)
+
+
+def _make_env(slow: bool, seed: int):
+    cls = DelayedEnv if slow else SizingEnv
+    return cls(SchematicSimulator(TransimpedanceAmplifier()),
+               config=SizingEnvConfig(max_steps=30), seed=seed)
+
+
+def _time_rollout(vec) -> float:
+    rng = np.random.default_rng(0)
+    vec.reset()
+    nvec = vec.action_space.nvec
+    started = time.perf_counter()
+    for _ in range(N_STEPS):
+        vec.step(rng.integers(0, nvec, size=(N_ENVS, len(nvec))))
+    return time.perf_counter() - started
+
+
+def _run() -> str:
+    rows = []
+    speedups = {}
+    for slow, label in ((False, "schematic (~ms/sim)"),
+                        (True, f"PEX stand-in ({DELAY_S * 1e3:.0f} ms/sim)")):
+        serial = VectorEnv([_make_env(slow, seed=i) for i in range(N_ENVS)])
+        t_serial = _time_rollout(serial)
+        with ParallelVectorEnv([lambda i=i: _make_env(slow, seed=i)
+                                for i in range(N_ENVS)]) as parallel:
+            t_parallel = _time_rollout(parallel)
+        speedup = t_serial / t_parallel
+        speedups[label] = speedup
+        rows.append([label, f"{t_serial:.2f}", f"{t_parallel:.2f}",
+                     f"{speedup:.2f}x"])
+    table = ascii_table(
+        ["environment", "serial [s]", f"parallel x{N_ENVS} [s]", "speedup"],
+        rows,
+        title=(f"Parallel-environment scaling ({N_STEPS} steps x {N_ENVS} "
+               "envs; paper: Ray on 8 cores)"))
+    return table, speedups
+
+
+def test_parallel_scaling(benchmark):
+    (table, speedups) = benchmark.pedantic(_run, iterations=1, rounds=1)
+    publish("parallel_scaling.txt", table)
+    # Shape check: the expensive environment must benefit more, and the
+    # PEX-scale case must show real parallelism.
+    slow = [v for k, v in speedups.items() if "PEX" in k][0]
+    fast = [v for k, v in speedups.items() if "schematic" in k][0]
+    assert slow > fast * 0.8
+    assert slow > 2.0

@@ -1,0 +1,97 @@
+"""Simulation-substrate microbenchmarks (paper §III-B / §III-D text claims).
+
+* schematic simulation cost per sizing (paper: 25 ms for the op-amp,
+  2.4 s for the Spectre OTA),
+* PEX+PVT simulation cost and its ratio to schematic (paper: 91 s,
+  ~38x slower),
+* action-space cardinalities (paper: 1e14 op-amp, ~1e11 OTA).
+
+These use the pytest-benchmark timer properly (many rounds) since a single
+evaluation is fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.pex import PexSimulator
+from repro.topologies import (
+    NegGmOta,
+    SchematicSimulator,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+from benchmarks._harness import publish
+
+
+def _walker(simulator, seed=0):
+    """Step a random one-increment walk (the RL access pattern, exercising
+    the warm-start path rather than repeated identical solves)."""
+    rng = np.random.default_rng(seed)
+    space = simulator.parameter_space
+    state = {"x": space.center.copy()}
+
+    def step():
+        state["x"] = space.clip(state["x"] + rng.integers(-1, 2, len(space)))
+        return simulator.evaluate(state["x"])
+
+    return step
+
+
+@pytest.mark.parametrize("topo_cls", [TransimpedanceAmplifier, TwoStageOpAmp,
+                                      NegGmOta])
+def test_schematic_simulation_speed(benchmark, topo_cls):
+    simulator = SchematicSimulator(topo_cls(), cache=False)
+    result = benchmark.pedantic(_walker(simulator), iterations=20, rounds=3,
+                                warmup_rounds=1)
+    assert result  # returned a spec dict
+
+
+def test_pex_simulation_speed_and_ratio(benchmark):
+    import time
+
+    schematic = SchematicSimulator(NegGmOta(), cache=False)
+    pex = PexSimulator(NegGmOta, cache=False)
+
+    sch_step = _walker(schematic, seed=1)
+    pex_step = _walker(pex, seed=1)
+    sch_step()  # warm the DC start
+    pex_step()
+
+    n = 10
+    t0 = time.perf_counter()
+    for _ in range(n):
+        sch_step()
+    t_sch = (time.perf_counter() - t0) / n
+    t0 = time.perf_counter()
+    for _ in range(n):
+        pex_step()
+    t_pex = (time.perf_counter() - t0) / n
+
+    table = ascii_table(
+        ["environment", "per-sim cost", "relative"],
+        [["schematic (ngm OTA)", f"{1e3 * t_sch:.2f} ms", "1.0x"],
+         ["PEX + 3 PVT corners", f"{1e3 * t_pex:.2f} ms",
+          f"{t_pex / t_sch:.1f}x"]],
+        title="Simulation cost (paper: 2.4 s schematic vs 91 s PEX, ~38x)")
+    publish("simulator_speed.txt", table)
+    benchmark.pedantic(pex_step, iterations=5, rounds=2)
+    assert t_pex > t_sch
+
+
+def test_action_space_cardinalities(benchmark):
+    rows = [
+        ["TIA", f"{TransimpedanceAmplifier().parameter_space.cardinality:.3e}",
+         "~1e6 (paper: unstated)"],
+        ["two-stage op-amp",
+         f"{TwoStageOpAmp().parameter_space.cardinality:.3e}",
+         "1e14 (paper: 1e14)"],
+        ["negative-gm OTA", f"{NegGmOta().parameter_space.cardinality:.3e}",
+         "~1e12 (paper: ~1e11)"],
+    ]
+    table = ascii_table(["topology", "cardinality", "expected"], rows,
+                        title="Sizing-grid cardinalities")
+    publish("cardinalities.txt", table)
+    benchmark(lambda: TwoStageOpAmp().parameter_space.cardinality)
+    assert TwoStageOpAmp().parameter_space.cardinality == 10 ** 14

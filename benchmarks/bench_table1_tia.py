@@ -1,0 +1,54 @@
+"""Paper Table I — sample efficiency and generalisation: transimpedance amplifier.
+
+Rows regenerated:
+    Genetic Alg.   | TIA SE  | (per-target restart, population sweep)
+    This Work      | TIA SE  | generalisation N/M on unseen random targets
+
+The paper reports GA 376 sims vs AutoCkt 15, generalisation 487/500
+(97.4%).  Absolute numbers here come from our MNA substrate; the
+reproduction target is the *shape*: the trained agent reaches most targets
+in ~1-2 dozen simulations while the per-target GA needs an order of
+magnitude (or two) more.
+"""
+
+from repro.analysis import ascii_table
+
+from benchmarks._harness import (
+    fresh_simulator,
+    ga_sample_efficiency,
+    get_trained_agent,
+    publish,
+    scale_for,
+)
+
+NAME = "tia"
+
+
+def _run_table1() -> str:
+    scale = scale_for(NAME)
+    agent = get_trained_agent(NAME)
+    report = agent.deploy(scale.deploy_targets, seed=1234,
+                          max_steps=scale.max_steps)
+    targets = agent.sampler.fresh_targets(scale.ga_targets, seed=4321)
+    ga = ga_sample_efficiency(fresh_simulator(NAME), targets,
+                              budget=scale.ga_budget, seed=0)
+    speedup = (ga["mean_sims"] / report.mean_sims_to_success
+               if report.n_reached else float("nan"))
+    rows = [
+        ["Genetic Alg.", f"{ga['mean_sims']:.0f}",
+         f"(succeeded {ga['n_success']}/{ga['n_targets']})"],
+        ["This Work", f"{report.mean_sims_to_success:.0f}",
+         f"{report.n_reached}/{report.n_targets} "
+         f"({100 * report.generalization:.1f}%)"],
+    ]
+    table = ascii_table(
+        ["Metric", "TIA SE", "Generalization TIA"], rows,
+        title="Table I: sample efficiency & generalisation — TIA "
+              f"(paper: GA 376, AutoCkt 15, 487/500; speedup here {speedup:.1f}x)")
+    return table
+
+
+def test_table1_tia(benchmark):
+    table = benchmark.pedantic(_run_table1, iterations=1, rounds=1)
+    publish("table1_tia.txt", table)
+    assert "This Work" in table

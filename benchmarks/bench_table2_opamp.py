@@ -1,0 +1,58 @@
+"""Paper Table II — sample efficiency and generalisation: two-stage op-amp.
+
+Rows regenerated (paper values in parentheses):
+    Genetic Alg.     | Op Amp SE (1063)
+    Random RL Agent  | generalisation (38/1000)
+    This Work        | Op Amp SE (27) | generalisation (963/1000)
+"""
+
+from repro.analysis import ascii_table
+from repro.baselines import random_agent_deployment
+
+from benchmarks._harness import (
+    fresh_simulator,
+    ga_sample_efficiency,
+    get_trained_agent,
+    publish,
+    scale_for,
+)
+
+NAME = "two_stage_opamp"
+
+
+def _run_table2() -> str:
+    scale = scale_for(NAME)
+    agent = get_trained_agent(NAME)
+    report = agent.deploy(scale.deploy_targets, seed=1234,
+                          max_steps=scale.max_steps)
+
+    random_targets = agent.sampler.fresh_targets(scale.deploy_targets,
+                                                 seed=1234)
+    random_report = random_agent_deployment(
+        fresh_simulator(NAME), random_targets, max_steps=scale.max_steps,
+        seed=7)
+
+    ga_targets = agent.sampler.fresh_targets(scale.ga_targets, seed=4321)
+    ga = ga_sample_efficiency(fresh_simulator(NAME), ga_targets,
+                              budget=scale.ga_budget, seed=0)
+    speedup = (ga["mean_sims"] / report.mean_sims_to_success
+               if report.n_reached else float("nan"))
+    rows = [
+        ["Genetic Alg.", f"{ga['mean_sims']:.0f}",
+         f"(succeeded {ga['n_success']}/{ga['n_targets']})"],
+        ["Random RL Agent", "n/a",
+         f"{random_report.n_reached}/{random_report.n_targets}"],
+        ["This Work", f"{report.mean_sims_to_success:.0f}",
+         f"{report.n_reached}/{report.n_targets} "
+         f"({100 * report.generalization:.1f}%)"],
+    ]
+    return ascii_table(
+        ["Metric", "Op Amp SE", "Generalization Op Amp"], rows,
+        title="Table II: two-stage op-amp (paper: GA 1063, random 38/1000, "
+              f"AutoCkt 27 & 963/1000; speedup here {speedup:.1f}x)")
+
+
+def test_table2_opamp(benchmark):
+    table = benchmark.pedantic(_run_table2, iterations=1, rounds=1)
+    publish("table2_opamp.txt", table)
+    assert "Random RL Agent" in table

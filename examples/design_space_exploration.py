@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Design-space exploration: what the agent "understands" about a circuit.
+
+The paper argues the trained agent "intuitively understands the design
+space in the same manner as a circuit designer ... tradeoffs between
+different target specifications".  This example inspects that design
+space directly with the analysis toolbox:
+
+1. finite-difference sensitivities of every spec w.r.t. every knob of the
+   two-stage op-amp (which transistor moves which spec);
+2. a sweep of the Miller capacitor showing the gain/bandwidth/stability
+   trade-off as ASCII plots;
+3. pole analysis at two compensation settings, connecting the phase-margin
+   spec to the underlying pole positions.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.analysis import line_plot, spec_sensitivities, sweep_parameter
+from repro.sim import MnaSystem, circuit_poles, solve_dc
+from repro.topologies import SchematicSimulator, TwoStageOpAmp
+
+
+def main() -> None:
+    topo = TwoStageOpAmp()
+    sim = SchematicSimulator(topo)
+    centre = topo.parameter_space.center
+
+    # 1. Which knob moves which spec?
+    print("Computing spec sensitivities at the grid centre ...\n")
+    report = spec_sensitivities(sim, centre)
+    print(report.render())
+    print()
+    for spec in topo.spec_space.names:
+        print(f"  {spec}: dominated by {report.dominant_parameter(spec)}")
+
+    # 2. Sweep the compensation capacitor.
+    print("\nSweeping the Miller capacitor cc across its grid ...")
+    sweep = sweep_parameter(sim, "cc", centre, points=25)
+    cc_pf = sweep.values / 1e-12
+    print()
+    print(line_plot({"ugbw": (cc_pf, sweep.specs["ugbw"])},
+                    log_y=True, x_label="cc [pF]", y_label="UGBW [Hz]",
+                    title="Bandwidth falls as compensation grows",
+                    width=56, height=12))
+    print()
+    print(line_plot({"phase margin": (cc_pf, sweep.specs["phase_margin"])},
+                    x_label="cc [pF]", y_label="PM [deg]",
+                    title="Stability improves as compensation grows",
+                    width=56, height=12, hlines=[60.0]))
+    pm = sweep.specs["phase_margin"]
+    if (pm < 60.0).any() and (pm >= 60.0).any():
+        crossing = cc_pf[np.argmax(pm >= 60.0)]
+        print(f"\n60-degree phase margin first reached at cc ~ "
+              f"{crossing:.2f} pF")
+
+    # 3. Poles at light vs heavy compensation.
+    print("\nPole view of the same trade-off:")
+    names = list(topo.parameter_space.names)
+    for label, cc_index in (("light (cc ~ 0.5 pF)", 4),
+                            ("heavy (cc ~ 8 pF)", 79)):
+        idx = centre.copy()
+        idx[names.index("cc")] = cc_index
+        values = topo.parameter_space.values(idx)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        poles = circuit_poles(system, op)
+        dom = poles.dominant_frequency_hz()
+        print(f"  {label:22s} dominant pole {dom:10.3e} Hz, "
+              f"max Q {poles.max_q():.2f}, "
+              f"{'stable' if poles.stable else 'UNSTABLE'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Parallel environments: reproducing the paper's Ray axis.
+
+The paper "utilize[s] the capabilities of Ray to run multiple environments
+in parallel", quoting 1.3 h wall clock for the op-amp on an 8-core CPU.
+The library's stand-in is :class:`repro.rl.ParallelVectorEnv` — one worker
+process per environment behind the same interface as the in-process
+``VectorEnv``.
+
+This example measures when that pays: it times rollout collection through
+both implementations for (a) the real microsecond-scale schematic
+environment and (b) the same environment with a simulated per-step cost
+(standing in for the 91-second PEX simulations of paper §III-D, scaled to
+keep the demo short).  The crossover is the lesson — parallelism wins
+exactly when a single simulation is expensive, which is why the paper's
+transfer-learning trick (train cheap, deploy expensive) matters.
+
+Run:  python examples/parallel_training.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import SizingEnvConfig
+from repro.core.env import SizingEnv
+from repro.rl import ParallelVectorEnv, VectorEnv
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+N_ENVS = 6
+N_STEPS = 120
+
+
+class SlowEnv(SizingEnv):
+    """Sizing env with an artificial per-simulation delay (PEX stand-in)."""
+
+    DELAY_S = 0.01
+
+    def step(self, action):
+        time.sleep(self.DELAY_S)
+        return super().step(action)
+
+
+def make_env(slow: bool, seed: int):
+    cls = SlowEnv if slow else SizingEnv
+    return cls(SchematicSimulator(TransimpedanceAmplifier()),
+               config=SizingEnvConfig(max_steps=30), seed=seed)
+
+
+def time_rollout(vec) -> float:
+    rng = np.random.default_rng(0)
+    obs = vec.reset()
+    nvec = vec.action_space.nvec
+    started = time.perf_counter()
+    for _ in range(N_STEPS):
+        actions = rng.integers(0, nvec, size=(N_ENVS, len(nvec)))
+        obs, *_ = vec.step(actions)
+    return time.perf_counter() - started
+
+
+def main() -> None:
+    rows = []
+    for slow, label in ((False, "schematic (~ms/sim)"),
+                        (True, f"PEX stand-in ({SlowEnv.DELAY_S * 1e3:.0f} "
+                               "ms/sim)")):
+        serial = VectorEnv([make_env(slow, seed=i) for i in range(N_ENVS)])
+        t_serial = time_rollout(serial)
+
+        with ParallelVectorEnv([lambda i=i: make_env(slow, seed=i)
+                                for i in range(N_ENVS)]) as parallel:
+            t_parallel = time_rollout(parallel)
+
+        rows.append([label, f"{t_serial:.2f}", f"{t_parallel:.2f}",
+                     f"{t_serial / t_parallel:.2f}x"])
+
+    print(ascii_table(
+        ["environment", "serial [s]", f"parallel x{N_ENVS} [s]", "speedup"],
+        rows,
+        title=(f"Rollout wall clock, {N_STEPS} steps x {N_ENVS} envs "
+               "(speedup < 1 means IPC overhead dominates)")))
+    print("\nThe speedup grows with per-simulation cost: pipe overhead is "
+          "~0.1 ms per step, so millisecond schematic sims gain a little "
+          "and PEX-scale sims approach the full core count. Set "
+          "AutoCktConfig(parallel_envs=True) to opt in.")
+
+
+if __name__ == "__main__":
+    main()

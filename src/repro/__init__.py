@@ -1,0 +1,66 @@
+"""AutoCkt reproduction: deep reinforcement learning of analog circuit designs.
+
+Reproduces Settaluri et al., "AutoCkt: Deep Reinforcement Learning of
+Analog Circuit Designs" (DATE 2020) as a self-contained Python library:
+
+* a modified-nodal-analysis circuit simulator (``repro.sim``) with smooth
+  MOSFET models and two technology cards (``repro.circuits``),
+* the paper's three circuit topologies (``repro.topologies``),
+* a pseudo-layout + parasitic-extraction + LVS + PVT flow (``repro.pex``),
+* a numpy PPO stack (``repro.rl``),
+* the AutoCkt framework itself (``repro.core``) and its baselines
+  (``repro.baselines``),
+* analysis tooling — statistics, ASCII plotting, sensitivities, Pareto
+  fronts, mismatch Monte Carlo (``repro.analysis``, ``repro.pex``).
+
+Quickstart::
+
+    from repro import AutoCkt, AutoCktConfig
+    from repro.topologies import TwoStageOpAmp
+
+    agent = AutoCkt.for_topology(TwoStageOpAmp)
+    agent.train()
+    report = agent.deploy(100)
+    print(report.summary())
+"""
+
+from repro.core import (
+    AutoCkt,
+    AutoCktConfig,
+    DeploymentReport,
+    EvalCallback,
+    ParetoFront,
+    SizingEnv,
+    SizingEnvConfig,
+    Spec,
+    SpecKind,
+    SpecSpace,
+    TargetSampler,
+    compute_reward,
+    deploy_agent,
+    pareto_front,
+    sample_front,
+    transfer_deploy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoCkt",
+    "AutoCktConfig",
+    "DeploymentReport",
+    "EvalCallback",
+    "ParetoFront",
+    "SizingEnv",
+    "SizingEnvConfig",
+    "Spec",
+    "SpecKind",
+    "SpecSpace",
+    "TargetSampler",
+    "__version__",
+    "compute_reward",
+    "deploy_agent",
+    "pareto_front",
+    "sample_front",
+    "transfer_deploy",
+]

@@ -1,0 +1,65 @@
+"""Result reporting and analysis: ASCII tables/plots, statistics,
+sensitivity analysis and the experiment registry."""
+
+from repro.analysis.datasheet import Datasheet, DeviceRow, build_datasheet
+from repro.analysis.experiments import EXPERIMENTS, Experiment, coverage_table, experiment
+from repro.analysis.plot import (
+    binned_density,
+    heatmap,
+    line_plot,
+    scatter_plot,
+)
+from repro.analysis.report import (
+    ascii_histogram,
+    ascii_series,
+    ascii_table,
+    downsample_curve,
+)
+from repro.analysis.sensitivity import (
+    SensitivityReport,
+    SweepResult,
+    spec_sensitivities,
+    sweep_parameter,
+)
+from repro.analysis.stats import (
+    ComparisonResult,
+    SeedAggregate,
+    SummaryStats,
+    bootstrap_ci,
+    compare_samples,
+    geometric_mean_speedup,
+    summarize,
+    summary_headers,
+    wilson_interval,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ComparisonResult",
+    "Datasheet",
+    "DeviceRow",
+    "Experiment",
+    "SeedAggregate",
+    "SensitivityReport",
+    "SummaryStats",
+    "SweepResult",
+    "ascii_histogram",
+    "ascii_series",
+    "ascii_table",
+    "binned_density",
+    "bootstrap_ci",
+    "build_datasheet",
+    "compare_samples",
+    "coverage_table",
+    "downsample_curve",
+    "experiment",
+    "geometric_mean_speedup",
+    "heatmap",
+    "line_plot",
+    "scatter_plot",
+    "spec_sensitivities",
+    "summarize",
+    "summary_headers",
+    "sweep_parameter",
+    "wilson_interval",
+]

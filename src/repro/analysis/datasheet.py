@@ -1,0 +1,174 @@
+"""Design datasheet generation.
+
+One sizing in, one human-readable report out: the measured specs, the
+bias point of every transistor (region, current, gm/ID), pole locations
+and stability, estimated layout area, and supply power.  This is the
+artifact a designer reads after the agent converges — the deployment
+examples print it for their winning designs — and it doubles as a
+cross-subsystem integration point (simulator, measurement, pole analysis
+and pseudo-layout all feed one object).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.errors import AnalysisError, ConvergenceError
+from repro.sim.dc import solve_dc
+from repro.sim.poles import PoleSet, circuit_poles
+from repro.sim.system import MnaSystem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import Topology
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceRow:
+    """Bias summary of one MOSFET."""
+
+    name: str
+    region: str
+    ids: float       # [A]
+    gm: float        # [S]
+    gm_over_id: float
+    vov: float       # effective overdrive [V]
+    saturation_margin: float  # vds - vov (headroom) [V]
+
+
+@dataclasses.dataclass
+class Datasheet:
+    """Everything a designer reads off one sized design."""
+
+    topology: str
+    technology: str
+    values: dict[str, float]          # physical sizing
+    specs: dict[str, float]           # measured performance
+    devices: list[DeviceRow]
+    poles: PoleSet
+    supply_power: float               # [W]
+    layout_area: float                # [m^2]
+
+    @property
+    def stable(self) -> bool:
+        """Small-signal stability verdict from the pole set."""
+        return self.poles.stable
+
+    def worst_device(self) -> DeviceRow:
+        """The transistor with the least saturation headroom — the one a
+        designer checks first when a corner or mismatch run fails."""
+        if not self.devices:
+            raise AnalysisError("design has no MOSFETs")
+        return min(self.devices, key=lambda d: d.saturation_margin)
+
+    def render(self) -> str:
+        """The full datasheet as fixed-width text."""
+        lines = [f"=== {self.topology} ({self.technology}) ==="]
+
+        lines.append(ascii_table(
+            ["parameter", "value"],
+            [[k, _si(v)] for k, v in self.values.items()],
+            title="sizing"))
+        lines.append("")
+        lines.append(ascii_table(
+            ["spec", "measured"],
+            [[k, _si(v)] for k, v in self.specs.items()],
+            title="performance"))
+        lines.append("")
+        lines.append(ascii_table(
+            ["device", "region", "ids [A]", "gm [S]", "gm/ID", "vov [V]",
+             "sat. margin [V]"],
+            [[d.name, d.region, _si(d.ids), _si(d.gm),
+              f"{d.gm_over_id:.1f}", f"{d.vov:.3f}",
+              f"{d.saturation_margin:+.3f}"] for d in self.devices],
+            title="bias point"))
+        lines.append("")
+        verdict = "stable" if self.stable else "UNSTABLE"
+        if len(self.poles):
+            lines.append(
+                f"poles: {len(self.poles)} finite, {verdict}, dominant "
+                f"{self.poles.dominant_frequency_hz():.3e} Hz, max Q "
+                f"{self.poles.max_q():.2f}")
+        else:
+            lines.append(f"poles: none finite ({verdict})")
+        lines.append(f"supply power: {_si(self.supply_power)}W   "
+                     f"layout area: {self.layout_area * 1e12:.1f} um^2")
+        if self.devices:
+            worst = self.worst_device()
+            lines.append(f"tightest device: {worst.name} "
+                         f"({worst.saturation_margin:+.3f} V of headroom)")
+        return "\n".join(lines)
+
+
+def _si(value: float) -> str:
+    """Engineering-notation rendering with an SI prefix."""
+    if value == 0.0:
+        return "0"
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+                (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+                (1e-15, "f")]
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            return f"{value / scale:.3g}{prefix}"
+    return f"{value:.3g}"
+
+
+def build_datasheet(topology: "Topology",
+                    indices: np.ndarray | None = None,
+                    values: dict[str, float] | None = None) -> Datasheet:
+    """Simulate one sizing of ``topology`` and assemble its datasheet.
+
+    The sizing is given as grid ``indices`` (default: the grid centre) or
+    as explicit physical ``values``.
+    """
+    from repro.pex.layout import generate_layout
+
+    if values is None:
+        space = topology.parameter_space
+        if indices is None:
+            indices = space.center
+        values = space.values(space.clip(np.asarray(indices)))
+    netlist = topology.build(values)
+    system = MnaSystem(netlist, temperature=topology.temperature)
+    try:
+        op = solve_dc(system)
+    except ConvergenceError as exc:
+        raise AnalysisError(
+            f"datasheet: {topology.name} does not bias up at this sizing "
+            f"({exc})") from exc
+    specs = topology.measure(system, op)
+
+    devices = []
+    for name, state in sorted(op.mosfet_states.items()):
+        ids = abs(state.ids)
+        devices.append(DeviceRow(
+            name=name,
+            region=state.region,
+            ids=ids,
+            gm=state.gm,
+            gm_over_id=state.gm / ids if ids > 0.0 else 0.0,
+            vov=state.vov_eff,
+            saturation_margin=abs(state.vds) - state.vov_eff,
+        ))
+
+    vdd_power = 0.0
+    for element in netlist.elements:
+        from repro.circuits.elements import VoltageSource
+
+        if isinstance(element, VoltageSource) and element.dc > 0.0:
+            vdd_power += abs(op.branch_current(element.name)) * element.dc
+
+    return Datasheet(
+        topology=topology.name,
+        technology=topology.technology.name,
+        values=dict(values),
+        specs=specs,
+        devices=devices,
+        poles=circuit_poles(system, op),
+        supply_power=vdd_power,
+        layout_area=generate_layout(netlist).area,
+    )

@@ -1,0 +1,291 @@
+"""ASCII plotting: gridded line/scatter plots and heatmaps.
+
+:mod:`repro.analysis.report` renders tables and one-line sparklines; this
+module adds full two-dimensional character canvases for the paper's
+figures — training curves (Figs. 5/7/11), reached/unreached scatter
+distributions (Figs. 8/12) and trajectory plots (Fig. 14) — so the bench
+output is readable without a plotting stack.
+
+All functions return plain strings.  Axes are annotated with min/max and
+tick values; log axes are supported for the frequency-like quantities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Marker cycle for multi-series plots (first series gets '*', etc.).
+MARKERS = "*o+x#@%&"
+
+
+@dataclasses.dataclass(frozen=True)
+class Axis:
+    """One plot axis: data range, optional log scaling, label."""
+
+    lo: float
+    hi: float
+    log: bool = False
+    label: str = ""
+
+    def __post_init__(self):
+        if not (math.isfinite(self.lo) and math.isfinite(self.hi)):
+            raise ValueError(f"axis {self.label!r}: bounds must be finite")
+        if self.lo >= self.hi:
+            raise ValueError(f"axis {self.label!r}: lo must be < hi")
+        if self.log and self.lo <= 0.0:
+            raise ValueError(f"axis {self.label!r}: log axis needs lo > 0")
+
+    def fraction(self, value: float) -> float:
+        """Map ``value`` to [0, 1] along the axis (clipped)."""
+        lo, hi, v = self.lo, self.hi, value
+        if self.log:
+            if v <= 0.0:
+                return 0.0
+            lo, hi, v = math.log10(lo), math.log10(hi), math.log10(v)
+        return min(1.0, max(0.0, (v - lo) / (hi - lo)))
+
+    def ticks(self, n: int = 5) -> list[float]:
+        """``n`` tick values spanning the axis (log-spaced on log axes)."""
+        if self.log:
+            return list(np.logspace(math.log10(self.lo),
+                                    math.log10(self.hi), n))
+        return list(np.linspace(self.lo, self.hi, n))
+
+
+def _axis_from_data(values: np.ndarray, log: bool, label: str) -> Axis:
+    finite = values[np.isfinite(values)]
+    if log:
+        finite = finite[finite > 0.0]
+    if finite.size == 0:
+        raise ValueError(f"no plottable data for axis {label!r}")
+    lo, hi = float(finite.min()), float(finite.max())
+    if lo == hi:  # degenerate: widen symmetrically so the point is centred
+        pad = abs(lo) * 0.1 or 1.0
+        if log:
+            lo, hi = lo / 2.0, hi * 2.0
+        else:
+            lo, hi = lo - pad, hi + pad
+    return Axis(lo=lo, hi=hi, log=log, label=label)
+
+
+class Canvas:
+    """A character grid with data-coordinate plotting primitives."""
+
+    def __init__(self, x_axis: Axis, y_axis: Axis, width: int = 64,
+                 height: int = 18):
+        if width < 8 or height < 4:
+            raise ValueError("canvas needs width >= 8 and height >= 4")
+        self.x_axis = x_axis
+        self.y_axis = y_axis
+        self.width = width
+        self.height = height
+        self._grid = [[" "] * width for _ in range(height)]
+
+    def _cell(self, x: float, y: float) -> tuple[int, int] | None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return None
+        col = int(round(self.x_axis.fraction(x) * (self.width - 1)))
+        row = int(round((1.0 - self.y_axis.fraction(y)) * (self.height - 1)))
+        return row, col
+
+    def point(self, x: float, y: float, marker: str) -> None:
+        """Mark one data point (silently skipped when not finite)."""
+        cell = self._cell(x, y)
+        if cell is not None:
+            row, col = cell
+            self._grid[row][col] = marker[0]
+
+    def polyline(self, xs: Sequence[float], ys: Sequence[float],
+                 marker: str) -> None:
+        """Mark a series, linearly interpolating between adjacent samples
+        so sparse series still draw a connected trace."""
+        pts = [self._cell(x, y) for x, y in zip(xs, ys)]
+        pts = [p for p in pts if p is not None]
+        for (r0, c0), (r1, c1) in zip(pts, pts[1:]):
+            steps = max(abs(r1 - r0), abs(c1 - c0), 1)
+            for s in range(steps + 1):
+                r = r0 + (r1 - r0) * s // steps
+                c = c0 + (c1 - c0) * s // steps
+                self._grid[r][c] = marker[0]
+
+    def hline(self, y: float, char: str = "-") -> None:
+        """Horizontal rule at data ``y`` (e.g. the reward-0 line)."""
+        cell = self._cell(self.x_axis.lo, y)
+        if cell is None:
+            return
+        row, _ = cell
+        for col in range(self.width):
+            if self._grid[row][col] == " ":
+                self._grid[row][col] = char[0]
+
+    def render(self, title: str | None = None,
+               legend: Mapping[str, str] | None = None) -> str:
+        """Assemble the canvas with axes, tick labels, title and legend."""
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+        y_lo, y_hi = _fmt(self.y_axis.lo), _fmt(self.y_axis.hi)
+        label_w = max(len(y_lo), len(y_hi))
+        for i, row in enumerate(self._grid):
+            if i == 0:
+                prefix = y_hi.rjust(label_w)
+            elif i == self.height - 1:
+                prefix = y_lo.rjust(label_w)
+            else:
+                prefix = " " * label_w
+            lines.append(f"{prefix} |{''.join(row)}|")
+        lines.append(" " * label_w + " +" + "-" * self.width + "+")
+        x_lo, x_hi = _fmt(self.x_axis.lo), _fmt(self.x_axis.hi)
+        gap = self.width - len(x_lo) - len(x_hi)
+        lines.append(" " * (label_w + 2) + x_lo + " " * max(1, gap) + x_hi)
+        foot = []
+        if self.x_axis.label:
+            foot.append(f"x: {self.x_axis.label}"
+                        + (" (log)" if self.x_axis.log else ""))
+        if self.y_axis.label:
+            foot.append(f"y: {self.y_axis.label}"
+                        + (" (log)" if self.y_axis.log else ""))
+        if foot:
+            lines.append("  ".join(foot))
+        if legend:
+            lines.append("legend: " + "  ".join(f"{m}={name}"
+                                                for name, m in legend.items()))
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == 0.0 or 1e-3 <= abs(value) < 1e5:
+        return f"{value:.4g}"
+    return f"{value:.2e}"
+
+
+Series = Mapping[str, tuple[Sequence[float], Sequence[float]]]
+
+
+def _collect_axes(series: Series, log_x: bool, log_y: bool,
+                  x_label: str, y_label: str) -> tuple[Axis, Axis]:
+    if not series:
+        raise ValueError("plot needs at least one series")
+    all_x = np.concatenate([np.asarray(xs, dtype=float)
+                            for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float)
+                            for _, ys in series.values()])
+    return (_axis_from_data(all_x, log_x, x_label),
+            _axis_from_data(all_y, log_y, y_label))
+
+
+def line_plot(series: Series, *, width: int = 64, height: int = 18,
+              log_x: bool = False, log_y: bool = False,
+              x_label: str = "x", y_label: str = "y",
+              title: str | None = None,
+              hlines: Sequence[float] = ()) -> str:
+    """Plot one or more (xs, ys) series as connected traces.
+
+    ``series`` maps a legend label to its data.  ``hlines`` draws
+    horizontal reference rules (the reward figures use one at 0).
+    """
+    x_axis, y_axis = _collect_axes(series, log_x, log_y, x_label, y_label)
+    canvas = Canvas(x_axis, y_axis, width=width, height=height)
+    for y in hlines:
+        canvas.hline(y)
+    legend: dict[str, str] = {}
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        legend[label] = marker
+        canvas.polyline(np.asarray(xs, dtype=float),
+                        np.asarray(ys, dtype=float), marker)
+    return canvas.render(title=title,
+                         legend=legend if len(series) > 1 else None)
+
+
+def scatter_plot(series: Series, *, width: int = 64, height: int = 18,
+                 log_x: bool = False, log_y: bool = False,
+                 x_label: str = "x", y_label: str = "y",
+                 title: str | None = None) -> str:
+    """Plot point clouds — the Figs. 8/12 reached/unreached views.
+
+    Later series draw over earlier ones, so list the small "unreached"
+    cloud last to keep it visible on top of the bulk.
+    """
+    x_axis, y_axis = _collect_axes(series, log_x, log_y, x_label, y_label)
+    canvas = Canvas(x_axis, y_axis, width=width, height=height)
+    legend: dict[str, str] = {}
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        legend[label] = marker
+        for x, y in zip(np.asarray(xs, dtype=float),
+                        np.asarray(ys, dtype=float)):
+            canvas.point(x, y, marker)
+    return canvas.render(title=title, legend=legend)
+
+
+#: Density shades from empty to full for :func:`heatmap` cells.
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(grid: np.ndarray, *, x_label: str = "x", y_label: str = "y",
+            title: str | None = None,
+            x_range: tuple[float, float] | None = None,
+            y_range: tuple[float, float] | None = None) -> str:
+    """Render a 2-D array as a shaded density map.
+
+    ``grid[i, j]`` maps to row ``i`` (bottom row is ``i = 0``) and column
+    ``j``.  Cell shades are linearly binned between the grid's min and max.
+    """
+    arr = np.asarray(grid, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError("heatmap needs a non-empty 2-D array")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ValueError("heatmap needs at least one finite cell")
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i in range(arr.shape[0] - 1, -1, -1):
+        row_chars = []
+        for value in arr[i]:
+            if not math.isfinite(value):
+                row_chars.append("?")
+                continue
+            level = int((value - lo) / span * (len(_SHADES) - 1))
+            row_chars.append(_SHADES[level])
+        lines.append("|" + "".join(row_chars) + "|")
+    lines.append("+" + "-" * arr.shape[1] + "+")
+    foot = []
+    if x_range:
+        foot.append(f"x: {x_label} [{_fmt(x_range[0])}, {_fmt(x_range[1])}]")
+    else:
+        foot.append(f"x: {x_label}")
+    if y_range:
+        foot.append(f"y: {y_label} [{_fmt(y_range[0])}, {_fmt(y_range[1])}]")
+    else:
+        foot.append(f"y: {y_label}")
+    foot.append(f"shade: [{_fmt(lo)}, {_fmt(hi)}]")
+    lines.append("  ".join(foot))
+    return "\n".join(lines)
+
+
+def binned_density(xs: Sequence[float], ys: Sequence[float], *,
+                   bins: int = 24,
+                   log_x: bool = False, log_y: bool = False) -> np.ndarray:
+    """2-D histogram of a point cloud, oriented for :func:`heatmap`.
+
+    Returns a ``(bins, bins)`` count array with row 0 at the bottom of the
+    y range, ready to pass to :func:`heatmap`.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("binned_density needs matching non-empty x/y")
+    if log_x:
+        x = np.log10(np.maximum(x, 1e-30))
+    if log_y:
+        y = np.log10(np.maximum(y, 1e-30))
+    counts, _, _ = np.histogram2d(y, x, bins=bins)
+    return counts

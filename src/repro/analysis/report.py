@@ -1,0 +1,90 @@
+"""Plot-free reporting: ASCII tables, series and histograms.
+
+The benchmark harness regenerates every table and figure of the paper as
+text — tables print the same rows the paper's tables have, and figures
+print (and sparkline) the series a plotting script would consume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str | None = None) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == 0.0 or 1e-3 <= abs(value) < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def ascii_series(xs: Sequence[float], ys: Sequence[float], *, width: int = 60,
+                 label_x: str = "x", label_y: str = "y",
+                 title: str | None = None) -> str:
+    """Render an (x, y) series as rows plus a unicode-free sparkline."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("series needs matching non-empty x/y")
+    ys_arr = np.asarray(ys, dtype=float)
+    lo, hi = float(np.min(ys_arr)), float(np.max(ys_arr))
+    span = hi - lo if hi > lo else 1.0
+    ticks = []
+    for y in ys_arr[:width]:
+        level = int((y - lo) / span * (len(_BLOCKS) - 1))
+        ticks.append(_BLOCKS[level])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{label_y} range [{lo:.4g}, {hi:.4g}], "
+                 f"{label_x} range [{_fmt(xs[0])}, {_fmt(xs[-1])}]")
+    lines.append("spark: " + "".join(ticks))
+    return "\n".join(lines)
+
+
+def downsample_curve(xs: Sequence[float], ys: Sequence[float],
+                     n: int = 20) -> list[tuple[float, float]]:
+    """Pick ~n evenly-spaced points of a curve for printing."""
+    if len(xs) != len(ys):
+        raise ValueError("curve needs matching x/y")
+    if len(xs) <= n:
+        return list(zip(xs, ys))
+    idx = np.unique(np.linspace(0, len(xs) - 1, n).astype(int))
+    return [(xs[i], ys[i]) for i in idx]
+
+
+def ascii_histogram(values: Sequence[float], bins: int = 10, *,
+                    width: int = 40, title: str | None = None) -> str:
+    """Render a histogram with counts as bars."""
+    values_arr = np.asarray(values, dtype=float)
+    values_arr = values_arr[np.isfinite(values_arr)]
+    if values_arr.size == 0:
+        return (title + "\n" if title else "") + "(no finite values)"
+    counts, edges = np.histogram(values_arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(math.ceil(width * c / peak)) if c else ""
+        lines.append(f"[{lo:9.3g}, {hi:9.3g}) {c:5d} {bar}")
+    return "\n".join(lines)

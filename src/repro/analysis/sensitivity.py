@@ -1,0 +1,203 @@
+"""Design-space sensitivity analysis.
+
+The paper argues AutoCkt "intuitively understands the design space in the
+same manner as a circuit designer ... tradeoffs between different target
+specifications across the design space".  This module makes those
+trade-offs inspectable directly: finite-difference sensitivities of every
+measured spec with respect to every grid parameter, parameter sweeps along
+one axis, and tornado-style rankings of which knob moves which spec.
+
+All computations run through a :class:`~repro.topologies.base.CircuitSimulator`,
+so they share the caching/counting infrastructure with the optimisers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.errors import SpaceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of one +/- grid-step change of one parameter on one spec."""
+
+    parameter: str
+    spec: str
+    base_value: float
+    low_value: float      # spec at parameter index - step
+    high_value: float     # spec at parameter index + step
+    #: Central-difference slope per grid step.
+    slope_per_step: float
+    #: Relative swing |high - low| / |base| (0 when base is 0).
+    relative_swing: float
+
+
+class SensitivityReport:
+    """Sensitivities of all specs w.r.t. all parameters at one sizing."""
+
+    def __init__(self, entries: list[SensitivityEntry],
+                 parameters: Sequence[str], specs: Sequence[str],
+                 indices: np.ndarray, simulations: int):
+        self.entries = entries
+        self.parameters = tuple(parameters)
+        self.specs = tuple(specs)
+        self.indices = np.asarray(indices)
+        self.simulations = int(simulations)
+        self._by_key = {(e.parameter, e.spec): e for e in entries}
+
+    def __getitem__(self, key: tuple[str, str]) -> SensitivityEntry:
+        """Entry for ``(parameter, spec)``."""
+        return self._by_key[key]
+
+    def matrix(self, relative: bool = True) -> np.ndarray:
+        """(n_params, n_specs) array of slopes or relative swings."""
+        out = np.zeros((len(self.parameters), len(self.specs)))
+        for i, p in enumerate(self.parameters):
+            for j, s in enumerate(self.specs):
+                e = self._by_key[(p, s)]
+                out[i, j] = e.relative_swing if relative else e.slope_per_step
+        return out
+
+    def tornado(self, spec: str) -> list[SensitivityEntry]:
+        """Parameters ranked by their effect on ``spec`` (largest first)."""
+        if spec not in self.specs:
+            raise KeyError(spec)
+        entries = [self._by_key[(p, spec)] for p in self.parameters]
+        return sorted(entries, key=lambda e: e.relative_swing, reverse=True)
+
+    def dominant_parameter(self, spec: str) -> str:
+        """The single knob with the largest effect on ``spec``."""
+        return self.tornado(spec)[0].parameter
+
+    def render(self, relative: bool = True) -> str:
+        """ASCII matrix: rows are parameters, columns are specs."""
+        mat = self.matrix(relative=relative)
+        rows = [[p] + [float(v) for v in mat[i]]
+                for i, p in enumerate(self.parameters)]
+        kind = "relative swing" if relative else "slope/step"
+        return ascii_table(["parameter"] + list(self.specs), rows,
+                           title=f"spec sensitivities ({kind}, "
+                                 f"{self.simulations} simulations)")
+
+
+def spec_sensitivities(simulator: "CircuitSimulator",
+                       indices: np.ndarray | None = None,
+                       step: int = 1) -> SensitivityReport:
+    """Central-difference sensitivities at grid point ``indices``.
+
+    For each parameter the grid index is moved ``+/- step`` (clipped at the
+    grid edge, falling back to a one-sided difference there) and every
+    spec re-measured.  Cost: ``2 * n_params + 1`` simulations.
+    """
+    space = simulator.parameter_space
+    if indices is None:
+        indices = space.center
+    indices = space.clip(np.asarray(indices))
+    if step < 1:
+        raise SpaceError(f"sensitivity step must be >= 1, got {step}")
+
+    base = simulator.evaluate(indices)
+    spec_names = list(base.keys())
+    sims = 1
+    entries: list[SensitivityEntry] = []
+    for i, param in enumerate(space):
+        lo_idx = indices.copy()
+        hi_idx = indices.copy()
+        lo_idx[i] = max(0, indices[i] - step)
+        hi_idx[i] = min(param.count - 1, indices[i] + step)
+        span = int(hi_idx[i] - lo_idx[i])
+        low = simulator.evaluate(lo_idx) if span else base
+        high = simulator.evaluate(hi_idx) if span else base
+        sims += 2 if span else 0
+        for name in spec_names:
+            base_v = float(base[name])
+            lo_v, hi_v = float(low[name]), float(high[name])
+            slope = (hi_v - lo_v) / span if span else 0.0
+            swing = abs(hi_v - lo_v) / abs(base_v) if base_v else 0.0
+            entries.append(SensitivityEntry(
+                parameter=param.name, spec=name, base_value=base_v,
+                low_value=lo_v, high_value=hi_v,
+                slope_per_step=slope, relative_swing=swing))
+    return SensitivityReport(entries, [p.name for p in space], spec_names,
+                             indices, sims)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Specs measured along one parameter axis, all else held fixed."""
+
+    parameter: str
+    indices: np.ndarray               # swept grid indices, shape (P,)
+    values: np.ndarray                # physical parameter values, shape (P,)
+    specs: dict[str, np.ndarray]      # each shape (P,)
+
+    def spec_trace(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(parameter values, spec values) — ready for plotting."""
+        return self.values, self.specs[name]
+
+    def monotonic_fraction(self, name: str) -> float:
+        """Fraction of sweep steps moving in the majority direction.
+
+        1.0 means the spec responds monotonically to this knob — the kind
+        of structure the RL agent exploits.
+        """
+        y = self.specs[name]
+        if len(y) < 2:
+            return 1.0
+        diffs = np.diff(y)
+        nonzero = diffs[diffs != 0.0]
+        if nonzero.size == 0:
+            return 1.0
+        ups = int(np.sum(nonzero > 0))
+        return max(ups, nonzero.size - ups) / nonzero.size
+
+
+def sweep_parameter(simulator: "CircuitSimulator", parameter: str,
+                    indices: np.ndarray | None = None,
+                    points: int | None = None) -> SweepResult:
+    """Measure every spec while sweeping one parameter across its grid.
+
+    ``points`` limits the number of grid points visited (evenly spaced
+    across the axis); by default every grid value is simulated.
+    """
+    space = simulator.parameter_space
+    names = [p.name for p in space]
+    if parameter not in names:
+        raise SpaceError(f"unknown parameter {parameter!r}; "
+                         f"choose from {names}")
+    axis = names.index(parameter)
+    count = space.params[axis].count
+    if indices is None:
+        indices = space.center
+    indices = space.clip(np.asarray(indices))
+
+    if points is None or points >= count:
+        swept = np.arange(count)
+    else:
+        if points < 2:
+            raise SpaceError("sweep needs at least 2 points")
+        swept = np.unique(np.linspace(0, count - 1, points).astype(int))
+
+    traces: dict[str, list[float]] = {}
+    values = []
+    for k in swept:
+        point = indices.copy()
+        point[axis] = k
+        specs = simulator.evaluate(point)
+        values.append(space.values(point)[parameter])
+        for name, v in specs.items():
+            traces.setdefault(name, []).append(float(v))
+    return SweepResult(
+        parameter=parameter,
+        indices=swept,
+        values=np.asarray(values, dtype=float),
+        specs={k: np.asarray(v) for k, v in traces.items()},
+    )

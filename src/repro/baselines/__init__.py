@@ -1,0 +1,41 @@
+"""Comparison algorithms from the paper's tables.
+
+* :mod:`repro.baselines.genetic` — the "vanilla genetic algorithm" rows
+  (sample efficiency measured per target, best over a population sweep);
+* :mod:`repro.baselines.random_agent` — the "Random RL Agent" rows;
+* :mod:`repro.baselines.bagnet` — the GA + deep-discriminator method of
+  reference [7] (BagNet), the prior state of the art in Table IV.
+
+Beyond the paper's own comparators, the package carries the standard
+derivative-free strong-men for the ablation bench:
+
+* :mod:`repro.baselines.annealing` — simulated annealing;
+* :mod:`repro.baselines.cem` — cross-entropy method;
+* :mod:`repro.baselines.random_search` — uniform sampling, doubling as
+  the design-space difficulty calibrator.
+"""
+
+from repro.baselines.annealing import AnnealingConfig, SimulatedAnnealing
+from repro.baselines.bagnet import BagNetConfig, BagNetOptimizer
+from repro.baselines.cem import CEMConfig, CrossEntropyMethod
+from repro.baselines.common import SearchResult, TargetObjective
+from repro.baselines.genetic import GAConfig, GAResult, GeneticOptimizer
+from repro.baselines.random_agent import random_agent_deployment
+from repro.baselines.random_search import RandomSearch, feasible_volume_fraction
+
+__all__ = [
+    "AnnealingConfig",
+    "BagNetConfig",
+    "BagNetOptimizer",
+    "CEMConfig",
+    "CrossEntropyMethod",
+    "GAConfig",
+    "GAResult",
+    "GeneticOptimizer",
+    "RandomSearch",
+    "SearchResult",
+    "SimulatedAnnealing",
+    "TargetObjective",
+    "feasible_volume_fraction",
+    "random_agent_deployment",
+]

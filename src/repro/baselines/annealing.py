@@ -1,0 +1,121 @@
+"""Simulated-annealing baseline.
+
+A classic single-point stochastic optimiser over the sizing grid:
+propose a neighbour by stepping a random subset of parameters a few grid
+points, accept improvements always and regressions with the Metropolis
+probability ``exp(delta / T)``, cool geometrically.  Like the paper's GA
+it must restart from scratch for every new target — the weakness the RL
+agent fixes — so its sample efficiency slots directly into the paper's
+comparison tables (the ablation bench runs it alongside the GA, CEM and
+random search).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.baselines.common import (
+    BudgetExhausted,
+    GoalReached,
+    SearchResult,
+    TargetObjective,
+)
+from repro.core.reward import RewardSpec
+from repro.errors import TrainingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+@dataclasses.dataclass
+class AnnealingConfig:
+    """Simulated-annealing hyperparameters.
+
+    ``t_start`` should be on the scale of typical reward differences
+    (Eq. (1) rewards live in roughly [-2, 0] before the goal bonus, so the
+    default accepts most moves early on); ``t_end`` sets the final
+    near-greedy behaviour.  Temperature decays geometrically over
+    ``cooling_steps`` proposals and is then held at ``t_end``.
+    """
+
+    t_start: float = 0.5
+    t_end: float = 0.01
+    cooling_steps: int = 500
+    mutation_span: int = 4      # max +/- grid steps per moved parameter
+    move_fraction: float = 0.4  # expected fraction of parameters moved
+    restart_after: int = 150    # proposals without improvement -> restart
+    max_simulations: int = 4000
+
+    def __post_init__(self):
+        if self.t_start <= 0.0 or self.t_end <= 0.0:
+            raise TrainingError("temperatures must be positive")
+        if self.t_end > self.t_start:
+            raise TrainingError("t_end must be <= t_start")
+        if not 0.0 < self.move_fraction <= 1.0:
+            raise TrainingError("move_fraction must be in (0, 1]")
+        if self.cooling_steps < 1 or self.restart_after < 1:
+            raise TrainingError("cooling_steps/restart_after must be >= 1")
+
+
+class SimulatedAnnealing:
+    """Per-target simulated annealing over a sizing grid."""
+
+    def __init__(self, simulator: "CircuitSimulator",
+                 config: AnnealingConfig | None = None,
+                 reward: RewardSpec | None = None, seed: int = 0):
+        self.simulator = simulator
+        self.config = config or AnnealingConfig()
+        self.reward = reward
+        self.rng = np.random.default_rng(seed)
+
+    def _temperature(self, step: int) -> float:
+        cfg = self.config
+        if step >= cfg.cooling_steps:
+            return cfg.t_end
+        ratio = cfg.t_end / cfg.t_start
+        return cfg.t_start * ratio ** (step / cfg.cooling_steps)
+
+    def _neighbour(self, indices: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        space = self.simulator.parameter_space
+        out = indices.copy()
+        moved = self.rng.random(len(out)) < cfg.move_fraction
+        if not moved.any():
+            moved[self.rng.integers(len(out))] = True
+        steps = self.rng.integers(-cfg.mutation_span, cfg.mutation_span + 1,
+                                  size=len(out))
+        steps[steps == 0] = 1
+        out[moved] += steps[moved]
+        return space.clip(out)
+
+    def solve(self, target: dict[str, float],
+              max_simulations: int | None = None) -> SearchResult:
+        """Anneal until a sizing meets ``target`` or the budget runs out."""
+        cfg = self.config
+        space = self.simulator.parameter_space
+        objective = TargetObjective(self.simulator, target,
+                                    max_simulations or cfg.max_simulations,
+                                    reward=self.reward)
+        try:
+            current = space.center.copy()
+            current_fit = objective(current)
+            stale = 0
+            step = 0
+            while True:
+                candidate = self._neighbour(current)
+                fit = objective(candidate)
+                step += 1
+                delta = fit - current_fit
+                t = self._temperature(step)
+                if delta >= 0.0 or self.rng.random() < np.exp(delta / t):
+                    current, current_fit = candidate, fit
+                stale = 0 if delta > 0.0 else stale + 1
+                if stale >= cfg.restart_after:
+                    current = space.sample(self.rng)
+                    current_fit = objective(current)
+                    stale = 0
+        except (GoalReached, BudgetExhausted):
+            return objective.result()

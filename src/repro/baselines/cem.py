@@ -1,0 +1,93 @@
+"""Cross-entropy-method baseline.
+
+Population search with a *distribution* instead of a population: sample
+sizings from an independent Gaussian in grid-index space, keep the elite
+fraction, refit the Gaussian to the elites (with smoothing and a variance
+floor to avoid premature collapse), repeat.  CEM is the standard
+derivative-free strong-man for RL comparisons; like the GA it restarts
+per target, so its sample efficiency is directly comparable to the
+paper's table rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.baselines.common import (
+    BudgetExhausted,
+    GoalReached,
+    SearchResult,
+    TargetObjective,
+)
+from repro.core.reward import RewardSpec
+from repro.errors import TrainingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+@dataclasses.dataclass
+class CEMConfig:
+    """Cross-entropy-method hyperparameters."""
+
+    population: int = 32
+    elite_fraction: float = 0.25
+    smoothing: float = 0.7        # new = s*fit + (1-s)*old
+    min_std_steps: float = 0.75   # variance floor, in grid steps
+    max_simulations: int = 4000
+
+    def __post_init__(self):
+        if self.population < 4:
+            raise TrainingError("CEM population must be >= 4")
+        if not 0.0 < self.elite_fraction <= 0.5:
+            raise TrainingError("elite_fraction must be in (0, 0.5]")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise TrainingError("smoothing must be in (0, 1]")
+        if self.min_std_steps <= 0.0:
+            raise TrainingError("min_std_steps must be positive")
+
+    @property
+    def n_elite(self) -> int:
+        return max(2, int(round(self.population * self.elite_fraction)))
+
+
+class CrossEntropyMethod:
+    """Per-target CEM over a sizing grid (Gaussian in index space)."""
+
+    def __init__(self, simulator: "CircuitSimulator",
+                 config: CEMConfig | None = None,
+                 reward: RewardSpec | None = None, seed: int = 0):
+        self.simulator = simulator
+        self.config = config or CEMConfig()
+        self.reward = reward
+        self.rng = np.random.default_rng(seed)
+
+    def solve(self, target: dict[str, float],
+              max_simulations: int | None = None) -> SearchResult:
+        """Iterate sampling/refitting until success or budget exhaustion."""
+        cfg = self.config
+        space = self.simulator.parameter_space
+        objective = TargetObjective(self.simulator, target,
+                                    max_simulations or cfg.max_simulations,
+                                    reward=self.reward)
+        counts = space.counts.astype(float)
+        mean = space.center.astype(float)
+        std = counts / 4.0  # initial spread covers the grid broadly
+        try:
+            while True:
+                samples = self.rng.normal(mean, std,
+                                          size=(cfg.population, len(space)))
+                samples = np.clip(np.round(samples), 0,
+                                  counts - 1).astype(np.int64)
+                fitness = np.array([objective(s) for s in samples])
+                elite_idx = np.argsort(fitness)[::-1][:cfg.n_elite]
+                elites = samples[elite_idx].astype(float)
+                s = cfg.smoothing
+                mean = s * elites.mean(axis=0) + (1.0 - s) * mean
+                std = (s * elites.std(axis=0) + (1.0 - s) * std)
+                std = np.maximum(std, cfg.min_std_steps)
+        except (GoalReached, BudgetExhausted):
+            return objective.result()

@@ -1,0 +1,30 @@
+"""Random RL agent baseline (paper Tables II & III).
+
+"Note that the comparison also includes a random RL agent taking steps in
+the environment, to illustrate design space complexity."  An untrained
+policy network — i.e. near-uniform random increment/decrement/keep actions
+from the grid centre — is deployed through the exact same machinery as the
+trained agent, so the 38/1000 and 4/500 rows are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.agent import fresh_random_policy
+from repro.core.deploy import DeploymentReport, deploy_agent
+from repro.core.reward import RewardSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+def random_agent_deployment(simulator: "CircuitSimulator",
+                            targets: list[dict[str, float]], *,
+                            max_steps: int = 30,
+                            reward: RewardSpec | None = None,
+                            seed: int = 0) -> DeploymentReport:
+    """Deploy an untrained (randomly-initialised) policy on ``targets``."""
+    policy = fresh_random_policy(simulator, seed=seed)
+    return deploy_agent(policy, simulator, targets, max_steps=max_steps,
+                        reward=reward, seed=seed)

@@ -1,0 +1,76 @@
+"""Pure random search baseline.
+
+Uniform sampling of the sizing grid until some sample meets the target.
+Deliberately the weakest possible optimiser: its expected sample count
+equals the reciprocal of the target's feasible-volume fraction, which
+makes it the calibration instrument for *design-space difficulty* — the
+paper's 10^14-point op-amp grid is exactly the regime where "random
+generation of parameters to meet the target design specification [is]
+infeasible" (§III-B).  The EXPERIMENTS.md calibration notes use it to
+match our spec-range difficulty to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.baselines.common import (
+    BudgetExhausted,
+    GoalReached,
+    SearchResult,
+    TargetObjective,
+)
+from repro.core.reward import RewardSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+class RandomSearch:
+    """Per-target uniform random search over a sizing grid."""
+
+    def __init__(self, simulator: "CircuitSimulator",
+                 reward: RewardSpec | None = None, seed: int = 0):
+        self.simulator = simulator
+        self.reward = reward
+        self.rng = np.random.default_rng(seed)
+
+    def solve(self, target: dict[str, float],
+              max_simulations: int = 4000) -> SearchResult:
+        """Sample uniformly until ``target`` is met or the budget runs out."""
+        objective = TargetObjective(self.simulator, target, max_simulations,
+                                    reward=self.reward)
+        space = self.simulator.parameter_space
+        try:
+            # Include the centre point first: it is the RL agent's start
+            # state, so "how far is the centre from feasible" is free info.
+            objective(space.center)
+            while True:
+                objective(space.sample(self.rng))
+        except (GoalReached, BudgetExhausted):
+            return objective.result()
+
+
+def feasible_volume_fraction(simulator: "CircuitSimulator",
+                             target: dict[str, float], n_samples: int = 1000,
+                             reward: RewardSpec | None = None,
+                             seed: int = 0) -> float:
+    """Monte-Carlo estimate of the fraction of the grid meeting ``target``.
+
+    The reciprocal approximates the expected random-search cost; targets
+    with zero measured volume at ``n_samples`` are the "likely
+    unreachable" points of paper Fig. 8.
+    """
+    from repro.core.reward import compute_reward
+
+    rng = np.random.default_rng(seed)
+    reward = reward or RewardSpec()
+    hits = 0
+    for _ in range(n_samples):
+        specs = simulator.evaluate(simulator.parameter_space.sample(rng))
+        if compute_reward(specs, target, simulator.spec_space,
+                          reward).goal_reached:
+            hits += 1
+    return hits / n_samples

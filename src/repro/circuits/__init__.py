@@ -1,0 +1,47 @@
+"""Circuit representation: netlists, passive/active elements, MOSFET models,
+and technology cards.
+
+This package is the SPICE-netlist layer of the reproduction.  Everything is
+plain data plus small-signal/large-signal evaluation; the numerical solvers
+live in :mod:`repro.sim`.
+"""
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuits.mosfet import Mosfet, MosfetState
+from repro.circuits.netlist import GROUND, Netlist
+from repro.circuits.technology import (
+    Corner,
+    DeviceParams,
+    Technology,
+    finfet16,
+    ptm45,
+)
+
+__all__ = [
+    "Capacitor",
+    "Corner",
+    "CurrentSource",
+    "DeviceParams",
+    "Element",
+    "GROUND",
+    "Inductor",
+    "Mosfet",
+    "MosfetState",
+    "Netlist",
+    "Resistor",
+    "Technology",
+    "Vccs",
+    "Vcvs",
+    "VoltageSource",
+    "finfet16",
+    "ptm45",
+]

@@ -1,0 +1,317 @@
+"""Smooth square-law MOSFET model with analytic derivatives.
+
+This is the transistor model behind every analysis in the reproduction.  It
+is a C1-continuous ("smooth") square-law model — the same class of model
+SPICE's Level-1 implements — with three smoothing devices that make Newton
+iteration robust:
+
+* a **softplus overdrive** ``vov_eff = theta * ln(1 + exp((vgs-vth)/theta))``
+  that blends the off and on regions and yields an exponential
+  subthreshold characteristic with slope ~``theta`` per e-fold;
+* a **tanh drain saturation** ``vds_eff = vdsat * tanh(vds / vdsat)`` that
+  blends triode into saturation with the correct limits (slope
+  ``beta*vov`` at vds=0, current ``beta*vov^2/2`` in saturation);
+* a **softplus channel-length modulation** ``1 + lambda * sp(vds)`` that is
+  inactive for reverse bias.
+
+All partial derivatives are analytic and are property-tested against finite
+differences in ``tests/circuits/test_mosfet.py``.
+
+Polarity is handled with the sign trick: PMOS devices evaluate the same
+normalised model on negated terminal voltages, which makes the MNA Jacobian
+entries polarity-independent (see :meth:`Mosfet.eval_companion`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable
+
+from repro.circuits.elements import Element, NoiseSource
+from repro.circuits.technology import DeviceParams
+from repro.errors import NetlistError
+from repro.units import BOLTZMANN
+
+#: Smoothing width [V] of the channel-length-modulation softplus.
+_CLM_SMOOTH_V = 0.05
+
+#: Floor for vdsat to keep vds/vdsat finite when the device is deeply off.
+_VDSAT_FLOOR = 1e-9
+
+
+def _softplus(x: float, width: float) -> tuple[float, float]:
+    """Return ``(width * ln(1+exp(x/width)), d/dx)`` without overflow."""
+    u = x / width
+    if u > 40.0:
+        return x, 1.0
+    if u < -40.0:
+        return width * math.exp(u), math.exp(u)
+    e = math.exp(u)
+    return width * math.log1p(e), e / (1.0 + e)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelCurrent:
+    """Drain current of the normalised (NMOS-referenced) model and its
+    partial derivatives with respect to the source-referenced voltages."""
+
+    ids: float
+    d_vgs: float
+    d_vds: float
+    d_vsb: float
+    vov_eff: float
+    vds_eff: float
+    saturation: float  # 0 = deep triode, 1 = full saturation
+
+
+def channel_current(params: DeviceParams, w: float, l: float, m: float,
+                    vgs: float, vds: float, vsb: float) -> ChannelCurrent:
+    """Evaluate the normalised channel model.
+
+    Parameters are the source-referenced voltages of an NMOS-polarity
+    device; PMOS callers negate their terminal voltages first.  ``vds`` may
+    be negative: the MOSFET is drain/source symmetric, so reverse bias
+    evaluates the forward model with the terminals swapped (gate voltage
+    referenced to the electrical source, i.e. the lower terminal) and the
+    current negated.  The composite is C1-continuous at vds = 0.
+    """
+    if vds < 0.0:
+        swapped = _forward_channel_current(params, w, l, m,
+                                           vgs - vds, -vds, vsb + vds)
+        return ChannelCurrent(
+            ids=-swapped.ids,
+            d_vgs=-swapped.d_vgs,
+            d_vds=swapped.d_vgs + swapped.d_vds - swapped.d_vsb,
+            d_vsb=-swapped.d_vsb,
+            vov_eff=swapped.vov_eff,
+            vds_eff=-swapped.vds_eff,
+            saturation=swapped.saturation,
+        )
+    return _forward_channel_current(params, w, l, m, vgs, vds, vsb)
+
+
+def _forward_channel_current(params: DeviceParams, w: float, l: float, m: float,
+                             vgs: float, vds: float, vsb: float) -> ChannelCurrent:
+    """Forward-bias (vds >= 0) branch of the channel model."""
+    beta = params.kp * (w * m / l)
+    lam = params.lambda_l / l
+
+    vth = params.vth0 + params.body_k * vsb
+    vov = vgs - vth
+    vov_eff, sig_v = _softplus(vov, params.subthreshold_v)
+
+    vdsat = vov_eff if vov_eff > _VDSAT_FLOOR else _VDSAT_FLOOR
+    dvdsat_dvov = 1.0 if vov_eff > _VDSAT_FLOOR else 0.0
+
+    u = vds / vdsat
+    if u > 40.0:
+        t = 1.0
+        sech2 = 0.0
+    else:
+        t = math.tanh(u)
+        sech2 = 1.0 - t * t
+    vds_eff = vdsat * t
+    dvdseff_dvds = sech2
+    dvdseff_dvdsat = t - u * sech2
+
+    q = vov_eff - 0.5 * vds_eff
+    i0 = beta * q * vds_eff
+
+    sp, dsp = _softplus(vds, _CLM_SMOOTH_V)
+    clm = 1.0 + lam * sp
+    dclm_dvds = lam * dsp
+
+    # Chain rule: vov_eff depends on vgs (through vov) and vsb (through vth).
+    di0_dvov = beta * ((1.0 - 0.5 * dvdseff_dvdsat * dvdsat_dvov) * vds_eff
+                       + q * dvdseff_dvdsat * dvdsat_dvov)
+    di0_dvds = beta * sech2 * (vov_eff - vds_eff)
+
+    ids = i0 * clm
+    d_vgs = di0_dvov * sig_v * clm
+    d_vds = di0_dvds * clm + i0 * dclm_dvds
+    d_vsb = -di0_dvov * sig_v * params.body_k * clm
+
+    saturation = min(max(abs(t), 0.0), 1.0)
+    return ChannelCurrent(ids=ids, d_vgs=d_vgs, d_vds=d_vds, d_vsb=d_vsb,
+                          vov_eff=vov_eff, vds_eff=vds_eff,
+                          saturation=saturation)
+
+
+@dataclasses.dataclass(frozen=True)
+class MosfetState:
+    """Operating-point summary of one MOSFET.
+
+    Produced by the DC solver and consumed by AC/noise/transient analyses
+    and by the measurement layer (e.g. to check saturation margins).
+    """
+
+    ids: float  # drain current in the device's own polarity [A], >= 0 when forward
+    gm: float
+    gds: float
+    gmb: float
+    vgs: float  # polarity-normalised source-referenced voltages
+    vds: float
+    vsb: float
+    vov_eff: float
+    saturation: float
+    cgs: float
+    cgd: float
+    cdb: float
+    csb: float
+
+    @property
+    def region(self) -> str:
+        """Coarse region label: ``"off"``, ``"triode"`` or ``"saturation"``."""
+        if self.vov_eff < 1e-3:
+            return "off"
+        return "saturation" if self.saturation > 0.75 else "triode"
+
+
+class Mosfet(Element):
+    """Four-terminal MOSFET netlist element (d, g, s, b).
+
+    Parameters
+    ----------
+    name, d, g, s, b:
+        Instance name and terminal node names.
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    params:
+        Technology card (already corner/temperature adjusted).
+    w, l:
+        Channel width and length [m].
+    m:
+        Multiplier (number of parallel fingers/units).
+    """
+
+    is_nonlinear = True
+
+    def __init__(self, name: str, d: str, g: str, s: str, b: str, *,
+                 polarity: str, params: DeviceParams,
+                 w: float, l: float, m: float = 1.0):
+        super().__init__(name, (d, g, s, b))
+        if polarity not in ("nmos", "pmos"):
+            raise NetlistError(f"mosfet {name}: polarity must be nmos/pmos")
+        if w <= 0 or l <= 0 or m <= 0:
+            raise NetlistError(f"mosfet {name}: w, l, m must be positive")
+        self.polarity = polarity
+        self.params = params
+        self.w = float(w)
+        self.l = float(l)
+        self.m = float(m)
+        self._sign = 1.0 if polarity == "nmos" else -1.0
+        self._last_state: MosfetState | None = None
+
+    # -- terminal helpers --------------------------------------------------
+    @property
+    def d(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def g(self) -> str:
+        return self.nodes[1]
+
+    @property
+    def s(self) -> str:
+        return self.nodes[2]
+
+    @property
+    def b(self) -> str:
+        return self.nodes[3]
+
+    # -- large signal -------------------------------------------------------
+    def stamp(self, stamper) -> None:
+        """Linear stamp is empty: the MOSFET is fully handled by the Newton
+        companion model and the small-signal stamps."""
+
+    def terminal_voltages(self, v: Callable[[str], float]) -> tuple[float, float, float]:
+        """Return polarity-normalised (vgs, vds, vsb) given a node-voltage getter."""
+        s = self._sign
+        vgs = s * (v(self.g) - v(self.s))
+        vds = s * (v(self.d) - v(self.s))
+        vsb = s * (v(self.s) - v(self.b))
+        return vgs, vds, vsb
+
+    def eval_companion(self, v: Callable[[str], float]):
+        """Evaluate the Newton companion model at node voltages ``v``.
+
+        Returns ``(i_d, g_d, g_g, g_s, g_b)`` where ``i_d`` is the current
+        leaving the drain node into the device and ``g_x`` is
+        ``d i_d / d v_x``.  The source row is the negation; the caller
+        stamps both KCL rows.
+        """
+        vgs, vds, vsb = self.terminal_voltages(v)
+        cc = channel_current(self.params, self.w, self.l, self.m, vgs, vds, vsb)
+        i_d = self._sign * cc.ids
+        g_g = cc.d_vgs
+        g_d = cc.d_vds
+        g_s = -cc.d_vgs - cc.d_vds + cc.d_vsb
+        g_b = -cc.d_vsb
+        return i_d, g_d, g_g, g_s, g_b
+
+    # -- small signal -------------------------------------------------------
+    def capacitances(self, saturation: float) -> tuple[float, float, float, float]:
+        """Return (cgs, cgd, cdb, csb) [F] with a smooth triode/saturation blend.
+
+        In saturation the intrinsic gate capacitance sits mostly on the
+        source side (2/3 Cox W L); in triode it splits evenly.  Junction
+        capacitances scale with width.
+        """
+        p = self.params
+        area_c = p.cox * self.w * self.l * self.m
+        cov = p.c_overlap * self.w * self.m
+        cj = p.c_junction * self.w * self.m
+        s = saturation
+        cgs = area_c * (0.5 + s / 6.0) + cov
+        cgd = area_c * 0.5 * (1.0 - s) + cov
+        return cgs, cgd, cj, cj
+
+    def state_at(self, v: Callable[[str], float]) -> MosfetState:
+        """Compute the full small-signal state at node voltages ``v``."""
+        vgs, vds, vsb = self.terminal_voltages(v)
+        cc = channel_current(self.params, self.w, self.l, self.m, vgs, vds, vsb)
+        cgs, cgd, cdb, csb = self.capacitances(cc.saturation)
+        state = MosfetState(
+            ids=cc.ids, gm=max(cc.d_vgs, 0.0), gds=max(cc.d_vds, 0.0),
+            gmb=abs(cc.d_vsb), vgs=vgs, vds=vds, vsb=vsb,
+            vov_eff=cc.vov_eff, saturation=cc.saturation,
+            cgs=cgs, cgd=cgd, cdb=cdb, csb=csb,
+        )
+        self._last_state = state
+        return state
+
+    def stamp_small_signal(self, stamper, state: MosfetState) -> None:
+        """Stamp the linearised device (gm, gds, gmb and capacitances)."""
+        d, g = stamper.node(self.d), stamper.node(self.g)
+        s, b = stamper.node(self.s), stamper.node(self.b)
+        gm, gds, gmb = state.gm, state.gds, state.gmb
+        # Drain current i_d = gm*vgs + gds*vds + gmb*vbs (polarity handled by
+        # the sign trick: entries below are already polarity-independent).
+        stamper.add_g(d, g, gm)
+        stamper.add_g(d, s, -gm - gds - gmb)
+        stamper.add_g(d, d, gds)
+        stamper.add_g(d, b, gmb)
+        stamper.add_g(s, g, -gm)
+        stamper.add_g(s, s, gm + gds + gmb)
+        stamper.add_g(s, d, -gds)
+        stamper.add_g(s, b, -gmb)
+        for (i, j, c) in ((g, s, state.cgs), (g, d, state.cgd),
+                          (d, b, state.cdb), (s, b, state.csb)):
+            stamper.add_c(i, i, c)
+            stamper.add_c(j, j, c)
+            stamper.add_c(i, j, -c)
+            stamper.add_c(j, i, -c)
+
+    # -- noise ----------------------------------------------------------------
+    def noise_sources(self, op) -> list[NoiseSource]:
+        """Channel thermal noise plus 1/f noise, both drain-source current PSDs."""
+        state = op.mosfet_state(self.name)
+        p = self.params
+        thermal = 4.0 * BOLTZMANN * op.temperature * p.gamma_noise * state.gm
+        flicker_k = p.kf * state.gm ** 2 / (p.cox * self.w * self.l * self.m)
+
+        def psd(freq: float, _t: float = thermal, _f: float = flicker_k) -> float:
+            return _t + (_f / freq if freq > 0.0 else 0.0)
+
+        return [(self.d, self.s, psd)]

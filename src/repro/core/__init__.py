@@ -1,0 +1,72 @@
+"""AutoCkt core: the paper's contribution.
+
+* :mod:`repro.core.specs` — design-specification spaces, normalisation and
+  target sampling;
+* :mod:`repro.core.reward` — the paper's Eq. (1) dense reward;
+* :mod:`repro.core.env` — the discrete sizing environment (observation =
+  normalised [current specs, target specs, parameters], action =
+  increment/decrement/keep per parameter);
+* :mod:`repro.core.sampler` — the 50-target sparse subsampling of the spec
+  space used for training;
+* :mod:`repro.core.agent` — the AutoCkt facade: train a PPO agent, save /
+  load it, deploy it on unseen targets;
+* :mod:`repro.core.deploy` — deployment loops and generalisation counting;
+* :mod:`repro.core.transfer` — schematic-to-PEX transfer-learning
+  deployment (paper §III-D);
+* :mod:`repro.core.pareto` — achievable-front extraction (the
+  quantitative form of the paper's "these points are indeed unreachable"
+  argument).
+"""
+
+from repro.core.agent import AutoCkt, AutoCktConfig, fresh_random_policy
+from repro.core.deploy import (
+    DeploymentReport,
+    TargetOutcome,
+    deploy_agent,
+    run_trajectory,
+)
+from repro.core.env import SizingEnv, SizingEnvConfig
+from repro.core.evaluation import EvalCallback, EvalRecord
+from repro.core.pareto import ParetoFront, dominates, pareto_front, sample_front
+from repro.core.reward import (
+    RewardBreakdown,
+    RewardSpec,
+    compute_reward,
+    normalized_distance,
+)
+from repro.core.sampler import TargetSampler
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.core.transfer import (
+    TransferReport,
+    schematic_pex_differences,
+    transfer_deploy,
+)
+
+__all__ = [
+    "EvalCallback",
+    "EvalRecord",
+    "ParetoFront",
+    "dominates",
+    "pareto_front",
+    "sample_front",
+    "AutoCkt",
+    "AutoCktConfig",
+    "DeploymentReport",
+    "RewardBreakdown",
+    "RewardSpec",
+    "SizingEnv",
+    "SizingEnvConfig",
+    "Spec",
+    "SpecKind",
+    "SpecSpace",
+    "TargetOutcome",
+    "TargetSampler",
+    "TransferReport",
+    "compute_reward",
+    "deploy_agent",
+    "fresh_random_policy",
+    "normalized_distance",
+    "run_trajectory",
+    "schematic_pex_differences",
+    "transfer_deploy",
+]

@@ -1,0 +1,228 @@
+"""The AutoCkt facade: train once on sparse targets, deploy everywhere.
+
+Ties the pieces together exactly as the paper's Fig. 3 describes:
+
+1. sample the sparse training subsample O* (50 random targets);
+2. train a PPO agent whose episodes chase randomly-drawn members of O*,
+   stopping when the mean episode reward reaches 0;
+3. deploy the trained agent on unseen targets (possibly through a
+   different simulation environment — schematic -> PEX transfer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.deploy import DeploymentReport, deploy_agent
+from repro.core.env import SizingEnv, SizingEnvConfig
+from repro.core.sampler import DEFAULT_N_TARGETS, TargetSampler
+from repro.errors import TrainingError
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator, Topology
+
+    SimulatorFactory = Callable[[], CircuitSimulator]
+
+
+@dataclasses.dataclass
+class AutoCktConfig:
+    """Everything configurable about a training run."""
+
+    ppo: PPOConfig = dataclasses.field(default_factory=PPOConfig)
+    env: SizingEnvConfig = dataclasses.field(default_factory=SizingEnvConfig)
+    n_train_targets: int = DEFAULT_N_TARGETS
+    max_iterations: int = 200
+    stop_reward: float | None = 0.0
+    stop_patience: int = 1
+    seed: int = 0
+    #: Run each environment in its own worker process (the paper's Ray
+    #: axis); pays off only when single simulations are expensive (PEX).
+    parallel_envs: bool = False
+
+
+class AutoCkt:
+    """Train/deploy wrapper around one circuit topology.
+
+    Parameters
+    ----------
+    simulator_factory:
+        Zero-argument callable producing a fresh :class:`CircuitSimulator`
+        (each parallel environment owns one; simulators carry per-instance
+        warm-start state).  Use :meth:`for_topology` for the common case.
+    """
+
+    def __init__(self, simulator_factory: "Callable[[], CircuitSimulator]",
+                 config: AutoCktConfig | None = None):
+        self.config = config or AutoCktConfig()
+        self.simulator_factory = simulator_factory
+        probe = simulator_factory()
+        self.spec_space = probe.spec_space
+        self.parameter_space = probe.parameter_space
+        self._probe_simulator = probe
+        self.sampler = TargetSampler(self.spec_space,
+                                     n_targets=self.config.n_train_targets,
+                                     seed=self.config.seed)
+        self.policy: ActorCritic | None = None
+        self.history: TrainingHistory | None = None
+        self.trainer: PPOTrainer | None = None
+
+    @classmethod
+    def for_topology(cls, topology_factory: "Callable[[], Topology]",
+                     config: AutoCktConfig | None = None,
+                     cache: bool = True) -> "AutoCkt":
+        """Build an AutoCkt over schematic simulation of a topology."""
+        from repro.topologies.base import SchematicSimulator
+
+        return cls(lambda: SchematicSimulator(topology_factory(), cache=cache),
+                   config=config)
+
+    # -- training ------------------------------------------------------------
+    def make_env(self, seed: int) -> SizingEnv:
+        """One training environment over a fresh simulator instance."""
+        return SizingEnv(self.simulator_factory(),
+                         training_targets=self.sampler.targets,
+                         config=self.config.env, seed=seed)
+
+    def train(self, callback=None) -> TrainingHistory:
+        """Train PPO on the sparse target set; stores and returns history."""
+        cfg = self.config
+        env_fns = [
+            (lambda i=i: self.make_env(seed=cfg.seed * 1000 + i))
+            for i in range(cfg.ppo.n_envs)
+        ]
+        vec_env = None
+        if cfg.parallel_envs:
+            from repro.rl.parallel import ParallelVectorEnv
+
+            vec_env = ParallelVectorEnv(env_fns)
+        self.trainer = PPOTrainer(env_fns, config=cfg.ppo, vec_env=vec_env)
+        try:
+            self.history = self.trainer.train(
+                max_iterations=cfg.max_iterations,
+                stop_reward=cfg.stop_reward,
+                stop_patience=cfg.stop_patience,
+                callback=callback)
+        finally:
+            if vec_env is not None:
+                vec_env.close()
+        self.policy = self.trainer.policy
+        return self.history
+
+    @property
+    def training_env_steps(self) -> int:
+        return self.trainer.total_env_steps if self.trainer else 0
+
+    # -- deployment ------------------------------------------------------------
+    def deploy(self, targets: list[dict[str, float]] | int,
+               simulator: "CircuitSimulator | None" = None, *,
+               max_steps: int | None = None, deterministic: bool = False,
+               keep_trajectories: bool = False,
+               seed: int = 1234) -> DeploymentReport:
+        """Deploy the trained policy.
+
+        ``targets`` may be an explicit list or an integer count of fresh
+        random targets.  ``simulator`` defaults to a fresh schematic
+        simulator; pass a PEX simulator for the transfer experiment.
+        """
+        if self.policy is None:
+            raise TrainingError("deploy() before train() (or load a policy)")
+        if isinstance(targets, int):
+            targets = self.sampler.fresh_targets(targets, seed=seed)
+        simulator = simulator or self.simulator_factory()
+        return deploy_agent(self.policy, simulator, targets,
+                            max_steps=max_steps or self.config.env.max_steps,
+                            reward=self.config.env.reward,
+                            deterministic=deterministic,
+                            keep_trajectories=keep_trajectories, seed=seed)
+
+    # -- persistence ---------------------------------------------------------------
+    def save_policy(self, path: str) -> None:
+        """Save just the policy weights (see also :meth:`save_checkpoint`)."""
+        if self.policy is None:
+            raise TrainingError("no trained policy to save")
+        self.policy.save(path)
+
+    def load_policy(self, path: str) -> None:
+        """Load bare policy weights saved by :meth:`save_policy`."""
+        self.policy = ActorCritic.load(path)
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write a single-file checkpoint: policy weights, the full
+        training configuration, the sparse training-target set O*, and the
+        training history.  Everything needed to resume deployment — or to
+        audit how an agent was produced — travels in one ``.npz``."""
+        import json
+
+        from repro.config import autockt_to_dict
+
+        if self.policy is None:
+            raise TrainingError("no trained policy to checkpoint")
+        meta = {
+            "config": autockt_to_dict(self.config),
+            "targets": self.sampler.targets,
+            "history": self.history.to_dict() if self.history else None,
+        }
+        arrays = self.policy.to_arrays()
+        arrays["checkpoint_json"] = np.array(json.dumps(meta))
+        np.savez(path, **arrays)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore a checkpoint written by :meth:`save_checkpoint` into
+        this agent: policy, config, training targets and history.  The
+        simulator factory is *not* stored (simulators are live objects);
+        the agent keeps the one it was constructed with, which is exactly
+        the transfer-learning deployment pattern."""
+        import json
+
+        from repro.config import autockt_from_dict
+        from repro.core.sampler import TargetSampler
+        from repro.rl.ppo import TrainingHistory
+
+        data = np.load(path)
+        if "checkpoint_json" not in data:
+            raise TrainingError(
+                f"{path} is a bare policy file, not a checkpoint "
+                "(use load_policy)")
+        meta = json.loads(str(data["checkpoint_json"]))
+        self.policy = ActorCritic.from_arrays(data)
+        self.config = autockt_from_dict(meta["config"])
+        self.sampler = TargetSampler(
+            self.spec_space, n_targets=self.config.n_train_targets,
+            seed=self.config.seed, targets=meta["targets"])
+        self.history = (TrainingHistory.from_dict(meta["history"])
+                        if meta["history"] else None)
+
+    # -- introspection ----------------------------------------------------------
+    def action_space_cardinality(self) -> int:
+        """Size of the sizing grid (the paper quotes 1e14 for the op-amp)."""
+        return self.parameter_space.cardinality
+
+    def describe(self) -> str:
+        """Human-readable summary of spaces, targets and training state."""
+        lines = [
+            f"AutoCkt over {len(self.parameter_space)} parameters "
+            f"({self.action_space_cardinality():.3e} sizings), "
+            f"{len(self.spec_space)} specs",
+            f"training targets: {len(self.sampler)}",
+        ]
+        if self.history is not None:
+            lines.append(
+                f"trained: {len(self.history.iterations)} iterations, "
+                f"{self.training_env_steps} env steps, final mean reward "
+                f"{self.history.final_mean_reward:.3f}")
+        return "\n".join(lines)
+
+
+def fresh_random_policy(simulator: "CircuitSimulator", seed: int = 0,
+                        hidden: tuple[int, ...] = (50, 50, 50)) -> ActorCritic:
+    """An untrained policy over a simulator's spaces (the paper's "random
+    RL agent" baseline rows)."""
+    n = len(simulator.parameter_space)
+    m = len(simulator.spec_space)
+    return ActorCritic(obs_dim=2 * m + n, nvec=np.array([3] * n),
+                       hidden=hidden, seed=seed)

@@ -1,0 +1,114 @@
+"""Periodic deployment evaluation during training.
+
+The paper's stopping rule watches the *training* reward, which measures
+performance on the 50-target training subsample O*.  What a user actually
+cares about is generalisation to unseen targets — so this module provides
+an :class:`EvalCallback` that, every N training iterations, deploys the
+current policy on a held-out target set, records the success rate and
+sample efficiency, snapshots the best policy seen so far, and can stop
+training once the held-out success rate crosses a threshold.
+
+Plugs into ``PPOTrainer.train(callback=...)`` / ``AutoCkt.train(...)``
+unchanged (it composes with the reward-based stop: whichever fires first
+ends training).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.deploy import deploy_agent
+from repro.core.reward import RewardSpec
+from repro.errors import TrainingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.rl.policy import ActorCritic
+    from repro.topologies.base import CircuitSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalRecord:
+    """One held-out evaluation during training."""
+
+    iteration: int
+    env_steps: int
+    success_rate: float
+    mean_sims_to_success: float
+
+
+class EvalCallback:
+    """Held-out evaluation callback for the PPO training loop.
+
+    Parameters
+    ----------
+    simulator_factory:
+        Builds a fresh simulator for each evaluation (evaluations must not
+        disturb the training envs' warm-start state).
+    targets:
+        The held-out target specifications (never shown to training).
+    every:
+        Evaluate each time this many iterations complete.
+    stop_success:
+        End training once the held-out success rate reaches this value
+        (``None`` disables stopping; the callback then only records).
+    deterministic:
+        Deploy with argmax actions (default) for low-variance evaluations.
+    """
+
+    def __init__(self, simulator_factory: "Callable[[], CircuitSimulator]",
+                 targets: list[dict[str, float]], *, every: int = 10,
+                 max_steps: int = 30, reward: RewardSpec | None = None,
+                 stop_success: float | None = None,
+                 deterministic: bool = True, seed: int = 909):
+        if every < 1:
+            raise TrainingError("eval interval must be >= 1")
+        if not targets:
+            raise TrainingError("eval callback needs at least one target")
+        if stop_success is not None and not 0.0 < stop_success <= 1.0:
+            raise TrainingError("stop_success must be in (0, 1]")
+        self.simulator_factory = simulator_factory
+        self.targets = [dict(t) for t in targets]
+        self.every = int(every)
+        self.max_steps = int(max_steps)
+        self.reward = reward or RewardSpec()
+        self.stop_success = stop_success
+        self.deterministic = bool(deterministic)
+        self.seed = int(seed)
+        self.records: list[EvalRecord] = []
+        self.best_policy: "ActorCritic | None" = None
+        self.best_success: float = -1.0
+
+    def __call__(self, trainer, history) -> bool:
+        iteration = history.iterations[-1]
+        if iteration % self.every != 0:
+            return False
+        report = deploy_agent(trainer.policy, self.simulator_factory(),
+                              self.targets, max_steps=self.max_steps,
+                              reward=self.reward,
+                              deterministic=self.deterministic,
+                              seed=self.seed)
+        record = EvalRecord(
+            iteration=iteration,
+            env_steps=history.env_steps[-1],
+            success_rate=report.generalization,
+            mean_sims_to_success=report.mean_sims_to_success,
+        )
+        self.records.append(record)
+        if record.success_rate > self.best_success:
+            self.best_success = record.success_rate
+            self.best_policy = trainer.policy.clone()
+        return (self.stop_success is not None
+                and record.success_rate >= self.stop_success)
+
+    @property
+    def latest(self) -> EvalRecord:
+        if not self.records:
+            raise TrainingError("no evaluations recorded yet")
+        return self.records[-1]
+
+    def curve(self) -> tuple[list[int], list[float]]:
+        """(env_steps, success_rate) series — the held-out companion to
+        the paper's training-reward figures."""
+        return ([r.env_steps for r in self.records],
+                [r.success_rate for r in self.records])

@@ -1,0 +1,147 @@
+"""Pareto-front analysis of the design space.
+
+The paper reads its failure cases like a designer would: unreached
+targets "attempt to meet the gain and bandwidth requirement while
+minimizing for power" — i.e. they sit beyond the achievable gain /
+bandwidth / power *trade-off surface*.  This module computes that surface
+explicitly: given evaluated designs, extract the set not dominated on any
+spec axis, where the improvement direction of each axis comes from its
+:class:`~repro.core.specs.SpecKind` (LOWER_BOUND specs want more,
+UPPER_BOUND/MINIMIZE specs want less, RANGE specs are constraints with no
+direction and are ignored for dominance).
+
+Used by the coverage analyses to separate "agent failed" from "target is
+beyond the front" — the paper's Fig. 8 argument, made quantitative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.specs import SpecKind, SpecSpace
+from repro.errors import SpaceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+def _directed_axes(space: SpecSpace) -> list[tuple[str, float]]:
+    """(name, sign) per spec with a dominance direction; sign +1 means
+    larger-is-better."""
+    axes = []
+    for spec in space:
+        if spec.kind is SpecKind.LOWER_BOUND:
+            axes.append((spec.name, +1.0))
+        elif spec.kind in (SpecKind.UPPER_BOUND, SpecKind.MINIMIZE):
+            axes.append((spec.name, -1.0))
+        # RANGE: a window constraint, no improvement direction.
+    if not axes:
+        raise SpaceError("spec space has no directed axes for dominance")
+    return axes
+
+
+def dominates(a: dict[str, float], b: dict[str, float],
+              space: SpecSpace) -> bool:
+    """True when design ``a`` is at least as good as ``b`` on every
+    directed spec axis and strictly better on at least one."""
+    at_least_as_good = True
+    strictly_better = False
+    for name, sign in _directed_axes(space):
+        va, vb = sign * a[name], sign * b[name]
+        if va < vb:
+            at_least_as_good = False
+            break
+        if va > vb:
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+@dataclasses.dataclass
+class ParetoFront:
+    """The non-dominated subset of a set of evaluated designs."""
+
+    spec_space: SpecSpace
+    designs: list[dict[str, float]]          # non-dominated specs
+    indices: list[int]                       # positions in the input list
+
+    def __len__(self) -> int:
+        return len(self.designs)
+
+    def trade_off(self, x: str, y: str) -> tuple[np.ndarray, np.ndarray]:
+        """The front projected onto two axes, sorted by ``x`` — ready to
+        plot (e.g. gain vs. bias current)."""
+        xs = np.array([d[x] for d in self.designs])
+        ys = np.array([d[y] for d in self.designs])
+        order = np.argsort(xs)
+        return xs[order], ys[order]
+
+    def covers(self, target: dict[str, float]) -> bool:
+        """True when some front design meets ``target`` on every directed
+        axis — i.e. the target is on the achievable side of the front.
+
+        A target not covered by the front of a *dense* design sample is
+        evidence it is genuinely unreachable (the paper's hypothesis for
+        its Fig. 8 failures).
+        """
+        axes = _directed_axes(self.spec_space)
+        for design in self.designs:
+            if all(sign * design[name] >= sign * target[name]
+                   for name, sign in axes):
+                return True
+        return False
+
+
+def pareto_front(designs: Sequence[dict[str, float]],
+                 space: SpecSpace) -> ParetoFront:
+    """Extract the non-dominated subset of ``designs``.
+
+    O(n^2) pairwise sweep on the directed axes — fine for the
+    thousands-of-points samples the analyses use.
+    """
+    if not designs:
+        raise SpaceError("pareto_front needs at least one design")
+    axes = _directed_axes(space)
+    # Matrix of directed values: row per design, column per axis.
+    mat = np.array([[sign * d[name] for name, sign in axes]
+                    for d in designs], dtype=float)
+    n = len(designs)
+    dominated = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if dominated[i]:
+            continue
+        geq = np.all(mat >= mat[i], axis=1)
+        gt = np.any(mat > mat[i], axis=1)
+        dominators = geq & gt
+        dominators[i] = False
+        if dominators.any():
+            dominated[i] = True
+            continue
+        # i is on the front: everything i dominates can be marked now.
+        leq = np.all(mat <= mat[i], axis=1)
+        lt = np.any(mat < mat[i], axis=1)
+        victims = leq & lt
+        victims[i] = False
+        dominated |= victims
+    keep = [i for i in range(n) if not dominated[i]]
+    return ParetoFront(spec_space=space,
+                       designs=[dict(designs[i]) for i in keep],
+                       indices=keep)
+
+
+def sample_front(simulator: "CircuitSimulator", n_samples: int = 500,
+                 seed: int = 0) -> ParetoFront:
+    """Monte-Carlo approximation of a simulator's achievable front.
+
+    Evaluates ``n_samples`` uniform random sizings and extracts the
+    non-dominated subset.  The front sharpens as ``n_samples`` grows;
+    500-2000 points give a usable picture for the analyses here.
+    """
+    if n_samples < 1:
+        raise SpaceError("sample_front needs n_samples >= 1")
+    rng = np.random.default_rng(seed)
+    designs = [simulator.evaluate(simulator.parameter_space.sample(rng))
+               for _ in range(n_samples)]
+    return pareto_front(designs, simulator.spec_space)

@@ -1,0 +1,63 @@
+"""Sparse subsampling of the specification space (paper §II-A).
+
+The paper trains on 50 randomly-sampled target specifications::
+
+    O* = [o*_i in [o_min_i, o_max_i] for i in 0..M] x 50
+
+"The number of target specifications needed to train was optimized
+through a hyperparameter sweep" — the target-count ablation bench sweeps
+this number and reproduces that trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.specs import SpecSpace
+from repro.errors import SpaceError
+
+#: The paper's training-set size.
+DEFAULT_N_TARGETS = 50
+
+
+class TargetSampler:
+    """Draws and holds the fixed training subsample O*."""
+
+    def __init__(self, spec_space: SpecSpace, n_targets: int = DEFAULT_N_TARGETS,
+                 seed: int = 0,
+                 targets: list[dict[str, float]] | None = None):
+        """``targets`` overrides the random draw with an explicit training
+        set (checkpoint restore); its length wins over ``n_targets``."""
+        if targets is None and n_targets < 1:
+            raise SpaceError("need at least one training target")
+        self.spec_space = spec_space
+        self.seed = seed
+        if targets is not None:
+            if not targets:
+                raise SpaceError("explicit target list must be non-empty")
+            self.targets = [dict(t) for t in targets]
+        else:
+            rng = np.random.default_rng(seed)
+            self.targets = spec_space.sample_targets(n_targets, rng)
+        self.n_targets = len(self.targets)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def __getitem__(self, i: int) -> dict[str, float]:
+        return dict(self.targets[i])
+
+    def fresh_targets(self, n: int, seed: int) -> list[dict[str, float]]:
+        """Unseen random targets for deployment (paper: 500/1000 random
+        targets "it has never seen before, in the range specified during
+        training")."""
+        rng = np.random.default_rng(seed)
+        return self.spec_space.sample_targets(n, rng)
+
+    def as_array(self) -> np.ndarray:
+        """Targets as an (n, M) array in spec order (for analysis)."""
+        names = self.spec_space.names
+        return np.array([[t[name] for name in names] for t in self.targets])

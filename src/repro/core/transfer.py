@@ -1,0 +1,97 @@
+"""Transfer learning from schematic to post-layout simulation (paper §III-D).
+
+"An RL agent trained by running inexpensive schematic simulations is able
+to transfer its knowledge to a different environment … which then runs PEX
+simulations … Note that no training is done once the environment has
+changed" (paper Fig. 13).  Concretely: deploy the schematic-trained policy
+with the environment's simulator swapped for a PEX-extracting one, and
+verify every converged design with LVS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.deploy import DeploymentReport, deploy_agent
+from repro.core.reward import RewardSpec
+from repro.rl.policy import ActorCritic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topologies.base import CircuitSimulator
+
+
+@dataclasses.dataclass
+class TransferReport:
+    """Deployment report plus layout-verification results."""
+
+    deployment: DeploymentReport
+    lvs_results: list[bool]
+
+    @property
+    def n_lvs_passed(self) -> int:
+        return sum(self.lvs_results)
+
+    @property
+    def generalization(self) -> float:
+        return self.deployment.generalization
+
+    @property
+    def mean_sims_to_success(self) -> float:
+        return self.deployment.mean_sims_to_success
+
+    def summary(self) -> dict[str, float]:
+        """The headline transfer metrics as a JSON-friendly dict."""
+        out = self.deployment.summary()
+        out["n_lvs_passed"] = self.n_lvs_passed
+        return out
+
+
+def transfer_deploy(policy: ActorCritic, pex_simulator: "CircuitSimulator",
+                    targets: list[dict[str, float]], *, max_steps: int = 60,
+                    reward: RewardSpec | None = None,
+                    deterministic: bool = False,
+                    seed: int = 0) -> TransferReport:
+    """Deploy a schematic-trained policy through a PEX simulator.
+
+    The PEX simulator is expected to expose ``lvs_check(indices) -> bool``
+    (as :class:`repro.pex.extraction.PexSimulator` does); simulators
+    without it count every reached design as unverified (False).
+
+    ``max_steps`` defaults higher than schematic deployment because the
+    transferred agent "takes longer to converge … due to the addition of
+    layout parasitics" (paper Table IV: 23 vs 10 steps).
+    """
+    deployment = deploy_agent(policy, pex_simulator, targets,
+                              max_steps=max_steps, reward=reward,
+                              deterministic=deterministic,
+                              keep_trajectories=True, seed=seed)
+    lvs_results = []
+    check = getattr(pex_simulator, "lvs_check", None)
+    for outcome in deployment.outcomes:
+        if outcome.success and check is not None:
+            lvs_results.append(bool(check(outcome.final_indices)))
+        else:
+            lvs_results.append(False)
+    return TransferReport(deployment=deployment, lvs_results=lvs_results)
+
+
+def schematic_pex_differences(schematic: "CircuitSimulator",
+                              pex: "CircuitSimulator",
+                              index_vectors: list[np.ndarray]) -> dict[str, np.ndarray]:
+    """Per-spec percentage differences between schematic and PEX simulation
+    over a set of designs — the data behind the paper's Fig. 14 histogram
+    ("average percent difference across each design specification between
+    PEX and schematic simulation" over 50 design points)."""
+    names = schematic.spec_space.names
+    diffs: dict[str, list[float]] = {name: [] for name in names}
+    for indices in index_vectors:
+        s_specs = schematic.evaluate(indices)
+        p_specs = pex.evaluate(indices)
+        for name in names:
+            s, p = s_specs[name], p_specs[name]
+            denom = abs(s) if s != 0 else 1.0
+            diffs[name].append(100.0 * (p - s) / denom)
+    return {name: np.asarray(vals) for name, vals in diffs.items()}

@@ -1,0 +1,41 @@
+"""Spec extraction from simulation results.
+
+These are the "``.measure`` statements" of the reproduction: pure functions
+that turn AC/transient/noise waveforms into the scalar design
+specifications the paper's agent optimises (gain, unity-gain bandwidth,
+phase margin, f3dB, settling time, integrated noise).
+"""
+
+from repro.measure.acspecs import (
+    crossing_frequency,
+    dc_gain,
+    f3db,
+    gain_margin_db,
+    phase_at,
+    phase_margin,
+    unity_gain_bandwidth,
+)
+from repro.measure.largesignal import (
+    delay_time,
+    peak_to_peak,
+    settled_fraction,
+    slew_rate,
+)
+from repro.measure.transpecs import overshoot, rise_time, settling_time
+
+__all__ = [
+    "crossing_frequency",
+    "dc_gain",
+    "delay_time",
+    "f3db",
+    "gain_margin_db",
+    "overshoot",
+    "phase_at",
+    "peak_to_peak",
+    "phase_margin",
+    "rise_time",
+    "settled_fraction",
+    "settling_time",
+    "slew_rate",
+    "unity_gain_bandwidth",
+]

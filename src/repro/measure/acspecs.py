@@ -1,0 +1,120 @@
+"""AC-domain spec extraction: gain, bandwidth, phase margin.
+
+All functions take a frequency grid and the complex transfer function
+sampled on it.  Crossings are interpolated in log-frequency / log-magnitude
+space, which is accurate on the logarithmic sweeps the analyses produce.
+
+Fallback conventions (needed because an RL agent will visit broken designs
+and the environment must keep stepping):
+
+* no unity crossing because the DC gain is already below 1 →
+  ``unity_gain_bandwidth`` returns ``fallback`` (default 1.0 Hz) and
+  ``phase_margin`` returns 0 degrees;
+* magnitude still above the threshold at the top of the sweep → the top
+  frequency is returned (the sweep should be chosen wide enough that this
+  is a saturation, not a common case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def _as_mag(freqs: np.ndarray, h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    freqs = np.asarray(freqs, dtype=float)
+    h = np.asarray(h)
+    if freqs.shape != h.shape or freqs.ndim != 1:
+        raise MeasurementError("frequency and transfer arrays must be 1-D and equal length")
+    if len(freqs) < 2:
+        raise MeasurementError("need at least two frequency points")
+    return freqs, np.abs(h)
+
+
+def dc_gain(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Magnitude of the transfer function at the lowest swept frequency."""
+    _, mag = _as_mag(freqs, h)
+    return float(mag[0])
+
+
+def crossing_frequency(freqs: np.ndarray, h: np.ndarray, level: float,
+                       fallback: float = 1.0) -> float:
+    """First frequency where |H| falls below ``level``, log-log interpolated.
+
+    Returns ``fallback`` when |H| starts below ``level`` and the top sweep
+    frequency when |H| never drops below ``level``.
+    """
+    freqs, mag = _as_mag(freqs, h)
+    if level <= 0.0:
+        raise MeasurementError("crossing level must be positive")
+    if mag[0] < level:
+        return float(fallback)
+    below = np.nonzero(mag < level)[0]
+    if len(below) == 0:
+        return float(freqs[-1])
+    i = int(below[0])
+    m0, m1 = mag[i - 1], mag[i]
+    f0, f1 = freqs[i - 1], freqs[i]
+    if m0 <= 0.0 or m1 <= 0.0 or m0 == m1:
+        return float(f1)
+    # log-magnitude is close to linear in log-frequency near a crossing
+    t = (np.log10(m0) - np.log10(level)) / (np.log10(m0) - np.log10(m1))
+    return float(10.0 ** (np.log10(f0) + t * (np.log10(f1) - np.log10(f0))))
+
+
+def unity_gain_bandwidth(freqs: np.ndarray, h: np.ndarray,
+                         fallback: float = 1.0) -> float:
+    """Frequency where |H| crosses unity (the paper's UGBW spec)."""
+    return crossing_frequency(freqs, h, 1.0, fallback=fallback)
+
+
+def f3db(freqs: np.ndarray, h: np.ndarray, fallback: float = 1.0) -> float:
+    """-3 dB bandwidth relative to the DC gain."""
+    freqs_arr, mag = _as_mag(freqs, h)
+    return crossing_frequency(freqs_arr, mag, mag[0] / np.sqrt(2.0),
+                              fallback=fallback)
+
+
+def phase_at(freqs: np.ndarray, h: np.ndarray, frequency: float) -> float:
+    """Unwrapped phase [degrees] of H at ``frequency`` (log-f interpolation)."""
+    freqs, _ = _as_mag(freqs, h)
+    phase = np.degrees(np.unwrap(np.angle(np.asarray(h))))
+    return float(np.interp(np.log10(max(frequency, freqs[0])),
+                           np.log10(freqs), phase))
+
+
+def phase_margin(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Phase margin [degrees]: ``180 + phase(H)`` at the unity-gain frequency.
+
+    The transfer function convention is non-inverting (phase ~ 0 at DC); an
+    amplifier whose phase has fallen to -120 degrees at unity gain has a
+    60 degree margin.  Returns 0.0 when there is no unity crossing.
+    """
+    freqs_arr, mag = _as_mag(freqs, h)
+    if mag[0] < 1.0:
+        return 0.0
+    fu = unity_gain_bandwidth(freqs_arr, h)
+    return 180.0 + phase_at(freqs_arr, h, fu)
+
+
+def gain_margin_db(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Gain margin [dB]: -20 log10 |H| at the -180 degree phase crossing.
+
+    Returns +inf when the phase never reaches -180 degrees in the sweep.
+    """
+    freqs_arr, mag = _as_mag(freqs, h)
+    phase = np.degrees(np.unwrap(np.angle(np.asarray(h))))
+    below = np.nonzero(phase <= -180.0)[0]
+    if len(below) == 0:
+        return float("inf")
+    i = int(below[0])
+    if i == 0:
+        mag_180 = mag[0]
+    else:
+        t = (phase[i - 1] - (-180.0)) / (phase[i - 1] - phase[i])
+        log_mag = np.log10(mag[i - 1]) + t * (np.log10(mag[i]) - np.log10(mag[i - 1]))
+        mag_180 = 10.0 ** log_mag
+    if mag_180 <= 0.0:
+        return float("inf")
+    return float(-20.0 * np.log10(mag_180))

@@ -1,0 +1,100 @@
+"""Large-signal waveform specs: slew rate, delay, swing.
+
+Complements :mod:`repro.measure.transpecs` (settling/overshoot/rise time)
+with the remaining datasheet numbers a designer reads off a transient
+waveform.  All functions are pure array-in/number-out so they test against
+closed forms and work on any simulator's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def _validate(time: np.ndarray, wave: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    time = np.asarray(time, dtype=float)
+    wave = np.asarray(wave, dtype=float)
+    if time.shape != wave.shape or time.ndim != 1 or len(time) < 3:
+        raise MeasurementError(
+            "waveform measurement needs matching 1-D arrays (>=3 points)")
+    if np.any(np.diff(time) <= 0.0):
+        raise MeasurementError("time axis must be strictly increasing")
+    return time, wave
+
+
+def slew_rate(time: np.ndarray, wave: np.ndarray, *,
+              low: float = 0.1, high: float = 0.9) -> float:
+    """Maximum |dV/dt| [V/s] inside the ``low``..``high`` transition band.
+
+    The band (10-90 % of the step by default) excludes the flat pre-edge
+    and the settling tail, matching how a bench scope's slew measurement
+    gates the derivative.
+    """
+    time, wave = _validate(time, wave)
+    if not 0.0 <= low < high <= 1.0:
+        raise MeasurementError(f"bad band [{low}, {high}]")
+    initial, final = float(wave[0]), float(wave[-1])
+    amplitude = final - initial
+    if amplitude == 0.0:
+        raise MeasurementError("zero step amplitude: slew rate undefined")
+    progress = (wave - initial) / amplitude
+    in_band = (progress >= low) & (progress <= high)
+    slopes = np.diff(wave) / np.diff(time)
+    # A slope sample belongs to the band when either endpoint does.
+    band_slopes = slopes[in_band[:-1] | in_band[1:]]
+    if band_slopes.size == 0:
+        band_slopes = slopes
+    return float(np.max(np.abs(band_slopes)))
+
+
+def delay_time(time: np.ndarray, wave: np.ndarray, *,
+               threshold: float = 0.5) -> float:
+    """Time of the first ``threshold`` crossing (50 % by default),
+    measured from the start of the record, linearly interpolated.
+
+    Returns the final time point when the waveform never crosses — the
+    same pessimistic-number convention as settling time.
+    """
+    time, wave = _validate(time, wave)
+    if not 0.0 < threshold < 1.0:
+        raise MeasurementError(f"threshold must be in (0, 1), got {threshold}")
+    initial, final = float(wave[0]), float(wave[-1])
+    amplitude = final - initial
+    if amplitude == 0.0:
+        raise MeasurementError("zero step amplitude: delay undefined")
+    progress = (wave - initial) / amplitude
+    above = np.nonzero(progress >= threshold)[0]
+    if len(above) == 0:
+        return float(time[-1])
+    i = int(above[0])
+    if i == 0:
+        return float(time[0])
+    p0, p1 = progress[i - 1], progress[i]
+    frac = (threshold - p0) / (p1 - p0) if p1 != p0 else 1.0
+    return float(time[i - 1] + frac * (time[i] - time[i - 1]))
+
+
+def peak_to_peak(time: np.ndarray, wave: np.ndarray) -> float:
+    """Waveform swing max - min [V] (the output-swing measurement on a
+    full-scale drive)."""
+    _, wave = _validate(time, wave)
+    return float(np.max(wave) - np.min(wave))
+
+
+def settled_fraction(time: np.ndarray, wave: np.ndarray,
+                     tolerance: float = 0.01) -> float:
+    """Fraction of the record spent inside the final-value tolerance band.
+
+    1.0 means the waveform is settled from the first sample; values near 0
+    flag records whose duration is too short for the measured circuit —
+    used as a self-check by the measurement layer.
+    """
+    time, wave = _validate(time, wave)
+    final = float(wave[-1])
+    amplitude = abs(final - float(wave[0]))
+    if amplitude == 0.0:
+        return 1.0
+    inside = np.abs(wave - final) <= tolerance * amplitude
+    return float(np.mean(inside))

@@ -1,0 +1,101 @@
+"""Time-domain spec extraction: settling time, overshoot, rise time."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def _validate(time: np.ndarray, wave: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    time = np.asarray(time, dtype=float)
+    wave = np.asarray(wave, dtype=float)
+    if time.shape != wave.shape or time.ndim != 1 or len(time) < 3:
+        raise MeasurementError("settling measurement needs matching 1-D arrays (>=3 points)")
+    return time, wave
+
+
+def settling_time(time: np.ndarray, wave: np.ndarray, final: float | None = None,
+                  tolerance: float = 0.01, initial: float | None = None) -> float:
+    """Time after which the waveform stays within ``tolerance`` of its final
+    value, relative to the step amplitude ``|final - initial|``.
+
+    ``final`` defaults to the last sample; ``initial`` to the first.
+    Returns the last time point when the waveform never settles (so callers
+    get a finite, pessimistic value instead of an exception — an RL
+    environment needs a number for every design it visits).
+    """
+    time, wave = _validate(time, wave)
+    if final is None:
+        final = float(wave[-1])
+    if initial is None:
+        initial = float(wave[0])
+    amplitude = abs(final - initial)
+    if amplitude <= 0.0:
+        raise MeasurementError("zero step amplitude: settling time undefined")
+    band = tolerance * amplitude
+    outside = np.abs(wave - final) > band
+    if not outside.any():
+        return float(time[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside >= len(time) - 1:
+        return float(time[-1])
+    # Interpolate the band crossing between the last outside sample and the next.
+    t0, t1 = time[last_outside], time[last_outside + 1]
+    e0 = abs(wave[last_outside] - final)
+    e1 = abs(wave[last_outside + 1] - final)
+    if e0 == e1:
+        return float(t1)
+    frac = (e0 - band) / (e0 - e1)
+    return float(t0 + np.clip(frac, 0.0, 1.0) * (t1 - t0))
+
+
+def overshoot(time: np.ndarray, wave: np.ndarray, final: float | None = None,
+              initial: float | None = None) -> float:
+    """Fractional overshoot past the final value, relative to step amplitude."""
+    time, wave = _validate(time, wave)
+    if final is None:
+        final = float(wave[-1])
+    if initial is None:
+        initial = float(wave[0])
+    amplitude = final - initial
+    if amplitude == 0.0:
+        raise MeasurementError("zero step amplitude: overshoot undefined")
+    if amplitude > 0:
+        peak = float(np.max(wave))
+        return max(0.0, (peak - final) / amplitude)
+    peak = float(np.min(wave))
+    return max(0.0, (final - peak) / (-amplitude))
+
+
+def rise_time(time: np.ndarray, wave: np.ndarray, final: float | None = None,
+              initial: float | None = None, low: float = 0.1,
+              high: float = 0.9) -> float:
+    """10–90 % (by default) rise time of a step response."""
+    time, wave = _validate(time, wave)
+    if final is None:
+        final = float(wave[-1])
+    if initial is None:
+        initial = float(wave[0])
+    amplitude = final - initial
+    if amplitude == 0.0:
+        raise MeasurementError("zero step amplitude: rise time undefined")
+    progress = (wave - initial) / amplitude
+    t_low = _first_crossing(time, progress, low)
+    t_high = _first_crossing(time, progress, high)
+    if t_low is None or t_high is None or t_high < t_low:
+        return float(time[-1])
+    return float(t_high - t_low)
+
+
+def _first_crossing(time: np.ndarray, progress: np.ndarray,
+                    level: float) -> float | None:
+    above = np.nonzero(progress >= level)[0]
+    if len(above) == 0:
+        return None
+    i = int(above[0])
+    if i == 0:
+        return float(time[0])
+    p0, p1 = progress[i - 1], progress[i]
+    frac = (level - p0) / (p1 - p0) if p1 != p0 else 1.0
+    return float(time[i - 1] + frac * (time[i] - time[i - 1]))

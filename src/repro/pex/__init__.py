@@ -1,0 +1,55 @@
+"""Layout, parasitic extraction, LVS and PVT corners.
+
+This package stands in for the Berkeley Analog Generator (BAG) flow of
+paper §III-D: from a sized schematic it generates a deterministic
+pseudo-layout (device geometry and wiring-length estimates), extracts the
+parasitic resistances and capacitances that layout adds, verifies the
+extracted netlist against the schematic with a graph-isomorphism LVS
+check, and simulates across process/voltage/temperature corners taking
+the worst-case value of every spec — "we also consider different PVT
+variations, taking the worst performing metric as the specification".
+
+The essential property for the transfer-learning experiment is that PEX
+results are a *systematic, design-dependent* perturbation of schematic
+results (paper Fig. 14 bottom-right histogram), not random noise; wiring
+parasitics here grow with device area and fanout exactly as a real floor
+plan's would.
+
+Beyond the paper's flow, :mod:`repro.pex.montecarlo` adds local-mismatch
+Monte Carlo (Pelgrom law) with binomial yield estimation — the robustness
+axis the paper leaves to future work.
+"""
+
+from repro.pex.corners import CornerSpec, signoff_corners, typical_only
+from repro.pex.extraction import ExtractionRules, ParasiticExtractor, PexSimulator
+from repro.pex.layout import DeviceFootprint, PseudoLayout, generate_layout
+from repro.pex.lvs import lvs_compare, netlist_graph, reduce_extracted
+from repro.pex.montecarlo import (
+    MismatchModel,
+    MonteCarloAnalysis,
+    MonteCarloResult,
+    YieldEstimate,
+    apply_mismatch,
+    estimate_yield,
+)
+
+__all__ = [
+    "CornerSpec",
+    "DeviceFootprint",
+    "ExtractionRules",
+    "MismatchModel",
+    "MonteCarloAnalysis",
+    "MonteCarloResult",
+    "ParasiticExtractor",
+    "PexSimulator",
+    "PseudoLayout",
+    "YieldEstimate",
+    "apply_mismatch",
+    "estimate_yield",
+    "generate_layout",
+    "lvs_compare",
+    "netlist_graph",
+    "reduce_extracted",
+    "signoff_corners",
+    "typical_only",
+]

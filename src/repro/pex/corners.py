@@ -1,0 +1,61 @@
+"""PVT corners for post-layout signoff.
+
+The paper "consider[s] different PVT variations, taking the worst
+performing metric as the specification".  A :class:`CornerSpec` bundles a
+process corner, a supply-voltage scale and a temperature;
+:func:`signoff_corners` returns the standard worst-case trio used by the
+PEX flow (typical, slow/hot/low-V, fast/cold/high-V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.circuits.technology import Corner
+from repro.topologies.base import Topology
+from repro.units import ROOM_TEMPERATURE
+
+
+@dataclasses.dataclass(frozen=True)
+class CornerSpec:
+    """One PVT point."""
+
+    process: Corner
+    vdd_scale: float
+    temperature: float
+    name: str
+
+    def apply(self, topology_factory: Callable[[], Topology]) -> Topology:
+        """Instantiate the topology at this corner.
+
+        The topology is built with the corner's process/temperature and its
+        technology's supply voltage scaled by ``vdd_scale``.
+        """
+        topology = topology_factory()
+        scaled_tech = dataclasses.replace(
+            topology.technology, vdd=topology.technology.vdd * self.vdd_scale)
+        rebuilt = type(topology)(technology=scaled_tech, corner=self.process,
+                                 temperature=self.temperature)
+        return rebuilt
+
+
+def signoff_corners() -> list[CornerSpec]:
+    """Typical + the two classic worst-case corners.
+
+    * TT, nominal VDD, 27 C — the reference point;
+    * SS, -10 % VDD, 125 C — slow devices, low headroom, hot (worst gain
+      and bandwidth);
+    * FF, +10 % VDD, -40 C — fast devices, high supply, cold (worst power
+      and stability).
+    """
+    return [
+        CornerSpec(Corner.TT, 1.0, ROOM_TEMPERATURE, "tt_nom_27c"),
+        CornerSpec(Corner.SS, 0.9, 398.15, "ss_low_125c"),
+        CornerSpec(Corner.FF, 1.1, 233.15, "ff_high_m40c"),
+    ]
+
+
+def typical_only() -> list[CornerSpec]:
+    """Just the TT corner (for fast PEX-without-PVT experiments)."""
+    return [CornerSpec(Corner.TT, 1.0, ROOM_TEMPERATURE, "tt_nom_27c")]

@@ -1,0 +1,201 @@
+"""Parasitic extraction and the PEX+PVT simulator wrapper.
+
+:class:`ParasiticExtractor` annotates a sized netlist with the parasitics
+its pseudo-layout implies:
+
+* **wiring capacitance** — per-net ground capacitance proportional to the
+  net's half-perimeter wirelength, plus a per-terminal via/contact cap;
+* **access resistance** — series resistance into every MOSFET drain and
+  source (contact + LDD), inversely proportional to device width, realised
+  by splitting the terminal node.
+
+:class:`PexSimulator` is the BAG stand-in the transfer experiment deploys
+through: it builds the schematic, extracts it, solves it across PVT
+corners, takes the worst-case value of every spec, and offers an
+:meth:`PexSimulator.lvs_check` that verifies the extracted netlist's
+device-level connectivity against the schematic (paper: "AutoCkt is able
+to obtain 40 LVS passed designs").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.elements import Capacitor, Resistor
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import GROUND, Netlist
+from repro.core.specs import SpecKind
+from repro.errors import ConvergenceError, MeasurementError
+from repro.pex.corners import CornerSpec, signoff_corners
+from repro.pex.layout import PseudoLayout, generate_layout
+from repro.pex.lvs import lvs_compare
+from repro.sim.cache import SimulationCache, SimulationCounter
+from repro.sim.dc import solve_dc
+from repro.sim.system import MnaSystem
+from repro.topologies.base import CircuitSimulator, Topology
+from repro.units import MICRO
+
+#: Prefix of every element the extractor adds (LVS strips these).
+PEX_PREFIX = "PEX_"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtractionRules:
+    """Technology-style extraction coefficients."""
+
+    #: Wiring capacitance per metre of estimated wirelength [F/m].
+    #: 1 fF/um — HPWL underestimates true routed length, so the coefficient
+    #: folds in a routing-overhead factor, as fast extractors do.
+    c_wire_per_m: float = 1.0e-9
+    #: Extra capacitance per device terminal on a net [F] (via + contact).
+    c_terminal: float = 0.5e-15
+    #: Access resistance coefficient [ohm * m]: R = rho / (W * m);
+    #: 40 ohm for a 1 um wide device (contact + LDD).
+    r_access_ohm_m: float = 40.0 * MICRO
+    #: Floor for access resistance [ohm].
+    r_access_min: float = 0.5
+
+
+class ParasiticExtractor:
+    """Annotates netlists with layout parasitics."""
+
+    def __init__(self, rules: ExtractionRules | None = None):
+        self.rules = rules or ExtractionRules()
+
+    def extract(self, netlist: Netlist,
+                layout: PseudoLayout | None = None) -> Netlist:
+        """Return a new netlist: the input plus parasitic elements.
+
+        Node names of the schematic are preserved (measurements still find
+        their probe nodes); MOSFET drain/source terminals are moved onto
+        new internal nodes behind access resistors.
+        """
+        layout = layout or generate_layout(netlist)
+        rules = self.rules
+        extracted = Netlist(f"{netlist.title}_pex")
+
+        for element in netlist:
+            if isinstance(element, Mosfet):
+                d_int = f"{PEX_PREFIX}{element.name}_d"
+                s_int = f"{PEX_PREFIX}{element.name}_s"
+                r_acc = max(rules.r_access_ohm_m / (element.w * element.m),
+                            rules.r_access_min)
+                extracted.add(Resistor(f"{PEX_PREFIX}R_{element.name}_d",
+                                       element.d, d_int, r_acc))
+                extracted.add(Resistor(f"{PEX_PREFIX}R_{element.name}_s",
+                                       element.s, s_int, r_acc))
+                extracted.add(Mosfet(element.name, d_int, element.g, s_int,
+                                     element.b, polarity=element.polarity,
+                                     params=element.params, w=element.w,
+                                     l=element.l, m=element.m))
+            else:
+                extracted.add(element)
+
+        for net, hpwl in layout.net_hpwl.items():
+            if net == GROUND:
+                continue
+            c_net = (rules.c_wire_per_m * hpwl
+                     + rules.c_terminal * layout.net_terminals.get(net, 0))
+            if c_net > 0.0:
+                extracted.add(Capacitor(f"{PEX_PREFIX}C_{net}", net, GROUND,
+                                        c_net))
+        return extracted
+
+
+class PexSimulator(CircuitSimulator):
+    """Post-layout, PVT-corner-swept simulator for one topology.
+
+    Parameters
+    ----------
+    topology_factory:
+        Zero-argument callable building the topology; one instance is
+        created per PVT corner (each carries the corner's device cards).
+    corners:
+        PVT corners to sweep; every spec reports its worst-case value
+        across them (paper §III-D).
+    """
+
+    def __init__(self, topology_factory, corners: list[CornerSpec] | None = None,
+                 rules: ExtractionRules | None = None, cache: bool = True):
+        self.corners = corners if corners is not None else signoff_corners()
+        if not self.corners:
+            raise MeasurementError("PexSimulator needs at least one corner")
+        self.extractor = ParasiticExtractor(rules)
+        self._topologies: list[Topology] = [
+            corner.apply(topology_factory) for corner in self.corners]
+        reference = self._topologies[0]
+        self.parameter_space = reference.parameter_space
+        self.spec_space = reference.spec_space
+        self.counter = SimulationCounter()
+        self._cache = SimulationCache(50_000) if cache else None
+        self._warm: dict[int, np.ndarray] = {}
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, indices: np.ndarray) -> dict[str, float]:
+        indices = self.parameter_space.clip(indices)
+        key = self.parameter_space.as_key(indices)
+        if self._cache is not None:
+            if key in self._cache:
+                self.counter.cached += 1
+            else:
+                self.counter.fresh += 1
+            return dict(self._cache.get_or_compute(
+                key, lambda: self._evaluate_fresh(indices)))
+        self.counter.fresh += 1
+        return self._evaluate_fresh(indices)
+
+    def _evaluate_fresh(self, indices: np.ndarray) -> dict[str, float]:
+        values = self.parameter_space.values(indices)
+        worst: dict[str, float] = {}
+        for c_idx, topology in enumerate(self._topologies):
+            specs = self._simulate_corner(c_idx, topology, values)
+            for spec in self.spec_space:
+                v = specs[spec.name]
+                if spec.name not in worst:
+                    worst[spec.name] = v
+                elif spec.kind is SpecKind.LOWER_BOUND:
+                    worst[spec.name] = min(worst[spec.name], v)
+                elif spec.kind is SpecKind.RANGE:
+                    worst[spec.name] = min(worst[spec.name], v)
+                else:  # UPPER_BOUND / MINIMIZE: bigger is worse
+                    worst[spec.name] = max(worst[spec.name], v)
+        return worst
+
+    def _simulate_corner(self, c_idx: int, topology: Topology,
+                         values: dict[str, float]) -> dict[str, float]:
+        netlist = self.extractor.extract(topology.build(values))
+        system = MnaSystem(netlist, temperature=topology.temperature)
+        op = None
+        warm = self._warm.get(c_idx)
+        if warm is not None and warm.shape == (system.size,):
+            try:
+                op = solve_dc(system, x0=warm)
+            except ConvergenceError:
+                op = None
+        if op is None:
+            try:
+                op = solve_dc(system)
+            except ConvergenceError:
+                self._warm.pop(c_idx, None)
+                return topology.failure_measurement()
+        self._warm[c_idx] = op.x.copy()
+        try:
+            return topology.measure(system, op)
+        except MeasurementError:
+            return topology.failure_measurement()
+
+    # -- verification -------------------------------------------------------------
+    def lvs_check(self, indices: np.ndarray) -> bool:
+        """Layout-versus-schematic check of the extracted design."""
+        values = self.parameter_space.values(self.parameter_space.clip(indices))
+        topology = self._topologies[0]
+        schematic = topology.build(values)
+        extracted = self.extractor.extract(schematic)
+        return lvs_compare(schematic, extracted, parasitic_prefix=PEX_PREFIX)
+
+    def layout_for(self, indices: np.ndarray) -> PseudoLayout:
+        """The pseudo-layout of a sizing (for reporting/examples)."""
+        values = self.parameter_space.values(self.parameter_space.clip(indices))
+        return generate_layout(self._topologies[0].build(values))

@@ -1,0 +1,148 @@
+"""Deterministic pseudo-layout generation.
+
+Stands in for BAG's procedural layout generators: every physical device in
+a sized netlist gets a footprint computed from its geometry (folded
+multi-finger MOSFETs, poly resistors sized by sheet resistance, MIM
+capacitors sized by areal density), footprints are packed into rows the
+way an analog generator's floorplan would, and each net's wiring length is
+estimated by the half-perimeter of its terminals' bounding box (HPWL — the
+standard placement estimate).
+
+Everything is a pure function of the sized netlist, so the parasitics the
+extractor derives are *systematic and design-dependent*: wider devices →
+larger footprints → longer wires → more capacitance.  That is the property
+the transfer-learning experiment needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.circuits.elements import Capacitor, Element, Resistor
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import GROUND, Netlist
+from repro.units import MICRO
+
+#: Diffusion extension per MOSFET finger [m] (source/drain landing pads).
+DIFFUSION_PITCH = 0.4 * MICRO
+#: Vertical spacing overhead per device row [m].
+ROW_MARGIN = 0.5 * MICRO
+#: Poly sheet resistance [ohm/square] used to size resistor footprints.
+POLY_SHEET_OHM = 200.0
+#: Poly resistor strip width [m].
+POLY_WIDTH = 1.0 * MICRO
+#: MIM capacitor density [F/m^2] (2 fF/um^2).
+MIM_DENSITY = 2e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceFootprint:
+    """Placed rectangle of one physical device."""
+
+    name: str
+    x: float       # lower-left corner [m]
+    y: float
+    width: float   # [m]
+    height: float  # [m]
+    nets: tuple[str, ...]
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+@dataclasses.dataclass
+class PseudoLayout:
+    """A placed design: footprints plus per-net wiring estimates."""
+
+    footprints: list[DeviceFootprint]
+    net_hpwl: dict[str, float]      # half-perimeter wirelength per net [m]
+    net_terminals: dict[str, int]   # terminal count per net
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def wirelength(self, net: str) -> float:
+        """Estimated routed length [m] of one named net."""
+        return self.net_hpwl.get(net, 0.0)
+
+
+def device_dimensions(element: Element) -> tuple[float, float] | None:
+    """Footprint (width, height) [m] of a physical device, or None for
+    testbench-only elements (sources) that occupy no silicon."""
+    if isinstance(element, Mosfet):
+        width = element.m * (element.l + DIFFUSION_PITCH)
+        height = element.w + ROW_MARGIN
+        return width, height
+    if isinstance(element, Resistor):
+        squares = element.resistance / POLY_SHEET_OHM
+        length = max(squares, 1.0) * POLY_WIDTH
+        # Fold long resistors into a serpentine of aspect ratio <= 8.
+        folds = max(1, int(math.ceil(math.sqrt(length / (8.0 * POLY_WIDTH)))))
+        return (length / folds, folds * 2.0 * POLY_WIDTH)
+    if isinstance(element, Capacitor):
+        side = math.sqrt(element.capacitance / MIM_DENSITY)
+        return (side, side)
+    return None
+
+
+def generate_layout(netlist: Netlist) -> PseudoLayout:
+    """Pack device footprints into rows and estimate per-net wiring.
+
+    Placement is greedy row packing in netlist order with a target aspect
+    ratio of ~1 — deterministic, so the same sizing always produces the
+    same parasitics.
+    """
+    sized: list[tuple[Element, float, float]] = []
+    for element in netlist:
+        dims = device_dimensions(element)
+        if dims is not None:
+            sized.append((element, dims[0], dims[1]))
+
+    total_area = sum(w * h for _, w, h in sized)
+    max_width = max((w for _, w, _ in sized), default=0.0)
+    row_limit = max(math.sqrt(total_area) * 1.2, max_width) if sized else 0.0
+
+    footprints: list[DeviceFootprint] = []
+    x = y = row_height = 0.0
+    chip_width = 0.0
+    for element, w, h in sized:
+        if x > 0.0 and x + w > row_limit:
+            y += row_height + ROW_MARGIN
+            x = 0.0
+            row_height = 0.0
+        footprints.append(DeviceFootprint(
+            name=element.name, x=x, y=y, width=w, height=h,
+            nets=tuple(element.nodes)))
+        x += w + ROW_MARGIN
+        row_height = max(row_height, h)
+        chip_width = max(chip_width, x)
+    chip_height = y + row_height
+
+    # Per-net HPWL over the centres of the devices touching the net.
+    points: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, int] = {}
+    for fp in footprints:
+        for net in fp.nets:
+            points.setdefault(net, []).append(fp.center)
+            counts[net] = counts.get(net, 0) + 1
+    hpwl: dict[str, float] = {}
+    for net, pts in points.items():
+        if net == GROUND or len(pts) < 2:
+            hpwl[net] = 0.0
+            continue
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        hpwl[net] = (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    return PseudoLayout(footprints=footprints, net_hpwl=hpwl,
+                        net_terminals=counts,
+                        width=chip_width, height=chip_height)

@@ -1,0 +1,65 @@
+"""Reinforcement-learning substrate (Gym-style API + numpy PPO).
+
+The paper trains with Proximal Policy Optimization through OpenAI Gym and
+RLlib; this package provides the equivalent pieces with no dependencies
+beyond numpy:
+
+* :mod:`repro.rl.spaces` — ``Box`` / ``Discrete`` / ``MultiDiscrete``;
+* :mod:`repro.rl.env` — the ``Env`` interface and a synchronous
+  ``VectorEnv``;
+* :mod:`repro.rl.nn` — MLPs with manual backprop and Adam;
+* :mod:`repro.rl.distributions` — factored categorical action heads;
+* :mod:`repro.rl.policy` — the 3x50-tanh actor-critic the paper specifies;
+* :mod:`repro.rl.buffer` — GAE(lambda) rollout buffer;
+* :mod:`repro.rl.ppo` — clipped-surrogate PPO trainer;
+* :mod:`repro.rl.parallel` — multiprocess ``VectorEnv`` (the Ray stand-in);
+* :mod:`repro.rl.schedules` — hyperparameter anneals;
+* :mod:`repro.rl.normalize` — running obs/reward normalisation wrappers.
+"""
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.distributions import MultiCategorical
+from repro.rl.env import Env, VectorEnv
+from repro.rl.nn import MLP, Adam, Linear, Tanh
+from repro.rl.normalize import NormalizeObservation, NormalizeReward, RunningMeanStd
+from repro.rl.parallel import ParallelVectorEnv
+from repro.rl.policy import ActorCritic
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.rl.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    PiecewiseSchedule,
+    Schedule,
+    as_schedule,
+)
+from repro.rl.spaces import Box, Discrete, MultiDiscrete
+
+__all__ = [
+    "ActorCritic",
+    "Adam",
+    "Box",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "Discrete",
+    "Env",
+    "ExponentialSchedule",
+    "Linear",
+    "LinearSchedule",
+    "MLP",
+    "MultiCategorical",
+    "MultiDiscrete",
+    "NormalizeObservation",
+    "NormalizeReward",
+    "PPOConfig",
+    "PPOTrainer",
+    "ParallelVectorEnv",
+    "PiecewiseSchedule",
+    "RolloutBuffer",
+    "RunningMeanStd",
+    "Schedule",
+    "Tanh",
+    "TrainingHistory",
+    "VectorEnv",
+]

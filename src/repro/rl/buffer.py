@@ -1,0 +1,88 @@
+"""Rollout storage and Generalized Advantage Estimation.
+
+Stores fixed-length synchronous rollouts from a :class:`VectorEnv` (shape
+``(T, E, ...)``) and computes GAE(lambda) advantages and value targets,
+handling episode boundaries (``done``) and bootstrap values at both
+truncation and rollout end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class RolloutBuffer:
+    """(T, E) rollout with GAE post-processing."""
+
+    def __init__(self, n_steps: int, n_envs: int, obs_dim: int, act_dim: int):
+        if min(n_steps, n_envs, obs_dim, act_dim) < 1:
+            raise TrainingError("all buffer dimensions must be >= 1")
+        self.n_steps = n_steps
+        self.n_envs = n_envs
+        self.obs = np.zeros((n_steps, n_envs, obs_dim))
+        self.actions = np.zeros((n_steps, n_envs, act_dim), dtype=np.int64)
+        self.rewards = np.zeros((n_steps, n_envs))
+        self.dones = np.zeros((n_steps, n_envs), dtype=bool)
+        self.values = np.zeros((n_steps, n_envs))
+        self.log_probs = np.zeros((n_steps, n_envs))
+        self.advantages = np.zeros((n_steps, n_envs))
+        self.returns = np.zeros((n_steps, n_envs))
+        self._cursor = 0
+
+    @property
+    def full(self) -> bool:
+        return self._cursor == self.n_steps
+
+    def add(self, obs, actions, rewards, dones, values, log_probs) -> None:
+        """Append one vector-env transition to the buffer."""
+        if self.full:
+            raise TrainingError("rollout buffer overflow")
+        t = self._cursor
+        self.obs[t] = obs
+        self.actions[t] = actions
+        self.rewards[t] = rewards
+        self.dones[t] = dones
+        self.values[t] = values
+        self.log_probs[t] = log_probs
+        self._cursor += 1
+
+    def reset(self) -> None:
+        """Clear the buffer for the next rollout."""
+        self._cursor = 0
+
+    def compute_gae(self, last_values: np.ndarray, gamma: float,
+                    lam: float) -> None:
+        """Fill ``advantages`` and ``returns``.
+
+        ``dones[t]`` marks that the episode ended *at* step t, so no value
+        bootstraps across t -> t+1.  ``last_values`` bootstraps the final
+        step for episodes still running at the rollout boundary.
+        """
+        if not self.full:
+            raise TrainingError("compute_gae on a partially-filled buffer")
+        gae = np.zeros(self.n_envs)
+        for t in reversed(range(self.n_steps)):
+            next_values = (last_values if t == self.n_steps - 1
+                           else self.values[t + 1])
+            not_done = 1.0 - self.dones[t].astype(float)
+            delta = (self.rewards[t] + gamma * next_values * not_done
+                     - self.values[t])
+            gae = delta + gamma * lam * not_done * gae
+            self.advantages[t] = gae
+        self.returns = self.advantages + self.values
+
+    def flattened(self) -> dict[str, np.ndarray]:
+        """Flatten (T, E) to (T*E,) for minibatching."""
+        if not self.full:
+            raise TrainingError("flatten on a partially-filled buffer")
+        n = self.n_steps * self.n_envs
+        return {
+            "obs": self.obs.reshape(n, -1),
+            "actions": self.actions.reshape(n, -1),
+            "values": self.values.reshape(n),
+            "log_probs": self.log_probs.reshape(n),
+            "advantages": self.advantages.reshape(n),
+            "returns": self.returns.reshape(n),
+        }

@@ -1,0 +1,104 @@
+"""Factored categorical action distribution.
+
+The sizing action space is ``MultiDiscrete([3] * N)`` — one independent
+3-way categorical per circuit parameter.  :class:`MultiCategorical` wraps
+the concatenated logits ``(B, sum(nvec))`` and provides sampling,
+log-probabilities, entropies, and — because the network library uses
+manual backprop — the analytic gradients of both with respect to the
+logits:
+
+* ``d log p(a) / d z = onehot(a) - softmax(z)`` per block,
+* ``d H / d z_k = -p_k (log p_k + H)`` per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def log_softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable log softmax."""
+    z = z - z.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+class MultiCategorical:
+    """A batch of products of categorical distributions."""
+
+    def __init__(self, logits: np.ndarray, nvec):
+        self.nvec = np.asarray(nvec, dtype=np.int64)
+        logits = np.asarray(logits, dtype=float)
+        if logits.ndim != 2 or logits.shape[1] != int(self.nvec.sum()):
+            raise TrainingError(
+                f"logits shape {logits.shape} does not match nvec {self.nvec}")
+        self.logits = logits
+        self._splits = np.cumsum(self.nvec)[:-1]
+        self._blocks = np.split(logits, self._splits, axis=1)
+        self._logp_blocks = [log_softmax(b) for b in self._blocks]
+        self._p_blocks = [np.exp(lp) for lp in self._logp_blocks]
+
+    @property
+    def batch_size(self) -> int:
+        return self.logits.shape[0]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample actions, shape (B, len(nvec))."""
+        cols = []
+        for p in self._p_blocks:
+            cdf = np.cumsum(p, axis=1)
+            u = rng.random((self.batch_size, 1))
+            cols.append((u > cdf[:, :-1]).sum(axis=1) if p.shape[1] > 1
+                        else np.zeros(self.batch_size, dtype=np.int64))
+        return np.stack([np.asarray(c, dtype=np.int64) for c in cols], axis=1)
+
+    def mode(self) -> np.ndarray:
+        """Greedy (argmax) actions — used for deterministic deployment."""
+        return np.stack([b.argmax(axis=1) for b in self._blocks], axis=1)
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        """Joint log-probability, shape (B,)."""
+        actions = self._check_actions(actions)
+        rows = np.arange(self.batch_size)
+        total = np.zeros(self.batch_size)
+        for d, lp in enumerate(self._logp_blocks):
+            total += lp[rows, actions[:, d]]
+        return total
+
+    def entropy(self) -> np.ndarray:
+        """Joint entropy (sum of block entropies), shape (B,)."""
+        total = np.zeros(self.batch_size)
+        for p, lp in zip(self._p_blocks, self._logp_blocks):
+            total += -(p * lp).sum(axis=1)
+        return total
+
+    # -- gradients -----------------------------------------------------------
+    def grad_log_prob(self, actions: np.ndarray) -> np.ndarray:
+        """d log p(a) / d logits, shape (B, sum(nvec))."""
+        actions = self._check_actions(actions)
+        rows = np.arange(self.batch_size)
+        grads = []
+        for d, p in enumerate(self._p_blocks):
+            g = -p.copy()
+            g[rows, actions[:, d]] += 1.0
+            grads.append(g)
+        return np.concatenate(grads, axis=1)
+
+    def grad_entropy(self) -> np.ndarray:
+        """d H / d logits, shape (B, sum(nvec))."""
+        grads = []
+        for p, lp in zip(self._p_blocks, self._logp_blocks):
+            h = -(p * lp).sum(axis=1, keepdims=True)
+            grads.append(-p * (lp + h))
+        return np.concatenate(grads, axis=1)
+
+    def _check_actions(self, actions: np.ndarray) -> np.ndarray:
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.batch_size, len(self.nvec)):
+            raise TrainingError(
+                f"actions shape {actions.shape}, expected "
+                f"({self.batch_size}, {len(self.nvec)})")
+        if np.any(actions < 0) or np.any(actions >= self.nvec[None, :]):
+            raise TrainingError("action index out of range")
+        return actions

@@ -1,0 +1,97 @@
+"""Environment interface and synchronous vectorisation.
+
+The subset of the Gym API the paper's training loop needs, plus a
+:class:`VectorEnv` that steps several environments per policy query (the
+paper uses Ray to "run multiple environments in parallel"; in-process
+batching gives the same sample efficiency — the policy network is queried
+with a batch — without process overhead, since each env step is already a
+fast in-process simulation here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rl.spaces import Space
+
+
+class Env:
+    """One episodic environment."""
+
+    observation_space: Space
+    action_space: Space
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        raise NotImplementedError
+
+    def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply ``action``; returns (obs, reward, done, info)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class EpisodeStats:
+    """Summary of one finished episode."""
+
+    reward: float
+    length: int
+    success: bool
+
+
+class VectorEnv:
+    """Synchronous batch of identically-spaced environments with auto-reset."""
+
+    def __init__(self, envs: list[Env]):
+        if not envs:
+            raise TrainingError("VectorEnv needs at least one env")
+        self.envs = envs
+        self.observation_space = envs[0].observation_space
+        self.action_space = envs[0].action_space
+        self._ep_reward = np.zeros(len(envs))
+        self._ep_length = np.zeros(len(envs), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.envs)
+
+    def reset(self) -> np.ndarray:
+        """Reset every env; returns the stacked initial observations."""
+        self._ep_reward[:] = 0.0
+        self._ep_length[:] = 0
+        return np.stack([env.reset() for env in self.envs])
+
+    def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray, list[dict],
+                                                 list[EpisodeStats]]:
+        """Step every env; finished envs are reset and their stats returned.
+
+        The observation returned for a finished env is the *new* episode's
+        first observation (standard auto-reset), while ``infos[i]`` carries
+        the terminal info dict of the finished episode.
+        """
+        if len(actions) != len(self.envs):
+            raise TrainingError(
+                f"got {len(actions)} actions for {len(self.envs)} envs")
+        obs_list, rewards, dones, infos = [], [], [], []
+        finished: list[EpisodeStats] = []
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            obs, reward, done, info = env.step(action)
+            self._ep_reward[i] += reward
+            self._ep_length[i] += 1
+            if done:
+                finished.append(EpisodeStats(
+                    reward=float(self._ep_reward[i]),
+                    length=int(self._ep_length[i]),
+                    success=bool(info.get("success", False))))
+                self._ep_reward[i] = 0.0
+                self._ep_length[i] = 0
+                obs = env.reset()
+            obs_list.append(obs)
+            rewards.append(reward)
+            dones.append(done)
+            infos.append(info)
+        return (np.stack(obs_list), np.asarray(rewards, dtype=float),
+                np.asarray(dones, dtype=bool), infos, finished)

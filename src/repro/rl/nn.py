@@ -1,0 +1,203 @@
+"""Minimal neural-network library: dense layers, tanh, manual backprop, Adam.
+
+Implements exactly what PPO on a small MLP needs — nothing more.  Layers
+cache their forward inputs and accumulate parameter gradients on
+``backward``; gradients are checked against finite differences in
+``tests/rl/test_nn.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def orthogonal(shape: tuple[int, int], gain: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation (the PPO-standard choice)."""
+    a = rng.standard_normal(shape)
+    u, _, vt = np.linalg.svd(a, full_matrices=False)
+    q = u if u.shape == shape else vt
+    return gain * q.reshape(shape)
+
+
+class Layer:
+    """Base layer: forward caches what backward needs."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what ``backward`` needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad``; returns grad w.r.t. input."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs; gradients are accumulated in place."""
+        return []
+
+    def zero_grad(self) -> None:
+        """Zero accumulated parameter gradients."""
+        for _, grad in self.parameters():
+            grad.fill(0.0)
+
+
+class Linear(Layer):
+    """Affine layer ``y = x W^T + b`` with orthogonal init."""
+
+    def __init__(self, in_dim: int, out_dim: int, gain: float,
+                 rng: np.random.Generator):
+        if in_dim < 1 or out_dim < 1:
+            raise TrainingError("Linear dims must be >= 1")
+        self.W = orthogonal((out_dim, in_dim), gain, rng)
+        self.b = np.zeros(out_dim)
+        self.gW = np.zeros_like(self.W)
+        self.gb = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine map ``x @ W + b``."""
+        self._x = x
+        return x @ self.W.T + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate dW/db; return upstream gradient."""
+        if self._x is None:
+            raise TrainingError("backward before forward")
+        self.gW += grad_out.T @ self._x
+        self.gb += grad_out.sum(axis=0)
+        return grad_out @ self.W
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.W, self.gW), (self.b, self.gb)]
+
+
+class Tanh(Layer):
+    """Elementwise tanh."""
+
+    def __init__(self):
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise tanh."""
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Chain through the tanh derivative."""
+        if self._y is None:
+            raise TrainingError("backward before forward")
+        return grad_out * (1.0 - self._y ** 2)
+
+
+class MLP(Layer):
+    """Tanh MLP: ``sizes=[in, h1, ..., out]``; the final layer is linear.
+
+    ``out_gain`` scales the last layer's orthogonal init (0.01 for policy
+    heads, 1.0 for value heads — the usual PPO recipe).
+    """
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator,
+                 out_gain: float = 0.01, hidden_gain: float = np.sqrt(2.0)):
+        if len(sizes) < 2:
+            raise TrainingError("MLP needs at least input and output sizes")
+        self.layers: list[Layer] = []
+        for i in range(len(sizes) - 1):
+            last = i == len(sizes) - 2
+            gain = out_gain if last else hidden_gain
+            self.layers.append(Linear(sizes[i], sizes[i + 1], gain, rng))
+            if not last:
+                self.layers.append(Tanh())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the stack layer by layer."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through the whole stack."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Zero every layer's gradients."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # -- serialisation -------------------------------------------------------
+    def state_arrays(self) -> list[np.ndarray]:
+        """Flat list of the parameter arrays (save order)."""
+        return [p for p, _ in self.parameters()]
+
+    def load_state_arrays(self, arrays: list[np.ndarray]) -> None:
+        """Load arrays saved by :meth:`state_arrays`."""
+        params = self.parameters()
+        if len(arrays) != len(params):
+            raise TrainingError(
+                f"state mismatch: {len(arrays)} arrays for {len(params)} params")
+        for (p, _), a in zip(params, arrays):
+            if p.shape != a.shape:
+                raise TrainingError(f"shape mismatch {p.shape} vs {a.shape}")
+            p[...] = a
+
+
+def global_grad_norm(params: list[tuple[np.ndarray, np.ndarray]]) -> float:
+    """L2 norm over all gradients."""
+    total = 0.0
+    for _, g in params:
+        total += float(np.sum(g * g))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: list[tuple[np.ndarray, np.ndarray]],
+                   max_norm: float) -> float:
+    """Scale all gradients so the global norm is at most ``max_norm``."""
+    norm = global_grad_norm(params)
+    if max_norm > 0.0 and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for _, g in params:
+            g *= scale
+    return norm
+
+
+class Adam:
+    """Adam optimiser over a fixed parameter list."""
+
+    def __init__(self, params: list[tuple[np.ndarray, np.ndarray]],
+                 lr: float = 3e-4, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8):
+        if lr <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.t = 0
+        self._m = [np.zeros_like(p) for p, _ in params]
+        self._v = [np.zeros_like(p) for p, _ in params]
+
+    def step(self, lr: float | None = None) -> None:
+        """Apply one update from the accumulated gradients."""
+        lr = self.lr if lr is None else lr
+        self.t += 1
+        bias1 = 1.0 - self.beta1 ** self.t
+        bias2 = 1.0 - self.beta2 ** self.t
+        for (p, g), m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Zero the tracked gradient buffers."""
+        for _, g in self.params:
+            g.fill(0.0)

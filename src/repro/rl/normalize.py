@@ -1,0 +1,174 @@
+"""Running observation/reward normalisation.
+
+The sizing environment already normalises observations into [-1, 1] by
+construction (spec ranges are known a-priori), which is why the paper's
+setup trains without normalisation wrappers.  For *new* environments —
+users plugging their own simulators in — running normalisation is the
+standard fix for badly-scaled observations, so the substrate provides the
+usual wrappers:
+
+* :class:`RunningMeanStd` — numerically-stable streaming mean/variance
+  (Chan et al. parallel-update form, the same algorithm RLlib and
+  stable-baselines use);
+* :class:`NormalizeObservation` — an :class:`~repro.rl.env.Env` wrapper
+  whitening observations with running statistics;
+* :class:`NormalizeReward` — scales rewards by the running standard
+  deviation of the discounted return (variance-only: subtracting a mean
+  would change the optimal policy).
+
+Statistics can be frozen for deployment and round-tripped through
+``state_dict``/``load_state_dict`` alongside policy checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rl.env import Env
+
+
+class RunningMeanStd:
+    """Streaming estimate of per-component mean and variance."""
+
+    def __init__(self, shape: tuple[int, ...] = (), epsilon: float = 1e-4):
+        self.mean = np.zeros(shape, dtype=float)
+        self.var = np.ones(shape, dtype=float)
+        self.count = float(epsilon)
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch (leading axis = samples) into the statistics."""
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim == self.mean.ndim:
+            batch = batch[None, ...]
+        if batch.shape[1:] != self.mean.shape:
+            raise TrainingError(
+                f"batch shape {batch.shape[1:]} != stat shape {self.mean.shape}")
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        new_mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta ** 2 * self.count * batch_count / total
+        self.mean = new_mean
+        self.var = m2 / total
+        self.count = total
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.var)
+
+    def normalize(self, values: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        """Whiten ``values`` with the current statistics."""
+        out = (np.asarray(values, dtype=float) - self.mean) / (self.std + 1e-8)
+        return np.clip(out, -clip, clip)
+
+    def state_dict(self) -> dict:
+        """Statistics as a plain dict (checkpointing)."""
+        return {"mean": self.mean.copy(), "var": self.var.copy(),
+                "count": self.count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.mean = np.asarray(state["mean"], dtype=float).copy()
+        self.var = np.asarray(state["var"], dtype=float).copy()
+        self.count = float(state["count"])
+
+
+class NormalizeObservation(Env):
+    """Env wrapper whitening observations with running statistics.
+
+    Set ``frozen=True`` (or call :meth:`freeze`) to stop updating the
+    statistics — deployment must see the same transform training ended
+    with.
+    """
+
+    def __init__(self, env: Env, clip: float = 10.0, frozen: bool = False):
+        self.env = env
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+        shape = tuple(env.observation_space.shape)
+        self.rms = RunningMeanStd(shape=shape)
+        self.clip = float(clip)
+        self.frozen = bool(frozen)
+
+    def freeze(self) -> None:
+        """Stop updating statistics (deployment mode)."""
+        self.frozen = True
+
+    def _transform(self, obs: np.ndarray) -> np.ndarray:
+        if not self.frozen:
+            self.rms.update(obs)
+        return self.rms.normalize(obs, clip=self.clip)
+
+    def reset(self) -> np.ndarray:
+        return self._transform(self.env.reset())
+
+    def step(self, action):
+        obs, reward, done, info = self.env.step(action)
+        return self._transform(obs), reward, done, info
+
+    def state_dict(self) -> dict:
+        """Wrapper state as a plain dict (checkpointing)."""
+        return {"rms": self.rms.state_dict(), "clip": self.clip}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.rms.load_state_dict(state["rms"])
+        self.clip = float(state["clip"])
+
+
+class NormalizeReward(Env):
+    """Env wrapper scaling rewards by the running std of discounted returns.
+
+    Keeps the reward *sign* (no mean subtraction), so goal bonuses remain
+    positive and the paper's "mean reward reaches 0" stopping rule stays
+    meaningful relative to its own scale.
+    """
+
+    def __init__(self, env: Env, gamma: float = 0.99, clip: float = 10.0,
+                 frozen: bool = False):
+        if not 0.0 < gamma <= 1.0:
+            raise TrainingError(f"gamma must be in (0, 1], got {gamma}")
+        self.env = env
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+        self.rms = RunningMeanStd(shape=())
+        self.gamma = float(gamma)
+        self.clip = float(clip)
+        self.frozen = bool(frozen)
+        self._ret = 0.0
+
+    def freeze(self) -> None:
+        """Stop updating statistics (deployment mode)."""
+        self.frozen = True
+
+    def reset(self) -> np.ndarray:
+        self._ret = 0.0
+        return self.env.reset()
+
+    def step(self, action):
+        obs, reward, done, info = self.env.step(action)
+        if not self.frozen:
+            self._ret = self._ret * self.gamma + reward
+            self.rms.update(np.array([self._ret]))
+        scaled = float(np.clip(reward / (float(self.rms.std) + 1e-8),
+                               -self.clip, self.clip))
+        if done:
+            self._ret = 0.0
+        return obs, scaled, done, info
+
+    def state_dict(self) -> dict:
+        """Wrapper state as a plain dict (checkpointing)."""
+        return {"rms": self.rms.state_dict(), "gamma": self.gamma,
+                "clip": self.clip}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.rms.load_state_dict(state["rms"])
+        self.gamma = float(state["gamma"])
+        self.clip = float(state["clip"])

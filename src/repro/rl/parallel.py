@@ -1,0 +1,175 @@
+"""Multiprocess environment execution (the reproduction's Ray stand-in).
+
+The paper "utilize[s] the capabilities of Ray to run multiple environments
+in parallel", quoting 1.3 hours of wall clock on an 8-core CPU for the
+two-stage op-amp.  :class:`ParallelVectorEnv` reproduces that axis with
+the standard library: each environment lives in its own worker process
+(forked, so environment factories may close over arbitrary simulator
+state) and the main process batches policy queries across workers.
+
+The interface matches :class:`~repro.rl.env.VectorEnv` exactly — same
+``reset`` / ``step`` signatures, same auto-reset semantics with
+:class:`~repro.rl.env.EpisodeStats` for finished episodes — so
+:class:`~repro.rl.ppo.PPOTrainer` accepts either implementation.
+
+Parallelism only pays when a single environment step is expensive (PEX
+simulation, big transient sweeps); for the microsecond-scale schematic
+steps in this reproduction the in-process :class:`VectorEnv` is usually
+faster.  ``benchmarks/bench_parallel_scaling.py`` quantifies the
+crossover.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rl.env import Env, EpisodeStats
+
+
+def _worker(remote, env_fn: Callable[[], Env]) -> None:
+    """Worker loop: owns one env, tracks episode stats, auto-resets."""
+    env = env_fn()
+    ep_reward = 0.0
+    ep_length = 0
+    try:
+        while True:
+            cmd, payload = remote.recv()
+            if cmd == "reset":
+                ep_reward = 0.0
+                ep_length = 0
+                remote.send(env.reset())
+            elif cmd == "step":
+                obs, reward, done, info = env.step(payload)
+                ep_reward += reward
+                ep_length += 1
+                stats = None
+                if done:
+                    stats = EpisodeStats(
+                        reward=float(ep_reward), length=int(ep_length),
+                        success=bool(info.get("success", False)))
+                    ep_reward = 0.0
+                    ep_length = 0
+                    obs = env.reset()
+                remote.send((obs, float(reward), bool(done), info, stats))
+            elif cmd == "spaces":
+                remote.send((env.observation_space, env.action_space))
+            elif cmd == "close":
+                remote.send(None)
+                break
+            else:  # pragma: no cover - protocol misuse guard
+                raise RuntimeError(f"unknown command {cmd!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        remote.close()
+
+
+class ParallelVectorEnv:
+    """Synchronous batch of environments, one per worker process.
+
+    Parameters
+    ----------
+    env_fns:
+        One zero-argument environment factory per worker.  With the
+        (default on Linux) fork start method the factories may close over
+        unpicklable state.
+    context:
+        Multiprocessing start method; ``"fork"`` is required for closure
+        factories and is the default where available.
+    """
+
+    def __init__(self, env_fns: list[Callable[[], Env]],
+                 context: str = "fork"):
+        if not env_fns:
+            raise TrainingError("ParallelVectorEnv needs at least one env factory")
+        if context == "fork" and os.name == "nt":  # pragma: no cover - windows
+            context = "spawn"
+        ctx = mp.get_context(context)
+        self._remotes = []
+        self._processes = []
+        for fn in env_fns:
+            parent, child = ctx.Pipe()
+            process = ctx.Process(target=_worker, args=(child, fn),
+                                  daemon=True)
+            process.start()
+            child.close()
+            self._remotes.append(parent)
+            self._processes.append(process)
+        self._closed = False
+        self._remotes[0].send(("spaces", None))
+        self.observation_space, self.action_space = self._remotes[0].recv()
+
+    def __len__(self) -> int:
+        return len(self._remotes)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TrainingError("ParallelVectorEnv is closed")
+
+    def reset(self) -> np.ndarray:
+        """Reset every worker; returns the stacked initial observations."""
+        self._ensure_open()
+        for remote in self._remotes:
+            remote.send(("reset", None))
+        return np.stack([remote.recv() for remote in self._remotes])
+
+    def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray, list[dict],
+                                                 list[EpisodeStats]]:
+        """Step every worker; identical contract to ``VectorEnv.step``."""
+        self._ensure_open()
+        if len(actions) != len(self._remotes):
+            raise TrainingError(
+                f"got {len(actions)} actions for {len(self._remotes)} envs")
+        for remote, action in zip(self._remotes, actions):
+            remote.send(("step", action))
+        obs_list, rewards, dones, infos = [], [], [], []
+        finished: list[EpisodeStats] = []
+        for remote in self._remotes:
+            obs, reward, done, info, stats = remote.recv()
+            obs_list.append(obs)
+            rewards.append(reward)
+            dones.append(done)
+            infos.append(info)
+            if stats is not None:
+                finished.append(stats)
+        return (np.stack(obs_list), np.asarray(rewards, dtype=float),
+                np.asarray(dones, dtype=bool), infos, finished)
+
+    def close(self) -> None:
+        """Shut down the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for remote in self._remotes:
+            try:
+                remote.send(("close", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                continue
+        for remote in self._remotes:
+            try:
+                remote.recv()
+            except (EOFError, OSError):  # pragma: no cover
+                pass
+            remote.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+
+    def __enter__(self) -> "ParallelVectorEnv":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,136 @@
+"""Hyperparameter schedules.
+
+RLlib-era PPO commonly anneals the learning rate and entropy bonus over
+training; the paper's hyperparameter sweep operates in that regime.  A
+:class:`Schedule` maps training *progress* — the fraction of the training
+budget consumed, in [0, 1] — to a hyperparameter value, decoupling the
+schedule shape from iteration counts so the same config works for any
+``max_iterations``.
+
+:class:`~repro.rl.ppo.PPOTrainer` consults ``PPOConfig.lr_schedule`` and
+``PPOConfig.ent_schedule`` once per iteration when they are set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import TrainingError
+
+
+def _check_fraction(fraction: float) -> float:
+    if not 0.0 <= fraction <= 1.0 or not math.isfinite(fraction):
+        raise TrainingError(f"schedule fraction must be in [0, 1], got {fraction}")
+    return float(fraction)
+
+
+class Schedule:
+    """Maps training progress (0 = start, 1 = end) to a value."""
+
+    def value(self, fraction: float) -> float:
+        """Value at training progress ``fraction`` in [0, 1]."""
+        raise NotImplementedError
+
+    def __call__(self, fraction: float) -> float:
+        return self.value(fraction)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """Always returns ``constant``."""
+
+    constant: float
+
+    def value(self, fraction: float) -> float:
+        """The constant, at any progress."""
+        _check_fraction(fraction)
+        return self.constant
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearSchedule(Schedule):
+    """Linear interpolation from ``start`` to ``end``."""
+
+    start: float
+    end: float
+
+    def value(self, fraction: float) -> float:
+        """Linear interpolation at ``fraction``."""
+        f = _check_fraction(fraction)
+        return self.start + (self.end - self.start) * f
+
+
+@dataclasses.dataclass(frozen=True)
+class ExponentialSchedule(Schedule):
+    """Geometric decay from ``start`` to ``end`` (both strictly positive)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.start <= 0.0 or self.end <= 0.0:
+            raise TrainingError("exponential schedule needs positive endpoints")
+
+    def value(self, fraction: float) -> float:
+        """Geometric interpolation at ``fraction``."""
+        f = _check_fraction(fraction)
+        return self.start * (self.end / self.start) ** f
+
+
+@dataclasses.dataclass(frozen=True)
+class CosineSchedule(Schedule):
+    """Half-cosine anneal from ``start`` to ``end`` (flat at both ends)."""
+
+    start: float
+    end: float
+
+    def value(self, fraction: float) -> float:
+        """Half-cosine interpolation at ``fraction``."""
+        f = _check_fraction(fraction)
+        w = 0.5 * (1.0 + math.cos(math.pi * f))
+        return self.end + (self.start - self.end) * w
+
+
+@dataclasses.dataclass(frozen=True)
+class PiecewiseSchedule(Schedule):
+    """Linear interpolation through ``(fraction, value)`` breakpoints.
+
+    Breakpoints must be sorted by fraction and span at most [0, 1]; values
+    before the first / after the last breakpoint are held constant.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self):
+        if len(self.points) < 1:
+            raise TrainingError("piecewise schedule needs >= 1 breakpoint")
+        fracs = [p[0] for p in self.points]
+        if fracs != sorted(fracs):
+            raise TrainingError("piecewise breakpoints must be sorted")
+        if fracs[0] < 0.0 or fracs[-1] > 1.0:
+            raise TrainingError("piecewise breakpoints must lie in [0, 1]")
+
+    def value(self, fraction: float) -> float:
+        """Piecewise-linear interpolation at ``fraction``."""
+        f = _check_fraction(fraction)
+        points = self.points
+        if f <= points[0][0]:
+            return points[0][1]
+        for (f0, v0), (f1, v1) in zip(points, points[1:]):
+            if f <= f1:
+                if f1 == f0:
+                    return v1
+                t = (f - f0) / (f1 - f0)
+                return v0 + t * (v1 - v0)
+        return points[-1][1]
+
+
+def as_schedule(value: "float | Schedule | None") -> Schedule | None:
+    """Coerce a plain number into a :class:`ConstantSchedule`.
+
+    ``None`` passes through (meaning "use the static config value").
+    """
+    if value is None or isinstance(value, Schedule):
+        return value
+    return ConstantSchedule(float(value))

@@ -1,0 +1,47 @@
+"""Circuit simulation engine: MNA assembly, DC/AC/transient/noise analyses.
+
+The engine is a small SPICE:
+
+* :mod:`repro.sim.system` assembles modified-nodal-analysis matrices;
+* :mod:`repro.sim.dc` finds operating points (Newton with gmin/source
+  stepping);
+* :mod:`repro.sim.ac` sweeps small-signal transfer functions;
+* :mod:`repro.sim.linear` computes linearised step responses (for settling
+  time);
+* :mod:`repro.sim.transient` integrates the full nonlinear equations;
+* :mod:`repro.sim.noise` computes output/input-referred noise spectra;
+* :mod:`repro.sim.poles` extracts natural frequencies (pole analysis);
+* :mod:`repro.sim.sweep` steps a source for VTC/output-swing analysis;
+* :mod:`repro.sim.cache` caches and counts simulations (the paper's
+  sample-efficiency metric counts simulator invocations).
+"""
+
+from repro.sim.ac import ACResult, ac_sweep, transfer_function
+from repro.sim.cache import SimulationCache, SimulationCounter
+from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.linear import linear_step_response
+from repro.sim.noise import NoiseResult, noise_analysis
+from repro.sim.poles import PoleSet, circuit_poles
+from repro.sim.sweep import DcSweepResult, dc_sweep
+from repro.sim.system import MnaSystem
+from repro.sim.transient import TransientResult, transient_analysis
+
+__all__ = [
+    "ACResult",
+    "DcSweepResult",
+    "MnaSystem",
+    "NoiseResult",
+    "OperatingPoint",
+    "PoleSet",
+    "SimulationCache",
+    "SimulationCounter",
+    "TransientResult",
+    "ac_sweep",
+    "circuit_poles",
+    "dc_sweep",
+    "linear_step_response",
+    "noise_analysis",
+    "solve_dc",
+    "transfer_function",
+    "transient_analysis",
+]

@@ -1,0 +1,160 @@
+"""DC operating-point solver.
+
+Newton-Raphson with per-iteration voltage damping, plus the two classic
+SPICE fallbacks when plain Newton diverges:
+
+* **gmin stepping** — solve with a large conductance to ground on every
+  node, then relax it geometrically towards zero, warm-starting each stage;
+* **source stepping** — ramp all independent sources from 0 to 100 %.
+
+The result object, :class:`OperatingPoint`, carries node voltages, branch
+currents and the linearised :class:`~repro.circuits.mosfet.MosfetState` of
+every transistor, which the AC/noise/transient analyses consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.elements import VoltageSource
+from repro.circuits.mosfet import MosfetState
+from repro.errors import ConvergenceError
+from repro.sim.system import MnaSystem
+
+
+@dataclasses.dataclass
+class OperatingPoint:
+    """Solved DC state of a circuit."""
+
+    system: MnaSystem
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+
+    def __post_init__(self):
+        get = self.system.voltage_getter(self.x)
+        self._mosfet_states: dict[str, MosfetState] = {
+            m.name: m.state_at(get) for m in self.system.mosfets}
+
+    @property
+    def temperature(self) -> float:
+        return self.system.temperature
+
+    def voltage(self, node: str) -> float:
+        """DC voltage of ``node`` (ground returns 0)."""
+        i = self.system.node_index[node]
+        return 0.0 if i < 0 else float(self.x[i])
+
+    def branch_current(self, element_name: str) -> float:
+        """Current through a voltage-defined element (V source, VCVS, L)."""
+        return float(self.x[self.system.branch_index[element_name]])
+
+    def mosfet_state(self, name: str) -> MosfetState:
+        """Small-signal state of the named MOSFET at this operating point."""
+        return self._mosfet_states[name]
+
+    @property
+    def mosfet_states(self) -> dict[str, MosfetState]:
+        return dict(self._mosfet_states)
+
+    def supply_current(self, source_name: str | None = None) -> float:
+        """Magnitude of the DC current delivered by ``source_name`` (or by
+        the first voltage source in the netlist when omitted).  This is the
+        paper's "bias current" (power proxy) measurement."""
+        if source_name is None:
+            sources = self.system.netlist.elements_of(VoltageSource)
+            if not sources:
+                raise ConvergenceError("no voltage source to measure supply current")
+            source_name = sources[0].name
+        return abs(self.branch_current(source_name))
+
+    def saturation_margins(self) -> dict[str, float]:
+        """Per-MOSFET ``vds - vov`` margin [V]; positive means saturated."""
+        return {name: st.vds - st.vov_eff
+                for name, st in self._mosfet_states.items()}
+
+
+def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
+            max_iter: int, vtol: float, itol: float,
+            damping: float) -> tuple[np.ndarray, int, float, bool]:
+    """Damped Newton iteration; returns (x, iterations, |F|, converged)."""
+    x = x0.copy()
+    for iteration in range(1, max_iter + 1):
+        A, rhs = system.newton_matrices(x, gmin=gmin, source_scale=source_scale)
+        try:
+            x_new = np.linalg.solve(A, rhs)
+        except np.linalg.LinAlgError:
+            return x, iteration, np.inf, False
+        dx = x_new - x
+        step = np.max(np.abs(dx)) if dx.size else 0.0
+        if step > damping:
+            dx *= damping / step
+        x = x + dx
+        if step < vtol:
+            f = system.residual(x, source_scale=source_scale)
+            if gmin > 0.0:
+                f[:system.n_nodes] += gmin * x[:system.n_nodes]
+            fnorm = float(np.max(np.abs(f))) if f.size else 0.0
+            if fnorm < itol:
+                return x, iteration, fnorm, True
+    f = system.residual(x, source_scale=source_scale)
+    return x, max_iter, float(np.max(np.abs(f))), False
+
+
+def solve_dc(system: MnaSystem, x0: np.ndarray | None = None, *,
+             max_iter: int = 120, vtol: float = 1e-9, itol: float = 1e-9,
+             damping: float = 0.4) -> OperatingPoint:
+    """Find the DC operating point of ``system``.
+
+    Parameters
+    ----------
+    x0:
+        Optional initial solution vector (warm start).  Sizing trajectories
+        change one grid step at a time, so warm-starting from the previous
+        design's operating point typically converges in a few iterations.
+    damping:
+        Maximum per-iteration change of any unknown [V or A].
+
+    Raises
+    ------
+    ConvergenceError
+        If Newton, gmin stepping and source stepping all fail.
+    """
+    if x0 is None:
+        x0 = np.zeros(system.size)
+    elif x0.shape != (system.size,):
+        raise ValueError(f"x0 has shape {x0.shape}, expected ({system.size},)")
+
+    # Plain (damped) Newton from the provided starting point.
+    x, iters, fnorm, ok = _newton(system, x0, 0.0, 1.0, max_iter, vtol, itol, damping)
+    if ok:
+        return OperatingPoint(system, x, iters, fnorm)
+
+    # gmin stepping.
+    x = x0.copy()
+    total_iters = iters
+    converged_chain = True
+    for gmin in (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10, 0.0):
+        x, iters, fnorm, ok = _newton(system, x, gmin, 1.0,
+                                      max_iter, vtol, itol, damping)
+        total_iters += iters
+        if not ok:
+            converged_chain = False
+            break
+    if converged_chain and ok:
+        return OperatingPoint(system, x, total_iters, fnorm)
+
+    # Source stepping.
+    x = np.zeros(system.size)
+    for scale in (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+        x, iters, fnorm, ok = _newton(system, x, 0.0, scale,
+                                      max_iter, vtol, itol, damping)
+        total_iters += iters
+        if not ok:
+            raise ConvergenceError(
+                f"DC operating point of {system.netlist.title!r} did not "
+                f"converge (source stepping stalled at {scale:.0%}, "
+                f"|F| = {fnorm:.3e})", residual=fnorm)
+    return OperatingPoint(system, x, total_iters, fnorm)

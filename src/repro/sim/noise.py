@@ -1,0 +1,118 @@
+"""Small-signal noise analysis.
+
+For every noise current source ``k`` (resistor thermal noise, MOSFET
+channel and flicker noise) the transfer impedance to the designated output
+node is computed with one *adjoint* solve per frequency:
+
+    ``A(w)^T y = e_out``  =>  ``Z_k(w) = y[p_k] - y[n_k]``
+
+so the output voltage noise PSD is ``S_out(f) = sum_k S_k(f) |Z_k(f)|^2``.
+Input-referred noise divides by the squared magnitude of the signal
+transfer function from the circuit's AC input.  This is the textbook
+adjoint-network method used by SPICE's ``.noise`` analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sim.ac import ac_sweep, small_signal_operator
+from repro.sim.dc import OperatingPoint
+from repro.sim.system import MnaSystem
+
+
+@dataclasses.dataclass
+class NoiseResult:
+    """Noise spectra over a frequency sweep."""
+
+    frequencies: np.ndarray          # (F,)
+    output_psd: np.ndarray           # (F,) [V^2/Hz] at the output node
+    input_psd: np.ndarray | None     # (F,) referred to the AC input, or None
+    gain_squared: np.ndarray | None  # (F,) |H|^2 used for input referral
+    contributions: dict[str, np.ndarray]  # per-element output PSD [V^2/Hz]
+
+    def integrated_output_rms(self, f_low: float | None = None,
+                              f_high: float | None = None) -> float:
+        """Total output noise [V rms] over the (sub)band, trapezoid rule."""
+        return _integrate_rms(self.frequencies, self.output_psd, f_low, f_high)
+
+    def integrated_input_rms(self, f_low: float | None = None,
+                             f_high: float | None = None) -> float:
+        """Total input-referred noise [V rms] over the (sub)band."""
+        if self.input_psd is None:
+            raise AnalysisError("noise analysis was run without an input reference")
+        return _integrate_rms(self.frequencies, self.input_psd, f_low, f_high)
+
+
+def _integrate_rms(freqs: np.ndarray, psd: np.ndarray,
+                   f_low: float | None, f_high: float | None) -> float:
+    mask = np.ones(len(freqs), dtype=bool)
+    if f_low is not None:
+        mask &= freqs >= f_low
+    if f_high is not None:
+        mask &= freqs <= f_high
+    if mask.sum() < 2:
+        raise AnalysisError("noise integration band contains fewer than 2 points")
+    return float(np.sqrt(np.trapezoid(psd[mask], freqs[mask])))
+
+
+def noise_analysis(system: MnaSystem, op: OperatingPoint,
+                   frequencies: np.ndarray, output: str,
+                   refer_to_input: bool = True) -> NoiseResult:
+    """Compute output (and optionally input-referred) noise at ``output``.
+
+    Parameters
+    ----------
+    output:
+        Node whose voltage noise is computed.
+    refer_to_input:
+        If True, also divide by ``|H(f)|^2`` where ``H`` is the transfer
+        function from the netlist's AC excitation to ``output``; the input
+        referral then has the units of the excited source (volts for a
+        voltage input, volts per (A) — i.e. ohms — absorbed into the PSD
+        for a current input, matching SPICE's convention).
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if np.any(frequencies <= 0.0):
+        raise AnalysisError("noise frequencies must be positive")
+    out_idx = system.node_index[output]
+    if out_idx < 0:
+        raise AnalysisError("noise output node cannot be ground")
+
+    sources = system.noise_source_list(op)
+    names = [e.name for e in system.netlist for _ in e.noise_sources(op)]
+
+    A = small_signal_operator(system, op, frequencies)
+    e_out = np.zeros(system.size)
+    e_out[out_idx] = 1.0
+    # Adjoint solve per frequency (batched).
+    y = np.linalg.solve(np.conjugate(np.transpose(A, (0, 2, 1))),
+                        np.broadcast_to(e_out.astype(complex),
+                                        (len(frequencies), system.size))[..., None])[..., 0]
+
+    output_psd = np.zeros(len(frequencies))
+    contributions: dict[str, np.ndarray] = {}
+    for (p, n, psd_fn), name in zip(sources, names):
+        zp = y[:, p] if p >= 0 else 0.0
+        zn = y[:, n] if n >= 0 else 0.0
+        transfer_sq = np.abs(zp - zn) ** 2
+        psd_vals = np.array([psd_fn(f) for f in frequencies])
+        contrib = psd_vals * transfer_sq
+        contributions[name] = contributions.get(name, 0.0) + contrib
+        output_psd += contrib
+
+    input_psd = None
+    gain_sq = None
+    if refer_to_input:
+        if not np.any(system.b_ac):
+            raise AnalysisError("input referral needs an AC excitation")
+        gain = ac_sweep(system, op, frequencies).voltage(output)
+        gain_sq = np.abs(gain) ** 2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            input_psd = np.where(gain_sq > 0.0, output_psd / gain_sq, np.inf)
+    return NoiseResult(frequencies=frequencies, output_psd=output_psd,
+                       input_psd=input_psd, gain_squared=gain_sq,
+                       contributions=contributions)

@@ -1,0 +1,136 @@
+"""DC sweep analysis (SPICE's ``.dc``).
+
+Steps one independent source across a range of values, re-solving the
+operating point at each step (warm-started from the previous solution, so
+a whole voltage-transfer curve costs little more than one cold solve).
+This is the analysis behind large-signal input/output characteristics:
+voltage-transfer curves, output swing, systematic offset, and the
+large-signal gain that AC analysis (a linearisation at one point) cannot
+see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.elements import CurrentSource, VoltageSource
+from repro.circuits.netlist import Netlist
+from repro.errors import AnalysisError, ConvergenceError
+from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.system import MnaSystem
+from repro.units import ROOM_TEMPERATURE
+
+
+@dataclasses.dataclass
+class DcSweepResult:
+    """Operating points along a swept source value."""
+
+    source: str
+    values: np.ndarray                 # swept source values, shape (P,)
+    operating_points: list[OperatingPoint]
+    #: Indices (into ``values``) of sweep points that failed to converge.
+    failed: list[int]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage across the sweep [V]."""
+        return np.array([op.voltage(node) for op in self.operating_points])
+
+    def supply_current(self, source_name: str) -> np.ndarray:
+        """Current through a voltage source across the sweep [A]."""
+        return np.array([abs(op.branch_current(source_name))
+                         for op in self.operating_points])
+
+    def transfer_gain(self, node: str) -> np.ndarray:
+        """Numerical large-signal gain d v(node) / d v(source) per point."""
+        if len(self.values) < 2:
+            raise AnalysisError("gain needs at least two sweep points")
+        return np.gradient(self.voltage(node), self.values)
+
+    def output_swing(self, node: str, gain_fraction: float = 0.1) -> tuple[float, float]:
+        """Output range over which |gain| exceeds ``gain_fraction`` of its
+        peak — the usable output swing read off a voltage-transfer curve.
+
+        Returns ``(v_low, v_high)`` at ``node``.
+        """
+        if not 0.0 < gain_fraction < 1.0:
+            raise AnalysisError("gain_fraction must be in (0, 1)")
+        gain = np.abs(self.transfer_gain(node))
+        peak = float(gain.max())
+        if peak == 0.0:
+            raise AnalysisError(f"node {node!r} does not respond to the sweep")
+        active = gain >= gain_fraction * peak
+        vout = self.voltage(node)[active]
+        return float(vout.min()), float(vout.max())
+
+    def crossing(self, node: str, level: float) -> float:
+        """Swept-source value where ``v(node)`` first crosses ``level``
+        (linearly interpolated); the trip point of a VTC."""
+        vout = self.voltage(node)
+        above = vout >= level
+        if above.all() or not above.any():
+            raise AnalysisError(
+                f"v({node}) never crosses {level} within the sweep")
+        i = int(np.argmax(above != above[0]))
+        v0, v1 = vout[i - 1], vout[i]
+        t = (level - v0) / (v1 - v0) if v1 != v0 else 0.0
+        return float(self.values[i - 1]
+                     + t * (self.values[i] - self.values[i - 1]))
+
+
+def dc_sweep(netlist: Netlist, source: str, values: np.ndarray, *,
+             temperature: float = ROOM_TEMPERATURE,
+             max_failures: int | None = None) -> DcSweepResult:
+    """Sweep the DC value of ``source`` over ``values``.
+
+    Each point warm-starts from the previous solution.  Points that fail
+    to converge are recorded in ``failed`` and skipped (their operating
+    points are omitted, and ``values`` is filtered to match) unless the
+    failure count exceeds ``max_failures`` (default: fail the sweep only
+    if *every* point fails).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 1:
+        raise AnalysisError("DC sweep needs a non-empty 1-D value array")
+    element = netlist[source]
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise AnalysisError(
+            f"{source!r} is not an independent source (got "
+            f"{type(element).__name__})")
+
+    original = element.dc
+    ops: list[OperatingPoint] = []
+    kept: list[float] = []
+    failed: list[int] = []
+    x_prev: np.ndarray | None = None
+    try:
+        for i, v in enumerate(values):
+            element.dc = float(v)
+            system = MnaSystem(netlist, temperature=temperature)
+            op = None
+            if x_prev is not None:
+                try:
+                    op = solve_dc(system, x0=x_prev)
+                except ConvergenceError:
+                    op = None
+            if op is None:
+                try:
+                    op = solve_dc(system)
+                except ConvergenceError:
+                    failed.append(i)
+                    if (max_failures is not None
+                            and len(failed) > max_failures):
+                        raise AnalysisError(
+                            f"DC sweep of {source!r}: more than "
+                            f"{max_failures} non-convergent points")
+                    continue
+            x_prev = op.x.copy()
+            ops.append(op)
+            kept.append(float(v))
+    finally:
+        element.dc = original
+    if not ops:
+        raise AnalysisError(f"DC sweep of {source!r}: no point converged")
+    return DcSweepResult(source=source, values=np.asarray(kept),
+                         operating_points=ops, failed=failed)

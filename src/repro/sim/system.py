@@ -1,0 +1,213 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+:class:`MnaSystem` turns a :class:`~repro.circuits.netlist.Netlist` into
+dense numpy matrices:
+
+* ``G`` — conductance matrix (linear elements only),
+* ``C`` — capacitance/inductance matrix,
+* ``b_dc`` / ``b_ac`` — DC and AC excitation vectors,
+
+with one unknown per non-ground node plus one per voltage-defined branch
+(voltage sources, VCVS, inductors).  Nonlinear devices (MOSFETs) are not in
+``G``; each Newton iteration stamps their companion model through
+:meth:`MnaSystem.newton_matrices`.
+
+The circuits in this reproduction have 5–20 unknowns, so dense linear
+algebra is both simpler and faster than sparse here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.elements import Element
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import GROUND, Netlist
+from repro.errors import NetlistError
+from repro.units import ROOM_TEMPERATURE
+
+
+class _Stamper:
+    """Accumulates element stamps into an :class:`MnaSystem`'s arrays."""
+
+    def __init__(self, system: "MnaSystem", G: np.ndarray, C: np.ndarray,
+                 b_dc: np.ndarray, b_ac: np.ndarray):
+        self._system = system
+        self._G = G
+        self._C = C
+        self._b_dc = b_dc
+        self._b_ac = b_ac
+
+    def node(self, name: str) -> int:
+        return self._system.node_index[name]
+
+    def branch(self, element: Element) -> int:
+        return self._system.branch_index[element.name]
+
+    def add_g(self, i: int, j: int, value: float) -> None:
+        if i >= 0 and j >= 0:
+            self._G[i, j] += value
+
+    def add_c(self, i: int, j: int, value: float) -> None:
+        if i >= 0 and j >= 0:
+            self._C[i, j] += value
+
+    def add_b_dc(self, i: int, value: float) -> None:
+        if i >= 0:
+            self._b_dc[i] += value
+
+    def add_b_ac(self, i: int, value: float) -> None:
+        if i >= 0:
+            self._b_ac[i] += value
+
+
+class MnaSystem:
+    """MNA matrices and index maps for one netlist at one temperature.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit.  It is validated (ground reference, DC paths) on
+        construction.
+    temperature:
+        Simulation temperature [K]; used by noise analyses and available to
+        elements.
+    """
+
+    def __init__(self, netlist: Netlist, temperature: float = ROOM_TEMPERATURE):
+        netlist.validate()
+        self.netlist = netlist
+        self.temperature = float(temperature)
+
+        self.node_index: dict[str, int] = {GROUND: -1}
+        for i, node in enumerate(sorted(netlist.nodes())):
+            self.node_index[node] = i
+        self.n_nodes = len(self.node_index) - 1
+
+        self.branch_index: dict[str, int] = {}
+        next_index = self.n_nodes
+        for element in netlist:
+            if element.has_branch:
+                self.branch_index[element.name] = next_index
+                next_index += 1
+        self.size = next_index
+
+        self.mosfets: tuple[Mosfet, ...] = tuple(
+            e for e in netlist if isinstance(e, Mosfet))
+        for mosfet in self.mosfets:
+            for node in mosfet.nodes:
+                if node not in self.node_index:
+                    raise NetlistError(
+                        f"mosfet {mosfet.name} references unknown node {node!r}")
+        # Pre-resolve terminal indices for the Newton hot loop.
+        self._mos_terms = np.array(
+            [[self.node_index[m.d], self.node_index[m.g],
+              self.node_index[m.s], self.node_index[m.b]]
+             for m in self.mosfets], dtype=np.intp).reshape(len(self.mosfets), 4)
+
+        self.G = np.zeros((self.size, self.size))
+        self.C = np.zeros((self.size, self.size))
+        self.b_dc = np.zeros(self.size)
+        self.b_ac = np.zeros(self.size, dtype=complex)
+        stamper = _Stamper(self, self.G, self.C, self.b_dc, self.b_ac)
+        for element in netlist:
+            element.stamp(stamper)
+
+    # -- voltage access ------------------------------------------------------
+    def voltage_getter(self, x: np.ndarray):
+        """Return a ``node name -> voltage`` callable over solution vector ``x``."""
+        index = self.node_index
+
+        def get(node: str) -> float:
+            i = index[node]
+            return 0.0 if i < 0 else float(x[i])
+
+        return get
+
+    # -- Newton companion assembly ---------------------------------------------
+    def newton_matrices(self, x: np.ndarray, gmin: float = 0.0,
+                        source_scale: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(A, rhs)`` of the companion-model linear system.
+
+        Solving ``A x_new = rhs`` performs one Newton step from ``x``:
+        ``A = G + J_nl(x) (+ gmin on node diagonals)`` and
+        ``rhs = source_scale * b_dc - i_nl(x) + J_nl(x) x``.
+        """
+        A = self.G.copy()
+        rhs = source_scale * self.b_dc
+        get = self.voltage_getter(x)
+        for k, mosfet in enumerate(self.mosfets):
+            i_d, g_d, g_g, g_s, g_b = mosfet.eval_companion(get)
+            d, g, s, b = self._mos_terms[k]
+            v_d = 0.0 if d < 0 else x[d]
+            v_g = 0.0 if g < 0 else x[g]
+            v_s = 0.0 if s < 0 else x[s]
+            v_b = 0.0 if b < 0 else x[b]
+            i_eq = i_d - (g_d * v_d + g_g * v_g + g_s * v_s + g_b * v_b)
+            for idx, g_val in ((d, g_d), (g, g_g), (s, g_s), (b, g_b)):
+                if idx >= 0:
+                    if d >= 0:
+                        A[d, idx] += g_val
+                    if s >= 0:
+                        A[s, idx] -= g_val
+            if d >= 0:
+                rhs[d] -= i_eq
+            if s >= 0:
+                rhs[s] += i_eq
+        if gmin > 0.0:
+            diag = np.arange(self.n_nodes)
+            A[diag, diag] += gmin
+        return A, rhs
+
+    def residual(self, x: np.ndarray, source_scale: float = 1.0) -> np.ndarray:
+        """KCL/KVL residual ``F(x) = G x + i_nl(x) - b`` (amps / volts)."""
+        f = self.G @ x - source_scale * self.b_dc
+        get = self.voltage_getter(x)
+        for k, mosfet in enumerate(self.mosfets):
+            i_d = mosfet.eval_companion(get)[0]
+            d, s = self._mos_terms[k][0], self._mos_terms[k][2]
+            if d >= 0:
+                f[d] += i_d
+            if s >= 0:
+                f[s] -= i_d
+        return f
+
+    # -- small-signal assembly ----------------------------------------------------
+    def small_signal_matrices(self, op) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(G_ss, C_ss)`` with every MOSFET's linearised model stamped
+        at the operating point ``op``."""
+        G = self.G.copy()
+        C = self.C.copy()
+        stamper = _Stamper(self, G, C, np.zeros(self.size),
+                           np.zeros(self.size, dtype=complex))
+        for mosfet in self.mosfets:
+            mosfet.stamp_small_signal(stamper, op.mosfet_state(mosfet.name))
+        return G, C
+
+    def capacitance_matrix_at(self, x: np.ndarray) -> np.ndarray:
+        """Capacitance matrix including MOSFET capacitances evaluated at the
+        (large-signal) solution ``x`` — used by the nonlinear transient
+        engine, where device capacitances vary along the trajectory."""
+        C = self.C.copy()
+        get = self.voltage_getter(x)
+        stamper = _Stamper(self, np.zeros_like(self.G), C,
+                           np.zeros(self.size), np.zeros(self.size, dtype=complex))
+        for mosfet in self.mosfets:
+            state = mosfet.state_at(get)
+            d, g = stamper.node(mosfet.d), stamper.node(mosfet.g)
+            s, b = stamper.node(mosfet.s), stamper.node(mosfet.b)
+            for (i, j, c) in ((g, s, state.cgs), (g, d, state.cgd),
+                              (d, b, state.cdb), (s, b, state.csb)):
+                stamper.add_c(i, i, c)
+                stamper.add_c(j, j, c)
+                stamper.add_c(i, j, -c)
+                stamper.add_c(j, i, -c)
+        return C
+
+    def noise_source_list(self, op):
+        """All noise current sources ``(i_index, j_index, psd_fn)`` at ``op``."""
+        sources = []
+        for element in self.netlist:
+            for p, n, psd in element.noise_sources(op):
+                sources.append((self.node_index[p], self.node_index[n], psd))
+        return sources

@@ -1,0 +1,235 @@
+"""Nonlinear transient analysis (trapezoidal integration + Newton).
+
+The large-signal counterpart of :mod:`repro.sim.linear`: each time step
+solves the nonlinear system
+
+    ``C (x_{k+1} - x_k) = (h/2) (f(x_{k+1}, t_{k+1}) + f(x_k, t_k))``
+
+with ``f(x, t) = b(t) - G x - i_nl(x)`` by damped Newton iteration,
+warm-started from the previous step.  Time-varying stimuli are supplied as
+``waveforms={"V1": fn(t) -> value}`` overriding the DC value of the named
+source during the run (the classic PWL/pulse testbench pattern).
+
+Used by the examples and the verification tests (e.g. checking that the
+small-signal settling measurement agrees with a true large-signal step for
+small steps); the RL hot loop uses the cheaper linearised analyses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits.elements import CurrentSource, VoltageSource
+from repro.errors import AnalysisError, ConvergenceError
+from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.system import MnaSystem
+
+Waveform = Callable[[float], float]
+
+
+def step_waveform(before: float, after: float, t_step: float = 0.0) -> Waveform:
+    """A step stimulus: ``before`` for t < t_step, ``after`` afterwards."""
+
+    def wave(t: float) -> float:
+        return before if t < t_step else after
+
+    return wave
+
+
+def pulse_waveform(low: float, high: float, delay: float, rise: float,
+                   width: float, fall: float | None = None) -> Waveform:
+    """SPICE-style trapezoidal pulse."""
+    fall = rise if fall is None else fall
+
+    def wave(t: float) -> float:
+        t = t - delay
+        if t < 0.0:
+            return low
+        if t < rise:
+            return low + (high - low) * t / rise
+        t -= rise
+        if t < width:
+            return high
+        t -= width
+        if t < fall:
+            return high - (high - low) * t / fall
+        return low
+
+    return wave
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """Waveforms from a transient run."""
+
+    system: MnaSystem
+    time: np.ndarray       # (T,)
+    solutions: np.ndarray  # (T, size)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node-voltage waveform over the simulated interval."""
+        i = self.system.node_index[node]
+        if i < 0:
+            return np.zeros(len(self.time))
+        return self.solutions[:, i]
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Branch-current waveform of a voltage-defined element."""
+        return self.solutions[:, self.system.branch_index[element_name]]
+
+
+def _source_vector(system: MnaSystem, waveforms: dict[str, Waveform],
+                   t: float) -> np.ndarray:
+    """DC excitation vector with waveform overrides applied at time ``t``."""
+    b = system.b_dc.copy()
+    for name, wave in waveforms.items():
+        element = system.netlist[name]
+        value = wave(t)
+        if isinstance(element, VoltageSource):
+            k = system.branch_index[name]
+            b[k] += value - element.dc
+        elif isinstance(element, CurrentSource):
+            i = system.node_index[element.p]
+            j = system.node_index[element.n]
+            delta = value - element.dc
+            if i >= 0:
+                b[i] -= delta
+            if j >= 0:
+                b[j] += delta
+        else:
+            raise AnalysisError(
+                f"waveform target {name!r} is not an independent source")
+    return b
+
+
+def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
+                       waveforms: dict[str, Waveform] | None = None,
+                       x0: np.ndarray | None = None,
+                       max_newton: int = 50, vtol: float = 1e-8) -> TransientResult:
+    """Integrate the full nonlinear circuit equations over ``[0, t_stop]``.
+
+    Parameters
+    ----------
+    t_stop, dt:
+        Stop time and fixed step size [s].
+    waveforms:
+        Optional time functions per independent source name.
+    x0:
+        Initial state; when omitted, the DC operating point at t=0 (with
+        waveform overrides applied) is used — the standard SPICE behaviour.
+    """
+    if t_stop <= 0 or dt <= 0 or dt > t_stop:
+        raise AnalysisError(f"bad transient window t_stop={t_stop}, dt={dt}")
+    waveforms = waveforms or {}
+    for name in waveforms:
+        if name not in system.netlist:
+            raise AnalysisError(f"waveform refers to unknown element {name!r}")
+
+    if x0 is None:
+        op0 = solve_dc(system)
+        x = op0.x.copy()
+        # Re-solve with t=0 waveform values if they differ from the DC values.
+        if waveforms:
+            b0 = _source_vector(system, waveforms, 0.0)
+            if not np.allclose(b0, system.b_dc):
+                x = _solve_static(system, b0, x, max_newton, vtol)
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+
+    n_steps = int(np.ceil(t_stop / dt))
+    times = np.linspace(0.0, n_steps * dt, n_steps + 1)
+    states = np.empty((n_steps + 1, system.size))
+    states[0] = x
+
+    G = system.G
+    h2 = dt / 2.0
+    for k in range(1, n_steps + 1):
+        # Device capacitances depend on the operating region, so the C
+        # matrix is refreshed from the state at the start of each step.
+        C = system.capacitance_matrix_at(x)
+        t_prev, t_now = times[k - 1], times[k]
+        b_prev = _source_vector(system, waveforms, t_prev)
+        b_now = _source_vector(system, waveforms, t_now)
+        f_prev = b_prev - G @ x - _nonlinear_current(system, x)
+        # Newton on F(v) = C (v - x) - h/2 (b_now - G v - i_nl(v)) - h/2 f_prev
+        v = x.copy()
+        converged = False
+        for _ in range(max_newton):
+            i_nl, J_nl = _nonlinear_current_and_jacobian(system, v)
+            F = C @ (v - x) - h2 * (b_now - G @ v - i_nl) - h2 * f_prev
+            J = C + h2 * (G + J_nl)
+            try:
+                dv = np.linalg.solve(J, -F)
+            except np.linalg.LinAlgError:
+                raise ConvergenceError(
+                    f"transient Jacobian singular at t={t_now:.3e}s")
+            step = float(np.max(np.abs(dv))) if dv.size else 0.0
+            if step > 0.5:
+                dv *= 0.5 / step
+            v = v + dv
+            if step < vtol:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"transient Newton failed at t={t_now:.3e}s", residual=step)
+        x = v
+        states[k] = x
+    return TransientResult(system=system, time=times, solutions=states)
+
+
+def _nonlinear_current(system: MnaSystem, x: np.ndarray) -> np.ndarray:
+    i = np.zeros(system.size)
+    get = system.voltage_getter(x)
+    for k, mosfet in enumerate(system.mosfets):
+        i_d = mosfet.eval_companion(get)[0]
+        d, s = system._mos_terms[k][0], system._mos_terms[k][2]
+        if d >= 0:
+            i[d] += i_d
+        if s >= 0:
+            i[s] -= i_d
+    return i
+
+
+def _nonlinear_current_and_jacobian(system: MnaSystem,
+                                    x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    i = np.zeros(system.size)
+    J = np.zeros((system.size, system.size))
+    get = system.voltage_getter(x)
+    for k, mosfet in enumerate(system.mosfets):
+        i_d, g_d, g_g, g_s, g_b = mosfet.eval_companion(get)
+        d, g, s, b = system._mos_terms[k]
+        if d >= 0:
+            i[d] += i_d
+        if s >= 0:
+            i[s] -= i_d
+        for idx, g_val in ((d, g_d), (g, g_g), (s, g_s), (b, g_b)):
+            if idx >= 0:
+                if d >= 0:
+                    J[d, idx] += g_val
+                if s >= 0:
+                    J[s, idx] -= g_val
+    return i, J
+
+
+def _solve_static(system: MnaSystem, b: np.ndarray, x0: np.ndarray,
+                  max_iter: int, vtol: float) -> np.ndarray:
+    """Newton solve of G x + i_nl(x) = b from a warm start."""
+    x = x0.copy()
+    for _ in range(max_iter):
+        i_nl, J_nl = _nonlinear_current_and_jacobian(system, x)
+        F = system.G @ x + i_nl - b
+        try:
+            dx = np.linalg.solve(system.G + J_nl, -F)
+        except np.linalg.LinAlgError:
+            raise ConvergenceError("static re-solve Jacobian singular")
+        step = float(np.max(np.abs(dx))) if dx.size else 0.0
+        if step > 0.4:
+            dx *= 0.4 / step
+        x = x + dx
+        if step < vtol:
+            return x
+    raise ConvergenceError("static re-solve did not converge")

@@ -1,0 +1,33 @@
+"""Circuit topologies evaluated in the paper, plus the parameter-grid
+machinery their action spaces are built from.
+
+* :mod:`repro.topologies.params` — ``[start, stop, step]`` integer grids
+  (exactly the paper's action-space notation);
+* :mod:`repro.topologies.base` — the :class:`Topology` interface and the
+  counting/caching :class:`SchematicSimulator` wrapper;
+* :mod:`repro.topologies.tia` — transimpedance amplifier (paper §III-A);
+* :mod:`repro.topologies.two_stage` — two-stage Miller op-amp (§III-B);
+* :mod:`repro.topologies.ngm_ota` — two-stage OTA with negative-gm load
+  (§III-C/D);
+* :mod:`repro.topologies.five_t_ota` — single-stage 5T OTA, the
+  "add your own circuit" extensibility example.
+"""
+
+from repro.topologies.base import CircuitSimulator, SchematicSimulator, Topology
+from repro.topologies.five_t_ota import FiveTransistorOta
+from repro.topologies.ngm_ota import NegGmOta
+from repro.topologies.params import GridParam, ParameterSpace
+from repro.topologies.tia import TransimpedanceAmplifier
+from repro.topologies.two_stage import TwoStageOpAmp
+
+__all__ = [
+    "CircuitSimulator",
+    "FiveTransistorOta",
+    "GridParam",
+    "NegGmOta",
+    "ParameterSpace",
+    "SchematicSimulator",
+    "Topology",
+    "TransimpedanceAmplifier",
+    "TwoStageOpAmp",
+]

@@ -1,0 +1,182 @@
+"""Topology interface and the counting/caching simulator wrapper.
+
+A :class:`Topology` owns three things:
+
+* the discretised :class:`~repro.topologies.params.ParameterSpace` (the
+  paper's action space),
+* a netlist builder mapping physical parameter values to a
+  :class:`~repro.circuits.netlist.Netlist` testbench,
+* a measurement routine extracting the topology's design specs from
+  DC/AC/noise/transient analyses.
+
+:class:`SchematicSimulator` wraps a topology into the object the RL
+environment and the baselines consume: ``evaluate(index_vector) -> specs``
+with simulation counting (the paper's sample-efficiency metric), optional
+memoisation, and warm-started DC solves along sizing trajectories.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.technology import Corner, Technology
+from repro.core.specs import SpecKind, SpecSpace
+from repro.errors import ConvergenceError, MeasurementError
+from repro.sim.cache import SimulationCache, SimulationCounter
+from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.system import MnaSystem
+from repro.topologies.params import ParameterSpace
+from repro.units import ROOM_TEMPERATURE
+
+
+class Topology(abc.ABC):
+    """A sizable circuit with a parameter grid and measurable specs."""
+
+    #: Subclasses set a short identifier, e.g. "tia".
+    name: str = "topology"
+
+    def __init__(self, technology: Technology | None = None,
+                 corner: Corner = Corner.TT,
+                 temperature: float = ROOM_TEMPERATURE):
+        self.technology = technology or self.default_technology()
+        self.corner = corner
+        self.temperature = float(temperature)
+        self.parameter_space = self._build_parameter_space()
+        self.spec_space = self._build_spec_space()
+        self._warm_x: np.ndarray | None = None
+
+    # -- subclass API ---------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def default_technology(cls) -> Technology:
+        """Technology card the paper used for this circuit."""
+
+    @abc.abstractmethod
+    def _build_parameter_space(self) -> ParameterSpace:
+        """The paper's [start, stop, step] action-space grids."""
+
+    @abc.abstractmethod
+    def _build_spec_space(self) -> SpecSpace:
+        """The paper's design-specification ranges."""
+
+    @abc.abstractmethod
+    def build(self, values: dict[str, float]) -> Netlist:
+        """Construct the testbench netlist for physical parameter values."""
+
+    @abc.abstractmethod
+    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
+        """Extract all design specs from a solved testbench."""
+
+    # -- shared behaviour -------------------------------------------------------
+    def device_params(self, polarity: str):
+        """Corner/temperature-adjusted device card for this topology."""
+        return self.technology.device(polarity, self.corner, self.temperature)
+
+    def simulate(self, values: dict[str, float]) -> dict[str, float]:
+        """Build, solve and measure one sizing; returns the spec dict.
+
+        DC solves are warm-started from the previous sizing's solution
+        (sizing trajectories move one grid step at a time, so the previous
+        operating point is an excellent initial guess); on any convergence
+        trouble the solve is retried cold, and if that also fails the
+        pessimistic :meth:`failure_measurement` is returned so optimisers
+        always receive a numeric (heavily penalised) result.
+        """
+        netlist = self.build(values)
+        system = MnaSystem(netlist, temperature=self.temperature)
+        op = None
+        if self._warm_x is not None and self._warm_x.shape == (system.size,):
+            try:
+                op = solve_dc(system, x0=self._warm_x)
+            except ConvergenceError:
+                op = None
+        if op is None:
+            try:
+                op = solve_dc(system)
+            except ConvergenceError:
+                self._warm_x = None
+                return self.failure_measurement()
+        self._warm_x = op.x.copy()
+        try:
+            return self.measure(system, op)
+        except MeasurementError:
+            return self.failure_measurement()
+
+    def failure_measurement(self) -> dict[str, float]:
+        """Pessimistic spec values reported for non-convergent designs."""
+        failed: dict[str, float] = {}
+        for spec in self.spec_space:
+            if spec.kind is SpecKind.LOWER_BOUND:
+                failed[spec.name] = spec.low * 1e-3 if spec.low > 0 else -abs(spec.high)
+            elif spec.kind is SpecKind.RANGE:
+                failed[spec.name] = 0.0
+            else:
+                failed[spec.name] = spec.high * 1e3
+        return failed
+
+    def reset_warm_start(self) -> None:
+        """Drop the warm-start state (used when jumping across the grid)."""
+        self._warm_x = None
+
+
+class CircuitSimulator(abc.ABC):
+    """What optimisers see: index-vector evaluation with sim accounting."""
+
+    parameter_space: ParameterSpace
+    spec_space: SpecSpace
+    counter: SimulationCounter
+
+    @abc.abstractmethod
+    def evaluate(self, indices: np.ndarray) -> dict[str, float]:
+        """Simulate the sizing at grid ``indices`` and return its specs."""
+
+    def reset_counter(self) -> None:
+        """Zero the simulation counter (per-experiment accounting)."""
+        self.counter.reset()
+
+
+class SchematicSimulator(CircuitSimulator):
+    """Schematic-level simulator: direct MNA evaluation of the topology.
+
+    Parameters
+    ----------
+    topology:
+        The circuit to size.
+    cache:
+        When True (default), memoise spec results by grid point.  Cache
+        hits are counted separately from fresh solves so benchmarks can
+        report either accounting policy.
+    """
+
+    def __init__(self, topology: Topology, cache: bool = True,
+                 cache_size: int = 200_000):
+        self.topology = topology
+        self.parameter_space = topology.parameter_space
+        self.spec_space = topology.spec_space
+        self.counter = SimulationCounter()
+        self._cache = SimulationCache(cache_size) if cache else None
+
+    def evaluate(self, indices: np.ndarray) -> dict[str, float]:
+        indices = self.parameter_space.clip(indices)
+        values = self.parameter_space.values(indices)
+        if self._cache is None:
+            self.counter.fresh += 1
+            return dict(self.topology.simulate(values))
+        key = self.parameter_space.as_key(indices)
+        if key in self._cache:
+            self.counter.cached += 1
+        else:
+            self.counter.fresh += 1
+        result = self._cache.get_or_compute(
+            key, lambda: self.topology.simulate(values))
+        return dict(result)
+
+    @property
+    def cache_stats(self) -> dict[str, float]:
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "hit_rate": 0.0}
+        return {"hits": self._cache.hits, "misses": self._cache.misses,
+                "hit_rate": self._cache.hit_rate}

@@ -1,0 +1,113 @@
+"""Five-transistor OTA — the extensibility example topology.
+
+The paper's framework claims to "design any circuit topology" given the
+three ingredients of its Fig. 1 (parameter ranges, target specs, a
+netlist/testbench).  This module is the demonstration: a fourth topology
+added with nothing but those ingredients — no changes anywhere else in
+the stack — and exercised by its own tests and example
+(``examples/custom_topology.py``).
+
+The circuit is the classic single-stage OTA: NMOS differential pair
+(M1/M2), PMOS current-mirror load (M3/M4), NMOS tail source (M5) mirrored
+from a bias diode (M6), driving a fixed capacitive load.  Being
+single-stage it is dominant-pole by construction, so the interesting
+trade-offs are gain vs. bandwidth vs. power — three specs, four width
+parameters.
+
+Spec ranges are calibrated to the achievable surface of the ptm45 card
+the same way EXPERIMENTS.md documents for the TIA (the class docstring of
+each spec notes the probe results).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.elements import Capacitor, CurrentSource, VoltageSource
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import Netlist
+from repro.circuits.technology import Technology, ptm45
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.measure.acspecs import dc_gain, unity_gain_bandwidth
+from repro.sim.ac import ac_sweep, log_frequencies
+from repro.sim.dc import OperatingPoint
+from repro.sim.system import MnaSystem
+from repro.topologies.base import Topology
+from repro.topologies.params import GridParam, ParameterSpace
+from repro.units import MICRO, PICO
+
+
+class FiveTransistorOta(Topology):
+    """Single-stage 5T OTA on the paper's 0.5 um width grid."""
+
+    name = "five_t_ota"
+
+    #: Reference current into the bias diode M6.
+    I_BIAS_REF = 20e-6
+    #: Output load capacitance.
+    C_LOAD = 1.0 * PICO
+    #: Input common-mode voltage as a fraction of VDD.
+    VCM_FRACTION = 0.55
+
+    @classmethod
+    def default_technology(cls) -> Technology:
+        return ptm45()
+
+    def _build_parameter_space(self) -> ParameterSpace:
+        half_um = 0.5 * MICRO
+        return ParameterSpace([
+            GridParam("w_in", 1, 100, 1, scale=half_um, unit="m"),    # M1 = M2
+            GridParam("w_load", 1, 100, 1, scale=half_um, unit="m"),  # M3 = M4
+            GridParam("w_tail", 1, 100, 1, scale=half_um, unit="m"),  # M5
+            GridParam("w_bias", 1, 100, 1, scale=half_um, unit="m"),  # M6
+        ])
+
+    def _build_spec_space(self) -> SpecSpace:
+        # Calibration probe (grid centre + 300 random sizings, TT, 27 C):
+        # gain spans ~7-297 V/V (10th-90th percentile 98-257), UGBW
+        # 0.7-283 MHz (9-110 MHz), ibias 20-760 uA.  Target ranges sit
+        # inside the 10-90 band so most targets are reachable but not
+        # trivially so.
+        return SpecSpace([
+            Spec("gain", 100.0, 250.0, SpecKind.LOWER_BOUND, unit="V/V"),
+            Spec("ugbw", 5.0e6, 1.0e8, SpecKind.LOWER_BOUND,
+                 log_scale=True, unit="Hz"),
+            Spec("ibias", 3.0e-5, 5.0e-4, SpecKind.MINIMIZE,
+                 log_scale=True, unit="A"),
+        ])
+
+    def build(self, values: dict[str, float]) -> Netlist:
+        tech = self.technology
+        length = tech.l_default
+        vcm = self.VCM_FRACTION * tech.vdd
+        nmos = self.device_params("nmos")
+        pmos = self.device_params("pmos")
+
+        net = Netlist("five_t_ota")
+        net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        net.add(VoltageSource("VINP", "inp", "0", dc=vcm, ac=+0.5))
+        net.add(VoltageSource("VINN", "inn", "0", dc=vcm, ac=-0.5))
+        net.add(CurrentSource("IBIAS", "vdd", "nb", dc=self.I_BIAS_REF))
+
+        net.add(Mosfet("M6", "nb", "nb", "0", "0", polarity="nmos",
+                       params=nmos, w=values["w_bias"], l=length))
+        net.add(Mosfet("M5", "nt", "nb", "0", "0", polarity="nmos",
+                       params=nmos, w=values["w_tail"], l=length))
+        net.add(Mosfet("M1", "d1", "inn", "nt", "0", polarity="nmos",
+                       params=nmos, w=values["w_in"], l=length))
+        net.add(Mosfet("M2", "out", "inp", "nt", "0", polarity="nmos",
+                       params=nmos, w=values["w_in"], l=length))
+        net.add(Mosfet("M3", "d1", "d1", "vdd", "vdd", polarity="pmos",
+                       params=pmos, w=values["w_load"], l=length))
+        net.add(Mosfet("M4", "out", "d1", "vdd", "vdd", polarity="pmos",
+                       params=pmos, w=values["w_load"], l=length))
+        net.add(Capacitor("CL", "out", "0", self.C_LOAD))
+        return net
+
+    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
+        """Differential gain, unity-gain bandwidth and supply current."""
+        freqs = log_frequencies(1e3, 1e11, points_per_decade=8)
+        h = ac_sweep(system, op, freqs).voltage("out")
+        return {
+            "gain": dc_gain(freqs, h),
+            "ugbw": unity_gain_bandwidth(freqs, h),
+            "ibias": op.supply_current("VDD"),
+        }

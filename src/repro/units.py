@@ -1,0 +1,125 @@
+"""Physical constants and SI unit helpers used throughout the package.
+
+All internal quantities are plain SI floats (volts, amps, ohms, farads,
+hertz, seconds, meters).  The helpers here exist so that circuit and
+technology definitions read like a datasheet (``5.6 * KILO`` ohms,
+``0.5 * MICRO`` meters) instead of a wall of exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default simulation temperature [K] (27 C, the SPICE default).
+ROOM_TEMPERATURE = 300.15
+
+#: Permittivity of free space [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPSILON_SIO2 = 3.9
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q [V] at the given temperature [K]."""
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+def db(magnitude: float) -> float:
+    """Convert a voltage/current magnitude ratio to decibels (20 log10)."""
+    if magnitude <= 0.0:
+        return -math.inf
+    return 20.0 * math.log10(magnitude)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels back to a magnitude ratio (inverse of :func:`db`)."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def degrees(radians: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(radians)
+
+
+def parse_si(text: str) -> float:
+    """Parse a SPICE-style number with an optional SI suffix.
+
+    >>> parse_si("5.6k")
+    5600.0
+    >>> parse_si("100n")
+    1e-07
+    >>> parse_si("3meg")
+    3000000.0
+
+    Recognised suffixes (case-insensitive): t, g, meg, k, m, u, n, p, f, a.
+    Note that SPICE convention applies: ``m`` is milli and ``meg`` is mega.
+    """
+    text = text.strip().lower()
+    suffixes = [
+        ("meg", MEGA),
+        ("t", TERA),
+        ("g", GIGA),
+        ("k", KILO),
+        ("m", MILLI),
+        ("u", MICRO),
+        ("n", NANO),
+        ("p", PICO),
+        ("f", FEMTO),
+        ("a", ATTO),
+    ]
+    for suffix, scale in suffixes:
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * scale
+    return float(text)
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``format_si(5600, "Ohm")
+    == "5.6 kOhm"``.  Zero and non-finite values are printed plainly."""
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value} {unit}".strip()
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()

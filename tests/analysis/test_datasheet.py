@@ -1,0 +1,92 @@
+"""Datasheet generation across the simulator/measure/pole/layout stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_datasheet
+from repro.errors import AnalysisError
+from repro.topologies import FiveTransistorOta, TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def sheet():
+    return build_datasheet(FiveTransistorOta())
+
+
+class TestContent:
+    def test_identity(self, sheet):
+        assert sheet.topology == "five_t_ota"
+        assert sheet.technology == "ptm45"
+
+    def test_specs_match_simulator(self, sheet):
+        from repro.topologies import SchematicSimulator
+
+        topo = FiveTransistorOta()
+        direct = SchematicSimulator(topo).evaluate(topo.parameter_space.center)
+        for name, value in direct.items():
+            assert sheet.specs[name] == pytest.approx(value, rel=1e-9)
+
+    def test_every_mosfet_listed(self, sheet):
+        assert sorted(d.name for d in sheet.devices) == [
+            "M1", "M2", "M3", "M4", "M5", "M6"]
+
+    def test_bias_rows_consistent(self, sheet):
+        for row in sheet.devices:
+            assert row.ids > 0.0
+            assert row.gm > 0.0
+            # gm/ID of a square-law device in moderate inversion: 1..40.
+            assert 1.0 < row.gm_over_id < 60.0
+            assert row.region in ("off", "triode", "saturation")
+
+    def test_supply_power_consistent_with_ibias(self, sheet):
+        # P = VDD * I_supply; ibias is the measured supply current.
+        vdd = 1.8
+        assert sheet.supply_power == pytest.approx(
+            vdd * sheet.specs["ibias"], rel=0.05)
+
+    def test_layout_area_positive_and_plausible(self, sheet):
+        # 6 devices of ~25 um width: hundreds to thousands of um^2.
+        assert 1e-11 < sheet.layout_area < 1e-7
+
+    def test_stability_verdict(self, sheet):
+        assert sheet.stable
+
+    def test_worst_device_has_min_margin(self, sheet):
+        worst = sheet.worst_device()
+        assert worst.saturation_margin == min(d.saturation_margin
+                                              for d in sheet.devices)
+
+
+class TestRender:
+    def test_all_sections_present(self, sheet):
+        text = sheet.render()
+        for token in ("sizing", "performance", "bias point", "poles:",
+                      "supply power", "tightest device"):
+            assert token in text
+
+    def test_si_prefixes_used(self, sheet):
+        text = sheet.render()
+        assert "u" in text  # micro-scale widths/currents
+
+
+class TestValues:
+    def test_explicit_indices(self):
+        topo = TwoStageOpAmp()
+        indices = topo.parameter_space.center
+        sheet = build_datasheet(topo, indices=indices)
+        assert sheet.specs["gain"] > 0.0
+        assert len(sheet.devices) == 8
+
+    def test_explicit_values(self):
+        topo = FiveTransistorOta()
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        sheet = build_datasheet(topo, values=values)
+        assert sheet.values == values
+
+    def test_si_formatting(self):
+        from repro.analysis.datasheet import _si
+
+        assert _si(0.0) == "0"
+        assert _si(2.5e-6) == "2.5u"
+        assert _si(4.1e9) == "4.1G"
+        assert _si(-3e-3) == "-3m"

@@ -1,0 +1,43 @@
+"""Experiment registry consistency."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, coverage_table, experiment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_all_paper_tables_and_figures_present(self):
+        keys = set(EXPERIMENTS)
+        assert {"table1", "table2", "table3", "table4"} <= keys
+        assert {"fig5", "fig7", "fig8", "fig10", "fig11", "fig14"} <= keys
+
+    def test_every_bench_file_exists(self):
+        for exp in EXPERIMENTS.values():
+            assert (REPO_ROOT / exp.bench).exists(), exp.bench
+
+    def test_every_module_importable(self):
+        import importlib
+        for exp in EXPERIMENTS.values():
+            for module in exp.modules:
+                importlib.import_module(module)
+
+    def test_lookup(self):
+        assert experiment("table2").title.startswith("Two-stage")
+        with pytest.raises(KeyError, match="valid"):
+            experiment("table99")
+
+    def test_coverage_table_renders(self):
+        text = coverage_table()
+        assert text.count("|") > 40
+        assert "bench_table4_pex" in text
+
+    def test_every_bench_in_repo_is_registered(self):
+        """No orphan benches: each bench file appears in the registry."""
+        bench_dir = REPO_ROOT / "benchmarks"
+        registered = {exp.bench.split("/")[-1] for exp in EXPERIMENTS.values()}
+        on_disk = {p.name for p in bench_dir.glob("bench_*.py")}
+        assert on_disk == registered

@@ -1,0 +1,185 @@
+"""ASCII canvas plotting: line plots, scatter plots, heatmaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import binned_density, heatmap, line_plot, scatter_plot
+from repro.analysis.plot import Axis, Canvas
+
+
+class TestAxis:
+    def test_linear_fraction(self):
+        ax = Axis(0.0, 10.0)
+        assert ax.fraction(0.0) == 0.0
+        assert ax.fraction(10.0) == 1.0
+        assert ax.fraction(5.0) == 0.5
+
+    def test_clipping(self):
+        ax = Axis(0.0, 1.0)
+        assert ax.fraction(-5.0) == 0.0
+        assert ax.fraction(5.0) == 1.0
+
+    def test_log_fraction(self):
+        ax = Axis(1.0, 100.0, log=True)
+        assert ax.fraction(10.0) == pytest.approx(0.5)
+        assert ax.fraction(0.0) == 0.0  # non-positive maps to the bottom
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Axis(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Axis(-1.0, 1.0, log=True)
+        with pytest.raises(ValueError):
+            Axis(float("nan"), 1.0)
+
+    def test_ticks(self):
+        ax = Axis(0.0, 4.0)
+        assert ax.ticks(5) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        log_ax = Axis(1.0, 1000.0, log=True)
+        ticks = log_ax.ticks(4)
+        assert ticks[0] == pytest.approx(1.0)
+        assert ticks[-1] == pytest.approx(1000.0)
+
+
+class TestCanvas:
+    def test_point_lands_in_grid(self):
+        canvas = Canvas(Axis(0, 1), Axis(0, 1), width=10, height=5)
+        canvas.point(0.0, 0.0, "*")
+        text = canvas.render()
+        lines = [l for l in text.splitlines() if "|" in l]
+        # Bottom-left data point appears in the last grid row.
+        assert "*" in lines[4]
+
+    def test_non_finite_points_skipped(self):
+        canvas = Canvas(Axis(0, 1), Axis(0, 1), width=10, height=5)
+        canvas.point(float("nan"), 0.5, "*")
+        assert "*" not in canvas.render()
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Canvas(Axis(0, 1), Axis(0, 1), width=2, height=5)
+
+    def test_polyline_connects_sparse_points(self):
+        canvas = Canvas(Axis(0, 1), Axis(0, 1), width=20, height=5)
+        canvas.polyline([0.0, 1.0], [0.0, 0.0], "*")
+        bottom = canvas.render().splitlines()[4]
+        # The two endpoints are joined: every column marked.
+        assert bottom.count("*") == 20
+
+    def test_hline(self):
+        canvas = Canvas(Axis(0, 1), Axis(-1, 1), width=10, height=5)
+        canvas.hline(0.0)
+        mid = canvas.render().splitlines()[2]
+        assert "-" in mid
+
+
+class TestLinePlot:
+    def test_single_series(self):
+        xs = np.arange(50)
+        text = line_plot({"reward": (xs, np.tanh(xs / 10.0) * 5 - 2)},
+                         title="Fig 5", x_label="steps", y_label="reward",
+                         hlines=[0.0])
+        assert "Fig 5" in text
+        assert "x: steps" in text
+        assert "y: reward" in text
+        assert "*" in text
+        # Single series: no legend line.
+        assert "legend" not in text
+
+    def test_multi_series_legend(self):
+        xs = [0, 1, 2]
+        text = line_plot({"a": (xs, [0, 1, 2]), "b": (xs, [2, 1, 0])})
+        assert "legend" in text
+        assert "a" in text and "b" in text
+
+    def test_log_axes(self):
+        xs = np.logspace(0, 6, 30)
+        text = line_plot({"h": (xs, 1.0 / xs)}, log_x=True, log_y=True)
+        assert "(log)" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_constant_series_widened(self):
+        text = line_plot({"flat": ([0, 1], [3.0, 3.0])})
+        assert "*" in text
+
+
+class TestScatterPlot:
+    def test_two_clouds(self):
+        rng = np.random.default_rng(0)
+        reached = (rng.uniform(0, 1, 50), rng.uniform(0, 1, 50))
+        unreached = ([0.05, 0.1], [0.05, 0.08])
+        text = scatter_plot({"reached": reached, "unreached": unreached},
+                            title="Fig 8")
+        assert "Fig 8" in text
+        assert "legend" in text
+        assert "o" in text  # second series marker
+
+    def test_later_series_draws_on_top(self):
+        text = scatter_plot({"a": ([0.5], [0.5]), "b": ([0.5], [0.5])},
+                            width=11, height=5)
+        grid = [l for l in text.splitlines() if l.strip().startswith("|")]
+        assert any("o" in l for l in grid)
+        assert not any("*" in l for l in grid)
+
+
+class TestHeatmap:
+    def test_shades_scale_with_value(self):
+        grid = np.array([[0.0, 0.0], [0.0, 9.0]])
+        text = heatmap(grid, x_label="gain", y_label="ugbw")
+        assert "@" in text
+        assert "x: gain" in text
+
+    def test_nan_marked(self):
+        grid = np.array([[1.0, float("nan")]])
+        assert "?" in heatmap(grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            heatmap(np.full((2, 2), np.nan))
+
+    def test_row_zero_is_bottom(self):
+        grid = np.array([[9.0, 9.0], [0.0, 0.0]])
+        lines = [l for l in heatmap(grid).splitlines() if l.startswith("|")]
+        assert "@" in lines[-1]      # bottom rendered row = grid row 0
+        assert "@" not in lines[0]
+
+    def test_ranges_in_footer(self):
+        text = heatmap(np.ones((2, 2)), x_range=(1.0, 2.0), y_range=(3.0, 4.0))
+        assert "[1, 2]" in text
+        assert "[3, 4]" in text
+
+
+class TestBinnedDensity:
+    def test_counts_sum_to_points(self):
+        rng = np.random.default_rng(1)
+        xs, ys = rng.uniform(0, 1, 100), rng.uniform(0, 1, 100)
+        counts = binned_density(xs, ys, bins=8)
+        assert counts.shape == (8, 8)
+        assert counts.sum() == 100
+
+    def test_log_scaling(self):
+        xs = np.logspace(0, 6, 100)
+        counts = binned_density(xs, xs, bins=10, log_x=True, log_y=True)
+        # Log-uniform data spreads across bins instead of clumping in one.
+        assert np.count_nonzero(counts) >= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binned_density([], [])
+        with pytest.raises(ValueError):
+            binned_density([1.0], [1.0, 2.0])
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_total_count_invariant(self, n):
+        rng = np.random.default_rng(n)
+        xs = rng.normal(size=n)
+        ys = rng.normal(size=n)
+        assert binned_density(xs, ys, bins=5).sum() == n

@@ -1,0 +1,75 @@
+"""ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_histogram, ascii_series, ascii_table, downsample_curve
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        text = ascii_table(["Metric", "SE"], [["GA", 1063], ["This Work", 27]],
+                           title="Table II")
+        assert "Table II" in text
+        assert "Metric" in text
+        assert "1063" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, separator, 2 rows
+
+    def test_float_formatting(self):
+        text = ascii_table(["x"], [[1.23456789e-7], [float("nan")], [2.5]])
+        assert "1.235e-07" in text
+        assert "n/a" in text
+        assert "2.5" in text
+
+
+class TestSeries:
+    def test_spark_length(self):
+        xs = list(range(100))
+        ys = list(np.sin(np.linspace(0, 3, 100)))
+        text = ascii_series(xs, ys, width=40, title="reward")
+        assert "reward" in text
+        spark = [l for l in text.splitlines() if l.startswith("spark:")][0]
+        assert len(spark) <= len("spark: ") + 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1])
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+
+    def test_constant_series(self):
+        text = ascii_series([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "range [5, 5]" in text
+
+
+class TestDownsample:
+    def test_short_curve_unchanged(self):
+        pts = downsample_curve([1, 2, 3], [4, 5, 6], n=10)
+        assert pts == [(1, 4), (2, 5), (3, 6)]
+
+    def test_long_curve_subsampled(self):
+        xs = list(range(1000))
+        pts = downsample_curve(xs, xs, n=20)
+        assert len(pts) <= 21
+        assert pts[0] == (0, 0)
+        assert pts[-1] == (999, 999)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            downsample_curve([1], [1, 2])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = np.concatenate([np.zeros(30), np.ones(10)])
+        text = ascii_histogram(values, bins=2)
+        assert "30" in text
+        assert "10" in text
+
+    def test_empty_values(self):
+        assert "(no finite values)" in ascii_histogram([], title="t")
+
+    def test_non_finite_filtered(self):
+        text = ascii_histogram([1.0, np.inf, np.nan, 2.0], bins=2)
+        assert "inf" not in text

@@ -1,0 +1,136 @@
+"""Sensitivity analysis over a cheap synthetic simulator and a real circuit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import spec_sensitivities, sweep_parameter
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.errors import SpaceError
+from repro.sim.cache import SimulationCounter
+from repro.topologies.base import CircuitSimulator
+from repro.topologies.params import GridParam, ParameterSpace
+
+
+class QuadraticSimulator(CircuitSimulator):
+    """Analytic toy: gain = a * b, power = a^2, independent of c."""
+
+    def __init__(self):
+        self.parameter_space = ParameterSpace([
+            GridParam("a", 1, 9, 1),
+            GridParam("b", 1, 9, 1),
+            GridParam("c", 1, 9, 1),
+        ])
+        self.spec_space = SpecSpace([
+            Spec("gain", 1.0, 100.0, SpecKind.LOWER_BOUND),
+            Spec("power", 1.0, 100.0, SpecKind.UPPER_BOUND),
+        ])
+        self.counter = SimulationCounter()
+
+    def evaluate(self, indices):
+        indices = self.parameter_space.clip(indices)
+        self.counter.fresh += 1
+        values = self.parameter_space.values(indices)
+        return {"gain": values["a"] * values["b"],
+                "power": values["a"] ** 2}
+
+
+@pytest.fixture
+def sim():
+    return QuadraticSimulator()
+
+
+class TestSpecSensitivities:
+    def test_slopes_match_analytic_derivatives(self, sim):
+        report = spec_sensitivities(sim)  # centre: a=b=c=5
+        # d(gain)/da = b = 5 per unit step of a (step size 1).
+        assert report[("a", "gain")].slope_per_step == pytest.approx(5.0)
+        assert report[("b", "gain")].slope_per_step == pytest.approx(5.0)
+        # d(power)/da central difference: ((6^2)-(4^2))/2 = 10.
+        assert report[("a", "power")].slope_per_step == pytest.approx(10.0)
+
+    def test_inert_parameter_has_zero_swing(self, sim):
+        report = spec_sensitivities(sim)
+        assert report[("c", "gain")].relative_swing == 0.0
+        assert report[("c", "power")].slope_per_step == 0.0
+
+    def test_dominant_parameter(self, sim):
+        report = spec_sensitivities(sim)
+        assert report.dominant_parameter("power") == "a"
+
+    def test_tornado_sorted_descending(self, sim):
+        ranked = report = spec_sensitivities(sim).tornado("gain")
+        swings = [e.relative_swing for e in ranked]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_simulation_count(self, sim):
+        report = spec_sensitivities(sim)
+        # 1 base + 2 per movable parameter.
+        assert report.simulations == 1 + 2 * 3
+        assert sim.counter.fresh == report.simulations
+
+    def test_edge_point_uses_one_sided(self, sim):
+        report = spec_sensitivities(sim, indices=np.array([0, 0, 0]))
+        # a at its lower edge: span is 1 grid step, slope = gain(1,b)..gain(2,b).
+        entry = report[("a", "gain")]
+        assert entry.low_value == 1.0   # a=1, b=1
+        assert entry.high_value == 2.0  # a=2, b=1
+
+    def test_matrix_shape_and_render(self, sim):
+        report = spec_sensitivities(sim)
+        assert report.matrix().shape == (3, 2)
+        text = report.render()
+        assert "parameter" in text
+        assert "gain" in text
+
+    def test_bad_step(self, sim):
+        with pytest.raises(SpaceError):
+            spec_sensitivities(sim, step=0)
+
+    def test_unknown_spec_in_tornado(self, sim):
+        with pytest.raises(KeyError):
+            spec_sensitivities(sim).tornado("nope")
+
+
+class TestSweep:
+    def test_full_axis_sweep(self, sim):
+        result = sweep_parameter(sim, "a")
+        assert len(result.indices) == 9
+        # gain = a * 5 along the sweep (b fixed at centre value 5).
+        np.testing.assert_allclose(result.specs["gain"], result.values * 5.0)
+
+    def test_monotonic_fraction(self, sim):
+        result = sweep_parameter(sim, "a")
+        assert result.monotonic_fraction("gain") == 1.0
+        assert result.monotonic_fraction("power") == 1.0
+
+    def test_subsampled_points(self, sim):
+        result = sweep_parameter(sim, "a", points=4)
+        assert 2 <= len(result.indices) <= 5
+
+    def test_spec_trace(self, sim):
+        result = sweep_parameter(sim, "b", points=3)
+        xs, ys = result.spec_trace("gain")
+        assert len(xs) == len(ys)
+
+    def test_unknown_parameter(self, sim):
+        with pytest.raises(SpaceError):
+            sweep_parameter(sim, "nope")
+
+    def test_too_few_points(self, sim):
+        with pytest.raises(SpaceError):
+            sweep_parameter(sim, "a", points=1)
+
+    def test_constant_spec_is_fully_monotonic(self, sim):
+        result = sweep_parameter(sim, "c")
+        assert result.monotonic_fraction("gain") == 1.0
+
+
+class TestOnRealCircuit:
+    def test_tia_feedback_resistance_drives_cutoff(self, tia_simulator):
+        """On the real TIA, the number of series resistors must dominate
+        at least one spec — the sensitivity machinery should surface real
+        circuit structure, not noise."""
+        report = spec_sensitivities(tia_simulator)
+        mat = report.matrix()
+        assert np.all(np.isfinite(mat))
+        assert mat.max() > 0.0

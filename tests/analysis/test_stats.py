@@ -1,0 +1,197 @@
+"""Statistics helpers: bootstrap, Wilson intervals, comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    SeedAggregate,
+    bootstrap_ci,
+    compare_samples,
+    geometric_mean_speedup,
+    summarize,
+    summary_headers,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.q25 == 2.0
+        assert s.q75 == 4.0
+
+    def test_drops_non_finite(self):
+        s = summarize([1.0, float("nan"), 2.0, float("inf")])
+        assert s.n == 2
+        assert s.mean == 1.5
+
+    def test_single_value_has_zero_std(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.mean == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([float("nan")])
+
+    def test_row_matches_headers(self):
+        s = summarize([1.0, 2.0])
+        assert len(s.row()) == len(summary_headers())
+
+
+class TestBootstrap:
+    def test_contains_true_mean_for_tight_sample(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 0.5, size=200)
+        lo, hi = bootstrap_ci(sample, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.5
+
+    def test_deterministic_for_seed(self):
+        sample = [1.0, 5.0, 3.0, 8.0, 2.0]
+        assert bootstrap_ci(sample, seed=3) == bootstrap_ci(sample, seed=3)
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([4.0]) == (4.0, 4.0)
+
+    def test_other_statistics(self):
+        sample = list(range(100))
+        lo, hi = bootstrap_ci(sample, statistic=np.median, seed=0)
+        assert lo <= 49.5 <= hi
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_interval_is_ordered_and_within_range(self, sample):
+        lo, hi = bootstrap_ci(sample, n_boot=200, seed=0)
+        assert lo <= hi
+        span = max(sample) - min(sample)
+        tol = 1e-9 * max(span, 1.0)
+        assert min(sample) - tol <= lo
+        assert hi <= max(sample) + tol
+
+
+class TestWilson:
+    def test_perfect_score_interval_below_one(self):
+        lo, hi = wilson_interval(500, 500)
+        assert hi == 1.0
+        assert 0.98 < lo < 1.0
+
+    def test_zero_score_interval_above_zero(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert 0.001 < hi < 0.05
+
+    def test_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert hi - lo < 0.25
+
+    def test_paper_table2_generalization(self):
+        # 963/1000: the interval should be comfortably above 94%.
+        lo, hi = wilson_interval(963, 1000)
+        assert lo > 0.94
+        assert hi < 0.98
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_brackets_point_estimate(self, k, extra):
+        n = k + extra
+        lo, hi = wilson_interval(k, n)
+        eps = 1e-12  # float round-off at the 0/1 boundaries
+        assert 0.0 <= lo <= k / n + eps
+        assert k / n - eps <= hi <= 1.0
+
+
+class TestCompare:
+    def test_clearly_smaller_sample_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, 50)
+        b = rng.normal(100, 1, 50)
+        result = compare_samples(a, b, alternative="less")
+        assert result.significant
+        assert result.median_a < result.median_b
+
+    def test_identical_samples_not_significant(self):
+        a = [5.0] * 20
+        result = compare_samples(a, a, alternative="less")
+        assert not result.significant
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_samples([], [1.0])
+
+
+class TestSeedAggregate:
+    def test_mean_and_describe(self):
+        agg = SeedAggregate("final_reward")
+        for seed, value in enumerate([1.0, 2.0, 3.0]):
+            agg.add(seed, value)
+        assert agg.mean() == 2.0
+        text = agg.describe()
+        assert "final_reward" in text
+        assert "3 seeds" in text
+
+    def test_duplicate_seed_rejected(self):
+        agg = SeedAggregate("m")
+        agg.add(0, 1.0)
+        with pytest.raises(ValueError):
+            agg.add(0, 2.0)
+
+    def test_single_seed_describe(self):
+        agg = SeedAggregate("m")
+        agg.add(0, 4.5)
+        assert "(1 seed)" in agg.describe()
+
+    def test_empty(self):
+        agg = SeedAggregate("m")
+        with pytest.raises(ValueError):
+            agg.mean()
+        assert "no data" in agg.describe()
+
+    def test_interval_brackets_mean(self):
+        agg = SeedAggregate("m")
+        for seed in range(10):
+            agg.add(seed, float(seed))
+        lo, hi = agg.interval()
+        assert lo <= agg.mean() <= hi
+
+
+class TestSpeedup:
+    def test_paper_style_ratio(self):
+        # GA needs ~40x the simulations of AutoCkt on every target.
+        autockt = [10.0, 20.0, 30.0]
+        ga = [400.0, 800.0, 1200.0]
+        assert geometric_mean_speedup(autockt, ga) == pytest.approx(40.0)
+
+    def test_ignores_invalid_pairs(self):
+        s = geometric_mean_speedup([1.0, float("nan")], [10.0, 5.0])
+        assert s == pytest.approx(10.0)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            geometric_mean_speedup([1.0], [1.0, 2.0])
+
+    def test_all_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean_speedup([0.0], [1.0])

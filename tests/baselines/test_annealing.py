@@ -1,0 +1,78 @@
+"""Simulated-annealing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AnnealingConfig, SimulatedAnnealing
+from repro.errors import TrainingError
+
+from tests.core.test_env import QuadraticSimulator
+
+EASY = {"speed": 150.0, "power": 300.0}
+IMPOSSIBLE = {"speed": 1e9, "power": 0.1}
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            AnnealingConfig(t_start=0.0)
+        with pytest.raises(TrainingError):
+            AnnealingConfig(t_start=0.1, t_end=0.5)
+        with pytest.raises(TrainingError):
+            AnnealingConfig(move_fraction=0.0)
+        with pytest.raises(TrainingError):
+            AnnealingConfig(cooling_steps=0)
+
+    def test_temperature_decay(self):
+        sa = SimulatedAnnealing(QuadraticSimulator(),
+                                AnnealingConfig(t_start=1.0, t_end=0.01,
+                                                cooling_steps=100))
+        assert sa._temperature(0) == pytest.approx(1.0)
+        assert sa._temperature(50) == pytest.approx(0.1)
+        assert sa._temperature(100) == 0.01
+        assert sa._temperature(5000) == 0.01  # held after cooling
+
+
+class TestSolve:
+    def test_reaches_easy_target(self):
+        sa = SimulatedAnnealing(QuadraticSimulator(), seed=0)
+        result = sa.solve(EASY, max_simulations=1000)
+        assert result.success
+        assert result.best_specs["speed"] >= 150.0 * 0.98
+
+    def test_respects_budget(self):
+        sim = QuadraticSimulator()
+        sa = SimulatedAnnealing(sim, seed=0)
+        result = sa.solve(IMPOSSIBLE, max_simulations=200)
+        assert not result.success
+        assert result.simulations == 200
+        assert sim.counter.total == 200
+
+    def test_deterministic_given_seed(self):
+        r1 = SimulatedAnnealing(QuadraticSimulator(), seed=7).solve(EASY)
+        r2 = SimulatedAnnealing(QuadraticSimulator(), seed=7).solve(EASY)
+        assert r1.simulations == r2.simulations
+        np.testing.assert_array_equal(r1.best_indices, r2.best_indices)
+
+    def test_neighbour_moves_at_least_one_gene(self):
+        sa = SimulatedAnnealing(QuadraticSimulator(),
+                                AnnealingConfig(move_fraction=0.01), seed=0)
+        centre = sa.simulator.parameter_space.center
+        for _ in range(20):
+            neighbour = sa._neighbour(centre)
+            assert not np.array_equal(neighbour, centre)
+
+    def test_neighbour_stays_on_grid(self):
+        sa = SimulatedAnnealing(QuadraticSimulator(), seed=0)
+        edge = np.array([0, 20])
+        for _ in range(50):
+            assert sa.simulator.parameter_space.contains(sa._neighbour(edge))
+
+    def test_restart_escapes_stagnation(self):
+        """With a tiny restart_after the search still makes progress and
+        terminates within budget (restarts consume simulations too)."""
+        sa = SimulatedAnnealing(
+            QuadraticSimulator(),
+            AnnealingConfig(restart_after=3), seed=1)
+        result = sa.solve(EASY, max_simulations=1500)
+        assert result.success or result.simulations == 1500

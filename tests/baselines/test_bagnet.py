@@ -1,0 +1,59 @@
+"""BagNet-style GA+discriminator baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BagNetConfig, BagNetOptimizer, GAConfig, GeneticOptimizer
+
+from tests.core.test_env import QuadraticSimulator
+
+
+class TestBagNet:
+    def test_reaches_easy_target(self):
+        sim = QuadraticSimulator()
+        opt = BagNetOptimizer(sim, BagNetConfig(
+            ga=GAConfig(population=16, max_simulations=800)), seed=0)
+        result = opt.solve({"speed": 150.0, "power": 300.0})
+        assert result.success
+
+    def test_budget_respected(self):
+        sim = QuadraticSimulator()
+        opt = BagNetOptimizer(sim, BagNetConfig(
+            ga=GAConfig(population=16)), seed=0)
+        result = opt.solve({"speed": 1e9, "power": 0.1}, max_simulations=250)
+        assert not result.success
+        assert result.simulations <= 250
+
+    def test_simulation_accounting(self):
+        sim = QuadraticSimulator()
+        opt = BagNetOptimizer(sim, BagNetConfig(
+            ga=GAConfig(population=12)), seed=1)
+        sim.counter.reset()
+        result = opt.solve({"speed": 1e9, "power": 0.1}, max_simulations=150)
+        assert sim.counter.total == result.simulations
+
+    def test_screening_beats_plain_ga_on_average(self):
+        """With the same budget, the discriminator-screened GA should reach
+        a moderately hard target at least as often as the vanilla GA."""
+        targets = [{"speed": 330.0, "power": 120.0},
+                   {"speed": 360.0, "power": 160.0},
+                   {"speed": 300.0, "power": 80.0}]
+        budget = 400
+        ga_sims, bn_sims = [], []
+        for seed, target in enumerate(targets):
+            ga = GeneticOptimizer(QuadraticSimulator(),
+                                  GAConfig(population=20), seed=seed)
+            r1 = ga.solve(target, max_simulations=budget)
+            bn = BagNetOptimizer(QuadraticSimulator(), BagNetConfig(
+                ga=GAConfig(population=20), oversample=4), seed=seed)
+            r2 = bn.solve(target, max_simulations=budget)
+            ga_sims.append(r1.simulations if r1.success else 2 * budget)
+            bn_sims.append(r2.simulations if r2.success else 2 * budget)
+        assert np.mean(bn_sims) <= np.mean(ga_sims) * 1.5
+
+    def test_discriminator_trains_without_crashing_on_tiny_data(self):
+        sim = QuadraticSimulator()
+        opt = BagNetOptimizer(sim, seed=0)
+        opt._features = [np.zeros(2)] * 4
+        opt._fitnesses = [0.0] * 4
+        opt._train_discriminator()  # < 8 samples: silently skipped

@@ -1,0 +1,70 @@
+"""Cross-entropy-method baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CEMConfig, CrossEntropyMethod
+from repro.errors import TrainingError
+
+from tests.core.test_env import QuadraticSimulator
+
+EASY = {"speed": 150.0, "power": 300.0}
+IMPOSSIBLE = {"speed": 1e9, "power": 0.1}
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            CEMConfig(population=2)
+        with pytest.raises(TrainingError):
+            CEMConfig(elite_fraction=0.9)
+        with pytest.raises(TrainingError):
+            CEMConfig(smoothing=0.0)
+        with pytest.raises(TrainingError):
+            CEMConfig(min_std_steps=0.0)
+
+    def test_n_elite_floor(self):
+        assert CEMConfig(population=4, elite_fraction=0.25).n_elite == 2
+        assert CEMConfig(population=40, elite_fraction=0.25).n_elite == 10
+
+
+class TestSolve:
+    def test_reaches_easy_target(self):
+        cem = CrossEntropyMethod(QuadraticSimulator(), seed=0)
+        result = cem.solve(EASY, max_simulations=2000)
+        assert result.success
+        assert result.best_specs["power"] <= 300.0 * 1.02
+
+    def test_respects_budget(self):
+        sim = QuadraticSimulator()
+        cem = CrossEntropyMethod(sim, CEMConfig(population=16), seed=0)
+        result = cem.solve(IMPOSSIBLE, max_simulations=100)
+        assert not result.success
+        assert result.simulations == 100
+        assert sim.counter.total == 100
+
+    def test_deterministic_given_seed(self):
+        r1 = CrossEntropyMethod(QuadraticSimulator(), seed=3).solve(EASY)
+        r2 = CrossEntropyMethod(QuadraticSimulator(), seed=3).solve(EASY)
+        assert r1.simulations == r2.simulations
+        np.testing.assert_array_equal(r1.best_indices, r2.best_indices)
+
+    def test_distribution_concentrates_on_optimum(self):
+        """On the impossible target the distribution should still drift
+        toward the best-achievable corner (x0 high for speed, x1 low for
+        power) rather than collapse arbitrarily."""
+        sim = QuadraticSimulator()
+        cem = CrossEntropyMethod(sim, CEMConfig(population=24), seed=2)
+        result = cem.solve(IMPOSSIBLE, max_simulations=600)
+        assert result.best_indices[0] >= 15
+        assert result.best_indices[1] <= 5
+
+    def test_variance_floor_prevents_collapse(self):
+        """Even after many refits on a constant landscape, sampling must
+        still explore (std floored) and never index off the grid."""
+        sim = QuadraticSimulator()
+        cem = CrossEntropyMethod(
+            sim, CEMConfig(population=8, min_std_steps=1.0), seed=0)
+        result = cem.solve(IMPOSSIBLE, max_simulations=400)
+        assert result.simulations == 400
+        assert sim.parameter_space.contains(result.best_indices)

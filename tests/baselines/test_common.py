@@ -1,0 +1,81 @@
+"""TargetObjective: budget enforcement, incumbent tracking, result packing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    BudgetExhausted,
+    GoalReached,
+    SearchResult,
+    TargetObjective,
+)
+from repro.errors import TrainingError
+
+from tests.core.test_env import QuadraticSimulator
+
+EASY = {"speed": 150.0, "power": 300.0}
+IMPOSSIBLE = {"speed": 1e9, "power": 0.1}
+
+
+class TestBudget:
+    def test_budget_exhaustion_raised(self):
+        sim = QuadraticSimulator()
+        objective = TargetObjective(sim, IMPOSSIBLE, budget=5)
+        with pytest.raises(BudgetExhausted):
+            for _ in range(10):
+                objective(sim.parameter_space.sample(np.random.default_rng(0)))
+        assert objective.simulations == 5
+
+    def test_budget_validation(self):
+        with pytest.raises(TrainingError):
+            TargetObjective(QuadraticSimulator(), EASY, budget=0)
+
+    def test_simulations_never_exceed_budget(self):
+        sim = QuadraticSimulator()
+        objective = TargetObjective(sim, IMPOSSIBLE, budget=3)
+        rng = np.random.default_rng(1)
+        with pytest.raises(BudgetExhausted):
+            while True:
+                objective(sim.parameter_space.sample(rng))
+        assert sim.counter.total == 3
+
+
+class TestGoal:
+    def test_goal_reached_raised_and_recorded(self):
+        sim = QuadraticSimulator()
+        objective = TargetObjective(sim, EASY, budget=100)
+        winning = np.array([20, 0])  # speed=401, power=1
+        with pytest.raises(GoalReached):
+            objective(winning)
+        result = objective.result()
+        assert result.success
+        assert result.simulations == 1
+        np.testing.assert_array_equal(result.best_indices, winning)
+
+    def test_incumbent_tracks_best_fitness(self):
+        sim = QuadraticSimulator()
+        objective = TargetObjective(sim, IMPOSSIBLE, budget=10)
+        f1 = objective(np.array([0, 20]))   # bad everywhere
+        f2 = objective(np.array([20, 0]))   # much closer
+        assert f2 > f1
+        result = objective.result()
+        np.testing.assert_array_equal(result.best_indices, [20, 0])
+        assert result.best_fitness == f2
+
+
+class TestResult:
+    def test_result_before_any_evaluation(self):
+        sim = QuadraticSimulator()
+        result = TargetObjective(sim, EASY, budget=10).result()
+        assert isinstance(result, SearchResult)
+        assert not result.success
+        assert result.simulations == 0
+        np.testing.assert_array_equal(result.best_indices,
+                                      sim.parameter_space.center)
+
+    def test_indices_clipped(self):
+        sim = QuadraticSimulator()
+        objective = TargetObjective(sim, IMPOSSIBLE, budget=10)
+        objective(np.array([999, -5]))
+        result = objective.result()
+        assert sim.parameter_space.contains(result.best_indices)

@@ -1,0 +1,79 @@
+"""Vanilla GA baseline (on the fast fake simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAConfig, GeneticOptimizer
+from repro.errors import TrainingError
+
+from tests.core.test_env import QuadraticSimulator
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            GAConfig(population=2)
+        with pytest.raises(TrainingError):
+            GAConfig(population=8, elite=8)
+
+
+class TestSolve:
+    def test_reaches_easy_target(self):
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(population=16,
+                                            max_simulations=800), seed=0)
+        result = ga.solve({"speed": 150.0, "power": 300.0})
+        assert result.success
+        assert result.simulations <= 800
+        assert result.best_specs["speed"] >= 150.0 * 0.98
+
+    def test_respects_budget_on_impossible_target(self):
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(population=16), seed=0)
+        result = ga.solve({"speed": 1e9, "power": 0.1}, max_simulations=300)
+        assert not result.success
+        assert result.simulations <= 300
+        assert np.isfinite(result.best_fitness)
+
+    def test_sample_count_matches_simulator(self):
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(population=16), seed=0)
+        sim.counter.reset()
+        result = ga.solve({"speed": 1e9, "power": 0.1}, max_simulations=200)
+        assert sim.counter.total == result.simulations
+
+    def test_deterministic_given_seed(self):
+        target = {"speed": 220.0, "power": 250.0}
+        r1 = GeneticOptimizer(QuadraticSimulator(), GAConfig(population=12),
+                              seed=5).solve(target)
+        r2 = GeneticOptimizer(QuadraticSimulator(), GAConfig(population=12),
+                              seed=5).solve(target)
+        assert r1.simulations == r2.simulations
+        assert np.array_equal(r1.best_indices, r2.best_indices)
+
+    def test_restart_per_target_is_independent(self):
+        """The GA has no memory across targets — the paper's core criticism:
+        solving the same target twice pays for every simulation again."""
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(population=16), seed=0)
+        sim.counter.reset()
+        first = ga.solve({"speed": 150.0, "power": 300.0})
+        second = ga.solve({"speed": 150.0, "power": 300.0})
+        assert sim.counter.total == first.simulations + second.simulations
+
+
+class TestPopulationSweep:
+    def test_sweep_picks_best(self):
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(max_simulations=600), seed=2)
+        result = ga.solve_with_population_sweep(
+            {"speed": 150.0, "power": 300.0}, populations=(8, 24))
+        assert result.success
+
+    def test_sweep_on_hard_target_returns_best_failure(self):
+        sim = QuadraticSimulator()
+        ga = GeneticOptimizer(sim, GAConfig(max_simulations=100), seed=2)
+        result = ga.solve_with_population_sweep(
+            {"speed": 1e9, "power": 0.1}, populations=(8, 16))
+        assert not result.success
+        assert np.isfinite(result.best_fitness)

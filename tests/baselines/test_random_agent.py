@@ -1,0 +1,31 @@
+"""Random RL agent baseline."""
+
+import numpy as np
+
+from repro.baselines import random_agent_deployment
+
+from tests.core.test_env import QuadraticSimulator
+
+
+class TestRandomAgent:
+    def test_runs_and_reports(self):
+        sim = QuadraticSimulator()
+        targets = [{"speed": 120.0, "power": 350.0} for _ in range(5)]
+        report = random_agent_deployment(sim, targets, max_steps=10, seed=0)
+        assert report.n_targets == 5
+        assert 0.0 <= report.generalization <= 1.0
+
+    def test_fails_on_distant_targets(self):
+        """Random walks almost never cover 10 consistent grid steps."""
+        sim = QuadraticSimulator()
+        targets = [{"speed": 399.0, "power": 2.0} for _ in range(10)]
+        report = random_agent_deployment(sim, targets, max_steps=12, seed=0)
+        assert report.generalization <= 0.2
+
+    def test_deterministic_per_seed(self):
+        targets = [{"speed": 150.0, "power": 200.0} for _ in range(5)]
+        a = random_agent_deployment(QuadraticSimulator(), targets,
+                                    max_steps=10, seed=3)
+        b = random_agent_deployment(QuadraticSimulator(), targets,
+                                    max_steps=10, seed=3)
+        assert a.n_reached == b.n_reached

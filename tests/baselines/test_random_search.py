@@ -1,0 +1,84 @@
+"""Random-search baseline and the feasible-volume difficulty calibrator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch, feasible_volume_fraction
+
+from tests.core.test_env import QuadraticSimulator
+
+EASY = {"speed": 150.0, "power": 300.0}
+IMPOSSIBLE = {"speed": 1e9, "power": 0.1}
+
+
+class TestSolve:
+    def test_reaches_easy_target(self):
+        rs = RandomSearch(QuadraticSimulator(), seed=0)
+        result = rs.solve(EASY, max_simulations=2000)
+        assert result.success
+
+    def test_respects_budget(self):
+        sim = QuadraticSimulator()
+        rs = RandomSearch(sim, seed=0)
+        result = rs.solve(IMPOSSIBLE, max_simulations=50)
+        assert not result.success
+        assert result.simulations == 50
+        assert sim.counter.total == 50
+
+    def test_deterministic_given_seed(self):
+        r1 = RandomSearch(QuadraticSimulator(), seed=9).solve(EASY)
+        r2 = RandomSearch(QuadraticSimulator(), seed=9).solve(EASY)
+        assert r1.simulations == r2.simulations
+
+    def test_centre_evaluated_first(self):
+        """A target met at the grid centre costs exactly one simulation."""
+        sim = QuadraticSimulator()
+        centre_specs = sim.evaluate(sim.parameter_space.center)
+        target = {"speed": centre_specs["speed"] * 0.9,
+                  "power": centre_specs["power"] * 1.1}
+        result = RandomSearch(sim, seed=0).solve(target)
+        assert result.success
+        assert result.simulations == 1
+
+    def test_expected_cost_tracks_difficulty(self):
+        """Harder targets (smaller feasible volume) cost more simulations
+        on average — the property that makes random search the difficulty
+        calibrator."""
+        sim = QuadraticSimulator()
+        easy_costs, hard_costs = [], []
+        for seed in range(10):
+            easy_costs.append(RandomSearch(sim, seed=seed)
+                              .solve(EASY, max_simulations=3000).simulations)
+            hard_costs.append(
+                RandomSearch(sim, seed=seed)
+                .solve({"speed": 380.0, "power": 30.0},
+                       max_simulations=3000).simulations)
+        assert np.mean(hard_costs) > np.mean(easy_costs)
+
+
+class TestFeasibleVolume:
+    def test_impossible_target_zero(self):
+        frac = feasible_volume_fraction(QuadraticSimulator(), IMPOSSIBLE,
+                                        n_samples=200, seed=0)
+        assert frac == 0.0
+
+    def test_trivial_target_one(self):
+        frac = feasible_volume_fraction(QuadraticSimulator(),
+                                        {"speed": 0.5, "power": 1e6},
+                                        n_samples=100, seed=0)
+        assert frac == 1.0
+
+    def test_matches_analytic_volume(self):
+        """speed >= 150 needs x0 >= 13 (8/21 of the axis); power <= 300
+        needs x1 <= 17 (18/21): joint ~0.327."""
+        frac = feasible_volume_fraction(QuadraticSimulator(), EASY,
+                                        n_samples=4000, seed=1)
+        assert frac == pytest.approx(8 / 21 * 18 / 21, abs=0.04)
+
+    def test_reciprocal_predicts_random_search_cost(self):
+        sim = QuadraticSimulator()
+        frac = feasible_volume_fraction(sim, EASY, n_samples=2000, seed=2)
+        costs = [RandomSearch(sim, seed=s).solve(EASY, 5000).simulations
+                 for s in range(20)]
+        expected = 1.0 / frac
+        assert np.mean(costs) == pytest.approx(expected, rel=0.6)

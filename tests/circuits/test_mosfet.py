@@ -1,0 +1,189 @@
+"""MOSFET model: physics sanity + hypothesis property tests on derivatives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Mosfet, finfet16, ptm45
+from repro.circuits.mosfet import channel_current
+from repro.errors import NetlistError
+
+NMOS = ptm45().nmos
+PMOS = ptm45().pmos
+FF_NMOS = finfet16().nmos
+
+W, L, M = 5e-6, 0.5e-6, 2.0
+
+voltages = st.floats(min_value=-1.5, max_value=1.5, allow_nan=False)
+positive_v = st.floats(min_value=0.0, max_value=1.5, allow_nan=False)
+
+
+class TestLargeSignalPhysics:
+    def test_off_device_conducts_almost_nothing(self):
+        cc = channel_current(NMOS, W, L, M, vgs=0.0, vds=0.5, vsb=0.0)
+        on = channel_current(NMOS, W, L, M, vgs=1.0, vds=0.5, vsb=0.0)
+        assert cc.ids < 1e-9
+        assert on.ids > 1e-5
+        assert cc.ids < on.ids * 1e-4
+
+    def test_zero_vds_zero_current(self):
+        cc = channel_current(NMOS, W, L, M, vgs=0.8, vds=0.0, vsb=0.0)
+        assert cc.ids == pytest.approx(0.0, abs=1e-15)
+
+    def test_saturation_current_square_law(self):
+        # Deep saturation: ids ~ beta/2 * vov^2 (CLM adds a few percent).
+        vov = 0.3
+        cc = channel_current(NMOS, W, L, M, vgs=NMOS.vth0 + vov, vds=1.0, vsb=0.0)
+        beta = NMOS.kp * W * M / L
+        assert cc.ids == pytest.approx(0.5 * beta * vov ** 2, rel=0.25)
+
+    def test_current_scales_with_multiplier(self):
+        base = channel_current(NMOS, W, L, 1.0, 0.8, 0.6, 0.0)
+        double = channel_current(NMOS, W, L, 2.0, 0.8, 0.6, 0.0)
+        assert double.ids == pytest.approx(2.0 * base.ids, rel=1e-12)
+
+    def test_body_effect_raises_threshold(self):
+        low = channel_current(NMOS, W, L, M, 0.7, 0.6, 0.0)
+        high = channel_current(NMOS, W, L, M, 0.7, 0.6, 0.3)
+        assert high.ids < low.ids
+
+    def test_reverse_conduction_antisymmetric_at_zero_vsb(self):
+        fwd = channel_current(NMOS, W, L, M, vgs=0.8, vds=0.4, vsb=0.0)
+        # The same physical bias seen from the other terminal: the old
+        # drain becomes the reference, so vgs' = vgd = 0.8 - 0.4,
+        # vds' = -0.4, and the bulk sits 0.4 V below the new reference.
+        rev = channel_current(NMOS, W, L, M, vgs=0.4, vds=-0.4, vsb=0.4)
+        assert rev.ids == pytest.approx(-fwd.ids, rel=1e-9)
+
+    def test_subthreshold_is_exponential(self):
+        i1 = channel_current(NMOS, W, L, M, NMOS.vth0 - 0.20, 0.5, 0.0).ids
+        i2 = channel_current(NMOS, W, L, M, NMOS.vth0 - 0.15, 0.5, 0.0).ids
+        i3 = channel_current(NMOS, W, L, M, NMOS.vth0 - 0.10, 0.5, 0.0).ids
+        assert i1 < i2 < i3
+        # log-current roughly linear in vgs below threshold
+        r1 = math.log(i2 / i1)
+        r2 = math.log(i3 / i2)
+        assert r2 == pytest.approx(r1, rel=0.3)
+
+    @given(vgs=positive_v, vsb=st.floats(0.0, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_vds(self, vgs, vsb):
+        ids = [channel_current(NMOS, W, L, M, vgs, vds, vsb).ids
+               for vds in np.linspace(0.0, 1.5, 16)]
+        assert all(b >= a - 1e-15 for a, b in zip(ids, ids[1:]))
+
+    @given(vds=st.floats(0.05, 1.5), vsb=st.floats(0.0, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_vgs(self, vds, vsb):
+        ids = [channel_current(NMOS, W, L, M, vgs, vds, vsb).ids
+               for vgs in np.linspace(0.0, 1.5, 16)]
+        assert all(b >= a - 1e-15 for a, b in zip(ids, ids[1:]))
+
+
+class TestDerivatives:
+    @given(vgs=voltages, vds=voltages, vsb=st.floats(-0.3, 0.5))
+    @settings(max_examples=150, deadline=None)
+    def test_gradients_match_finite_differences(self, vgs, vds, vsb):
+        h = 1e-7
+        # Keep the central difference away from the C1 seam at vds = 0,
+        # where the one-sided second derivatives differ (continuity of the
+        # value and first derivative across the seam has its own test).
+        assume(abs(vds) > 5e-4)
+        cc = channel_current(NMOS, W, L, M, vgs, vds, vsb)
+
+        def ids(g, d, s):
+            return channel_current(NMOS, W, L, M, g, d, s).ids
+
+        fd_vgs = (ids(vgs + h, vds, vsb) - ids(vgs - h, vds, vsb)) / (2 * h)
+        fd_vds = (ids(vgs, vds + h, vsb) - ids(vgs, vds - h, vsb)) / (2 * h)
+        fd_vsb = (ids(vgs, vds, vsb + h) - ids(vgs, vds, vsb - h)) / (2 * h)
+        scale = max(abs(fd_vgs), abs(fd_vds), abs(fd_vsb), 1e-9)
+        assert cc.d_vgs == pytest.approx(fd_vgs, abs=2e-4 * scale + 1e-11)
+        assert cc.d_vds == pytest.approx(fd_vds, abs=2e-4 * scale + 1e-11)
+        assert cc.d_vsb == pytest.approx(fd_vsb, abs=2e-4 * scale + 1e-11)
+
+    @given(vgs=voltages, vsb=st.floats(-0.3, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_continuity_across_vds_zero(self, vgs, vsb):
+        eps = 1e-9
+        below = channel_current(NMOS, W, L, M, vgs, -eps, vsb)
+        above = channel_current(NMOS, W, L, M, vgs, +eps, vsb)
+        # The current passes through zero linearly: i(+eps) - i(-eps) must
+        # be ~ 2 * eps * gds, i.e. the *slopes* match across the seam.
+        gds = max(above.d_vds, 1e-15)
+        assert above.ids - below.ids == pytest.approx(2 * eps * gds,
+                                                      rel=1e-3, abs=1e-16)
+        assert below.d_vds == pytest.approx(above.d_vds, rel=1e-4, abs=1e-15)
+
+    def test_gm_positive_in_saturation(self):
+        cc = channel_current(NMOS, W, L, M, 0.8, 0.8, 0.0)
+        assert cc.d_vgs > 0.0
+        assert cc.d_vds > 0.0  # CLM keeps a finite output conductance
+
+
+class TestMosfetElement:
+    def test_polarity_validation(self):
+        with pytest.raises(NetlistError):
+            Mosfet("M1", "d", "g", "s", "b", polarity="njfet", params=NMOS,
+                   w=W, l=L)
+
+    def test_geometry_validation(self):
+        with pytest.raises(NetlistError):
+            Mosfet("M1", "d", "g", "s", "b", polarity="nmos", params=NMOS,
+                   w=-1e-6, l=L)
+
+    def test_pmos_sign_trick(self):
+        pm = Mosfet("MP", "d", "g", "s", "b", polarity="pmos", params=PMOS,
+                    w=W, l=L)
+        # Source at 1.8 V, gate low, drain low: PMOS strongly on.
+        v = {"d": 0.5, "g": 0.0, "s": 1.8, "b": 1.8}
+        i_d, g_d, g_g, g_s, g_b = pm.eval_companion(lambda n: v[n])
+        assert i_d < 0.0  # current flows into the drain node
+        assert g_d > 0.0  # diagonal conductance entry stays positive
+
+    def test_nmos_companion_kcl_consistency(self):
+        nm = Mosfet("MN", "d", "g", "s", "b", polarity="nmos", params=NMOS,
+                    w=W, l=L)
+        v = {"d": 1.0, "g": 0.9, "s": 0.0, "b": 0.0}
+        i_d, g_d, g_g, g_s, g_b = nm.eval_companion(lambda n: v[n])
+        assert i_d > 0.0
+        # Gradient entries must sum to ~0 (pure function of differences).
+        assert g_d + g_g + g_s + g_b == pytest.approx(0.0, abs=1e-12)
+
+    def test_capacitances_positive_and_scale(self):
+        nm = Mosfet("MN", "d", "g", "s", "b", polarity="nmos", params=NMOS,
+                    w=W, l=L, m=1)
+        nm2 = Mosfet("MN2", "d", "g", "s", "b", polarity="nmos", params=NMOS,
+                     w=W, l=L, m=4)
+        c1 = nm.capacitances(1.0)
+        c4 = nm2.capacitances(1.0)
+        assert all(c > 0 for c in c1)
+        for a, b in zip(c1, c4):
+            assert b == pytest.approx(4 * a, rel=1e-12)
+
+    def test_state_region_labels(self):
+        nm = Mosfet("MN", "d", "g", "s", "b", polarity="nmos", params=NMOS,
+                    w=W, l=L)
+        sat = nm.state_at(lambda n: {"d": 1.0, "g": 0.8, "s": 0.0, "b": 0.0}[n])
+        tri = nm.state_at(lambda n: {"d": 0.02, "g": 1.2, "s": 0.0, "b": 0.0}[n])
+        off = nm.state_at(lambda n: {"d": 1.0, "g": 0.0, "s": 0.0, "b": 0.0}[n])
+        assert sat.region == "saturation"
+        assert tri.region == "triode"
+        assert off.region == "off"
+
+    def test_noise_requires_operating_point(self, cs_amp_op):
+        system, op = cs_amp_op
+        mosfet = system.netlist["M1"]
+        sources = mosfet.noise_sources(op)
+        assert len(sources) == 1
+        _, _, psd = sources[0]
+        # flicker makes low-frequency PSD larger
+        assert psd(10.0) > psd(1e9) > 0.0
+
+    def test_finfet_card_has_higher_drive(self):
+        i45 = channel_current(NMOS, 1e-6, 45e-9, 1, 0.7, 0.7, 0.0).ids
+        i16 = channel_current(FF_NMOS, 1e-6, 16e-9, 1, 0.7, 0.7, 0.0).ids
+        assert i16 > i45

@@ -1,0 +1,105 @@
+"""Netlist container behaviour and structural validation."""
+
+import pytest
+
+from repro.circuits import (
+    Capacitor,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from repro.errors import NetlistError
+
+
+def _minimal() -> Netlist:
+    net = Netlist("min")
+    net.add(VoltageSource("V1", "a", "0", dc=1.0))
+    net.add(Resistor("R1", "a", "0", 1e3))
+    return net
+
+
+class TestContainer:
+    def test_add_and_lookup(self):
+        net = _minimal()
+        assert len(net) == 2
+        assert "R1" in net
+        assert net["R1"].resistance == 1e3
+
+    def test_duplicate_name_rejected(self):
+        net = _minimal()
+        with pytest.raises(NetlistError):
+            net.add(Resistor("R1", "a", "0", 2e3))
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(NetlistError):
+            _minimal()["R9"]
+
+    def test_remove(self):
+        net = _minimal()
+        removed = net.remove("R1")
+        assert removed.name == "R1"
+        assert "R1" not in net
+        with pytest.raises(NetlistError):
+            net.remove("R1")
+
+    def test_nodes_excludes_ground(self):
+        assert _minimal().nodes() == {"a"}
+
+    def test_gnd_alias_is_canonicalised(self):
+        net = Netlist("alias")
+        net.add(VoltageSource("V1", "a", "gnd", dc=1.0))
+        net.add(Resistor("R1", "a", "GND", 1e3))
+        assert net.nodes() == {"a"}
+        net.validate()
+
+    def test_elements_of(self):
+        net = _minimal()
+        assert [e.name for e in net.elements_of(Resistor)] == ["R1"]
+        assert net.elements_of(Capacitor) == []
+
+    def test_copy_shares_elements(self):
+        net = _minimal()
+        clone = net.copy("clone")
+        assert clone.title == "clone"
+        assert clone["R1"] is net["R1"]
+        assert len(clone) == len(net)
+
+    def test_extend(self):
+        net = Netlist("x")
+        net.extend([VoltageSource("V1", "a", "0", dc=1.0),
+                    Resistor("R1", "a", "0", 1.0)])
+        assert len(net) == 2
+
+
+class TestValidation:
+    def test_empty_netlist_invalid(self):
+        with pytest.raises(NetlistError, match="empty"):
+            Netlist("e").validate()
+
+    def test_no_ground_reference_invalid(self):
+        net = Netlist("ng")
+        net.add(Resistor("R1", "a", "b", 1e3))
+        with pytest.raises(NetlistError, match="ground"):
+            net.validate()
+
+    def test_floating_node_via_capacitor_invalid(self):
+        net = _minimal()
+        net.add(Capacitor("C1", "a", "float", 1e-12))
+        with pytest.raises(NetlistError, match="float"):
+            net.validate()
+
+    def test_current_source_does_not_anchor_dc(self):
+        # A node held only by a current source has no defined DC potential.
+        net = _minimal()
+        net.add(CurrentSource("I1", "a", "dangling", dc=1e-3))
+        with pytest.raises(NetlistError, match="dangling"):
+            net.validate()
+
+    def test_valid_circuit_passes(self, divider_netlist):
+        divider_netlist.validate()
+
+    def test_connectivity_graph_shape(self, divider_netlist):
+        g = divider_netlist.connectivity_graph()
+        assert set(g.nodes()) == {"0", "in", "out"}
+        assert g.number_of_edges() >= 3

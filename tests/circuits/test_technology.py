@@ -1,0 +1,67 @@
+"""Technology cards and corner adjustments."""
+
+import pytest
+
+from repro.circuits import Corner, finfet16, ptm45
+from repro.units import ROOM_TEMPERATURE
+
+
+class TestCards:
+    def test_ptm45_basics(self):
+        tech = ptm45()
+        assert tech.name == "ptm45"
+        assert tech.vdd == pytest.approx(1.8)
+        assert tech.nmos.kp > tech.pmos.kp  # electron mobility advantage
+        assert tech.l_default > tech.l_min
+
+    def test_finfet16_differs(self):
+        t45, t16 = ptm45(), finfet16()
+        assert t16.vdd < t45.vdd
+        assert t16.nmos.kp > t45.nmos.kp
+        assert t16.nmos.vth0 < t45.nmos.vth0
+        assert t16.l_min < t45.l_min
+
+    def test_device_lookup(self):
+        tech = ptm45()
+        assert tech.device("nmos") == tech.nmos
+        assert tech.device("pmos") == tech.pmos
+        with pytest.raises(ValueError):
+            tech.device("bjt")
+
+
+class TestCorners:
+    def test_corner_flags(self):
+        assert Corner.FF.nmos_fast and Corner.FF.pmos_fast
+        assert Corner.SS.nmos_slow and Corner.SS.pmos_slow
+        assert Corner.FS.nmos_fast and Corner.FS.pmos_slow
+        assert Corner.SF.nmos_slow and Corner.SF.pmos_fast
+        assert not (Corner.TT.nmos_fast or Corner.TT.nmos_slow)
+
+    def test_fast_corner_lowers_vth_raises_kp(self):
+        tech = ptm45()
+        tt = tech.device("nmos", Corner.TT)
+        ff = tech.device("nmos", Corner.FF)
+        ss = tech.device("nmos", Corner.SS)
+        assert ff.vth0 < tt.vth0 < ss.vth0
+        assert ff.kp > tt.kp > ss.kp
+
+    def test_cross_corners_split_polarities(self):
+        tech = ptm45()
+        fs_n = tech.device("nmos", Corner.FS)
+        fs_p = tech.device("pmos", Corner.FS)
+        tt_n = tech.device("nmos", Corner.TT)
+        tt_p = tech.device("pmos", Corner.TT)
+        assert fs_n.vth0 < tt_n.vth0      # fast NMOS
+        assert fs_p.vth0 > tt_p.vth0      # slow PMOS
+
+    def test_temperature_shifts(self):
+        tech = ptm45()
+        hot = tech.device("nmos", Corner.TT, temperature=398.15)
+        cold = tech.device("nmos", Corner.TT, temperature=233.15)
+        nom = tech.device("nmos", Corner.TT, temperature=ROOM_TEMPERATURE)
+        assert hot.vth0 < nom.vth0 < cold.vth0    # negative tempco
+        assert hot.kp < nom.kp < cold.kp          # mobility degradation
+
+    def test_tt_at_room_is_identity(self):
+        tech = ptm45()
+        assert tech.device("nmos", Corner.TT, ROOM_TEMPERATURE) == tech.nmos

@@ -1,0 +1,87 @@
+"""Shared fixtures: reference circuits and session-scoped simulators.
+
+Simulator fixtures are session-scoped where the object is stateless from
+the tests' point of view (evaluation is pure per index vector), keeping
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Capacitor,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+    ptm45,
+)
+from repro.circuits.mosfet import Mosfet
+from repro.sim import MnaSystem, solve_dc
+from repro.topologies import (
+    NegGmOta,
+    SchematicSimulator,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+
+@pytest.fixture
+def divider_netlist() -> Netlist:
+    """1 V source into a 1k/1k divider: v(out) = 0.5 V."""
+    net = Netlist("divider")
+    net.add(VoltageSource("V1", "in", "0", dc=1.0, ac=1.0))
+    net.add(Resistor("R1", "in", "out", 1e3))
+    net.add(Resistor("R2", "out", "0", 1e3))
+    return net
+
+
+@pytest.fixture
+def rc_netlist() -> Netlist:
+    """1k / 1nF low-pass: f3dB = 159.15 kHz, tau = 1 us."""
+    net = Netlist("rc")
+    net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+    net.add(Resistor("R1", "in", "out", 1e3))
+    net.add(Capacitor("C1", "out", "0", 1e-9))
+    return net
+
+
+@pytest.fixture
+def cs_amp_netlist() -> Netlist:
+    """Resistor-loaded NMOS common-source amplifier (ptm45)."""
+    tech = ptm45()
+    net = Netlist("cs_amp")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+    net.add(VoltageSource("VIN", "g", "0", dc=0.7, ac=1.0))
+    net.add(Resistor("RD", "vdd", "d", 10e3))
+    net.add(Mosfet("M1", "d", "g", "0", "0", polarity="nmos",
+                   params=tech.nmos, w=5e-6, l=0.5e-6, m=2))
+    return net
+
+
+@pytest.fixture
+def cs_amp_op(cs_amp_netlist):
+    system = MnaSystem(cs_amp_netlist)
+    return system, solve_dc(system)
+
+
+@pytest.fixture(scope="session")
+def tia_simulator() -> SchematicSimulator:
+    return SchematicSimulator(TransimpedanceAmplifier(), cache=True)
+
+
+@pytest.fixture(scope="session")
+def opamp_simulator() -> SchematicSimulator:
+    return SchematicSimulator(TwoStageOpAmp(), cache=True)
+
+
+@pytest.fixture(scope="session")
+def ngm_simulator() -> SchematicSimulator:
+    return SchematicSimulator(NegGmOta(), cache=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

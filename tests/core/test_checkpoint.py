@@ -1,0 +1,125 @@
+"""Full-agent checkpointing: policy + config + targets + history."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig
+from repro.errors import TrainingError
+from repro.rl.ppo import PPOConfig, TrainingHistory
+
+from tests.core.test_env import QuadraticSimulator
+
+
+def tiny_config(**kw):
+    base = dict(
+        ppo=PPOConfig(n_envs=2, n_steps=8, epochs=2, minibatch_size=16,
+                      hidden=(8, 8), seed=0),
+        env=SizingEnvConfig(max_steps=8),
+        n_train_targets=5,
+        max_iterations=3,
+        stop_reward=None,
+        seed=0,
+    )
+    base.update(kw)
+    return AutoCktConfig(**base)
+
+
+@pytest.fixture
+def trained_agent():
+    agent = AutoCkt(QuadraticSimulator, config=tiny_config())
+    agent.train()
+    return agent
+
+
+class TestSaveLoad:
+    def test_round_trip_restores_everything(self, trained_agent, tmp_path):
+        path = str(tmp_path / "agent.npz")
+        trained_agent.save_checkpoint(path)
+
+        clone = AutoCkt(QuadraticSimulator, config=tiny_config(seed=99))
+        clone.load_checkpoint(path)
+
+        assert clone.config == trained_agent.config
+        assert clone.sampler.targets == trained_agent.sampler.targets
+        assert clone.history.iterations == trained_agent.history.iterations
+        for a, b in zip(clone.policy.to_arrays().values(),
+                        trained_agent.policy.to_arrays().values()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_restored_policy_acts_identically(self, trained_agent, tmp_path):
+        path = str(tmp_path / "agent.npz")
+        trained_agent.save_checkpoint(path)
+        clone = AutoCkt(QuadraticSimulator)
+        clone.load_checkpoint(path)
+
+        obs = np.zeros(trained_agent.policy.obs_dim)
+        a = trained_agent.policy.act_single(obs, np.random.default_rng(0),
+                                            deterministic=True)
+        b = clone.policy.act_single(obs, np.random.default_rng(0),
+                                    deterministic=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deployment_after_restore(self, trained_agent, tmp_path):
+        path = str(tmp_path / "agent.npz")
+        trained_agent.save_checkpoint(path)
+        clone = AutoCkt(QuadraticSimulator)
+        clone.load_checkpoint(path)
+        report = clone.deploy(5, seed=1)
+        assert report.n_targets == 5
+
+    def test_untrained_agent_cannot_checkpoint(self, tmp_path):
+        agent = AutoCkt(QuadraticSimulator, config=tiny_config())
+        with pytest.raises(TrainingError):
+            agent.save_checkpoint(str(tmp_path / "x.npz"))
+
+    def test_bare_policy_file_rejected(self, trained_agent, tmp_path):
+        policy_path = str(tmp_path / "policy.npz")
+        trained_agent.save_policy(policy_path)
+        clone = AutoCkt(QuadraticSimulator)
+        with pytest.raises(TrainingError):
+            clone.load_checkpoint(policy_path)
+
+    def test_checkpoint_without_history(self, trained_agent, tmp_path):
+        trained_agent.history = None
+        path = str(tmp_path / "agent.npz")
+        trained_agent.save_checkpoint(path)
+        clone = AutoCkt(QuadraticSimulator)
+        clone.load_checkpoint(path)
+        assert clone.history is None
+
+
+class TestHistorySerialisation:
+    def test_round_trip(self):
+        history = TrainingHistory()
+        history.record(1, 100, -1.0, 0.1, 20.0, 1.0, 0.5, 2.0)
+        history.record(2, 200, 0.5, 0.6, 15.0, 0.9, 0.4, 1.5)
+        history.stopped_early = True
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.iterations == [1, 2]
+        assert restored.mean_reward == [-1.0, 0.5]
+        assert restored.stopped_early
+
+    def test_unknown_keys_ignored(self):
+        restored = TrainingHistory.from_dict({"iterations": [1],
+                                              "future_field": 42})
+        assert restored.iterations == [1]
+        assert not hasattr(restored, "future_field") or True
+
+
+class TestSamplerExplicitTargets:
+    def test_explicit_targets_used_verbatim(self):
+        sim = QuadraticSimulator()
+        from repro.core.sampler import TargetSampler
+
+        targets = [{"speed": 100.0, "power": 200.0}]
+        sampler = TargetSampler(sim.spec_space, targets=targets)
+        assert sampler.targets == targets
+        assert sampler.n_targets == 1
+
+    def test_empty_explicit_targets_rejected(self):
+        from repro.core.sampler import TargetSampler
+        from repro.errors import SpaceError
+
+        sim = QuadraticSimulator()
+        with pytest.raises(SpaceError):
+            TargetSampler(sim.spec_space, targets=[])

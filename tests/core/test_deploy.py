@@ -1,0 +1,107 @@
+"""Deployment loop and generalisation counting (fake simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import fresh_random_policy
+from repro.core.deploy import DeploymentReport, TargetOutcome, deploy_agent
+from repro.rl.policy import ActorCritic
+
+from tests.core.test_env import QuadraticSimulator
+
+
+def _greedy_up_policy(sim) -> ActorCritic:
+    """A policy whose logits always prefer 'increment' on x0, 'decrement' on x1."""
+    policy = fresh_random_policy(sim, seed=0)
+    # Bias the final layer towards [dec, keep, inc] = x0:inc, x1:dec.
+    last = policy.pi.layers[-1]
+    last.W[...] = 0.0
+    last.b[...] = 0.0
+    last.b[2] = 10.0   # x0 -> increment
+    last.b[3] = 10.0   # x1 -> decrement
+    return policy
+
+
+class TestDeployAgent:
+    def test_reachable_targets_succeed(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        targets = [{"speed": 200.0, "power": 90.0},
+                   {"speed": 140.0, "power": 380.0}]
+        report = deploy_agent(policy, sim, targets, max_steps=20,
+                              deterministic=True)
+        assert report.n_targets == 2
+        assert report.n_reached == 2
+        assert report.generalization == 1.0
+        assert report.mean_sims_to_success > 1
+
+    def test_unreachable_targets_counted(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        # power target below the achievable minimum along this policy's path
+        targets = [{"speed": 200.0, "power": 90.0},
+                   {"speed": 40000.0, "power": 0.5}]
+        report = deploy_agent(policy, sim, targets, max_steps=15,
+                              deterministic=True)
+        assert report.n_reached == 1
+        assert len(report.unreached_targets()) == 1
+        assert report.unreached_targets()[0]["speed"] == 40000.0
+
+    def test_sims_used_is_steps_plus_reset(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        report = deploy_agent(policy, sim, [{"speed": 200.0, "power": 90.0}],
+                              max_steps=20, deterministic=True)
+        outcome = report.outcomes[0]
+        assert outcome.sims_used == outcome.steps + 1
+
+    def test_trajectories_recorded_when_asked(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        report = deploy_agent(policy, sim, [{"speed": 200.0, "power": 90.0}],
+                              max_steps=20, keep_trajectories=True,
+                              deterministic=True)
+        trajectory = report.outcomes[0].trajectory
+        assert trajectory is not None
+        assert len(trajectory) == report.outcomes[0].steps
+        assert "speed" in trajectory[0].specs
+
+    def test_no_trajectories_by_default(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        report = deploy_agent(policy, sim, [{"speed": 200.0, "power": 90.0}],
+                              max_steps=20, deterministic=True)
+        assert report.outcomes[0].trajectory is None
+
+
+class TestReport:
+    def _report(self):
+        outcomes = [
+            TargetOutcome({"a": 1.0}, True, 5, 6, {}, np.zeros(2)),
+            TargetOutcome({"a": 2.0}, True, 9, 10, {}, np.zeros(2)),
+            TargetOutcome({"a": 3.0}, False, 30, 31, {}, np.zeros(2)),
+        ]
+        return DeploymentReport(outcomes=outcomes, max_steps=30)
+
+    def test_statistics(self):
+        report = self._report()
+        assert report.n_reached == 2
+        assert report.generalization == pytest.approx(2 / 3)
+        assert report.mean_sims_to_success == pytest.approx(8.0)
+        assert report.mean_steps_to_success == pytest.approx(7.0)
+
+    def test_summary_keys(self):
+        summary = self._report().summary()
+        assert summary["n_targets"] == 3
+        assert summary["n_reached"] == 2
+
+    def test_nan_when_nothing_reached(self):
+        report = DeploymentReport(
+            outcomes=[TargetOutcome({}, False, 3, 4, {}, np.zeros(1))],
+            max_steps=3)
+        assert np.isnan(report.mean_sims_to_success)
+
+    def test_reached_partition(self):
+        report = self._report()
+        assert len(report.reached_targets()) == 2
+        assert len(report.unreached_targets()) == 1

@@ -1,0 +1,120 @@
+"""Held-out evaluation callback during PPO training."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoCkt, AutoCktConfig, EvalCallback, SizingEnvConfig
+from repro.errors import TrainingError
+from repro.rl.ppo import PPOConfig
+
+from tests.core.test_env import QuadraticSimulator
+
+EASY_TARGETS = [
+    {"speed": 120.0, "power": 320.0},
+    {"speed": 150.0, "power": 300.0},
+    {"speed": 90.0, "power": 350.0},
+]
+
+
+def _agent(max_iterations=6, **ppo_kw):
+    base = dict(n_envs=2, n_steps=8, epochs=2, minibatch_size=16,
+                hidden=(8, 8), seed=0)
+    base.update(ppo_kw)
+    return AutoCkt(QuadraticSimulator, config=AutoCktConfig(
+        ppo=PPOConfig(**base),
+        env=SizingEnvConfig(max_steps=8),
+        n_train_targets=5, max_iterations=max_iterations,
+        stop_reward=None, seed=0))
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(TrainingError):
+            EvalCallback(QuadraticSimulator, EASY_TARGETS, every=0)
+
+    def test_empty_targets(self):
+        with pytest.raises(TrainingError):
+            EvalCallback(QuadraticSimulator, [])
+
+    def test_bad_stop_success(self):
+        with pytest.raises(TrainingError):
+            EvalCallback(QuadraticSimulator, EASY_TARGETS, stop_success=1.5)
+
+    def test_latest_before_any_eval(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS)
+        with pytest.raises(TrainingError):
+            callback.latest
+
+
+class TestRecording:
+    def test_evaluates_on_schedule(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=2,
+                                max_steps=8)
+        agent = _agent(max_iterations=6)
+        agent.train(callback=callback)
+        assert [r.iteration for r in callback.records] == [2, 4, 6]
+
+    def test_records_carry_env_steps(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=3,
+                                max_steps=8)
+        agent = _agent(max_iterations=6)
+        agent.train(callback=callback)
+        steps = [r.env_steps for r in callback.records]
+        assert steps == sorted(steps)
+        assert steps[0] > 0
+
+    def test_curve_matches_records(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=2,
+                                max_steps=8)
+        agent = _agent(max_iterations=4)
+        agent.train(callback=callback)
+        xs, ys = callback.curve()
+        assert len(xs) == len(ys) == len(callback.records)
+
+    def test_best_policy_snapshot_taken(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=2,
+                                max_steps=8)
+        agent = _agent(max_iterations=4)
+        agent.train(callback=callback)
+        assert callback.best_policy is not None
+        assert callback.best_success >= 0.0
+        assert callback.best_success == max(r.success_rate
+                                            for r in callback.records)
+
+    def test_snapshot_is_a_copy(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=1,
+                                max_steps=8)
+        agent = _agent(max_iterations=2)
+        agent.train(callback=callback)
+        snapshot = callback.best_policy
+        live = agent.policy
+        assert snapshot is not live
+        # Mutating the live policy must not change the snapshot.
+        before = [a.copy() for a in snapshot.pi.state_arrays()]
+        for arr in live.pi.state_arrays():
+            arr += 1.0
+        for a, b in zip(snapshot.pi.state_arrays(), before):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestEarlyStop:
+    def test_stops_when_threshold_met(self):
+        """The easy targets are reachable from the centre within a few
+        steps, so even a lightly-trained policy hits them; stop_success
+        must end training at the first qualifying evaluation."""
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=1,
+                                max_steps=8, stop_success=0.01,
+                                deterministic=False)
+        agent = _agent(max_iterations=30)
+        history = agent.train(callback=callback)
+        if callback.records and any(r.success_rate >= 0.01
+                                    for r in callback.records):
+            assert history.stopped_early
+            assert len(history.iterations) < 30
+
+    def test_no_stop_without_threshold(self):
+        callback = EvalCallback(QuadraticSimulator, EASY_TARGETS, every=1,
+                                max_steps=8)
+        agent = _agent(max_iterations=3)
+        history = agent.train(callback=callback)
+        assert len(history.iterations) == 3

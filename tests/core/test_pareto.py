@@ -1,0 +1,145 @@
+"""Pareto-front extraction and dominance semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dominates, pareto_front, sample_front
+from repro.core.pareto import _directed_axes
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.errors import SpaceError
+
+from tests.core.test_env import QuadraticSimulator
+
+#: speed wants more (LOWER_BOUND), power wants less (UPPER_BOUND).
+SPACE = SpecSpace([
+    Spec("speed", 1.0, 400.0, SpecKind.LOWER_BOUND),
+    Spec("power", 1.0, 400.0, SpecKind.UPPER_BOUND),
+])
+
+
+def d(speed, power):
+    return {"speed": speed, "power": power}
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(d(10, 1), d(5, 2), SPACE)
+
+    def test_better_on_one_axis_equal_on_other(self):
+        assert dominates(d(10, 1), d(5, 1), SPACE)
+
+    def test_equal_designs_do_not_dominate(self):
+        assert not dominates(d(5, 5), d(5, 5), SPACE)
+
+    def test_trade_off_is_incomparable(self):
+        assert not dominates(d(10, 10), d(5, 1), SPACE)
+        assert not dominates(d(5, 1), d(10, 10), SPACE)
+
+    def test_direction_respects_spec_kind(self):
+        # Lower power is better: (5, 1) dominates (5, 2).
+        assert dominates(d(5, 1), d(5, 2), SPACE)
+        assert not dominates(d(5, 2), d(5, 1), SPACE)
+
+    def test_range_specs_excluded_from_dominance(self):
+        space = SpecSpace([
+            Spec("speed", 1.0, 400.0, SpecKind.LOWER_BOUND),
+            Spec("pm", 60.0, 75.0, SpecKind.RANGE, range_width=15.0),
+        ])
+        assert [name for name, _ in _directed_axes(space)] == ["speed"]
+
+    def test_all_range_space_rejected(self):
+        space = SpecSpace([Spec("pm", 60.0, 75.0, SpecKind.RANGE,
+                                range_width=15.0)])
+        with pytest.raises(SpaceError):
+            dominates({"pm": 60}, {"pm": 61}, space)
+
+
+class TestParetoFront:
+    def test_known_front(self):
+        designs = [d(1, 1), d(2, 2), d(3, 4), d(2, 1), d(3, 1)]
+        front = pareto_front(designs, SPACE)
+        # (3,1) dominates everything except (3,4)'s speed tie... check:
+        # (3,1) vs (3,4): equal speed, less power -> dominates.
+        assert front.designs == [d(3, 1)]
+        assert front.indices == [4]
+
+    def test_trade_off_curve_sorted(self):
+        designs = [d(3, 2), d(1, 0.5), d(2, 1)]  # a clean front
+        front = pareto_front(designs, SPACE)
+        assert len(front) == 3
+        xs, ys = front.trade_off("speed", "power")
+        assert list(xs) == [1, 2, 3]
+        assert list(ys) == [0.5, 1, 2]
+
+    def test_duplicates_kept_on_front(self):
+        designs = [d(2, 1), d(2, 1), d(1, 2)]
+        front = pareto_front(designs, SPACE)
+        assert len(front) == 2  # both copies survive (neither dominates)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpaceError):
+            pareto_front([], SPACE)
+
+    def test_covers(self):
+        front = pareto_front([d(3, 2), d(1, 0.5)], SPACE)
+        assert front.covers(d(2.5, 2.5))        # within reach of (3, 2)
+        assert front.covers(d(1, 0.5))          # exactly on the front
+        assert not front.covers(d(3, 1))        # more speed AND less power
+        assert not front.covers(d(10, 10))      # beyond any design
+
+    @given(st.lists(st.tuples(st.floats(1, 100), st.floats(1, 100)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_front_is_mutually_non_dominated(self, points):
+        designs = [d(s, p) for s, p in points]
+        front = pareto_front(designs, SPACE)
+        assert len(front) >= 1
+        for a in front.designs:
+            for b in front.designs:
+                assert not dominates(a, b, SPACE) or a == b
+
+    @given(st.lists(st.tuples(st.floats(1, 100), st.floats(1, 100)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_every_design_dominated_by_or_on_front(self, points):
+        designs = [d(s, p) for s, p in points]
+        front = pareto_front(designs, SPACE)
+        for design in designs:
+            on_front = design in front.designs
+            dominated = any(dominates(f, design, SPACE)
+                            for f in front.designs)
+            assert on_front or dominated
+
+
+class TestSampleFront:
+    def test_quadratic_front_shape(self):
+        """speed = 1 + x0^2 and power = 1 + x1^2 are independent, so the
+        ideal front is the single corner (x0 = 20, x1 = 0) that maximises
+        speed and minimises power simultaneously; a 200-point sample's
+        front must be small and mutually non-dominated."""
+        sim = QuadraticSimulator()
+        front = sample_front(sim, n_samples=200, seed=0)
+        assert 1 <= len(front) < 20
+        for a in front.designs:
+            assert not any(dominates(b, a, sim.spec_space)
+                           for b in front.designs)
+        # The best sampled corner dominates: the front's best speed design
+        # must also have the front's best power among max-speed designs.
+        best = max(front.designs, key=lambda f: f["speed"] - f["power"])
+        assert front.covers(best)
+
+    def test_front_covers_easy_target(self):
+        sim = QuadraticSimulator()
+        front = sample_front(sim, n_samples=300, seed=1)
+        assert front.covers({"speed": 100.0, "power": 350.0})
+
+    def test_front_rejects_impossible_target(self):
+        sim = QuadraticSimulator()
+        front = sample_front(sim, n_samples=300, seed=1)
+        assert not front.covers({"speed": 1e9, "power": 0.1})
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            sample_front(QuadraticSimulator(), n_samples=0)

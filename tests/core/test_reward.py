@@ -1,0 +1,129 @@
+"""Eq. (1) reward: distances, goal detection, bonuses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reward import (
+    GOAL_BONUS,
+    RewardSpec,
+    compute_reward,
+    normalized_distance,
+)
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.errors import SpaceError
+
+GAIN = Spec("gain", 100.0, 400.0, SpecKind.LOWER_BOUND)
+NOISE = Spec("noise", 1e-6, 1e-3, SpecKind.UPPER_BOUND, log_scale=True)
+IBIAS = Spec("ibias", 1e-4, 1e-2, SpecKind.MINIMIZE, log_scale=True)
+PM = Spec("pm", 55.0, 80.0, SpecKind.RANGE, range_width=15.0)
+
+
+class TestNormalizedDistance:
+    def test_lower_bound_met(self):
+        assert normalized_distance(300.0, 200.0, GAIN) == pytest.approx(0.2)
+
+    def test_lower_bound_missed(self):
+        assert normalized_distance(100.0, 300.0, GAIN) == pytest.approx(-0.5)
+
+    def test_exactly_on_target_is_zero(self):
+        assert normalized_distance(250.0, 250.0, GAIN) == 0.0
+
+    def test_upper_bound_flips_sign(self):
+        assert normalized_distance(1e-4, 3e-4, NOISE) == pytest.approx(0.5)
+        assert normalized_distance(9e-4, 3e-4, NOISE) == pytest.approx(-0.5)
+
+    def test_minimize_acts_as_upper_bound(self):
+        assert normalized_distance(1e-3, 2e-3, IBIAS) > 0
+        assert normalized_distance(4e-3, 2e-3, IBIAS) < 0
+
+    def test_range_inside_positive(self):
+        assert normalized_distance(65.0, 60.0, PM) > 0
+
+    def test_range_below_negative(self):
+        assert normalized_distance(50.0, 60.0, PM) < 0
+
+    def test_range_above_negative(self):
+        assert normalized_distance(90.0, 60.0, PM) < 0
+
+    def test_zero_denominator(self):
+        assert normalized_distance(0.0, 0.0, GAIN) == 0.0
+
+    @given(o=st.floats(1.0, 1e6), t=st.floats(1.0, 1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_in_unit_interval(self, o, t):
+        d = normalized_distance(o, t, GAIN)
+        assert -1.0 <= d <= 1.0
+
+    @given(o=st.floats(1.0, 1e6), t=st.floats(1.0, 1e6),
+           scale=st.floats(0.01, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, o, t, scale):
+        assert normalized_distance(o, t, GAIN) == pytest.approx(
+            normalized_distance(o * scale, t * scale, GAIN), abs=1e-9)
+
+
+SPACE = SpecSpace([GAIN, NOISE, IBIAS])
+
+
+def _measure(gain, noise, ibias):
+    return {"gain": gain, "noise": noise, "ibias": ibias}
+
+
+TARGET = _measure(200.0, 3e-4, 2e-3)
+
+
+class TestComputeReward:
+    def test_all_met_gets_bonus_and_done(self):
+        rb = compute_reward(_measure(250.0, 1e-4, 1e-3), TARGET, SPACE)
+        assert rb.goal_reached
+        assert rb.reward >= GOAL_BONUS
+        assert rb.hard_term == 0.0
+
+    def test_one_missed_negative(self):
+        rb = compute_reward(_measure(120.0, 1e-4, 1e-3), TARGET, SPACE)
+        assert not rb.goal_reached
+        assert rb.reward < 0
+        assert rb.distances["gain"] < 0
+
+    def test_hard_term_has_no_positive_credit(self):
+        """Exceeding one spec cannot compensate missing another."""
+        rb = compute_reward(_measure(1e6, 1e-4, 99.0), TARGET, SPACE)
+        assert rb.hard_term < -0.5
+
+    def test_tolerance_band(self):
+        # Just barely under target: within the -0.01 slack.
+        rb = compute_reward(_measure(199.0, 1e-4, 1e-3), TARGET, SPACE)
+        assert rb.goal_reached
+
+    def test_soft_weight_adds_minimize_credit(self):
+        config = RewardSpec(soft_weight=1.0)
+        frugal = compute_reward(_measure(250.0, 1e-4, 1e-4), TARGET, SPACE, config)
+        hungry = compute_reward(_measure(250.0, 1e-4, 1.9e-3), TARGET, SPACE, config)
+        assert frugal.reward > hungry.reward
+        assert frugal.soft_term > 0
+
+    def test_default_has_no_soft_term(self):
+        frugal = compute_reward(_measure(250.0, 1e-4, 1e-4), TARGET, SPACE)
+        hungry = compute_reward(_measure(250.0, 1e-4, 1.9e-3), TARGET, SPACE)
+        assert frugal.reward == pytest.approx(hungry.reward)
+
+    def test_sparse_mode(self):
+        config = RewardSpec(sparse=True)
+        good = compute_reward(_measure(250.0, 1e-4, 1e-3), TARGET, SPACE, config)
+        bad = compute_reward(_measure(120.0, 1e-4, 1e-3), TARGET, SPACE, config)
+        assert good.reward == GOAL_BONUS
+        assert bad.reward == -1.0
+
+    def test_missing_measurement_raises(self):
+        with pytest.raises(SpaceError):
+            compute_reward({"gain": 250.0}, TARGET, SPACE)
+
+    def test_missing_target_raises(self):
+        with pytest.raises(SpaceError):
+            compute_reward(_measure(250.0, 1e-4, 1e-3), {"gain": 200.0}, SPACE)
+
+    def test_reward_monotone_in_violation(self):
+        rewards = [compute_reward(_measure(g, 1e-4, 1e-3), TARGET, SPACE).reward
+                   for g in (50.0, 100.0, 150.0, 190.0)]
+        assert rewards == sorted(rewards)

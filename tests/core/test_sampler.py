@@ -1,0 +1,60 @@
+"""Sparse target subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import DEFAULT_N_TARGETS, TargetSampler
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.errors import SpaceError
+
+
+def _space():
+    return SpecSpace([
+        Spec("gain", 200.0, 400.0, SpecKind.LOWER_BOUND),
+        Spec("ugbw", 1e6, 2.5e7, SpecKind.LOWER_BOUND, log_scale=True),
+    ])
+
+
+class TestSampler:
+    def test_paper_default_is_50(self):
+        assert DEFAULT_N_TARGETS == 50
+        sampler = TargetSampler(_space())
+        assert len(sampler) == 50
+
+    def test_targets_within_ranges(self):
+        sampler = TargetSampler(_space(), n_targets=100, seed=1)
+        for target in sampler:
+            assert 200.0 <= target["gain"] <= 400.0
+            assert 1e6 <= target["ugbw"] <= 2.5e7
+
+    def test_deterministic_given_seed(self):
+        a = TargetSampler(_space(), seed=7)
+        b = TargetSampler(_space(), seed=7)
+        assert a.targets == b.targets
+
+    def test_different_seeds_differ(self):
+        a = TargetSampler(_space(), seed=7)
+        b = TargetSampler(_space(), seed=8)
+        assert a.targets != b.targets
+
+    def test_getitem_returns_copy(self):
+        sampler = TargetSampler(_space(), seed=0)
+        t = sampler[0]
+        t["gain"] = -1
+        assert sampler[0]["gain"] > 0
+
+    def test_fresh_targets_disjoint_from_training(self):
+        sampler = TargetSampler(_space(), n_targets=50, seed=0)
+        fresh = sampler.fresh_targets(100, seed=999)
+        train_gains = {t["gain"] for t in sampler}
+        assert all(t["gain"] not in train_gains for t in fresh)
+
+    def test_as_array_shape_and_order(self):
+        sampler = TargetSampler(_space(), n_targets=10, seed=0)
+        arr = sampler.as_array()
+        assert arr.shape == (10, 2)
+        assert arr[0, 0] == sampler[0]["gain"]
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            TargetSampler(_space(), n_targets=0)

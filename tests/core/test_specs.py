@@ -1,0 +1,116 @@
+"""Spec definitions, normalisation and target sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.specs import Spec, SpecKind, SpecSpace
+from repro.errors import SpaceError
+
+
+def _space() -> SpecSpace:
+    return SpecSpace([
+        Spec("gain", 200.0, 400.0, SpecKind.LOWER_BOUND),
+        Spec("ugbw", 1e6, 2.5e7, SpecKind.LOWER_BOUND, log_scale=True),
+        Spec("ibias", 1e-4, 1e-2, SpecKind.MINIMIZE, log_scale=True),
+    ])
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            Spec("", 0, 1, SpecKind.LOWER_BOUND)
+        with pytest.raises(SpaceError):
+            Spec("x", 1, 1, SpecKind.LOWER_BOUND)
+        with pytest.raises(SpaceError):
+            Spec("x", -1, 1, SpecKind.LOWER_BOUND, log_scale=True)
+        with pytest.raises(SpaceError):
+            Spec("x", 0, 1, SpecKind.RANGE)  # needs range_width
+
+    def test_linear_normalisation_endpoints(self):
+        spec = Spec("gain", 200.0, 400.0, SpecKind.LOWER_BOUND)
+        assert spec.normalize(200.0) == pytest.approx(-1.0)
+        assert spec.normalize(400.0) == pytest.approx(1.0)
+        assert spec.normalize(300.0) == pytest.approx(0.0)
+
+    def test_log_normalisation(self):
+        spec = Spec("f", 1e6, 1e8, SpecKind.LOWER_BOUND, log_scale=True)
+        assert spec.normalize(1e7) == pytest.approx(0.0)
+        assert spec.normalize(1e6) == pytest.approx(-1.0)
+
+    def test_out_of_range_clipped(self):
+        spec = Spec("gain", 200.0, 400.0, SpecKind.LOWER_BOUND)
+        assert spec.normalize(1e9) == 3.0
+        assert spec.normalize(-1e9) == -3.0
+
+    @given(t=st.floats(-1.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_denormalize_roundtrip_linear(self, t):
+        spec = Spec("gain", 200.0, 400.0, SpecKind.LOWER_BOUND)
+        assert spec.normalize(spec.denormalize(t)) == pytest.approx(t, abs=1e-9)
+
+    @given(t=st.floats(-1.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_denormalize_roundtrip_log(self, t):
+        spec = Spec("f", 1e6, 1e8, SpecKind.LOWER_BOUND, log_scale=True)
+        assert spec.normalize(spec.denormalize(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_sample_in_range(self, rng):
+        spec = Spec("f", 1e6, 1e8, SpecKind.LOWER_BOUND, log_scale=True)
+        for _ in range(100):
+            v = spec.sample(rng)
+            assert 1e6 <= v <= 1e8
+
+    def test_log_sampling_covers_decades(self, rng):
+        spec = Spec("f", 1e6, 1e9, SpecKind.LOWER_BOUND, log_scale=True)
+        values = np.array([spec.sample(rng) for _ in range(2000)])
+        # log-uniform: ~1/3 of samples per decade
+        frac_low = np.mean(values < 1e7)
+        assert 0.25 < frac_low < 0.42
+
+
+class TestSpecSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpaceError):
+            SpecSpace([Spec("a", 0, 1, SpecKind.LOWER_BOUND),
+                       Spec("a", 0, 1, SpecKind.UPPER_BOUND)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpaceError):
+            SpecSpace([])
+
+    def test_lookup(self):
+        space = _space()
+        assert space["gain"].name == "gain"
+        with pytest.raises(KeyError):
+            space["nope"]
+
+    def test_normalize_vector(self):
+        space = _space()
+        obs = space.normalize({"gain": 300.0, "ugbw": 5e6, "ibias": 1e-3})
+        assert obs.shape == (3,)
+        assert obs[0] == pytest.approx(0.0)
+
+    def test_normalize_missing_key(self):
+        with pytest.raises(SpaceError):
+            _space().normalize({"gain": 300.0})
+
+    def test_sample_targets_unique(self, rng):
+        space = _space()
+        targets = space.sample_targets(50, rng)
+        assert len(targets) == 50
+        gains = {t["gain"] for t in targets}
+        assert len(gains) > 45  # continuous sampling: collisions ~ never
+
+    def test_describe_target(self):
+        space = _space()
+        text = space.describe_target({"gain": 300.0, "ugbw": 5e6,
+                                      "ibias": 1e-3})
+        assert "gain >= 300" in text
+        assert "ibias <= 0.001" in text
+
+    def test_range_spec_description(self):
+        space = SpecSpace([Spec("pm", 60, 75, SpecKind.RANGE, range_width=15)])
+        text = space.describe_target({"pm": 62.0})
+        assert "in [62" in text

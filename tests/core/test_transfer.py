@@ -1,0 +1,89 @@
+"""Transfer deployment: schematic-trained policy on a perturbed simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import fresh_random_policy
+from repro.core.transfer import schematic_pex_differences, transfer_deploy
+from repro.sim.cache import SimulationCounter
+
+from tests.core.test_deploy import _greedy_up_policy
+from tests.core.test_env import QuadraticSimulator
+
+
+class PerturbedSimulator(QuadraticSimulator):
+    """Stands in for PEX: systematically degrades both specs and supports
+    an LVS check."""
+
+    def __init__(self, degrade=0.85):
+        super().__init__()
+        self.degrade = degrade
+        self.lvs_calls = 0
+
+    def evaluate(self, indices):
+        specs = super().evaluate(indices)
+        return {"speed": specs["speed"] * self.degrade,
+                "power": specs["power"] / self.degrade}
+
+    def lvs_check(self, indices):
+        self.lvs_calls += 1
+        return True
+
+
+class TestTransferDeploy:
+    def test_reaches_targets_through_perturbed_simulator(self):
+        pex = PerturbedSimulator()
+        policy = _greedy_up_policy(pex)
+        targets = [{"speed": 150.0, "power": 90.0}]
+        report = transfer_deploy(policy, pex, targets, max_steps=25,
+                                 deterministic=True)
+        assert report.generalization == 1.0
+        assert report.n_lvs_passed == 1
+        assert pex.lvs_calls == 1
+
+    def test_failed_targets_not_lvs_checked(self):
+        pex = PerturbedSimulator()
+        policy = _greedy_up_policy(pex)
+        targets = [{"speed": 1e9, "power": 0.1}]
+        report = transfer_deploy(policy, pex, targets, max_steps=10,
+                                 deterministic=True)
+        assert report.generalization == 0.0
+        assert report.n_lvs_passed == 0
+        assert pex.lvs_calls == 0
+
+    def test_simulator_without_lvs_counts_unverified(self):
+        sim = QuadraticSimulator()
+        policy = _greedy_up_policy(sim)
+        report = transfer_deploy(policy, sim,
+                                 [{"speed": 150.0, "power": 90.0}],
+                                 max_steps=25, deterministic=True)
+        assert report.deployment.generalization == 1.0
+        assert report.n_lvs_passed == 0
+
+    def test_trajectories_kept_for_figures(self):
+        pex = PerturbedSimulator()
+        policy = _greedy_up_policy(pex)
+        report = transfer_deploy(policy, pex,
+                                 [{"speed": 150.0, "power": 90.0}],
+                                 max_steps=25, deterministic=True)
+        assert report.deployment.outcomes[0].trajectory
+
+    def test_summary_includes_lvs(self):
+        pex = PerturbedSimulator()
+        policy = _greedy_up_policy(pex)
+        summary = transfer_deploy(policy, pex,
+                                  [{"speed": 150.0, "power": 90.0}],
+                                  max_steps=25,
+                                  deterministic=True).summary()
+        assert "n_lvs_passed" in summary
+
+
+class TestDifferences:
+    def test_percent_differences(self):
+        sch = QuadraticSimulator()
+        pex = PerturbedSimulator(degrade=0.9)
+        designs = [np.array([5, 5]), np.array([10, 10]), np.array([15, 3])]
+        diffs = schematic_pex_differences(sch, pex, designs)
+        assert set(diffs) == {"speed", "power"}
+        assert np.allclose(diffs["speed"], -10.0, atol=1e-9)
+        assert np.allclose(diffs["power"], 100.0 / 0.9 - 100.0, atol=1e-6)

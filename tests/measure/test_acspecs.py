@@ -1,0 +1,103 @@
+"""AC spec extraction on synthetic transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure import (
+    crossing_frequency,
+    dc_gain,
+    f3db,
+    gain_margin_db,
+    phase_at,
+    phase_margin,
+    unity_gain_bandwidth,
+)
+
+
+def single_pole(freqs, a0=100.0, fp=1e4):
+    return a0 / (1.0 + 1j * freqs / fp)
+
+
+def two_pole(freqs, a0=1000.0, fp1=1e3, fp2=1e7):
+    return a0 / ((1.0 + 1j * freqs / fp1) * (1.0 + 1j * freqs / fp2))
+
+
+FREQS = np.logspace(1, 10, 400)
+
+
+class TestDcGain:
+    def test_flat(self):
+        assert dc_gain(FREQS, np.full(len(FREQS), 7.0 + 0j)) == 7.0
+
+    def test_single_pole(self):
+        assert dc_gain(FREQS, single_pole(FREQS)) == pytest.approx(100.0, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            dc_gain(FREQS[:5], np.ones(6))
+
+
+class TestUgbw:
+    def test_single_pole_gbw_product(self):
+        """For a one-pole amp, f_u = a0 * fp."""
+        h = single_pole(FREQS, a0=100.0, fp=1e4)
+        assert unity_gain_bandwidth(FREQS, h) == pytest.approx(1e6, rel=0.02)
+
+    def test_no_crossing_returns_fallback(self):
+        h = np.full(len(FREQS), 0.5 + 0j)
+        assert unity_gain_bandwidth(FREQS, h, fallback=123.0) == 123.0
+
+    def test_never_below_returns_top(self):
+        h = np.full(len(FREQS), 2.0 + 0j)
+        assert unity_gain_bandwidth(FREQS, h) == FREQS[-1]
+
+    def test_crossing_level_validation(self):
+        with pytest.raises(MeasurementError):
+            crossing_frequency(FREQS, single_pole(FREQS), level=0.0)
+
+
+class TestF3db:
+    def test_single_pole(self):
+        h = single_pole(FREQS, fp=1e4)
+        assert f3db(FREQS, h) == pytest.approx(1e4, rel=0.02)
+
+    def test_two_pole_dominant(self):
+        h = two_pole(FREQS)
+        assert f3db(FREQS, h) == pytest.approx(1e3, rel=0.05)
+
+
+class TestPhase:
+    def test_phase_at_pole_is_minus_45(self):
+        h = single_pole(FREQS, fp=1e4)
+        assert phase_at(FREQS, h, 1e4) == pytest.approx(-45.0, abs=1.0)
+
+    def test_single_pole_phase_margin_is_90(self):
+        h = single_pole(FREQS, a0=1000.0, fp=1e3)
+        assert phase_margin(FREQS, h) == pytest.approx(90.0, abs=2.0)
+
+    def test_two_pole_phase_margin(self):
+        # fu ~ 1e6 (=a0*fp1), second pole at 1e7 -> PM ~ 90 - atan(0.1) ~ 84 deg
+        h = two_pole(FREQS)
+        assert phase_margin(FREQS, h) == pytest.approx(84.3, abs=2.5)
+
+    def test_second_pole_at_nominal_crossover(self):
+        # fp2 = a0*fp1 pulls the actual crossing down to x*1e6 with
+        # x*sqrt(1+x^2) = 1 (x = 0.786), giving PM ~ 180 - 90 - 38.2 ~ 52.
+        h = two_pole(FREQS, a0=1000.0, fp1=1e3, fp2=1e6)
+        assert phase_margin(FREQS, h) == pytest.approx(51.8, abs=3.0)
+
+    def test_no_unity_crossing_gives_zero_margin(self):
+        h = np.full(len(FREQS), 0.5 + 0j)
+        assert phase_margin(FREQS, h) == 0.0
+
+
+class TestGainMargin:
+    def test_three_pole_has_finite_gain_margin(self):
+        h = 1000.0 / ((1 + 1j * FREQS / 1e3) * (1 + 1j * FREQS / 1e5)
+                      * (1 + 1j * FREQS / 1e6))
+        gm = gain_margin_db(FREQS, h)
+        assert np.isfinite(gm)
+
+    def test_single_pole_infinite_gain_margin(self):
+        assert gain_margin_db(FREQS, single_pole(FREQS)) == np.inf

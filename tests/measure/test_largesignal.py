@@ -1,0 +1,136 @@
+"""Large-signal waveform specs against closed-form waveforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.measure import delay_time, peak_to_peak, settled_fraction, slew_rate
+
+
+def _ramp(t_edge=1e-6, amplitude=1.0, n=2001, duration=4e-6):
+    """0 until t_edge, then a linear ramp to `amplitude` over t_edge..2*t_edge."""
+    time = np.linspace(0.0, duration, n)
+    wave = np.clip((time - t_edge) / t_edge, 0.0, 1.0) * amplitude
+    return time, wave
+
+
+def _exponential(tau=1e-6, amplitude=1.0, n=4001, duration=10e-6):
+    time = np.linspace(0.0, duration, n)
+    return time, amplitude * (1.0 - np.exp(-time / tau))
+
+
+class TestSlewRate:
+    def test_linear_ramp_exact(self):
+        time, wave = _ramp(t_edge=1e-6, amplitude=2.0)
+        # Ramp slope is 2.0 V per 1 us.
+        assert slew_rate(time, wave) == pytest.approx(2.0 / 1e-6, rel=1e-2)
+
+    def test_exponential_matches_analytic(self):
+        """For 1-exp(-t/tau) the max slope inside 10-90 % is at the 10 %
+        point: (A/tau) * 0.9."""
+        tau = 1e-6
+        time, wave = _exponential(tau=tau)
+        expected = (1.0 / tau) * 0.9
+        assert slew_rate(time, wave) == pytest.approx(expected, rel=0.02)
+
+    def test_falling_edge_positive_result(self):
+        time, wave = _ramp(amplitude=1.0)
+        assert slew_rate(time, 1.0 - wave) == pytest.approx(
+            slew_rate(time, wave), rel=1e-9)
+
+    def test_band_excludes_pre_edge_glitch(self):
+        time, wave = _ramp(t_edge=1e-6, amplitude=1.0)
+        glitchy = wave.copy()
+        glitchy[10] += 0.02  # fast wiggle far below the 10% band
+        clean = slew_rate(time, wave)
+        assert slew_rate(time, glitchy) == pytest.approx(clean, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            slew_rate([0, 1, 2], [1.0, 1.0, 1.0])  # zero amplitude
+        with pytest.raises(MeasurementError):
+            slew_rate([0, 1], [0.0, 1.0])  # too short
+        with pytest.raises(MeasurementError):
+            slew_rate([0, 1, 0.5], [0.0, 0.5, 1.0])  # non-monotone time
+        time, wave = _ramp()
+        with pytest.raises(MeasurementError):
+            slew_rate(time, wave, low=0.9, high=0.1)
+
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scales_linearly_with_amplitude_and_time(self, amp, t_scale):
+        time, wave = _ramp(t_edge=1e-6, amplitude=1.0)
+        base = slew_rate(time, wave)
+        assert slew_rate(time * t_scale, wave * amp) == pytest.approx(
+            base * amp / t_scale, rel=1e-6)
+
+
+class TestDelay:
+    def test_ramp_fifty_percent(self):
+        time, wave = _ramp(t_edge=1e-6)
+        # Ramp starts at 1 us, reaches 50 % at 1.5 us.
+        assert delay_time(time, wave) == pytest.approx(1.5e-6, rel=1e-3)
+
+    def test_exponential_ln2(self):
+        tau = 1e-6
+        time, wave = _exponential(tau=tau)
+        assert delay_time(time, wave) == pytest.approx(tau * np.log(2),
+                                                       rel=1e-3)
+
+    def test_custom_threshold(self):
+        tau = 1e-6
+        time, wave = _exponential(tau=tau)
+        assert delay_time(time, wave, threshold=0.9) == pytest.approx(
+            tau * np.log(10), rel=1e-2)
+
+    def test_never_crossing_returns_end(self):
+        time = np.linspace(0, 1e-6, 100)
+        wave = np.linspace(0, 1.0, 100)
+        # Final value is 1.0 but ask for a 99.99% crossing of a noisy tail:
+        # construct a wave that approaches 0.4 of its "final" only.
+        w = np.concatenate([np.linspace(0, 0.4, 50), np.full(50, 0.4)])
+        w[-1] = 1.0  # final sample jumps: crossing only at the very end
+        t = delay_time(time, w, threshold=0.5)
+        assert t <= time[-1]
+
+    def test_validation(self):
+        time, wave = _ramp()
+        with pytest.raises(MeasurementError):
+            delay_time(time, wave, threshold=0.0)
+        with pytest.raises(MeasurementError):
+            delay_time(time, np.full_like(time, 2.0))
+
+
+class TestPeakToPeak:
+    def test_sine_swing(self):
+        time = np.linspace(0, 1, 1000)
+        wave = 0.3 + 0.75 * np.sin(2 * np.pi * 5 * time)
+        assert peak_to_peak(time, wave) == pytest.approx(1.5, rel=1e-3)
+
+    def test_constant_is_zero(self):
+        time = np.linspace(0, 1, 10)
+        assert peak_to_peak(time, np.full(10, 3.3)) == 0.0
+
+
+class TestSettledFraction:
+    def test_instant_step_fully_settled(self):
+        time = np.linspace(0, 1, 100)
+        wave = np.ones(100)
+        wave[0] = 0.0
+        assert settled_fraction(time, wave) > 0.95
+
+    def test_slow_exponential_partially_settled(self):
+        # Duration = 1 tau: settles (within 1 %) only at the very end.
+        time, wave = _exponential(tau=1e-6, duration=1e-6)
+        assert settled_fraction(time, wave) < 0.3
+
+    def test_long_record_mostly_settled(self):
+        time, wave = _exponential(tau=1e-6, duration=20e-6)
+        assert settled_fraction(time, wave) > 0.7
+
+    def test_flat_wave_settled(self):
+        time = np.linspace(0, 1, 10)
+        assert settled_fraction(time, np.zeros(10)) == 1.0

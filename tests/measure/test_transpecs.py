@@ -1,0 +1,94 @@
+"""Time-domain spec extraction on synthetic waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure import overshoot, rise_time, settling_time
+
+T = np.linspace(0.0, 10.0, 2001)
+
+
+def first_order(tau=1.0):
+    return 1.0 - np.exp(-T / tau)
+
+
+def underdamped(zeta=0.2, wn=5.0):
+    wd = wn * np.sqrt(1 - zeta ** 2)
+    return 1.0 - np.exp(-zeta * wn * T) * (
+        np.cos(wd * T) + zeta / np.sqrt(1 - zeta ** 2) * np.sin(wd * T))
+
+
+class TestSettlingTime:
+    def test_first_order_one_percent(self):
+        st = settling_time(T, first_order(), final=1.0, initial=0.0,
+                           tolerance=0.01)
+        assert st == pytest.approx(np.log(100.0), rel=0.01)  # 4.605 tau
+
+    def test_first_order_ten_percent(self):
+        st = settling_time(T, first_order(), final=1.0, initial=0.0,
+                           tolerance=0.10)
+        assert st == pytest.approx(np.log(10.0), rel=0.01)
+
+    def test_tighter_tolerance_settles_later(self):
+        w = underdamped()
+        st1 = settling_time(T, w, final=1.0, initial=0.0, tolerance=0.05)
+        st2 = settling_time(T, w, final=1.0, initial=0.0, tolerance=0.01)
+        assert st2 >= st1
+
+    def test_already_settled(self):
+        w = np.ones_like(T)
+        st = settling_time(T, w, final=1.0, initial=0.0)
+        assert st == T[0]
+
+    def test_never_settles_returns_end(self):
+        w = np.sin(10 * T)  # oscillates forever around 0
+        st = settling_time(T, w, final=1.0, initial=0.0, tolerance=0.01)
+        assert st == T[-1]
+
+    def test_defaults_use_endpoints(self):
+        st = settling_time(T, first_order())
+        assert st > 0.0
+
+    def test_zero_amplitude_rejected(self):
+        with pytest.raises(MeasurementError):
+            settling_time(T, np.ones_like(T), final=1.0, initial=1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(MeasurementError):
+            settling_time(T[:5], np.ones(6))
+
+
+class TestOvershoot:
+    def test_first_order_no_overshoot(self):
+        assert overshoot(T, first_order(), final=1.0, initial=0.0) == 0.0
+
+    def test_underdamped_matches_theory(self):
+        zeta = 0.2
+        w = underdamped(zeta=zeta)
+        expected = np.exp(-np.pi * zeta / np.sqrt(1 - zeta ** 2))
+        assert overshoot(T, w, final=1.0, initial=0.0) == pytest.approx(
+            expected, rel=0.02)
+
+    def test_falling_step(self):
+        w = np.exp(-T)  # 1 -> 0, monotone
+        assert overshoot(T, w, final=0.0, initial=1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_amplitude_rejected(self):
+        with pytest.raises(MeasurementError):
+            overshoot(T, np.ones_like(T), final=1.0, initial=1.0)
+
+
+class TestRiseTime:
+    def test_first_order_10_90(self):
+        rt = rise_time(T, first_order(), final=1.0, initial=0.0)
+        assert rt == pytest.approx(np.log(9.0), rel=0.01)  # tau * ln(0.9/0.1)
+
+    def test_linear_ramp(self):
+        w = np.clip(T / 5.0, 0.0, 1.0)
+        rt = rise_time(T, w, final=1.0, initial=0.0)
+        assert rt == pytest.approx(0.8 * 5.0, rel=0.01)
+
+    def test_never_rises_returns_end(self):
+        w = np.zeros_like(T)
+        assert rise_time(T, w, final=1.0, initial=0.0) == T[-1]

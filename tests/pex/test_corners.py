@@ -1,0 +1,54 @@
+"""PVT corner definitions and application."""
+
+import pytest
+
+from repro.circuits.technology import Corner
+from repro.pex.corners import signoff_corners, typical_only
+from repro.topologies import NegGmOta
+from repro.units import ROOM_TEMPERATURE
+
+
+class TestCornerSets:
+    def test_signoff_contains_tt_ss_ff(self):
+        corners = signoff_corners()
+        processes = [c.process for c in corners]
+        assert Corner.TT in processes
+        assert Corner.SS in processes
+        assert Corner.FF in processes
+
+    def test_ss_corner_is_hot_and_low_v(self):
+        ss = next(c for c in signoff_corners() if c.process is Corner.SS)
+        assert ss.vdd_scale < 1.0
+        assert ss.temperature > ROOM_TEMPERATURE
+
+    def test_ff_corner_is_cold_and_high_v(self):
+        ff = next(c for c in signoff_corners() if c.process is Corner.FF)
+        assert ff.vdd_scale > 1.0
+        assert ff.temperature < ROOM_TEMPERATURE
+
+    def test_typical_only(self):
+        corners = typical_only()
+        assert len(corners) == 1
+        assert corners[0].process is Corner.TT
+        assert corners[0].vdd_scale == 1.0
+
+
+class TestApply:
+    def test_apply_scales_vdd_and_sets_corner(self):
+        ss = next(c for c in signoff_corners() if c.process is Corner.SS)
+        topo = ss.apply(NegGmOta)
+        nominal = NegGmOta()
+        assert topo.technology.vdd == pytest.approx(0.9 * nominal.technology.vdd)
+        assert topo.corner is Corner.SS
+        assert topo.temperature == ss.temperature
+
+    def test_applied_topology_uses_corner_devices(self):
+        ss = next(c for c in signoff_corners() if c.process is Corner.SS)
+        topo = ss.apply(NegGmOta)
+        # Compare against a TT topology at the *same* temperature so the
+        # (larger) temperature-induced vth shift does not mask the corner.
+        same_temp = NegGmOta(temperature=ss.temperature)
+        assert (topo.device_params("nmos").vth0
+                > same_temp.device_params("nmos").vth0)
+        assert (topo.device_params("nmos").kp
+                < same_temp.device_params("nmos").kp)

@@ -1,0 +1,101 @@
+"""Parasitic extraction and the PEX simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Resistor
+from repro.circuits.mosfet import Mosfet
+from repro.pex import ExtractionRules, ParasiticExtractor, PexSimulator
+from repro.pex.corners import typical_only
+from repro.pex.extraction import PEX_PREFIX
+from repro.topologies import NegGmOta, SchematicSimulator, TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def extracted_pair():
+    topo = NegGmOta()
+    space = topo.parameter_space
+    net = topo.build(space.values(space.center))
+    return net, ParasiticExtractor().extract(net)
+
+
+class TestExtraction:
+    def test_schematic_nodes_preserved(self, extracted_pair):
+        net, ext = extracted_pair
+        assert net.nodes() <= ext.nodes()
+
+    def test_every_mosfet_gets_access_resistors(self, extracted_pair):
+        net, ext = extracted_pair
+        n_mosfets = len(net.elements_of(Mosfet))
+        pex_resistors = [e for e in ext.elements_of(Resistor)
+                         if e.name.startswith(PEX_PREFIX)]
+        assert len(pex_resistors) == 2 * n_mosfets
+
+    def test_access_resistance_scales_inverse_width(self):
+        rules = ExtractionRules()
+        from repro.circuits import ptm45
+        nmos = ptm45().nmos
+        from repro.circuits.netlist import Netlist
+        from repro.circuits.elements import VoltageSource
+        net = Netlist("two")
+        net.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        net.add(Mosfet("MBIG", "vdd", "vdd", "0", "0", polarity="nmos",
+                       params=nmos, w=50e-6, l=0.5e-6))
+        net.add(Mosfet("MSMALL", "vdd", "vdd", "0", "0", polarity="nmos",
+                       params=nmos, w=1e-6, l=0.5e-6))
+        ext = ParasiticExtractor(rules).extract(net)
+        r_big = ext[f"{PEX_PREFIX}R_MBIG_d"].resistance
+        r_small = ext[f"{PEX_PREFIX}R_MSMALL_d"].resistance
+        assert r_small == pytest.approx(50 * r_big, rel=1e-6)
+
+    def test_wire_capacitors_added(self, extracted_pair):
+        _, ext = extracted_pair
+        pex_caps = [e for e in ext.elements_of(Capacitor)
+                    if e.name.startswith(PEX_PREFIX)]
+        assert len(pex_caps) > 3
+        assert all(c.capacitance > 0 for c in pex_caps)
+
+    def test_extracted_netlist_still_valid(self, extracted_pair):
+        _, ext = extracted_pair
+        ext.validate()
+
+
+class TestPexSimulator:
+    @pytest.fixture(scope="class")
+    def pex(self):
+        return PexSimulator(NegGmOta, corners=typical_only(), cache=True)
+
+    def test_specs_shift_but_stay_physical(self, pex, ngm_simulator):
+        x = pex.parameter_space.center
+        sch = ngm_simulator.evaluate(x)
+        post = pex.evaluate(x)
+        assert post["gain"] > 0.0011  # still a working amplifier
+        for key in sch:
+            assert post[key] == pytest.approx(sch[key], rel=0.5)
+        assert post != sch            # but not identical
+
+    def test_worst_case_across_corners_is_pessimistic(self):
+        tt = PexSimulator(NegGmOta, corners=typical_only(), cache=False)
+        full = PexSimulator(NegGmOta, cache=False)
+        x = tt.parameter_space.center
+        s_tt = tt.evaluate(x)
+        s_full = full.evaluate(x)
+        assert s_full["gain"] <= s_tt["gain"] + 1e-12
+        assert s_full["ugbw"] <= s_tt["ugbw"] + 1e-9
+        assert s_full["phase_margin"] <= s_tt["phase_margin"] + 1e-9
+
+    def test_caching_and_counting(self, pex):
+        pex.counter.reset()
+        x = pex.parameter_space.center + 1
+        pex.evaluate(x)
+        pex.evaluate(x)
+        assert pex.counter.fresh == 1
+        assert pex.counter.cached == 1
+
+    def test_lvs_check_passes(self, pex):
+        assert pex.lvs_check(pex.parameter_space.center)
+
+    def test_layout_for(self, pex):
+        layout = pex.layout_for(pex.parameter_space.center)
+        assert layout.area > 0
+        assert layout.footprints

@@ -1,0 +1,96 @@
+"""Pseudo-layout generation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, CurrentSource, Resistor, VoltageSource
+from repro.pex import generate_layout
+from repro.pex.layout import device_dimensions
+from repro.topologies import NegGmOta, TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def opamp_layout():
+    topo = TwoStageOpAmp()
+    space = topo.parameter_space
+    net = topo.build(space.values(space.center))
+    return net, generate_layout(net)
+
+
+class TestFootprints:
+    def test_sources_have_no_footprint(self):
+        assert device_dimensions(VoltageSource("V", "a", "0", 1.0)) is None
+        assert device_dimensions(CurrentSource("I", "a", "0", 1.0)) is None
+
+    def test_resistor_scales_with_resistance(self):
+        small = device_dimensions(Resistor("R1", "a", "b", 1e3))
+        big = device_dimensions(Resistor("R2", "a", "b", 100e3))
+        assert big[0] * big[1] > small[0] * small[1]
+
+    def test_capacitor_area_matches_density(self):
+        w, h = device_dimensions(Capacitor("C1", "a", "b", 2e-12))
+        assert w * h == pytest.approx(2e-12 / 2e-3, rel=1e-9)
+
+    def test_mosfet_folding(self):
+        from repro.circuits import ptm45
+        from repro.circuits.mosfet import Mosfet
+        nmos = ptm45().nmos
+        one = device_dimensions(Mosfet("M1", "d", "g", "s", "b",
+                                       polarity="nmos", params=nmos,
+                                       w=5e-6, l=0.5e-6, m=1))
+        four = device_dimensions(Mosfet("M2", "d", "g", "s", "b",
+                                        polarity="nmos", params=nmos,
+                                        w=5e-6, l=0.5e-6, m=4))
+        assert four[0] == pytest.approx(4 * one[0])   # fingers side by side
+        assert four[1] == one[1]
+
+
+class TestPlacement:
+    def test_no_overlaps(self, opamp_layout):
+        _, layout = opamp_layout
+        boxes = [(f.x, f.y, f.x + f.width, f.y + f.height)
+                 for f in layout.footprints]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                overlap_x = min(a[2], b[2]) - max(a[0], b[0])
+                overlap_y = min(a[3], b[3]) - max(a[1], b[1])
+                assert overlap_x <= 1e-12 or overlap_y <= 1e-12
+
+    def test_chip_bounding_box(self, opamp_layout):
+        _, layout = opamp_layout
+        for f in layout.footprints:
+            assert f.x >= 0 and f.y >= 0
+            assert f.x + f.width <= layout.width + 1e-12
+            assert f.y + f.height <= layout.height + 1e-12
+        assert layout.area > 0
+
+    def test_deterministic(self, opamp_layout):
+        net, layout = opamp_layout
+        again = generate_layout(net)
+        assert [f.name for f in again.footprints] == [
+            f.name for f in layout.footprints]
+        assert again.net_hpwl == layout.net_hpwl
+
+
+class TestWiring:
+    def test_ground_net_excluded(self, opamp_layout):
+        _, layout = opamp_layout
+        assert layout.wirelength("0") == 0.0
+
+    def test_single_terminal_nets_zero(self, opamp_layout):
+        _, layout = opamp_layout
+        for net, count in layout.net_terminals.items():
+            if count < 2:
+                assert layout.wirelength(net) == 0.0
+
+    def test_bigger_devices_longer_wires(self):
+        topo = TwoStageOpAmp()
+        space = topo.parameter_space
+        small_values = space.values(np.full(len(space), 5))
+        big_values = space.values(np.full(len(space), 90))
+        small = generate_layout(topo.build(small_values))
+        big = generate_layout(topo.build(big_values))
+        assert big.area > small.area
+        assert (sum(big.net_hpwl.values())
+                > sum(small.net_hpwl.values()))
+

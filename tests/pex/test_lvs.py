@@ -1,0 +1,102 @@
+"""LVS: graph reduction and isomorphism checking."""
+
+import pytest
+
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource, ptm45
+from repro.circuits.mosfet import Mosfet
+from repro.pex import ParasiticExtractor, lvs_compare, netlist_graph, reduce_extracted
+from repro.topologies import TwoStageOpAmp
+
+NMOS = ptm45().nmos
+
+
+def _amp() -> Netlist:
+    net = Netlist("amp")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+    net.add(VoltageSource("VIN", "g", "0", dc=0.7))
+    net.add(Resistor("RD", "vdd", "d", 10e3))
+    net.add(Mosfet("M1", "d", "g", "0", "0", polarity="nmos", params=NMOS,
+                   w=5e-6, l=0.5e-6))
+    return net
+
+
+class TestReduction:
+    def test_extraction_roundtrip_reduces_to_schematic_shape(self):
+        net = _amp()
+        ext = ParasiticExtractor().extract(net)
+        reduced = reduce_extracted(ext, "PEX_")
+        assert reduced.nodes() == net.nodes()
+        assert len(reduced) == len(net)
+
+    def test_parasitic_elements_stripped(self):
+        net = _amp()
+        ext = ParasiticExtractor().extract(net)
+        reduced = reduce_extracted(ext, "PEX_")
+        assert not any(e.name.startswith("PEX_") for e in reduced)
+
+
+class TestCompare:
+    def test_extracted_matches_schematic(self):
+        net = _amp()
+        ext = ParasiticExtractor().extract(net)
+        assert lvs_compare(net, ext)
+
+    def test_full_opamp_passes(self):
+        topo = TwoStageOpAmp()
+        space = topo.parameter_space
+        net = topo.build(space.values(space.center))
+        ext = ParasiticExtractor().extract(net)
+        assert lvs_compare(net, ext)
+
+    def test_missing_device_fails(self):
+        net = _amp()
+        ext = ParasiticExtractor().extract(net)
+        ext.remove("RD")
+        assert not lvs_compare(net, ext)
+
+    def test_wrong_connectivity_fails(self):
+        net = _amp()
+        bad = Netlist("bad")
+        bad.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        bad.add(VoltageSource("VIN", "g", "0", dc=0.7))
+        bad.add(Resistor("RD", "vdd", "d", 10e3))
+        # gate and drain swapped
+        bad.add(Mosfet("M1", "g", "d", "0", "0", polarity="nmos", params=NMOS,
+                       w=5e-6, l=0.5e-6))
+        assert not lvs_compare(net, ParasiticExtractor().extract(bad))
+
+    def test_wrong_device_size_fails(self):
+        net = _amp()
+        bad = _amp()
+        bad.remove("M1")
+        bad.add(Mosfet("M1", "d", "g", "0", "0", polarity="nmos", params=NMOS,
+                       w=10e-6, l=0.5e-6))
+        assert not lvs_compare(net, ParasiticExtractor().extract(bad))
+
+    def test_renamed_nets_still_match(self):
+        """LVS is structural: node names don't matter, topology does."""
+        net = _amp()
+        renamed = Netlist("renamed")
+        renamed.add(VoltageSource("VDD", "supply", "0", dc=1.8))
+        renamed.add(VoltageSource("VIN", "input", "0", dc=0.7))
+        renamed.add(Resistor("RD", "supply", "drain", 10e3))
+        renamed.add(Mosfet("M1", "drain", "input", "0", "0", polarity="nmos",
+                           params=NMOS, w=5e-6, l=0.5e-6))
+        assert lvs_compare(net, ParasiticExtractor().extract(renamed))
+
+    def test_diode_connected_device_roles_fold(self):
+        """A diode-connected MOSFET (g tied to d) must match itself."""
+        net = Netlist("diode")
+        net.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+        net.add(Resistor("RB", "vdd", "nb", 50e3))
+        net.add(Mosfet("M1", "nb", "nb", "0", "0", polarity="nmos",
+                       params=NMOS, w=2e-6, l=0.5e-6))
+        ext = ParasiticExtractor().extract(net)
+        assert lvs_compare(net, ext)
+
+    def test_graph_is_bipartite_device_net(self):
+        g = netlist_graph(_amp())
+        kinds = {data["kind"] for _, data in g.nodes(data=True)}
+        assert kinds == {"device", "net"}
+        for a, b in g.edges():
+            assert g.nodes[a]["kind"] != g.nodes[b]["kind"]

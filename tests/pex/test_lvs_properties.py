@@ -1,0 +1,78 @@
+"""Property-based LVS tests: random structural edits must be caught."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, Resistor, VoltageSource, ptm45
+from repro.circuits.mosfet import Mosfet
+from repro.pex import ParasiticExtractor, lvs_compare
+from repro.topologies import TwoStageOpAmp
+
+NMOS = ptm45().nmos
+PMOS = ptm45().pmos
+
+
+def _random_amp(rng: np.random.Generator) -> Netlist:
+    """A randomised multi-stage resistor/MOSFET chain (always LVS-clean
+    against its own extraction)."""
+    net = Netlist("randamp")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=1.8))
+    net.add(VoltageSource("VIN", "n0", "0", dc=0.7))
+    n_stages = int(rng.integers(1, 4))
+    for i in range(n_stages):
+        polarity = "nmos" if rng.random() < 0.5 else "pmos"
+        params = NMOS if polarity == "nmos" else PMOS
+        source = "0" if polarity == "nmos" else "vdd"
+        net.add(Resistor(f"R{i}", "vdd", f"d{i}",
+                         float(rng.uniform(1e3, 50e3))))
+        net.add(Mosfet(f"M{i}", f"d{i}", f"n{i}", source, source,
+                       polarity=polarity, params=params,
+                       w=float(rng.uniform(1e-6, 20e-6)), l=0.5e-6,
+                       m=float(rng.integers(1, 5))))
+        net.add(Resistor(f"RL{i}", f"d{i}", f"n{i+1}", 1e4))
+    net.add(Resistor("REND", f"n{n_stages}", "0", 1e5))
+    return net
+
+
+class TestLvsProperties:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_extraction_always_passes_lvs(self, seed):
+        net = _random_amp(np.random.default_rng(seed))
+        extracted = ParasiticExtractor().extract(net)
+        assert lvs_compare(net, extracted)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_resized_device_always_fails_lvs(self, seed):
+        rng = np.random.default_rng(seed)
+        net = _random_amp(rng)
+        mutated = _random_amp(np.random.default_rng(seed))
+        mosfets = [e for e in mutated if isinstance(e, Mosfet)]
+        victim = mosfets[int(rng.integers(len(mosfets)))]
+        mutated.remove(victim.name)
+        mutated.add(Mosfet(victim.name, *victim.nodes,
+                           polarity=victim.polarity, params=victim.params,
+                           w=victim.w * 2.0, l=victim.l, m=victim.m))
+        assert not lvs_compare(net, ParasiticExtractor().extract(mutated))
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_extra_device_always_fails_lvs(self, seed):
+        net = _random_amp(np.random.default_rng(seed))
+        mutated = _random_amp(np.random.default_rng(seed))
+        mutated.add(Resistor("R_EXTRA", "vdd", "0", 1e6))
+        assert not lvs_compare(net, ParasiticExtractor().extract(mutated))
+
+    def test_opamp_sizing_sweep_all_pass(self):
+        """LVS must hold across the sizing grid, not just the centre."""
+        topo = TwoStageOpAmp()
+        space = topo.parameter_space
+        rng = np.random.default_rng(3)
+        extractor = ParasiticExtractor()
+        for _ in range(5):
+            values = space.values(space.sample(rng))
+            net = topo.build(values)
+            assert lvs_compare(net, extractor.extract(net))

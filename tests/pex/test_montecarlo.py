@@ -1,0 +1,208 @@
+"""Monte-Carlo mismatch: Pelgrom scaling, spec spread, yield."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, Resistor, VoltageSource, ptm45
+from repro.circuits.mosfet import Mosfet
+from repro.errors import TopologyError
+from repro.pex import (
+    MismatchModel,
+    MonteCarloAnalysis,
+    apply_mismatch,
+    estimate_yield,
+)
+from repro.topologies import TransimpedanceAmplifier
+
+
+@pytest.fixture(scope="module")
+def tia():
+    return TransimpedanceAmplifier()
+
+
+def _mosfet_netlist(w=1e-6, l=0.5e-6, m=1.0):
+    tech = ptm45()
+    net = Netlist("one_fet")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+    net.add(Resistor("RL", "vdd", "d", 10e3))
+    net.add(Mosfet("M1", "d", "g", "0", "0", polarity="nmos",
+                   params=tech.nmos, w=w, l=l, m=m))
+    return net
+
+
+class TestMismatchModel:
+    def test_pelgrom_area_scaling(self):
+        model = MismatchModel()
+        small = model.sigma_vth(1e-6, 0.1e-6)
+        big = model.sigma_vth(4e-6, 0.1e-6)
+        assert small == pytest.approx(2.0 * big)
+
+    def test_multiplier_counts_as_area(self):
+        model = MismatchModel()
+        assert model.sigma_vth(1e-6, 1e-6, m=4.0) == pytest.approx(
+            model.sigma_vth(4e-6, 1e-6, m=1.0))
+
+    def test_typical_magnitude(self):
+        # A 1 um x 0.5 um device should have a few-mV threshold sigma.
+        sigma = MismatchModel().sigma_vth(1e-6, 0.5e-6)
+        assert 1e-3 < sigma < 20e-3
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            MismatchModel(a_vth=-1.0)
+
+    @given(st.floats(min_value=0.1e-6, max_value=50e-6),
+           st.floats(min_value=0.05e-6, max_value=2e-6))
+    @settings(max_examples=30, deadline=None)
+    def test_sigma_positive_and_shrinks_with_area(self, w, l):
+        model = MismatchModel()
+        assert model.sigma_vth(w, l) > 0.0
+        assert model.sigma_vth(2 * w, l) < model.sigma_vth(w, l)
+
+
+class TestApplyMismatch:
+    def test_perturbs_every_mosfet(self):
+        net = _mosfet_netlist()
+        n = apply_mismatch(net, MismatchModel(), np.random.default_rng(0))
+        assert n == 1
+
+    def test_parameters_actually_change(self):
+        net = _mosfet_netlist()
+        before = net["M1"].params
+        apply_mismatch(net, MismatchModel(), np.random.default_rng(0))
+        after = net["M1"].params
+        assert after.vth0 != before.vth0
+        assert after.kp != before.kp
+
+    def test_zero_model_is_identity(self):
+        net = _mosfet_netlist()
+        before = net["M1"].params
+        apply_mismatch(net, MismatchModel(a_vth=0.0, a_beta=0.0),
+                       np.random.default_rng(0))
+        assert net["M1"].params == before
+
+    def test_non_mosfets_untouched(self):
+        net = _mosfet_netlist()
+        r_before = net["RL"].resistance
+        apply_mismatch(net, MismatchModel(), np.random.default_rng(0))
+        assert net["RL"].resistance == r_before
+
+    def test_draws_independent_across_devices(self):
+        tech = ptm45()
+        net = Netlist("pair")
+        for i in (1, 2):
+            net.add(Mosfet(f"M{i}", f"d{i}", "g", "0", "0", polarity="nmos",
+                           params=tech.nmos, w=1e-6, l=0.5e-6))
+        apply_mismatch(net, MismatchModel(), np.random.default_rng(1))
+        assert net["M1"].params.vth0 != net["M2"].params.vth0
+
+    def test_kp_floor_prevents_sign_flip(self):
+        net = _mosfet_netlist(w=0.01e-6, l=0.01e-6)  # tiny area, huge sigma
+        model = MismatchModel(a_beta=1e-4)
+        for seed in range(20):
+            fresh = _mosfet_netlist(w=0.01e-6, l=0.01e-6)
+            apply_mismatch(fresh, model, np.random.default_rng(seed))
+            assert fresh["M1"].params.kp > 0.0
+
+
+class TestMonteCarloAnalysis:
+    def test_spec_spread_on_tia(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        result = mc.run(indices=tia.parameter_space.center, n_trials=25,
+                        seed=0)
+        assert result.n_trials == 25
+        assert result.n_failed < 25
+        for name in tia.spec_space.names:
+            assert name in result.specs
+            assert result.std(name) > 0.0
+
+    def test_tighter_model_gives_tighter_specs(self, tia):
+        wide = MonteCarloAnalysis(tia, MismatchModel(a_vth=10e-9))
+        tight = MonteCarloAnalysis(tia, MismatchModel(a_vth=0.5e-9,
+                                                      a_beta=0.5e-9))
+        centre = tia.parameter_space.center
+        spread_wide = wide.run(indices=centre, n_trials=25, seed=1)
+        spread_tight = tight.run(indices=centre, n_trials=25, seed=1)
+        name = "cutoff_freq"
+        assert spread_tight.sigma_fraction(name) < spread_wide.sigma_fraction(name)
+
+    def test_deterministic_for_seed(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        a = mc.run(indices=tia.parameter_space.center, n_trials=5, seed=3)
+        b = mc.run(indices=tia.parameter_space.center, n_trials=5, seed=3)
+        for name in a.specs:
+            np.testing.assert_array_equal(a.specs[name], b.specs[name])
+
+    def test_values_and_indices_mutually_exclusive(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        with pytest.raises(TopologyError):
+            mc.run(n_trials=5)
+        with pytest.raises(TopologyError):
+            mc.run(indices=tia.parameter_space.center,
+                   values={"x": 1.0}, n_trials=5)
+
+    def test_min_trials(self, tia):
+        with pytest.raises(TopologyError):
+            MonteCarloAnalysis(tia).run(indices=tia.parameter_space.center,
+                                        n_trials=1)
+
+    def test_quantiles_ordered(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        result = mc.run(indices=tia.parameter_space.center, n_trials=20,
+                        seed=2)
+        name = "cutoff_freq"
+        assert (result.quantile(name, 0.1) <= result.quantile(name, 0.5)
+                <= result.quantile(name, 0.9))
+
+
+class TestYield:
+    def test_generous_target_high_yield(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        result = mc.run(indices=tia.parameter_space.center, n_trials=20,
+                        seed=0)
+        # Build a target every trial trivially meets.
+        target = {}
+        for spec in tia.spec_space:
+            arr = result.specs[spec.name]
+            if spec.kind.value in ("lower",):
+                target[spec.name] = float(arr.min()) * 0.5
+            else:
+                target[spec.name] = float(arr.max()) * 2.0
+        estimate = estimate_yield(result, target, tia.spec_space)
+        assert estimate.rate == 1.0
+        assert estimate.ci_low > 0.7
+
+    def test_impossible_target_zero_yield(self, tia):
+        mc = MonteCarloAnalysis(tia)
+        result = mc.run(indices=tia.parameter_space.center, n_trials=10,
+                        seed=0)
+        target = {s.name: (1e12 if s.kind.value == "lower" else 1e-12)
+                  for s in tia.spec_space}
+        estimate = estimate_yield(result, target, tia.spec_space)
+        assert estimate.rate == 0.0
+        assert estimate.ci_high < 0.5
+
+    def test_marginal_target_partial_yield(self, tia):
+        """A target at the Monte-Carlo median of a spread spec should pass
+        roughly half the trials."""
+        mc = MonteCarloAnalysis(tia)
+        result = mc.run(indices=tia.parameter_space.center, n_trials=30,
+                        seed=4)
+        target = {}
+        for spec in tia.spec_space:
+            arr = result.specs[spec.name]
+            if spec.name == "cutoff_freq":  # lower bound at the median
+                target[spec.name] = float(np.median(arr))
+            elif spec.kind.value == "lower":
+                target[spec.name] = float(arr.min()) * 0.5
+            else:
+                target[spec.name] = float(arr.max()) * 2.0
+        from repro.core.reward import RewardSpec
+
+        estimate = estimate_yield(result, target, tia.spec_space,
+                                  reward=RewardSpec(goal_tolerance=0.0))
+        assert 0.2 <= estimate.rate <= 0.8

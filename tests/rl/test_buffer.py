@@ -1,0 +1,103 @@
+"""Rollout buffer and GAE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.rl.buffer import RolloutBuffer
+
+
+def _filled(n_steps=4, n_envs=2, gamma=0.9, lam=0.8):
+    buf = RolloutBuffer(n_steps, n_envs, obs_dim=3, act_dim=2)
+    for t in range(n_steps):
+        buf.add(obs=np.full((n_envs, 3), t, dtype=float),
+                actions=np.zeros((n_envs, 2), dtype=int),
+                rewards=np.full(n_envs, 1.0),
+                dones=np.zeros(n_envs, dtype=bool),
+                values=np.zeros(n_envs),
+                log_probs=np.zeros(n_envs))
+    return buf
+
+
+class TestStorage:
+    def test_overflow_raises(self):
+        buf = _filled()
+        with pytest.raises(TrainingError):
+            buf.add(np.zeros((2, 3)), np.zeros((2, 2), dtype=int),
+                    np.zeros(2), np.zeros(2, dtype=bool), np.zeros(2),
+                    np.zeros(2))
+
+    def test_partial_flatten_raises(self):
+        buf = RolloutBuffer(4, 2, 3, 2)
+        with pytest.raises(TrainingError):
+            buf.flattened()
+        with pytest.raises(TrainingError):
+            buf.compute_gae(np.zeros(2), 0.9, 0.9)
+
+    def test_flatten_shapes(self):
+        buf = _filled()
+        buf.compute_gae(np.zeros(2), 0.9, 0.8)
+        flat = buf.flattened()
+        assert flat["obs"].shape == (8, 3)
+        assert flat["actions"].shape == (8, 2)
+        assert flat["advantages"].shape == (8,)
+
+    def test_dimension_validation(self):
+        with pytest.raises(TrainingError):
+            RolloutBuffer(0, 1, 1, 1)
+
+
+class TestGae:
+    def test_no_done_zero_values_geometric(self):
+        """With V = 0 everywhere and reward 1: GAE is the (gamma*lam)
+        discounted sum of the remaining rewards' deltas."""
+        gamma, lam = 0.9, 0.8
+        buf = _filled(n_steps=3, n_envs=1, gamma=gamma, lam=lam)
+        buf.compute_gae(np.zeros(1), gamma, lam)
+        g = gamma * lam
+        expected_last = 1.0
+        expected_mid = 1.0 + g * expected_last
+        expected_first = 1.0 + g * expected_mid
+        assert buf.advantages[2, 0] == pytest.approx(expected_last)
+        assert buf.advantages[1, 0] == pytest.approx(expected_mid)
+        assert buf.advantages[0, 0] == pytest.approx(expected_first)
+
+    def test_done_blocks_bootstrap(self):
+        gamma, lam = 0.9, 0.8
+        buf = RolloutBuffer(2, 1, 1, 1)
+        buf.add(np.zeros((1, 1)), np.zeros((1, 1), dtype=int),
+                np.array([1.0]), np.array([True]), np.array([5.0]),
+                np.zeros(1))
+        buf.add(np.zeros((1, 1)), np.zeros((1, 1), dtype=int),
+                np.array([2.0]), np.array([False]), np.array([0.0]),
+                np.zeros(1))
+        buf.compute_gae(np.array([10.0]), gamma, lam)
+        # Step 0 ended an episode: delta = r - V = 1 - 5, no bootstrap, and
+        # no GAE flow from step 1 backwards.
+        assert buf.advantages[0, 0] == pytest.approx(1.0 - 5.0)
+        # Step 1 bootstraps the provided last value.
+        assert buf.advantages[1, 0] == pytest.approx(2.0 + gamma * 10.0)
+
+    def test_returns_are_advantage_plus_value(self):
+        buf = _filled()
+        buf.values[:] = 3.0
+        buf.compute_gae(np.zeros(2), 0.9, 0.8)
+        assert np.allclose(buf.returns, buf.advantages + 3.0)
+
+    def test_lambda_zero_is_td(self):
+        """GAE(0) reduces to one-step TD errors."""
+        gamma = 0.9
+        buf = _filled(n_steps=3, n_envs=1)
+        buf.values[:] = 2.0
+        buf.compute_gae(np.array([2.0]), gamma, 0.0)
+        td = 1.0 + gamma * 2.0 - 2.0
+        assert np.allclose(buf.advantages, td)
+
+    def test_lambda_one_is_monte_carlo(self):
+        """GAE(1) equals discounted return minus value."""
+        gamma = 0.9
+        buf = _filled(n_steps=3, n_envs=1)
+        buf.values[:] = 0.0
+        buf.compute_gae(np.array([0.0]), gamma, 1.0)
+        mc0 = 1.0 + gamma * (1.0 + gamma * 1.0)
+        assert buf.advantages[0, 0] == pytest.approx(mc0)

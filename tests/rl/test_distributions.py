@@ -1,0 +1,137 @@
+"""Factored categorical distribution: probabilities, entropy, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.rl.distributions import MultiCategorical, log_softmax
+
+NVEC = [3, 3, 4]
+
+
+def _random_dist(rng, batch=5, nvec=NVEC):
+    logits = rng.standard_normal((batch, int(sum(nvec))))
+    return MultiCategorical(logits, nvec)
+
+
+class TestBasics:
+    def test_log_softmax_normalises(self, rng):
+        z = rng.standard_normal((4, 6)) * 5
+        lp = log_softmax(z)
+        assert np.allclose(np.exp(lp).sum(axis=1), 1.0)
+
+    def test_log_softmax_stability(self):
+        z = np.array([[1000.0, 1001.0]])
+        lp = log_softmax(z)
+        assert np.all(np.isfinite(lp))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(TrainingError):
+            MultiCategorical(rng.standard_normal((2, 7)), NVEC)
+
+    def test_log_prob_sums_blocks(self, rng):
+        dist = _random_dist(rng, batch=1)
+        actions = np.array([[0, 1, 2]])
+        lp = dist.log_prob(actions)
+        manual = 0.0
+        logits = dist.logits[0]
+        manual += log_softmax(logits[None, 0:3])[0, 0]
+        manual += log_softmax(logits[None, 3:6])[0, 1]
+        manual += log_softmax(logits[None, 6:10])[0, 2]
+        assert lp[0] == pytest.approx(manual)
+
+    def test_action_validation(self, rng):
+        dist = _random_dist(rng, batch=2)
+        with pytest.raises(TrainingError):
+            dist.log_prob(np.array([[0, 1, 9], [0, 0, 0]]))
+        with pytest.raises(TrainingError):
+            dist.log_prob(np.array([[0, 1], [0, 0]]))
+
+    def test_uniform_entropy(self):
+        dist = MultiCategorical(np.zeros((1, sum(NVEC))), NVEC)
+        expected = np.log(3) + np.log(3) + np.log(4)
+        assert dist.entropy()[0] == pytest.approx(expected)
+
+    def test_peaked_entropy_near_zero(self):
+        logits = np.zeros((1, sum(NVEC)))
+        logits[0, [0, 3, 6]] = 50.0
+        dist = MultiCategorical(logits, NVEC)
+        assert dist.entropy()[0] < 1e-6
+
+    def test_mode(self):
+        logits = np.zeros((1, sum(NVEC)))
+        logits[0, 1] = 5.0   # block 0 -> 1
+        logits[0, 5] = 5.0   # block 1 -> 2
+        logits[0, 6] = 5.0   # block 2 -> 0
+        dist = MultiCategorical(logits, NVEC)
+        assert dist.mode()[0].tolist() == [1, 2, 0]
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, rng):
+        dist = _random_dist(rng, batch=64)
+        actions = dist.sample(rng)
+        assert actions.shape == (64, 3)
+        assert np.all(actions >= 0)
+        assert np.all(actions < np.array(NVEC))
+
+    def test_sample_frequencies_match_probabilities(self):
+        rng = np.random.default_rng(0)
+        logits = np.tile(np.array([[2.0, 0.0, 0.0,
+                                    0.0, 0.0, 0.0,
+                                    0.0, 0.0, 0.0, 0.0]]), (20000, 1))
+        dist = MultiCategorical(logits, NVEC)
+        actions = dist.sample(rng)
+        p0 = np.exp(2.0) / (np.exp(2.0) + 2.0)
+        freq = np.mean(actions[:, 0] == 0)
+        assert freq == pytest.approx(p0, abs=0.01)
+
+
+class TestGradients:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_grad_log_prob_matches_fd(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((2, sum(NVEC)))
+        actions = np.stack([rng.integers(0, NVEC) for _ in range(2)])
+        dist = MultiCategorical(logits, NVEC)
+        grad = dist.grad_log_prob(actions)
+        eps = 1e-6
+        for b in range(2):
+            for j in range(sum(NVEC)):
+                up = logits.copy()
+                up[b, j] += eps
+                down = logits.copy()
+                down[b, j] -= eps
+                fd = (MultiCategorical(up, NVEC).log_prob(actions)[b]
+                      - MultiCategorical(down, NVEC).log_prob(actions)[b]) / (2 * eps)
+                assert grad[b, j] == pytest.approx(fd, abs=1e-5)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_grad_entropy_matches_fd(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((1, sum(NVEC)))
+        dist = MultiCategorical(logits, NVEC)
+        grad = dist.grad_entropy()
+        eps = 1e-6
+        for j in range(sum(NVEC)):
+            up = logits.copy()
+            up[0, j] += eps
+            down = logits.copy()
+            down[0, j] -= eps
+            fd = (MultiCategorical(up, NVEC).entropy()[0]
+                  - MultiCategorical(down, NVEC).entropy()[0]) / (2 * eps)
+            assert grad[0, j] == pytest.approx(fd, abs=1e-5)
+
+    def test_grad_log_prob_rows_sum_to_zero(self, rng):
+        """Within each block, d logp / d logits sums to zero (softmax shift
+        invariance)."""
+        dist = _random_dist(rng, batch=4)
+        actions = dist.sample(rng)
+        grad = dist.grad_log_prob(actions)
+        assert np.allclose(grad[:, 0:3].sum(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(grad[:, 3:6].sum(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(grad[:, 6:10].sum(axis=1), 0.0, atol=1e-12)

@@ -1,0 +1,71 @@
+"""Env interface and VectorEnv auto-reset semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.rl.env import Env, VectorEnv
+from repro.rl.spaces import Box, MultiDiscrete
+
+
+class CountdownEnv(Env):
+    """Finishes after ``n`` steps with reward 1 at the end."""
+
+    def __init__(self, n=3):
+        self.n = n
+        self.observation_space = Box(-np.inf, np.inf, shape=(1,))
+        self.action_space = MultiDiscrete([3])
+        self.t = 0
+        self.resets = 0
+
+    def reset(self):
+        self.t = 0
+        self.resets += 1
+        return np.array([0.0])
+
+    def step(self, action):
+        self.t += 1
+        done = self.t >= self.n
+        reward = 1.0 if done else -0.1
+        return np.array([float(self.t)]), reward, done, {"success": done}
+
+
+class TestVectorEnv:
+    def test_needs_envs(self):
+        with pytest.raises(TrainingError):
+            VectorEnv([])
+
+    def test_reset_shape(self):
+        vec = VectorEnv([CountdownEnv(), CountdownEnv()])
+        obs = vec.reset()
+        assert obs.shape == (2, 1)
+
+    def test_auto_reset_and_episode_stats(self):
+        vec = VectorEnv([CountdownEnv(n=2), CountdownEnv(n=3)])
+        vec.reset()
+        all_finished = []
+        for _ in range(6):
+            obs, rewards, dones, infos, finished = vec.step(
+                np.zeros((2, 1), dtype=int))
+            all_finished.extend(finished)
+        # env0 finishes every 2 steps (3 times), env1 every 3 steps (2 times)
+        assert len(all_finished) == 5
+        ep0 = [s for s in all_finished if s.length == 2]
+        assert len(ep0) == 3
+        assert all(s.success for s in all_finished)
+        assert ep0[0].reward == pytest.approx(-0.1 + 1.0)
+
+    def test_obs_after_done_is_fresh_reset(self):
+        env = CountdownEnv(n=1)
+        vec = VectorEnv([env])
+        vec.reset()
+        obs, _, dones, _, _ = vec.step(np.zeros((1, 1), dtype=int))
+        assert dones[0]
+        assert obs[0, 0] == 0.0  # new episode's first observation
+        assert env.resets == 2
+
+    def test_action_count_checked(self):
+        vec = VectorEnv([CountdownEnv()])
+        vec.reset()
+        with pytest.raises(TrainingError):
+            vec.step(np.zeros((2, 1), dtype=int))

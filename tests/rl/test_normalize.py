@@ -1,0 +1,159 @@
+"""Running normalisation: statistics and env wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.rl import NormalizeObservation, NormalizeReward, RunningMeanStd
+
+from tests.rl.test_ppo import CorridorEnv
+
+
+class TestRunningMeanStd:
+    def test_matches_batch_statistics(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, size=(1000, 4))
+        rms = RunningMeanStd(shape=(4,))
+        for chunk in np.array_split(data, 10):
+            rms.update(chunk)
+        np.testing.assert_allclose(rms.mean, data.mean(axis=0), atol=0.05)
+        np.testing.assert_allclose(rms.std, data.std(axis=0), atol=0.05)
+
+    def test_single_sample_update(self):
+        rms = RunningMeanStd(shape=(2,))
+        rms.update(np.array([1.0, 2.0]))  # promoted to a 1-sample batch
+        assert rms.count > 1e-4
+
+    def test_shape_mismatch(self):
+        rms = RunningMeanStd(shape=(3,))
+        with pytest.raises(TrainingError):
+            rms.update(np.zeros((5, 2)))
+
+    def test_normalize_whitens(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 5.0, size=(500, 1))
+        rms = RunningMeanStd(shape=(1,))
+        rms.update(data)
+        out = rms.normalize(data)
+        assert abs(out.mean()) < 0.05
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_normalize_clips(self):
+        rms = RunningMeanStd(shape=(1,))
+        rms.update(np.zeros((10, 1)))
+        out = rms.normalize(np.array([1e9]), clip=5.0)
+        assert out[0] == 5.0
+
+    def test_state_roundtrip(self):
+        rms = RunningMeanStd(shape=(2,))
+        rms.update(np.arange(10.0).reshape(5, 2))
+        clone = RunningMeanStd(shape=(2,))
+        clone.load_state_dict(rms.state_dict())
+        np.testing.assert_array_equal(clone.mean, rms.mean)
+        np.testing.assert_array_equal(clone.var, rms.var)
+        assert clone.count == rms.count
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2,
+                    max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_equals_batch(self, values):
+        data = np.asarray(values)[:, None]
+        incremental = RunningMeanStd(shape=(1,), epsilon=1e-12)
+        for v in data:
+            incremental.update(v[None, :])
+        oneshot = RunningMeanStd(shape=(1,), epsilon=1e-12)
+        oneshot.update(data)
+        np.testing.assert_allclose(incremental.mean, oneshot.mean,
+                                   rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(incremental.var, oneshot.var,
+                                   rtol=1e-5, atol=1e-5)
+
+
+class TestNormalizeObservation:
+    def test_observations_whitened_over_time(self):
+        env = NormalizeObservation(CorridorEnv())
+        env.reset()
+        observations = []
+        for _ in range(200):
+            obs, _, done, _ = env.step(np.array([2]))
+            observations.append(obs[0])
+            if done:
+                env.reset()
+        arr = np.asarray(observations[50:])
+        assert abs(arr.mean()) < 1.0
+        assert arr.std() < 3.0
+
+    def test_frozen_stops_updates(self):
+        env = NormalizeObservation(CorridorEnv(), frozen=True)
+        before = env.rms.count
+        env.reset()
+        env.step(np.array([2]))
+        assert env.rms.count == before
+
+    def test_freeze_method(self):
+        env = NormalizeObservation(CorridorEnv())
+        env.reset()
+        env.freeze()
+        count = env.rms.count
+        env.step(np.array([1]))
+        assert env.rms.count == count
+
+    def test_spaces_preserved(self):
+        inner = CorridorEnv()
+        env = NormalizeObservation(inner)
+        assert env.observation_space is inner.observation_space
+        assert env.action_space is inner.action_space
+
+    def test_state_roundtrip(self):
+        env = NormalizeObservation(CorridorEnv())
+        env.reset()
+        for _ in range(20):
+            env.step(np.array([2]))
+        clone = NormalizeObservation(CorridorEnv())
+        clone.load_state_dict(env.state_dict())
+        np.testing.assert_array_equal(clone.rms.mean, env.rms.mean)
+
+
+class TestNormalizeReward:
+    def test_scaling_bounded(self):
+        env = NormalizeReward(CorridorEnv())
+        env.reset()
+        rewards = []
+        for _ in range(300):
+            _, r, done, _ = env.step(np.array([2]))
+            rewards.append(r)
+            if done:
+                env.reset()
+        arr = np.asarray(rewards)
+        assert np.all(np.abs(arr) <= 10.0)
+        # Scaled rewards keep their sign structure.
+        assert arr.max() > 0.0
+        assert arr.min() < 0.0
+
+    def test_gamma_validation(self):
+        with pytest.raises(TrainingError):
+            NormalizeReward(CorridorEnv(), gamma=0.0)
+
+    def test_frozen_scale_constant(self):
+        env = NormalizeReward(CorridorEnv())
+        env.reset()
+        for _ in range(50):
+            _, _, done, _ = env.step(np.array([2]))
+            if done:
+                env.reset()
+        env.freeze()
+        std_before = float(env.rms.std)
+        env.reset()
+        env.step(np.array([2]))
+        assert float(env.rms.std) == std_before
+
+    def test_state_roundtrip(self):
+        env = NormalizeReward(CorridorEnv(), gamma=0.9)
+        env.reset()
+        env.step(np.array([2]))
+        clone = NormalizeReward(CorridorEnv())
+        clone.load_state_dict(env.state_dict())
+        assert clone.gamma == 0.9
+        assert clone.rms.count == env.rms.count

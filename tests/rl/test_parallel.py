@@ -1,0 +1,107 @@
+"""Multiprocess vector env: parity with the in-process VectorEnv."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.rl import ParallelVectorEnv, PPOConfig, PPOTrainer, VectorEnv
+
+from tests.rl.test_ppo import BanditEnv, CorridorEnv
+
+
+@pytest.fixture
+def parallel_corridor():
+    vec = ParallelVectorEnv([lambda i=i: CorridorEnv(i) for i in range(3)])
+    yield vec
+    vec.close()
+
+
+class TestLifecycle:
+    def test_spaces_probed_from_worker(self, parallel_corridor):
+        assert parallel_corridor.observation_space.shape == (1,)
+        assert list(parallel_corridor.action_space.nvec) == [3]
+
+    def test_len(self, parallel_corridor):
+        assert len(parallel_corridor) == 3
+
+    def test_close_idempotent(self):
+        vec = ParallelVectorEnv([lambda: BanditEnv()])
+        vec.close()
+        vec.close()
+
+    def test_use_after_close_raises(self):
+        vec = ParallelVectorEnv([lambda: BanditEnv()])
+        vec.close()
+        with pytest.raises(TrainingError):
+            vec.reset()
+
+    def test_context_manager(self):
+        with ParallelVectorEnv([lambda: BanditEnv()]) as vec:
+            assert vec.reset().shape == (1, 1)
+        with pytest.raises(TrainingError):
+            vec.reset()
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(TrainingError):
+            ParallelVectorEnv([])
+
+
+class TestStepSemantics:
+    def test_matches_inprocess_vector_env(self):
+        """Deterministic envs must produce identical rollouts through both
+        implementations."""
+        serial = VectorEnv([CorridorEnv(i) for i in range(2)])
+        with ParallelVectorEnv([lambda i=i: CorridorEnv(i)
+                                for i in range(2)]) as parallel:
+            obs_s = serial.reset()
+            obs_p = parallel.reset()
+            np.testing.assert_array_equal(obs_s, obs_p)
+            rng = np.random.default_rng(0)
+            for _ in range(40):
+                actions = rng.integers(0, 3, size=(2, 1))
+                s = serial.step(actions)
+                p = parallel.step(actions)
+                np.testing.assert_array_equal(s[0], p[0])  # obs
+                np.testing.assert_array_equal(s[1], p[1])  # rewards
+                np.testing.assert_array_equal(s[2], p[2])  # dones
+                assert [f.reward for f in s[4]] == [f.reward for f in p[4]]
+                assert [f.length for f in s[4]] == [f.length for f in p[4]]
+
+    def test_auto_reset_and_stats(self, parallel_corridor):
+        parallel_corridor.reset()
+        finished = []
+        for _ in range(30):
+            actions = np.full((3, 1), 2)  # always walk right
+            _, _, _, _, stats = parallel_corridor.step(actions)
+            finished.extend(stats)
+        assert finished
+        assert all(f.success for f in finished)
+        assert all(f.length == CorridorEnv.N for f in finished)
+
+    def test_action_count_mismatch(self, parallel_corridor):
+        parallel_corridor.reset()
+        with pytest.raises(TrainingError):
+            parallel_corridor.step(np.zeros((2, 1), dtype=int))
+
+    def test_info_dicts_forwarded(self, parallel_corridor):
+        parallel_corridor.reset()
+        _, _, _, infos, _ = parallel_corridor.step(np.full((3, 1), 2))
+        assert all("success" in info for info in infos)
+
+
+class TestPPOThroughParallelEnv:
+    def test_bandit_learned(self):
+        config = PPOConfig(n_envs=4, n_steps=16, epochs=4, minibatch_size=32,
+                           lr=5e-3, hidden=(16, 16), seed=0)
+        with ParallelVectorEnv([lambda i=i: BanditEnv(i)
+                                for i in range(4)]) as vec:
+            trainer = PPOTrainer([], config=config, vec_env=vec)
+            history = trainer.train(max_iterations=30, stop_reward=0.95,
+                                    stop_patience=2)
+        assert history.mean_reward[-1] > 0.9
+
+    def test_vec_env_size_checked(self):
+        config = PPOConfig(n_envs=4, n_steps=8, hidden=(8,))
+        with ParallelVectorEnv([lambda: BanditEnv()]) as vec:
+            with pytest.raises(TrainingError):
+                PPOTrainer([], config=config, vec_env=vec)

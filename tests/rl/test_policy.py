@@ -1,0 +1,67 @@
+"""Actor-critic policy: shapes, determinism, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.rl.policy import ActorCritic
+
+
+@pytest.fixture
+def policy() -> ActorCritic:
+    return ActorCritic(obs_dim=6, nvec=[3, 3, 3], hidden=(16, 16), seed=1)
+
+
+class TestInference:
+    def test_paper_architecture_default(self):
+        policy = ActorCritic(obs_dim=10, nvec=[3] * 7)
+        assert policy.hidden == (50, 50, 50)
+
+    def test_act_shapes(self, policy, rng):
+        obs = rng.standard_normal((5, 6))
+        actions, log_probs, values = policy.act(obs, rng)
+        assert actions.shape == (5, 3)
+        assert log_probs.shape == (5,)
+        assert values.shape == (5,)
+
+    def test_act_single(self, policy, rng):
+        action = policy.act_single(rng.standard_normal(6), rng)
+        assert action.shape == (3,)
+        assert np.all(action >= 0) and np.all(action < 3)
+
+    def test_deterministic_mode_is_stable(self, policy, rng):
+        obs = rng.standard_normal((1, 6))
+        a1 = policy.act(obs, np.random.default_rng(0), deterministic=True)[0]
+        a2 = policy.act(obs, np.random.default_rng(99), deterministic=True)[0]
+        assert np.array_equal(a1, a2)
+
+    def test_log_prob_consistency(self, policy, rng):
+        obs = rng.standard_normal((4, 6))
+        actions, log_probs, _ = policy.act(obs, rng)
+        dist = policy.distribution(obs)
+        assert np.allclose(dist.log_prob(actions), log_probs)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(TrainingError):
+            ActorCritic(obs_dim=0, nvec=[3])
+
+
+class TestSerialisation:
+    def test_save_load_roundtrip(self, policy, rng, tmp_path):
+        path = str(tmp_path / "policy.npz")
+        policy.save(path)
+        loaded = ActorCritic.load(path)
+        obs = rng.standard_normal((3, 6))
+        assert np.allclose(policy.distribution(obs).logits,
+                           loaded.distribution(obs).logits)
+        assert np.allclose(policy.value(obs), loaded.value(obs))
+        assert loaded.hidden == policy.hidden
+
+    def test_clone_is_independent(self, policy, rng):
+        twin = policy.clone()
+        obs = rng.standard_normal((2, 6))
+        assert np.allclose(policy.value(obs), twin.value(obs))
+        for p, _ in twin.pi.parameters():
+            p += 1.0
+        assert not np.allclose(policy.distribution(obs).logits,
+                               twin.distribution(obs).logits)

@@ -1,0 +1,145 @@
+"""Hyperparameter schedules and their PPO integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.rl import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    PiecewiseSchedule,
+    as_schedule,
+)
+from repro.rl.ppo import PPOConfig, PPOTrainer
+
+from tests.rl.test_ppo import BanditEnv
+
+
+class TestConstant:
+    def test_value(self):
+        s = ConstantSchedule(0.5)
+        assert s.value(0.0) == 0.5
+        assert s(1.0) == 0.5
+
+    def test_fraction_validation(self):
+        with pytest.raises(TrainingError):
+            ConstantSchedule(1.0).value(1.5)
+        with pytest.raises(TrainingError):
+            ConstantSchedule(1.0).value(float("nan"))
+
+
+class TestLinear:
+    def test_endpoints_and_midpoint(self):
+        s = LinearSchedule(1.0, 0.0)
+        assert s.value(0.0) == 1.0
+        assert s.value(1.0) == 0.0
+        assert s.value(0.5) == 0.5
+
+    def test_increasing_allowed(self):
+        assert LinearSchedule(0.0, 2.0).value(0.25) == 0.5
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_endpoints(self, f):
+        s = LinearSchedule(3.0, 1.0)
+        assert 1.0 <= s.value(f) <= 3.0
+
+
+class TestExponential:
+    def test_endpoints(self):
+        s = ExponentialSchedule(1e-2, 1e-4)
+        assert s.value(0.0) == pytest.approx(1e-2)
+        assert s.value(1.0) == pytest.approx(1e-4)
+
+    def test_geometric_midpoint(self):
+        s = ExponentialSchedule(1e-2, 1e-4)
+        assert s.value(0.5) == pytest.approx(1e-3)
+
+    def test_positive_only(self):
+        with pytest.raises(TrainingError):
+            ExponentialSchedule(0.0, 1.0)
+        with pytest.raises(TrainingError):
+            ExponentialSchedule(1.0, -1.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        s = CosineSchedule(1.0, 0.0)
+        assert s.value(0.0) == pytest.approx(1.0)
+        assert s.value(1.0) == pytest.approx(0.0)
+
+    def test_midpoint_halfway(self):
+        assert CosineSchedule(1.0, 0.0).value(0.5) == pytest.approx(0.5)
+
+    def test_flat_near_start(self):
+        s = CosineSchedule(1.0, 0.0)
+        # Cosine anneal moves slowly at the ends, fast in the middle.
+        assert s.value(0.0) - s.value(0.1) < s.value(0.45) - s.value(0.55)
+
+
+class TestPiecewise:
+    def test_interpolation(self):
+        s = PiecewiseSchedule(((0.0, 1.0), (0.5, 0.2), (1.0, 0.2)))
+        assert s.value(0.0) == 1.0
+        assert s.value(0.25) == pytest.approx(0.6)
+        assert s.value(0.75) == pytest.approx(0.2)
+
+    def test_holds_outside_breakpoints(self):
+        s = PiecewiseSchedule(((0.2, 5.0), (0.8, 1.0)))
+        assert s.value(0.0) == 5.0
+        assert s.value(1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            PiecewiseSchedule(())
+        with pytest.raises(TrainingError):
+            PiecewiseSchedule(((0.5, 1.0), (0.2, 2.0)))
+        with pytest.raises(TrainingError):
+            PiecewiseSchedule(((0.0, 1.0), (1.5, 2.0)))
+
+    def test_single_point(self):
+        s = PiecewiseSchedule(((0.5, 3.0),))
+        assert s.value(0.1) == 3.0
+        assert s.value(0.9) == 3.0
+
+
+class TestAsSchedule:
+    def test_float_coerced(self):
+        s = as_schedule(0.25)
+        assert isinstance(s, ConstantSchedule)
+        assert s.value(0.5) == 0.25
+
+    def test_schedule_passthrough(self):
+        s = LinearSchedule(1, 0)
+        assert as_schedule(s) is s
+
+    def test_none_passthrough(self):
+        assert as_schedule(None) is None
+
+
+class TestPPOIntegration:
+    def _train(self, **cfg_kw):
+        config = PPOConfig(n_envs=2, n_steps=8, epochs=1, minibatch_size=16,
+                           hidden=(8,), seed=0, **cfg_kw)
+        trainer = PPOTrainer([lambda i=i: BanditEnv(i) for i in range(2)],
+                             config=config)
+        trainer.train(max_iterations=3, stop_reward=None)
+        return trainer
+
+    def test_lr_schedule_applied(self):
+        trainer = self._train(lr=1e-3, lr_schedule=LinearSchedule(1e-3, 1e-5))
+        # After the last iteration the optimizer holds the final lr.
+        assert trainer.optimizer.lr == pytest.approx(1e-5)
+
+    def test_ent_schedule_applied(self):
+        trainer = self._train(ent_coef=0.01,
+                              ent_schedule=LinearSchedule(0.01, 0.0))
+        assert trainer._ent_coef == pytest.approx(0.0)
+
+    def test_static_config_untouched_without_schedules(self):
+        trainer = self._train(lr=2e-3, ent_coef=0.004)
+        assert trainer.optimizer.lr == 2e-3
+        assert trainer._ent_coef == 0.004

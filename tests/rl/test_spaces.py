@@ -1,0 +1,78 @@
+"""Observation/action spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpaceError
+from repro.rl.spaces import Box, Discrete, MultiDiscrete
+
+
+class TestBox:
+    def test_contains(self):
+        box = Box(-1.0, 1.0, shape=(3,))
+        assert box.contains(np.zeros(3))
+        assert box.contains(np.ones(3))
+        assert not box.contains(2 * np.ones(3))
+        assert not box.contains(np.zeros(4))
+
+    def test_sample_in_bounds(self, rng):
+        box = Box(np.array([0.0, -5.0]), np.array([1.0, 5.0]))
+        for _ in range(50):
+            assert box.contains(box.sample(rng))
+
+    def test_infinite_bounds_sampled_gaussian(self, rng):
+        box = Box(-np.inf, np.inf, shape=(2,))
+        s = box.sample(rng)
+        assert s.shape == (2,)
+        assert np.all(np.isfinite(s))
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            Box(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(SpaceError):
+            Box(np.zeros(2), np.zeros(3))
+
+
+class TestDiscrete:
+    def test_contains(self):
+        d = Discrete(4)
+        assert d.contains(0)
+        assert d.contains(3)
+        assert not d.contains(4)
+        assert not d.contains(-1)
+        assert not d.contains(1.5)
+        assert not d.contains("a")
+
+    def test_sample(self, rng):
+        d = Discrete(3)
+        samples = {d.sample(rng) for _ in range(100)}
+        assert samples == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            Discrete(0)
+
+
+class TestMultiDiscrete:
+    def test_paper_action_space(self):
+        md = MultiDiscrete([3] * 7)
+        assert md.shape == (7,)
+        assert md.contains(np.zeros(7, dtype=int))
+        assert md.contains(2 * np.ones(7, dtype=int))
+        assert not md.contains(3 * np.ones(7, dtype=int))
+
+    def test_float_integers_accepted(self):
+        md = MultiDiscrete([3, 3])
+        assert md.contains(np.array([1.0, 2.0]))
+        assert not md.contains(np.array([1.5, 2.0]))
+
+    def test_sample(self, rng):
+        md = MultiDiscrete([2, 5])
+        for _ in range(50):
+            assert md.contains(md.sample(rng))
+
+    def test_validation(self):
+        with pytest.raises(SpaceError):
+            MultiDiscrete([])
+        with pytest.raises(SpaceError):
+            MultiDiscrete([3, 0])

@@ -1,0 +1,111 @@
+"""AC analysis against closed-form transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Inductor, Netlist, Resistor, VoltageSource
+from repro.errors import AnalysisError
+from repro.sim import MnaSystem, ac_sweep, solve_dc, transfer_function
+from repro.sim.ac import log_frequencies
+
+
+class TestFrequencyGrid:
+    def test_log_frequencies_span(self):
+        f = log_frequencies(1e3, 1e6, 10)
+        assert f[0] == pytest.approx(1e3)
+        assert f[-1] == pytest.approx(1e6)
+        assert len(f) == 31
+
+    def test_log_frequencies_validation(self):
+        with pytest.raises(AnalysisError):
+            log_frequencies(0.0, 1e3)
+        with pytest.raises(AnalysisError):
+            log_frequencies(1e6, 1e3)
+
+
+class TestRcLowPass:
+    @pytest.fixture
+    def rc_result(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        freqs = log_frequencies(1e2, 1e9, 20)
+        return freqs, ac_sweep(system, op, freqs)
+
+    def test_matches_analytic_magnitude(self, rc_result):
+        freqs, result = rc_result
+        h = result.voltage("out")
+        expected = 1.0 / (1.0 + 1j * 2 * np.pi * freqs * 1e3 * 1e-9)
+        assert np.allclose(np.abs(h), np.abs(expected), rtol=1e-9)
+
+    def test_matches_analytic_phase(self, rc_result):
+        freqs, result = rc_result
+        expected = -np.degrees(np.arctan(2 * np.pi * freqs * 1e-6))
+        assert np.allclose(result.phase_deg("out"), expected, atol=1e-6)
+
+    def test_input_node_is_flat(self, rc_result):
+        _, result = rc_result
+        assert np.allclose(result.magnitude("in"), 1.0, atol=1e-12)
+
+    def test_voltage_between(self, rc_result):
+        _, result = rc_result
+        v_r = result.voltage_between("in", "out")
+        assert np.allclose(v_r, result.voltage("in") - result.voltage("out"))
+
+    def test_ground_voltage_zero(self, rc_result):
+        _, result = rc_result
+        assert np.allclose(result.voltage("0"), 0.0)
+
+
+class TestRlcResonance:
+    def test_series_rlc_peak_at_resonance(self):
+        # R=10, L=1uH, C=1nF: f0 = 5.03 MHz, Q ~ 3.2
+        net = Netlist("rlc")
+        net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+        net.add(Resistor("R1", "in", "m", 10.0))
+        net.add(Inductor("L1", "m", "out", 1e-6))
+        net.add(Capacitor("C1", "out", "0", 1e-9))
+        system = MnaSystem(net)
+        op = solve_dc(system)
+        freqs = log_frequencies(1e5, 1e8, 60)
+        mag = np.abs(transfer_function(system, op, freqs, "out"))
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        peak_freq = freqs[np.argmax(mag)]
+        assert peak_freq == pytest.approx(f0, rel=0.1)
+        q = np.sqrt(1e-6 / 1e-9) / 10.0
+        assert np.max(mag) == pytest.approx(q, rel=0.15)
+
+
+class TestValidation:
+    def test_needs_ac_excitation(self, divider_netlist):
+        net = divider_netlist
+        net["V1"].ac = 0.0
+        system = MnaSystem(net)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError, match="AC excitation"):
+            ac_sweep(system, op, log_frequencies(1e3, 1e6))
+
+    def test_needs_nonempty_sweep(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError):
+            ac_sweep(system, op, np.array([]))
+
+
+class TestAmplifierGain:
+    def test_cs_gain_formula(self, cs_amp_op):
+        system, op = cs_amp_op
+        st = op.mosfet_state("M1")
+        freqs = log_frequencies(1e3, 1e5, 10)
+        h = transfer_function(system, op, freqs, "d")
+        expected = st.gm / (1e-4 + st.gds)  # gm * (RD || ro)
+        assert np.abs(h[0]) == pytest.approx(expected, rel=1e-6)
+
+    def test_gain_rolls_off_to_feedthrough_plateau(self, cs_amp_op):
+        # Beyond the output pole the gain falls until the cgd capacitive
+        # feedthrough plateau takes over; the minimum must be well below
+        # the DC gain but need not reach zero.
+        system, op = cs_amp_op
+        freqs = log_frequencies(1e3, 1e12, 10)
+        mag = np.abs(transfer_function(system, op, freqs, "d"))
+        assert np.min(mag) < 0.2 * mag[0]
+        assert mag[-1] < 0.5 * mag[0]

@@ -1,0 +1,100 @@
+"""Linearised step response (settling-time substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource
+from repro.errors import AnalysisError
+from repro.measure import settling_time
+from repro.sim import MnaSystem, linear_step_response, solve_dc
+from repro.sim.linear import _iterate_affine
+
+
+class TestRcStep:
+    @pytest.fixture
+    def rc_response(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        return linear_step_response(system, op, duration=10e-6, n_steps=2000)
+
+    def test_final_value(self, rc_response):
+        assert rc_response.voltage("out")[-1] == pytest.approx(1.0, abs=1e-4)
+        assert rc_response.final_value("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_exponential_shape(self, rc_response):
+        tau = 1e-6
+        t = rc_response.time
+        expected = 1.0 - np.exp(-t / tau)
+        assert np.allclose(rc_response.voltage("out"), expected, atol=2e-3)
+
+    def test_one_percent_settling(self, rc_response):
+        st = settling_time(rc_response.time, rc_response.voltage("out"),
+                           final=1.0, initial=0.0, tolerance=0.01)
+        assert st == pytest.approx(4.605e-6, rel=0.01)
+
+    def test_starts_near_zero(self, rc_response):
+        # The consistent-initialisation BE micro-step leaves capacitor
+        # voltages at ~1e-6 of the final value, not exactly zero.
+        assert abs(rc_response.voltage("out")[0]) < 1e-4
+
+
+class TestSecondOrder:
+    def test_rlc_step_overshoots(self):
+        from repro.circuits import Inductor
+        net = Netlist("rlc")
+        net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+        net.add(Resistor("R1", "in", "m", 10.0))
+        net.add(Inductor("L1", "m", "out", 1e-6))
+        net.add(Capacitor("C1", "out", "0", 1e-9))
+        system = MnaSystem(net)
+        op = solve_dc(system)
+        resp = linear_step_response(system, op, duration=3e-6, n_steps=3000)
+        wave = resp.voltage("out")
+        # Q ~ 3: strong overshoot, settles to 1
+        assert np.max(wave) > 1.5
+        assert wave[-1] == pytest.approx(1.0, abs=0.05)
+
+
+class TestAffineIteration:
+    def test_matches_explicit_loop(self, rng):
+        n = 5
+        a = rng.standard_normal((n, n)) * 0.2
+        v = rng.standard_normal(n)
+        states = _iterate_affine(a, v, 50)
+        x = np.zeros(n)
+        for k in range(1, 51):
+            x = a @ x + v
+            assert np.allclose(states[k], x, rtol=1e-8, atol=1e-10)
+
+    def test_handles_eigenvalue_one(self):
+        # M with eigenvalue exactly 1 -> linear ramp branch
+        m = np.array([[1.0, 0.0], [0.0, 0.5]])
+        v = np.array([1.0, 1.0])
+        states = _iterate_affine(m, v, 10)
+        assert states[10][0] == pytest.approx(10.0)
+        assert states[10][1] == pytest.approx(2.0 * (1 - 0.5 ** 10), rel=1e-9)
+
+    def test_defective_matrix_falls_back(self):
+        # Jordan block: defective, eig path fails validation -> loop fallback
+        m = np.array([[0.5, 1.0], [0.0, 0.5]])
+        v = np.array([1.0, 0.0])
+        states = _iterate_affine(m, v, 30)
+        x = np.zeros(2)
+        for _ in range(30):
+            x = m @ x + v
+        assert np.allclose(states[-1], x, rtol=1e-7)
+
+
+class TestValidation:
+    def test_duration_positive(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError):
+            linear_step_response(system, op, duration=0.0)
+
+    def test_needs_excitation(self, divider_netlist):
+        divider_netlist["V1"].ac = 0.0
+        system = MnaSystem(divider_netlist)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError):
+            linear_step_response(system, op, duration=1e-6)

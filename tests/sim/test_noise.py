@@ -1,0 +1,103 @@
+"""Noise analysis against closed-form results."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource
+from repro.errors import AnalysisError
+from repro.sim import MnaSystem, noise_analysis, solve_dc
+from repro.sim.ac import log_frequencies
+from repro.units import BOLTZMANN, ROOM_TEMPERATURE
+
+KT = BOLTZMANN * ROOM_TEMPERATURE
+
+
+class TestResistorNoise:
+    def test_rc_output_psd_at_low_freq(self, rc_netlist):
+        """Below the pole, the full 4kTR of the source resistor appears."""
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        result = noise_analysis(system, op, np.array([10.0, 20.0]), "out")
+        assert result.output_psd[0] == pytest.approx(4 * KT * 1e3, rel=1e-3)
+
+    def test_ktc_total_noise(self, rc_netlist):
+        """Integrated output noise of an RC is sqrt(kT/C), independent of R."""
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        freqs = log_frequencies(1.0, 1e13, 16)
+        result = noise_analysis(system, op, freqs, "out")
+        assert result.integrated_output_rms() == pytest.approx(
+            np.sqrt(KT / 1e-9), rel=0.02)
+
+    def test_divider_noise_is_parallel_resistance(self, divider_netlist):
+        """Two 1k resistors: output PSD = 4kT * (R1 || R2) = 4kT * 500."""
+        system = MnaSystem(divider_netlist)
+        op = solve_dc(system)
+        result = noise_analysis(system, op, np.array([1e3, 1e4]), "out",
+                                refer_to_input=False)
+        assert result.output_psd[0] == pytest.approx(4 * KT * 500.0, rel=1e-6)
+
+    def test_contributions_sum_to_total(self, divider_netlist):
+        system = MnaSystem(divider_netlist)
+        op = solve_dc(system)
+        result = noise_analysis(system, op, np.array([1e3]), "out",
+                                refer_to_input=False)
+        total = sum(c[0] for c in result.contributions.values())
+        assert total == pytest.approx(result.output_psd[0], rel=1e-12)
+
+    def test_input_referred_divider(self, divider_netlist):
+        """Referred to the input through |H|^2 = 1/4: PSD_in = 4kT * 2k."""
+        system = MnaSystem(divider_netlist)
+        op = solve_dc(system)
+        result = noise_analysis(system, op, np.array([1e3]), "out")
+        assert result.input_psd[0] == pytest.approx(4 * KT * 2e3, rel=1e-6)
+
+
+class TestMosfetNoise:
+    def test_amplifier_output_noise_exceeds_resistor_alone(self, cs_amp_op):
+        system, op = cs_amp_op
+        freqs = np.array([1e6, 1e7])
+        result = noise_analysis(system, op, freqs, "d", refer_to_input=False)
+        st = op.mosfet_state("M1")
+        r_out = 1.0 / (1e-4 + st.gds)
+        resistor_only = 4 * KT / 10e3 * r_out ** 2
+        assert result.output_psd[0] > resistor_only
+
+    def test_input_referred_less_than_output_when_gain_high(self, cs_amp_op):
+        system, op = cs_amp_op
+        freqs = np.array([1e5, 1e6])
+        result = noise_analysis(system, op, freqs, "d")
+        assert result.input_psd[0] < result.output_psd[0]
+
+    def test_flicker_raises_low_frequency_noise(self, cs_amp_op):
+        system, op = cs_amp_op
+        freqs = np.array([10.0, 1e7])
+        result = noise_analysis(system, op, freqs, "d", refer_to_input=False)
+        assert result.output_psd[0] > result.output_psd[1]
+
+
+class TestValidation:
+    def test_positive_frequencies_required(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError):
+            noise_analysis(system, op, np.array([0.0, 1e3]), "out")
+
+    def test_ground_output_rejected(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        with pytest.raises(AnalysisError):
+            noise_analysis(system, op, np.array([1e3]), "0")
+
+    def test_integration_band_needs_points(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        op = solve_dc(system)
+        result = noise_analysis(system, op, log_frequencies(1e3, 1e6, 5), "out")
+        with pytest.raises(AnalysisError):
+            result.integrated_output_rms(f_low=1e9)
+
+    def test_psd_nonnegative(self, cs_amp_op):
+        system, op = cs_amp_op
+        freqs = log_frequencies(1.0, 1e12, 6)
+        result = noise_analysis(system, op, freqs, "d", refer_to_input=False)
+        assert np.all(result.output_psd >= 0.0)

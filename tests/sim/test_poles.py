@@ -1,0 +1,145 @@
+"""Pole analysis against closed-form RC/RLC circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource
+from repro.circuits.elements import Inductor, Vccs
+from repro.errors import AnalysisError
+from repro.sim import MnaSystem, circuit_poles, solve_dc
+from repro.sim.poles import PoleSet
+
+
+def _solve(net):
+    system = MnaSystem(net)
+    return system, solve_dc(system)
+
+
+def _rc(r=1e3, c=1e-9):
+    net = Netlist("rc")
+    net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+    net.add(Resistor("R1", "in", "out", r))
+    net.add(Capacitor("C1", "out", "0", c))
+    return net, r, c
+
+
+class TestFirstOrder:
+    def test_single_rc_pole(self):
+        net, r, c = _rc()
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        assert len(poles) == 1
+        assert poles.poles[0].real == pytest.approx(-1.0 / (r * c), rel=1e-6)
+        assert abs(poles.poles[0].imag) < 1e-3
+
+    def test_dominant_frequency_matches_f3db(self):
+        net, r, c = _rc()
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        f3db_expected = 1.0 / (2.0 * np.pi * r * c)
+        assert poles.dominant_frequency_hz() == pytest.approx(f3db_expected,
+                                                              rel=1e-6)
+
+    def test_stable(self):
+        net, _, _ = _rc()
+        system, op = _solve(net)
+        assert circuit_poles(system, op).stable
+
+    def test_real_pole_q_is_half(self):
+        net, _, _ = _rc()
+        system, op = _solve(net)
+        assert circuit_poles(system, op).q_factors() == [pytest.approx(0.5)]
+
+
+class TestSecondOrder:
+    def _rlc(self, r=10.0, l=1e-6, c=1e-9):
+        net = Netlist("rlc")
+        net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+        net.add(Resistor("R1", "in", "mid", r))
+        net.add(Inductor("L1", "mid", "out", l))
+        net.add(Capacitor("C1", "out", "0", c))
+        return net, r, l, c
+
+    def test_conjugate_pair(self):
+        net, r, l, c = self._rlc()
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        assert len(poles) == 2
+        np.testing.assert_allclose(poles.poles[0], np.conj(poles.poles[1]),
+                                   rtol=1e-6)
+
+    def test_natural_frequency_and_q(self):
+        net, r, l, c = self._rlc()
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        w0 = 1.0 / np.sqrt(l * c)
+        q_expected = w0 * l / r
+        assert abs(poles.poles[0]) == pytest.approx(w0, rel=1e-6)
+        assert poles.max_q() == pytest.approx(q_expected, rel=1e-6)
+
+    def test_overdamped_two_real_poles(self):
+        net, r, l, c = self._rlc(r=1e3)  # heavy damping
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        assert len(poles) == 2
+        assert np.all(np.abs(np.imag(poles.poles)) < 1e-3 * np.abs(poles.poles))
+
+
+class TestInstability:
+    def test_negative_resistance_unstable(self):
+        """A negative conductance (gm feedback) across an RC makes the
+        pole cross into the right half plane — the negative-gm OTA hazard."""
+        net = Netlist("neg_gm")
+        net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Capacitor("C1", "out", "0", 1e-9))
+        # i = -gm * v(out) into out: negative conductance 2x the positive.
+        net.add(Vccs("G1", "out", "0", "out", "0", gm=-2e-3))
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        assert not poles.stable
+        assert poles.dominant.real > 0.0
+
+
+class TestEdgeCases:
+    def test_pure_resistive_network_no_finite_poles(self):
+        net = Netlist("divider")
+        net.add(VoltageSource("V1", "in", "0", dc=1.0, ac=1.0))
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Resistor("R2", "out", "0", 1e3))
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        assert len(poles) == 0
+        assert poles.stable  # vacuously
+        with pytest.raises(AnalysisError):
+            poles.dominant
+
+    def test_poles_sorted_by_real_part_magnitude(self):
+        net = Netlist("two_rc")
+        net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+        net.add(Resistor("R1", "in", "a", 1e3))
+        net.add(Capacitor("C1", "a", "0", 1e-9))    # slow: 1 us
+        net.add(Resistor("R2", "a", "b", 1e3))
+        net.add(Capacitor("C2", "b", "0", 1e-12))   # fast: 1 ns
+        system, op = _solve(net)
+        poles = circuit_poles(system, op)
+        reals = np.abs(np.real(poles.poles))
+        assert np.all(np.diff(reals) >= 0)
+
+    def test_max_q_without_poles(self):
+        assert PoleSet(poles=np.array([], dtype=complex)).max_q() == 0.5
+
+
+class TestOnAmplifier:
+    def test_two_stage_opamp_poles(self, opamp_simulator):
+        """The compensated two-stage op-amp must be stable with a dominant
+        pole far below its unity-gain bandwidth."""
+        topo = opamp_simulator.topology
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        netlist = topo.build(values)
+        system = MnaSystem(netlist, temperature=topo.temperature)
+        op = solve_dc(system)
+        poles = circuit_poles(system, op)
+        assert poles.stable
+        specs = opamp_simulator.evaluate(topo.parameter_space.center)
+        assert poles.dominant_frequency_hz() < specs["ugbw"]

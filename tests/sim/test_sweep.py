@@ -1,0 +1,134 @@
+"""DC sweep analysis: dividers, inverters, swing and trip points."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource
+from repro.circuits.elements import CurrentSource
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.technology import ptm45
+from repro.errors import AnalysisError
+from repro.sim import dc_sweep
+
+
+def _divider():
+    net = Netlist("divider")
+    net.add(VoltageSource("VIN", "in", "0", dc=0.0))
+    net.add(Resistor("R1", "in", "out", 1e3))
+    net.add(Resistor("R2", "out", "0", 3e3))
+    return net
+
+
+def _inverter(wn=2e-6, wp=4e-6):
+    tech = ptm45()
+    net = Netlist("inverter")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+    net.add(VoltageSource("VIN", "g", "0", dc=0.0))
+    net.add(Mosfet("MP", "out", "g", "vdd", "vdd", polarity="pmos",
+                   params=tech.pmos, w=wp, l=tech.l_default))
+    net.add(Mosfet("MN", "out", "g", "0", "0", polarity="nmos",
+                   params=tech.nmos, w=wn, l=tech.l_default))
+    return net, tech
+
+
+class TestLinear:
+    def test_divider_tracks_input(self):
+        result = dc_sweep(_divider(), "VIN", np.linspace(0, 4, 9))
+        np.testing.assert_allclose(result.voltage("out"),
+                                   result.values * 0.75, atol=1e-9)
+
+    def test_transfer_gain_constant(self):
+        result = dc_sweep(_divider(), "VIN", np.linspace(0, 4, 9))
+        np.testing.assert_allclose(result.transfer_gain("out"), 0.75,
+                                   atol=1e-9)
+
+    def test_current_source_sweep(self):
+        net = Netlist("r_load")
+        net.add(CurrentSource("I1", "0", "out", dc=0.0))
+        net.add(Resistor("R1", "out", "0", 2e3))
+        result = dc_sweep(net, "I1", np.linspace(0, 1e-3, 5))
+        np.testing.assert_allclose(result.voltage("out"),
+                                   result.values * 2e3, rtol=1e-9)
+
+    def test_source_dc_restored_after_sweep(self):
+        net = _divider()
+        dc_sweep(net, "VIN", np.array([1.0, 2.0]))
+        assert net["VIN"].dc == 0.0
+
+
+class TestInverterVtc:
+    def test_rail_to_rail(self):
+        net, tech = _inverter()
+        result = dc_sweep(net, "VIN", np.linspace(0, tech.vdd, 61))
+        vout = result.voltage("out")
+        assert vout[0] == pytest.approx(tech.vdd, abs=0.05)
+        assert vout[-1] == pytest.approx(0.0, abs=0.05)
+        assert np.all(np.diff(vout) <= 1e-6)  # monotone falling VTC
+
+    def test_trip_point_near_midrail(self):
+        net, tech = _inverter()
+        result = dc_sweep(net, "VIN", np.linspace(0, tech.vdd, 61))
+        trip = result.crossing("out", tech.vdd / 2)
+        assert 0.3 * tech.vdd < trip < 0.7 * tech.vdd
+
+    def test_stronger_nmos_lowers_trip_point(self):
+        net_a, tech = _inverter(wn=1e-6, wp=8e-6)
+        net_b, _ = _inverter(wn=8e-6, wp=1e-6)
+        grid = np.linspace(0, tech.vdd, 61)
+        trip_a = dc_sweep(net_a, "VIN", grid).crossing("out", tech.vdd / 2)
+        trip_b = dc_sweep(net_b, "VIN", grid).crossing("out", tech.vdd / 2)
+        assert trip_b < trip_a
+
+    def test_output_swing_spans_most_of_supply(self):
+        net, tech = _inverter()
+        result = dc_sweep(net, "VIN", np.linspace(0, tech.vdd, 121))
+        lo, hi = result.output_swing("out", gain_fraction=0.02)
+        assert hi - lo > 0.5 * tech.vdd
+
+    def test_supply_current_peaks_mid_transition(self):
+        """Crowbar current through an inverter is maximal near the trip
+        point and near zero at the rails — a classic CMOS signature."""
+        net, tech = _inverter()
+        result = dc_sweep(net, "VIN", np.linspace(0, tech.vdd, 61))
+        current = result.supply_current("VDD")
+        peak_at = result.values[np.argmax(current)]
+        assert 0.25 * tech.vdd < peak_at < 0.75 * tech.vdd
+        assert current[0] < 0.05 * current.max()
+        assert current[-1] < 0.05 * current.max()
+
+
+class TestValidation:
+    def test_unknown_source(self):
+        with pytest.raises(Exception):
+            dc_sweep(_divider(), "VX", np.array([1.0]))
+
+    def test_non_source_element(self):
+        with pytest.raises(AnalysisError):
+            dc_sweep(_divider(), "R1", np.array([1.0]))
+
+    def test_empty_values(self):
+        with pytest.raises(AnalysisError):
+            dc_sweep(_divider(), "VIN", np.array([]))
+
+    def test_gain_needs_two_points(self):
+        result = dc_sweep(_divider(), "VIN", np.array([1.0]))
+        with pytest.raises(AnalysisError):
+            result.transfer_gain("out")
+
+    def test_crossing_outside_range(self):
+        result = dc_sweep(_divider(), "VIN", np.linspace(0, 1, 5))
+        with pytest.raises(AnalysisError):
+            result.crossing("out", 100.0)
+
+    def test_unresponsive_node_swing(self):
+        net = _divider()
+        net.add(VoltageSource("VREF", "ref", "0", dc=1.0))
+        net.add(Resistor("RR", "ref", "0", 1e3))
+        result = dc_sweep(net, "VIN", np.linspace(0, 1, 5))
+        with pytest.raises(AnalysisError):
+            result.output_swing("ref")
+
+    def test_bad_gain_fraction(self):
+        result = dc_sweep(_divider(), "VIN", np.linspace(0, 1, 5))
+        with pytest.raises(AnalysisError):
+            result.output_swing("out", gain_fraction=0.0)

@@ -1,0 +1,108 @@
+"""Nonlinear transient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Capacitor, Mosfet, Netlist, Resistor, VoltageSource, ptm45
+from repro.errors import AnalysisError
+from repro.sim import MnaSystem, solve_dc, transient_analysis
+from repro.sim.transient import pulse_waveform, step_waveform
+
+
+class TestWaveforms:
+    def test_step(self):
+        w = step_waveform(0.0, 1.0, t_step=1e-6)
+        assert w(0.0) == 0.0
+        assert w(0.99e-6) == 0.0
+        assert w(1.01e-6) == 1.0
+
+    def test_pulse(self):
+        w = pulse_waveform(0.0, 1.0, delay=1e-9, rise=1e-9, width=5e-9)
+        assert w(0.0) == 0.0
+        assert w(1.5e-9) == pytest.approx(0.5)
+        assert w(3e-9) == 1.0
+        assert w(7.5e-9) == pytest.approx(0.5)  # mid-fall (fall starts at 7 ns)
+        assert w(1e-6) == 0.0
+
+
+class TestLinearCircuits:
+    def test_rc_charging_matches_analytic(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        t_step = 1e-7
+        result = transient_analysis(
+            system, t_stop=5e-6, dt=5e-9,
+            waveforms={"V1": step_waveform(0.0, 1.0, t_step=t_step)})
+        tau = 1e-6
+        shifted = result.time - t_step
+        expected = np.where(shifted >= 0.0, 1.0 - np.exp(-shifted / tau), 0.0)
+        assert np.allclose(result.voltage("out"), expected, atol=5e-3)
+
+    def test_initial_condition_is_dc(self, divider_netlist):
+        system = MnaSystem(divider_netlist)
+        result = transient_analysis(system, t_stop=1e-6, dt=1e-8)
+        assert np.allclose(result.voltage("out"), 0.5, atol=1e-9)
+
+    def test_branch_current_trace(self, divider_netlist):
+        system = MnaSystem(divider_netlist)
+        result = transient_analysis(system, t_stop=1e-7, dt=1e-9)
+        assert np.allclose(result.branch_current("V1"), -0.5e-3, atol=1e-9)
+
+
+class TestNonlinear:
+    def test_inverter_switches(self):
+        tech = ptm45()
+        net = Netlist("inv")
+        net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+        net.add(VoltageSource("VIN", "g", "0", dc=0.0))
+        net.add(Mosfet("MN", "out", "g", "0", "0", polarity="nmos",
+                       params=tech.nmos, w=2e-6, l=0.2e-6))
+        net.add(Mosfet("MP", "out", "g", "vdd", "vdd", polarity="pmos",
+                       params=tech.pmos, w=4e-6, l=0.2e-6))
+        net.add(Capacitor("CL", "out", "0", 10e-15))
+        system = MnaSystem(net)
+        result = transient_analysis(
+            system, t_stop=4e-9, dt=4e-12,
+            waveforms={"VIN": pulse_waveform(0.0, tech.vdd, delay=0.2e-9,
+                                             rise=50e-12, width=2e-9)})
+        out = result.voltage("out")
+        assert out[0] > 0.95 * tech.vdd        # input low -> output high
+        mid = out[(result.time > 1e-9) & (result.time < 2e-9)]
+        assert np.all(mid < 0.1 * tech.vdd)    # input high -> output low
+        assert out[-1] > 0.9 * tech.vdd        # recovers after the pulse
+
+    def test_small_signal_consistency_with_linear_engine(self, cs_amp_netlist):
+        """A small input step must match the linearised response."""
+        from repro.sim import linear_step_response
+        system = MnaSystem(cs_amp_netlist)
+        op = solve_dc(system)
+        delta = 1e-4
+        t_step = 2e-11
+        tr = transient_analysis(
+            system, t_stop=2e-9, dt=2e-12,
+            waveforms={"VIN": step_waveform(0.7, 0.7 + delta, t_step=t_step)})
+        lin = linear_step_response(system, op, duration=2e-9, n_steps=1000)
+        v_tr = (tr.voltage("d") - tr.voltage("d")[0]) / delta
+        v_lin = np.interp(tr.time - t_step, lin.time, lin.voltage("d"),
+                          left=0.0)
+        assert np.allclose(v_tr, v_lin, atol=0.05 * np.max(np.abs(v_lin)))
+
+
+class TestValidation:
+    def test_bad_window(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        with pytest.raises(AnalysisError):
+            transient_analysis(system, t_stop=0.0, dt=1e-9)
+        with pytest.raises(AnalysisError):
+            transient_analysis(system, t_stop=1e-9, dt=1e-6)
+
+    def test_unknown_waveform_target(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        with pytest.raises(AnalysisError):
+            transient_analysis(system, t_stop=1e-6, dt=1e-8,
+                               waveforms={"VX": step_waveform(0, 1)})
+
+    def test_waveform_on_non_source(self, rc_netlist):
+        system = MnaSystem(rc_netlist)
+        with pytest.raises(AnalysisError):
+            transient_analysis(system, t_stop=1e-6, dt=1e-8,
+                               waveforms={"R1": step_waveform(0, 1)})

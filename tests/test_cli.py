@@ -1,0 +1,144 @@
+"""CLI commands (exercised in-process)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import TOPOLOGIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "nand_gate"])
+
+
+class TestInfo:
+    def test_prints_tables(self, capsys):
+        assert main(["info", "tia"]) == 0
+        out = capsys.readouterr().out
+        assert "nmos_w" in out
+        assert "cutoff_freq" in out
+
+    def test_all_topologies(self, capsys):
+        for name in TOPOLOGIES:
+            assert main(["info", name]) == 0
+
+
+class TestSimulate:
+    def test_center_default(self, capsys):
+        assert main(["simulate", "tia"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cutoff_freq" in payload["specs"]
+        assert len(payload["indices"]) == 6
+
+    def test_explicit_indices(self, capsys):
+        assert main(["simulate", "tia", "--indices", "0,0,0,0,0,0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["indices"] == [0, 0, 0, 0, 0, 0]
+
+    def test_wrong_arity(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "tia", "--indices", "1,2"])
+
+
+class TestExperiments:
+    def test_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+
+
+@pytest.mark.slow
+class TestTrainDeployRoundtrip:
+    def test_tiny_train_then_deploy(self, capsys, tmp_path):
+        policy = str(tmp_path / "p.npz")
+        assert main(["train", "tia", "--output", policy, "--iterations", "3",
+                     "--envs", "4", "--stop-reward", "999"]) == 0
+        data = np.load(policy)
+        assert "meta_nvec" in data
+        capsys.readouterr()
+        assert main(["deploy", "tia", "--policy", policy,
+                     "--targets", "5"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_targets"] == 5
+
+
+class TestConfigTemplate:
+    def test_prints_json(self, capsys):
+        assert main(["config-template"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ppo"]["n_envs"] == 10
+        assert payload["env"]["max_steps"] == 30
+
+    def test_writes_file(self, capsys, tmp_path):
+        path = str(tmp_path / "cfg.json")
+        assert main(["config-template", "--output", path]) == 0
+        from repro.config import load_config
+        from repro.core import AutoCktConfig
+
+        assert load_config(path) == AutoCktConfig()
+
+
+@pytest.mark.slow
+class TestTrainWithConfig:
+    def test_config_file_drives_training(self, capsys, tmp_path):
+        from repro.config import save_config
+        from repro.core import AutoCktConfig, SizingEnvConfig
+        from repro.rl.ppo import PPOConfig
+
+        cfg_path = str(tmp_path / "run.json")
+        save_config(AutoCktConfig(
+            ppo=PPOConfig(n_envs=4, n_steps=16, epochs=2, minibatch_size=16,
+                          hidden=(8, 8)),
+            env=SizingEnvConfig(max_steps=8),
+            n_train_targets=5, max_iterations=2, stop_reward=None,
+        ), cfg_path)
+        ckpt = str(tmp_path / "agent.npz")
+        assert main(["train", "tia", "--config", cfg_path, "--output", ckpt,
+                     "--checkpoint"]) == 0
+        data = np.load(ckpt)
+        assert "checkpoint_json" in data
+        meta = json.loads(str(data["checkpoint_json"]))
+        assert meta["config"]["max_iterations"] == 2
+
+
+class TestAnalysisCommands:
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "tia"]) == 0
+        out = capsys.readouterr().out
+        assert "dominated by" in out
+        assert "parameter" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "ota5", "w_in", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "gain vs w_in" in out
+        assert "monotone" in out
+
+    def test_sweep_unknown_parameter(self):
+        from repro.errors import SpaceError
+
+        with pytest.raises(SpaceError):
+            main(["sweep", "ota5", "nope"])
+
+    def test_montecarlo(self, capsys):
+        assert main(["montecarlo", "ota5", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mismatch trials" in out
+        assert "sigma/mean" in out
+
+    def test_poles(self, capsys):
+        assert main(["poles", "ota5"]) == 0
+        out = capsys.readouterr().out
+        assert "stable" in out
+        assert "finite poles" in out
+
+    def test_indices_arity_checked(self):
+        with pytest.raises(SystemExit):
+            main(["poles", "ota5", "--indices", "1,2"])

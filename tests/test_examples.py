@@ -1,0 +1,54 @@
+"""Smoke checks on the example scripts.
+
+Examples are documentation that must not rot: every script must compile,
+carry a run-instruction docstring, and expose a ``main()`` entry point
+behind the standard guard.  (Executing them end-to-end takes minutes each,
+so full runs stay manual — these checks catch the common breakages:
+renamed imports, stale APIs, missing guards.)
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+    names = [p.name for p in EXAMPLES]
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestEveryExample:
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+    def test_has_run_instructions(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{path.name} needs a module docstring"
+        assert "Run:" in doc, f"{path.name} docstring must say how to run it"
+
+    def test_defines_main_behind_guard(self, path):
+        tree = ast.parse(path.read_text())
+        names = {n.name for n in ast.walk(tree)
+                 if isinstance(n, ast.FunctionDef)}
+        assert "main" in names, f"{path.name} needs a main() function"
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    def test_imports_resolve(self, path):
+        """Every repro import the example names must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.startswith("repro"):
+                mod = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(mod, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing")

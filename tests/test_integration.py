@@ -1,0 +1,141 @@
+"""End-to-end integration: real circuits through the full AutoCkt stack.
+
+These are the slowest tests in the suite (tens of seconds): a scaled-down
+TIA training run must reach positive mean reward and beat the random agent
+at deployment, and the transfer path must run a schematic-trained policy
+through the PEX simulator with LVS verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAConfig, GeneticOptimizer, random_agent_deployment
+from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig, transfer_deploy
+from repro.pex import PexSimulator
+from repro.pex.corners import typical_only
+from repro.rl.ppo import PPOConfig
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+
+@pytest.fixture(scope="module")
+def trained_tia():
+    config = AutoCktConfig(
+        ppo=PPOConfig(n_envs=8, n_steps=60, epochs=8, minibatch_size=64,
+                      lr=5e-4, seed=0),
+        env=SizingEnvConfig(max_steps=30),
+        n_train_targets=50,
+        max_iterations=25,
+        stop_reward=0.0,
+        stop_patience=2,
+        seed=0,
+    )
+    agent = AutoCkt.for_topology(TransimpedanceAmplifier, config=config)
+    agent.train()
+    return agent
+
+
+@pytest.mark.slow
+class TestTiaEndToEnd:
+    def test_training_reaches_positive_reward(self, trained_tia):
+        assert trained_tia.history.final_mean_reward > 0.0
+
+    def test_deployment_beats_random_agent(self, trained_tia):
+        targets = trained_tia.sampler.fresh_targets(40, seed=77)
+        trained = trained_tia.deploy(targets, seed=77)
+        random = random_agent_deployment(
+            SchematicSimulator(TransimpedanceAmplifier()), targets,
+            max_steps=30, seed=77)
+        assert trained.generalization >= random.generalization
+        assert trained.generalization > 0.5
+
+    def test_sample_efficiency_order_of_magnitude(self, trained_tia):
+        """The paper's TIA row: ~15 simulations per reached target."""
+        report = trained_tia.deploy(30, seed=13)
+        assert report.mean_sims_to_success < 31  # well under the horizon
+
+    def test_agent_beats_genetic_algorithm_per_target(self, trained_tia):
+        targets = trained_tia.sampler.fresh_targets(5, seed=21)
+        report = trained_tia.deploy(targets, seed=21)
+        ga = GeneticOptimizer(
+            SchematicSimulator(TransimpedanceAmplifier()),
+            GAConfig(population=20, max_simulations=400), seed=21)
+        ga_sims = []
+        for target in targets:
+            result = ga.solve(target)
+            ga_sims.append(result.simulations if result.success else 400)
+        if report.n_reached:
+            assert report.mean_sims_to_success < np.mean(ga_sims)
+
+    def test_transfer_to_pex_runs_with_lvs(self, trained_tia):
+        pex = PexSimulator(TransimpedanceAmplifier, corners=typical_only())
+        targets = trained_tia.sampler.fresh_targets(5, seed=9)
+        report = transfer_deploy(trained_tia.policy, pex, targets,
+                                 max_steps=40, seed=9)
+        assert report.deployment.n_targets == 5
+        # every reached design must be LVS-clean
+        assert report.n_lvs_passed == report.deployment.n_reached
+
+
+@pytest.mark.slow
+class TestExtensionsEndToEnd:
+    """The post-paper extensions, exercised together on the trained agent."""
+
+    def test_checkpoint_round_trip_preserves_deployment(self, trained_tia,
+                                                        tmp_path):
+        path = str(tmp_path / "tia.ckpt.npz")
+        trained_tia.save_checkpoint(path)
+        clone = AutoCkt.for_topology(TransimpedanceAmplifier)
+        clone.load_checkpoint(path)
+        targets = clone.sampler.fresh_targets(10, seed=5)
+        original = trained_tia.deploy(targets, seed=5, deterministic=True)
+        restored = clone.deploy(targets, seed=5, deterministic=True)
+        assert restored.n_reached == original.n_reached
+
+    def test_config_file_reproduces_training_setup(self, trained_tia,
+                                                   tmp_path):
+        from repro.config import load_config, save_config
+
+        path = tmp_path / "tia.json"
+        save_config(trained_tia.config, path)
+        assert load_config(path) == trained_tia.config
+
+    def test_unreached_targets_lie_beyond_sampled_front(self, trained_tia):
+        """Fig. 8's argument on the TIA: targets the agent misses should
+        mostly be outside the achievable front of a random sample."""
+        from repro.core import sample_front
+
+        report = trained_tia.deploy(60, seed=17)
+        unreached = report.unreached_targets()
+        if not unreached:
+            pytest.skip("agent reached everything in this scaled run")
+        front = sample_front(SchematicSimulator(TransimpedanceAmplifier()),
+                             n_samples=300, seed=3)
+        beyond = sum(1 for t in unreached if not front.covers(t))
+        assert beyond >= len(unreached) / 2
+
+    def test_sensitivity_agrees_with_agent_behaviour(self, trained_tia):
+        """The parameter the sensitivity analysis calls dominant for the
+        cutoff spec must actually move during deployments chasing extreme
+        cutoff targets (the agent uses the same structure)."""
+        from repro.analysis import spec_sensitivities
+
+        sim = SchematicSimulator(TransimpedanceAmplifier())
+        report = spec_sensitivities(sim)
+        assert report.dominant_parameter("cutoff_freq") in sim.parameter_space.names
+
+    def test_mismatch_yield_of_an_agent_design(self, trained_tia):
+        """Close the design loop: take a sizing the agent produced for a
+        target, run mismatch Monte Carlo on it, and confirm the yield
+        machinery returns a sane estimate."""
+        from repro.pex import MonteCarloAnalysis, estimate_yield
+
+        report = trained_tia.deploy(10, seed=23)
+        success = next((o for o in report.outcomes if o.success), None)
+        if success is None:
+            pytest.skip("no successful deployment in this scaled run")
+        topo = TransimpedanceAmplifier()
+        mc = MonteCarloAnalysis(topo)
+        result = mc.run(indices=success.final_indices, n_trials=15, seed=0)
+        estimate = estimate_yield(result, success.target, topo.spec_space)
+        assert 0.0 <= estimate.rate <= 1.0
+        assert estimate.ci_low <= estimate.rate <= estimate.ci_high

@@ -1,0 +1,71 @@
+"""SI helpers and constants."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    KILO,
+    MICRO,
+    NANO,
+    PICO,
+    db,
+    degrees,
+    format_si,
+    from_db,
+    parse_si,
+    thermal_voltage,
+)
+
+
+class TestConstants:
+    def test_thermal_voltage_room(self):
+        assert thermal_voltage() == pytest.approx(0.02587, rel=1e-3)
+
+    def test_thermal_voltage_scales(self):
+        assert thermal_voltage(600.3) == pytest.approx(2 * thermal_voltage(300.15))
+
+
+class TestDb:
+    def test_roundtrip(self):
+        assert from_db(db(123.0)) == pytest.approx(123.0)
+
+    def test_known_values(self):
+        assert db(10.0) == pytest.approx(20.0)
+        assert db(1.0) == 0.0
+        assert db(0.0) == -math.inf
+
+    def test_degrees(self):
+        assert degrees(math.pi) == pytest.approx(180.0)
+
+
+class TestParseSi:
+    def test_plain(self):
+        assert parse_si("42") == 42.0
+
+    def test_suffixes(self):
+        assert parse_si("5.6k") == pytest.approx(5.6 * KILO)
+        assert parse_si("100n") == pytest.approx(100 * NANO)
+        assert parse_si("2.2p") == pytest.approx(2.2 * PICO)
+        assert parse_si("0.5u") == pytest.approx(0.5 * MICRO)
+
+    def test_spice_meg_vs_milli(self):
+        assert parse_si("3meg") == 3e6
+        assert parse_si("3m") == 3e-3
+
+    def test_case_insensitive(self):
+        assert parse_si("5.6K") == pytest.approx(5600.0)
+
+
+class TestFormatSi:
+    def test_engineering_prefixes(self):
+        assert format_si(5600.0, "Ohm") == "5.6 kOhm"
+        assert format_si(2.2e-12, "F") == "2.2 pF"
+        assert format_si(1.5e7, "Hz") == "15 MHz"
+
+    def test_zero_and_nonfinite(self):
+        assert format_si(0.0, "V") == "0.0 V"
+        assert "inf" in format_si(math.inf)
+
+    def test_negative(self):
+        assert format_si(-4.7e-9, "A").startswith("-4.7")

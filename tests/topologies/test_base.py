@@ -1,0 +1,61 @@
+"""Topology base class and the SchematicSimulator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+
+class TestSimulateFlow:
+    def test_warm_start_reused(self):
+        topo = TransimpedanceAmplifier()
+        space = topo.parameter_space
+        values = space.values(space.center)
+        topo.simulate(values)
+        assert topo._warm_x is not None
+        topo.reset_warm_start()
+        assert topo._warm_x is None
+
+    def test_neighboring_points_consistent_with_cold_solve(self):
+        """Warm-started results must match cold-started results."""
+        warm_topo = TransimpedanceAmplifier()
+        space = warm_topo.parameter_space
+        a = space.values(space.center)
+        b = space.values(space.clip(space.center + 1))
+        warm_topo.simulate(a)
+        warm_result = warm_topo.simulate(b)   # warm start from a's solution
+        cold_topo = TransimpedanceAmplifier()
+        cold_result = cold_topo.simulate(b)
+        for key in warm_result:
+            assert warm_result[key] == pytest.approx(cold_result[key], rel=1e-3)
+
+
+class TestSchematicSimulator:
+    def test_clipping_out_of_range_indices(self, tia_simulator):
+        space = tia_simulator.parameter_space
+        wild = np.array([99, -5, 99, -5, 99, -5])
+        specs = tia_simulator.evaluate(wild)
+        clipped = tia_simulator.evaluate(space.clip(wild))
+        assert specs == clipped
+
+    def test_no_cache_mode_counts_fresh(self):
+        sim = SchematicSimulator(TransimpedanceAmplifier(), cache=False)
+        x = sim.parameter_space.center
+        sim.evaluate(x)
+        sim.evaluate(x)
+        assert sim.counter.fresh == 2
+        assert sim.counter.cached == 0
+        assert sim.cache_stats == {"hits": 0, "misses": 0, "hit_rate": 0.0}
+
+    def test_reset_counter(self):
+        sim = SchematicSimulator(TransimpedanceAmplifier(), cache=True)
+        sim.evaluate(sim.parameter_space.center)
+        sim.reset_counter()
+        assert sim.counter.total == 0
+
+    def test_evaluate_returns_copy(self, tia_simulator):
+        x = tia_simulator.parameter_space.center
+        a = tia_simulator.evaluate(x)
+        a["cutoff_freq"] = -1.0
+        b = tia_simulator.evaluate(x)
+        assert b["cutoff_freq"] > 0

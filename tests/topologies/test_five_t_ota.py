@@ -1,0 +1,132 @@
+"""Five-transistor OTA — the extensibility example topology."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mosfet import Mosfet
+from repro.core.specs import SpecKind
+from repro.sim import MnaSystem, circuit_poles, solve_dc
+from repro.topologies import FiveTransistorOta, SchematicSimulator
+
+
+@pytest.fixture(scope="module")
+def topo() -> FiveTransistorOta:
+    return FiveTransistorOta()
+
+
+@pytest.fixture(scope="module")
+def sim(topo) -> SchematicSimulator:
+    return SchematicSimulator(FiveTransistorOta())
+
+
+class TestDefinition:
+    def test_cardinality(self, topo):
+        assert topo.parameter_space.cardinality == 100 ** 4
+
+    def test_spec_kinds(self, topo):
+        specs = topo.spec_space
+        assert specs["gain"].kind is SpecKind.LOWER_BOUND
+        assert specs["ugbw"].kind is SpecKind.LOWER_BOUND
+        assert specs["ibias"].kind is SpecKind.MINIMIZE
+        assert specs["ugbw"].log_scale
+
+    def test_netlist_structure(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        assert len(net.elements_of(Mosfet)) == 6  # 5T core + bias diode
+        net.validate()
+
+    def test_matched_pairs_share_widths(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        assert net["M1"].w == net["M2"].w
+        assert net["M3"].w == net["M4"].w
+
+
+class TestOperatingPoint:
+    def test_balanced_pair(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        assert op.mosfet_state("M1").ids == pytest.approx(
+            op.mosfet_state("M2").ids, rel=5e-2)
+
+    def test_all_devices_conducting(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        for name in ("M1", "M2", "M3", "M4", "M5", "M6"):
+            assert op.mosfet_state(name).ids > 1e-7
+
+    def test_single_stage_is_stable(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        assert circuit_poles(system, op).stable
+
+
+class TestMeasurement:
+    def test_center_specs_inside_calibrated_surface(self, sim):
+        specs = sim.evaluate(sim.parameter_space.center)
+        assert 7.0 < specs["gain"] < 300.0
+        assert 7e5 < specs["ugbw"] < 3e8
+        assert 1e-5 < specs["ibias"] < 1e-3
+
+    def test_wider_tail_raises_current_and_bandwidth(self, sim):
+        space = sim.parameter_space
+        lo = space.center.copy()
+        hi = space.center.copy()
+        names = list(space.names)
+        lo[names.index("w_tail")] = 10
+        hi[names.index("w_tail")] = 90
+        s_lo, s_hi = sim.evaluate(lo), sim.evaluate(hi)
+        assert s_hi["ibias"] > s_lo["ibias"]
+        assert s_hi["ugbw"] > s_lo["ugbw"]
+
+    def test_gain_bandwidth_tradeoff_along_input_width(self, sim):
+        """gm rises with input width, so UGBW = gm / (2 pi CL) must rise."""
+        space = sim.parameter_space
+        names = list(space.names)
+        ugbws = []
+        for w in (5, 50, 95):
+            idx = space.center.copy()
+            idx[names.index("w_in")] = w
+            ugbws.append(sim.evaluate(idx)["ugbw"])
+        assert ugbws[0] < ugbws[1] < ugbws[2]
+
+    def test_target_box_is_reachable_but_not_trivial(self, sim):
+        """A decent fraction (but not all) of random sizings should meet a
+        mid-box target — the calibration contract for trainability."""
+        from repro.baselines import feasible_volume_fraction
+
+        target = {"gain": 150.0, "ugbw": 2e7, "ibias": 2e-4}
+        frac = feasible_volume_fraction(sim, target, n_samples=150, seed=0)
+        assert 0.01 < frac < 0.9
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_tiny_training_run_improves_over_random(self):
+        """A short PPO run on the 5T OTA must beat the untrained agent —
+        the whole point of the extensibility demo."""
+        from repro.baselines import random_agent_deployment
+        from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig
+        from repro.rl.ppo import PPOConfig
+
+        config = AutoCktConfig(
+            ppo=PPOConfig(n_envs=6, n_steps=40, epochs=6, minibatch_size=60,
+                          lr=1e-3, seed=0),
+            env=SizingEnvConfig(max_steps=20),
+            n_train_targets=20,
+            max_iterations=25,
+            stop_reward=None,
+            seed=0,
+        )
+        agent = AutoCkt.for_topology(FiveTransistorOta, config=config)
+        agent.train()
+        targets = agent.sampler.fresh_targets(20, seed=77)
+        trained = agent.deploy(targets, seed=77)
+        random_report = random_agent_deployment(
+            SchematicSimulator(FiveTransistorOta()), targets, max_steps=20,
+            seed=77)
+        assert trained.n_reached > random_report.n_reached

@@ -1,0 +1,84 @@
+"""Negative-gm OTA topology (FinFET)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mosfet import Mosfet
+from repro.sim import MnaSystem, solve_dc
+from repro.topologies import NegGmOta
+
+
+@pytest.fixture(scope="module")
+def topo() -> NegGmOta:
+    return NegGmOta()
+
+
+class TestDefinition:
+    def test_uses_finfet_card(self, topo):
+        assert topo.technology.name == "finfet16"
+        assert topo.technology.vdd == pytest.approx(0.8)
+
+    def test_cardinality_order_matches_paper(self, topo):
+        # The paper quotes ~1e11 parameter combinations.
+        assert 1e10 < topo.parameter_space.cardinality < 1e14
+
+    def test_phase_margin_target_range_60_75(self, topo):
+        pm = topo.spec_space["phase_margin"]
+        assert pm.low == 60.0 and pm.high == 75.0
+
+    def test_cross_coupled_pair_present(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        # MC1 drain on o1p is driven by o1n's gate signal and vice versa.
+        assert net["MC1"].d == "o1p" and net["MC1"].g == "o1n"
+        assert net["MC2"].d == "o1n" and net["MC2"].g == "o1p"
+        assert len(net.elements_of(Mosfet)) == 10
+
+
+class TestStability:
+    def test_center_point_is_stable(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        assert topo.first_stage_stable(op)
+
+    def test_oversized_cross_pair_latches(self, topo):
+        space = topo.parameter_space
+        values = space.values(space.center)
+        values["w_cross"] = space["w_cross"].value(space["w_cross"].count - 1)
+        values["w_diode"] = space["w_diode"].value(0)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        assert not topo.first_stage_stable(op)
+
+    def test_latched_design_reports_failure(self, ngm_simulator):
+        space = ngm_simulator.parameter_space
+        x = space.center.copy()
+        x[space.names.index("w_cross")] = space["w_cross"].count - 1
+        x[space.names.index("w_diode")] = 0
+        specs = ngm_simulator.evaluate(x)
+        assert specs["gain"] <= 0.0011  # the pessimistic failure value
+
+
+class TestGainBoost:
+    def test_cross_coupling_boosts_gain(self, ngm_simulator):
+        """Widening the cross pair toward the diode width must raise gain
+        (negative gm cancels diode load) up to the stability limit."""
+        space = ngm_simulator.parameter_space
+        c_i = space.names.index("w_cross")
+        d_i = space.names.index("w_diode")
+        weak = space.center.copy()
+        strong = space.center.copy()
+        weak[c_i] = 5
+        weak[d_i] = 30
+        strong[c_i] = 25
+        strong[d_i] = 30
+        g_weak = ngm_simulator.evaluate(weak)["gain"]
+        g_strong = ngm_simulator.evaluate(strong)["gain"]
+        assert g_strong > g_weak > 0.0011
+
+    def test_center_specs_plausible(self, ngm_simulator):
+        specs = ngm_simulator.evaluate(ngm_simulator.parameter_space.center)
+        assert 1.0 < specs["gain"] < 1e3
+        assert 1e5 < specs["ugbw"] < 1e9
+        assert 0 < specs["phase_margin"] <= 180

@@ -1,0 +1,88 @@
+"""Transimpedance amplifier topology."""
+
+import numpy as np
+import pytest
+
+from repro.core.specs import SpecKind
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+
+@pytest.fixture(scope="module")
+def topo() -> TransimpedanceAmplifier:
+    return TransimpedanceAmplifier()
+
+
+class TestDefinition:
+    def test_action_space_matches_paper(self, topo):
+        space = topo.parameter_space
+        assert space.names == ("nmos_w", "nmos_m", "pmos_w", "pmos_m",
+                               "rf_series", "rf_parallel")
+        assert space["nmos_w"].count == 5      # [2, 10, 2]
+        assert space["nmos_m"].count == 16     # [2, 32, 2]
+        assert space["rf_series"].count == 10  # [2, 20, 2]
+        assert space["rf_parallel"].count == 20
+
+    def test_spec_kinds(self, topo):
+        specs = topo.spec_space
+        assert specs["settling_time"].kind is SpecKind.UPPER_BOUND
+        assert specs["cutoff_freq"].kind is SpecKind.LOWER_BOUND
+        assert specs["noise"].kind is SpecKind.UPPER_BOUND
+
+    def test_feedback_resistance(self, topo):
+        r = topo.feedback_resistance({"rf_series": 10, "rf_parallel": 2})
+        assert r == pytest.approx(5.6e3 * 5)
+
+    def test_netlist_structure(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        assert {"MN", "MP", "RF", "CPD", "CL", "VDD", "IIN"} <= {e.name for e in net}
+        net.validate()
+
+
+class TestSimulation:
+    def test_center_specs_in_plausible_ranges(self, tia_simulator):
+        specs = tia_simulator.evaluate(
+            tia_simulator.parameter_space.center)
+        assert 1e-10 < specs["settling_time"] < 1e-7
+        assert 1e7 < specs["cutoff_freq"] < 1e10
+        assert 1e-5 < specs["noise"] < 1e-2
+
+    def test_bigger_rf_means_slower(self, tia_simulator):
+        space = tia_simulator.parameter_space
+        fast = space.center.copy()
+        slow = space.center.copy()
+        fast[space.names.index("rf_series")] = 0
+        fast[space.names.index("rf_parallel")] = 19
+        slow[space.names.index("rf_series")] = 9
+        slow[space.names.index("rf_parallel")] = 0
+        s_fast = tia_simulator.evaluate(fast)
+        s_slow = tia_simulator.evaluate(slow)
+        assert s_fast["cutoff_freq"] > s_slow["cutoff_freq"]
+        assert s_fast["settling_time"] < s_slow["settling_time"]
+
+    def test_speed_noise_tradeoff(self, tia_simulator):
+        """A faster configuration integrates more noise bandwidth."""
+        space = tia_simulator.parameter_space
+        fast = space.center.copy()
+        fast[space.names.index("rf_series")] = 0
+        fast[space.names.index("rf_parallel")] = 19
+        slow = space.center.copy()
+        slow[space.names.index("rf_series")] = 9
+        slow[space.names.index("rf_parallel")] = 0
+        assert (tia_simulator.evaluate(fast)["noise"]
+                > tia_simulator.evaluate(slow)["noise"] * 0.5)
+
+    def test_simulation_deterministic(self, tia_simulator):
+        x = tia_simulator.parameter_space.center + 1
+        a = tia_simulator.evaluate(x)
+        b = tia_simulator.evaluate(x)
+        assert a == b
+
+    def test_counter_and_cache(self):
+        sim = SchematicSimulator(TransimpedanceAmplifier(), cache=True)
+        x = sim.parameter_space.center
+        sim.evaluate(x)
+        sim.evaluate(x)
+        assert sim.counter.fresh == 1
+        assert sim.counter.cached == 1
+        assert sim.cache_stats["hits"] == 1

@@ -1,0 +1,103 @@
+"""Two-stage Miller op-amp topology."""
+
+import numpy as np
+import pytest
+
+from repro.core.specs import SpecKind
+from repro.sim import MnaSystem, solve_dc
+from repro.topologies import TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def topo() -> TwoStageOpAmp:
+    return TwoStageOpAmp()
+
+
+class TestDefinition:
+    def test_cardinality_is_paper_1e14(self, topo):
+        assert topo.parameter_space.cardinality == 10 ** 14
+
+    def test_specs_match_paper_table(self, topo):
+        specs = topo.spec_space
+        assert specs["gain"].low == 200.0 and specs["gain"].high == 400.0
+        assert specs["ugbw"].low == 1.0e6 and specs["ugbw"].high == 2.5e7
+        assert specs["phase_margin"].low == pytest.approx(60.0)
+        assert specs["ibias"].kind is SpecKind.MINIMIZE
+
+    def test_netlist_has_eight_transistors(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        from repro.circuits.mosfet import Mosfet
+        assert len(net.elements_of(Mosfet)) == 8
+        net.validate()
+
+    def test_matched_pairs_share_parameters(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        net = topo.build(values)
+        assert net["M1"].w == net["M2"].w
+        assert net["M3"].w == net["M4"].w
+
+
+class TestOperatingPoint:
+    def test_diff_pair_balanced(self, topo):
+        values = topo.parameter_space.values(topo.parameter_space.center)
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        assert op.voltage("d1") == pytest.approx(op.voltage("d2"), abs=1e-3)
+        assert op.mosfet_state("M1").ids == pytest.approx(
+            op.mosfet_state("M2").ids, rel=1e-2)
+
+    def test_mirror_ratio_sets_tail_current(self, topo):
+        space = topo.parameter_space
+        values = space.values(space.center)
+        values["w_tail"] = 2 * values["w_bias"]
+        system = MnaSystem(topo.build(values))
+        op = solve_dc(system)
+        i_ref = op.mosfet_state("M8").ids
+        i_tail = op.mosfet_state("M5").ids
+        assert i_tail == pytest.approx(2 * i_ref, rel=0.25)
+
+
+class TestMeasurement:
+    def test_center_point_specs(self, opamp_simulator):
+        specs = opamp_simulator.evaluate(
+            opamp_simulator.parameter_space.center)
+        assert 10 < specs["gain"] < 1e5
+        assert 1e5 < specs["ugbw"] < 1e9
+        assert 0 < specs["phase_margin"] < 120
+        assert 1e-5 < specs["ibias"] < 1e-2
+
+    def test_bigger_cc_lowers_ugbw(self, opamp_simulator):
+        space = opamp_simulator.parameter_space
+        cc_i = space.names.index("cc")
+        small = space.center.copy()
+        big = space.center.copy()
+        small[cc_i] = 5
+        big[cc_i] = 95
+        assert (opamp_simulator.evaluate(small)["ugbw"]
+                > opamp_simulator.evaluate(big)["ugbw"])
+
+    def test_bigger_cc_improves_phase_margin(self, opamp_simulator):
+        space = opamp_simulator.parameter_space
+        cc_i = space.names.index("cc")
+        small = space.center.copy()
+        big = space.center.copy()
+        small[cc_i] = 3
+        big[cc_i] = 60
+        assert (opamp_simulator.evaluate(big)["phase_margin"]
+                > opamp_simulator.evaluate(small)["phase_margin"])
+
+    def test_more_tail_width_more_current(self, opamp_simulator):
+        space = opamp_simulator.parameter_space
+        t_i = space.names.index("w_tail")
+        small = space.center.copy()
+        big = space.center.copy()
+        small[t_i] = 10
+        big[t_i] = 90
+        assert (opamp_simulator.evaluate(big)["ibias"]
+                > opamp_simulator.evaluate(small)["ibias"])
+
+    def test_failure_measurement_is_pessimistic(self, topo):
+        failed = topo.failure_measurement()
+        assert failed["gain"] < topo.spec_space["gain"].low
+        assert failed["ibias"] > topo.spec_space["ibias"].high
