@@ -80,6 +80,60 @@ def test_pex_simulation_speed_and_ratio(benchmark):
     assert t_pex > t_sch
 
 
+def test_batch_throughput(benchmark):
+    """Batched design evaluation vs sequential evaluate calls.
+
+    The vectorised engine solves a stacked (B, n, n) Newton system with
+    per-design convergence masking and measures the whole batch with one
+    stacked AC sweep; this bench publishes evaluations/second at batch
+    sizes 1/16/64 against the same 64 designs evaluated sequentially —
+    the acceptance metric of the vectorised-MNA rework.
+    """
+    import time
+
+    simulator = SchematicSimulator(TwoStageOpAmp(), cache=False)
+    rng = np.random.default_rng(7)
+    space = simulator.parameter_space
+    designs = np.stack([space.sample(rng) for _ in range(64)])
+    simulator.evaluate_batch(designs[:8])  # warm code paths + batch seed
+
+    def measure_batch(size, repeats=3):
+        subset = designs[:size]
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            simulator.evaluate_batch(subset)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_batch = {size: measure_batch(size) for size in (1, 16, 64)}
+    best_seq = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for row in designs:
+            simulator.evaluate(row)
+        best_seq = min(best_seq, time.perf_counter() - t0)
+
+    speedup = best_seq / t_batch[64]
+    rows = [["sequential x64", f"{1e3 * best_seq:.1f} ms",
+             f"{64 / best_seq:,.0f}", "1.0x"]]
+    for size in (1, 16, 64):
+        rows.append([f"evaluate_batch({size})",
+                     f"{1e3 * t_batch[size]:.1f} ms",
+                     f"{size / t_batch[size]:,.0f}",
+                     f"{(best_seq / 64) / (t_batch[size] / size):.1f}x"])
+    table = ascii_table(
+        ["mode", "wall time", "evals/sec", "per-eval speedup"],
+        rows,
+        title=(f"Batched vs sequential evaluation (two-stage op-amp); "
+               f"batch(64) is {speedup:.1f}x faster than 64 sequential "
+               "calls"))
+    publish("batch_throughput.txt", table)
+    benchmark.pedantic(lambda: simulator.evaluate_batch(designs),
+                       iterations=1, rounds=3)
+    assert len(simulator.evaluate_batch(designs)) == 64
+
+
 def test_action_space_cardinalities(benchmark):
     rows = [
         ["TIA", f"{TransimpedanceAmplifier().parameter_space.cardinality:.3e}",

@@ -82,7 +82,8 @@ class CrossEntropyMethod:
                                           size=(cfg.population, len(space)))
                 samples = np.clip(np.round(samples), 0,
                                   counts - 1).astype(np.int64)
-                fitness = np.array([objective(s) for s in samples])
+                # One stacked simulator call per generation.
+                fitness = objective.evaluate_population(samples)
                 elite_idx = np.argsort(fitness)[::-1][:cfg.n_elite]
                 elites = samples[elite_idx].astype(float)
                 s = cfg.smoothing

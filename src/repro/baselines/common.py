@@ -93,6 +93,46 @@ class TargetObjective:
             raise BudgetExhausted
         return breakdown.reward
 
+    def evaluate_population(self, population) -> np.ndarray:
+        """Evaluate a whole population through ``evaluate_batch``.
+
+        Returns the fitness array (one entry per individual) and keeps the
+        scalar call's control flow: :class:`GoalReached` is raised when an
+        individual meets the target and :class:`BudgetExhausted` once the
+        budget is consumed.  Every simulated individual is charged to
+        ``simulations`` — a population method commits to its whole
+        generation before looking at the outcomes, so the sample-efficiency
+        metric stays equal to the simulator's own invocation counter.
+        The population is truncated to the remaining budget, which keeps
+        the budget exact.
+        """
+        if self.simulations >= self.budget:
+            raise BudgetExhausted
+        space = self.simulator.parameter_space
+        population = [space.clip(np.asarray(p)) for p in population]
+        remaining = self.budget - self.simulations
+        evaluated = population[:remaining]
+        specs_list = self.simulator.evaluate_batch(np.stack(evaluated))
+        self.simulations += len(evaluated)
+        fitness = np.empty(len(population))
+        for i, (indices, specs) in enumerate(zip(evaluated, specs_list)):
+            breakdown = compute_reward(specs, self.target,
+                                       self.simulator.spec_space, self.reward)
+            fitness[i] = breakdown.reward
+            if breakdown.reward > self.best_fitness:
+                self.best_fitness = breakdown.reward
+                self.best_indices = indices.copy()
+                self.best_specs = specs
+            if breakdown.goal_reached:
+                self.succeeded = True
+                self.best_indices = indices.copy()
+                self.best_specs = specs
+                self.best_fitness = breakdown.reward
+                raise GoalReached
+        if len(evaluated) < len(population) or self.simulations >= self.budget:
+            raise BudgetExhausted
+        return fitness
+
     def result(self) -> SearchResult:
         """The search outcome given everything evaluated so far."""
         space = self.simulator.parameter_space

@@ -75,6 +75,24 @@ class GeneticOptimizer:
                                    self.reward)
         return breakdown.reward, breakdown.goal_reached, specs
 
+    def _fitness_many(self, genomes: list[np.ndarray], target: dict[str, float],
+                      budget_left: int):
+        """Batched fitness of several genomes (one stacked simulation).
+
+        Only the first ``budget_left`` genomes are evaluated; returns a
+        list of ``(reward, goal_reached, specs)`` triples in order.
+        """
+        genomes = genomes[:max(budget_left, 0)]
+        if not genomes:
+            return []
+        specs_list = self.simulator.evaluate_batch(np.stack(genomes))
+        out = []
+        for specs in specs_list:
+            breakdown = compute_reward(specs, target,
+                                       self.simulator.spec_space, self.reward)
+            out.append((breakdown.reward, breakdown.goal_reached, specs))
+        return out
+
     # -- GA operators ------------------------------------------------------------
     def _tournament_pick(self, fitness: np.ndarray) -> int:
         contenders = self.rng.integers(0, len(fitness), size=self.config.tournament)
@@ -111,16 +129,18 @@ class GeneticOptimizer:
         best_specs: dict[str, float] = {}
 
         fitness = np.empty(cfg.population)
-        for i, genome in enumerate(population):
-            fit, ok, specs = self._fitness(genome, target)
-            sims += 1
+        evals = self._fitness_many(population, target, budget - sims)
+        sims += len(evals)  # the whole batch is simulated (and charged)
+        for i, (fit, ok, specs) in enumerate(evals):
             fitness[i] = fit
+            genome = population[i]
             if fit > best_fit:
                 best_fit, best_x, best_specs = fit, genome.copy(), specs
             if ok:
                 return GAResult(True, sims, generations, fit, genome.copy(), specs)
-            if sims >= budget:
-                return GAResult(False, sims, generations, best_fit, best_x, best_specs)
+        if len(evals) < cfg.population:
+            # Budget cut the initial evaluation short.
+            return GAResult(False, sims, generations, best_fit, best_x, best_specs)
 
         while sims < budget:
             generations += 1
@@ -135,9 +155,11 @@ class GeneticOptimizer:
             population = next_pop
             fitness = np.empty(cfg.population)
             fitness[:cfg.elite] = elite_fitness  # elites keep their fitness
-            for i in range(cfg.elite, cfg.population):
-                fit, ok, specs = self._fitness(population[i], target)
-                sims += 1
+            offspring = population[cfg.elite:]
+            evals = self._fitness_many(offspring, target, budget - sims)
+            sims += len(evals)
+            for j, (fit, ok, specs) in enumerate(evals):
+                i = cfg.elite + j
                 fitness[i] = fit
                 if fit > best_fit:
                     best_fit, best_x = fit, population[i].copy()
@@ -145,8 +167,8 @@ class GeneticOptimizer:
                 if ok:
                     return GAResult(True, sims, generations, fit,
                                     population[i].copy(), specs)
-                if sims >= budget:
-                    break
+            if len(evals) < len(offspring):
+                break
         return GAResult(False, sims, generations, best_fit, best_x, best_specs)
 
     def solve_with_population_sweep(self, target: dict[str, float],

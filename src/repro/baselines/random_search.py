@@ -47,8 +47,18 @@ class RandomSearch:
             # Include the centre point first: it is the RL agent's start
             # state, so "how far is the centre from feasible" is free info.
             objective(space.center)
-            while True:
+            # Scalar draws first keep the sample count exact for easy
+            # targets (random search is the difficulty-calibration
+            # instrument); once a target has survived a while, switch to
+            # geometrically growing batches so the stacked engine does the
+            # heavy lifting with bounded count granularity.
+            for _ in range(16):
                 objective(space.sample(self.rng))
+            chunk = 16
+            while True:
+                objective.evaluate_population(
+                    [space.sample(self.rng) for _ in range(chunk)])
+                chunk = min(2 * chunk, 64)
         except (GoalReached, BudgetExhausted):
             return objective.result()
 
@@ -68,9 +78,14 @@ def feasible_volume_fraction(simulator: "CircuitSimulator",
     rng = np.random.default_rng(seed)
     reward = reward or RewardSpec()
     hits = 0
-    for _ in range(n_samples):
-        specs = simulator.evaluate(simulator.parameter_space.sample(rng))
-        if compute_reward(specs, target, simulator.spec_space,
-                          reward).goal_reached:
-            hits += 1
+    done = 0
+    while done < n_samples:
+        chunk = min(64, n_samples - done)
+        samples = np.stack([simulator.parameter_space.sample(rng)
+                            for _ in range(chunk)])
+        for specs in simulator.evaluate_batch(samples):
+            if compute_reward(specs, target, simulator.spec_space,
+                              reward).goal_reached:
+                hits += 1
+        done += chunk
     return hits / n_samples

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.errors import NetlistError
 from repro.units import BOLTZMANN
 
@@ -67,6 +69,17 @@ class Element:
     def stamp(self, stamper) -> None:
         """Stamp the element's linear contribution into the MNA system."""
         raise NotImplementedError
+
+    def stamp_key(self):
+        """Hashable snapshot of the values :meth:`stamp` writes.
+
+        The incremental restamp path (``MnaSystem.rebind_values``) freezes
+        the stamps of elements whose key never changes across sizings and
+        re-stamps only the rest.  ``None`` (the default) means "unknown" —
+        the element is always re-stamped, which is safe for any subclass
+        that does not override this.
+        """
+        return None
 
     def noise_sources(self, op) -> list[NoiseSource]:
         """Return this element's noise current sources at operating point ``op``."""
@@ -108,11 +121,15 @@ class Resistor(TwoTerminal):
         stamper.add_g(i, j, -g)
         stamper.add_g(j, i, -g)
 
+    def stamp_key(self):
+        return self.resistance
+
     def noise_sources(self, op) -> list[NoiseSource]:
         psd = 4.0 * BOLTZMANN * op.temperature / self.resistance
 
-        def thermal(_freq: float, _psd: float = psd) -> float:
-            return _psd
+        def thermal(freq, _psd: float = psd):
+            # White: broadcast against scalar or array frequency input.
+            return _psd + np.zeros_like(np.asarray(freq, dtype=float))
 
         return [(self.p, self.n, thermal)]
 
@@ -125,6 +142,9 @@ class Capacitor(TwoTerminal):
         if capacitance <= 0.0:
             raise NetlistError(f"capacitor {name}: capacitance must be > 0, got {capacitance}")
         self.capacitance = float(capacitance)
+
+    def stamp_key(self):
+        return self.capacitance
 
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.p), stamper.node(self.n)
@@ -150,6 +170,9 @@ class Inductor(TwoTerminal):
             raise NetlistError(f"inductor {name}: inductance must be > 0, got {inductance}")
         self.inductance = float(inductance)
 
+    def stamp_key(self):
+        return self.inductance
+
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.p), stamper.node(self.n)
         k = stamper.branch(self)
@@ -174,6 +197,9 @@ class VoltageSource(TwoTerminal):
         self.dc = float(dc)
         self.ac = float(ac)
 
+    def stamp_key(self):
+        return (self.dc, self.ac)
+
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.p), stamper.node(self.n)
         k = stamper.branch(self)
@@ -196,6 +222,9 @@ class CurrentSource(TwoTerminal):
         self.dc = float(dc)
         self.ac = float(ac)
 
+    def stamp_key(self):
+        return (self.dc, self.ac)
+
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.p), stamper.node(self.n)
         stamper.add_b_dc(i, -self.dc)
@@ -216,6 +245,9 @@ class Vccs(Element):
     def __init__(self, name: str, p: str, n: str, cp: str, cn: str, gm: float):
         super().__init__(name, (p, n, cp, cn))
         self.gm = float(gm)
+
+    def stamp_key(self):
+        return self.gm
 
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.nodes[0]), stamper.node(self.nodes[1])
@@ -238,6 +270,9 @@ class Vcvs(Element):
     def __init__(self, name: str, p: str, n: str, cp: str, cn: str, gain: float):
         super().__init__(name, (p, n, cp, cn))
         self.gain = float(gain)
+
+    def stamp_key(self):
+        return self.gain
 
     def stamp(self, stamper) -> None:
         i, j = stamper.node(self.nodes[0]), stamper.node(self.nodes[1])

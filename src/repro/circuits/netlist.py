@@ -92,6 +92,18 @@ class Netlist:
         """All elements that are instances of ``kind`` (in insertion order)."""
         return [e for e in self if isinstance(e, kind)]
 
+    def structure_signature(self) -> tuple:
+        """Hashable structural identity of the netlist.
+
+        Two netlists with equal signatures (same element kinds, names and
+        node connections, in the same order) assemble into identical MNA
+        structures — same node/branch indices, same device terminal maps —
+        and differ only in element *values*.  This is what
+        :meth:`repro.sim.system.MnaSystem.restamp` checks before refreshing
+        matrices in place instead of rebuilding them.
+        """
+        return tuple((type(e), e.name, e.nodes) for e in self)
+
     # -- structural checks ------------------------------------------------------
     def connectivity_graph(self, dc_only: bool = False) -> nx.Graph:
         """Graph with one vertex per node and one edge per element terminal

@@ -82,24 +82,37 @@ class AutoCkt:
                    config=config)
 
     # -- training ------------------------------------------------------------
-    def make_env(self, seed: int) -> SizingEnv:
-        """One training environment over a fresh simulator instance."""
-        return SizingEnv(self.simulator_factory(),
+    def make_env(self, seed: int, simulator=None) -> SizingEnv:
+        """One training environment (fresh simulator unless one is given)."""
+        return SizingEnv(simulator or self.simulator_factory(),
                          training_targets=self.sampler.targets,
                          config=self.config.env, seed=seed)
 
     def train(self, callback=None) -> TrainingHistory:
-        """Train PPO on the sparse target set; stores and returns history."""
+        """Train PPO on the sparse target set; stores and returns history.
+
+        In-process training shares one simulator across the environments
+        and steps them through its batched engine (one stacked solve per
+        policy query — see :class:`~repro.rl.env.VectorEnv`); with
+        ``parallel_envs`` each env instead owns a simulator in its own
+        worker process.
+        """
         cfg = self.config
         env_fns = [
             (lambda i=i: self.make_env(seed=cfg.seed * 1000 + i))
             for i in range(cfg.ppo.n_envs)
         ]
-        vec_env = None
         if cfg.parallel_envs:
             from repro.rl.parallel import ParallelVectorEnv
 
             vec_env = ParallelVectorEnv(env_fns)
+        else:
+            from repro.rl.env import VectorEnv
+
+            shared = self.simulator_factory()
+            envs = [self.make_env(seed=cfg.seed * 1000 + i, simulator=shared)
+                    for i in range(cfg.ppo.n_envs)]
+            vec_env = VectorEnv(envs, batch_simulator=shared)
         self.trainer = PPOTrainer(env_fns, config=cfg.ppo, vec_env=vec_env)
         try:
             self.history = self.trainer.train(
@@ -108,8 +121,8 @@ class AutoCkt:
                 stop_patience=cfg.stop_patience,
                 callback=callback)
         finally:
-            if vec_env is not None:
-                vec_env.close()
+            if hasattr(vec_env, "close"):
+                vec_env.close()  # multiprocess workers need shutdown
         self.policy = self.trainer.policy
         return self.history
 

@@ -101,13 +101,30 @@ class SizingEnv(Env):
         return self._observation()
 
     def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+        return self.finish_step(self.simulator.evaluate(
+            self.begin_step(action)))
+
+    def begin_step(self, action) -> np.ndarray:
+        """Apply ``action`` and return the grid indices to evaluate.
+
+        Together with :meth:`finish_step` this splits :meth:`step` around
+        the simulator call, so a :class:`~repro.rl.env.VectorEnv` can
+        gather every env's indices and run them as one
+        ``evaluate_batch`` — the batched-engine path for RL rollouts.
+        """
         if self._indices is None or self._target is None:
             raise TrainingError("step() before reset()")
         action = np.asarray(action, dtype=np.int64)
         if not self.action_space.contains(action):
             raise TrainingError(f"invalid action {action!r}")
         self._indices = self.space.clip(self._indices + (action - 1))
-        self._observed = self.simulator.evaluate(self._indices)
+        return self._indices
+
+    def finish_step(self, observed: dict[str, float]
+                    ) -> tuple[np.ndarray, float, bool, dict]:
+        """Consume the specs of the sizing chosen by :meth:`begin_step`."""
+        assert self._indices is not None and self._target is not None
+        self._observed = observed
         breakdown = compute_reward(self._observed, self._target, self.specs,
                                    self.config.reward)
         self._steps += 1

@@ -33,7 +33,7 @@ from repro.pex.layout import PseudoLayout, generate_layout
 from repro.pex.lvs import lvs_compare
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import solve_dc
-from repro.sim.system import MnaSystem
+from repro.sim.stamp import StampPlan
 from repro.topologies.base import CircuitSimulator, Topology
 from repro.units import MICRO
 
@@ -125,6 +125,16 @@ class PexSimulator(CircuitSimulator):
         self.extractor = ParasiticExtractor(rules)
         self._topologies: list[Topology] = [
             corner.apply(topology_factory) for corner in self.corners]
+        # One structure cache per corner: extracted netlists keep their
+        # structure across sizings (the extractor adds the same parasitic
+        # elements for every sizing of a topology), so each corner's MNA
+        # system is built once and restamped per evaluation.  StampPlan
+        # falls back to a rebuild if a sizing ever changes the extracted
+        # structure.
+        self._plans: list[StampPlan] = [
+            StampPlan(self._corner_builder(topology),
+                      temperature=topology.temperature)
+            for topology in self._topologies]
         reference = self._topologies[0]
         self.parameter_space = reference.parameter_space
         self.spec_space = reference.spec_space
@@ -163,10 +173,15 @@ class PexSimulator(CircuitSimulator):
                     worst[spec.name] = max(worst[spec.name], v)
         return worst
 
+    def _corner_builder(self, topology: Topology):
+        """``values -> extracted netlist`` builder for one corner's plan."""
+        def build(values: dict[str, float]):
+            return self.extractor.extract(topology.build(values))
+        return build
+
     def _simulate_corner(self, c_idx: int, topology: Topology,
                          values: dict[str, float]) -> dict[str, float]:
-        netlist = self.extractor.extract(topology.build(values))
-        system = MnaSystem(netlist, temperature=topology.temperature)
+        system = self._plans[c_idx].restamp(values)
         op = None
         warm = self._warm.get(c_idx)
         if warm is not None and warm.shape == (system.size,):

@@ -30,7 +30,9 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.core.reward import RewardSpec, compute_reward
 from repro.errors import ConvergenceError, MeasurementError, TopologyError
-from repro.sim.dc import solve_dc
+from repro.sim.batch import SystemStack, solve_dc_batch
+from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.stamp import StampPlan
 from repro.sim.system import MnaSystem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -150,12 +152,61 @@ class MonteCarloAnalysis:
         except (ConvergenceError, MeasurementError):
             return None
 
+    #: Mismatch trials solved per stacked batch.
+    BATCH_TRIALS = 32
+
+    def _run_batched(self, values: dict[str, float], rng: np.random.Generator,
+                     n_trials: int):
+        """Yield lists of per-trial spec dicts (None = failed trial).
+
+        Trials share the netlist structure (mismatch only perturbs device
+        cards), so each chunk of perturbed netlists restamps into one
+        :class:`~repro.sim.batch.SystemStack` and solves with a single
+        batched Newton; only the measurements run per trial.  Trials whose
+        batched solve fails are retried with the scalar solver (full
+        gmin/source machinery from its own warm state) before being
+        declared failed.
+        """
+        plan = StampPlan(self.topology.build,
+                         temperature=self.topology.temperature)
+        done = 0
+        while done < n_trials:
+            chunk = min(self.BATCH_TRIALS, n_trials - done)
+            netlists = []
+            for _ in range(chunk):
+                netlist = self.topology.build(values)
+                apply_mismatch(netlist, self.model, rng)
+                netlists.append(netlist)
+            stack = None
+            for i, netlist in enumerate(netlists):
+                system = plan.restamp_netlist(netlist)
+                if stack is None:
+                    stack = SystemStack(system, chunk)
+                stack.set_design(i, system)
+            result = solve_dc_batch(stack)
+            batch: list[dict[str, float] | None] = []
+            for i, netlist in enumerate(netlists):
+                system = plan.restamp_netlist(netlist)
+                try:
+                    if result.converged[i]:
+                        op = OperatingPoint(system, result.x[i].copy(),
+                                            int(result.iterations[i]),
+                                            float(result.residual_norm[i]))
+                    else:
+                        op = solve_dc(system)
+                    batch.append(self.topology.measure(system, op))
+                except (ConvergenceError, MeasurementError):
+                    batch.append(None)
+            yield batch
+            done += chunk
+
     def run(self, indices: np.ndarray | None = None,
             values: dict[str, float] | None = None,
             n_trials: int = 100, seed: int = 0) -> MonteCarloResult:
         """Run ``n_trials`` mismatch draws of one sizing.
 
-        The sizing is given either as grid ``indices`` or as physical
+        Trials are solved in stacked batches (see :meth:`_run_batched`);
+        the sizing is given either as grid ``indices`` or as physical
         ``values`` (exactly one of the two).
         """
         if (indices is None) == (values is None):
@@ -168,13 +219,13 @@ class MonteCarloAnalysis:
         rng = np.random.default_rng(seed)
         traces: dict[str, list[float]] = {}
         failed = 0
-        for _ in range(n_trials):
-            specs = self.run_trial(values, rng)
-            if specs is None:
-                failed += 1
-                continue
-            for name, value in specs.items():
-                traces.setdefault(name, []).append(float(value))
+        for batch in self._run_batched(values, rng, n_trials):
+            for specs in batch:
+                if specs is None:
+                    failed += 1
+                    continue
+                for name, value in specs.items():
+                    traces.setdefault(name, []).append(float(value))
         if not traces:
             raise ConvergenceError(
                 f"all {n_trials} Monte-Carlo trials failed to converge")

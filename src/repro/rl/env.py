@@ -43,9 +43,23 @@ class EpisodeStats:
 
 
 class VectorEnv:
-    """Synchronous batch of identically-spaced environments with auto-reset."""
+    """Synchronous batch of identically-spaced environments with auto-reset.
 
-    def __init__(self, envs: list[Env]):
+    Parameters
+    ----------
+    envs:
+        The environments to step together.
+    batch_simulator:
+        Optional :class:`~repro.topologies.base.CircuitSimulator` shared
+        by every env.  When given (and every env supports the
+        ``begin_step``/``finish_step`` split), each :meth:`step` gathers
+        all envs' sizing indices and evaluates them in one
+        ``evaluate_batch`` call — the batched-engine path that makes a
+        vectorised rollout step cost far less than N sequential
+        simulations.
+    """
+
+    def __init__(self, envs: list[Env], batch_simulator=None):
         if not envs:
             raise TrainingError("VectorEnv needs at least one env")
         self.envs = envs
@@ -53,6 +67,12 @@ class VectorEnv:
         self.action_space = envs[0].action_space
         self._ep_reward = np.zeros(len(envs))
         self._ep_length = np.zeros(len(envs), dtype=np.int64)
+        self._batch_sim = batch_simulator
+        if batch_simulator is not None and not all(
+                hasattr(env, "begin_step") and hasattr(env, "finish_step")
+                for env in envs):
+            raise TrainingError(
+                "batch_simulator requires envs with begin_step/finish_step")
 
     def __len__(self) -> int:
         return len(self.envs)
@@ -75,10 +95,24 @@ class VectorEnv:
         if len(actions) != len(self.envs):
             raise TrainingError(
                 f"got {len(actions)} actions for {len(self.envs)} envs")
+        if self._batch_sim is not None:
+            return self._step_batched(actions)
+        return self._step_loop([env.step(a) for env, a
+                                in zip(self.envs, actions)])
+
+    def _step_batched(self, actions: np.ndarray):
+        """One stacked simulator call for every env's next sizing."""
+        indices = np.stack([env.begin_step(action)
+                            for env, action in zip(self.envs, actions)])
+        specs = self._batch_sim.evaluate_batch(indices)
+        return self._step_loop([env.finish_step(s) for env, s
+                                in zip(self.envs, specs)])
+
+    def _step_loop(self, outcomes):
         obs_list, rewards, dones, infos = [], [], [], []
         finished: list[EpisodeStats] = []
-        for i, (env, action) in enumerate(zip(self.envs, actions)):
-            obs, reward, done, info = env.step(action)
+        for i, (env, (obs, reward, done, info)) in enumerate(
+                zip(self.envs, outcomes)):
             self._ep_reward[i] += reward
             self._ep_length[i] += 1
             if done:

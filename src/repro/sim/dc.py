@@ -23,10 +23,45 @@ from repro.circuits.mosfet import MosfetState
 from repro.errors import ConvergenceError
 from repro.sim.system import MnaSystem
 
+try:  # Low-overhead LAPACK handles (the Newton step solve is called ~2-4x
+    # per evaluation; numpy's wrapper costs as much as the 15x15
+    # factorisation).  getrf/getrs keep the LU factors around so the next
+    # warm solve can take a chord (stale-Jacobian) first step.
+    from scipy.linalg import get_lapack_funcs
+    _DGETRF, _DGETRS = get_lapack_funcs(
+        ("getrf", "getrs"), (np.empty((1, 1)), np.empty(1)))
+except ImportError:  # pragma: no cover - scipy is present in the toolchain
+    _DGETRF = _DGETRS = None
+
+
+def _lu_factor(A: np.ndarray):
+    """LU-factor ``A`` (overwritten); None when singular."""
+    if _DGETRF is not None:
+        lu, piv, info = _DGETRF(A, overwrite_a=True)
+        return (lu, piv) if info == 0 else None
+    try:  # numpy fallback: keep the dense inverse as the "factorisation".
+        return (np.linalg.inv(A),)
+    except np.linalg.LinAlgError:
+        return None
+
+
+def _lu_solve(lu, b: np.ndarray) -> np.ndarray:
+    """Solve with factors from :func:`_lu_factor`."""
+    if len(lu) == 2:
+        x, _ = _DGETRS(lu[0], lu[1], b)
+        return x
+    return lu[0] @ b
+
 
 @dataclasses.dataclass
 class OperatingPoint:
-    """Solved DC state of a circuit."""
+    """Solved DC state of a circuit.
+
+    Device states are evaluated once, vectorised over all MOSFETs
+    (:meth:`MnaSystem.mosfet_state_arrays`); the per-device
+    :class:`MosfetState` objects are materialised lazily since many
+    measurement routines only consume the stacked arrays.
+    """
 
     system: MnaSystem
     x: np.ndarray
@@ -34,9 +69,27 @@ class OperatingPoint:
     residual_norm: float
 
     def __post_init__(self):
-        get = self.system.voltage_getter(self.x)
-        self._mosfet_states: dict[str, MosfetState] = {
-            m.name: m.state_at(get) for m in self.system.mosfets}
+        # The system may be restamped to another sizing later (StampPlan
+        # reuses one MnaSystem), so snapshot its device constants now;
+        # DeviceArrays is replaced — never mutated — on restamp, which
+        # makes the reference a valid lazy-evaluation anchor.
+        self._dev = self.system.device_arrays
+        self._state_arrays: dict[str, np.ndarray] | None = None
+        self._mosfet_states: dict[str, MosfetState] | None = None
+
+    @property
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """All device-state fields as stacked arrays (lazily evaluated)."""
+        if self._state_arrays is None:
+            self._state_arrays = self.system.state_arrays_for(
+                self._dev, self.x)
+        return self._state_arrays
+
+    def _states(self) -> dict[str, MosfetState]:
+        if self._mosfet_states is None:
+            self._mosfet_states = self.system.states_from_arrays(
+                self.state_arrays)
+        return self._mosfet_states
 
     @property
     def temperature(self) -> float:
@@ -53,11 +106,11 @@ class OperatingPoint:
 
     def mosfet_state(self, name: str) -> MosfetState:
         """Small-signal state of the named MOSFET at this operating point."""
-        return self._mosfet_states[name]
+        return self._states()[name]
 
     @property
     def mosfet_states(self) -> dict[str, MosfetState]:
-        return dict(self._mosfet_states)
+        return dict(self._states())
 
     def supply_current(self, source_name: str | None = None) -> float:
         """Magnitude of the DC current delivered by ``source_name`` (or by
@@ -73,25 +126,34 @@ class OperatingPoint:
     def saturation_margins(self) -> dict[str, float]:
         """Per-MOSFET ``vds - vov`` margin [V]; positive means saturated."""
         return {name: st.vds - st.vov_eff
-                for name, st in self._mosfet_states.items()}
+                for name, st in self._states().items()}
 
 
 def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
             max_iter: int, vtol: float, itol: float,
             damping: float) -> tuple[np.ndarray, int, float, bool]:
-    """Damped Newton iteration; returns (x, iterations, |F|, converged)."""
+    """Damped Newton iteration; returns (x, iterations, |F|, converged).
+
+    Convergence is decided by the KCL residual (``|F| < itol``); ``vtol``
+    is the Newton-step size below which the residual test is worth
+    running.  With quadratic convergence a small step means the iterate is
+    already far more accurate than the step itself, so testing early (at
+    millivolt-scale steps) routinely saves a whole assemble+solve
+    iteration per warm evaluation without weakening the ``itol`` quality
+    gate.
+    """
     x = x0.copy()
     for iteration in range(1, max_iter + 1):
         A, rhs = system.newton_matrices(x, gmin=gmin, source_scale=source_scale)
-        try:
-            x_new = np.linalg.solve(A, rhs)
-        except np.linalg.LinAlgError:
+        lu = _lu_factor(A)
+        if lu is None:
             return x, iteration, np.inf, False
-        dx = x_new - x
+        x_new = _lu_solve(lu, rhs)
+        dx = np.subtract(x_new, x, out=x_new)
         step = np.max(np.abs(dx)) if dx.size else 0.0
         if step > damping:
             dx *= damping / step
-        x = x + dx
+        np.add(x, dx, out=x)
         if step < vtol:
             f = system.residual(x, source_scale=source_scale)
             if gmin > 0.0:
@@ -104,7 +166,7 @@ def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
 
 
 def solve_dc(system: MnaSystem, x0: np.ndarray | None = None, *,
-             max_iter: int = 120, vtol: float = 1e-9, itol: float = 1e-9,
+             max_iter: int = 120, vtol: float = 1e-3, itol: float = 1e-9,
              damping: float = 0.4) -> OperatingPoint:
     """Find the DC operating point of ``system``.
 
@@ -114,6 +176,13 @@ def solve_dc(system: MnaSystem, x0: np.ndarray | None = None, *,
         Optional initial solution vector (warm start).  Sizing trajectories
         change one grid step at a time, so warm-starting from the previous
         design's operating point typically converges in a few iterations.
+    vtol:
+        Newton step size [V] below which convergence is *tested*; the
+        test itself is the KCL residual bound ``itol`` (1 nA), which is
+        the physical solution-quality criterion.  Quadratic convergence
+        means an iterate reached by a millivolt step already has a
+        sub-microvolt error, so an early test saves one assemble+solve
+        per warm evaluation (SPICE's vntol plays the same role).
     damping:
         Maximum per-iteration change of any unknown [V or A].
 

@@ -111,9 +111,13 @@ def _iterate_affine(M: np.ndarray, v: np.ndarray, n_steps: int,
         x_star = np.linalg.solve(np.eye(size) - M, v)
         w, V = np.linalg.eig(M)
         c = np.linalg.solve(V, (x0 - x_star).astype(complex))
-        k = np.arange(n_steps + 1)[:, None]
+        # w^k for k = 0..n via a cumulative product: one C-loop pass
+        # instead of n_steps complex pow() evaluations.
         with np.errstate(over="ignore", invalid="ignore"):
-            wk = w[None, :] ** k
+            wk = np.empty((n_steps + 1, size), dtype=complex)
+            wk[0] = 1.0
+            np.cumprod(np.broadcast_to(w, (n_steps, size)), axis=0,
+                       out=wk[1:])
         states = x_star[None, :] + np.real(wk * c[None, :] @ V.T)
         if np.all(np.isfinite(states)):
             # Validate the decomposition against one explicit iterate.

@@ -19,7 +19,7 @@ import dataclasses
 import numpy as np
 
 from repro.errors import AnalysisError
-from repro.sim.ac import ac_sweep, small_signal_operator
+from repro.sim.ac import ac_solutions, ac_sweep, small_signal_operator
 from repro.sim.dc import OperatingPoint
 from repro.sim.system import MnaSystem
 
@@ -59,6 +59,21 @@ def _integrate_rms(freqs: np.ndarray, psd: np.ndarray,
     return float(np.sqrt(np.trapezoid(psd[mask], freqs[mask])))
 
 
+def _psd_over(psd_fn, frequencies: np.ndarray) -> np.ndarray:
+    """Evaluate a PSD callable over the sweep, vectorised when supported.
+
+    The built-in element PSDs accept arrays; user-supplied scalar-only
+    callables fall back to a Python loop.
+    """
+    try:
+        vals = np.asarray(psd_fn(frequencies), dtype=float)
+        if vals.shape == frequencies.shape:
+            return vals
+    except Exception:
+        pass
+    return np.array([float(psd_fn(f)) for f in frequencies])
+
+
 def noise_analysis(system: MnaSystem, op: OperatingPoint,
                    frequencies: np.ndarray, output: str,
                    refer_to_input: bool = True) -> NoiseResult:
@@ -85,13 +100,16 @@ def noise_analysis(system: MnaSystem, op: OperatingPoint,
     sources = system.noise_source_list(op)
     names = [e.name for e in system.netlist for _ in e.noise_sources(op)]
 
-    A = small_signal_operator(system, op, frequencies)
+    # Adjoint solve: A(w)^H y = e_out.  Since G and C are real,
+    # A^H = G^T - j w C^T, so y = conj(x') where (G^T + j w C^T) x' = e_out
+    # — which is exactly an AC sweep of the transposed operator and rides
+    # the same modal-decomposition fast path as the forward analyses.
+    G, C = system.small_signal_matrices(op)
     e_out = np.zeros(system.size)
     e_out[out_idx] = 1.0
-    # Adjoint solve per frequency (batched).
-    y = np.linalg.solve(np.conjugate(np.transpose(A, (0, 2, 1))),
-                        np.broadcast_to(e_out.astype(complex),
-                                        (len(frequencies), system.size))[..., None])[..., 0]
+    y = np.conjugate(ac_solutions(np.ascontiguousarray(G.T),
+                                  np.ascontiguousarray(C.T),
+                                  e_out.astype(complex), frequencies))
 
     output_psd = np.zeros(len(frequencies))
     contributions: dict[str, np.ndarray] = {}
@@ -99,7 +117,7 @@ def noise_analysis(system: MnaSystem, op: OperatingPoint,
         zp = y[:, p] if p >= 0 else 0.0
         zn = y[:, n] if n >= 0 else 0.0
         transfer_sq = np.abs(zp - zn) ** 2
-        psd_vals = np.array([psd_fn(f) for f in frequencies])
+        psd_vals = _psd_over(psd_fn, frequencies)
         contrib = psd_vals * transfer_sq
         contributions[name] = contributions.get(name, 0.0) + contrib
         output_psd += contrib

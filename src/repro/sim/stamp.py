@@ -1,0 +1,93 @@
+"""Structure-cached stamping: build the MNA system once, restamp per sizing.
+
+A topology's netlist has fixed *structure* across sizings — the same
+elements connecting the same nodes — and only element *values* change as an
+optimiser moves through the parameter grid.  :class:`StampPlan` exploits
+this: the first evaluation builds a full :class:`~repro.sim.system.MnaSystem`
+(validation, node ordering, branch allocation, scatter maps); every later
+evaluation rebuilds only the netlist (the values mapping) and refreshes the
+matrices in place through :meth:`MnaSystem.restamp`.
+
+One plan corresponds to one ``(netlist builder, temperature)`` pair — in
+practice one ``(topology, corner, temperature)`` combination.  Plans are
+robust to structural drift: if a builder ever returns a netlist whose
+structure differs from the cached one (e.g. a parasitic extractor dropping
+a zero-valued capacitor for some sizing), the plan transparently rebuilds
+the system and re-caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuits.netlist import Netlist
+from repro.sim.system import MnaSystem, StructureMismatch
+from repro.units import ROOM_TEMPERATURE
+
+#: Builds a sized netlist from physical parameter values.
+NetlistBuilder = Callable[[dict[str, float]], Netlist]
+
+
+class StampPlan:
+    """Caches one :class:`MnaSystem`'s structure across sizings.
+
+    Parameters
+    ----------
+    builder:
+        ``values -> Netlist`` callable (``Topology.build``, possibly
+        composed with a parasitic extractor).
+    temperature:
+        Simulation temperature [K] for the cached system.
+    updater:
+        Optional ``(netlist, values) -> bool`` callable that mutates a
+        previously-built netlist's element values in place for a new
+        sizing (``Topology.update_netlist``).  When it returns True the
+        plan skips the netlist rebuild entirely — the fastest path.
+    """
+
+    def __init__(self, builder: NetlistBuilder,
+                 temperature: float = ROOM_TEMPERATURE,
+                 updater=None):
+        self.builder = builder
+        self.temperature = float(temperature)
+        self.updater = updater
+        self._system: MnaSystem | None = None
+        self._netlist = None
+        self.rebuilds = 0      # structure (re)constructions, for diagnostics
+        self.restamps = 0      # fast-path refreshes
+
+    def restamp(self, values: dict[str, float]) -> MnaSystem:
+        """Return the plan's system stamped with the sizing ``values``.
+
+        The returned :class:`MnaSystem` is owned by the plan and reused —
+        a later call restamps it in place, so callers must extract what
+        they need (specs, operating point copies) before re-invoking.
+        """
+        if (self._system is not None and self.updater is not None
+                and self._netlist is not None
+                and self._system.netlist is self._netlist
+                and self.updater(self._netlist, values)):
+            self.restamps += 1
+            return self._system.rebind_values()
+        netlist = self.builder(values)
+        self._netlist = netlist
+        return self.restamp_netlist(netlist)
+
+    def restamp_netlist(self, netlist: Netlist) -> MnaSystem:
+        """Like :meth:`restamp` for an already-built netlist (used by
+        mismatch Monte Carlo, which perturbs netlists directly)."""
+        if self._system is not None:
+            try:
+                self._system.restamp(netlist)
+                self.restamps += 1
+                return self._system
+            except StructureMismatch:
+                self._system = None
+        self._system = MnaSystem(netlist, temperature=self.temperature)
+        self.rebuilds += 1
+        return self._system
+
+    @property
+    def system(self) -> MnaSystem | None:
+        """The cached system (None before the first restamp)."""
+        return self._system

@@ -12,8 +12,34 @@ with one unknown per non-ground node plus one per voltage-defined branch
 ``G``; each Newton iteration stamps their companion model through
 :meth:`MnaSystem.newton_matrices`.
 
-The circuits in this reproduction have 5–20 unknowns, so dense linear
-algebra is both simpler and faster than sparse here.
+Structure versus values
+-----------------------
+Construction is split into two layers so that fixed-structure/varying-value
+workloads (every sizing loop in this reproduction) never pay the structural
+cost twice:
+
+* **structure** — netlist validation, node ordering, branch allocation,
+  MOSFET terminal resolution and the precomputed *scatter maps* described
+  below.  Built once in ``__init__``.
+* **values** — the ``G/C/b`` entries and the stacked per-device constants
+  (:class:`~repro.circuits.mosfet.DeviceArrays`).  Refreshed in place by
+  :meth:`MnaSystem.restamp` for any netlist with the same structure
+  signature (same elements, same nodes — only element values changed).
+
+Scatter maps
+------------
+All per-device stamping in the Newton/small-signal hot paths is expressed
+as dense linear maps from stacked device quantities to flattened matrix
+entries (one matmul instead of a Python loop of scalar ``+=``): the
+companion conductances ``g`` of all K devices scatter into the Jacobian via
+a precomputed ``(4K, (n+1)^2)`` matrix, currents into the RHS via
+``(K, n+1)``, and similarly for small-signal ``gm/gds/gmb`` and device
+capacitances.  Ground terminals are routed to a padding row/column that is
+sliced away, which removes every per-entry ``if index >= 0`` branch.
+
+The circuits in this reproduction have 5–40 unknowns, so dense linear
+algebra (and dense scatter maps) is both simpler and faster than sparse
+here.
 """
 
 from __future__ import annotations
@@ -21,10 +47,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.elements import Element
-from repro.circuits.mosfet import Mosfet
+from repro.circuits.mosfet import (
+    _TERMINAL_MAP as _TERM_MAP,
+    _forward_core_ws,
+    ChannelWorkspace,
+    DeviceArrays,
+    Mosfet,
+    MosfetState,
+    channel_current_batch,
+    channel_ids_batch,
+    eval_companion_batch,
+    eval_companion_ws,
+    eval_ids_batch,
+    eval_ids_ws,
+    state_arrays_batch,
+    terminal_voltages_batch,
+)
 from repro.circuits.netlist import GROUND, Netlist
 from repro.errors import NetlistError
 from repro.units import ROOM_TEMPERATURE
+
+
+class StructureMismatch(NetlistError):
+    """A netlist handed to :meth:`MnaSystem.restamp` has a different
+    structure (element names/kinds/nodes) than the one the system was
+    built from."""
 
 
 class _Stamper:
@@ -72,12 +119,19 @@ class MnaSystem:
     temperature:
         Simulation temperature [K]; used by noise analyses and available to
         elements.
+
+    Re-stamping
+    -----------
+    :meth:`restamp` refreshes ``G/C/b`` (and the stacked device constants)
+    in place from another netlist with the identical structure — the fast
+    path for sizing loops, where only element values change between
+    evaluations.
     """
 
     def __init__(self, netlist: Netlist, temperature: float = ROOM_TEMPERATURE):
         netlist.validate()
-        self.netlist = netlist
         self.temperature = float(temperature)
+        self._signature = netlist.structure_signature()
 
         self.node_index: dict[str, int] = {GROUND: -1}
         for i, node in enumerate(sorted(netlist.nodes())):
@@ -92,26 +146,204 @@ class MnaSystem:
                 next_index += 1
         self.size = next_index
 
-        self.mosfets: tuple[Mosfet, ...] = tuple(
-            e for e in netlist if isinstance(e, Mosfet))
-        for mosfet in self.mosfets:
+        mosfets = tuple(e for e in netlist if isinstance(e, Mosfet))
+        for mosfet in mosfets:
             for node in mosfet.nodes:
                 if node not in self.node_index:
                     raise NetlistError(
                         f"mosfet {mosfet.name} references unknown node {node!r}")
-        # Pre-resolve terminal indices for the Newton hot loop.
+        # Pre-resolve terminal indices for the Newton hot loop.  -1 marks
+        # ground in _mos_terms (the historical convention, still used by the
+        # transient engine); _terms_pad routes ground to the padding slot.
         self._mos_terms = np.array(
             [[self.node_index[m.d], self.node_index[m.g],
               self.node_index[m.s], self.node_index[m.b]]
-             for m in self.mosfets], dtype=np.intp).reshape(len(self.mosfets), 4)
+             for m in mosfets], dtype=np.intp).reshape(len(mosfets), 4)
+        self._terms_pad = np.where(self._mos_terms < 0, self.size,
+                                   self._mos_terms)
+        self._build_scatter_maps()
 
         self.G = np.zeros((self.size, self.size))
         self.C = np.zeros((self.size, self.size))
         self.b_dc = np.zeros(self.size)
         self.b_ac = np.zeros(self.size, dtype=complex)
-        stamper = _Stamper(self, self.G, self.C, self.b_dc, self.b_ac)
-        for element in netlist:
-            element.stamp(stamper)
+        self._stamper = _Stamper(self, self.G, self.C, self.b_dc, self.b_ac)
+        # Frozen stamp of the sizing-invariant elements (see _bind).
+        self._G0 = np.zeros_like(self.G)
+        self._C0 = np.zeros_like(self.C)
+        self._b_dc0 = np.zeros_like(self.b_dc)
+        self._b_ac0 = np.zeros_like(self.b_ac)
+        self._base_stamper = _Stamper(self, self._G0, self._C0,
+                                      self._b_dc0, self._b_ac0)
+
+        n1 = self.size + 1
+        self._A_pad = np.zeros((n1, n1))
+        self._rhs_pad = np.zeros(n1)
+        self._x_pad = np.zeros(n1)
+        self._diag = np.arange(self.n_nodes)
+        K = len(self._terms_pad)
+        self._ws = ChannelWorkspace(K) if K else None
+        self._V_buf = np.empty((K, 4))
+        self._Aflat_buf = np.empty(n1 * n1)
+        self._rhs_buf = np.empty(n1)
+        self._dyn_cols: np.ndarray | None = None
+        self._ss_memo: tuple | None = None  # (op, G_ss, C_ss) of last call
+        self._ss_stash: tuple | None = None  # (dev, x) behind _g3/_c4 bufs
+        self._Gss_pad = np.zeros((n1, n1))
+        self._Css_pad = np.zeros((n1, n1))
+        self._g3_buf = np.empty((K, 3))
+        self._c4_buf = np.empty((K, 4))
+
+        self._bind(netlist)
+
+    # -- structure ----------------------------------------------------------
+    def _build_scatter_maps(self) -> None:
+        """Precompute the dense device-quantity -> matrix-entry maps."""
+        n1 = self.size + 1
+        K = len(self._terms_pad)
+        newton_g = np.zeros((4 * K, n1 * n1))
+        newton_i = np.zeros((K, n1))
+        res = np.zeros((K, self.size))
+        ss = np.zeros((3 * K, n1 * n1))
+        cap = np.zeros((4 * K, n1 * n1))
+        for k in range(K):
+            d, g, s, b = (int(i) for i in self._terms_pad[k])
+            for t, col in enumerate((d, g, s, b)):
+                newton_g[4 * k + t, d * n1 + col] += 1.0
+                newton_g[4 * k + t, s * n1 + col] -= 1.0
+            newton_i[k, d] -= 1.0
+            newton_i[k, s] += 1.0
+            if d < self.size:
+                res[k, d] += 1.0
+            if s < self.size:
+                res[k, s] -= 1.0
+            # Small-signal stamp of i_d = gm*vgs + gds*vds + gmb*vbs.
+            for col, sign in ((g, 1.0), (s, -1.0)):          # gm
+                ss[3 * k + 0, d * n1 + col] += sign
+                ss[3 * k + 0, s * n1 + col] -= sign
+            for col, sign in ((d, 1.0), (s, -1.0)):          # gds
+                ss[3 * k + 1, d * n1 + col] += sign
+                ss[3 * k + 1, s * n1 + col] -= sign
+            for col, sign in ((b, 1.0), (s, -1.0)):          # gmb
+                ss[3 * k + 2, d * n1 + col] += sign
+                ss[3 * k + 2, s * n1 + col] -= sign
+            for t, (i, j) in enumerate(((g, s), (g, d), (d, b), (s, b))):
+                cap[4 * k + t, i * n1 + i] += 1.0
+                cap[4 * k + t, j * n1 + j] += 1.0
+                cap[4 * k + t, i * n1 + j] -= 1.0
+                cap[4 * k + t, j * n1 + i] -= 1.0
+        self._newton_g_map = newton_g
+        self._newton_i_map = newton_i
+        self._res_map = res
+        self._ss_map = ss
+        self._cap_map = cap
+
+    def _bind(self, netlist: Netlist) -> None:
+        """Point the system at ``netlist``'s values: refresh the stacked
+        device constants and re-stamp every linear element.
+
+        Elements advertising a :meth:`Element.stamp_key` are assumed
+        *constant* until a key change is observed; their combined stamp is
+        frozen into base matrices so a steady-state rebind re-stamps only
+        the handful of elements a sizing actually varies.
+        """
+        self.netlist = netlist
+        self.mosfets: tuple[Mosfet, ...] = tuple(
+            e for e in netlist if isinstance(e, Mosfet))
+        # Nonlinear devices stamp nothing linear (their whole contribution
+        # is the Newton companion model), so value stamping skips them.
+        self._linear = tuple(e for e in netlist if not e.is_nonlinear)
+        self._const_elems: list = []
+        self._var_elems: list = []
+        self._elem_keys: dict[str, object] = {}
+        for element in self._linear:
+            key = element.stamp_key()
+            if key is None:
+                self._var_elems.append(element)
+            else:
+                self._const_elems.append(element)
+                self._elem_keys[element.name] = key
+        self._rebuild_base()
+        self._refresh_values()
+
+    def _rebuild_base(self) -> None:
+        """Stamp the currently-constant elements into the base matrices."""
+        self._G0.fill(0.0)
+        self._C0.fill(0.0)
+        self._b_dc0.fill(0.0)
+        self._b_ac0.fill(0.0)
+        for element in self._const_elems:
+            element.stamp(self._base_stamper)
+
+    def _refresh_values(self) -> None:
+        """Recompute everything value-dependent from the bound netlist."""
+        self._dev = (DeviceArrays.from_mosfets(self.mosfets)
+                     if self.mosfets else None)
+        self._ss_memo = None
+        np.copyto(self.G, self._G0)
+        np.copyto(self.C, self._C0)
+        np.copyto(self.b_dc, self._b_dc0)
+        np.copyto(self.b_ac, self._b_ac0)
+        for element in self._var_elems:
+            element.stamp(self._stamper)
+
+    def restamp(self, netlist: Netlist) -> "MnaSystem":
+        """Refresh ``G/C/b`` in place from a same-structure netlist.
+
+        Skips validation, node sorting and index/scatter-map construction —
+        the per-sizing cost is reduced to value stamping.  Raises
+        :class:`StructureMismatch` when the netlist's structure signature
+        differs (callers fall back to a fresh :class:`MnaSystem`).
+        """
+        if netlist.structure_signature() != self._signature:
+            raise StructureMismatch(
+                f"netlist {netlist.title!r} does not match the structure "
+                f"this MnaSystem was built from")
+        self._bind(netlist)
+        return self
+
+    def rebind_values(self) -> "MnaSystem":
+        """Refresh matrices and device constants after the *currently bound*
+        netlist's element values were mutated in place.
+
+        The fastest restamp path: no netlist rebuild, no signature check,
+        no element re-collection — used by topologies that support
+        in-place sizing updates (:meth:`Topology.update_netlist`).  An
+        element whose :meth:`~Element.stamp_key` changed is demoted from
+        the frozen base to the per-rebind stamp list (one-time cost)."""
+        demoted = False
+        if self._const_elems:
+            keep = []
+            for element in self._const_elems:
+                if element.stamp_key() != self._elem_keys[element.name]:
+                    self._var_elems.append(element)
+                    del self._elem_keys[element.name]
+                    demoted = True
+                else:
+                    keep.append(element)
+            if demoted:
+                self._const_elems = keep
+                self._rebuild_base()
+        self._refresh_values()
+        return self
+
+    @property
+    def device_arrays(self) -> DeviceArrays | None:
+        """Stacked per-MOSFET constants (None for linear-only circuits)."""
+        return self._dev
+
+    def dynamic_columns(self, C_ss: np.ndarray) -> np.ndarray:
+        """Nonzero (capacitive) columns of the small-signal C matrix.
+
+        The sparsity pattern is structure-determined, so it is computed
+        once and reused across restamps; the modal AC solver's residual
+        verification guards against the (pathological) case of a sizing
+        growing the pattern.
+        """
+        if self._dyn_cols is None:
+            self._dyn_cols = np.nonzero(
+                np.abs(C_ss).max(axis=0) > 0.0)[0]
+        return self._dyn_cols
 
     # -- voltage access ------------------------------------------------------
     def voltage_getter(self, x: np.ndarray):
@@ -124,6 +356,14 @@ class MnaSystem:
 
         return get
 
+    def _terminal_voltages(self, x: np.ndarray) -> np.ndarray:
+        """``(K, 4)`` stacked (d, g, s, b) node voltages at solution ``x``.
+
+        Returns a reused buffer, valid until the next call."""
+        xp = self._x_pad
+        xp[:self.size] = x
+        return np.take(xp, self._terms_pad, out=self._V_buf)
+
     # -- Newton companion assembly ---------------------------------------------
     def newton_matrices(self, x: np.ndarray, gmin: float = 0.0,
                         source_scale: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
@@ -131,78 +371,192 @@ class MnaSystem:
 
         Solving ``A x_new = rhs`` performs one Newton step from ``x``:
         ``A = G + J_nl(x) (+ gmin on node diagonals)`` and
-        ``rhs = source_scale * b_dc - i_nl(x) + J_nl(x) x``.
+        ``rhs = source_scale * b_dc - i_nl(x) + J_nl(x) x``.  All MOSFETs
+        are evaluated in one vectorised call and scatter-added through the
+        precomputed maps — O(1) Python calls regardless of device count.
         """
-        A = self.G.copy()
-        rhs = source_scale * self.b_dc
-        get = self.voltage_getter(x)
-        for k, mosfet in enumerate(self.mosfets):
-            i_d, g_d, g_g, g_s, g_b = mosfet.eval_companion(get)
-            d, g, s, b = self._mos_terms[k]
-            v_d = 0.0 if d < 0 else x[d]
-            v_g = 0.0 if g < 0 else x[g]
-            v_s = 0.0 if s < 0 else x[s]
-            v_b = 0.0 if b < 0 else x[b]
-            i_eq = i_d - (g_d * v_d + g_g * v_g + g_s * v_s + g_b * v_b)
-            for idx, g_val in ((d, g_d), (g, g_g), (s, g_s), (b, g_b)):
-                if idx >= 0:
-                    if d >= 0:
-                        A[d, idx] += g_val
-                    if s >= 0:
-                        A[s, idx] -= g_val
-            if d >= 0:
-                rhs[d] -= i_eq
-            if s >= 0:
-                rhs[s] += i_eq
+        size = self.size
+        A = self._A_pad
+        A.fill(0.0)
+        A[:size, :size] = self.G
+        rhs = self._rhs_pad
+        rhs[:size] = self.b_dc
+        if source_scale != 1.0:
+            rhs[:size] *= source_scale
+        rhs[size] = 0.0
+        if self._dev is not None:
+            ws = self._ws
+            V = self._terminal_voltages(x)
+            i_d, g = eval_companion_ws(self._dev, V, ws)
+            flat = A.reshape(-1)
+            np.matmul(g.reshape(-1), self._newton_g_map, out=self._Aflat_buf)
+            np.add(flat, self._Aflat_buf, out=flat)
+            np.multiply(g, V, out=ws.gV)
+            np.sum(ws.gV, axis=1, out=ws.i_eq)
+            np.subtract(i_d, ws.i_eq, out=ws.i_eq)
+            np.matmul(ws.i_eq, self._newton_i_map, out=self._rhs_buf)
+            np.add(rhs, self._rhs_buf, out=rhs)
         if gmin > 0.0:
-            diag = np.arange(self.n_nodes)
-            A[diag, diag] += gmin
-        return A, rhs
+            A[self._diag, self._diag] += gmin
+        return A[:size, :size].copy(), rhs[:size].copy()
 
     def residual(self, x: np.ndarray, source_scale: float = 1.0) -> np.ndarray:
-        """KCL/KVL residual ``F(x) = G x + i_nl(x) - b`` (amps / volts)."""
+        """KCL/KVL residual ``F(x) = G x + i_nl(x) - b`` (amps / volts).
+
+        Convergence checks run this at what usually becomes the final
+        operating point, and the small-signal stamp values are wanted at
+        exactly that point right afterwards — so the forward fast path
+        evaluates the full model once and stashes the ``gm/gds/gmb`` and
+        capacitance stamp values for :meth:`_ss_quantities` (keyed by the
+        solution vector; a cache, not an approximation).  Reverse-biased
+        devices fall back to the current-only evaluation.
+        """
         f = self.G @ x - source_scale * self.b_dc
-        get = self.voltage_getter(x)
-        for k, mosfet in enumerate(self.mosfets):
-            i_d = mosfet.eval_companion(get)[0]
-            d, s = self._mos_terms[k][0], self._mos_terms[k][2]
-            if d >= 0:
-                f[d] += i_d
-            if s >= 0:
-                f[s] -= i_d
+        dev, ws = self._dev, self._ws
+        if dev is None:
+            return f
+        V = self._terminal_voltages(x)
+        np.multiply(V, dev.sign[:, None], out=ws.Vs)
+        np.matmul(ws.Vs, _TERM_MAP, out=ws.V3)
+        vgs, vds, vsb = ws.V3[:, 0], ws.V3[:, 1], ws.V3[:, 2]
+        if vds.min() < 0.0:
+            ids = np.multiply(dev.sign,
+                              channel_ids_batch(dev, vgs, vds, vsb),
+                              out=ws.i_d)
+        else:
+            raw, d_vgs, d_vds, d_vsb = _forward_core_ws(
+                dev, vgs, vds, vsb, ws, derivatives=True)
+            ids = np.multiply(dev.sign, raw, out=ws.i_d)
+            self._stash_ss(dev, x, d_vgs, d_vds, d_vsb, np.abs(ws.t[5]))
+        f += ids @ self._res_map
         return f
 
+    def _pack_ss(self, dev, d_vgs, d_vds, d_vsb, sat) -> None:
+        """Fill ``_g3_buf``/``_c4_buf`` with the small-signal stamp values:
+        clamped (gm, gds, gmb) and the triode/saturation capacitance blend
+        (the vectorised mirror of :meth:`Mosfet.capacitances`)."""
+        g3, c4 = self._g3_buf, self._c4_buf
+        np.maximum(d_vgs, 0.0, out=g3[:, 0])
+        np.maximum(d_vds, 0.0, out=g3[:, 1])
+        np.abs(d_vsb, out=g3[:, 2])
+        np.multiply(dev.c_area, sat / 6.0 + 0.5, out=c4[:, 0])
+        np.add(c4[:, 0], dev.c_ov, out=c4[:, 0])
+        np.multiply(dev.c_area, 0.5 * (1.0 - sat), out=c4[:, 1])
+        np.add(c4[:, 1], dev.c_ov, out=c4[:, 1])
+        c4[:, 2] = dev.c_j
+        c4[:, 3] = dev.c_j
+
+    def _stash_ss(self, dev, x, d_vgs, d_vds, d_vsb, sat) -> None:
+        """Cache small-signal stamp values computed at solution ``x``."""
+        self._pack_ss(dev, d_vgs, d_vds, d_vsb, sat)
+        self._ss_stash = (dev, x.copy())
+
+    # -- operating-point state ---------------------------------------------------
+    def mosfet_state_arrays(self, x: np.ndarray) -> dict[str, np.ndarray]:
+        """All :class:`MosfetState` fields as ``(K,)`` arrays at solution
+        ``x`` — one vectorised evaluation for the whole netlist."""
+        return self.state_arrays_for(self._dev, x)
+
+    def state_arrays_for(self, dev: DeviceArrays | None,
+                         x: np.ndarray) -> dict[str, np.ndarray]:
+        """Like :meth:`mosfet_state_arrays` but for an explicit device
+        snapshot — operating points captured before a restamp evaluate
+        against the constants they were solved with."""
+        if dev is None:
+            return {}
+        vgs, vds, vsb = terminal_voltages_batch(
+            dev, self._terminal_voltages(x))
+        return state_arrays_batch(dev, vgs, vds, vsb)
+
+    def mosfet_states(self, x: np.ndarray) -> dict[str, MosfetState]:
+        """Per-device :class:`MosfetState` objects at solution ``x``."""
+        arrays = self.mosfet_state_arrays(x)
+        return self.states_from_arrays(arrays)
+
+    def states_from_arrays(self, arrays: dict[str, np.ndarray]
+                           ) -> dict[str, MosfetState]:
+        """Materialise :class:`MosfetState` objects from stacked arrays."""
+        states: dict[str, MosfetState] = {}
+        for k, mosfet in enumerate(self.mosfets):
+            states[mosfet.name] = MosfetState(
+                **{name: float(col[k]) for name, col in arrays.items()})
+        return states
+
     # -- small-signal assembly ----------------------------------------------------
+    def _ss_quantities(self, dev: DeviceArrays,
+                       x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(g3, c4)`` stacked small-signal stamp values at solution ``x``
+        without materialising the full state-array dict (hot path)."""
+        stash = self._ss_stash
+        if (stash is not None and stash[0] is dev
+                and np.array_equal(stash[1], x)):
+            # Computed by the convergence residual at this exact solution.
+            return self._g3_buf.reshape(-1), self._c4_buf.reshape(-1)
+        ws = self._ws
+        V = self._terminal_voltages(x)
+        np.multiply(V, dev.sign[:, None], out=ws.Vs)
+        np.matmul(ws.Vs, _TERM_MAP, out=ws.V3)
+        vgs, vds, vsb = ws.V3[:, 0], ws.V3[:, 1], ws.V3[:, 2]
+        self._ss_stash = None
+        if vds.min() < 0.0:
+            cc = channel_current_batch(dev, vgs, vds, vsb)
+            self._pack_ss(dev, cc.d_vgs, cc.d_vds, cc.d_vsb, cc.saturation)
+        else:
+            _, d_vgs, d_vds, d_vsb = _forward_core_ws(dev, vgs, vds, vsb,
+                                                      ws, derivatives=True)
+            # |tanh| is left in ws.t[5] by the forward core.
+            self._pack_ss(dev, d_vgs, d_vds, d_vsb, np.abs(ws.t[5]))
+        return self._g3_buf.reshape(-1), self._c4_buf.reshape(-1)
+
     def small_signal_matrices(self, op) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(G_ss, C_ss)`` with every MOSFET's linearised model stamped
-        at the operating point ``op``."""
-        G = self.G.copy()
-        C = self.C.copy()
-        stamper = _Stamper(self, G, C, np.zeros(self.size),
-                           np.zeros(self.size, dtype=complex))
-        for mosfet in self.mosfets:
-            mosfet.stamp_small_signal(stamper, op.mosfet_state(mosfet.name))
-        return G, C
+        at the operating point ``op``.
+
+        Memoised for the most recent operating point: AC, step-response and
+        noise analyses of one measurement all linearise at the same ``op``.
+        Callers must treat the returned matrices as read-only.
+        """
+        size = self.size
+        if self._dev is None:
+            return self.G.copy(), self.C.copy()
+        if self._ss_memo is not None and self._ss_memo[0] is op:
+            return self._ss_memo[1], self._ss_memo[2]
+        arrays = getattr(op, "_state_arrays", None)
+        if arrays is not None and getattr(op, "system", None) is self:
+            g3 = np.stack([arrays["gm"], arrays["gds"], arrays["gmb"]],
+                          axis=-1).reshape(-1)
+            c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
+                           arrays["csb"]], axis=-1).reshape(-1)
+        else:
+            dev = getattr(op, "_dev", None) or self._dev
+            g3, c4 = self._ss_quantities(dev, op.x)
+        Gp, Cp = self._Gss_pad, self._Css_pad
+        Gp.fill(0.0)
+        Gp[:size, :size] = self.G
+        Gp.reshape(-1)[:] += g3 @ self._ss_map
+        Cp.fill(0.0)
+        Cp[:size, :size] = self.C
+        Cp.reshape(-1)[:] += c4 @ self._cap_map
+        G_ss = Gp[:size, :size].copy()
+        C_ss = Cp[:size, :size].copy()
+        self._ss_memo = (op, G_ss, C_ss)
+        return G_ss, C_ss
 
     def capacitance_matrix_at(self, x: np.ndarray) -> np.ndarray:
         """Capacitance matrix including MOSFET capacitances evaluated at the
         (large-signal) solution ``x`` — used by the nonlinear transient
         engine, where device capacitances vary along the trajectory."""
-        C = self.C.copy()
-        get = self.voltage_getter(x)
-        stamper = _Stamper(self, np.zeros_like(self.G), C,
-                           np.zeros(self.size), np.zeros(self.size, dtype=complex))
-        for mosfet in self.mosfets:
-            state = mosfet.state_at(get)
-            d, g = stamper.node(mosfet.d), stamper.node(mosfet.g)
-            s, b = stamper.node(mosfet.s), stamper.node(mosfet.b)
-            for (i, j, c) in ((g, s, state.cgs), (g, d, state.cgd),
-                              (d, b, state.cdb), (s, b, state.csb)):
-                stamper.add_c(i, i, c)
-                stamper.add_c(j, j, c)
-                stamper.add_c(i, j, -c)
-                stamper.add_c(j, i, -c)
-        return C
+        if self._dev is None:
+            return self.C.copy()
+        size = self.size
+        arrays = self.mosfet_state_arrays(x)
+        n1 = size + 1
+        Cp = np.zeros((n1, n1))
+        Cp[:size, :size] = self.C
+        c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
+                       arrays["csb"]], axis=-1).reshape(-1)
+        Cp.reshape(-1)[:] += c4 @ self._cap_map
+        return Cp[:size, :size].copy()
 
     def noise_source_list(self, op):
         """All noise current sources ``(i_index, j_index, psd_fn)`` at ``op``."""

@@ -25,8 +25,10 @@ from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Corner, Technology
 from repro.core.specs import SpecKind, SpecSpace
 from repro.errors import ConvergenceError, MeasurementError
+from repro.sim.batch import SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.stamp import StampPlan
 from repro.sim.system import MnaSystem
 from repro.topologies.params import ParameterSpace
 from repro.units import ROOM_TEMPERATURE
@@ -47,6 +49,12 @@ class Topology(abc.ABC):
         self.parameter_space = self._build_parameter_space()
         self.spec_space = self._build_spec_space()
         self._warm_x: np.ndarray | None = None
+        self._batch_ref_x: np.ndarray | None = None  # batch warm-start seed
+        # One structure cache per (topology, corner, temperature): sizings
+        # share netlist structure, so the MNA system is built once and
+        # restamped per evaluation (see repro.sim.stamp).
+        self._plan = StampPlan(self.build, temperature=self.temperature,
+                               updater=self.update_netlist)
 
     # -- subclass API ---------------------------------------------------------
     @classmethod
@@ -70,13 +78,44 @@ class Topology(abc.ABC):
     def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
         """Extract all design specs from a solved testbench."""
 
+    def update_netlist(self, netlist: Netlist,
+                       values: dict[str, float]) -> bool:
+        """Mutate a previously-built netlist's element values in place for
+        a new sizing; return True on success.
+
+        Optional fast path mirroring :meth:`build`'s value mapping without
+        reconstructing element objects (the netlist *structure* is fixed
+        across sizings).  The default returns False, which makes the
+        :class:`~repro.sim.stamp.StampPlan` fall back to a full
+        :meth:`build`.  Implementations are verified against fresh builds
+        by the engine equivalence tests.
+        """
+        return False
+
     # -- shared behaviour -------------------------------------------------------
     def device_params(self, polarity: str):
-        """Corner/temperature-adjusted device card for this topology."""
-        return self.technology.device(polarity, self.corner, self.temperature)
+        """Corner/temperature-adjusted device card for this topology.
+
+        Cached per polarity: corner and temperature are fixed for the
+        lifetime of a topology instance, and ``build`` runs once per
+        simulator evaluation.
+        """
+        try:
+            return self._device_cards[polarity]
+        except AttributeError:
+            self._device_cards = {}
+        except KeyError:
+            pass
+        card = self.technology.device(polarity, self.corner, self.temperature)
+        self._device_cards[polarity] = card
+        return card
 
     def simulate(self, values: dict[str, float]) -> dict[str, float]:
         """Build, solve and measure one sizing; returns the spec dict.
+
+        The MNA system is obtained through the topology's
+        :class:`~repro.sim.stamp.StampPlan` — structure built once,
+        matrices restamped in place per sizing.
 
         DC solves are warm-started from the previous sizing's solution
         (sizing trajectories move one grid step at a time, so the previous
@@ -85,8 +124,7 @@ class Topology(abc.ABC):
         pessimistic :meth:`failure_measurement` is returned so optimisers
         always receive a numeric (heavily penalised) result.
         """
-        netlist = self.build(values)
-        system = MnaSystem(netlist, temperature=self.temperature)
+        system = self._plan.restamp(values)
         op = None
         if self._warm_x is not None and self._warm_x.shape == (system.size,):
             try:
@@ -104,6 +142,120 @@ class Topology(abc.ABC):
             return self.measure(system, op)
         except MeasurementError:
             return self.failure_measurement()
+
+    def simulate_batch(self, values_list: list[dict[str, float]]
+                       ) -> list[dict[str, float]]:
+        """Batch counterpart of :meth:`simulate` for B sizings at once.
+
+        The DC operating points are found with one stacked damped-Newton
+        solve (:func:`~repro.sim.batch.solve_dc_batch`), amortising the
+        Python/numpy dispatch overhead that dominates sequential solves;
+        designs that fail every convergence strategy fall back to
+        :meth:`failure_measurement`, exactly like the scalar path.
+        Measurements then run per design against the restamped system.
+
+        Every design Newton-solves independently from one canonical seed
+        (the grid-centre operating point — see :meth:`_batch_warm_start`),
+        so results are reproducible regardless of evaluation history and
+        match sequential :meth:`simulate` calls spec for spec within
+        solver tolerance; the per-instance warm-start state is left
+        untouched.
+        """
+        B = len(values_list)
+        if B == 0:
+            return []
+        stack: SystemStack | None = None
+        for i, values in enumerate(values_list):
+            system = self._plan.restamp(values)
+            if stack is None:
+                stack = SystemStack(system, B)
+            stack.set_design(i, system)
+        result = solve_dc_batch(stack, x0=self._batch_warm_start(stack))
+        batched = self.measure_batch(stack, result)
+        if batched is not None:
+            return batched
+        specs: list[dict[str, float]] = []
+        for i, values in enumerate(values_list):
+            if not result.converged[i]:
+                specs.append(self.failure_measurement())
+                continue
+            system = self._plan.restamp(values)
+            op = OperatingPoint(system, result.x[i].copy(),
+                                int(result.iterations[i]),
+                                float(result.residual_norm[i]))
+            try:
+                specs.append(self.measure(system, op))
+            except MeasurementError:
+                specs.append(self.failure_measurement())
+        return specs
+
+    def _batch_warm_start(self, stack: SystemStack) -> np.ndarray | None:
+        """Shared warm start for a batch solve.
+
+        Any valid operating point of the topology is a far better Newton
+        seed than zeros (supply/bias rails are already up).  The seed is
+        the *canonical* grid-centre operating point, solved cold once and
+        cached — deliberately independent of evaluation history, so batch
+        results are reproducible regardless of what was simulated before.
+        Falls back to cold (None) when the centre itself fails.
+        """
+        ref = self._batch_ref_x
+        if ref is None or ref.shape != (stack.size,):
+            center = self.parameter_space.values(self.parameter_space.center)
+            try:
+                ref = solve_dc(self._plan.restamp(center)).x
+            except ConvergenceError:
+                return None
+            self._batch_ref_x = ref
+        return np.tile(ref, (stack.n_designs, 1))
+
+    def measure_batch(self, stack: SystemStack, result) -> (
+            list[dict[str, float]] | None):
+        """Optional stacked measurement for :meth:`simulate_batch`.
+
+        Returns one spec dict per design (failure measurements for
+        non-converged ones), or None when the topology has no batched
+        measurement — the caller then measures design by design.  AC-only
+        topologies override this with one batched small-signal sweep for
+        the whole stack; topologies with time-domain or noise specs (the
+        TIA) keep the scalar path.
+        """
+        return None
+
+    def batch_state_arrays(self, stack: SystemStack, X: np.ndarray,
+                           rows: np.ndarray) -> dict[str, np.ndarray]:
+        """Stacked MOSFET state arrays for designs ``rows`` at solutions
+        ``X`` (one row of ``X`` per entry of ``rows``)."""
+        from repro.circuits.mosfet import (
+            state_arrays_batch, terminal_voltages_batch)
+        dev = stack.dev.take(rows)
+        Xp = np.concatenate([X, np.zeros((len(X), 1))], axis=1)
+        V = Xp[:, stack.template._terms_pad]
+        vgs, vds, vsb = terminal_voltages_batch(dev, V)
+        return state_arrays_batch(dev, vgs, vds, vsb)
+
+    def batch_small_signal(self, stack: SystemStack, X: np.ndarray,
+                           rows: np.ndarray,
+                           arrays: dict[str, np.ndarray] | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked small-signal ``(G_ss, C_ss)`` for designs ``rows``."""
+        if arrays is None:
+            arrays = self.batch_state_arrays(stack, X, rows)
+        tpl = stack.template
+        B, n = len(X), stack.size
+        n1 = n + 1
+        g3 = np.stack([arrays["gm"], arrays["gds"], arrays["gmb"]],
+                      axis=-1).reshape(B, -1)
+        c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
+                       arrays["csb"]], axis=-1).reshape(B, -1)
+        Gp = np.zeros((B, n1, n1))
+        Gp[:, :n, :n] = stack.G[rows]
+        Gp.reshape(B, -1)[:] += g3 @ tpl._ss_map
+        Cp = np.zeros((B, n1, n1))
+        Cp[:, :n, :n] = stack.C[rows]
+        Cp.reshape(B, -1)[:] += c4 @ tpl._cap_map
+        return (np.ascontiguousarray(Gp[:, :n, :n]),
+                np.ascontiguousarray(Cp[:, :n, :n]))
 
     def failure_measurement(self) -> dict[str, float]:
         """Pessimistic spec values reported for non-convergent designs."""
@@ -132,6 +284,17 @@ class CircuitSimulator(abc.ABC):
     @abc.abstractmethod
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
         """Simulate the sizing at grid ``indices`` and return its specs."""
+
+    def evaluate_batch(self, indices_2d: np.ndarray) -> list[dict[str, float]]:
+        """Evaluate B sizings (rows of ``indices_2d``) and return B spec
+        dicts.
+
+        The default runs :meth:`evaluate` row by row; simulators with a
+        vectorised engine (:class:`SchematicSimulator`) override this with
+        a stacked solve that is several times faster than the loop.
+        """
+        indices_2d = np.atleast_2d(np.asarray(indices_2d, dtype=np.int64))
+        return [self.evaluate(row) for row in indices_2d]
 
     def reset_counter(self) -> None:
         """Zero the simulation counter (per-experiment accounting)."""
@@ -173,6 +336,51 @@ class SchematicSimulator(CircuitSimulator):
         result = self._cache.get_or_compute(
             key, lambda: self.topology.simulate(values))
         return dict(result)
+
+    def evaluate_batch(self, indices_2d: np.ndarray) -> list[dict[str, float]]:
+        """Evaluate B sizings in one stacked solve (see
+        :meth:`Topology.simulate_batch`).
+
+        Cache hits (and duplicate rows within the batch) are served from
+        the memo and counted exactly as the sequential loop would count
+        them; only the distinct misses reach the batched engine.
+        """
+        indices_2d = self.parameter_space.clip(
+            np.atleast_2d(np.asarray(indices_2d, dtype=np.int64)))
+        B = len(indices_2d)
+        if self._cache is None:
+            self.counter.fresh += B
+            return self.topology.simulate_batch(
+                [self.parameter_space.values(row) for row in indices_2d])
+        results: list[dict[str, float] | None] = [None] * B
+        fresh_values: list[dict[str, float]] = []
+        fresh_keys: list[tuple[int, ...]] = []
+        pending: dict[tuple[int, ...], list[int]] = {}
+        for r in range(B):
+            indices = indices_2d[r]
+            key = self.parameter_space.as_key(indices)
+            if key in self._cache:
+                self.counter.cached += 1
+                results[r] = dict(self._cache.get_or_compute(
+                    key, dict))  # key present: compute never runs
+                continue
+            if key in pending:
+                # Duplicate inside the batch: the sequential loop would
+                # have found it in the cache by now.
+                self.counter.cached += 1
+                pending[key].append(r)
+                continue
+            self.counter.fresh += 1
+            pending[key] = [r]
+            fresh_keys.append(key)
+            fresh_values.append(self.parameter_space.values(indices))
+        if fresh_values:
+            specs = self.topology.simulate_batch(fresh_values)
+            for key, spec in zip(fresh_keys, specs):
+                self._cache.get_or_compute(key, lambda s=spec: s)
+                for r in pending[key]:
+                    results[r] = dict(spec)
+        return results  # type: ignore[return-value]
 
     @property
     def cache_stats(self) -> dict[str, float]:

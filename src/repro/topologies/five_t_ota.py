@@ -26,8 +26,11 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, ptm45
 from repro.core.specs import Spec, SpecKind, SpecSpace
-from repro.measure.acspecs import dc_gain, unity_gain_bandwidth
-from repro.sim.ac import ac_sweep, log_frequencies
+import numpy as np
+
+from repro.measure.acspecs import amplifier_ac_specs, amplifier_ac_specs_batch
+from repro.sim.ac import (ac_node_response, ac_node_response_batch,
+                          log_frequencies)
 from repro.sim.dc import OperatingPoint
 from repro.sim.system import MnaSystem
 from repro.topologies.base import Topology
@@ -102,12 +105,40 @@ class FiveTransistorOta(Topology):
         net.add(Capacitor("CL", "out", "0", self.C_LOAD))
         return net
 
+    def update_netlist(self, net: Netlist, values: dict[str, float]) -> bool:
+        """In-place resize (mirror of :meth:`build`'s value mapping)."""
+        net["M6"].w = values["w_bias"]
+        net["M5"].w = values["w_tail"]
+        net["M1"].w = net["M2"].w = values["w_in"]
+        net["M3"].w = net["M4"].w = values["w_load"]
+        return True
+
+    #: AC sweep grid (class-level: building it per measurement is waste).
+    AC_FREQUENCIES = log_frequencies(1e3, 1e11, points_per_decade=8)
+
     def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
         """Differential gain, unity-gain bandwidth and supply current."""
-        freqs = log_frequencies(1e3, 1e11, points_per_decade=8)
-        h = ac_sweep(system, op, freqs).voltage("out")
-        return {
-            "gain": dc_gain(freqs, h),
-            "ugbw": unity_gain_bandwidth(freqs, h),
-            "ibias": op.supply_current("VDD"),
-        }
+        freqs = self.AC_FREQUENCIES
+        h = ac_node_response(system, op, freqs, "out")
+        specs = amplifier_ac_specs(freqs, h, with_phase=False)
+        specs["ibias"] = op.supply_current("VDD")
+        return specs
+
+    def measure_batch(self, stack, result) -> list[dict[str, float]]:
+        """One stacked AC sweep and spec extraction for the whole batch."""
+        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
+        rows = np.nonzero(result.converged)[0]
+        if len(rows) == 0:
+            return specs
+        X = result.x[rows]
+        G_ss, C_ss = self.batch_small_signal(stack, X, rows)
+        freqs = self.AC_FREQUENCIES
+        h = ac_node_response_batch(G_ss, C_ss, stack.b_ac[rows], freqs,
+                                   stack.template.node_index["out"])
+        vals = amplifier_ac_specs_batch(freqs, h, with_phase=False)
+        ibias = np.abs(X[:, stack.template.branch_index["VDD"]])
+        for j, b in enumerate(rows):
+            specs[b] = {"gain": float(vals["gain"][j]),
+                        "ugbw": float(vals["ugbw"][j]),
+                        "ibias": float(ibias[j])}
+        return specs

@@ -26,8 +26,11 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, finfet16
 from repro.core.specs import Spec, SpecKind, SpecSpace
-from repro.measure.acspecs import dc_gain, phase_margin, unity_gain_bandwidth
-from repro.sim.ac import ac_sweep, log_frequencies
+import numpy as np
+
+from repro.measure.acspecs import amplifier_ac_specs, amplifier_ac_specs_batch
+from repro.sim.ac import (ac_node_response, ac_node_response_batch,
+                          log_frequencies)
 from repro.sim.dc import OperatingPoint
 from repro.sim.system import MnaSystem
 from repro.topologies.base import Topology
@@ -112,6 +115,17 @@ class NegGmOta(Topology):
         net.add(Capacitor("CL", "out", "0", self.C_LOAD))
         return net
 
+    def update_netlist(self, net: Netlist, values: dict[str, float]) -> bool:
+        """In-place resize (mirror of :meth:`build`'s value mapping)."""
+        net["M9"].w = values["w_tail"]
+        net["M1"].w = net["M2"].w = values["w_in"]
+        net["MD1"].w = net["MD2"].w = values["w_diode"]
+        net["MC1"].w = net["MC2"].w = values["w_cross"]
+        net["M6"].w = values["w_cs"]
+        net["M7"].w = values["w_sink"]
+        net["CC"].capacitance = values["cc"]
+        return True
+
     def first_stage_stable(self, op: OperatingPoint) -> bool:
         """True when the differential load conductance is positive.
 
@@ -125,13 +139,46 @@ class NegGmOta(Topology):
         load_g = diode.gm + diode.gds + cross.gds + pair.gds
         return load_g > cross.gm
 
+    #: AC sweep grid (class-level: building it per measurement is waste).
+    AC_FREQUENCIES = log_frequencies(1e2, 1e11, points_per_decade=8)
+    _LOGF = np.log10(AC_FREQUENCIES)
+
     def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
         if not self.first_stage_stable(op):
             return self.failure_measurement()
-        freqs = log_frequencies(1e2, 1e11, points_per_decade=8)
-        h = ac_sweep(system, op, freqs).voltage("out")
-        return {
-            "gain": dc_gain(freqs, h),
-            "ugbw": unity_gain_bandwidth(freqs, h),
-            "phase_margin": phase_margin(freqs, h),
-        }
+        freqs = self.AC_FREQUENCIES
+        h = ac_node_response(system, op, freqs, "out")
+        return amplifier_ac_specs(freqs, h, logf=self._LOGF)
+
+    def measure_batch(self, stack, result) -> list[dict[str, float]]:
+        """Stacked AC measurement with the per-design latch-up gate."""
+        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
+        rows = np.nonzero(result.converged)[0]
+        if len(rows) == 0:
+            return specs
+        X = result.x[rows]
+        arrays = self.batch_state_arrays(stack, X, rows)
+        # first_stage_stable, vectorised: the differential load conductance
+        # must exceed the cross-coupled pair's negative gm.
+        names = [m.name for m in stack.template.mosfets]
+        kd, kc, kp = names.index("MD1"), names.index("MC1"), names.index("M1")
+        load_g = (arrays["gm"][:, kd] + arrays["gds"][:, kd]
+                  + arrays["gds"][:, kc] + arrays["gds"][:, kp])
+        stable = load_g > arrays["gm"][:, kc]
+        if stable.any():
+            sub = np.nonzero(stable)[0]
+            G_ss, C_ss = self.batch_small_signal(
+                stack, X[sub], rows[sub],
+                arrays={k: v[sub] for k, v in arrays.items()})
+            freqs = self.AC_FREQUENCIES
+            h = ac_node_response_batch(
+                G_ss, C_ss, stack.b_ac[rows[sub]], freqs,
+                stack.template.node_index["out"])
+            vals = amplifier_ac_specs_batch(freqs, h)
+            for pos, b in enumerate(rows[sub]):
+                specs[b] = {
+                    "gain": float(vals["gain"][pos]),
+                    "ugbw": float(vals["ugbw"][pos]),
+                    "phase_margin": float(vals["phase_margin"][pos]),
+                }
+        return specs

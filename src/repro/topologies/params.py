@@ -81,6 +81,11 @@ class ParameterSpace:
             raise TopologyError(f"duplicate parameter names: {names}")
         self.params: tuple[GridParam, ...] = tuple(params)
         self.counts = np.array([p.count for p in self.params], dtype=np.int64)
+        # Vectorised value conversion (the per-evaluation hot path).
+        self._starts = np.array([p.start for p in self.params])
+        self._steps = np.array([p.step for p in self.params])
+        self._scales = np.array([p.scale for p in self.params])
+        self._names = tuple(p.name for p in self.params)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -125,7 +130,10 @@ class ParameterSpace:
         if indices.shape != (len(self),):
             raise TopologyError(
                 f"index vector has shape {indices.shape}, expected ({len(self)},)")
-        return {p.name: p.value(int(i)) for p, i in zip(self.params, indices)}
+        if np.any(indices < 0) or np.any(indices >= self.counts):
+            raise TopologyError(f"indices {indices} outside the grid")
+        vals = (self._starts + indices * self._steps) * self._scales
+        return dict(zip(self._names, vals.tolist()))
 
     def indices_of(self, values: dict[str, float]) -> np.ndarray:
         """Nearest index vector for a dict of physical values."""

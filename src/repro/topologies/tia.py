@@ -110,9 +110,24 @@ class TransimpedanceAmplifier(Topology):
         net.add(Capacitor("CL", "out", "0", self.C_LOAD))
         return net
 
+    def update_netlist(self, net: Netlist, values: dict[str, float]) -> bool:
+        """In-place resize (mirror of :meth:`build`'s value mapping)."""
+        mn, mp = net["MN"], net["MP"]
+        mn.w = values["nmos_w"]
+        mn.m = values["nmos_m"]
+        mp.w = values["pmos_w"]
+        mp.m = values["pmos_m"]
+        net["RF"].resistance = self.feedback_resistance(values)
+        return True
+
+    #: Sweep grids (class-level: building them per measurement is waste,
+    #: and stable array identities keep the omega cache in repro.sim.ac hot).
+    AC_FREQUENCIES = log_frequencies(1e5, 1e12, points_per_decade=10)
+    NOISE_FREQUENCIES = log_frequencies(1e3, 1e12, points_per_decade=8)
+
     def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
         """Extract settling time, cutoff frequency and integrated noise."""
-        ac_freqs = log_frequencies(1e5, 1e12, points_per_decade=10)
+        ac_freqs = self.AC_FREQUENCIES
         transimpedance = ac_sweep(system, op, ac_freqs).voltage("out")
         cutoff = f3db(ac_freqs, transimpedance)
 
@@ -124,8 +139,7 @@ class TransimpedanceAmplifier(Topology):
                                final=response.final_value("out"),
                                initial=0.0, tolerance=self.SETTLE_TOL)
 
-        noise_freqs = log_frequencies(1e3, 1e12, points_per_decade=8)
-        noise = noise_analysis(system, op, noise_freqs, "out",
+        noise = noise_analysis(system, op, self.NOISE_FREQUENCIES, "out",
                                refer_to_input=False)
         vn_out = noise.integrated_output_rms()
         # Refer to the input through the DC transimpedance, expressed as an

@@ -1,0 +1,91 @@
+"""Modal AC fast path: must match the direct per-frequency solver."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ac as acmod
+from repro.sim.ac import (
+    ac_node_response,
+    ac_node_response_batch,
+    ac_solutions,
+    ac_sweep,
+    log_frequencies,
+)
+from repro.sim.dc import solve_dc
+from repro.measure.acspecs import (
+    amplifier_ac_specs,
+    amplifier_ac_specs_batch,
+)
+from repro.topologies import FiveTransistorOta, TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def solved_opamp():
+    topo = TwoStageOpAmp()
+    values = topo.parameter_space.values(topo.parameter_space.center)
+    system = topo._plan.restamp(values)
+    return topo, system, solve_dc(system)
+
+
+class TestModalVsDirect:
+    def test_sweep_matches_direct_solver(self, solved_opamp, monkeypatch):
+        topo, system, op = solved_opamp
+        freqs = log_frequencies(1e2, 1e11, 8)
+        modal = ac_sweep(system, op, freqs).solutions
+        monkeypatch.setattr(acmod, "_MODAL_ENABLED", False)
+        direct = ac_sweep(system, op, freqs).solutions
+        np.testing.assert_allclose(modal, direct, rtol=1e-7,
+                                   atol=1e-9 * np.abs(direct).max())
+
+    def test_node_response_matches_full_sweep(self, solved_opamp):
+        topo, system, op = solved_opamp
+        freqs = log_frequencies(1e2, 1e11, 8)
+        h = ac_node_response(system, op, freqs, "out")
+        full = ac_sweep(system, op, freqs).voltage("out")
+        np.testing.assert_allclose(h, full, rtol=1e-8)
+
+    def test_ground_node_is_zero(self, solved_opamp):
+        topo, system, op = solved_opamp
+        freqs = log_frequencies(1e3, 1e6, 4)
+        assert not np.any(ac_node_response(system, op, freqs, "0"))
+
+    def test_batched_node_response(self, solved_opamp):
+        topo, system, op = solved_opamp
+        freqs = topo.AC_FREQUENCIES
+        G, C = system.small_signal_matrices(op)
+        Gb = np.stack([G, G * 1.01])
+        Cb = np.stack([C, C])
+        bb = np.stack([system.b_ac, system.b_ac])
+        out = system.node_index["out"]
+        hb = ac_node_response_batch(Gb, Cb, bb, freqs, out)
+        for i in range(2):
+            direct = acmod._direct_solutions(
+                Gb[i], Cb[i], bb[i], acmod._omega_for(freqs))[:, out]
+            np.testing.assert_allclose(hb[i], direct, rtol=1e-6)
+
+    def test_defective_system_falls_back(self):
+        """A singular G must not crash — the solver falls back or raises
+        the linear-algebra error consistently with the direct path."""
+        G = np.zeros((2, 2))
+        C = np.eye(2)
+        b = np.ones(2, dtype=complex)
+        omega = 2 * np.pi * np.array([1.0, 10.0])
+        assert acmod._modal_solutions(G, C, b, omega) is None
+
+
+class TestBatchedSpecExtraction:
+    def test_matches_scalar_helper(self, solved_opamp):
+        topo, system, op = solved_opamp
+        freqs = topo.AC_FREQUENCIES
+        rng = np.random.default_rng(0)
+        H = []
+        base = ac_sweep(system, op, freqs).voltage("out")
+        for scale in (1.0, 0.01, 3.0):
+            H.append(base * scale)
+        H.append(np.full(len(freqs), 0.5 + 0j))   # gain < 1: no crossing
+        H = np.stack(H)
+        batch = amplifier_ac_specs_batch(freqs, H)
+        for i in range(len(H)):
+            scalar = amplifier_ac_specs(freqs, H[i])
+            for name, value in scalar.items():
+                assert batch[name][i] == pytest.approx(value, rel=1e-9), name

@@ -1,0 +1,106 @@
+"""Batched DC solves: stacked Newton must agree with the scalar solver."""
+
+import numpy as np
+import pytest
+
+from repro.sim.batch import BatchDcResult, SystemStack, solve_dc_batch
+from repro.sim.dc import solve_dc
+from repro.topologies import FiveTransistorOta, TwoStageOpAmp
+
+
+def _make_stack(topo, designs):
+    stack = None
+    for i, values in enumerate(designs):
+        system = topo._plan.restamp(values)
+        if stack is None:
+            stack = SystemStack(system, len(designs))
+        stack.set_design(i, system)
+    return stack
+
+
+@pytest.fixture(scope="module")
+def opamp_designs():
+    topo = TwoStageOpAmp()
+    rng = np.random.default_rng(9)
+    designs = [topo.parameter_space.values(topo.parameter_space.sample(rng))
+               for _ in range(8)]
+    return topo, designs
+
+
+class TestSolveDcBatch:
+    def test_matches_scalar_solver(self, opamp_designs):
+        topo, designs = opamp_designs
+        stack = _make_stack(topo, designs)
+        result = solve_dc_batch(stack)
+        assert result.converged.all()
+        for i, values in enumerate(designs):
+            op = solve_dc(topo._plan.restamp(values))
+            np.testing.assert_allclose(result.x[i], op.x, rtol=0, atol=1e-6)
+            assert result.residual_norm[i] < 1e-9
+
+    def test_per_design_iteration_counts(self, opamp_designs):
+        topo, designs = opamp_designs
+        stack = _make_stack(topo, designs)
+        result = solve_dc_batch(stack)
+        assert result.iterations.shape == (len(designs),)
+        assert (result.iterations >= 1).all()
+
+    def test_warm_start_reduces_iterations(self, opamp_designs):
+        topo, designs = opamp_designs
+        stack = _make_stack(topo, designs)
+        cold = solve_dc_batch(_make_stack(topo, designs))
+        warm = solve_dc_batch(stack, x0=cold.x.copy())
+        assert warm.converged.all()
+        assert warm.iterations.sum() < cold.iterations.sum()
+
+    def test_shape_validation(self, opamp_designs):
+        topo, designs = opamp_designs
+        stack = _make_stack(topo, designs)
+        with pytest.raises(ValueError):
+            solve_dc_batch(stack, x0=np.zeros((2, stack.size)))
+
+    def test_result_fields(self, opamp_designs):
+        topo, designs = opamp_designs
+        result = solve_dc_batch(_make_stack(topo, designs))
+        assert isinstance(result, BatchDcResult)
+        assert result.x.shape == (len(designs), _make_stack(topo, designs).size)
+
+
+class TestConvergenceMasking:
+    def test_converged_designs_drop_out(self, opamp_designs, monkeypatch):
+        """Designs that converge early must stop consuming iterations."""
+        topo, designs = opamp_designs
+        stack = _make_stack(topo, designs)
+        cold = solve_dc_batch(stack)
+        # Warm-start half the batch at its solution: those designs should
+        # converge almost immediately while the rest iterate on.
+        x0 = np.zeros((len(designs), stack.size))
+        x0[::2] = cold.x[::2]
+        mixed = solve_dc_batch(_make_stack(topo, designs), x0=x0)
+        assert mixed.converged.all()
+        assert mixed.iterations[::2].max() < mixed.iterations[1::2].max()
+
+
+class TestFailureFallback:
+    def test_unconverged_designs_get_failure_measurement(self, monkeypatch):
+        """A design the batch engine cannot converge must surface the
+        topology's pessimistic failure measurement, like the scalar path."""
+        topo = FiveTransistorOta()
+        rng = np.random.default_rng(2)
+        designs = [topo.parameter_space.values(topo.parameter_space.sample(rng))
+                   for _ in range(4)]
+
+        import repro.topologies.base as base_mod
+        real = base_mod.solve_dc_batch
+
+        def sabotaged(stack, **kwargs):
+            result = real(stack, **kwargs)
+            result.converged[1] = False
+            return result
+
+        monkeypatch.setattr(base_mod, "solve_dc_batch", sabotaged)
+        specs = topo.simulate_batch(designs)
+        failure = topo.failure_measurement()
+        assert specs[1] == failure
+        for i in (0, 2, 3):
+            assert specs[i] != failure

@@ -1,0 +1,130 @@
+"""Structure-cached restamping: plan-built systems must equal fresh builds."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Netlist, Resistor, VoltageSource
+from repro.sim import MnaSystem, solve_dc
+from repro.sim.stamp import StampPlan
+from repro.sim.system import StructureMismatch
+from repro.topologies import (
+    FiveTransistorOta,
+    NegGmOta,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+ALL_TOPOLOGIES = [TwoStageOpAmp, TransimpedanceAmplifier, NegGmOta,
+                  FiveTransistorOta]
+
+
+@pytest.mark.parametrize("topo_cls", ALL_TOPOLOGIES)
+class TestRestampEquivalence:
+    """restamp-based and fresh-build systems must be indistinguishable."""
+
+    def test_matrices_identical_across_random_sizings(self, topo_cls):
+        topo = topo_cls()
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            values = topo.parameter_space.values(
+                topo.parameter_space.sample(rng))
+            planned = topo._plan.restamp(values)
+            fresh = MnaSystem(topo.build(values), temperature=topo.temperature)
+            assert np.array_equal(planned.G, fresh.G)
+            assert np.array_equal(planned.C, fresh.C)
+            assert np.array_equal(planned.b_dc, fresh.b_dc)
+            assert np.array_equal(planned.b_ac, fresh.b_ac)
+
+    def test_operating_points_identical(self, topo_cls):
+        topo = topo_cls()
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            values = topo.parameter_space.values(
+                topo.parameter_space.sample(rng))
+            op_planned = solve_dc(topo._plan.restamp(values))
+            op_fresh = solve_dc(
+                MnaSystem(topo.build(values), temperature=topo.temperature))
+            np.testing.assert_allclose(op_planned.x, op_fresh.x,
+                                       rtol=0, atol=1e-12)
+
+    def test_specs_identical(self, topo_cls):
+        """End to end: simulate() through the plan equals a plan-free
+        build/solve/measure pass."""
+        topo = topo_cls()
+        rng = np.random.default_rng(5)
+        values = topo.parameter_space.values(topo.parameter_space.sample(rng))
+        topo.reset_warm_start()
+        via_plan = topo.simulate(values)
+        fresh = MnaSystem(topo.build(values), temperature=topo.temperature)
+        op = solve_dc(fresh)
+        direct = topo.measure(fresh, op)
+        assert set(via_plan) == set(direct)
+        for name in direct:
+            assert via_plan[name] == pytest.approx(direct[name], rel=1e-8)
+
+
+class TestStampPlan:
+    def _builder(self, r_value):
+        def build(values):
+            net = Netlist("divider")
+            net.add(VoltageSource("V1", "in", "0", dc=1.0))
+            net.add(Resistor("R1", "in", "out", values["r"]))
+            net.add(Resistor("R2", "out", "0", r_value))
+            return net
+        return build
+
+    def test_restamp_reuses_structure(self):
+        plan = StampPlan(self._builder(1e3))
+        s1 = plan.restamp({"r": 1e3})
+        s2 = plan.restamp({"r": 2e3})
+        assert s1 is s2
+        assert plan.rebuilds == 1
+        assert plan.restamps == 1
+        out = s2.node_index["out"]
+        assert s2.G[out, out] == pytest.approx(1 / 2e3 + 1 / 1e3)
+
+    def test_structure_mismatch_falls_back_to_rebuild(self):
+        calls = {"n": 0}
+
+        def build(values):
+            calls["n"] += 1
+            net = Netlist("changing")
+            net.add(VoltageSource("V1", "in", "0", dc=1.0))
+            net.add(Resistor("R1", "in", "out", values["r"]))
+            net.add(Resistor("R2", "out", "0", 1e3))
+            if values.get("extra"):
+                net.add(Resistor("R3", "out", "0", 5e3))
+            return net
+
+        plan = StampPlan(build)
+        plan.restamp({"r": 1e3})
+        grown = plan.restamp({"r": 1e3, "extra": True})
+        assert plan.rebuilds == 2
+        assert "R3" in grown.netlist
+
+    def test_mismatched_netlist_raises_on_system(self):
+        plan = StampPlan(self._builder(1e3))
+        system = plan.restamp({"r": 1e3})
+        other = Netlist("other")
+        other.add(VoltageSource("V1", "a", "0", dc=1.0))
+        other.add(Resistor("RX", "a", "0", 1e3))
+        with pytest.raises(StructureMismatch):
+            system.restamp(other)
+
+
+@pytest.mark.parametrize("topo_cls", ALL_TOPOLOGIES)
+def test_update_netlist_mirrors_build(topo_cls):
+    """The in-place resize fast path must reproduce build() exactly."""
+    topo = topo_cls()
+    rng = np.random.default_rng(11)
+    base = topo.parameter_space.values(topo.parameter_space.sample(rng))
+    net = topo.build(base)
+    for _ in range(5):
+        values = topo.parameter_space.values(topo.parameter_space.sample(rng))
+        assert topo.update_netlist(net, values)
+        reference = topo.build(values)
+        updated = MnaSystem(net, temperature=topo.temperature)
+        fresh = MnaSystem(reference, temperature=topo.temperature)
+        assert np.array_equal(updated.G, fresh.G)
+        assert np.array_equal(updated.C, fresh.C)
+        assert np.array_equal(updated.b_dc, fresh.b_dc)
