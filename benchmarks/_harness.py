@@ -127,6 +127,28 @@ def publish(filename: str, text: str) -> None:
     print(text)
 
 
+#: Machine-readable performance trajectory, one section per bench, merged
+#: across runs so the file accumulates the full picture PR over PR.
+BENCH_JSON = RESULTS_DIR / "BENCH_simulator.json"
+
+
+def publish_json(section: str, payload: dict) -> None:
+    """Merge one bench's numbers into ``BENCH_simulator.json``.
+
+    The human-readable ``.txt`` tables remain the narrative output; this
+    file is the structured record CI and later PRs diff against.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def ga_sample_efficiency(simulator, targets, budget: int, seed: int = 0,
                          populations=(20, 40)) -> dict:
     """Run the paper's GA protocol: per-target restart, population sweep,

@@ -10,6 +10,9 @@ These use the pytest-benchmark timer properly (many rounds) since a single
 evaluation is fast.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -22,7 +25,7 @@ from repro.topologies import (
     TwoStageOpAmp,
 )
 
-from benchmarks._harness import publish
+from benchmarks._harness import publish, publish_json
 
 
 def _walker(simulator, seed=0):
@@ -129,9 +132,117 @@ def test_batch_throughput(benchmark):
                f"batch(64) is {speedup:.1f}x faster than 64 sequential "
                "calls"))
     publish("batch_throughput.txt", table)
+    publish_json("batch_throughput", {
+        "topology": "two_stage_opamp",
+        "single_eval_ms": 1e3 * best_seq / 64,
+        "sequential_evals_per_s": 64 / best_seq,
+        "batch_evals_per_s": {str(size): size / t_batch[size]
+                              for size in (1, 16, 64)},
+        "batch64_speedup_vs_sequential": speedup,
+    })
     benchmark.pedantic(lambda: simulator.evaluate_batch(designs),
                        iterations=1, rounds=3)
     assert len(simulator.evaluate_batch(designs)) == 64
+
+
+def corner_stack_speed(n_designs: int = 16, topo_cls=TransimpedanceAmplifier,
+                       repeats: int = 3) -> dict:
+    """Time the corner-stacked PEX sweep against the per-corner loop.
+
+    Returns the measured dict (also usable by the CI smoke with
+    ``n_designs=1``).
+    """
+    pex = PexSimulator(topo_cls, cache=False)
+    rng = np.random.default_rng(7)
+    designs = np.stack([pex.parameter_space.sample(rng)
+                        for _ in range(n_designs)])
+    pex.evaluate_batch(designs[:min(2, n_designs)])  # warm plans + seeds
+
+    best_stack = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        pex.evaluate_batch(designs)
+        best_stack = min(best_stack, time.perf_counter() - t0)
+    best_loop = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for row in designs:
+            pex.evaluate_percorner(row)
+        best_loop = min(best_loop, time.perf_counter() - t0)
+    return {
+        "topology": topo_cls.name,
+        "n_designs": n_designs,
+        "n_corners": len(pex.corners),
+        "stacked_ms": 1e3 * best_stack,
+        "percorner_loop_ms": 1e3 * best_loop,
+        "speedup": best_loop / best_stack,
+    }
+
+
+def test_corner_stack_speed():
+    """Corner-stacked PEX sweep vs the per-corner loop (acceptance: >= 3x
+    on the full-corner sweep)."""
+    results = [corner_stack_speed(16, cls)
+               for cls in (TransimpedanceAmplifier, NegGmOta)]
+    rows = [[r["topology"], f"{r['percorner_loop_ms']:.1f} ms",
+             f"{r['stacked_ms']:.1f} ms", f"{r['speedup']:.1f}x"]
+            for r in results]
+    table = ascii_table(
+        ["topology (16 designs x 3 corners)", "per-corner loop",
+         "corner-stacked", "speedup"],
+        rows, title="PEX full-corner sweep: stacked vs per-corner loop")
+    publish("corner_stack.txt", table)
+    publish_json("corner_sweep", {r["topology"]: r for r in results})
+    assert all(r["speedup"] > 1.0 for r in results)
+
+
+def shard_scaling(n_designs: int = 32, shard_counts=(1, 2, 4),
+                  repeats: int = 3) -> dict:
+    """``evaluate_batch`` throughput as ``REPRO_SHARDS`` grows."""
+    simulator = SchematicSimulator(TwoStageOpAmp(), cache=False)
+    rng = np.random.default_rng(9)
+    designs = np.stack([simulator.parameter_space.sample(rng)
+                        for _ in range(n_designs)])
+    saved = os.environ.get("REPRO_SHARDS")
+    curve: dict[str, float] = {}
+    try:
+        for n in shard_counts:
+            os.environ["REPRO_SHARDS"] = str(n)
+            simulator.evaluate_batch(designs[:4])  # spawn + warm the pool
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                simulator.evaluate_batch(designs)
+                best = min(best, time.perf_counter() - t0)
+            curve[str(n)] = n_designs / best
+            simulator.close_shard_pool()
+    finally:
+        simulator.close_shard_pool()
+        if saved is None:
+            os.environ.pop("REPRO_SHARDS", None)
+        else:
+            os.environ["REPRO_SHARDS"] = saved
+    return {
+        "topology": "two_stage_opamp",
+        "n_designs": n_designs,
+        "cores": os.cpu_count(),
+        "evals_per_s": curve,
+    }
+
+
+def test_shard_scaling():
+    """Shard-pool scaling curve (speedup needs real cores: a 1-core box
+    records the overhead honestly, a multicore box the speedup)."""
+    result = shard_scaling()
+    rows = [[f"REPRO_SHARDS={n}", f"{rate:,.0f}"]
+            for n, rate in result["evals_per_s"].items()]
+    table = ascii_table(
+        ["configuration", "evals/sec"], rows,
+        title=(f"evaluate_batch({result['n_designs']}) shard scaling "
+               f"({result['cores']} cores)"))
+    publish("shard_scaling.txt", table)
+    publish_json("shard_scaling", result)
+    assert result["evals_per_s"]["1"] > 0
 
 
 def test_action_space_cardinalities(benchmark):

@@ -94,7 +94,9 @@ class TargetObjective:
         return breakdown.reward
 
     def evaluate_population(self, population) -> np.ndarray:
-        """Evaluate a whole population through ``evaluate_batch``.
+        """Evaluate a whole population through ``evaluate_batch`` (which
+        stacks the designs — and shards them across worker processes when
+        ``REPRO_SHARDS`` is set).
 
         Returns the fitness array (one entry per individual) and keeps the
         scalar call's control flow: :class:`GoalReached` is raised when an

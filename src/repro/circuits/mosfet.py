@@ -362,6 +362,8 @@ class DeviceArrays:
     c_area: np.ndarray     # cox * W * L * m
     c_ov: np.ndarray       # c_overlap * W * m
     c_j: np.ndarray        # c_junction * W * m
+    gamma_n: np.ndarray    # channel thermal-noise gamma
+    kf: np.ndarray         # flicker-noise coefficient
     inv_subth: np.ndarray  # 1 / subth (hot-loop derived)
     lam_sp: np.ndarray     # lam * _CLM_SMOOTH_V
 
@@ -376,8 +378,10 @@ class DeviceArrays:
                  m._sign,
                  m.params.cox * m.w * m.l * m.m,
                  m.params.c_overlap * m.w * m.m,
-                 m.params.c_junction * m.w * m.m) for m in mosfets]
-        cols = np.array(rows, dtype=float).reshape(len(rows), 9).T
+                 m.params.c_junction * m.w * m.m,
+                 m.params.gamma_noise,
+                 m.params.kf) for m in mosfets]
+        cols = np.array(rows, dtype=float).reshape(len(rows), 11).T
         return cls(*cols, 1.0 / cols[4], cols[1] * _CLM_SMOOTH_V)
 
     @classmethod

@@ -178,15 +178,18 @@ def amplifier_ac_specs(freqs: np.ndarray, h: np.ndarray,
 
 
 def crossing_frequency_batch(freqs: np.ndarray, mag: np.ndarray,
-                             level: float, fallback: float = 1.0) -> np.ndarray:
+                             level, fallback: float = 1.0) -> np.ndarray:
     """Vectorised :func:`crossing_frequency` over stacked sweeps.
 
     ``mag`` has shape ``(B, F)`` (magnitudes, shared frequency grid);
-    returns ``(B,)`` crossing frequencies with the same start-below /
+    ``level`` is a scalar or a per-row ``(B,)`` array (the batched -3 dB
+    measurement crosses each row at its own DC-gain-derived level).
+    Returns ``(B,)`` crossing frequencies with the same start-below /
     never-crossing conventions as the scalar function.
     """
     mag = np.asarray(mag, dtype=float)
-    below = mag < level
+    level = np.asarray(level, dtype=float)
+    below = mag < (level[:, None] if level.ndim else level)
     crosses = below.any(axis=1)
     i = below.argmax(axis=1)                     # first below index (or 0)
     i = np.clip(i, 1, mag.shape[1] - 1)
@@ -200,6 +203,14 @@ def crossing_frequency_batch(freqs: np.ndarray, mag: np.ndarray,
     out = np.where(degenerate, f1, interp)
     out = np.where(crosses, out, freqs[-1])
     return np.where(mag[:, 0] < level, fallback, out)
+
+
+def f3db_batch(freqs: np.ndarray, H: np.ndarray,
+               fallback: float = 1.0) -> np.ndarray:
+    """Vectorised :func:`f3db` over stacked transfer functions ``(B, F)``."""
+    mag = np.abs(np.asarray(H))
+    return crossing_frequency_batch(freqs, mag, mag[:, 0] / np.sqrt(2.0),
+                                    fallback=fallback)
 
 
 def amplifier_ac_specs_batch(freqs: np.ndarray, H: np.ndarray,

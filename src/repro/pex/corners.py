@@ -30,8 +30,20 @@ class CornerSpec:
         """Instantiate the topology at this corner.
 
         The topology is built with the corner's process/temperature and its
-        technology's supply voltage scaled by ``vdd_scale``.
+        technology's supply voltage scaled by ``vdd_scale``.  When the
+        factory is the :class:`Topology` subclass itself (the common
+        case), the corner instance is built directly from the class's
+        default technology card — one construction instead of building a
+        throwaway nominal instance first.
         """
+        if isinstance(topology_factory, type) and issubclass(
+                topology_factory, Topology):
+            tech = topology_factory.default_technology()
+            scaled_tech = dataclasses.replace(
+                tech, vdd=tech.vdd * self.vdd_scale)
+            return topology_factory(technology=scaled_tech,
+                                    corner=self.process,
+                                    temperature=self.temperature)
         topology = topology_factory()
         scaled_tech = dataclasses.replace(
             topology.technology, vdd=topology.technology.vdd * self.vdd_scale)

@@ -15,6 +15,21 @@ corners, takes the worst-case value of every spec, and offers an
 :meth:`PexSimulator.lvs_check` that verifies the extracted netlist's
 device-level connectivity against the schematic (paper: "AutoCkt is able
 to obtain 40 LVS passed designs").
+
+Stacked corner evaluation
+-------------------------
+A full PVT signoff of B designs is one ``(B*K, n, n)`` problem: every
+corner of every design is a same-structure MNA snapshot (the extractor
+adds identical parasitic elements for every sizing, and corners only
+change device cards, VDD and temperature — values, not structure).
+:meth:`PexSimulator.evaluate` and :meth:`PexSimulator.evaluate_batch`
+therefore fill one corner-major :class:`~repro.sim.batch.SystemStack`
+from the per-corner :class:`~repro.sim.stamp.StampPlan` caches, find all
+operating points in a single batched damped-Newton call, measure the
+whole stack through the topology's stacked measurement path, and reduce
+each spec worst-case over the corner axis — replacing the historical
+corner-by-corner loop (kept as :meth:`PexSimulator.evaluate_percorner`
+for equivalence testing and benchmarking).
 """
 
 from __future__ import annotations
@@ -31,8 +46,9 @@ from repro.errors import ConvergenceError, MeasurementError
 from repro.pex.corners import CornerSpec, signoff_corners
 from repro.pex.layout import PseudoLayout, generate_layout
 from repro.pex.lvs import lvs_compare
+from repro.sim.batch import SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
-from repro.sim.dc import solve_dc
+from repro.sim.dc import OperatingPoint, solve_dc
 from repro.sim.stamp import StampPlan
 from repro.topologies.base import CircuitSimulator, Topology
 from repro.units import MICRO
@@ -122,25 +138,33 @@ class PexSimulator(CircuitSimulator):
         self.corners = corners if corners is not None else signoff_corners()
         if not self.corners:
             raise MeasurementError("PexSimulator needs at least one corner")
+        self._topology_factory = topology_factory
+        self._rules = rules
         self.extractor = ParasiticExtractor(rules)
         self._topologies: list[Topology] = [
             corner.apply(topology_factory) for corner in self.corners]
         # One structure cache per corner: extracted netlists keep their
         # structure across sizings (the extractor adds the same parasitic
         # elements for every sizing of a topology), so each corner's MNA
-        # system is built once and restamped per evaluation.  StampPlan
-        # falls back to a rebuild if a sizing ever changes the extracted
-        # structure.
+        # system is built once and restamped per evaluation — through the
+        # in-place updater fast path (schematic values via the topology's
+        # own update_netlist, parasitic values recomputed directly) when
+        # the topology supports it.  StampPlan falls back to a rebuild if
+        # a sizing ever changes the extracted structure.
         self._plans: list[StampPlan] = [
             StampPlan(self._corner_builder(topology),
-                      temperature=topology.temperature)
+                      temperature=topology.temperature,
+                      updater=self._corner_updater(topology))
             for topology in self._topologies]
+        self._sch_netlist: Netlist | None = None
+        self._cnet_cache: dict[tuple, dict[str, float]] = {}
         reference = self._topologies[0]
         self.parameter_space = reference.parameter_space
         self.spec_space = reference.spec_space
         self.counter = SimulationCounter()
         self._cache = SimulationCache(50_000) if cache else None
         self._warm: dict[int, np.ndarray] = {}
+        self._corner_ref: dict[int, np.ndarray | None] = {}
 
     # -- evaluation -----------------------------------------------------------
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
@@ -156,28 +180,209 @@ class PexSimulator(CircuitSimulator):
         self.counter.fresh += 1
         return self._evaluate_fresh(indices)
 
+    def evaluate_batch(self, indices_2d: np.ndarray) -> list[dict[str, float]]:
+        """Evaluate B sizings across all corners in one stacked solve,
+        sharded across worker processes when ``REPRO_SHARDS`` asks for
+        them."""
+        return self._evaluate_batch_cached(
+            indices_2d, self._fresh_batch, self._cache)
+
+    def _fresh_batch(self, values_list: list[dict[str, float]]
+                     ) -> list[dict[str, float]]:
+        sharded = self._shard_eval(values_list)
+        if sharded is not None:
+            return sharded
+        return self._evaluate_fresh_batch(values_list)
+
+    def shard_factory(self):
+        if not isinstance(self._topology_factory, type):
+            return None  # closure factories are not spawn-safe
+        return _PexShardFactory(self._topology_factory, list(self.corners),
+                                self._rules)
+
     def _evaluate_fresh(self, indices: np.ndarray) -> dict[str, float]:
         values = self.parameter_space.values(indices)
-        worst: dict[str, float] = {}
-        for c_idx, topology in enumerate(self._topologies):
-            specs = self._simulate_corner(c_idx, topology, values)
-            for spec in self.spec_space:
-                v = specs[spec.name]
-                if spec.name not in worst:
-                    worst[spec.name] = v
-                elif spec.kind is SpecKind.LOWER_BOUND:
-                    worst[spec.name] = min(worst[spec.name], v)
-                elif spec.kind is SpecKind.RANGE:
-                    worst[spec.name] = min(worst[spec.name], v)
-                else:  # UPPER_BOUND / MINIMIZE: bigger is worse
-                    worst[spec.name] = max(worst[spec.name], v)
-        return worst
+        return self._evaluate_fresh_batch([values])[0]
+
+    def _evaluate_fresh_batch(self, values_list: list[dict[str, float]]
+                              ) -> list[dict[str, float]]:
+        """Corner-stacked evaluation of B sizings (see module docstring).
+
+        All ``B * K`` (design, corner) systems solve in one batched
+        damped-Newton call, warm-started from each corner's canonical
+        grid-centre operating point; the reference topology's stacked
+        measurement runs over the whole stack (its spec extraction only
+        consumes stacked matrices, solutions and per-slice metadata, so
+        one call serves every corner), and the per-design result is the
+        worst spec value across that design's corner slices.
+        """
+        B, K = len(values_list), len(self.corners)
+        stack: SystemStack | None = None
+        for k, plan in enumerate(self._plans):
+            stack = plan.stack(values_list, into=stack, offset=k * B,
+                               n_slices=B * K, n_corners=K)
+        result = solve_dc_batch(stack, x0=self._corner_warm_start(stack, B))
+        specs = self._topologies[0].measure_batch(stack, result)
+        if specs is None:
+            specs = self._measure_slices(values_list, result)
+        return self._reduce_worst_case(specs, B, K)
+
+    def _corner_warm_start(self, stack: SystemStack,
+                           B: int) -> np.ndarray | None:
+        """Stacked Newton seed: each corner's canonical centre operating
+        point (solved cold once, cached), tiled over that corner's block.
+        Falls back to cold zeros for corners whose centre fails."""
+        seeds = np.zeros((stack.n_designs, stack.size))
+        center = self.parameter_space.values(self.parameter_space.center)
+        for k, plan in enumerate(self._plans):
+            if (k not in self._corner_ref
+                    or (self._corner_ref[k] is not None
+                        and self._corner_ref[k].shape != (stack.size,))):
+                # One cold solve per corner; a failure is memoised too
+                # (None), so a non-convergent centre is not retried on
+                # every batch.
+                try:
+                    self._corner_ref[k] = solve_dc(plan.restamp(center)).x.copy()
+                except ConvergenceError:
+                    self._corner_ref[k] = None
+            ref = self._corner_ref[k]
+            if ref is not None:
+                seeds[k * B:(k + 1) * B] = ref
+        return seeds
+
+    def _measure_slices(self, values_list, result) -> list[dict[str, float]]:
+        """Scalar per-slice measurement fallback (topologies without a
+        stacked measurement path)."""
+        B = len(values_list)
+        specs: list[dict[str, float]] = []
+        for k, (plan, topology) in enumerate(zip(self._plans,
+                                                 self._topologies)):
+            for i, values in enumerate(values_list):
+                s = k * B + i
+                system = plan.restamp(values)
+                try:
+                    if result.converged[s]:
+                        op = OperatingPoint(system, result.x[s].copy(),
+                                            int(result.iterations[s]),
+                                            float(result.residual_norm[s]))
+                    else:
+                        op = solve_dc(system)
+                    specs.append(topology.measure(system, op))
+                except (ConvergenceError, MeasurementError):
+                    specs.append(topology.failure_measurement())
+        return specs
+
+    def _reduce_worst_case(self, specs: list[dict[str, float]], B: int,
+                           K: int) -> list[dict[str, float]]:
+        """Worst spec value across each design's corner slices."""
+        worst_list: list[dict[str, float]] = []
+        for i in range(B):
+            worst: dict[str, float] = {}
+            for k in range(K):
+                corner_specs = specs[k * B + i]
+                for spec in self.spec_space:
+                    v = corner_specs[spec.name]
+                    if spec.name not in worst:
+                        worst[spec.name] = v
+                    elif spec.kind is SpecKind.LOWER_BOUND:
+                        worst[spec.name] = min(worst[spec.name], v)
+                    elif spec.kind is SpecKind.RANGE:
+                        worst[spec.name] = min(worst[spec.name], v)
+                    else:  # UPPER_BOUND / MINIMIZE: bigger is worse
+                        worst[spec.name] = max(worst[spec.name], v)
+            worst_list.append(worst)
+        return worst_list
+
+    def evaluate_percorner(self, indices: np.ndarray) -> dict[str, float]:
+        """Historical corner-by-corner loop (no stacking, no cache).
+
+        Kept as the equivalence/benchmark baseline for the stacked path:
+        one warm-started scalar solve and one scalar measurement per
+        corner.
+        """
+        values = self.parameter_space.values(self.parameter_space.clip(indices))
+        specs = [self._simulate_corner(c, topology, values)
+                 for c, topology in enumerate(self._topologies)]
+        return self._reduce_worst_case(specs, 1, len(self.corners))[0]
 
     def _corner_builder(self, topology: Topology):
         """``values -> extracted netlist`` builder for one corner's plan."""
         def build(values: dict[str, float]):
             return self.extractor.extract(topology.build(values))
         return build
+
+    def _corner_updater(self, topology: Topology):
+        """In-place resize of a previously-extracted netlist (fast path).
+
+        The schematic elements are updated through the topology's own
+        :meth:`~repro.topologies.base.Topology.update_netlist` (element
+        names survive extraction, so the mapping applies directly to the
+        extracted netlist), and the parasitic values are recomputed with
+        the extractor's formulas: access resistance from the resized
+        device widths, wiring capacitance from the (corner-independent,
+        per-sizing cached) pseudo-layout of the schematic.  Any structural
+        surprise returns False, which makes the plan fall back to a full
+        build + extract.
+        """
+        rules = self.extractor.rules
+
+        def update(extracted: Netlist, values: dict[str, float]) -> bool:
+            if not topology.update_netlist(extracted, values):
+                return False
+            cap_prefix = f"{PEX_PREFIX}C_"
+            n_caps = 0
+            try:
+                for element in extracted:
+                    if isinstance(element, Mosfet):
+                        r_acc = max(
+                            rules.r_access_ohm_m / (element.w * element.m),
+                            rules.r_access_min)
+                        name = element.name
+                        extracted[f"{PEX_PREFIX}R_{name}_d"].resistance = r_acc
+                        extracted[f"{PEX_PREFIX}R_{name}_s"].resistance = r_acc
+                    elif element.name.startswith(cap_prefix):
+                        n_caps += 1
+                c_nets = self._wire_caps(values)
+                if len(c_nets) != n_caps:
+                    # A wire cap appeared or vanished: structure changed.
+                    return False
+                for net, c_net in c_nets.items():
+                    extracted[f"{cap_prefix}{net}"].capacitance = c_net
+            except KeyError:
+                return False
+            return True
+
+        return update
+
+    def _wire_caps(self, values: dict[str, float]) -> dict[str, float]:
+        """Per-net wiring capacitance of a sizing (extractor formula).
+
+        The pseudo-layout only depends on the sizing — never on the PVT
+        corner — so one computation (memoised per sizing) serves all
+        corner plans of an evaluation.
+        """
+        key = tuple(sorted(values.items()))
+        hit = self._cnet_cache.get(key)
+        if hit is not None:
+            return hit
+        reference = self._topologies[0]
+        if (self._sch_netlist is None
+                or not reference.update_netlist(self._sch_netlist, values)):
+            self._sch_netlist = reference.build(values)
+        layout = generate_layout(self._sch_netlist)
+        rules = self.extractor.rules
+        c_nets: dict[str, float] = {}
+        for net, hpwl in layout.net_hpwl.items():
+            if net == GROUND:
+                continue
+            c_net = (rules.c_wire_per_m * hpwl
+                     + rules.c_terminal * layout.net_terminals.get(net, 0))
+            if c_net > 0.0:
+                c_nets[net] = c_net
+        if len(self._cnet_cache) > 4096:
+            self._cnet_cache.clear()
+        self._cnet_cache[key] = c_nets
+        return c_nets
 
     def _simulate_corner(self, c_idx: int, topology: Topology,
                          values: dict[str, float]) -> dict[str, float]:
@@ -214,3 +419,17 @@ class PexSimulator(CircuitSimulator):
         """The pseudo-layout of a sizing (for reporting/examples)."""
         values = self.parameter_space.values(self.parameter_space.clip(indices))
         return generate_layout(self._topologies[0].build(values))
+
+
+@dataclasses.dataclass
+class _PexShardFactory:
+    """Picklable recipe rebuilding a :class:`PexSimulator` replica in a
+    shard worker (caches off: the parent dedupes before sharding)."""
+
+    topology_factory: type
+    corners: list[CornerSpec]
+    rules: ExtractionRules | None
+
+    def __call__(self) -> PexSimulator:
+        return PexSimulator(self.topology_factory, corners=self.corners,
+                            rules=self.rules, cache=False)

@@ -162,14 +162,18 @@ class MonteCarloAnalysis:
         Trials share the netlist structure (mismatch only perturbs device
         cards), so each chunk of perturbed netlists restamps into one
         :class:`~repro.sim.batch.SystemStack` and solves with a single
-        batched Newton; only the measurements run per trial.  Trials whose
-        batched solve fails are retried with the scalar solver (full
-        gmin/source machinery from its own warm state) before being
+        batched Newton — the same sample-stacked slices the corner-stacked
+        PEX sweep uses.  When the topology has a stacked measurement path
+        (``measure_batch``), converged trials are measured in one stacked
+        call too; trials whose batched solve fails — or whose stacked
+        measurement reports the pessimistic failure value — are retried
+        with the scalar solver (full gmin/source machinery) before being
         declared failed.
         """
         plan = StampPlan(self.topology.build,
                          temperature=self.topology.temperature)
         done = 0
+        failure = self.topology.failure_measurement()
         while done < n_trials:
             chunk = min(self.BATCH_TRIALS, n_trials - done)
             netlists = []
@@ -182,13 +186,18 @@ class MonteCarloAnalysis:
                 system = plan.restamp_netlist(netlist)
                 if stack is None:
                     stack = SystemStack(system, chunk)
-                stack.set_design(i, system)
+                stack.set_design(i, system, values=values)
             result = solve_dc_batch(stack)
+            stacked = self.topology.measure_batch(stack, result)
             batch: list[dict[str, float] | None] = []
             for i, netlist in enumerate(netlists):
+                if (stacked is not None and result.converged[i]
+                        and stacked[i] != failure):
+                    batch.append(stacked[i])
+                    continue
                 system = plan.restamp_netlist(netlist)
                 try:
-                    if result.converged[i]:
+                    if result.converged[i] and stacked is None:
                         op = OperatingPoint(system, result.x[i].copy(),
                                             int(result.iterations[i]),
                                             float(result.residual_norm[i]))

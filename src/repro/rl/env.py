@@ -6,6 +6,11 @@ paper uses Ray to "run multiple environments in parallel"; in-process
 batching gives the same sample efficiency — the policy network is queried
 with a batch — without process overhead, since each env step is already a
 fast in-process simulation here).
+
+When a shared ``batch_simulator`` is given, every vectorised step is one
+``evaluate_batch`` call — which means rollouts inherit both the stacked
+engine and, with ``REPRO_SHARDS`` set, the multicore shard pool
+(:mod:`repro.sim.parallel`) without any changes here.
 """
 
 from __future__ import annotations

@@ -3,9 +3,14 @@
 The paper "utilize[s] the capabilities of Ray to run multiple environments
 in parallel", quoting 1.3 hours of wall clock on an 8-core CPU for the
 two-stage op-amp.  :class:`ParallelVectorEnv` reproduces that axis with
-the standard library: each environment lives in its own worker process
-(forked, so environment factories may close over arbitrary simulator
-state) and the main process batches policy queries across workers.
+the standard library: each environment lives in its own worker process and
+the main process batches policy queries across workers.  The process/pipe
+plumbing is :class:`repro.sim.parallel.WorkerGroup` — the same machinery
+behind the simulator shard pool — so the start method resolves portably:
+``fork`` where the platform has it (closure factories welcome), ``spawn``
+everywhere else, in which case the environment factories must be
+picklable (a topology class, a ``functools.partial``, or any module-level
+callable qualifies; lambdas closing over live simulators do not).
 
 The interface matches :class:`~repro.rl.env.VectorEnv` exactly — same
 ``reset`` / ``step`` signatures, same auto-reset semantics with
@@ -15,20 +20,21 @@ The interface matches :class:`~repro.rl.env.VectorEnv` exactly — same
 Parallelism only pays when a single environment step is expensive (PEX
 simulation, big transient sweeps); for the microsecond-scale schematic
 steps in this reproduction the in-process :class:`VectorEnv` is usually
-faster.  ``benchmarks/bench_parallel_scaling.py`` quantifies the
-crossover.
+faster — and scales across cores anyway through the simulator shard pool
+(``REPRO_SHARDS``), which parallelises the batched *solves* instead of
+the environments.  ``benchmarks/bench_parallel_scaling.py`` quantifies
+the crossover.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import TrainingError
 from repro.rl.env import Env, EpisodeStats
+from repro.sim.parallel import WorkerGroup
 
 
 def _worker(remote, env_fn: Callable[[], Env]) -> None:
@@ -75,32 +81,23 @@ class ParallelVectorEnv:
     Parameters
     ----------
     env_fns:
-        One zero-argument environment factory per worker.  With the
-        (default on Linux) fork start method the factories may close over
-        unpicklable state.
+        One zero-argument environment factory per worker.  With the fork
+        start method the factories may close over unpicklable state; under
+        spawn (the fallback on fork-less platforms, or when requested)
+        they must be picklable.
     context:
-        Multiprocessing start method; ``"fork"`` is required for closure
-        factories and is the default where available.
+        Multiprocessing start method; None picks ``fork`` where available
+        and ``spawn`` otherwise (an explicit ``"fork"`` request is also
+        downgraded to ``spawn`` on platforms without fork).
     """
 
     def __init__(self, env_fns: list[Callable[[], Env]],
-                 context: str = "fork"):
+                 context: str | None = None):
         if not env_fns:
             raise TrainingError("ParallelVectorEnv needs at least one env factory")
-        if context == "fork" and os.name == "nt":  # pragma: no cover - windows
-            context = "spawn"
-        ctx = mp.get_context(context)
-        self._remotes = []
-        self._processes = []
-        for fn in env_fns:
-            parent, child = ctx.Pipe()
-            process = ctx.Process(target=_worker, args=(child, fn),
-                                  daemon=True)
-            process.start()
-            child.close()
-            self._remotes.append(parent)
-            self._processes.append(process)
-        self._closed = False
+        self._group = WorkerGroup(_worker, [(fn,) for fn in env_fns],
+                                  context=context)
+        self._remotes = self._group.remotes
         self._remotes[0].send(("spaces", None))
         self.observation_space, self.action_space = self._remotes[0].recv()
 
@@ -108,7 +105,7 @@ class ParallelVectorEnv:
         return len(self._remotes)
 
     def _ensure_open(self) -> None:
-        if self._closed:
+        if self._group.closed:
             raise TrainingError("ParallelVectorEnv is closed")
 
     def reset(self) -> np.ndarray:
@@ -143,24 +140,7 @@ class ParallelVectorEnv:
 
     def close(self) -> None:
         """Shut down the workers (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for remote in self._remotes:
-            try:
-                remote.send(("close", None))
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                continue
-        for remote in self._remotes:
-            try:
-                remote.recv()
-            except (EOFError, OSError):  # pragma: no cover
-                pass
-            remote.close()
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker guard
-                process.terminate()
+        self._group.close()
 
     def __enter__(self) -> "ParallelVectorEnv":
         return self

@@ -18,7 +18,11 @@ batched solves):
   pole–residue fast path with verified fallback);
 * :mod:`repro.sim.linear` computes linearised step responses (for settling
   time);
-* :mod:`repro.sim.transient` integrates the full nonlinear equations;
+* :mod:`repro.sim.transient` integrates the full nonlinear equations
+  (single-design and stacked-batch engines);
+* :mod:`repro.sim.parallel` shards batched evaluation across worker
+  processes (``REPRO_SHARDS``), sharing index/spec arrays through
+  ``multiprocessing.shared_memory``;
 * :mod:`repro.sim.noise` computes output/input-referred noise spectra;
 * :mod:`repro.sim.poles` extracts natural frequencies (pole analysis);
 * :mod:`repro.sim.sweep` steps a source for VTC/output-swing analysis;
@@ -36,11 +40,17 @@ from repro.sim.poles import PoleSet, circuit_poles
 from repro.sim.stamp import StampPlan
 from repro.sim.sweep import DcSweepResult, dc_sweep
 from repro.sim.system import MnaSystem, StructureMismatch
-from repro.sim.transient import TransientResult, transient_analysis
+from repro.sim.transient import (
+    BatchTransientResult,
+    TransientResult,
+    transient_analysis,
+    transient_analysis_batch,
+)
 
 __all__ = [
     "ACResult",
     "BatchDcResult",
+    "BatchTransientResult",
     "DcSweepResult",
     "MnaSystem",
     "NoiseResult",
@@ -62,4 +72,5 @@ __all__ = [
     "solve_dc_batch",
     "transfer_function",
     "transient_analysis",
+    "transient_analysis_batch",
 ]

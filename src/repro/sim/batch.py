@@ -12,6 +12,28 @@ snapshots; :func:`solve_dc_batch` mirrors :func:`~repro.sim.dc.solve_dc`'s
 strategy — damped Newton, then gmin stepping, then source stepping — with
 per-design convergence masking, so converged designs drop out of the
 batched linear algebra while stragglers keep iterating.
+
+Stacked-evaluation contract
+---------------------------
+A stack is a flat sequence of *slices*, each one a same-structure system
+snapshot.  What a slice means is the caller's business:
+
+* **designs** — ``Topology.simulate_batch`` stacks B sizings of one
+  topology (one slice per design);
+* **designs × corners** — :class:`~repro.pex.extraction.PexSimulator`
+  stacks every PVT corner of every design, *corner-major* (slice
+  ``k * B + i`` is design ``i`` at corner ``k``), records the corner
+  count in :attr:`SystemStack.n_corners`, and reduces the measured spec
+  arrays worst-case over the corner axis;
+* **mismatch samples** — Monte Carlo stacks perturbed instances of one
+  sizing (one slice per draw).
+
+All three ride the same ``(B·K, n, n)`` damped-Newton solve and the same
+stacked measurement layer.  Per-slice metadata captured at
+:meth:`SystemStack.set_design` time — simulation temperature, the sizing
+``values`` dict, resistor thermal-noise constants — lets batched
+measurements (AC, step response, noise) run without ever re-binding the
+template system to an individual slice.
 """
 
 from __future__ import annotations
@@ -20,12 +42,14 @@ import dataclasses
 
 import numpy as np
 
+from repro.circuits.elements import Resistor
 from repro.circuits.mosfet import (
     DeviceArrays,
     eval_companion_batch,
     eval_ids_batch,
 )
 from repro.sim.system import MnaSystem
+from repro.units import BOLTZMANN
 
 #: gmin-stepping and source-stepping schedules (mirrors repro.sim.dc).
 _GMIN_STEPS = (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10, 0.0)
@@ -33,37 +57,73 @@ _SOURCE_STEPS = (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 class SystemStack:
-    """B same-structure MNA systems stacked into batch arrays.
+    """Same-structure MNA system snapshots stacked into batch arrays.
 
-    Built by restamping one template :class:`MnaSystem` per design and
+    Built by restamping one template :class:`MnaSystem` per slice and
     snapshotting its value arrays; the (shared) structure — terminal maps,
     scatter matrices, sizes — is referenced from the template.
+
+    ``n_designs`` counts *slices*.  A multi-corner stack flattens the
+    (design, corner) grid corner-major into ``n_designs = B * K`` slices
+    and records ``n_corners = K`` so the caller can reduce spec arrays
+    over the corner axis (see the module docstring for the contract).
+
+    Besides the ``G/C/b`` value arrays, each :meth:`set_design` captures
+    per-slice measurement metadata: the slice's simulation temperature,
+    an optional sizing ``values`` dict, and the thermal-noise PSD constant
+    ``4 k T / R`` of every resistor — everything the batched measurement
+    layer needs that is not derivable from the matrices alone.
     """
 
-    def __init__(self, template: MnaSystem, n_designs: int):
+    def __init__(self, template: MnaSystem, n_designs: int,
+                 n_corners: int = 1):
         if n_designs < 1:
             raise ValueError("SystemStack needs at least one design")
+        if n_corners < 1 or n_designs % n_corners:
+            raise ValueError(
+                f"corner axis {n_corners} does not divide {n_designs} slices")
         n = template.size
         self.template = template
         self.size = n
         self.n_nodes = template.n_nodes
         self.n_designs = n_designs
+        self.n_corners = n_corners
         self.G = np.empty((n_designs, n, n))
         self.C = np.empty((n_designs, n, n))
         self.b_dc = np.empty((n_designs, n))
         self.b_ac = np.empty((n_designs, n), dtype=complex)
+        self.temperatures = np.empty(n_designs)
+        self.values: list[dict | None] = [None] * n_designs
         self._devs: list[DeviceArrays | None] = [None] * n_designs
         self.dev: DeviceArrays | None = None
         self._filled = 0
+        # Structure-fixed resistor noise topology: (R, 2) node-index pairs
+        # (-1 marks ground, as in node_index) plus per-slice PSD constants.
+        names = []
+        idx = []
+        for element in template.netlist:
+            if isinstance(element, Resistor):
+                names.append(element.name)
+                idx.append((template.node_index[element.p],
+                            template.node_index[element.n]))
+        self.noise_res_names: tuple[str, ...] = tuple(names)
+        self.noise_res_idx = np.asarray(idx, dtype=np.intp).reshape(-1, 2)
+        self.noise_res_psd = np.empty((n_designs, len(names)))
 
-    def set_design(self, i: int, system: MnaSystem) -> None:
-        """Snapshot ``system``'s current values as design ``i``."""
+    def set_design(self, i: int, system: MnaSystem,
+                   values: dict[str, float] | None = None) -> None:
+        """Snapshot ``system``'s current values as slice ``i``."""
         if system.size != self.size:
             raise ValueError("system size does not match the stack")
         self.G[i] = system.G
         self.C[i] = system.C
         self.b_dc[i] = system.b_dc
         self.b_ac[i] = system.b_ac
+        self.temperatures[i] = system.temperature
+        self.values[i] = values
+        four_kt = 4.0 * BOLTZMANN * system.temperature
+        for r, name in enumerate(self.noise_res_names):
+            self.noise_res_psd[i, r] = four_kt / system.netlist[name].resistance
         self._devs[i] = system.device_arrays
         self._filled += 1
         if self._filled == self.n_designs and self._devs[0] is not None:

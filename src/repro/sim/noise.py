@@ -74,6 +74,62 @@ def _psd_over(psd_fn, frequencies: np.ndarray) -> np.ndarray:
     return np.array([float(psd_fn(f)) for f in frequencies])
 
 
+def output_noise_rms_batch(stack, rows: np.ndarray, gm: np.ndarray,
+                           G: np.ndarray, C: np.ndarray,
+                           frequencies: np.ndarray,
+                           out_idx: int) -> np.ndarray:
+    """Integrated output noise [V rms] of stacked designs.
+
+    The batched counterpart of ``noise_analysis(...).integrated_output_rms``
+    for a :class:`~repro.sim.batch.SystemStack`: the adjoint solves of all
+    designs run as one stacked AC sweep of the transposed operators, and
+    the per-source PSDs are rebuilt from the constants the stack captured
+    at snapshot time — resistor ``4 k T / R`` entries and the MOSFET
+    channel thermal/flicker coefficients (``gamma_noise``, ``kf``) stored
+    in the stacked device bank — with ``gm`` the ``(B, K)`` stacked
+    transconductances at each design's operating point.
+
+    ``G``/``C`` are the stacked small-signal matrices of designs ``rows``
+    (as produced by ``Topology.batch_small_signal``).
+    """
+    from repro.units import BOLTZMANN
+
+    frequencies = np.asarray(frequencies, dtype=float)
+    if np.any(frequencies <= 0.0):
+        raise AnalysisError("noise frequencies must be positive")
+    if out_idx < 0:
+        raise AnalysisError("noise output node cannot be ground")
+    B, n = G.shape[0], G.shape[1]
+    e_out = np.zeros(n, dtype=complex)
+    e_out[out_idx] = 1.0
+    GT = np.ascontiguousarray(np.swapaxes(G, 1, 2))
+    CT = np.ascontiguousarray(np.swapaxes(C, 1, 2))
+    y = np.conjugate(ac_solutions(GT, CT, np.tile(e_out, (B, 1)),
+                                  frequencies))            # (B, F, n)
+    # Ground (-1) routes to a zero padding column.
+    y_pad = np.concatenate([y, np.zeros((B, len(frequencies), 1))], axis=-1)
+
+    psd_out = np.zeros((B, len(frequencies)))
+    res_idx = np.where(stack.noise_res_idx < 0, n, stack.noise_res_idx)
+    if len(res_idx):
+        Z = y_pad[..., res_idx[:, 0]] - y_pad[..., res_idx[:, 1]]  # (B, F, R)
+        psd_out += np.einsum("bfr,br->bf", np.abs(Z) ** 2,
+                             stack.noise_res_psd[rows])
+    if stack.dev is not None:
+        terms = stack.template._mos_terms
+        d_idx = np.where(terms[:, 0] < 0, n, terms[:, 0])
+        s_idx = np.where(terms[:, 2] < 0, n, terms[:, 2])
+        Zm2 = np.abs(y_pad[..., d_idx] - y_pad[..., s_idx]) ** 2   # (B, F, K)
+        dev = stack.dev.take(rows)
+        thermal = (4.0 * BOLTZMANN * stack.temperatures[rows][:, None]
+                   * dev.gamma_n * gm)                             # (B, K)
+        flicker = dev.kf * gm ** 2 / dev.c_area                    # (B, K)
+        psd_out += np.einsum("bfk,bk->bf", Zm2, thermal)
+        psd_out += np.einsum("bfk,bk,f->bf", Zm2, flicker,
+                             1.0 / frequencies)
+    return np.sqrt(np.trapezoid(psd_out, frequencies, axis=-1))
+
+
 def noise_analysis(system: MnaSystem, op: OperatingPoint,
                    frequencies: np.ndarray, output: str,
                    refer_to_input: bool = True) -> NoiseResult:

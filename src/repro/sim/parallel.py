@@ -1,0 +1,322 @@
+"""Multicore batch-evaluation sharding (the production-scale axis).
+
+The batched engine amortises Python/numpy dispatch within one process;
+this module spreads stacked evaluation across *processes*.  A
+:class:`ShardPool` owns N persistent workers, each holding its own
+simulator replica built from a picklable factory (spawn-safe — nothing
+relies on forked closures).  Work travels through
+``multiprocessing.shared_memory`` blocks: the parent writes the stacked
+sizing-value array into one block, workers write their spec rows into
+another, and only tiny ``("eval", bounds)`` control messages cross the
+pipes — no per-call pickling of the stacked arrays.
+
+The knob is the ``REPRO_SHARDS`` environment variable (default 1 =
+single-process, no workers are ever spawned).  ``CircuitSimulator``
+consults it inside ``evaluate_batch``, so ``VectorEnv`` rollouts, the
+CEM/GA/random-search population loops and plain batched evaluation all
+scale across cores without code changes; results are bitwise identical
+to the in-process engine because every worker runs the same batched
+solve from the same canonical warm seeds.
+
+:class:`WorkerGroup` is the generic pipe/process plumbing, shared with
+:class:`repro.rl.parallel.ParallelVectorEnv`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+#: Environment variable selecting the worker count (1 = in-process).
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def shard_count(default: int = 1) -> int:
+    """Worker count requested via ``REPRO_SHARDS`` (>= 1)."""
+    raw = os.environ.get(SHARDS_ENV, "")
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        return max(default, 1)
+
+
+def resolve_context(name: str | None = None) -> str:
+    """Pick a multiprocessing start method.
+
+    ``fork`` where the platform offers it (cheapest, tolerates closure
+    factories), ``spawn`` otherwise — and any explicit ``fork`` request is
+    downgraded to ``spawn`` on fork-less platforms instead of failing.
+    """
+    available = mp.get_all_start_methods()
+    if name:
+        if name == "fork" and "fork" not in available:
+            return "spawn"
+        return name
+    return "fork" if "fork" in available else "spawn"
+
+
+class WorkerGroup:
+    """Daemon worker processes, one pipe each, with orderly shutdown.
+
+    The shared plumbing behind :class:`ShardPool` and
+    :class:`repro.rl.parallel.ParallelVectorEnv`: workers receive
+    ``(pipe_end, *args)`` and speak a ``(command, payload)`` protocol in
+    which ``("close", None)`` is answered once and ends the worker.
+    ``args_list`` must be picklable under the resolved start method.
+    """
+
+    def __init__(self, target, args_list, context: str | None = None):
+        if not args_list:
+            raise TrainingError("WorkerGroup needs at least one worker")
+        ctx = mp.get_context(resolve_context(context))
+        self.remotes = []
+        self.processes = []
+        for args in args_list:
+            parent, child = ctx.Pipe()
+            process = ctx.Process(target=target, args=(child, *args),
+                                  daemon=True)
+            process.start()
+            child.close()
+            self.remotes.append(parent)
+            self.processes.append(process)
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self.remotes)
+
+    def close(self) -> None:
+        """Send ``("close", None)`` everywhere and reap (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for remote in self.remotes:
+            try:
+                remote.send(("close", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                continue
+        for remote in self.remotes:
+            try:
+                remote.recv()
+            except (EOFError, OSError):  # pragma: no cover
+                pass
+            remote.close()
+        for process in self.processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+
+
+def _attach(cache: dict, name: str) -> shared_memory.SharedMemory:
+    """Worker-side shared-memory attachment, cached by block name.
+
+    The parent owns the block lifecycle (create/unlink); workers only
+    attach and close.  Worker-side attachment must not reach any resource
+    tracker: depending on spawn order the worker either shares the
+    parent's tracker (whose registry the parent's ``unlink`` retires
+    exactly once) or runs its own (which would mistake the parent's live
+    block for a leak at worker exit) — so registration is suppressed for
+    the duration of the attach (Python < 3.13 lacks ``track=False``)."""
+    shm = cache.get(name)
+    if shm is None:
+        from multiprocessing import resource_tracker
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        cache[name] = shm
+    return shm
+
+
+def _attach_pair(cache: dict, in_name: str, out_name: str):
+    """Attach the request's block pair, evicting every *other* stale block.
+
+    The parent regrows both blocks together, so only the current pair is
+    ever live; closing must happen strictly before the new attaches are
+    used and must never touch them (a closed block's ``.buf`` is gone, and
+    ``np.ndarray`` over it would silently read unshared memory)."""
+    for name in [n for n in cache if n not in (in_name, out_name)]:
+        cache.pop(name).close()
+    return _attach(cache, in_name), _attach(cache, out_name)
+
+
+def _shard_worker(remote, factory, param_names, spec_names) -> None:
+    """Worker loop: one simulator replica, evaluates value-array shards."""
+    os.environ[SHARDS_ENV] = "1"    # no nested sharding in workers
+    simulator = factory()
+    remote.send(("ready", tuple(simulator.spec_space.names)))
+    attachments: dict[str, shared_memory.SharedMemory] = {}
+    P, S = len(param_names), len(spec_names)
+    try:
+        while True:
+            cmd, payload = remote.recv()
+            if cmd == "eval":
+                in_name, out_name, lo, hi, B = payload
+                try:
+                    shm_in, shm_out = _attach_pair(attachments, in_name,
+                                                   out_name)
+                    vals = np.ndarray((B, P), dtype=np.float64,
+                                      buffer=shm_in.buf)
+                    out = np.ndarray((B, S), dtype=np.float64,
+                                     buffer=shm_out.buf)
+                    values_list = [
+                        {name: float(v) for name, v in zip(param_names, row)}
+                        for row in vals[lo:hi]]
+                    specs = simulator._fresh_batch(values_list)
+                    for r, spec in zip(range(lo, hi), specs):
+                        out[r] = [spec[name] for name in spec_names]
+                    remote.send(("ok", None))
+                except Exception as exc:  # surface, don't kill the pool
+                    remote.send(("error", f"{type(exc).__name__}: {exc}"))
+            elif cmd == "close":
+                remote.send(None)
+                break
+            else:  # pragma: no cover - protocol misuse guard
+                raise RuntimeError(f"unknown command {cmd!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        for shm in attachments.values():
+            shm.close()
+        remote.close()
+
+
+class ShardPool:
+    """Persistent multicore shard pool over one simulator family.
+
+    Parameters
+    ----------
+    factory:
+        Picklable zero-argument callable building the worker's simulator
+        (see ``CircuitSimulator.shard_factory``).
+    n_shards:
+        Worker count.
+    param_names / spec_names:
+        Wire format: sizing values and spec results travel as float64
+        arrays in these column orders.
+    """
+
+    def __init__(self, factory, n_shards: int, param_names, spec_names,
+                 context: str | None = None):
+        if n_shards < 1:
+            raise TrainingError("ShardPool needs at least one shard")
+        self.param_names = tuple(param_names)
+        self.spec_names = tuple(spec_names)
+        self._group = WorkerGroup(
+            _shard_worker,
+            [(factory, self.param_names, self.spec_names)] * n_shards,
+            context=context)
+        for remote in self._group.remotes:
+            cmd, names = remote.recv()
+            if cmd != "ready" or names != self.spec_names:
+                self._group.close()
+                raise TrainingError(
+                    f"shard worker handshake failed: {cmd} {names!r}")
+        self._shm_in: shared_memory.SharedMemory | None = None
+        self._shm_out: shared_memory.SharedMemory | None = None
+        self._cap_rows = 0
+        # Exit hook through a weak reference: the atexit registry must not
+        # keep abandoned pools (and their workers) alive until exit —
+        # dropped pools get reaped by __del__/GC, live ones at shutdown.
+        atexit.register(ShardPool._atexit_close, weakref.ref(self))
+
+    @staticmethod
+    def _atexit_close(pool_ref) -> None:
+        """Interpreter-exit cleanup through a weak reference."""
+        pool = pool_ref()
+        if pool is not None:
+            pool.close()
+
+    def __len__(self) -> int:
+        return len(self._group)
+
+    @property
+    def closed(self) -> bool:
+        return self._group.closed
+
+    def _release_shm(self) -> None:
+        for shm in (self._shm_in, self._shm_out):
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._shm_in = self._shm_out = None
+        self._cap_rows = 0
+
+    def _ensure_capacity(self, rows: int) -> None:
+        if rows <= self._cap_rows:
+            return
+        self._release_shm()
+        cap = max(rows, 64)
+        self._shm_in = shared_memory.SharedMemory(
+            create=True, size=cap * len(self.param_names) * 8)
+        self._shm_out = shared_memory.SharedMemory(
+            create=True, size=cap * len(self.spec_names) * 8)
+        self._cap_rows = cap
+
+    def evaluate_values(self, values_array: np.ndarray) -> np.ndarray:
+        """Evaluate ``(B, P)`` stacked sizing values; returns ``(B, S)``.
+
+        Rows are split into contiguous shards, one per worker; the value
+        and spec arrays live in shared memory for the round trip.
+        """
+        if self._group.closed:
+            raise TrainingError("ShardPool is closed")
+        values_array = np.ascontiguousarray(values_array, dtype=np.float64)
+        B, P = values_array.shape
+        if P != len(self.param_names):
+            raise TrainingError(
+                f"got {P} parameters, expected {len(self.param_names)}")
+        self._ensure_capacity(B)
+        vals = np.ndarray((B, P), dtype=np.float64, buffer=self._shm_in.buf)
+        vals[:] = values_array
+        out = np.ndarray((B, len(self.spec_names)), dtype=np.float64,
+                         buffer=self._shm_out.buf)
+        bounds = np.linspace(0, B, len(self._group) + 1).astype(int)
+        busy = []
+        for remote, lo, hi in zip(self._group.remotes, bounds, bounds[1:]):
+            if hi > lo:
+                remote.send(("eval", (self._shm_in.name, self._shm_out.name,
+                                      int(lo), int(hi), B)))
+                busy.append(remote)
+        errors = []
+        dead = False
+        for remote in busy:
+            try:
+                cmd, payload = remote.recv()
+            except (EOFError, OSError):
+                # A worker died mid-eval (OOM, native crash): the pool is
+                # mid-protocol and unrecoverable — tear it down so the
+                # caller's next attempt rebuilds a fresh one.
+                dead = True
+                continue
+            if cmd != "ok":
+                errors.append(payload)
+        if dead:
+            self.close()
+            raise TrainingError("shard worker died mid-evaluation; "
+                                "pool closed")
+        if errors:
+            raise TrainingError(f"shard worker failed: {errors[0]}")
+        return out.copy()
+
+    def close(self) -> None:
+        """Shut the workers down and release the shared blocks."""
+        self._group.close()
+        self._release_shm()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -87,6 +87,25 @@ class StampPlan:
         self.rebuilds += 1
         return self._system
 
+    def stack(self, values_list, into=None, offset: int = 0,
+              n_slices: int | None = None, n_corners: int = 1):
+        """Restamp every sizing in ``values_list`` and snapshot the results
+        into a :class:`~repro.sim.batch.SystemStack`.
+
+        ``into``/``offset`` let multi-plan callers (the corner-stacked PEX
+        sweep) fill one shared stack from several plans: the first call
+        creates the stack sized ``n_slices`` (default ``len(values_list)``),
+        later calls append at ``offset``.  Returns the stack.
+        """
+        from repro.sim.batch import SystemStack
+        for i, values in enumerate(values_list):
+            system = self.restamp(values)
+            if into is None:
+                into = SystemStack(system, n_slices or len(values_list),
+                                   n_corners=n_corners)
+            into.set_design(offset + i, system, values=values)
+        return into
+
     @property
     def system(self) -> MnaSystem | None:
         """The cached system (None before the first restamp)."""

@@ -558,6 +558,35 @@ class MnaSystem:
         Cp.reshape(-1)[:] += c4 @ self._cap_map
         return Cp[:size, :size].copy()
 
+    def nonlinear_current(self, x: np.ndarray) -> np.ndarray:
+        """KCL currents injected by the MOSFETs at large-signal ``x``.
+
+        One vectorised current-only device evaluation scattered through the
+        residual map — the transient engine's f(x) assembly, shared with
+        the batched engine so both integrate bit-identical trajectories.
+        """
+        if self._dev is None:
+            return np.zeros(self.size)
+        V = self._terminal_voltages(x)
+        return eval_ids_batch(self._dev, V) @ self._res_map
+
+    def nonlinear_current_and_jacobian(
+            self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(i_nl, J_nl)`` of the stacked MOSFETs at large-signal ``x``.
+
+        The Jacobian is assembled with the same dense scatter maps the DC
+        Newton loop uses (ground terminals routed to the sliced-away
+        padding row), replacing the historical per-device Python loop.
+        """
+        n = self.size
+        if self._dev is None:
+            return np.zeros(n), np.zeros((n, n))
+        V = self._terminal_voltages(x)
+        i_d, g = eval_companion_batch(self._dev, V)
+        n1 = n + 1
+        Jp = (g.reshape(-1) @ self._newton_g_map).reshape(n1, n1)
+        return i_d @ self._res_map, np.ascontiguousarray(Jp[:n, :n])
+
     def noise_source_list(self, op):
         """All noise current sources ``(i_index, j_index, psd_fn)`` at ``op``."""
         sources = []

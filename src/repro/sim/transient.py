@@ -10,6 +10,22 @@ warm-started from the previous step.  Time-varying stimuli are supplied as
 ``waveforms={"V1": fn(t) -> value}`` overriding the DC value of the named
 source during the run (the classic PWL/pulse testbench pattern).
 
+Two engines share the per-step algebra:
+
+* :func:`transient_analysis` — one design.  Device evaluation and stamp
+  assembly are vectorised over the netlist's MOSFETs (the same scatter
+  maps the DC Newton loop uses); the source vector is built once per step
+  and handed forward as the next step's ``b_prev``; the device capacitance
+  matrix is refreshed only when the state has moved far enough to change
+  the operating region (:data:`C_REFRESH_V`).
+* :func:`transient_analysis_batch` — B stacked designs
+  (:class:`~repro.sim.batch.SystemStack`) integrate in lockstep: one
+  stacked companion evaluation and one batched linear solve per Newton
+  iteration, with per-design convergence masking so finished designs drop
+  out of the linear algebra within each time step.  Both engines run the
+  identical per-step update, so their waveforms agree to accumulated
+  rounding (~1e-12) when started from the same state.
+
 Used by the examples and the verification tests (e.g. checking that the
 small-signal settling measurement agrees with a true large-signal step for
 small steps); the RL hot loop uses the cheaper linearised analyses.
@@ -23,11 +39,19 @@ from typing import Callable
 import numpy as np
 
 from repro.circuits.elements import CurrentSource, VoltageSource
+from repro.circuits.mosfet import eval_companion_batch, eval_ids_batch
 from repro.errors import AnalysisError, ConvergenceError
-from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.batch import SystemStack, _solve_active, solve_dc_batch
+from repro.sim.dc import solve_dc
 from repro.sim.system import MnaSystem
 
 Waveform = Callable[[float], float]
+
+#: State movement [V] beyond which the device capacitance matrix is
+#: refreshed.  Between refreshes the operating region is assumed
+#: unchanged — the same order of approximation as freezing C within a
+#: step, which the trapezoidal companion already does.
+C_REFRESH_V = 1e-3
 
 
 def step_waveform(before: float, after: float, t_step: float = 0.0) -> Waveform:
@@ -81,28 +105,47 @@ class TransientResult:
         return self.solutions[:, self.system.branch_index[element_name]]
 
 
-def _source_vector(system: MnaSystem, waveforms: dict[str, Waveform],
-                   t: float) -> np.ndarray:
-    """DC excitation vector with waveform overrides applied at time ``t``."""
-    b = system.b_dc.copy()
+def _check_waveforms(system: MnaSystem,
+                     waveforms: dict[str, Waveform]) -> None:
+    for name in waveforms:
+        if name not in system.netlist:
+            raise AnalysisError(f"waveform refers to unknown element {name!r}")
+        element = system.netlist[name]
+        if not isinstance(element, (VoltageSource, CurrentSource)):
+            raise AnalysisError(
+                f"waveform target {name!r} is not an independent source")
+
+
+def _source_delta(system: MnaSystem, waveforms: dict[str, Waveform],
+                  t: float) -> np.ndarray:
+    """Deviation of the excitation vector from ``b_dc`` at time ``t``.
+
+    ``b(t) = b_dc + delta(t)``; the delta depends only on the waveform
+    targets' *structure* (branch/node indices) and their DC values, so one
+    delta serves every slice of a stacked run whose waveform sources share
+    the same DC value (the standard shared-testbench case).
+    """
+    delta = np.zeros(system.size)
     for name, wave in waveforms.items():
         element = system.netlist[name]
         value = wave(t)
         if isinstance(element, VoltageSource):
-            k = system.branch_index[name]
-            b[k] += value - element.dc
-        elif isinstance(element, CurrentSource):
+            delta[system.branch_index[name]] += value - element.dc
+        else:  # CurrentSource (validated in _check_waveforms)
             i = system.node_index[element.p]
             j = system.node_index[element.n]
-            delta = value - element.dc
+            dv = value - element.dc
             if i >= 0:
-                b[i] -= delta
+                delta[i] -= dv
             if j >= 0:
-                b[j] += delta
-        else:
-            raise AnalysisError(
-                f"waveform target {name!r} is not an independent source")
-    return b
+                delta[j] += dv
+    return delta
+
+
+def _source_vector(system: MnaSystem, waveforms: dict[str, Waveform],
+                   t: float) -> np.ndarray:
+    """DC excitation vector with waveform overrides applied at time ``t``."""
+    return system.b_dc + _source_delta(system, waveforms, t)
 
 
 def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
@@ -124,9 +167,7 @@ def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
     if t_stop <= 0 or dt <= 0 or dt > t_stop:
         raise AnalysisError(f"bad transient window t_stop={t_stop}, dt={dt}")
     waveforms = waveforms or {}
-    for name in waveforms:
-        if name not in system.netlist:
-            raise AnalysisError(f"waveform refers to unknown element {name!r}")
+    _check_waveforms(system, waveforms)
 
     if x0 is None:
         op0 = solve_dc(system)
@@ -146,19 +187,24 @@ def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
 
     G = system.G
     h2 = dt / 2.0
+    C = system.capacitance_matrix_at(x)
+    x_cap = x.copy()                     # state C was last evaluated at
+    b_prev = _source_vector(system, waveforms, times[0])
     for k in range(1, n_steps + 1):
-        # Device capacitances depend on the operating region, so the C
-        # matrix is refreshed from the state at the start of each step.
-        C = system.capacitance_matrix_at(x)
-        t_prev, t_now = times[k - 1], times[k]
-        b_prev = _source_vector(system, waveforms, t_prev)
+        # Device capacitances depend on the operating region; refresh the
+        # C matrix only once the state has actually moved.
+        if system.mosfets and np.max(np.abs(x - x_cap)) > C_REFRESH_V:
+            C = system.capacitance_matrix_at(x)
+            x_cap = x.copy()
+        t_now = times[k]
         b_now = _source_vector(system, waveforms, t_now)
-        f_prev = b_prev - G @ x - _nonlinear_current(system, x)
+        f_prev = b_prev - G @ x - system.nonlinear_current(x)
         # Newton on F(v) = C (v - x) - h/2 (b_now - G v - i_nl(v)) - h/2 f_prev
         v = x.copy()
         converged = False
+        step = np.inf
         for _ in range(max_newton):
-            i_nl, J_nl = _nonlinear_current_and_jacobian(system, v)
+            i_nl, J_nl = system.nonlinear_current_and_jacobian(v)
             F = C @ (v - x) - h2 * (b_now - G @ v - i_nl) - h2 * f_prev
             J = C + h2 * (G + J_nl)
             try:
@@ -178,41 +224,248 @@ def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
                 f"transient Newton failed at t={t_now:.3e}s", residual=step)
         x = v
         states[k] = x
+        b_prev = b_now
     return TransientResult(system=system, time=times, solutions=states)
 
 
+@dataclasses.dataclass
+class BatchTransientResult:
+    """Waveforms of a stacked transient run.
+
+    ``converged[i]`` is False when design ``i`` failed its initial DC
+    solve or a Newton step; its ``solutions`` rows are NaN from the first
+    failed time point onward (the surviving designs keep integrating).
+    """
+
+    stack: SystemStack
+    time: np.ndarray       # (T,)
+    solutions: np.ndarray  # (B, T, size)
+    converged: np.ndarray  # (B,) bool
+
+    def voltage(self, node: str) -> np.ndarray:
+        """``(B, T)`` node-voltage waveforms."""
+        i = self.stack.template.node_index[node]
+        if i < 0:
+            return np.zeros(self.solutions.shape[:2])
+        return self.solutions[:, :, i]
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """``(B, T)`` branch-current waveforms of a voltage-defined element."""
+        return self.solutions[:, :, self.stack.template.branch_index[element_name]]
+
+
+def _capacitance_rows(stack: SystemStack, X: np.ndarray,
+                      rows: np.ndarray) -> np.ndarray:
+    """Large-signal capacitance matrices of slices ``rows`` at ``X[rows]``."""
+    from repro.circuits.mosfet import state_arrays_batch, terminal_voltages_batch
+    tpl = stack.template
+    n, n1 = stack.size, stack.size + 1
+    B = len(rows)
+    Cp = np.zeros((B, n1, n1))
+    Cp[:, :n, :n] = stack.C[rows]
+    if stack.dev is not None:
+        dev = stack.dev.take(rows)
+        Xp = np.concatenate([X[rows], np.zeros((B, 1))], axis=1)
+        V = Xp[:, tpl._terms_pad]
+        arrays = state_arrays_batch(dev, *terminal_voltages_batch(dev, V))
+        c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
+                       arrays["csb"]], axis=-1).reshape(B, -1)
+        Cp.reshape(B, -1)[:] += c4 @ tpl._cap_map
+    return np.ascontiguousarray(Cp[:, :n, :n])
+
+
+def _nonlinear_current_batch(stack: SystemStack, X: np.ndarray,
+                             rows: np.ndarray) -> np.ndarray:
+    """Stacked MOSFET KCL currents of slices ``rows`` at ``X[rows]``."""
+    if stack.dev is None:
+        return np.zeros((len(rows), stack.size))
+    tpl = stack.template
+    Xp = np.concatenate([X[rows], np.zeros((len(rows), 1))], axis=1)
+    V = Xp[:, tpl._terms_pad]
+    return eval_ids_batch(stack.dev.take(rows), V) @ tpl._res_map
+
+
+def transient_analysis_batch(stack: SystemStack, *, t_stop: float, dt: float,
+                             waveforms: dict[str, Waveform] | None = None,
+                             x0: np.ndarray | None = None,
+                             max_newton: int = 50,
+                             vtol: float = 1e-8) -> BatchTransientResult:
+    """Integrate every stacked design over ``[0, t_stop]`` in lockstep.
+
+    The batched counterpart of :func:`transient_analysis`: one trapezoidal
+    step advances all designs together, each Newton iteration evaluating
+    every device of every active design in one stacked call and solving
+    one batched linear system.  Per-design convergence masking drops
+    finished designs out of the iteration; a design whose Newton fails is
+    flagged in ``converged`` and NaN-filled instead of aborting the batch.
+
+    ``waveforms`` are shared across designs and must target sources whose
+    DC value is identical in every slice (the shared-testbench contract —
+    the override delta is computed once from the template).  ``x0`` is the
+    ``(B, n)`` initial state; when omitted, each design starts from its
+    own batched DC operating point.
+    """
+    if t_stop <= 0 or dt <= 0 or dt > t_stop:
+        raise AnalysisError(f"bad transient window t_stop={t_stop}, dt={dt}")
+    waveforms = waveforms or {}
+    tpl = stack.template
+    _check_waveforms(tpl, waveforms)
+    B, n = stack.n_designs, stack.size
+    n1 = n + 1
+
+    if x0 is None:
+        dc = solve_dc_batch(stack)
+        X = dc.x
+        alive = dc.converged.copy()
+        if waveforms:
+            delta0 = _source_delta(tpl, waveforms, 0.0)
+            if np.any(delta0):
+                ok = _solve_static_batch(stack, stack.b_dc + delta0, X,
+                                         np.nonzero(alive)[0], max_newton, vtol)
+                alive[np.nonzero(alive)[0]] &= ok
+    else:
+        X = np.array(x0, dtype=float)
+        if X.shape != (B, n):
+            raise AnalysisError(f"x0 has shape {X.shape}, expected {(B, n)}")
+        alive = np.ones(B, dtype=bool)
+
+    n_steps = int(np.ceil(t_stop / dt))
+    times = np.linspace(0.0, n_steps * dt, n_steps + 1)
+    states = np.full((n_steps + 1, B, n), np.nan)
+    states[0, alive] = X[alive]
+
+    h2 = dt / 2.0
+    all_rows = np.arange(B)
+    C = np.zeros((B, n, n))
+    C[alive] = _capacitance_rows(stack, X, all_rows[alive])
+    X_cap = X.copy()
+    b_prev = stack.b_dc + _source_delta(tpl, waveforms, times[0])[None, :]
+    has_dev = stack.dev is not None
+    for k in range(1, n_steps + 1):
+        rows = all_rows[alive]
+        if len(rows) == 0:
+            break
+        if has_dev:
+            moved = rows[np.max(np.abs(X[rows] - X_cap[rows]), axis=1)
+                         > C_REFRESH_V]
+            if len(moved):
+                C[moved] = _capacitance_rows(stack, X, moved)
+                X_cap[moved] = X[moved]
+        t_now = times[k]
+        b_now = stack.b_dc + _source_delta(tpl, waveforms, t_now)[None, :]
+        f_prev = (b_prev[rows] - (stack.G[rows] @ X[rows, :, None])[..., 0]
+                  - _nonlinear_current_batch(stack, X, rows))
+        # Newton on F(v) = C (v - x) - h/2 (b_now - G v - i_nl(v)) - h/2 f_prev
+        V = X[rows].copy()
+        active = np.arange(len(rows))     # positions into rows
+        done = np.zeros(len(rows), dtype=bool)
+        for _ in range(max_newton):
+            if len(active) == 0:
+                break
+            a = len(active)
+            r = rows[active]
+            Va = V[active]
+            if has_dev:
+                Xp = np.concatenate([Va, np.zeros((a, 1))], axis=1)
+                Vt = Xp[:, tpl._terms_pad]
+                i_d, g = eval_companion_batch(stack.dev.take(r), Vt)
+                i_nl = i_d @ tpl._res_map
+                Jp = (g.reshape(a, -1) @ tpl._newton_g_map).reshape(a, n1, n1)
+                J_nl = Jp[:, :n, :n]
+            else:
+                i_nl = np.zeros((a, n))
+                J_nl = 0.0
+            F = ((C[r] @ (Va - X[r])[..., None])[..., 0]
+                 - h2 * (b_now[r] - (stack.G[r] @ Va[..., None])[..., 0]
+                         - i_nl)
+                 - h2 * f_prev[active])
+            J = C[r] + h2 * (stack.G[r] + J_nl)
+            dv, singular = _solve_active(J, -F)
+            if singular.any():
+                # Dead designs: flagged, dropped; they keep their last state.
+                keep = ~singular
+                alive[r[singular]] = False
+                active, dv, Va = active[keep], dv[keep], Va[keep]
+                if len(active) == 0:
+                    break
+            step = np.abs(dv).max(axis=1) if n else np.zeros(len(active))
+            over = step > 0.5
+            if over.any():
+                dv[over] *= (0.5 / step[over])[:, None]
+            V[active] = Va + dv
+            conv = step < vtol
+            if conv.any():
+                done[active[conv]] = True
+                active = active[~conv]
+        if len(active):
+            alive[rows[active]] = False   # Newton exhausted max_newton
+        ok_rows = rows[done]
+        X[ok_rows] = V[done]
+        states[k, ok_rows] = X[ok_rows]
+        b_prev = b_now
+    return BatchTransientResult(stack=stack, time=times,
+                                solutions=np.ascontiguousarray(
+                                    states.transpose(1, 0, 2)),
+                                converged=alive)
+
+
+def _solve_static_batch(stack: SystemStack, b: np.ndarray, X: np.ndarray,
+                        rows: np.ndarray, max_iter: int,
+                        vtol: float) -> np.ndarray:
+    """Batched Newton solve of ``G x + i_nl(x) = b[rows]`` warm from ``X``.
+
+    Updates ``X`` rows in place; returns a bool mask (aligned with
+    ``rows``) of designs that converged."""
+    tpl = stack.template
+    n, n1 = stack.size, stack.size + 1
+    ok = np.zeros(len(rows), dtype=bool)
+    active = np.arange(len(rows))
+    for _ in range(max_iter):
+        if len(active) == 0:
+            break
+        a = len(active)
+        r = rows[active]
+        Xa = X[r]
+        if stack.dev is not None:
+            Xp = np.concatenate([Xa, np.zeros((a, 1))], axis=1)
+            Vt = Xp[:, tpl._terms_pad]
+            i_d, g = eval_companion_batch(stack.dev.take(r), Vt)
+            i_nl = i_d @ tpl._res_map
+            J_nl = (g.reshape(a, -1) @ tpl._newton_g_map
+                    ).reshape(a, n1, n1)[:, :n, :n]
+        else:
+            i_nl = np.zeros((a, n))
+            J_nl = 0.0
+        F = (stack.G[r] @ Xa[..., None])[..., 0] + i_nl - b[r]
+        dx, singular = _solve_active(stack.G[r] + J_nl, -F)
+        if singular.any():
+            keep = ~singular
+            active, dx, Xa = active[keep], dx[keep], Xa[keep]
+            if len(active) == 0:
+                break
+            r = rows[active]
+        step = np.abs(dx).max(axis=1)
+        over = step > 0.4
+        if over.any():
+            dx[over] *= (0.4 / step[over])[:, None]
+        X[r] = Xa + dx
+        conv = step < vtol
+        if conv.any():
+            ok[active[conv]] = True
+            active = active[~conv]
+    return ok
+
+
 def _nonlinear_current(system: MnaSystem, x: np.ndarray) -> np.ndarray:
-    i = np.zeros(system.size)
-    get = system.voltage_getter(x)
-    for k, mosfet in enumerate(system.mosfets):
-        i_d = mosfet.eval_companion(get)[0]
-        d, s = system._mos_terms[k][0], system._mos_terms[k][2]
-        if d >= 0:
-            i[d] += i_d
-        if s >= 0:
-            i[s] -= i_d
-    return i
+    """Backward-compatible alias of :meth:`MnaSystem.nonlinear_current`."""
+    return system.nonlinear_current(x)
 
 
 def _nonlinear_current_and_jacobian(system: MnaSystem,
                                     x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    i = np.zeros(system.size)
-    J = np.zeros((system.size, system.size))
-    get = system.voltage_getter(x)
-    for k, mosfet in enumerate(system.mosfets):
-        i_d, g_d, g_g, g_s, g_b = mosfet.eval_companion(get)
-        d, g, s, b = system._mos_terms[k]
-        if d >= 0:
-            i[d] += i_d
-        if s >= 0:
-            i[s] -= i_d
-        for idx, g_val in ((d, g_d), (g, g_g), (s, g_s), (b, g_b)):
-            if idx >= 0:
-                if d >= 0:
-                    J[d, idx] += g_val
-                if s >= 0:
-                    J[s, idx] -= g_val
-    return i, J
+    """Backward-compatible alias of
+    :meth:`MnaSystem.nonlinear_current_and_jacobian`."""
+    return system.nonlinear_current_and_jacobian(x)
 
 
 def _solve_static(system: MnaSystem, b: np.ndarray, x0: np.ndarray,
@@ -220,7 +473,7 @@ def _solve_static(system: MnaSystem, b: np.ndarray, x0: np.ndarray,
     """Newton solve of G x + i_nl(x) = b from a warm start."""
     x = x0.copy()
     for _ in range(max_iter):
-        i_nl, J_nl = _nonlinear_current_and_jacobian(system, x)
+        i_nl, J_nl = system.nonlinear_current_and_jacobian(x)
         F = system.G @ x + i_nl - b
         try:
             dx = np.linalg.solve(system.G + J_nl, -F)

@@ -18,6 +18,7 @@ memoisation, and warm-started DC solves along sizing trajectories.
 from __future__ import annotations
 
 import abc
+import dataclasses
 
 import numpy as np
 
@@ -164,12 +165,7 @@ class Topology(abc.ABC):
         B = len(values_list)
         if B == 0:
             return []
-        stack: SystemStack | None = None
-        for i, values in enumerate(values_list):
-            system = self._plan.restamp(values)
-            if stack is None:
-                stack = SystemStack(system, B)
-            stack.set_design(i, system)
+        stack: SystemStack = self._plan.stack(values_list)
         result = solve_dc_batch(stack, x0=self._batch_warm_start(stack))
         batched = self.measure_batch(stack, result)
         if batched is not None:
@@ -275,11 +271,22 @@ class Topology(abc.ABC):
 
 
 class CircuitSimulator(abc.ABC):
-    """What optimisers see: index-vector evaluation with sim accounting."""
+    """What optimisers see: index-vector evaluation with sim accounting.
+
+    Batched evaluation can be sharded across worker processes: when the
+    ``REPRO_SHARDS`` environment variable asks for more than one shard
+    and the simulator provides a picklable :meth:`shard_factory`, the
+    distinct cache misses of every ``evaluate_batch`` call are split over
+    a persistent :class:`~repro.sim.parallel.ShardPool` (single-process
+    fallback otherwise).  Worker results are bitwise identical to the
+    in-process engine — each worker runs the same batched solve from the
+    same canonical warm seeds.
+    """
 
     parameter_space: ParameterSpace
     spec_space: SpecSpace
     counter: SimulationCounter
+    _pool = None
 
     @abc.abstractmethod
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
@@ -290,11 +297,103 @@ class CircuitSimulator(abc.ABC):
         dicts.
 
         The default runs :meth:`evaluate` row by row; simulators with a
-        vectorised engine (:class:`SchematicSimulator`) override this with
-        a stacked solve that is several times faster than the loop.
+        vectorised engine (:class:`SchematicSimulator`,
+        :class:`~repro.pex.extraction.PexSimulator`) override this with a
+        stacked solve that is several times faster than the loop.
         """
         indices_2d = np.atleast_2d(np.asarray(indices_2d, dtype=np.int64))
         return [self.evaluate(row) for row in indices_2d]
+
+    def _evaluate_batch_cached(self, indices_2d: np.ndarray, fresh_fn,
+                               cache) -> list[dict[str, float]]:
+        """Shared cache/counting front-end for batched evaluation.
+
+        ``fresh_fn(values_list) -> list[dict]`` computes the distinct
+        cache misses.  Cache hits (and duplicate rows within the batch)
+        are served from the memo and counted exactly as the sequential
+        loop would count them; only the distinct misses reach the batched
+        engine.
+        """
+        indices_2d = self.parameter_space.clip(
+            np.atleast_2d(np.asarray(indices_2d, dtype=np.int64)))
+        B = len(indices_2d)
+        if cache is None:
+            self.counter.fresh += B
+            return fresh_fn(
+                [self.parameter_space.values(row) for row in indices_2d])
+        results: list[dict[str, float] | None] = [None] * B
+        fresh_values: list[dict[str, float]] = []
+        fresh_keys: list[tuple[int, ...]] = []
+        pending: dict[tuple[int, ...], list[int]] = {}
+        for r in range(B):
+            indices = indices_2d[r]
+            key = self.parameter_space.as_key(indices)
+            if key in cache:
+                self.counter.cached += 1
+                results[r] = dict(cache.get_or_compute(
+                    key, dict))  # key present: compute never runs
+                continue
+            if key in pending:
+                # Duplicate inside the batch: the sequential loop would
+                # have found it in the cache by now.
+                self.counter.cached += 1
+                pending[key].append(r)
+                continue
+            self.counter.fresh += 1
+            pending[key] = [r]
+            fresh_keys.append(key)
+            fresh_values.append(self.parameter_space.values(indices))
+        if fresh_values:
+            specs = fresh_fn(fresh_values)
+            for key, spec in zip(fresh_keys, specs):
+                cache.get_or_compute(key, lambda s=spec: s)
+                for r in pending[key]:
+                    results[r] = dict(spec)
+        return results  # type: ignore[return-value]
+
+    def shard_factory(self):
+        """Picklable zero-argument factory building an equivalent simulator
+        in a worker process (None = sharding unsupported)."""
+        return None
+
+    def _shard_eval(self, values_list: list[dict[str, float]]
+                    ) -> list[dict[str, float]] | None:
+        """Distribute fresh evaluations over the shard pool, if configured.
+
+        Returns None when sharding is off (``REPRO_SHARDS`` <= 1), the
+        batch is trivial, or the simulator has no factory — callers then
+        run the in-process engine.
+        """
+        from repro.sim.parallel import ShardPool, shard_count
+
+        n = shard_count()
+        if n <= 1 or len(values_list) < 2:
+            if n <= 1:
+                self.close_shard_pool()  # sharding turned off: reap workers
+            return None
+        factory = self.shard_factory()
+        if factory is None:
+            return None
+        pool = self._pool
+        if pool is None or len(pool) != n or pool.closed:
+            if pool is not None:
+                pool.close()
+            pool = ShardPool(factory, n, self.parameter_space.names,
+                             self.spec_space.names)
+            self._pool = pool
+        names = self.parameter_space.names
+        arr = np.array([[values[name] for name in names]
+                        for values in values_list])
+        out = pool.evaluate_values(arr)
+        spec_names = self.spec_space.names
+        return [{name: float(x) for name, x in zip(spec_names, row)}
+                for row in out]
+
+    def close_shard_pool(self) -> None:
+        """Shut down this simulator's shard pool, if one was spawned."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def reset_counter(self) -> None:
         """Zero the simulation counter (per-experiment accounting)."""
@@ -339,48 +438,24 @@ class SchematicSimulator(CircuitSimulator):
 
     def evaluate_batch(self, indices_2d: np.ndarray) -> list[dict[str, float]]:
         """Evaluate B sizings in one stacked solve (see
-        :meth:`Topology.simulate_batch`).
-
-        Cache hits (and duplicate rows within the batch) are served from
-        the memo and counted exactly as the sequential loop would count
-        them; only the distinct misses reach the batched engine.
+        :meth:`Topology.simulate_batch`), sharded across worker processes
+        when ``REPRO_SHARDS`` asks for them (:mod:`repro.sim.parallel`).
         """
-        indices_2d = self.parameter_space.clip(
-            np.atleast_2d(np.asarray(indices_2d, dtype=np.int64)))
-        B = len(indices_2d)
-        if self._cache is None:
-            self.counter.fresh += B
-            return self.topology.simulate_batch(
-                [self.parameter_space.values(row) for row in indices_2d])
-        results: list[dict[str, float] | None] = [None] * B
-        fresh_values: list[dict[str, float]] = []
-        fresh_keys: list[tuple[int, ...]] = []
-        pending: dict[tuple[int, ...], list[int]] = {}
-        for r in range(B):
-            indices = indices_2d[r]
-            key = self.parameter_space.as_key(indices)
-            if key in self._cache:
-                self.counter.cached += 1
-                results[r] = dict(self._cache.get_or_compute(
-                    key, dict))  # key present: compute never runs
-                continue
-            if key in pending:
-                # Duplicate inside the batch: the sequential loop would
-                # have found it in the cache by now.
-                self.counter.cached += 1
-                pending[key].append(r)
-                continue
-            self.counter.fresh += 1
-            pending[key] = [r]
-            fresh_keys.append(key)
-            fresh_values.append(self.parameter_space.values(indices))
-        if fresh_values:
-            specs = self.topology.simulate_batch(fresh_values)
-            for key, spec in zip(fresh_keys, specs):
-                self._cache.get_or_compute(key, lambda s=spec: s)
-                for r in pending[key]:
-                    results[r] = dict(spec)
-        return results  # type: ignore[return-value]
+        return self._evaluate_batch_cached(
+            indices_2d, self._fresh_batch, self._cache)
+
+    def _fresh_batch(self, values_list: list[dict[str, float]]
+                     ) -> list[dict[str, float]]:
+        """Batched engine entry for distinct cache misses (shard hook)."""
+        sharded = self._shard_eval(values_list)
+        if sharded is not None:
+            return sharded
+        return self.topology.simulate_batch(values_list)
+
+    def shard_factory(self):
+        topology = self.topology
+        return _SchematicShardFactory(type(topology), topology.technology,
+                                      topology.corner, topology.temperature)
 
     @property
     def cache_stats(self) -> dict[str, float]:
@@ -388,3 +463,20 @@ class SchematicSimulator(CircuitSimulator):
             return {"hits": 0, "misses": 0, "hit_rate": 0.0}
         return {"hits": self._cache.hits, "misses": self._cache.misses,
                 "hit_rate": self._cache.hit_rate}
+
+
+@dataclasses.dataclass
+class _SchematicShardFactory:
+    """Picklable recipe rebuilding a :class:`SchematicSimulator` replica
+    in a shard worker (caches off: the parent dedupes before sharding)."""
+
+    topology_cls: type
+    technology: Technology
+    corner: Corner
+    temperature: float
+
+    def __call__(self) -> SchematicSimulator:
+        topology = self.topology_cls(technology=self.technology,
+                                     corner=self.corner,
+                                     temperature=self.temperature)
+        return SchematicSimulator(topology, cache=False)

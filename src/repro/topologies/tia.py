@@ -25,12 +25,13 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, ptm45
 from repro.core.specs import Spec, SpecKind, SpecSpace
-from repro.measure.acspecs import f3db
+from repro.errors import MeasurementError
+from repro.measure.acspecs import f3db, f3db_batch
 from repro.measure.transpecs import settling_time
-from repro.sim.ac import ac_sweep, log_frequencies
+from repro.sim.ac import ac_node_response_batch, ac_sweep, log_frequencies
 from repro.sim.dc import OperatingPoint
-from repro.sim.linear import linear_step_response
-from repro.sim.noise import noise_analysis
+from repro.sim.linear import linear_step_response, step_response_node_batch
+from repro.sim.noise import noise_analysis, output_noise_rms_batch
 from repro.sim.system import MnaSystem
 from repro.topologies.base import Topology
 from repro.topologies.params import GridParam, ParameterSpace
@@ -150,3 +151,56 @@ class TransimpedanceAmplifier(Topology):
         vn_in = vn_out * rf / max(rt0, 1.0)
 
         return {"settling_time": settle, "cutoff_freq": cutoff, "noise": vn_in}
+
+    def measure_batch(self, stack, result) -> list[dict[str, float]] | None:
+        """Stacked settling/cutoff/noise measurement for a whole batch.
+
+        Mirrors :meth:`measure` with every solve stacked across designs:
+        one batched AC sweep (cutoff), one batched closed-form step
+        response (settling), and one batched adjoint noise sweep whose
+        per-design PSDs are rebuilt from the noise constants the stack
+        captured at snapshot time — the chain that used to run design by
+        design.  Needs the per-slice sizing ``values`` (for the feedback
+        resistance referral); returns None when a slice lacks them so the
+        caller falls back to the scalar path.
+        """
+        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
+        rows = np.nonzero(result.converged)[0]
+        if len(rows) == 0:
+            return specs
+        if any(stack.values[r] is None for r in rows):
+            return None
+        X = result.x[rows]
+        arrays = self.batch_state_arrays(stack, X, rows)
+        G_ss, C_ss = self.batch_small_signal(stack, X, rows, arrays)
+        out_idx = stack.template.node_index["out"]
+        freqs = self.AC_FREQUENCIES
+        h = ac_node_response_batch(G_ss, C_ss, stack.b_ac[rows], freqs,
+                                   out_idx)
+        rt0 = np.abs(h[:, 0])
+        ok = rt0 > 0.0
+        cutoff = f3db_batch(freqs, h)
+        durations = 6.0 / np.maximum(cutoff, 1e7)
+        times, waves, finals = step_response_node_batch(
+            G_ss, C_ss, np.real(stack.b_ac[rows]).astype(float),
+            durations, out_idx, n_steps=600)
+        vn_out = output_noise_rms_batch(stack, rows, arrays["gm"],
+                                        G_ss, C_ss, self.NOISE_FREQUENCIES,
+                                        out_idx)
+        for j, b in enumerate(rows):
+            if not (ok[j] and np.isfinite(finals[j])
+                    and np.all(np.isfinite(waves[j]))
+                    and np.isfinite(vn_out[j])):
+                continue
+            try:
+                settle = settling_time(times[j], waves[j], final=finals[j],
+                                       initial=0.0, tolerance=self.SETTLE_TOL)
+            except MeasurementError:
+                continue
+            rf = self.feedback_resistance(stack.values[b])
+            specs[b] = {
+                "settling_time": float(settle),
+                "cutoff_freq": float(cutoff[j]),
+                "noise": float(vn_out[j] * rf / max(rt0[j], 1.0)),
+            }
+        return specs

@@ -1,0 +1,200 @@
+"""Shard pool: multicore batched evaluation must reproduce the in-process
+engine exactly."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.sim.parallel import ShardPool, resolve_context, shard_count
+from repro.topologies import SchematicSimulator, TwoStageOpAmp
+
+
+@pytest.fixture
+def shards_env(monkeypatch):
+    def set_shards(n):
+        monkeypatch.setenv("REPRO_SHARDS", str(n))
+    return set_shards
+
+
+@pytest.fixture(scope="module")
+def opamp_batch():
+    sim = SchematicSimulator(TwoStageOpAmp(), cache=False)
+    rng = np.random.default_rng(5)
+    designs = np.stack([sim.parameter_space.sample(rng) for _ in range(12)])
+    return sim, designs
+
+
+class TestKnob:
+    def test_shard_count_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert shard_count() == 4
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        assert shard_count() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "banana")
+        assert shard_count() == 1
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert shard_count() == 1
+
+    def test_resolve_context(self):
+        assert resolve_context("spawn") == "spawn"
+        assert resolve_context() in ("fork", "spawn")
+
+    def test_single_process_fallback_spawns_nothing(self, shards_env,
+                                                    opamp_batch):
+        sim, designs = opamp_batch
+        shards_env(1)
+        sim._pool = None
+        sim.evaluate_batch(designs[:4])
+        assert sim._pool is None
+
+
+class TestShardedEvaluation:
+    def test_bitwise_equal_to_in_process_engine(self, shards_env,
+                                                opamp_batch):
+        """Every shard worker must compute exactly what the in-process
+        engine computes for the same work: pooled results are compared
+        bitwise against the in-process batched engine run on the same
+        shard decomposition."""
+        sim, designs = opamp_batch
+        n_shards = 3
+        shards_env(n_shards)
+        try:
+            sharded = sim.evaluate_batch(designs)
+            values = [sim.parameter_space.values(row) for row in designs]
+            bounds = np.linspace(0, len(designs), n_shards + 1).astype(int)
+            in_process = []
+            for lo, hi in zip(bounds, bounds[1:]):
+                in_process.extend(sim.topology.simulate_batch(values[lo:hi]))
+            assert sharded == in_process  # bitwise: dict float equality
+        finally:
+            sim.close_shard_pool()
+
+    def test_matches_full_batch_within_solver_tolerance(self, shards_env,
+                                                        opamp_batch):
+        """Against the undecomposed full-batch solve, results agree to
+        solver tolerance (stragglers that enter the gmin/source fallback
+        chains see different stacked-operand shapes)."""
+        sim, designs = opamp_batch
+        shards_env(1)
+        base = sim.evaluate_batch(designs)
+        shards_env(2)
+        try:
+            sharded = sim.evaluate_batch(designs)
+        finally:
+            sim.close_shard_pool()
+        for a, b in zip(base, sharded):
+            for name in a:
+                assert b[name] == pytest.approx(a[name], rel=1e-6), name
+
+    def test_pool_persists_across_calls(self, shards_env, opamp_batch):
+        sim, designs = opamp_batch
+        shards_env(2)
+        try:
+            sim.evaluate_batch(designs[:4])
+            pool = sim._pool
+            assert pool is not None and len(pool) == 2
+            sim.evaluate_batch(designs[4:8])
+            assert sim._pool is pool  # reused, not respawned
+        finally:
+            sim.close_shard_pool()
+        assert sim._pool is None
+
+    def test_block_regrowth_keeps_results_correct(self, shards_env):
+        """Growing batches force the parent to reallocate its shared
+        blocks; the workers' attachment-cache eviction must never close a
+        block of the request in flight (regression: a closed block's
+        buffer silently degraded to unshared memory and workers evaluated
+        garbage sizings while reporting success)."""
+        from repro.topologies import FiveTransistorOta
+
+        sim = SchematicSimulator(FiveTransistorOta(), cache=False)
+        rng = np.random.default_rng(8)
+        designs = np.stack([sim.parameter_space.sample(rng)
+                            for _ in range(200)])
+        shards_env(1)
+        sizes = (65, 130, 200)   # two regrowths -> four retired block names
+        base = {n: sim.evaluate_batch(designs[:n]) for n in sizes}
+        shards_env(2)
+        try:
+            for n in sizes:
+                sharded = sim.evaluate_batch(designs[:n])
+                for a, b in zip(base[n], sharded):
+                    for name in a:
+                        assert b[name] == pytest.approx(a[name], rel=1e-6)
+        finally:
+            sim.close_shard_pool()
+
+    def test_pex_sharding_bitwise(self, shards_env):
+        from repro.pex import PexSimulator
+        from repro.pex.corners import typical_only
+        from repro.topologies import NegGmOta
+
+        pex = PexSimulator(NegGmOta, corners=typical_only(), cache=False)
+        rng = np.random.default_rng(2)
+        designs = np.stack([pex.parameter_space.sample(rng)
+                            for _ in range(4)])
+        values = [pex.parameter_space.values(row) for row in designs]
+        shards_env(2)
+        try:
+            sharded = pex.evaluate_batch(designs)
+            in_process = (pex._evaluate_fresh_batch(values[:2])
+                          + pex._evaluate_fresh_batch(values[2:]))
+            assert sharded == in_process
+        finally:
+            pex.close_shard_pool()
+
+
+class TestPoolLifecycle:
+    def test_close_idempotent_and_use_after_close(self, opamp_batch):
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        values = np.array([[v for v in sim.parameter_space.values(
+            designs[0]).values()]])
+        out = pool.evaluate_values(
+            np.array([[sim.parameter_space.values(designs[0])[n]
+                       for n in sim.parameter_space.names]]))
+        assert out.shape == (1, len(sim.spec_space.names))
+        pool.close()
+        pool.close()
+        with pytest.raises(TrainingError):
+            pool.evaluate_values(values)
+
+    def test_worker_error_is_surfaced(self, opamp_batch):
+        sim, _ = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 1,
+                         sim.parameter_space.names, sim.spec_space.names)
+        try:
+            with pytest.raises(TrainingError):
+                # Wrong column count is rejected parent-side...
+                pool.evaluate_values(np.zeros((2, 3)))
+            # ...and degenerate sizings surface the worker's exception
+            # instead of hanging or killing the pool.
+            with pytest.raises(TrainingError):
+                pool.evaluate_values(
+                    np.zeros((2, len(sim.parameter_space.names))))
+        finally:
+            pool.close()
+
+
+@pytest.mark.slow
+class TestSpawnSafety:
+    def test_pool_under_spawn_start_method(self, opamp_batch):
+        """Factories are picklable, so the pool works under spawn (the
+        start method of fork-less platforms)."""
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 1,
+                         sim.parameter_space.names, sim.spec_space.names,
+                         context="spawn")
+        try:
+            arr = np.array([[sim.parameter_space.values(designs[0])[n]
+                             for n in sim.parameter_space.names]])
+            out = pool.evaluate_values(arr)
+            specs = sim.topology.simulate_batch(
+                [sim.parameter_space.values(designs[0])])[0]
+            expected = [specs[n] for n in sim.spec_space.names]
+            np.testing.assert_array_equal(out[0], expected)
+        finally:
+            pool.close()
