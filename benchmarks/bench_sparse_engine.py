@@ -1,0 +1,105 @@
+"""Sparse vs dense engine on the large-netlist scenario family.
+
+Measures the PR-3 acceptance numbers: warm full evaluations (restamp +
+DC Newton + AC sweep + spec extraction) of the OTA repeater chain at
+several interconnect discretisations, on the dense LAPACK engine and on
+the sparse SuperLU engine, plus the small-circuit regime that justifies
+the ``auto`` threshold (:data:`repro.sim.engine.SPARSE_AUTO_THRESHOLD`).
+
+Run directly::
+
+    python benchmarks/bench_sparse_engine.py
+
+Results go to ``benchmarks/results/sparse_engine.txt`` (narrative) and
+the ``sparse_engine`` section of ``BENCH_simulator.json`` (record).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+sys.path[:0] = [str(pathlib.Path(__file__).resolve().parent.parent / "src"),
+                str(pathlib.Path(__file__).resolve().parent)]
+
+import numpy as np
+
+from _harness import publish, publish_json
+from repro.topologies import FiveTransistorOta, OtaChain
+
+
+def _timed_evals(topology, engine: str, n_evals: int, rng) -> tuple[float, int]:
+    """Mean warm evaluation time [s] of ``topology`` on ``engine``.
+
+    A fresh topology instance is created under ``REPRO_ENGINE=engine`` so
+    its StampPlan builds the system on the requested backend; timing runs
+    over near-centre sizings (the RL hot-loop access pattern).
+    """
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        topo = topology()
+        space = topo.parameter_space
+        center = np.asarray(space.center)
+        sizings = []
+        for _ in range(n_evals):
+            jitter = rng.integers(-2, 3, size=len(space))
+            sizings.append(space.values(space.clip(center + jitter)))
+        topo.simulate(sizings[0])        # build + warm the plan
+        size = topo._plan.system.size
+        t0 = time.perf_counter()
+        for values in sizings:
+            topo.simulate(values)
+        return (time.perf_counter() - t0) / n_evals, size
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    rows = []
+    record: dict = {"configs": []}
+
+    # Small-circuit control: dense must stay the right default there.
+    t_dense, size = _timed_evals(FiveTransistorOta, "dense", 50, rng)
+    t_sparse, _ = _timed_evals(FiveTransistorOta, "sparse", 50, rng)
+    rows.append(("five_t_ota", size, t_dense, t_sparse))
+    record["configs"].append({
+        "scenario": "five_t_ota", "unknowns": size,
+        "dense_ms": t_dense * 1e3, "sparse_ms": t_sparse * 1e3,
+        "sparse_speedup": t_dense / t_sparse})
+
+    # The chain scenario at growing interconnect fidelity.
+    chain_configs = [(4, 6, 20), (8, 12, 12), (8, 24, 8), (8, 48, 5)]
+    for stages, segments, n_evals in chain_configs:
+        factory = lambda s=stages, m=segments: OtaChain(n_stages=s,
+                                                        segments=m)
+        t_dense, size = _timed_evals(factory, "dense", n_evals, rng)
+        t_sparse, _ = _timed_evals(factory, "sparse", n_evals, rng)
+        rows.append((f"ota_chain {stages}x{segments}", size,
+                     t_dense, t_sparse))
+        record["configs"].append({
+            "scenario": f"ota_chain_{stages}x{segments}", "unknowns": size,
+            "dense_ms": t_dense * 1e3, "sparse_ms": t_sparse * 1e3,
+            "sparse_speedup": t_dense / t_sparse})
+
+    lines = ["sparse vs dense engine — warm full evaluations "
+             "(restamp + DC + AC + specs)",
+             f"{'scenario':<18} {'unknowns':>8} {'dense':>10} "
+             f"{'sparse':>10} {'speedup':>8}"]
+    for name, size, td, ts in rows:
+        lines.append(f"{name:<18} {size:>8d} {td * 1e3:>8.2f}ms "
+                     f"{ts * 1e3:>8.2f}ms {td / ts:>7.2f}x")
+    big = [c for c in record["configs"] if c["unknowns"] >= 200]
+    record["acceptance_200node_speedup"] = (
+        min(c["sparse_speedup"] for c in big) if big else None)
+    lines.append(
+        f"acceptance: >=200-unknown sparse speedup = "
+        f"{record['acceptance_200node_speedup']:.2f}x (floor 3x)")
+    publish("sparse_engine.txt", "\n".join(lines))
+    publish_json("sparse_engine", record)
+
+
+if __name__ == "__main__":
+    main()

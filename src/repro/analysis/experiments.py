@@ -114,6 +114,15 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Ray parallelism: 1.3 h on 8 cores for the op-amp (§III-B)",
             "benchmarks/bench_parallel_scaling.py",
             ("repro.rl.parallel",)),
+        Experiment(
+            "sparse_engine", "Sparse vs dense engine on large netlists",
+            "Beyond the paper: the OTA repeater chain scenario family "
+            "(>=200 MNA unknowns) runs >=3x faster on the SuperLU "
+            "backend, enabling post-layout mesh and interconnect "
+            "workloads the dense engine cannot scale to",
+            "benchmarks/bench_sparse_engine.py",
+            ("repro.sim.sparse", "repro.sim.engine",
+             "repro.topologies.ota_chain")),
     ]
 }
 

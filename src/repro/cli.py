@@ -31,6 +31,7 @@ from repro.rl.ppo import PPOConfig
 from repro.topologies import (
     FiveTransistorOta,
     NegGmOta,
+    OtaChain,
     SchematicSimulator,
     TransimpedanceAmplifier,
     TwoStageOpAmp,
@@ -41,6 +42,7 @@ TOPOLOGIES = {
     "opamp": TwoStageOpAmp,
     "ngm": NegGmOta,
     "ota5": FiveTransistorOta,
+    "ota_chain": OtaChain,
 }
 
 

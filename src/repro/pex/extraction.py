@@ -7,7 +7,13 @@ its pseudo-layout implies:
   net's half-perimeter wirelength, plus a per-terminal via/contact cap;
 * **access resistance** — series resistance into every MOSFET drain and
   source (contact + LDD), inversely proportional to device width, realised
-  by splitting the terminal node.
+  by splitting the terminal node;
+* **mesh mode** (``ExtractionRules.mesh_segments > 0``) — each net's
+  wiring parasitics become a distributed series-R / shunt-C stub of that
+  many segments instead of one lumped capacitor.  The extracted netlist
+  grows by ``2 * segments`` elements per net, which pushes post-layout
+  systems past the sparse-engine threshold (:mod:`repro.sim.engine`) —
+  the high-fidelity large-netlist PEX scenario.
 
 :class:`PexSimulator` is the BAG stand-in the transfer experiment deploys
 through: it builds the schematic, extracts it, solves it across PVT
@@ -57,6 +63,18 @@ from repro.units import MICRO
 PEX_PREFIX = "PEX_"
 
 
+def mesh_segment_values(r_net: float, c_net: float,
+                        segments: int) -> tuple[float, float]:
+    """Per-segment ``(R, C)`` of a net's distributed mesh stub.
+
+    The single source of the split formula: both the cold extraction
+    (:meth:`ParasiticExtractor._add_mesh`) and the in-place updater fast
+    path must produce identical element values, or a warm restamp would
+    silently drift from a fresh build.
+    """
+    return max(r_net / segments, 1e-3), c_net / segments
+
+
 @dataclasses.dataclass(frozen=True)
 class ExtractionRules:
     """Technology-style extraction coefficients."""
@@ -72,6 +90,16 @@ class ExtractionRules:
     r_access_ohm_m: float = 40.0 * MICRO
     #: Floor for access resistance [ohm].
     r_access_min: float = 0.5
+    #: Wire sheet resistance per metre of estimated wirelength [ohm/m]
+    #: (0.1 ohm/um of mid-level metal); only used by the mesh mode.
+    r_wire_per_m: float = 0.1 / MICRO
+    #: High-fidelity mesh mode: when > 0, each net's wiring parasitics
+    #: are extracted as this many series-R / shunt-C segments (a
+    #: distributed RC stub off the net) instead of one lumped ground
+    #: capacitor.  Per-segment parasitics multiply the extracted netlist
+    #: size, which is exactly the post-layout regime the sparse engine
+    #: (:mod:`repro.sim.sparse`) is for.
+    mesh_segments: int = 0
 
 
 class ParasiticExtractor:
@@ -114,10 +142,38 @@ class ParasiticExtractor:
                 continue
             c_net = (rules.c_wire_per_m * hpwl
                      + rules.c_terminal * layout.net_terminals.get(net, 0))
-            if c_net > 0.0:
+            if c_net <= 0.0:
+                continue
+            if rules.mesh_segments > 0:
+                self._add_mesh(extracted, net, c_net,
+                               rules.r_wire_per_m * hpwl)
+            else:
                 extracted.add(Capacitor(f"{PEX_PREFIX}C_{net}", net, GROUND,
                                         c_net))
         return extracted
+
+    def _add_mesh(self, extracted: Netlist, net: str, c_net: float,
+                  r_net: float) -> None:
+        """Distributed RC stub for one net (mesh mode).
+
+        The net's total wiring capacitance ``c_net`` and resistance
+        ``r_net`` are split over ``mesh_segments`` series-R / shunt-C
+        sections hanging off the net: DC connectivity is untouched (the
+        stub carries no DC current, and LVS collapses it away), but the
+        AC/transient load is a diffusive RC line instead of a single
+        pole — per-segment parasitics, as a field-solver-grade extractor
+        would report.
+        """
+        m = self.rules.mesh_segments
+        r_seg, c_seg = mesh_segment_values(r_net, c_net, m)
+        prev = net
+        for k in range(1, m + 1):
+            node = f"{PEX_PREFIX}w_{net}__{k}"
+            extracted.add(Resistor(f"{PEX_PREFIX}RW_{net}__{k}", prev, node,
+                                   r_seg))
+            extracted.add(Capacitor(f"{PEX_PREFIX}C_{net}__{k}", node, GROUND,
+                                    c_seg))
+            prev = node
 
 
 class PexSimulator(CircuitSimulator):
@@ -157,7 +213,7 @@ class PexSimulator(CircuitSimulator):
                       updater=self._corner_updater(topology))
             for topology in self._topologies]
         self._sch_netlist: Netlist | None = None
-        self._cnet_cache: dict[tuple, dict[str, float]] = {}
+        self._cnet_cache: dict[tuple, dict[str, tuple[float, float]]] = {}
         reference = self._topologies[0]
         self.parameter_space = reference.parameter_space
         self.spec_space = reference.spec_space
@@ -330,6 +386,7 @@ class PexSimulator(CircuitSimulator):
             if not topology.update_netlist(extracted, values):
                 return False
             cap_prefix = f"{PEX_PREFIX}C_"
+            mesh = rules.mesh_segments
             n_caps = 0
             try:
                 for element in extracted:
@@ -342,20 +399,29 @@ class PexSimulator(CircuitSimulator):
                         extracted[f"{PEX_PREFIX}R_{name}_s"].resistance = r_acc
                     elif element.name.startswith(cap_prefix):
                         n_caps += 1
-                c_nets = self._wire_caps(values)
-                if len(c_nets) != n_caps:
+                pars = self._wire_parasitics(values)
+                if len(pars) * max(mesh, 1) != n_caps:
                     # A wire cap appeared or vanished: structure changed.
                     return False
-                for net, c_net in c_nets.items():
-                    extracted[f"{cap_prefix}{net}"].capacitance = c_net
+                for net, (c_net, r_net) in pars.items():
+                    if mesh > 0:
+                        r_seg, c_seg = mesh_segment_values(r_net, c_net, mesh)
+                        for k in range(1, mesh + 1):
+                            extracted[
+                                f"{PEX_PREFIX}RW_{net}__{k}"].resistance = r_seg
+                            extracted[
+                                f"{cap_prefix}{net}__{k}"].capacitance = c_seg
+                    else:
+                        extracted[f"{cap_prefix}{net}"].capacitance = c_net
             except KeyError:
                 return False
             return True
 
         return update
 
-    def _wire_caps(self, values: dict[str, float]) -> dict[str, float]:
-        """Per-net wiring capacitance of a sizing (extractor formula).
+    def _wire_parasitics(self, values: dict[str, float]
+                         ) -> dict[str, tuple[float, float]]:
+        """Per-net ``(wiring capacitance, wiring resistance)`` of a sizing.
 
         The pseudo-layout only depends on the sizing — never on the PVT
         corner — so one computation (memoised per sizing) serves all
@@ -371,18 +437,18 @@ class PexSimulator(CircuitSimulator):
             self._sch_netlist = reference.build(values)
         layout = generate_layout(self._sch_netlist)
         rules = self.extractor.rules
-        c_nets: dict[str, float] = {}
+        nets: dict[str, tuple[float, float]] = {}
         for net, hpwl in layout.net_hpwl.items():
             if net == GROUND:
                 continue
             c_net = (rules.c_wire_per_m * hpwl
                      + rules.c_terminal * layout.net_terminals.get(net, 0))
             if c_net > 0.0:
-                c_nets[net] = c_net
+                nets[net] = (c_net, rules.r_wire_per_m * hpwl)
         if len(self._cnet_cache) > 4096:
             self._cnet_cache.clear()
-        self._cnet_cache[key] = c_nets
-        return c_nets
+        self._cnet_cache[key] = nets
+        return nets
 
     def _simulate_corner(self, c_idx: int, topology: Topology,
                          values: dict[str, float]) -> dict[str, float]:

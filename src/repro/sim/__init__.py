@@ -23,6 +23,12 @@ batched solves):
 * :mod:`repro.sim.parallel` shards batched evaluation across worker
   processes (``REPRO_SHARDS``), sharing index/spec arrays through
   ``multiprocessing.shared_memory``;
+* :mod:`repro.sim.engine` selects the linear-algebra backend per system
+  (``REPRO_ENGINE=auto|dense|sparse``, size-thresholded in ``auto``);
+* :mod:`repro.sim.sparse` is the SuperLU backend for large netlists:
+  one structure-cached CSC master pattern per system, in-place ``.data``
+  refresh per sizing, cached ``splu`` factorisations for DC Newton, AC
+  sweeps, the noise adjoint and transient steps;
 * :mod:`repro.sim.noise` computes output/input-referred noise spectra;
 * :mod:`repro.sim.poles` extracts natural frequencies (pole analysis);
 * :mod:`repro.sim.sweep` steps a source for VTC/output-swing analysis;
@@ -34,6 +40,7 @@ from repro.sim.ac import ACResult, ac_node_response, ac_sweep, transfer_function
 from repro.sim.batch import BatchDcResult, SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
+from repro.sim.engine import SPARSE_AUTO_THRESHOLD, engine_mode, use_sparse
 from repro.sim.linear import linear_step_response
 from repro.sim.noise import NoiseResult, noise_analysis
 from repro.sim.poles import PoleSet, circuit_poles
@@ -53,6 +60,9 @@ __all__ = [
     "BatchTransientResult",
     "DcSweepResult",
     "MnaSystem",
+    "SPARSE_AUTO_THRESHOLD",
+    "engine_mode",
+    "use_sparse",
     "NoiseResult",
     "OperatingPoint",
     "PoleSet",

@@ -18,6 +18,13 @@ Two solution strategies, picked automatically:
 Both paths also come in stacked-design form (leading batch axis): the
 batched measurement layer projects them onto one output node through
 :func:`ac_node_response_batch`.
+
+Systems on the sparse engine (``system.sparse``; see
+:mod:`repro.sim.engine`) bypass both dense strategies: the sweep solves
+through per-frequency ``splu`` factorisations of the aligned-pattern
+``G_ss + j w C_ss`` operators, memoised per operating point so the noise
+adjoint and the gain referral of the same measurement reuse the factors
+(:meth:`repro.sim.system.MnaSystem.sparse_sweep_lus`).
 """
 
 from __future__ import annotations
@@ -302,6 +309,8 @@ def ac_node_response(system: MnaSystem, op: OperatingPoint,
         raise AnalysisError(
             f"netlist {system.netlist.title!r} has no AC excitation "
             "(set ac= on a source)")
+    if getattr(system, "sparse", False):
+        return _sparse_sweep_solutions(system, op, frequencies)[:, idx]
     if _MODAL_ENABLED:
         G, C = system.small_signal_matrices(op)
         b = system.b_ac
@@ -376,10 +385,23 @@ def ac_sweep(system: MnaSystem, op: OperatingPoint,
         raise AnalysisError(
             f"netlist {system.netlist.title!r} has no AC excitation "
             "(set ac= on a source)")
+    if getattr(system, "sparse", False):
+        solutions = _sparse_sweep_solutions(system, op, frequencies)
+        return ACResult(system=system, frequencies=frequencies,
+                        solutions=solutions)
     G, C = system.small_signal_matrices(op)
     solutions = ac_solutions(G, C, system.b_ac, frequencies,
                              cols=system.dynamic_columns(C))
     return ACResult(system=system, frequencies=frequencies, solutions=solutions)
+
+
+def _sparse_sweep_solutions(system: MnaSystem, op: OperatingPoint,
+                            frequencies: np.ndarray) -> np.ndarray:
+    """``(F, n)`` sweep solutions through the sparse engine's cached
+    per-frequency ``splu`` factors."""
+    from repro.sim.sparse import sweep_solve
+    lus = system.sparse_sweep_lus(op, frequencies)
+    return sweep_solve(lus, system.b_ac)
 
 
 def transfer_function(system: MnaSystem, op: OperatingPoint,

@@ -88,8 +88,19 @@ class SystemStack:
         self.n_nodes = template.n_nodes
         self.n_designs = n_designs
         self.n_corners = n_corners
-        self.G = np.empty((n_designs, n, n))
-        self.C = np.empty((n_designs, n, n))
+        #: Sparse-engine stacks snapshot master-pattern ``.data`` rows
+        #: (``(B, nnz)``) instead of dense ``(B, n, n)`` matrices; dense
+        #: consumers go through :meth:`G_rows`/:meth:`C_rows`, which
+        #: reconstruct on demand (cheap at the sizes where they run).
+        self.sparse = bool(getattr(template, "sparse", False))
+        if self.sparse:
+            nnz = template.sparse_state.nnz
+            self.G = self.C = None
+            self.G_pat = np.empty((n_designs, nnz))
+            self.C_pat = np.empty((n_designs, nnz))
+        else:
+            self.G = np.empty((n_designs, n, n))
+            self.C = np.empty((n_designs, n, n))
         self.b_dc = np.empty((n_designs, n))
         self.b_ac = np.empty((n_designs, n), dtype=complex)
         self.temperatures = np.empty(n_designs)
@@ -115,8 +126,13 @@ class SystemStack:
         """Snapshot ``system``'s current values as slice ``i``."""
         if system.size != self.size:
             raise ValueError("system size does not match the stack")
-        self.G[i] = system.G
-        self.C[i] = system.C
+        if self.sparse:
+            st = self.template.sparse_state
+            self.G_pat[i] = st.gather(system.G)
+            self.C_pat[i] = st.gather(system.C)
+        else:
+            self.G[i] = system.G
+            self.C[i] = system.C
         self.b_dc[i] = system.b_dc
         self.b_ac[i] = system.b_ac
         self.temperatures[i] = system.temperature
@@ -128,6 +144,19 @@ class SystemStack:
         self._filled += 1
         if self._filled == self.n_designs and self._devs[0] is not None:
             self.dev = DeviceArrays.stack(self._devs)  # (B, K) fields
+
+    def G_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Dense ``(len(rows), n, n)`` conductance matrices of ``rows``
+        (a view for dense stacks, a reconstruction for sparse ones)."""
+        if not self.sparse:
+            return self.G[rows]
+        return self.template.sparse_state.densify(self.G_pat[rows])
+
+    def C_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Dense ``(len(rows), n, n)`` capacitance matrices of ``rows``."""
+        if not self.sparse:
+            return self.C[rows]
+        return self.template.sparse_state.densify(self.C_pat[rows])
 
 
 @dataclasses.dataclass
@@ -225,7 +254,7 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
             Xp[:, :n] = Xa
             V = Xp[:, tpl._terms_pad]                       # (a, K, 4)
             i_d, g = eval_companion_batch(dev_act, V)
-            prod = np.matmul(g.reshape(a, -1), tpl._newton_g_map,
+            prod = np.matmul(g.reshape(a, -1), tpl.newton_g_map,
                              out=scatter_buf[:a])
             flat = A.reshape(a, -1)
             np.add(flat, prod, out=flat)
@@ -290,7 +319,16 @@ def solve_dc_batch(stack: SystemStack, x0: np.ndarray | None = None, *,
     that fail every strategy are reported with ``converged=False``
     (callers map them to pessimistic failure measurements, exactly like
     the scalar path maps :class:`~repro.errors.ConvergenceError`).
+
+    Sparse-engine stacks dispatch to
+    :func:`repro.sim.sparse.solve_dc_batch_sparse` — same strategies,
+    same seeds, same result contract, but each design factorises through
+    SuperLU instead of joining a dense ``(B, n, n)`` LAPACK batch.
     """
+    if stack.sparse:
+        from repro.sim.sparse import solve_dc_batch_sparse
+        return solve_dc_batch_sparse(stack, x0, max_iter=max_iter, vtol=vtol,
+                                     itol=itol, damping=damping)
     B, n = stack.n_designs, stack.size
     if x0 is None:
         X = np.zeros((B, n))

@@ -34,8 +34,19 @@ except ImportError:  # pragma: no cover - scipy is present in the toolchain
     _DGETRF = _DGETRS = None
 
 
-def _lu_factor(A: np.ndarray):
-    """LU-factor ``A`` (overwritten); None when singular."""
+def _lu_factor(A):
+    """LU-factor ``A`` (overwritten); None when singular.
+
+    Accepts a dense array (LAPACK getrf) or a scipy CSC matrix from the
+    sparse engine (:func:`scipy.sparse.linalg.splu`); the Newton driver
+    never needs to know which backend assembled its Jacobian.
+    """
+    if not isinstance(A, np.ndarray):  # sparse engine: CSC + SuperLU
+        try:
+            from scipy.sparse.linalg import splu
+            return ("sparse", splu(A))
+        except RuntimeError:
+            return None
     if _DGETRF is not None:
         lu, piv, info = _DGETRF(A, overwrite_a=True)
         return (lu, piv) if info == 0 else None
@@ -47,6 +58,8 @@ def _lu_factor(A: np.ndarray):
 
 def _lu_solve(lu, b: np.ndarray) -> np.ndarray:
     """Solve with factors from :func:`_lu_factor`."""
+    if isinstance(lu[0], str):     # ("sparse", SuperLU)
+        return lu[1].solve(b)
     if len(lu) == 2:
         x, _ = _DGETRS(lu[0], lu[1], b)
         return x

@@ -1,0 +1,75 @@
+"""Linear-algebra engine selection: dense LAPACK vs sparse SuperLU.
+
+The repo's historical circuits have 5–40 unknowns, where dense matrices
+(and the dense stamp scatter maps of :mod:`repro.sim.system`) beat any
+sparse format on both constant factors and simplicity.  Post-PEX mesh
+netlists and the RC-interconnect chain scenarios push the unknown count
+into the hundreds, where the dense ``O(n^3)`` solves (and the
+``O(K n^2)`` scatter maps) stop scaling; those systems route their
+factorisations through :mod:`repro.sim.sparse` instead.
+
+Selection contract
+------------------
+``REPRO_ENGINE`` picks the backend for every :class:`~repro.sim.system.
+MnaSystem` built afterwards (the variable is read at *construction* time,
+so tests can monkeypatch it per-case):
+
+* ``auto`` (default) — dense below :data:`SPARSE_AUTO_THRESHOLD`
+  unknowns, sparse at or above it.  The threshold sits well above every
+  schematic/PEX topology shipped before the chain scenarios, so existing
+  workloads keep their measured dense performance bit for bit.
+* ``dense`` — force dense everywhere (the pre-PR-3 behaviour).
+* ``sparse`` — force sparse everywhere, including the small circuits.
+  Slower there (SuperLU's per-call overhead dwarfs a 15x15
+  factorisation) but invaluable for the engine-equivalence test matrix.
+
+Callers that need a specific backend regardless of the environment pass
+``engine="dense"``/``"sparse"`` explicitly to :class:`MnaSystem` or
+:class:`~repro.sim.stamp.StampPlan`.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: ``auto`` switches to the sparse backend at this many MNA unknowns.
+#: Set from the crossover measured in ``benchmarks/bench_sparse_engine.py``
+#: on warm full evaluations of the OTA chain family: dense wins ~1.6x at
+#: 41 unknowns, sparse wins ~2x at 125 and ~3x at 221, so the single-eval
+#: crossover sits around 60-90.  The threshold is kept above it because
+#: *batched* workloads amortise dense dispatch over the stack — 128 keeps
+#: every pre-chain topology (schematic and lumped PEX) on the measured
+#: dense batch path while routing mesh/chain scenarios sparse.
+SPARSE_AUTO_THRESHOLD = 128
+
+_MODES = ("auto", "dense", "sparse")
+
+
+def engine_mode() -> str:
+    """The configured engine mode (``auto``/``dense``/``sparse``).
+
+    Unknown values fall back to ``auto`` rather than raising: an engine
+    knob must never turn a working simulation into a crash.
+    """
+    mode = os.environ.get("REPRO_ENGINE", "auto").strip().lower()
+    return mode if mode in _MODES else "auto"
+
+
+def use_sparse(size: int, engine: str | None = None) -> bool:
+    """Decide the backend for a system of ``size`` unknowns.
+
+    ``engine`` overrides the environment when given (``"dense"`` /
+    ``"sparse"``; ``"auto"`` and None defer to :func:`engine_mode`).
+    Unlike the forgiving environment knob, a bad *explicit* override is
+    a programming error and raises — a typo must not silently hand a
+    sparse-pinned test the dense backend.
+    """
+    if engine not in (None, *_MODES):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {_MODES}")
+    mode = engine if engine in ("dense", "sparse") else engine_mode()
+    if mode == "dense":
+        return False
+    if mode == "sparse":
+        return True
+    return size >= SPARSE_AUTO_THRESHOLD

@@ -160,12 +160,20 @@ def noise_analysis(system: MnaSystem, op: OperatingPoint,
     # A^H = G^T - j w C^T, so y = conj(x') where (G^T + j w C^T) x' = e_out
     # — which is exactly an AC sweep of the transposed operator and rides
     # the same modal-decomposition fast path as the forward analyses.
-    G, C = system.small_signal_matrices(op)
+    # Sparse systems reuse the forward sweep's cached splu factors through
+    # SuperLU's transpose solve instead of factoring the transposed
+    # operators: one factorisation per frequency serves both directions.
     e_out = np.zeros(system.size)
     e_out[out_idx] = 1.0
-    y = np.conjugate(ac_solutions(np.ascontiguousarray(G.T),
-                                  np.ascontiguousarray(C.T),
-                                  e_out.astype(complex), frequencies))
+    if getattr(system, "sparse", False):
+        from repro.sim.sparse import sweep_solve
+        lus = system.sparse_sweep_lus(op, frequencies)
+        y = np.conjugate(sweep_solve(lus, e_out, adjoint=True))
+    else:
+        G, C = system.small_signal_matrices(op)
+        y = np.conjugate(ac_solutions(np.ascontiguousarray(G.T),
+                                      np.ascontiguousarray(C.T),
+                                      e_out.astype(complex), frequencies))
 
     output_psd = np.zeros(len(frequencies))
     contributions: dict[str, np.ndarray] = {}

@@ -43,14 +43,20 @@ class StampPlan:
         previously-built netlist's element values in place for a new
         sizing (``Topology.update_netlist``).  When it returns True the
         plan skips the netlist rebuild entirely — the fastest path.
+    engine:
+        Optional linear-algebra backend override (``"dense"``/``"sparse"``)
+        forwarded to every :class:`MnaSystem` the plan builds; None (the
+        default) lets each system resolve ``REPRO_ENGINE`` at build time
+        (:mod:`repro.sim.engine`).
     """
 
     def __init__(self, builder: NetlistBuilder,
                  temperature: float = ROOM_TEMPERATURE,
-                 updater=None):
+                 updater=None, engine: str | None = None):
         self.builder = builder
         self.temperature = float(temperature)
         self.updater = updater
+        self.engine = engine
         self._system: MnaSystem | None = None
         self._netlist = None
         self.rebuilds = 0      # structure (re)constructions, for diagnostics
@@ -83,7 +89,8 @@ class StampPlan:
                 return self._system
             except StructureMismatch:
                 self._system = None
-        self._system = MnaSystem(netlist, temperature=self.temperature)
+        self._system = MnaSystem(netlist, temperature=self.temperature,
+                                 engine=self.engine)
         self.rebuilds += 1
         return self._system
 

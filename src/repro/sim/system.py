@@ -37,9 +37,17 @@ a precomputed ``(4K, (n+1)^2)`` matrix, currents into the RHS via
 capacitances.  Ground terminals are routed to a padding row/column that is
 sliced away, which removes every per-entry ``if index >= 0`` branch.
 
-The circuits in this reproduction have 5–40 unknowns, so dense linear
-algebra (and dense scatter maps) is both simpler and faster than sparse
-here.
+The schematic circuits in this reproduction have 5–40 unknowns, so dense
+linear algebra (and dense scatter maps) is both simpler and faster than
+sparse there — but post-PEX mesh netlists and the RC-interconnect chain
+scenarios reach hundreds of unknowns, where both stop scaling.  Each
+system therefore carries an *engine* flag (:mod:`repro.sim.engine`,
+``REPRO_ENGINE=auto|dense|sparse``): sparse systems keep the dense
+``G/C/b`` arrays as the stamped value source of truth but factor their
+Newton/AC/transient operators through the structure-cached CSC pattern of
+:class:`repro.sim.sparse.SparseState` (one fixed sparsity pattern per
+structure, ``.data`` refreshed in place per sizing) and never build the
+large dense scatter maps, which are lazy for exactly that reason.
 """
 
 from __future__ import annotations
@@ -65,6 +73,8 @@ from repro.circuits.mosfet import (
 )
 from repro.circuits.netlist import GROUND, Netlist
 from repro.errors import NetlistError
+from repro.sim import sparse as sparse_engine
+from repro.sim.engine import use_sparse
 from repro.units import ROOM_TEMPERATURE
 
 
@@ -119,6 +129,12 @@ class MnaSystem:
     temperature:
         Simulation temperature [K]; used by noise analyses and available to
         elements.
+    engine:
+        ``"dense"``/``"sparse"`` force a linear-algebra backend; None (the
+        default) resolves ``REPRO_ENGINE`` at construction time — see
+        :mod:`repro.sim.engine`.  Sparse systems expose the same stamped
+        ``G/C/b`` arrays but factor their solves through
+        :class:`repro.sim.sparse.SparseState`.
 
     Re-stamping
     -----------
@@ -128,7 +144,8 @@ class MnaSystem:
     evaluations.
     """
 
-    def __init__(self, netlist: Netlist, temperature: float = ROOM_TEMPERATURE):
+    def __init__(self, netlist: Netlist, temperature: float = ROOM_TEMPERATURE,
+                 engine: str | None = None):
         netlist.validate()
         self.temperature = float(temperature)
         self._signature = netlist.structure_signature()
@@ -194,49 +211,103 @@ class MnaSystem:
         self._g3_buf = np.empty((K, 3))
         self._c4_buf = np.empty((K, 4))
 
+        #: True when solves route through the sparse (SuperLU) backend.
+        self.sparse = (use_sparse(self.size, engine)
+                       and sparse_engine.HAVE_SCIPY)
+        self.sparse_state = (sparse_engine.SparseState(self, netlist)
+                             if self.sparse else None)
+        self._sp_Gdata: np.ndarray | None = None   # master-pattern G gather
+        self._sp_Cdata: np.ndarray | None = None   # master-pattern C gather
+        self._ss_sparse_memo: tuple | None = None  # (op, G_csc, C_csc)
+        self._sp_lu_memo: tuple | None = None      # (op, freqs, [splu])
+
         self._bind(netlist)
 
     # -- structure ----------------------------------------------------------
     def _build_scatter_maps(self) -> None:
-        """Precompute the dense device-quantity -> matrix-entry maps."""
+        """Precompute the small dense device-quantity -> entry maps.
+
+        The ``O(K n)`` maps (RHS currents, KCL residuals) are always
+        built; the ``O(K n^2)`` matrix scatter maps are *lazy* — see
+        :attr:`newton_g_map` — because the sparse engine replaces them
+        with index-based scatters and must never pay their memory.
+        """
         n1 = self.size + 1
         K = len(self._terms_pad)
-        newton_g = np.zeros((4 * K, n1 * n1))
         newton_i = np.zeros((K, n1))
         res = np.zeros((K, self.size))
-        ss = np.zeros((3 * K, n1 * n1))
-        cap = np.zeros((4 * K, n1 * n1))
         for k in range(K):
             d, g, s, b = (int(i) for i in self._terms_pad[k])
-            for t, col in enumerate((d, g, s, b)):
-                newton_g[4 * k + t, d * n1 + col] += 1.0
-                newton_g[4 * k + t, s * n1 + col] -= 1.0
             newton_i[k, d] -= 1.0
             newton_i[k, s] += 1.0
             if d < self.size:
                 res[k, d] += 1.0
             if s < self.size:
                 res[k, s] -= 1.0
-            # Small-signal stamp of i_d = gm*vgs + gds*vds + gmb*vbs.
-            for col, sign in ((g, 1.0), (s, -1.0)):          # gm
-                ss[3 * k + 0, d * n1 + col] += sign
-                ss[3 * k + 0, s * n1 + col] -= sign
-            for col, sign in ((d, 1.0), (s, -1.0)):          # gds
-                ss[3 * k + 1, d * n1 + col] += sign
-                ss[3 * k + 1, s * n1 + col] -= sign
-            for col, sign in ((b, 1.0), (s, -1.0)):          # gmb
-                ss[3 * k + 2, d * n1 + col] += sign
-                ss[3 * k + 2, s * n1 + col] -= sign
-            for t, (i, j) in enumerate(((g, s), (g, d), (d, b), (s, b))):
-                cap[4 * k + t, i * n1 + i] += 1.0
-                cap[4 * k + t, j * n1 + j] += 1.0
-                cap[4 * k + t, i * n1 + j] -= 1.0
-                cap[4 * k + t, j * n1 + i] -= 1.0
-        self._newton_g_map = newton_g
         self._newton_i_map = newton_i
         self._res_map = res
-        self._ss_map = ss
-        self._cap_map = cap
+        self._newton_g_map_: np.ndarray | None = None
+        self._ss_map_: np.ndarray | None = None
+        self._cap_map_: np.ndarray | None = None
+
+    @property
+    def newton_g_map(self) -> np.ndarray:
+        """``(4K, (n+1)^2)`` dense companion-conductance scatter map.
+
+        Built on first use and cached: the dense Newton hot path needs it
+        immediately, the sparse engine never does."""
+        if self._newton_g_map_ is None:
+            n1 = self.size + 1
+            K = len(self._terms_pad)
+            newton_g = np.zeros((4 * K, n1 * n1))
+            for k in range(K):
+                d, g, s, b = (int(i) for i in self._terms_pad[k])
+                for t, col in enumerate((d, g, s, b)):
+                    newton_g[4 * k + t, d * n1 + col] += 1.0
+                    newton_g[4 * k + t, s * n1 + col] -= 1.0
+            self._newton_g_map_ = newton_g
+        return self._newton_g_map_
+
+    @property
+    def ss_map(self) -> np.ndarray:
+        """``(3K, (n+1)^2)`` dense small-signal (gm/gds/gmb) scatter map
+        (lazy, like :attr:`newton_g_map`)."""
+        if self._ss_map_ is None:
+            n1 = self.size + 1
+            K = len(self._terms_pad)
+            ss = np.zeros((3 * K, n1 * n1))
+            for k in range(K):
+                d, g, s, b = (int(i) for i in self._terms_pad[k])
+                # Small-signal stamp of i_d = gm*vgs + gds*vds + gmb*vbs.
+                for col, sign in ((g, 1.0), (s, -1.0)):          # gm
+                    ss[3 * k + 0, d * n1 + col] += sign
+                    ss[3 * k + 0, s * n1 + col] -= sign
+                for col, sign in ((d, 1.0), (s, -1.0)):          # gds
+                    ss[3 * k + 1, d * n1 + col] += sign
+                    ss[3 * k + 1, s * n1 + col] -= sign
+                for col, sign in ((b, 1.0), (s, -1.0)):          # gmb
+                    ss[3 * k + 2, d * n1 + col] += sign
+                    ss[3 * k + 2, s * n1 + col] -= sign
+            self._ss_map_ = ss
+        return self._ss_map_
+
+    @property
+    def cap_map(self) -> np.ndarray:
+        """``(4K, (n+1)^2)`` dense device-capacitance scatter map (lazy,
+        like :attr:`newton_g_map`)."""
+        if self._cap_map_ is None:
+            n1 = self.size + 1
+            K = len(self._terms_pad)
+            cap = np.zeros((4 * K, n1 * n1))
+            for k in range(K):
+                d, g, s, b = (int(i) for i in self._terms_pad[k])
+                for t, (i, j) in enumerate(((g, s), (g, d), (d, b), (s, b))):
+                    cap[4 * k + t, i * n1 + i] += 1.0
+                    cap[4 * k + t, j * n1 + j] += 1.0
+                    cap[4 * k + t, i * n1 + j] -= 1.0
+                    cap[4 * k + t, j * n1 + i] -= 1.0
+            self._cap_map_ = cap
+        return self._cap_map_
 
     def _bind(self, netlist: Netlist) -> None:
         """Point the system at ``netlist``'s values: refresh the stacked
@@ -280,6 +351,10 @@ class MnaSystem:
         self._dev = (DeviceArrays.from_mosfets(self.mosfets)
                      if self.mosfets else None)
         self._ss_memo = None
+        self._ss_sparse_memo = None
+        self._sp_lu_memo = None
+        self._sp_Gdata = None
+        self._sp_Cdata = None
         np.copyto(self.G, self._G0)
         np.copyto(self.C, self._C0)
         np.copyto(self.b_dc, self._b_dc0)
@@ -374,7 +449,14 @@ class MnaSystem:
         ``rhs = source_scale * b_dc - i_nl(x) + J_nl(x) x``.  All MOSFETs
         are evaluated in one vectorised call and scatter-added through the
         precomputed maps — O(1) Python calls regardless of device count.
+
+        Sparse systems return ``A`` as a CSC matrix over the structure's
+        master pattern instead of a dense array; the DC Newton driver's
+        factorisation layer (:func:`repro.sim.dc._lu_factor`) handles
+        both forms transparently.
         """
+        if self.sparse:
+            return self._newton_matrices_sparse(x, gmin, source_scale)
         size = self.size
         A = self._A_pad
         A.fill(0.0)
@@ -389,7 +471,7 @@ class MnaSystem:
             V = self._terminal_voltages(x)
             i_d, g = eval_companion_ws(self._dev, V, ws)
             flat = A.reshape(-1)
-            np.matmul(g.reshape(-1), self._newton_g_map, out=self._Aflat_buf)
+            np.matmul(g.reshape(-1), self.newton_g_map, out=self._Aflat_buf)
             np.add(flat, self._Aflat_buf, out=flat)
             np.multiply(g, V, out=ws.gV)
             np.sum(ws.gV, axis=1, out=ws.i_eq)
@@ -399,6 +481,40 @@ class MnaSystem:
         if gmin > 0.0:
             A[self._diag, self._diag] += gmin
         return A[:size, :size].copy(), rhs[:size].copy()
+
+    def _newton_matrices_sparse(self, x: np.ndarray, gmin: float,
+                                source_scale: float):
+        """Sparse :meth:`newton_matrices`: one master-pattern ``.data``
+        refresh (O(nnz) gather + O(K) device scatter-adds) instead of a
+        dense ``(n+1)^2`` fill and scatter matmul."""
+        st = self.sparse_state
+        rhs = source_scale * self.b_dc
+        if self._dev is not None:
+            ws = self._ws
+            V = self._terminal_voltages(x)
+            i_d, g = eval_companion_ws(self._dev, V, ws)
+            data = st.newton_data(self._sparse_G_data(), g)
+            np.multiply(g, V, out=ws.gV)
+            np.sum(ws.gV, axis=1, out=ws.i_eq)
+            np.subtract(i_d, ws.i_eq, out=ws.i_eq)
+            st.add_rhs_currents(rhs, ws.i_eq)
+        else:
+            data = self._sparse_G_data().copy()
+        if gmin > 0.0:
+            data[st.node_diag_pos] += gmin
+        return st.matrix(data), rhs
+
+    def _sparse_G_data(self) -> np.ndarray:
+        """Master-pattern gather of ``G`` (cached until the next restamp)."""
+        if self._sp_Gdata is None:
+            self._sp_Gdata = self.sparse_state.gather(self.G)
+        return self._sp_Gdata
+
+    def _sparse_C_data(self) -> np.ndarray:
+        """Master-pattern gather of ``C`` (cached until the next restamp)."""
+        if self._sp_Cdata is None:
+            self._sp_Cdata = self.sparse_state.gather(self.C)
+        return self._sp_Cdata
 
     def residual(self, x: np.ndarray, source_scale: float = 1.0) -> np.ndarray:
         """KCL/KVL residual ``F(x) = G x + i_nl(x) - b`` (amps / volts).
@@ -521,26 +637,75 @@ class MnaSystem:
             return self.G.copy(), self.C.copy()
         if self._ss_memo is not None and self._ss_memo[0] is op:
             return self._ss_memo[1], self._ss_memo[2]
+        if self.sparse:
+            Gs, Cs = self.small_signal_sparse(op)
+            G_ss, C_ss = Gs.toarray(), Cs.toarray()
+            self._ss_memo = (op, G_ss, C_ss)
+            return G_ss, C_ss
+        g3, c4 = self._ss_values_for(op)
+        Gp, Cp = self._Gss_pad, self._Css_pad
+        Gp.fill(0.0)
+        Gp[:size, :size] = self.G
+        Gp.reshape(-1)[:] += g3 @ self.ss_map
+        Cp.fill(0.0)
+        Cp[:size, :size] = self.C
+        Cp.reshape(-1)[:] += c4 @ self.cap_map
+        G_ss = Gp[:size, :size].copy()
+        C_ss = Cp[:size, :size].copy()
+        self._ss_memo = (op, G_ss, C_ss)
+        return G_ss, C_ss
+
+    def _ss_values_for(self, op) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened ``(g3, c4)`` small-signal stamp values at ``op``,
+        preferring the operating point's materialised state arrays."""
         arrays = getattr(op, "_state_arrays", None)
         if arrays is not None and getattr(op, "system", None) is self:
             g3 = np.stack([arrays["gm"], arrays["gds"], arrays["gmb"]],
                           axis=-1).reshape(-1)
             c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
                            arrays["csb"]], axis=-1).reshape(-1)
+            return g3, c4
+        dev = getattr(op, "_dev", None) or self._dev
+        return self._ss_quantities(dev, op.x)
+
+    def small_signal_sparse(self, op):
+        """Sparse ``(G_ss, C_ss)`` at ``op`` as aligned CSC matrices.
+
+        Both matrices share the structure's master pattern, so the AC
+        layer combines them as ``G.data + j*w*C.data`` without any index
+        arithmetic.  Memoised per operating point like the dense path.
+        """
+        st = self.sparse_state
+        memo = self._ss_sparse_memo
+        if memo is not None and memo[0] is op:
+            return memo[1], memo[2]
+        if self._dev is None:
+            Gs = st.matrix(self._sparse_G_data().copy())
+            Cs = st.matrix(self._sparse_C_data().copy())
         else:
-            dev = getattr(op, "_dev", None) or self._dev
-            g3, c4 = self._ss_quantities(dev, op.x)
-        Gp, Cp = self._Gss_pad, self._Css_pad
-        Gp.fill(0.0)
-        Gp[:size, :size] = self.G
-        Gp.reshape(-1)[:] += g3 @ self._ss_map
-        Cp.fill(0.0)
-        Cp[:size, :size] = self.C
-        Cp.reshape(-1)[:] += c4 @ self._cap_map
-        G_ss = Gp[:size, :size].copy()
-        C_ss = Cp[:size, :size].copy()
-        self._ss_memo = (op, G_ss, C_ss)
-        return G_ss, C_ss
+            g3, c4 = self._ss_values_for(op)
+            Gd, Cd = st.ss_data(self._sparse_G_data(), self._sparse_C_data(),
+                                g3, c4)
+            Gs, Cs = st.matrix(Gd), st.matrix(Cd)
+        self._ss_sparse_memo = (op, Gs, Cs)
+        return Gs, Cs
+
+    def sparse_sweep_lus(self, op, frequencies: np.ndarray) -> list:
+        """Cached ``splu`` factors of ``G_ss + j w C_ss`` over a sweep.
+
+        Memoised per (operating point, frequency-grid object): within one
+        measurement the forward AC sweep, the gain referral and the noise
+        adjoint all linearise at the same ``op`` over the same grid, so
+        every frequency point is factored exactly once.
+        """
+        memo = self._sp_lu_memo
+        if memo is not None and memo[0] is op and memo[1] is frequencies:
+            return memo[2]
+        Gs, Cs = self.small_signal_sparse(op)
+        omega = 2.0 * np.pi * np.asarray(frequencies, dtype=float)
+        lus = self.sparse_state.sweep_lus(Gs.data, Cs.data, omega)
+        self._sp_lu_memo = (op, frequencies, lus)
+        return lus
 
     def capacitance_matrix_at(self, x: np.ndarray) -> np.ndarray:
         """Capacitance matrix including MOSFET capacitances evaluated at the
@@ -548,6 +713,8 @@ class MnaSystem:
         engine, where device capacitances vary along the trajectory."""
         if self._dev is None:
             return self.C.copy()
+        if self.sparse:
+            return self.sparse_state.densify(self.sparse_cap_data(x))
         size = self.size
         arrays = self.mosfet_state_arrays(x)
         n1 = size + 1
@@ -555,8 +722,19 @@ class MnaSystem:
         Cp[:size, :size] = self.C
         c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
                        arrays["csb"]], axis=-1).reshape(-1)
-        Cp.reshape(-1)[:] += c4 @ self._cap_map
+        Cp.reshape(-1)[:] += c4 @ self.cap_map
         return Cp[:size, :size].copy()
+
+    def sparse_cap_data(self, x: np.ndarray) -> np.ndarray:
+        """Master-pattern data of the large-signal capacitance matrix at
+        ``x`` (the sparse transient engine's C-refresh primitive)."""
+        Cd = self._sparse_C_data()
+        if self._dev is None:
+            return Cd.copy()
+        arrays = self.mosfet_state_arrays(x)
+        c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
+                       arrays["csb"]], axis=-1).reshape(-1)
+        return self.sparse_state.cap_data(Cd, c4)
 
     def nonlinear_current(self, x: np.ndarray) -> np.ndarray:
         """KCL currents injected by the MOSFETs at large-signal ``x``.
@@ -583,8 +761,12 @@ class MnaSystem:
             return np.zeros(n), np.zeros((n, n))
         V = self._terminal_voltages(x)
         i_d, g = eval_companion_batch(self._dev, V)
+        if self.sparse:
+            st = self.sparse_state
+            Jd = st.newton_data(np.zeros(st.nnz), g)
+            return i_d @ self._res_map, st.densify(Jd)
         n1 = n + 1
-        Jp = (g.reshape(-1) @ self._newton_g_map).reshape(n1, n1)
+        Jp = (g.reshape(-1) @ self.newton_g_map).reshape(n1, n1)
         return i_d @ self._res_map, np.ascontiguousarray(Jp[:n, :n])
 
     def noise_source_list(self, op):

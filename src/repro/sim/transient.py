@@ -185,6 +185,10 @@ def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
     states = np.empty((n_steps + 1, system.size))
     states[0] = x
 
+    if getattr(system, "sparse", False):
+        return _transient_sparse(system, times, states, x, waveforms,
+                                 max_newton, vtol, dt)
+
     G = system.G
     h2 = dt / 2.0
     C = system.capacitance_matrix_at(x)
@@ -212,6 +216,77 @@ def transient_analysis(system: MnaSystem, *, t_stop: float, dt: float,
             except np.linalg.LinAlgError:
                 raise ConvergenceError(
                     f"transient Jacobian singular at t={t_now:.3e}s")
+            step = float(np.max(np.abs(dv))) if dv.size else 0.0
+            if step > 0.5:
+                dv *= 0.5 / step
+            v = v + dv
+            if step < vtol:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"transient Newton failed at t={t_now:.3e}s", residual=step)
+        x = v
+        states[k] = x
+        b_prev = b_now
+    return TransientResult(system=system, time=times, solutions=states)
+
+
+def _transient_sparse(system: MnaSystem, times: np.ndarray, states: np.ndarray,
+                      x: np.ndarray, waveforms: dict[str, Waveform],
+                      max_newton: int, vtol: float,
+                      dt: float) -> TransientResult:
+    """Sparse-engine integration loop of :func:`transient_analysis`.
+
+    Runs the identical per-step trapezoidal/Newton algebra (same damping,
+    same C-refresh gating), but every matrix lives on the structure's
+    master pattern: the step Jacobian ``C + h/2 (G + J_nl)`` is assembled
+    as one ``.data`` vector and factored with SuperLU.  Purely linear
+    netlists (no MOSFETs — e.g. extracted RC interconnect meshes) have a
+    *constant* Jacobian, which is factored exactly once for the whole
+    run — the cached-factorisation fast path.
+    """
+    from repro.circuits.mosfet import eval_companion_batch
+
+    st = system.sparse_state
+    h2 = dt / 2.0
+    Gd = system._sparse_G_data()
+    G_csc = st.matrix(Gd)
+    Cd = system.sparse_cap_data(x)
+    C_csc = st.matrix(Cd)
+    x_cap = x.copy()
+    pure_linear = system.device_arrays is None
+    lu_const = st.lu(Cd + h2 * Gd) if pure_linear else None
+    if pure_linear and lu_const is None:
+        raise ConvergenceError("transient Jacobian singular at t=0")
+    b_prev = _source_vector(system, waveforms, times[0])
+    for k in range(1, len(times)):
+        if not pure_linear and np.max(np.abs(x - x_cap)) > C_REFRESH_V:
+            Cd = system.sparse_cap_data(x)
+            C_csc = st.matrix(Cd)
+            x_cap = x.copy()
+        t_now = times[k]
+        b_now = _source_vector(system, waveforms, t_now)
+        f_prev = b_prev - G_csc @ x - system.nonlinear_current(x)
+        # Newton on F(v) = C (v - x) - h/2 (b_now - G v - i_nl(v)) - h/2 f_prev
+        v = x.copy()
+        converged = False
+        step = np.inf
+        for _ in range(max_newton):
+            if pure_linear:
+                i_nl = 0.0
+                lu = lu_const
+            else:
+                V = system._terminal_voltages(v)
+                i_d, g = eval_companion_batch(system.device_arrays, V)
+                i_nl = i_d @ system._res_map
+                lu = st.lu(st.newton_data(Cd + h2 * Gd, h2 * g))
+                if lu is None:
+                    raise ConvergenceError(
+                        f"transient Jacobian singular at t={t_now:.3e}s")
+            F = (C_csc @ (v - x) - h2 * (b_now - G_csc @ v - i_nl)
+                 - h2 * f_prev)
+            dv = lu.solve(-F)
             step = float(np.max(np.abs(dv))) if dv.size else 0.0
             if step > 0.5:
                 dv *= 0.5 / step
@@ -262,7 +337,7 @@ def _capacitance_rows(stack: SystemStack, X: np.ndarray,
     n, n1 = stack.size, stack.size + 1
     B = len(rows)
     Cp = np.zeros((B, n1, n1))
-    Cp[:, :n, :n] = stack.C[rows]
+    Cp[:, :n, :n] = stack.C_rows(rows)
     if stack.dev is not None:
         dev = stack.dev.take(rows)
         Xp = np.concatenate([X[rows], np.zeros((B, 1))], axis=1)
@@ -270,7 +345,7 @@ def _capacitance_rows(stack: SystemStack, X: np.ndarray,
         arrays = state_arrays_batch(dev, *terminal_voltages_batch(dev, V))
         c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
                        arrays["csb"]], axis=-1).reshape(B, -1)
-        Cp.reshape(B, -1)[:] += c4 @ tpl._cap_map
+        Cp.reshape(B, -1)[:] += c4 @ tpl.cap_map
     return np.ascontiguousarray(Cp[:, :n, :n])
 
 
@@ -336,6 +411,10 @@ def transient_analysis_batch(stack: SystemStack, *, t_stop: float, dt: float,
 
     h2 = dt / 2.0
     all_rows = np.arange(B)
+    # Sparse stacks densify once up front: the batch engine's stacked
+    # linear algebra is dense by design (it serves the small-circuit
+    # regime; large sparse netlists integrate per design instead).
+    G_all = stack.G if not stack.sparse else stack.G_rows(all_rows)
     C = np.zeros((B, n, n))
     C[alive] = _capacitance_rows(stack, X, all_rows[alive])
     X_cap = X.copy()
@@ -353,7 +432,7 @@ def transient_analysis_batch(stack: SystemStack, *, t_stop: float, dt: float,
                 X_cap[moved] = X[moved]
         t_now = times[k]
         b_now = stack.b_dc + _source_delta(tpl, waveforms, t_now)[None, :]
-        f_prev = (b_prev[rows] - (stack.G[rows] @ X[rows, :, None])[..., 0]
+        f_prev = (b_prev[rows] - (G_all[rows] @ X[rows, :, None])[..., 0]
                   - _nonlinear_current_batch(stack, X, rows))
         # Newton on F(v) = C (v - x) - h/2 (b_now - G v - i_nl(v)) - h/2 f_prev
         V = X[rows].copy()
@@ -370,16 +449,16 @@ def transient_analysis_batch(stack: SystemStack, *, t_stop: float, dt: float,
                 Vt = Xp[:, tpl._terms_pad]
                 i_d, g = eval_companion_batch(stack.dev.take(r), Vt)
                 i_nl = i_d @ tpl._res_map
-                Jp = (g.reshape(a, -1) @ tpl._newton_g_map).reshape(a, n1, n1)
+                Jp = (g.reshape(a, -1) @ tpl.newton_g_map).reshape(a, n1, n1)
                 J_nl = Jp[:, :n, :n]
             else:
                 i_nl = np.zeros((a, n))
                 J_nl = 0.0
             F = ((C[r] @ (Va - X[r])[..., None])[..., 0]
-                 - h2 * (b_now[r] - (stack.G[r] @ Va[..., None])[..., 0]
+                 - h2 * (b_now[r] - (G_all[r] @ Va[..., None])[..., 0]
                          - i_nl)
                  - h2 * f_prev[active])
-            J = C[r] + h2 * (stack.G[r] + J_nl)
+            J = C[r] + h2 * (G_all[r] + J_nl)
             dv, singular = _solve_active(J, -F)
             if singular.any():
                 # Dead designs: flagged, dropped; they keep their last state.
@@ -420,6 +499,8 @@ def _solve_static_batch(stack: SystemStack, b: np.ndarray, X: np.ndarray,
     n, n1 = stack.size, stack.size + 1
     ok = np.zeros(len(rows), dtype=bool)
     active = np.arange(len(rows))
+    G_all = stack.G if not stack.sparse else stack.G_rows(
+        np.arange(stack.n_designs))
     for _ in range(max_iter):
         if len(active) == 0:
             break
@@ -431,13 +512,13 @@ def _solve_static_batch(stack: SystemStack, b: np.ndarray, X: np.ndarray,
             Vt = Xp[:, tpl._terms_pad]
             i_d, g = eval_companion_batch(stack.dev.take(r), Vt)
             i_nl = i_d @ tpl._res_map
-            J_nl = (g.reshape(a, -1) @ tpl._newton_g_map
+            J_nl = (g.reshape(a, -1) @ tpl.newton_g_map
                     ).reshape(a, n1, n1)[:, :n, :n]
         else:
             i_nl = np.zeros((a, n))
             J_nl = 0.0
-        F = (stack.G[r] @ Xa[..., None])[..., 0] + i_nl - b[r]
-        dx, singular = _solve_active(stack.G[r] + J_nl, -F)
+        F = (G_all[r] @ Xa[..., None])[..., 0] + i_nl - b[r]
+        dx, singular = _solve_active(G_all[r] + J_nl, -F)
         if singular.any():
             keep = ~singular
             active, dx, Xa = active[keep], dx[keep], Xa[keep]

@@ -10,12 +10,16 @@ machinery their action spaces are built from.
 * :mod:`repro.topologies.ngm_ota` — two-stage OTA with negative-gm load
   (§III-C/D);
 * :mod:`repro.topologies.five_t_ota` — single-stage 5T OTA, the
-  "add your own circuit" extensibility example.
+  "add your own circuit" extensibility example;
+* :mod:`repro.topologies.ota_chain` — OTA repeater chain over
+  distributed RC interconnect, the large-netlist (sparse-engine)
+  scenario family.
 """
 
 from repro.topologies.base import CircuitSimulator, SchematicSimulator, Topology
 from repro.topologies.five_t_ota import FiveTransistorOta
 from repro.topologies.ngm_ota import NegGmOta
+from repro.topologies.ota_chain import OtaChain
 from repro.topologies.params import GridParam, ParameterSpace
 from repro.topologies.tia import TransimpedanceAmplifier
 from repro.topologies.two_stage import TwoStageOpAmp
@@ -25,6 +29,7 @@ __all__ = [
     "FiveTransistorOta",
     "GridParam",
     "NegGmOta",
+    "OtaChain",
     "ParameterSpace",
     "SchematicSimulator",
     "Topology",

@@ -245,11 +245,11 @@ class Topology(abc.ABC):
         c4 = np.stack([arrays["cgs"], arrays["cgd"], arrays["cdb"],
                        arrays["csb"]], axis=-1).reshape(B, -1)
         Gp = np.zeros((B, n1, n1))
-        Gp[:, :n, :n] = stack.G[rows]
-        Gp.reshape(B, -1)[:] += g3 @ tpl._ss_map
+        Gp[:, :n, :n] = stack.G_rows(rows)
+        Gp.reshape(B, -1)[:] += g3 @ tpl.ss_map
         Cp = np.zeros((B, n1, n1))
-        Cp[:, :n, :n] = stack.C[rows]
-        Cp.reshape(B, -1)[:] += c4 @ tpl._cap_map
+        Cp[:, :n, :n] = stack.C_rows(rows)
+        Cp.reshape(B, -1)[:] += c4 @ tpl.cap_map
         return (np.ascontiguousarray(Gp[:, :n, :n]),
                 np.ascontiguousarray(Cp[:, :n, :n]))
 

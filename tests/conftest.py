@@ -28,6 +28,15 @@ from repro.topologies import (
 )
 
 
+def pytest_addoption(parser):
+    """``--update-golden`` regenerates the spec fixtures under
+    ``tests/golden/`` instead of comparing against them (see
+    ``tests/test_golden_specs.py``)."""
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current engine output")
+
+
 @pytest.fixture
 def divider_netlist() -> Netlist:
     """1 V source into a 1k/1k divider: v(out) = 0.5 V."""

@@ -1,0 +1,106 @@
+"""High-fidelity PEX mesh mode: per-segment wiring parasitics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.elements import Capacitor, Resistor
+from repro.pex.corners import signoff_corners
+from repro.pex.extraction import (PEX_PREFIX, ExtractionRules,
+                                  ParasiticExtractor, PexSimulator)
+from repro.pex.lvs import lvs_compare
+from repro.sim import MnaSystem
+from repro.topologies import FiveTransistorOta, TwoStageOpAmp
+
+
+@pytest.fixture(scope="module")
+def schematic():
+    topo = FiveTransistorOta()
+    return topo, topo.build(topo.parameter_space.values(
+        topo.parameter_space.center))
+
+
+class TestMeshExtraction:
+    def test_mesh_grows_per_segment(self, schematic):
+        _, net = schematic
+        lumped = ParasiticExtractor(ExtractionRules()).extract(net)
+        mesh = ParasiticExtractor(
+            ExtractionRules(mesh_segments=4)).extract(net)
+        n_lumped_caps = sum(1 for e in lumped
+                            if e.name.startswith(f"{PEX_PREFIX}C_"))
+        n_mesh_caps = sum(1 for e in mesh
+                          if e.name.startswith(f"{PEX_PREFIX}C_"))
+        n_wire_res = sum(1 for e in mesh
+                         if e.name.startswith(f"{PEX_PREFIX}RW_"))
+        assert n_mesh_caps == 4 * n_lumped_caps
+        assert n_wire_res == n_mesh_caps
+        assert len(MnaSystem(mesh).node_index) > len(
+            MnaSystem(lumped).node_index)
+
+    def test_mesh_preserves_total_capacitance(self, schematic):
+        _, net = schematic
+        lumped = ParasiticExtractor(ExtractionRules()).extract(net)
+        mesh = ParasiticExtractor(
+            ExtractionRules(mesh_segments=5)).extract(net)
+        total = lambda n: sum(e.capacitance for e in n
+                              if isinstance(e, Capacitor)
+                              and e.name.startswith(PEX_PREFIX))
+        assert total(mesh) == pytest.approx(total(lumped), rel=1e-12)
+
+    def test_mesh_passes_lvs(self, schematic):
+        _, net = schematic
+        mesh = ParasiticExtractor(
+            ExtractionRules(mesh_segments=3)).extract(net)
+        assert lvs_compare(net, mesh, parasitic_prefix=PEX_PREFIX)
+
+    def test_mesh_specs_close_to_lumped(self):
+        """A few ohms of distributed wire resistance must shield, not
+        transform, the lumped result."""
+        center = FiveTransistorOta().parameter_space.center
+        lumped = PexSimulator(FiveTransistorOta, cache=False).evaluate(center)
+        mesh = PexSimulator(FiveTransistorOta, cache=False,
+                            rules=ExtractionRules(mesh_segments=4)
+                            ).evaluate(center)
+        assert mesh["gain"] == pytest.approx(lumped["gain"], rel=0.05)
+        assert mesh["ugbw"] == pytest.approx(lumped["ugbw"], rel=0.05)
+
+
+class TestMeshUpdaterFastPath:
+    @pytest.mark.parametrize("factory", [FiveTransistorOta, TwoStageOpAmp])
+    def test_updater_matches_rebuild(self, factory):
+        sim = PexSimulator(factory, corners=signoff_corners()[:1],
+                           rules=ExtractionRules(mesh_segments=3),
+                           cache=False)
+        plan = sim._plans[0]
+        space = sim.parameter_space
+        sim.evaluate(space.center)             # prime the plan (build path)
+        assert plan.rebuilds == 1
+        shifted = np.asarray(space.center) + 4
+        sim.evaluate(shifted)                  # updater fast path
+        assert plan.rebuilds == 1 and plan.restamps >= 1
+        values = space.values(space.clip(shifted))
+        fresh = MnaSystem(
+            sim.extractor.extract(sim._topologies[0].build(values)),
+            temperature=plan.temperature)
+        np.testing.assert_allclose(plan.system.G, fresh.G,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(plan.system.C, fresh.C,
+                                   rtol=1e-12, atol=0.0)
+
+    def test_wire_resistance_updates_with_sizing(self):
+        """Mesh wire R/C follow the pseudo-layout as devices resize (the
+        footprint packing is not monotone in width, so the check is that
+        the parasitics *move* with the layout, not in which direction)."""
+        sim = PexSimulator(FiveTransistorOta, corners=signoff_corners()[:1],
+                           rules=ExtractionRules(mesh_segments=2),
+                           cache=False)
+        space = sim.parameter_space
+        sim.evaluate(np.zeros(len(space), dtype=np.int64))
+        small = {e.name: e.resistance for e in sim._plans[0].system.netlist
+                 if e.name.startswith(f"{PEX_PREFIX}RW_")}
+        sim.evaluate(np.full(len(space), 90, dtype=np.int64))
+        large = {e.name: e.resistance for e in sim._plans[0].system.netlist
+                 if e.name.startswith(f"{PEX_PREFIX}RW_")}
+        assert small.keys() == large.keys()
+        assert any(large[k] != small[k] for k in small)

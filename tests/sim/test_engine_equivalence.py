@@ -1,0 +1,213 @@
+"""Dense-vs-sparse engine equivalence.
+
+The sparse backend (:mod:`repro.sim.sparse`) must be a pure
+linear-algebra substitution: same stamps, same Newton trajectory, same
+physics.  This suite pins that across every analysis and every topology,
+at tolerances far below anything a measurement could amplify into spec
+drift (DC solutions agree to <= 1e-9, assembled operators bit-for-bit).
+
+The modal AC fast path is disabled for the strict comparisons — it is a
+*verified approximation* (residual-checked to 1e-7) on the dense side
+only, so comparing it against sparse direct solves would test the modal
+tolerance, not the engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.ac as ac_mod
+from repro.circuits import Capacitor, Netlist, Resistor, VoltageSource, ptm45
+from repro.circuits.mosfet import Mosfet
+from repro.pex.corners import signoff_corners
+from repro.pex.extraction import ExtractionRules, PexSimulator
+from repro.sim import MnaSystem, OperatingPoint, ac_sweep, noise_analysis, solve_dc
+from repro.sim.transient import step_waveform, transient_analysis
+from repro.topologies import (
+    FiveTransistorOta,
+    NegGmOta,
+    OtaChain,
+    SchematicSimulator,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+TOPOLOGIES = {
+    "tia": TransimpedanceAmplifier,
+    "two_stage_opamp": TwoStageOpAmp,
+    "ngm_ota": NegGmOta,
+    "five_t_ota": FiveTransistorOta,
+    "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
+}
+
+FREQS = np.logspace(3, 10, 36)
+
+
+def _center_netlist(name):
+    topology = TOPOLOGIES[name]()
+    values = topology.parameter_space.values(topology.parameter_space.center)
+    return topology.build(values)
+
+
+def _engine_pair(name):
+    net = _center_netlist(name)
+    return (MnaSystem(net, engine="dense"),
+            MnaSystem(_center_netlist(name), engine="sparse"))
+
+
+def _cs_amp() -> Netlist:
+    tech = ptm45()
+    net = Netlist("cs_amp")
+    net.add(VoltageSource("VDD", "vdd", "0", dc=tech.vdd))
+    net.add(VoltageSource("VIN", "g", "0", dc=0.7, ac=1.0))
+    net.add(Resistor("RD", "vdd", "d", 10e3))
+    net.add(Capacitor("CL", "d", "0", 1e-12))
+    net.add(Mosfet("M1", "d", "g", "0", "0", polarity="nmos",
+                   params=tech.nmos, w=5e-6, l=0.5e-6, m=2))
+    return net
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestScalarParity:
+    def test_newton_assembly_identical(self, name):
+        dense, sparse = _engine_pair(name)
+        assert not dense.sparse and sparse.sparse
+        x = np.full(dense.size, 0.3)
+        Ad, rd = dense.newton_matrices(x, gmin=1e-6)
+        As, rs = sparse.newton_matrices(x, gmin=1e-6)
+        np.testing.assert_allclose(As.toarray(), Ad, rtol=0.0, atol=1e-13)
+        np.testing.assert_allclose(rs, rd, rtol=0.0, atol=1e-13)
+
+    def test_dc_operating_point(self, name):
+        dense, sparse = _engine_pair(name)
+        xd = solve_dc(dense).x
+        xs = solve_dc(sparse).x
+        np.testing.assert_allclose(xs, xd, rtol=1e-9, atol=1e-9)
+
+    def test_small_signal_matrices_identical(self, name):
+        dense, sparse = _engine_pair(name)
+        opd, ops = solve_dc(dense), solve_dc(sparse)
+        Gd, Cd = dense.small_signal_matrices(opd)
+        Gs, Cs = sparse.small_signal_matrices(ops)
+        scale = np.abs(Gd).max()
+        np.testing.assert_allclose(Gs, Gd, rtol=0.0, atol=1e-9 * scale)
+        np.testing.assert_allclose(Cs, Cd, rtol=0.0,
+                                   atol=1e-9 * np.abs(Cd).max())
+
+    def test_ac_sweep(self, name, monkeypatch):
+        """Same operating point -> sweep solutions agree to solver
+        rounding (the DC points themselves are compared separately; a
+        high-gain amplifier would amplify their 1e-12-level difference
+        above the strict sweep tolerance used here)."""
+        monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+        dense, sparse = _engine_pair(name)
+        opd = solve_dc(dense)
+        ops = OperatingPoint(sparse, opd.x.copy(), opd.iterations,
+                             opd.residual_norm)
+        hd = ac_sweep(dense, opd, FREQS).voltage("out")
+        hs = ac_sweep(sparse, ops, FREQS).voltage("out")
+        np.testing.assert_allclose(hs, hd, rtol=0.0,
+                                   atol=1e-9 * np.abs(hd).max())
+
+
+class TestAnalysisParity:
+    def test_noise_adjoint(self, monkeypatch):
+        monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+        dense = MnaSystem(_cs_amp(), engine="dense")
+        sparse = MnaSystem(_cs_amp(), engine="sparse")
+        nd = noise_analysis(dense, solve_dc(dense), FREQS, "d")
+        ns = noise_analysis(sparse, solve_dc(sparse), FREQS, "d")
+        np.testing.assert_allclose(ns.output_psd, nd.output_psd, rtol=1e-9)
+        assert ns.integrated_output_rms() == pytest.approx(
+            nd.integrated_output_rms(), rel=1e-9)
+
+    def test_noise_adjoint_tia(self, monkeypatch):
+        monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+        tia = TransimpedanceAmplifier()
+        net = tia.build(tia.parameter_space.values(tia.parameter_space.center))
+        dense = MnaSystem(net, engine="dense")
+        sparse = MnaSystem(tia.build(
+            tia.parameter_space.values(tia.parameter_space.center)),
+            engine="sparse")
+        nd = noise_analysis(dense, solve_dc(dense), FREQS, "out")
+        ns = noise_analysis(sparse, solve_dc(sparse), FREQS, "out")
+        np.testing.assert_allclose(ns.output_psd, nd.output_psd, rtol=1e-9)
+
+    def test_transient_waveforms(self):
+        wave = {"VIN": step_waveform(0.7, 0.75, 1e-10)}
+        dense = MnaSystem(_cs_amp(), engine="dense")
+        sparse = MnaSystem(_cs_amp(), engine="sparse")
+        td = transient_analysis(dense, t_stop=1e-9, dt=1e-12, waveforms=wave)
+        ts = transient_analysis(sparse, t_stop=1e-9, dt=1e-12, waveforms=wave)
+        np.testing.assert_allclose(ts.solutions, td.solutions,
+                                   rtol=0.0, atol=1e-9)
+
+    def test_transient_pure_rc_cached_factorisation(self):
+        """Linear netlists take the factor-once fast path; waveforms must
+        still match the dense engine exactly."""
+        def rc():
+            net = Netlist("rc")
+            net.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+            net.add(Resistor("R1", "in", "mid", 1e3))
+            net.add(Capacitor("C1", "mid", "0", 1e-9))
+            net.add(Resistor("R2", "mid", "out", 1e3))
+            net.add(Capacitor("C2", "out", "0", 1e-9))
+            return net
+        wave = {"V1": step_waveform(0.0, 1.0)}
+        td = transient_analysis(MnaSystem(rc(), engine="dense"),
+                                t_stop=1e-5, dt=1e-8, waveforms=wave)
+        ts = transient_analysis(MnaSystem(rc(), engine="sparse"),
+                                t_stop=1e-5, dt=1e-8, waveforms=wave)
+        np.testing.assert_allclose(ts.solutions, td.solutions,
+                                   rtol=0.0, atol=1e-9)
+
+
+def _batch_rows(space, n=3):
+    rng = np.random.default_rng(7)
+    rows = [np.asarray(space.center, dtype=np.int64)]
+    for _ in range(n - 1):
+        rows.append(np.array([rng.integers(0, p.count) for p in space],
+                             dtype=np.int64))
+    return np.stack(rows)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_evaluate_batch_parity(name, monkeypatch):
+    """``evaluate_batch`` specs agree <= 1e-9 between engines.
+
+    The engine is selected through ``REPRO_ENGINE`` exactly as a user
+    would, so this also covers the StampPlan/SystemStack threading."""
+    monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+
+    def run(engine):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        factory = TOPOLOGIES[name]
+        sim = SchematicSimulator(factory(), cache=False)
+        return sim.evaluate_batch(_batch_rows(sim.parameter_space)), sim
+
+    dense_specs, sim = run("dense")
+    sparse_specs, _ = run("sparse")
+    for d, s in zip(dense_specs, sparse_specs):
+        for spec in d:
+            assert s[spec] == pytest.approx(d[spec], rel=1e-9, abs=1e-15), (
+                name, spec)
+
+
+@pytest.mark.parametrize("rules", [None, ExtractionRules(mesh_segments=3)],
+                         ids=["lumped", "mesh"])
+def test_pex_corner_stack_parity(rules, monkeypatch):
+    """Full PEX corner stacks (lumped and per-segment mesh parasitics)
+    produce identical worst-case specs on both engines."""
+    monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+    corners = signoff_corners()[:2]
+
+    def run(engine):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        sim = PexSimulator(FiveTransistorOta, corners=corners, rules=rules,
+                           cache=False)
+        return sim.evaluate_batch(_batch_rows(sim.parameter_space, n=2))
+
+    for d, s in zip(run("dense"), run("sparse")):
+        for spec in d:
+            assert s[spec] == pytest.approx(d[spec], rel=1e-9, abs=1e-15), spec

@@ -84,6 +84,8 @@ class TestResidual:
         x = np.zeros(system.size)
         a0, _ = system.newton_matrices(x, gmin=0.0)
         a1, _ = system.newton_matrices(x, gmin=1e-3)
+        if not isinstance(a0, np.ndarray):  # sparse engine: CSC matrices
+            a0, a1 = a0.toarray(), a1.toarray()
         diff = a1 - a0
         n = system.n_nodes
         assert np.allclose(np.diag(diff)[:n], 1e-3)

@@ -1,0 +1,103 @@
+"""Golden-spec regression harness.
+
+Two PRs of deep numerical refactoring (vectorised Newton, modal AC,
+corner stacking, now a sparse backend) make silent spec drift the
+scariest failure mode: everything still converges, every equivalence
+test still passes against *itself*, but the numbers an optimiser sees
+have moved.  This harness pins the measured specs of every topology at
+canonical sizings to versioned JSON fixtures (``tests/golden/``):
+
+* the sizings are the grid centre plus deterministic pseudo-random grid
+  points (seeded draw, stable across platforms);
+* comparison is per spec with a relative tolerance wide enough for
+  BLAS/engine rounding (``1e-4``) and far tighter than any physical
+  drift a refactor could introduce;
+* ``pytest --update-golden`` regenerates the fixtures after an
+  *intentional* modelling change — the diff then documents the drift in
+  review.
+
+The fixtures were generated on the dense engine; the sparse CI leg runs
+the same comparisons, so dense/sparse spec agreement is enforced here a
+second time at golden tolerance on top of the strict equivalence suite.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    FiveTransistorOta,
+    NegGmOta,
+    OtaChain,
+    TransimpedanceAmplifier,
+    TwoStageOpAmp,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Topology factories; the chain runs in a small configuration so the
+#: golden tier stays fast (its full-size behaviour is benchmarked, not
+#: regression-pinned).
+CASES = {
+    "tia": TransimpedanceAmplifier,
+    "two_stage_opamp": TwoStageOpAmp,
+    "ngm_ota": NegGmOta,
+    "five_t_ota": FiveTransistorOta,
+    "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
+}
+
+#: Per-spec relative tolerance; settling-time extraction interpolates on
+#: a fixed step grid, so it gets a slightly wider band.
+SPEC_RTOL = {"settling_time": 1e-3}
+DEFAULT_RTOL = 1e-4
+
+
+def _canonical_sizings(topology, n_random: int = 2) -> list[np.ndarray]:
+    """Grid centre plus deterministic pseudo-random grid points."""
+    space = topology.parameter_space
+    rng = np.random.default_rng(20260728)
+    sizings = [np.asarray(space.center, dtype=np.int64)]
+    for _ in range(n_random):
+        sizings.append(np.array([rng.integers(0, p.count) for p in space],
+                                dtype=np.int64))
+    return sizings
+
+
+def _measure_records(topology) -> list[dict]:
+    records = []
+    for indices in _canonical_sizings(topology):
+        values = topology.parameter_space.values(indices)
+        specs = topology.simulate(values)
+        records.append({"indices": [int(i) for i in indices],
+                        "specs": {k: float(v) for k, v in sorted(specs.items())}})
+    return records
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_specs(name, request):
+    topology = CASES[name]()
+    records = _measure_records(topology)
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(
+            {"topology": name, "records": records}, indent=2, sort_keys=True)
+            + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; run pytest --update-golden")
+    golden = json.loads(path.read_text())
+    assert len(golden["records"]) == len(records)
+    for rec, ref in zip(records, golden["records"]):
+        assert rec["indices"] == ref["indices"], "sizing draw changed"
+        assert set(rec["specs"]) == set(ref["specs"])
+        for spec, ref_val in ref["specs"].items():
+            rtol = SPEC_RTOL.get(spec, DEFAULT_RTOL)
+            assert rec["specs"][spec] == pytest.approx(
+                ref_val, rel=rtol, abs=1e-15), (
+                f"{name} @ {rec['indices']}: spec {spec!r} drifted from "
+                f"golden {ref_val!r} to {rec['specs'][spec]!r}")

@@ -1,0 +1,112 @@
+"""OTA repeater chain — the large-netlist (sparse-engine) scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import TOPOLOGIES as CLI_TOPOLOGIES
+from repro.core import SizingEnv
+from repro.sim import MnaSystem, SPARSE_AUTO_THRESHOLD, solve_dc
+from repro.topologies import OtaChain, SchematicSimulator
+
+
+@pytest.fixture(scope="module")
+def small_chain() -> OtaChain:
+    return OtaChain(n_stages=2, segments=4)
+
+
+class TestStructure:
+    def test_default_configuration_is_large_and_sparse(self, monkeypatch):
+        """The auto threshold routes the default chain sparse (the env
+        override is cleared so this holds on every CI engine leg)."""
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        chain = OtaChain()
+        values = chain.parameter_space.values(chain.parameter_space.center)
+        system = MnaSystem(chain.build(values))
+        assert system.size == chain.unknown_count()
+        assert system.size >= 200
+        assert system.size >= SPARSE_AUTO_THRESHOLD
+        assert system.sparse
+
+    def test_small_configuration_stays_dense(self, small_chain, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        values = small_chain.parameter_space.values(
+            small_chain.parameter_space.center)
+        system = MnaSystem(small_chain.build(values))
+        assert system.size == small_chain.unknown_count()
+        assert not system.sparse
+
+    def test_segment_count_scales_size(self):
+        a = OtaChain(n_stages=2, segments=2).unknown_count()
+        b = OtaChain(n_stages=2, segments=6).unknown_count()
+        assert b - a == 2 * 4
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            OtaChain(n_stages=0)
+        with pytest.raises(ValueError):
+            OtaChain(segments=0)
+
+
+class TestSimulation:
+    def test_center_specs_reasonable(self, small_chain):
+        values = small_chain.parameter_space.values(
+            small_chain.parameter_space.center)
+        specs = small_chain.simulate(values)
+        assert 0.5 < specs["gain"] < 1.5       # unity-gain buffer chain
+        assert 1e5 < specs["bandwidth"] < 1e9
+        assert 1e-5 < specs["ibias"] < 1e-2
+
+    def test_dc_self_biasing(self, small_chain):
+        """Unity feedback keeps every stage output near the input common
+        mode regardless of chain depth."""
+        values = small_chain.parameter_space.values(
+            small_chain.parameter_space.center)
+        system = MnaSystem(small_chain.build(values))
+        op = solve_dc(system)
+        vcm = small_chain.VCM_FRACTION * small_chain.technology.vdd
+        for s in range(1, small_chain.n_stages + 1):
+            assert op.voltage(f"o{s}") == pytest.approx(vcm, abs=0.15)
+
+    def test_update_netlist_fast_path(self, small_chain):
+        values = small_chain.parameter_space.values(
+            small_chain.parameter_space.center)
+        net = small_chain.build(values)
+        other = small_chain.parameter_space.values(
+            np.asarray(small_chain.parameter_space.center) + 5)
+        assert small_chain.update_netlist(net, other)
+        fresh = small_chain.build(other)
+        for element in fresh:
+            if hasattr(element, "w"):
+                assert net[element.name].w == element.w
+
+    def test_batch_matches_scalar(self, small_chain):
+        sim = SchematicSimulator(small_chain, cache=False)
+        rows = np.stack([
+            np.asarray(sim.parameter_space.center, dtype=np.int64),
+            np.asarray(sim.parameter_space.center, dtype=np.int64) + 10,
+        ])
+        batched = sim.evaluate_batch(rows)
+        for row, specs in zip(rows, batched):
+            scalar = small_chain.simulate(sim.parameter_space.values(row))
+            for name, value in scalar.items():
+                assert specs[name] == pytest.approx(value, rel=1e-6)
+
+
+class TestRegistration:
+    def test_cli_registry(self):
+        assert CLI_TOPOLOGIES["ota_chain"] is OtaChain
+
+    def test_rl_env_rollout(self, small_chain):
+        """The chain plugs into the RL environment like any topology."""
+        sim = SchematicSimulator(small_chain, cache=True)
+        env = SizingEnv(sim, seed=0)
+        obs = env.reset()
+        assert np.all(np.isfinite(obs))
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            obs, reward, done, info = env.step(env.action_space.sample(rng))
+            assert np.isfinite(reward)
+            if done:
+                break
