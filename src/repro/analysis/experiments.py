@@ -115,6 +115,15 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_parallel_scaling.py",
             ("repro.rl.parallel",)),
         Experiment(
+            "async_rollouts", "Async vs lockstep rollouts at chain scale",
+            "Beyond the paper: the double-buffered rollout pipeline "
+            "(REPRO_ASYNC) overlaps policy inference with the shard "
+            "workers' batched simulation; in the external-simulator-"
+            "latency regime it hides most of the agent's think time",
+            "benchmarks/bench_async_rollouts.py",
+            ("repro.rl.async_env", "repro.rl.ppo", "repro.sim.parallel",
+             "repro.topologies.ota_chain")),
+        Experiment(
             "sparse_engine", "Sparse vs dense engine on large netlists",
             "Beyond the paper: the OTA repeater chain scenario family "
             "(>=200 MNA unknowns) runs >=3x faster on the SuperLU "

@@ -18,7 +18,7 @@ derivative-free strong-men for the ablation bench:
 from repro.baselines.annealing import AnnealingConfig, SimulatedAnnealing
 from repro.baselines.bagnet import BagNetConfig, BagNetOptimizer
 from repro.baselines.cem import CEMConfig, CrossEntropyMethod
-from repro.baselines.common import SearchResult, TargetObjective
+from repro.baselines.common import SearchResult, TargetObjective, iter_batch_specs
 from repro.baselines.genetic import GAConfig, GAResult, GeneticOptimizer
 from repro.baselines.random_agent import random_agent_deployment
 from repro.baselines.random_search import RandomSearch, feasible_volume_fraction
@@ -37,5 +37,6 @@ __all__ = [
     "SimulatedAnnealing",
     "TargetObjective",
     "feasible_volume_fraction",
+    "iter_batch_specs",
     "random_agent_deployment",
 ]

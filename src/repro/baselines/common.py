@@ -46,6 +46,52 @@ class GoalReached(Exception):
     """Internal control flow: an evaluation met the target."""
 
 
+def iter_batch_specs(simulator: "CircuitSimulator", stacked: np.ndarray,
+                     min_chunk: int = 8):
+    """Yield ``(offset, specs_chunk)`` for a stacked generation.
+
+    The population baselines' async on-ramp (knob ``REPRO_ASYNC``): the
+    generation is split into a few contiguous chunks which are *all*
+    submitted to the simulator's non-blocking ``submit_batch`` up front —
+    they queue FIFO in the shard workers — and collected one at a time,
+    so the caller's per-individual reward bookkeeping for chunk *k*
+    overlaps the workers solving chunk *k+1*.  With the knob off (or no
+    ``submit_batch``, or a tiny generation) the whole generation comes
+    back as a single ``evaluate_batch`` chunk — the exact historical
+    code path.
+
+    Note the chunked decomposition dedupes the cache per chunk rather
+    than across the generation, and stragglers entering solver fallback
+    chains see chunk-sized stacks — generation results can differ from
+    the lockstep path at solver tolerance.  If the consumer abandons the
+    generator mid-generation (e.g. the target was met), the remaining
+    chunks are drained on close so the simulator is left clean.
+    """
+    from repro.rl.async_env import async_enabled
+
+    B = len(stacked)
+    if (not async_enabled()
+            or not getattr(simulator, "supports_batch_pipeline", False)
+            or B < 2 * min_chunk):
+        yield 0, simulator.evaluate_batch(stacked)
+        return
+    n_chunks = min(4, B // min_chunk)
+    bounds = np.linspace(0, B, n_chunks + 1).astype(int)
+    tickets = [(int(lo), simulator.submit_batch(stacked[lo:hi]))
+               for lo, hi in zip(bounds, bounds[1:])]
+    consumed = 0
+    try:
+        for offset, ticket in tickets:
+            consumed += 1
+            yield offset, simulator.collect_batch(ticket)
+    finally:
+        for _, ticket in tickets[consumed:]:
+            try:
+                simulator.collect_batch(ticket)
+            except Exception:  # drain must not mask the original exit
+                pass
+
+
 class TargetObjective:
     """Budget-enforcing fitness function for one target specification.
 
@@ -94,9 +140,11 @@ class TargetObjective:
         return breakdown.reward
 
     def evaluate_population(self, population) -> np.ndarray:
-        """Evaluate a whole population through ``evaluate_batch`` (which
+        """Evaluate a whole population through the batched engine (which
         stacks the designs — and shards them across worker processes when
-        ``REPRO_SHARDS`` is set).
+        ``REPRO_SHARDS`` is set; with ``REPRO_ASYNC`` the generation is
+        additionally pipelined in chunks via :func:`iter_batch_specs`, so
+        reward bookkeeping overlaps the workers' solves).
 
         Returns the fitness array (one entry per individual) and keeps the
         scalar call's control flow: :class:`GoalReached` is raised when an
@@ -114,23 +162,28 @@ class TargetObjective:
         population = [space.clip(np.asarray(p)) for p in population]
         remaining = self.budget - self.simulations
         evaluated = population[:remaining]
-        specs_list = self.simulator.evaluate_batch(np.stack(evaluated))
+        # The whole generation is committed (and charged) up front; the
+        # chunk iterator below only changes *when* results stream back.
         self.simulations += len(evaluated)
         fitness = np.empty(len(population))
-        for i, (indices, specs) in enumerate(zip(evaluated, specs_list)):
-            breakdown = compute_reward(specs, self.target,
-                                       self.simulator.spec_space, self.reward)
-            fitness[i] = breakdown.reward
-            if breakdown.reward > self.best_fitness:
-                self.best_fitness = breakdown.reward
-                self.best_indices = indices.copy()
-                self.best_specs = specs
-            if breakdown.goal_reached:
-                self.succeeded = True
-                self.best_indices = indices.copy()
-                self.best_specs = specs
-                self.best_fitness = breakdown.reward
-                raise GoalReached
+        for offset, specs_chunk in iter_batch_specs(self.simulator,
+                                                    np.stack(evaluated)):
+            for i, specs in enumerate(specs_chunk, start=offset):
+                indices = evaluated[i]
+                breakdown = compute_reward(specs, self.target,
+                                           self.simulator.spec_space,
+                                           self.reward)
+                fitness[i] = breakdown.reward
+                if breakdown.reward > self.best_fitness:
+                    self.best_fitness = breakdown.reward
+                    self.best_indices = indices.copy()
+                    self.best_specs = specs
+                if breakdown.goal_reached:
+                    self.succeeded = True
+                    self.best_indices = indices.copy()
+                    self.best_specs = specs
+                    self.best_fitness = breakdown.reward
+                    raise GoalReached
         if len(evaluated) < len(population) or self.simulations >= self.budget:
             raise BudgetExhausted
         return fitness

@@ -77,20 +77,26 @@ class GeneticOptimizer:
 
     def _fitness_many(self, genomes: list[np.ndarray], target: dict[str, float],
                       budget_left: int):
-        """Batched fitness of several genomes (one stacked simulation).
+        """Batched fitness of several genomes (one stacked simulation;
+        chunk-pipelined through the shard workers under ``REPRO_ASYNC``
+        via :func:`~repro.baselines.common.iter_batch_specs`).
 
         Only the first ``budget_left`` genomes are evaluated; returns a
         list of ``(reward, goal_reached, specs)`` triples in order.
         """
+        from repro.baselines.common import iter_batch_specs
+
         genomes = genomes[:max(budget_left, 0)]
         if not genomes:
             return []
-        specs_list = self.simulator.evaluate_batch(np.stack(genomes))
         out = []
-        for specs in specs_list:
-            breakdown = compute_reward(specs, target,
-                                       self.simulator.spec_space, self.reward)
-            out.append((breakdown.reward, breakdown.goal_reached, specs))
+        for _offset, specs_chunk in iter_batch_specs(self.simulator,
+                                                     np.stack(genomes)):
+            for specs in specs_chunk:
+                breakdown = compute_reward(specs, target,
+                                           self.simulator.spec_space,
+                                           self.reward)
+                out.append((breakdown.reward, breakdown.goal_reached, specs))
         return out
 
     # -- GA operators ------------------------------------------------------------

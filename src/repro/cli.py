@@ -13,7 +13,9 @@ writing any Python:
 * ``sweep``           — sweep one parameter, plot every spec;
 * ``montecarlo``      — mismatch Monte Carlo of one sizing;
 * ``poles``           — pole analysis / stability verdict;
-* ``experiments``     — list the paper-experiment registry.
+* ``experiments``     — list the paper-experiment registry;
+* ``knobs``           — list the runtime knobs (``REPRO_*``; see
+  ``docs/knobs.md``).
 """
 
 from __future__ import annotations
@@ -258,6 +260,29 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Runtime knobs surfaced by ``repro knobs`` (reference: docs/knobs.md).
+KNOBS = [
+    ("REPRO_ENGINE", "auto|dense|sparse", "auto",
+     "linear-algebra backend (auto: sparse at >= 128 unknowns)"),
+    ("REPRO_SHARDS", "int >= 1", "1",
+     "multicore shard-pool workers for batched evaluation"),
+    ("REPRO_ASYNC", "0|1", "0",
+     "double-buffered async rollout pipeline (RL + baselines)"),
+    ("REPRO_MODAL_AC", "1|0", "1",
+     "modal pole-residue AC fast path (0 forces direct solves)"),
+    ("AUTOCKT_FULL", "0|1", "0",
+     "paper-scale benchmark configurations"),
+]
+
+
+def cmd_knobs(_args: argparse.Namespace) -> int:
+    """Print the runtime-knob reference (see docs/knobs.md)."""
+    print(ascii_table(["variable", "values", "default", "effect"],
+                      [list(row) for row in KNOBS],
+                      title="Runtime knobs (details: docs/knobs.md)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -343,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="list the paper experiments")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("knobs",
+                       help="list the runtime knobs (REPRO_* variables)")
+    p.set_defaults(fn=cmd_knobs)
     return parser
 
 

@@ -95,7 +95,10 @@ class AutoCkt:
         and steps them through its batched engine (one stacked solve per
         policy query — see :class:`~repro.rl.env.VectorEnv`); with
         ``parallel_envs`` each env instead owns a simulator in its own
-        worker process.
+        worker process.  With ``REPRO_ASYNC=1`` the shared-simulator path
+        upgrades to the double-buffered
+        :class:`~repro.rl.async_env.AsyncVectorEnv`, overlapping policy
+        inference with the shard workers' batched solves.
         """
         cfg = self.config
         env_fns = [
@@ -107,12 +110,16 @@ class AutoCkt:
 
             vec_env = ParallelVectorEnv(env_fns)
         else:
+            from repro.rl.async_env import AsyncVectorEnv, async_enabled
             from repro.rl.env import VectorEnv
 
             shared = self.simulator_factory()
             envs = [self.make_env(seed=cfg.seed * 1000 + i, simulator=shared)
                     for i in range(cfg.ppo.n_envs)]
-            vec_env = VectorEnv(envs, batch_simulator=shared)
+            if async_enabled():
+                vec_env = AsyncVectorEnv(envs, batch_simulator=shared)
+            else:
+                vec_env = VectorEnv(envs, batch_simulator=shared)
         self.trainer = PPOTrainer(env_fns, config=cfg.ppo, vec_env=vec_env)
         try:
             self.history = self.trainer.train(

@@ -243,11 +243,9 @@ class PexSimulator(CircuitSimulator):
         return self._evaluate_batch_cached(
             indices_2d, self._fresh_batch, self._cache)
 
-    def _fresh_batch(self, values_list: list[dict[str, float]]
-                     ) -> list[dict[str, float]]:
-        sharded = self._shard_eval(values_list)
-        if sharded is not None:
-            return sharded
+    def _inprocess_batch(self, values_list: list[dict[str, float]]
+                         ) -> list[dict[str, float]]:
+        """Batched engine entry for distinct cache misses (corner stack)."""
         return self._evaluate_fresh_batch(values_list)
 
     def shard_factory(self):

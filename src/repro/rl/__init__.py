@@ -7,6 +7,9 @@ beyond numpy:
 * :mod:`repro.rl.spaces` — ``Box`` / ``Discrete`` / ``MultiDiscrete``;
 * :mod:`repro.rl.env` — the ``Env`` interface and a synchronous
   ``VectorEnv``;
+* :mod:`repro.rl.async_env` — the double-buffered ``AsyncVectorEnv``
+  (knob ``REPRO_ASYNC``) that overlaps policy inference with batched
+  simulation;
 * :mod:`repro.rl.nn` — MLPs with manual backprop and Adam;
 * :mod:`repro.rl.distributions` — factored categorical action heads;
 * :mod:`repro.rl.policy` — the 3x50-tanh actor-critic the paper specifies;
@@ -17,6 +20,7 @@ beyond numpy:
 * :mod:`repro.rl.normalize` — running obs/reward normalisation wrappers.
 """
 
+from repro.rl.async_env import AsyncVectorEnv, async_enabled
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.distributions import MultiCategorical
 from repro.rl.env import Env, VectorEnv
@@ -39,6 +43,8 @@ from repro.rl.spaces import Box, Discrete, MultiDiscrete
 __all__ = [
     "ActorCritic",
     "Adam",
+    "AsyncVectorEnv",
+    "async_enabled",
     "Box",
     "ConstantSchedule",
     "CosineSchedule",

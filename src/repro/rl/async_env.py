@@ -1,0 +1,203 @@
+"""Asynchronous, double-buffered vectorised rollouts (knob ``REPRO_ASYNC``).
+
+The lockstep training loop alternates "policy step -> wait for
+simulation -> policy step": the shard workers idle while the agent
+thinks and the agent idles while the shards solve.  Within one
+environment chain that dependency is real — an action needs the previous
+observation — so the pipeline overlaps *across* environments instead:
+:class:`AsyncVectorEnv` splits its environments into contiguous groups
+(two by default — classic double buffering) and lets the trainer submit
+group *t*'s simulations before collecting group *t-1*'s, so policy
+inference and reward bookkeeping for one group run while the other
+group's batch is solving in the :class:`~repro.sim.parallel.ShardPool`
+workers.
+
+The simulation side is the non-blocking half-pair grown in this PR:
+``CircuitSimulator.submit_batch`` runs the cache front-end and fires the
+distinct misses into the shard pool's shared-memory plumbing without
+waiting; ``collect_batch`` reaps them.  With ``REPRO_SHARDS`` <= 1 there
+are no workers to overlap with — submit simply defers the solve to
+collect time, keeping the API uniform (and the trajectories correct)
+with zero processes spawned.
+
+Semantics versus the lockstep :class:`~repro.rl.env.VectorEnv`:
+
+* ``REPRO_ASYNC=0`` (default) — the async classes are never constructed;
+  training runs the exact lockstep code path, step-for-step and bitwise
+  identical to the previous release under a fixed seed.
+* ``REPRO_ASYNC=1`` — each policy query sees one *group* instead of the
+  full width, so the action-sampling RNG stream interleaves differently
+  and the batched solver sees group-sized stacks (straggler designs that
+  enter the gmin/source fallback chains can differ at solver tolerance).
+  Trajectories are equivalent, reproducible run-to-run under a fixed
+  seed, but not bitwise equal to the lockstep schedule; the cache
+  front-end also dedupes per group rather than across the full width.
+
+Failure contract: a shard worker dying mid-batch surfaces as a
+:class:`~repro.errors.TrainingError` from :meth:`AsyncVectorEnv.collect`
+(the pool tears down; nothing hangs), mirroring the lockstep path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rl.env import Env, VectorEnv
+
+#: Environment variable enabling the async rollout pipeline (default off).
+ASYNC_ENV = "REPRO_ASYNC"
+
+#: Values of :data:`ASYNC_ENV` read as "off".
+_FALSE = ("", "0", "false", "off", "no")
+
+
+def async_enabled() -> bool:
+    """Whether ``REPRO_ASYNC`` asks for the async rollout pipeline."""
+    return os.environ.get(ASYNC_ENV, "").strip().lower() not in _FALSE
+
+
+class AsyncVectorEnv(VectorEnv):
+    """Double-buffered batch of environments over one shared simulator.
+
+    A drop-in :class:`~repro.rl.env.VectorEnv` (``reset``/``step`` keep
+    their synchronous contracts) that additionally exposes the group
+    pipeline: :meth:`submit` dispatches one group's simulations without
+    waiting and :meth:`collect` reaps them, with the same auto-reset
+    semantics and :class:`~repro.rl.env.EpisodeStats` per finished
+    episode.  Groups must be collected in submission order (the shard
+    pool's reply queues are FIFO).
+
+    Parameters
+    ----------
+    envs:
+        The environments to step together; all must support the
+        ``begin_step``/``finish_step`` split.
+    batch_simulator:
+        The shared :class:`~repro.topologies.base.CircuitSimulator`
+        (mandatory here — the pipeline is built on its
+        ``submit_batch``/``collect_batch`` halves).
+    n_groups:
+        Pipeline depth: 2 (default) is classic double buffering; capped
+        at ``len(envs)``.
+    """
+
+    #: Trainer dispatch hook (``PPOTrainer`` checks this attribute).
+    is_async = True
+
+    def __init__(self, envs: list[Env], batch_simulator, n_groups: int = 2):
+        if batch_simulator is None:
+            raise TrainingError("AsyncVectorEnv needs a shared batch "
+                                "simulator (the pipeline overlaps its "
+                                "submit/collect halves)")
+        if not getattr(batch_simulator, "supports_batch_pipeline", False):
+            raise TrainingError(
+                f"{type(batch_simulator).__name__} has no batched engine "
+                "for the async pipeline")
+        if n_groups < 1:
+            raise TrainingError("n_groups must be >= 1")
+        super().__init__(envs, batch_simulator=batch_simulator)
+        n_groups = min(n_groups, len(envs))
+        bounds = np.linspace(0, len(envs), n_groups + 1).astype(int)
+        self._slices = [slice(int(lo), int(hi))
+                        for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+        self._tickets = [None] * len(self._slices)
+        self._order: list[int] = []   # groups in submission order (FIFO)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of pipeline groups."""
+        return len(self._slices)
+
+    @property
+    def group_slices(self) -> list[slice]:
+        """Contiguous env-index slice of each group, in group order."""
+        return list(self._slices)
+
+    def submit(self, group: int, actions: np.ndarray) -> None:
+        """Dispatch one group's next simulations without waiting.
+
+        Applies ``actions`` to the group's envs (``begin_step``) and
+        submits the stacked sizing indices to the shared simulator; the
+        solve proceeds in the shard workers (if any) while the caller
+        does other work.  One batch per group may be in flight.
+        """
+        sl = self._check_group(group)
+        if self._tickets[group] is not None:
+            raise TrainingError(f"group {group} already has work in flight")
+        envs = self.envs[sl]
+        if len(actions) != len(envs):
+            raise TrainingError(
+                f"got {len(actions)} actions for {len(envs)} envs "
+                f"in group {group}")
+        indices = np.stack([env.begin_step(action)
+                            for env, action in zip(envs, actions)])
+        self._tickets[group] = self._batch_sim.submit_batch(indices)
+        self._order.append(group)
+
+    def collect(self, group: int):
+        """Wait for a submitted group; returns its step results.
+
+        Same tuple contract as ``VectorEnv.step`` restricted to the
+        group's envs: ``(obs, rewards, dones, infos, finished)`` with
+        auto-reset of finished episodes.
+        """
+        sl = self._check_group(group)
+        ticket = self._tickets[group]
+        if ticket is None:
+            raise TrainingError(f"collect before submit for group {group}")
+        if self._order and self._order[0] != group:
+            raise TrainingError(
+                f"groups must be collected in submission order "
+                f"(next is group {self._order[0]}, got {group})")
+        self._tickets[group] = None
+        self._order.pop(0)
+        specs = self._batch_sim.collect_batch(ticket)
+        envs = self.envs[sl]
+        outcomes = [env.finish_step(s) for env, s in zip(envs, specs)]
+        return self._finish_outcomes(sl.start, envs, outcomes)
+
+    def reset(self) -> np.ndarray:
+        """Reset every env (draining any in-flight group first)."""
+        self.drain()
+        return super().reset()
+
+    def step(self, actions: np.ndarray):
+        """Synchronous full-width step (the lockstep fallback path)."""
+        if any(ticket is not None for ticket in self._tickets):
+            raise TrainingError("step() with groups in flight; collect "
+                                "or drain them first")
+        return super().step(actions)
+
+    def drain(self) -> None:
+        """Collect and discard every in-flight group (submission order).
+
+        Collect errors are swallowed: drain runs from ``reset``/``close``
+        cleanup paths, often *because* a worker already died — the
+        original diagnostic must not be masked by the discard (same
+        policy as ``iter_batch_specs``'s drain)."""
+        while self._order:
+            group = self._order.pop(0)
+            ticket = self._tickets[group]
+            self._tickets[group] = None
+            if ticket is not None:
+                try:
+                    self._batch_sim.collect_batch(ticket)
+                except Exception:
+                    pass
+
+    def close(self) -> None:
+        """Drain in-flight work and shut down the simulator's shard pool."""
+        try:
+            self.drain()
+        finally:
+            self._batch_sim.close_shard_pool()
+
+    def _check_group(self, group: int) -> slice:
+        """Validate a group index and return its env slice."""
+        if not 0 <= group < len(self._slices):
+            raise TrainingError(
+                f"group {group} out of range (n_groups={self.n_groups})")
+        return self._slices[group]

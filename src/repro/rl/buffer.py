@@ -48,6 +48,27 @@ class RolloutBuffer:
         self.log_probs[t] = log_probs
         self._cursor += 1
 
+    def add_slice(self, t: int, env_slice: slice, obs, actions, rewards,
+                  dones, values, log_probs) -> None:
+        """Write one env-group's transition at step ``t``.
+
+        The async rollout pipeline fills the buffer group by group (the
+        groups reach step ``t`` at different wall-clock moments); call
+        :meth:`mark_full` once every ``(t, group)`` cell is written.
+        """
+        if not 0 <= t < self.n_steps:
+            raise TrainingError(f"step {t} outside rollout of {self.n_steps}")
+        self.obs[t, env_slice] = obs
+        self.actions[t, env_slice] = actions
+        self.rewards[t, env_slice] = rewards
+        self.dones[t, env_slice] = dones
+        self.values[t, env_slice] = values
+        self.log_probs[t, env_slice] = log_probs
+
+    def mark_full(self) -> None:
+        """Declare a slice-filled buffer complete (enables GAE/flatten)."""
+        self._cursor = self.n_steps
+
     def reset(self) -> None:
         """Clear the buffer for the next rollout."""
         self._cursor = 0

@@ -114,10 +114,20 @@ class VectorEnv:
                                 in zip(self.envs, specs)])
 
     def _step_loop(self, outcomes):
+        return self._finish_outcomes(0, self.envs, outcomes)
+
+    def _finish_outcomes(self, start: int, envs, outcomes):
+        """Episode accounting for ``envs`` (global indices ``start``...).
+
+        Shared by the full-width step and the group-scoped async collect
+        (:class:`~repro.rl.async_env.AsyncVectorEnv`): accumulates the
+        per-env episode reward/length, emits :class:`EpisodeStats` and
+        auto-resets finished envs.
+        """
         obs_list, rewards, dones, infos = [], [], [], []
         finished: list[EpisodeStats] = []
         for i, (env, (obs, reward, done, info)) in enumerate(
-                zip(self.envs, outcomes)):
+                zip(envs, outcomes), start=start):
             self._ep_reward[i] += reward
             self._ep_length[i] += 1
             if done:

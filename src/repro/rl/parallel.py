@@ -105,15 +105,40 @@ class ParallelVectorEnv:
         return len(self._remotes)
 
     def _ensure_open(self) -> None:
+        """Refuse to touch a closed worker group."""
         if self._group.closed:
             raise TrainingError("ParallelVectorEnv is closed")
+
+    def _send(self, remote, message) -> None:
+        """Send one command, translating a dead worker into a clear error.
+
+        A worker that died (crash, OOM, kill) closes its pipe end; the
+        group is mid-protocol and unrecoverable, so it is torn down and
+        the caller gets a :class:`TrainingError` instead of a raw
+        ``BrokenPipeError`` — and never a hang."""
+        try:
+            remote.send(message)
+        except (BrokenPipeError, OSError):
+            self.close()
+            raise TrainingError(
+                "environment worker died; vector env closed") from None
+
+    def _recv(self, remote):
+        """Receive one reply, translating a dead worker into a clear error."""
+        try:
+            return remote.recv()
+        except (EOFError, OSError):
+            self.close()
+            raise TrainingError(
+                "environment worker died mid-step; vector env closed"
+            ) from None
 
     def reset(self) -> np.ndarray:
         """Reset every worker; returns the stacked initial observations."""
         self._ensure_open()
         for remote in self._remotes:
-            remote.send(("reset", None))
-        return np.stack([remote.recv() for remote in self._remotes])
+            self._send(remote, ("reset", None))
+        return np.stack([self._recv(remote) for remote in self._remotes])
 
     def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
                                                  np.ndarray, list[dict],
@@ -124,11 +149,11 @@ class ParallelVectorEnv:
             raise TrainingError(
                 f"got {len(actions)} actions for {len(self._remotes)} envs")
         for remote, action in zip(self._remotes, actions):
-            remote.send(("step", action))
+            self._send(remote, ("step", action))
         obs_list, rewards, dones, infos = [], [], [], []
         finished: list[EpisodeStats] = []
         for remote in self._remotes:
-            obs, reward, done, info, stats = remote.recv()
+            obs, reward, done, info, stats = self._recv(remote)
             obs_list.append(obs)
             rewards.append(reward)
             dones.append(done)

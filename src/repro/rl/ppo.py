@@ -160,7 +160,15 @@ class PPOTrainer:
 
     # -- rollout ---------------------------------------------------------------
     def collect_rollout(self, obs: np.ndarray) -> tuple[RolloutBuffer, np.ndarray, list]:
-        """Collect one on-policy rollout; returns (buffer, next obs, finished-episode stats)."""
+        """Collect one on-policy rollout; returns (buffer, next obs, finished-episode stats).
+
+        Async vector envs (``is_async``, see
+        :class:`~repro.rl.async_env.AsyncVectorEnv`) roll out through
+        the double-buffered group schedule; everything else steps the
+        classic lockstep loop.
+        """
+        if getattr(self.vec, "is_async", False):
+            return self._collect_rollout_async(obs)
         cfg = self.config
         buffer = RolloutBuffer(cfg.n_steps, cfg.n_envs,
                                int(np.prod(self.vec.observation_space.shape)),
@@ -173,6 +181,60 @@ class PPOTrainer:
             finished.extend(done_stats)
             obs = next_obs
             self.total_env_steps += cfg.n_envs
+        last_values = self.policy.value(obs)
+        buffer.compute_gae(last_values, cfg.gamma, cfg.gae_lambda)
+        return buffer, obs, finished
+
+    def _collect_rollout_async(self, obs: np.ndarray
+                               ) -> tuple[RolloutBuffer, np.ndarray, list]:
+        """Double-buffered rollout over an async vector env.
+
+        Work units are ``(step, group)`` pairs in lexicographic order;
+        unit *k+1* is submitted (policy inference + dispatch) *before*
+        unit *k* is collected, so while one group's batch solves in the
+        shard workers the parent is already running the network for the
+        next group.  Each group still sees a strictly sequential
+        obs -> action -> obs chain, so the trajectories match the
+        lockstep semantics group-for-group.
+        """
+        cfg = self.config
+        vec = self.vec
+        buffer = RolloutBuffer(cfg.n_steps, cfg.n_envs,
+                               int(np.prod(vec.observation_space.shape)),
+                               len(vec.action_space.nvec))
+        finished: list = []
+        slices = vec.group_slices
+        group_obs = [np.array(obs[sl]) for sl in slices]
+        pending: dict[int, tuple] = {}
+
+        def submit(t: int, g: int) -> None:
+            actions, log_probs, values = self.policy.act(group_obs[g],
+                                                         self.rng)
+            vec.submit(g, actions)
+            pending[g] = (t, group_obs[g], actions, log_probs, values)
+
+        units = [(t, g) for t in range(cfg.n_steps)
+                 for g in range(len(slices))]
+        submit(*units[0])
+        for k, (t, g) in enumerate(units):
+            nxt = units[k + 1] if k + 1 < len(units) else None
+            if nxt is not None and nxt[1] != g:
+                # The overlap: dispatch the next group's work before
+                # waiting on this group's results.
+                submit(*nxt)
+            next_obs, rewards, dones, _, done_stats = vec.collect(g)
+            t0, obs_g, actions, log_probs, values = pending.pop(g)
+            buffer.add_slice(t0, slices[g], obs_g, actions, rewards, dones,
+                             values, log_probs)
+            finished.extend(done_stats)
+            group_obs[g] = next_obs
+            self.total_env_steps += slices[g].stop - slices[g].start
+            if nxt is not None and nxt[1] == g:
+                # Single-group env: no second buffer to overlap with —
+                # degenerate to submit-after-collect.
+                submit(*nxt)
+        buffer.mark_full()
+        obs = np.concatenate(group_obs)
         last_values = self.policy.value(obs)
         buffer.compute_gae(last_values, cfg.gamma, cfg.gae_lambda)
         return buffer, obs, finished

@@ -18,6 +18,25 @@ scale across cores without code changes; results are bitwise identical
 to the in-process engine because every worker runs the same batched
 solve from the same canonical warm seeds.
 
+Two evaluation surfaces share the plumbing:
+
+* :meth:`ShardPool.evaluate_values` — the blocking call (one batch in,
+  one spec array out), unchanged since PR 2;
+* :meth:`ShardPool.submit_values` / :meth:`ShardPool.collect` — the
+  non-blocking split behind the async rollout pipeline
+  (:mod:`repro.rl.async_env`, knob ``REPRO_ASYNC``).  ``submit`` writes
+  the batch into a shared block pair drawn from a small pool and fires
+  the ``eval`` commands without waiting; ``collect`` reaps the replies.
+  Several :class:`ShardTicket` batches may be in flight at once (the
+  double-buffered steady state is two), queued FIFO in each worker's
+  pipe, so the workers stay saturated while the parent runs policy
+  inference or reward bookkeeping between ``collect`` calls.
+
+Failure contract: a worker that dies mid-batch (OOM, native crash) is
+detected at the next send or receive — the pool tears itself down and
+raises :class:`~repro.errors.TrainingError` instead of hanging; the
+caller's next evaluation rebuilds a fresh pool.
+
 :class:`WorkerGroup` is the generic pipe/process plumbing, shared with
 :class:`repro.rl.parallel.ParallelVectorEnv`.
 """
@@ -25,6 +44,7 @@ solve from the same canonical warm seeds.
 from __future__ import annotations
 
 import atexit
+import collections
 import multiprocessing as mp
 import os
 import weakref
@@ -136,16 +156,28 @@ def _attach(cache: dict, name: str) -> shared_memory.SharedMemory:
     return shm
 
 
-def _attach_pair(cache: dict, in_name: str, out_name: str):
-    """Attach the request's block pair, evicting every *other* stale block.
+#: Worker-side attachment-cache bound: the double-buffered steady state
+#: keeps two block pairs live, regrowth retires a pair, so eight names
+#: comfortably cover every in-flight pair plus the recently retired ones.
+_ATTACH_CACHE_BLOCKS = 8
 
-    The parent regrows both blocks together, so only the current pair is
-    ever live; closing must happen strictly before the new attaches are
-    used and must never touch them (a closed block's ``.buf`` is gone, and
-    ``np.ndarray`` over it would silently read unshared memory)."""
-    for name in [n for n in cache if n not in (in_name, out_name)]:
-        cache.pop(name).close()
-    return _attach(cache, in_name), _attach(cache, out_name)
+
+def _attach_pair(cache: dict, in_name: str, out_name: str):
+    """Attach the request's block pair, bounding the attachment cache.
+
+    The parent cycles work through a small pool of block pairs (several
+    may be in flight at once under the async pipeline), so a name absent
+    from the current request is not necessarily stale.  Eviction
+    therefore only trims the cache once it outgrows
+    :data:`_ATTACH_CACHE_BLOCKS`, and never touches the current pair:
+    a closed block's ``.buf`` is gone, and ``np.ndarray`` over it would
+    silently read unshared memory.  Evicting a still-live pair is safe —
+    its next request simply re-attaches it."""
+    shm_in, shm_out = _attach(cache, in_name), _attach(cache, out_name)
+    if len(cache) > _ATTACH_CACHE_BLOCKS:
+        for name in [n for n in cache if n not in (in_name, out_name)]:
+            cache.pop(name).close()
+    return shm_in, shm_out
 
 
 def _shard_worker(remote, factory, param_names, spec_names) -> None:
@@ -189,6 +221,53 @@ def _shard_worker(remote, factory, param_names, spec_names) -> None:
         remote.close()
 
 
+class _BlockPair:
+    """One shared-memory (values-in, specs-out) block pair.
+
+    Pairs are pooled by :class:`ShardPool`: a ticket borrows a pair for
+    the submit-to-collect round trip and returns it to the free list, so
+    the async pipeline's two in-flight batches never alias each other's
+    memory."""
+
+    def __init__(self, n_params: int, n_specs: int, rows: int):
+        self.cap_rows = rows
+        self.shm_in = shared_memory.SharedMemory(
+            create=True, size=rows * n_params * 8)
+        self.shm_out = shared_memory.SharedMemory(
+            create=True, size=rows * n_specs * 8)
+
+    def release(self) -> None:
+        """Close and unlink both blocks (idempotent per block)."""
+        for shm in (self.shm_in, self.shm_out):
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class ShardTicket:
+    """Handle for one in-flight :meth:`ShardPool.submit_values` batch.
+
+    Tickets are collected in submission order (the worker pipes are
+    FIFO queues, so replies arrive in exactly that order)."""
+
+    __slots__ = ("pair", "busy", "n_rows", "collected")
+
+    def __init__(self, pair: _BlockPair, busy: list, n_rows: int):
+        self.pair = pair
+        self.busy = busy
+        self.n_rows = n_rows
+        self.collected = False
+
+
+#: Free-list bound: the RL double buffer cycles two pairs and the
+#: baselines' generation pipeline keeps up to four chunks in flight
+#: (``iter_batch_specs``), so four parks every steady state without
+#: per-generation allocate/unlink churn.
+_FREE_PAIRS = 4
+
+
 class ShardPool:
     """Persistent multicore shard pool over one simulator family.
 
@@ -220,9 +299,8 @@ class ShardPool:
                 self._group.close()
                 raise TrainingError(
                     f"shard worker handshake failed: {cmd} {names!r}")
-        self._shm_in: shared_memory.SharedMemory | None = None
-        self._shm_out: shared_memory.SharedMemory | None = None
-        self._cap_rows = 0
+        self._free: list[_BlockPair] = []
+        self._inflight: collections.deque[ShardTicket] = collections.deque()
         # Exit hook through a weak reference: the atexit registry must not
         # keep abandoned pools (and their workers) alive until exit —
         # dropped pools get reaped by __del__/GC, live ones at shutdown.
@@ -242,33 +320,34 @@ class ShardPool:
     def closed(self) -> bool:
         return self._group.closed
 
-    def _release_shm(self) -> None:
-        for shm in (self._shm_in, self._shm_out):
-            if shm is not None:
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-        self._shm_in = self._shm_out = None
-        self._cap_rows = 0
+    @property
+    def n_inflight(self) -> int:
+        """Submitted-but-uncollected batch count (0, 1 or 2 in practice)."""
+        return len(self._inflight)
 
-    def _ensure_capacity(self, rows: int) -> None:
-        if rows <= self._cap_rows:
-            return
-        self._release_shm()
-        cap = max(rows, 64)
-        self._shm_in = shared_memory.SharedMemory(
-            create=True, size=cap * len(self.param_names) * 8)
-        self._shm_out = shared_memory.SharedMemory(
-            create=True, size=cap * len(self.spec_names) * 8)
-        self._cap_rows = cap
+    def _acquire_pair(self, rows: int) -> _BlockPair:
+        """Borrow a block pair with capacity for ``rows`` (create if none)."""
+        for i, pair in enumerate(self._free):
+            if pair.cap_rows >= rows:
+                return self._free.pop(i)
+        return _BlockPair(len(self.param_names), len(self.spec_names),
+                          max(rows, 64))
 
-    def evaluate_values(self, values_array: np.ndarray) -> np.ndarray:
-        """Evaluate ``(B, P)`` stacked sizing values; returns ``(B, S)``.
+    def _release_pair(self, pair: _BlockPair) -> None:
+        """Return a pair to the free list, retiring the smallest extras."""
+        self._free.append(pair)
+        self._free.sort(key=lambda p: p.cap_rows)
+        while len(self._free) > _FREE_PAIRS:
+            self._free.pop(0).release()
 
-        Rows are split into contiguous shards, one per worker; the value
-        and spec arrays live in shared memory for the round trip.
+    def submit_values(self, values_array: np.ndarray) -> ShardTicket:
+        """Dispatch ``(B, P)`` stacked sizing values without waiting.
+
+        Rows are split into contiguous shards, one per worker, exactly as
+        :meth:`evaluate_values` splits them; the value and spec arrays
+        live in a borrowed shared block pair until :meth:`collect` reaps
+        the replies.  Batches queue FIFO in the worker pipes, so several
+        tickets may be outstanding — collect them in submission order.
         """
         if self._group.closed:
             raise TrainingError("ShardPool is closed")
@@ -277,21 +356,48 @@ class ShardPool:
         if P != len(self.param_names):
             raise TrainingError(
                 f"got {P} parameters, expected {len(self.param_names)}")
-        self._ensure_capacity(B)
-        vals = np.ndarray((B, P), dtype=np.float64, buffer=self._shm_in.buf)
+        pair = self._acquire_pair(B)
+        vals = np.ndarray((B, P), dtype=np.float64, buffer=pair.shm_in.buf)
         vals[:] = values_array
-        out = np.ndarray((B, len(self.spec_names)), dtype=np.float64,
-                         buffer=self._shm_out.buf)
         bounds = np.linspace(0, B, len(self._group) + 1).astype(int)
         busy = []
-        for remote, lo, hi in zip(self._group.remotes, bounds, bounds[1:]):
-            if hi > lo:
-                remote.send(("eval", (self._shm_in.name, self._shm_out.name,
-                                      int(lo), int(hi), B)))
-                busy.append(remote)
+        try:
+            for remote, lo, hi in zip(self._group.remotes, bounds, bounds[1:]):
+                if hi > lo:
+                    remote.send(("eval", (pair.shm_in.name, pair.shm_out.name,
+                                          int(lo), int(hi), B)))
+                    busy.append(remote)
+        except (BrokenPipeError, OSError):
+            # A worker died before accepting work: the pool is mid-protocol
+            # and unrecoverable — tear it down so the caller's next attempt
+            # rebuilds a fresh one.  The borrowed pair goes back to the
+            # free list first so close() unlinks it.
+            self._release_pair(pair)
+            self.close()
+            raise TrainingError(
+                "shard worker died before accepting work; pool closed"
+            ) from None
+        ticket = ShardTicket(pair, busy, B)
+        self._inflight.append(ticket)
+        return ticket
+
+    def collect(self, ticket: ShardTicket) -> np.ndarray:
+        """Wait for a ticket's workers and return its ``(B, S)`` specs.
+
+        Tickets must be collected in submission order (worker pipes are
+        FIFO, so an out-of-order collect would hand one batch another
+        batch's acknowledgements).
+        """
+        if ticket.collected:
+            raise TrainingError("shard ticket already collected")
+        if self._group.closed:
+            raise TrainingError("ShardPool is closed")
+        if not self._inflight or self._inflight[0] is not ticket:
+            raise TrainingError(
+                "shard tickets must be collected in submission order")
         errors = []
         dead = False
-        for remote in busy:
+        for remote in ticket.busy:
             try:
                 cmd, payload = remote.recv()
             except (EOFError, OSError):
@@ -302,18 +408,40 @@ class ShardPool:
                 continue
             if cmd != "ok":
                 errors.append(payload)
+        self._inflight.popleft()
+        ticket.collected = True
         if dead:
+            self._release_pair(ticket.pair)
             self.close()
             raise TrainingError("shard worker died mid-evaluation; "
                                 "pool closed")
+        out = np.ndarray((ticket.n_rows, len(self.spec_names)),
+                         dtype=np.float64, buffer=ticket.pair.shm_out.buf
+                         ).copy()
+        self._release_pair(ticket.pair)
         if errors:
             raise TrainingError(f"shard worker failed: {errors[0]}")
-        return out.copy()
+        return out
+
+    def evaluate_values(self, values_array: np.ndarray) -> np.ndarray:
+        """Evaluate ``(B, P)`` stacked sizing values; returns ``(B, S)``.
+
+        The blocking convenience around :meth:`submit_values` +
+        :meth:`collect` (requires no other batch in flight, so the FIFO
+        collect order is trivially respected).
+        """
+        return self.collect(self.submit_values(values_array))
 
     def close(self) -> None:
-        """Shut the workers down and release the shared blocks."""
+        """Shut the workers down and release every shared block."""
         self._group.close()
-        self._release_shm()
+        for ticket in self._inflight:
+            self._release_pair(ticket.pair)
+            ticket.collected = True
+        self._inflight.clear()
+        for pair in self._free:
+            pair.release()
+        self._free = []
 
     def __del__(self):  # pragma: no cover - interpreter teardown best effort
         try:

@@ -71,24 +71,28 @@ class _PatternStamper:
         self.c: set[tuple[int, int]] = set()
 
     def node(self, name: str) -> int:
+        """Node name to MNA row index (ground maps to -1)."""
         return self._system.node_index[name]
 
     def branch(self, element) -> int:
+        """Branch-current element to its auxiliary-row index."""
         return self._system.branch_index[element.name]
 
     def add_g(self, i: int, j: int, value: float) -> None:
+        """Record a conductance-stamp position (values ignored)."""
         if i >= 0 and j >= 0:
             self.g.add((i, j))
 
     def add_c(self, i: int, j: int, value: float) -> None:
+        """Record a capacitance-stamp position (values ignored)."""
         if i >= 0 and j >= 0:
             self.c.add((i, j))
 
     def add_b_dc(self, i: int, value: float) -> None:
-        pass
+        """Source stamps don't touch the matrix pattern — ignored."""
 
     def add_b_ac(self, i: int, value: float) -> None:
-        pass
+        """Source stamps don't touch the matrix pattern — ignored."""
 
 
 class SparseState:
@@ -389,6 +393,7 @@ class SparseSlice:
         return self._dev
 
     def _terminal_voltages(self, x: np.ndarray) -> np.ndarray:
+        """Device terminal voltages at state ``x`` (ground padded as 0)."""
         xp = np.append(x, 0.0)
         return xp[self._tpl._terms_pad]
 

@@ -25,7 +25,7 @@ import numpy as np
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Corner, Technology
 from repro.core.specs import SpecKind, SpecSpace
-from repro.errors import ConvergenceError, MeasurementError
+from repro.errors import ConvergenceError, MeasurementError, TrainingError
 from repro.sim.batch import SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
@@ -270,6 +270,40 @@ class Topology(abc.ABC):
         self._warm_x = None
 
 
+@dataclasses.dataclass
+class _BatchPlan:
+    """Cache/dedupe plan for one batched evaluation.
+
+    Built by ``CircuitSimulator._plan_batch`` (which also does the
+    counter accounting), consumed by ``_finish_batch`` once the distinct
+    fresh specs are available.  ``results`` holds the cache hits already
+    resolved; ``pending`` maps each fresh key to the batch rows waiting
+    on it."""
+
+    results: list
+    fresh_keys: list
+    fresh_values: list
+    pending: dict
+
+
+class BatchTicket:
+    """Handle for an in-flight ``submit_batch`` evaluation.
+
+    Pairs a :class:`_BatchPlan` with the backend handle computing its
+    fresh specs: a :class:`~repro.sim.parallel.ShardTicket` when the
+    shard pool took the work, the deferred value list when the
+    in-process engine will run at collect time, or None when the whole
+    batch was served from cache."""
+
+    __slots__ = ("plan", "kind", "handle", "collected")
+
+    def __init__(self, plan: _BatchPlan, kind: str, handle):
+        self.plan = plan
+        self.kind = kind          # "none" | "shard" | "deferred"
+        self.handle = handle
+        self.collected = False
+
+
 class CircuitSimulator(abc.ABC):
     """What optimisers see: index-vector evaluation with sim accounting.
 
@@ -281,12 +315,22 @@ class CircuitSimulator(abc.ABC):
     fallback otherwise).  Worker results are bitwise identical to the
     in-process engine — each worker runs the same batched solve from the
     same canonical warm seeds.
+
+    Batched evaluation also splits into a non-blocking half-pair —
+    :meth:`submit_batch` / :meth:`collect_batch` — used by the async
+    rollout pipeline (:mod:`repro.rl.async_env`): submit runs the cache
+    front-end and dispatches the distinct misses to the shard pool
+    without waiting, so the caller can run policy inference or reward
+    bookkeeping while the workers solve.  Without a pool the fresh work
+    is simply deferred to collect time (same results, no overlap).
+    Tickets are collected in submission order.
     """
 
     parameter_space: ParameterSpace
     spec_space: SpecSpace
     counter: SimulationCounter
     _pool = None
+    _cache = None
 
     @abc.abstractmethod
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
@@ -304,23 +348,25 @@ class CircuitSimulator(abc.ABC):
         indices_2d = np.atleast_2d(np.asarray(indices_2d, dtype=np.int64))
         return [self.evaluate(row) for row in indices_2d]
 
-    def _evaluate_batch_cached(self, indices_2d: np.ndarray, fresh_fn,
-                               cache) -> list[dict[str, float]]:
-        """Shared cache/counting front-end for batched evaluation.
+    def _plan_batch(self, indices_2d: np.ndarray, cache) -> _BatchPlan:
+        """Cache/counting front half of batched evaluation.
 
-        ``fresh_fn(values_list) -> list[dict]`` computes the distinct
-        cache misses.  Cache hits (and duplicate rows within the batch)
-        are served from the memo and counted exactly as the sequential
-        loop would count them; only the distinct misses reach the batched
-        engine.
+        Cache hits (and duplicate rows within the batch) are resolved
+        from the memo and counted exactly as the sequential loop would
+        count them; the distinct misses come back as the plan's fresh
+        value list.  With ``cache`` None every row is fresh (no dedupe) —
+        the uncached simulator's historical accounting.
         """
         indices_2d = self.parameter_space.clip(
             np.atleast_2d(np.asarray(indices_2d, dtype=np.int64)))
         B = len(indices_2d)
         if cache is None:
             self.counter.fresh += B
-            return fresh_fn(
-                [self.parameter_space.values(row) for row in indices_2d])
+            return _BatchPlan(
+                results=[None] * B, fresh_keys=[],
+                fresh_values=[self.parameter_space.values(row)
+                              for row in indices_2d],
+                pending={})
         results: list[dict[str, float] | None] = [None] * B
         fresh_values: list[dict[str, float]] = []
         fresh_keys: list[tuple[int, ...]] = []
@@ -343,31 +389,137 @@ class CircuitSimulator(abc.ABC):
             pending[key] = [r]
             fresh_keys.append(key)
             fresh_values.append(self.parameter_space.values(indices))
-        if fresh_values:
-            specs = fresh_fn(fresh_values)
-            for key, spec in zip(fresh_keys, specs):
-                cache.get_or_compute(key, lambda s=spec: s)
-                for r in pending[key]:
-                    results[r] = dict(spec)
-        return results  # type: ignore[return-value]
+        return _BatchPlan(results=results, fresh_keys=fresh_keys,
+                          fresh_values=fresh_values, pending=pending)
 
+    def _finish_batch(self, plan: _BatchPlan, specs, cache
+                      ) -> list[dict[str, float]]:
+        """Back half of batched evaluation: memoise and scatter specs.
+
+        ``specs`` are the fresh results in ``plan.fresh_values`` order
+        (uncached plans assign them positionally instead)."""
+        if cache is None or not plan.pending:
+            if specs:
+                plan.results = [dict(spec) for spec in specs]
+            return plan.results
+        for key, spec in zip(plan.fresh_keys, specs):
+            cache.get_or_compute(key, lambda s=spec: s)
+            for r in plan.pending[key]:
+                plan.results[r] = dict(spec)
+        return plan.results
+
+    def _evaluate_batch_cached(self, indices_2d: np.ndarray, fresh_fn,
+                               cache) -> list[dict[str, float]]:
+        """Shared cache/counting front-end for batched evaluation.
+
+        ``fresh_fn(values_list) -> list[dict]`` computes the distinct
+        cache misses (see :meth:`_plan_batch` / :meth:`_finish_batch`).
+        """
+        plan = self._plan_batch(indices_2d, cache)
+        specs = fresh_fn(plan.fresh_values) if plan.fresh_values else []
+        return self._finish_batch(plan, specs, cache)
+
+    # -- async submit/collect -------------------------------------------------
+    @property
+    def supports_batch_pipeline(self) -> bool:
+        """Whether :meth:`submit_batch`/:meth:`collect_batch` can run.
+
+        True once the simulator overrides :meth:`_inprocess_batch` with
+        a real batched engine (``SchematicSimulator``, ``PexSimulator``);
+        plain row-by-row simulators stay on the synchronous path (the
+        async consumers check this before pipelining)."""
+        return (type(self)._inprocess_batch
+                is not CircuitSimulator._inprocess_batch)
+
+    def submit_batch(self, indices_2d: np.ndarray) -> BatchTicket:
+        """Non-blocking front half of :meth:`evaluate_batch`.
+
+        Runs the cache/dedupe front-end immediately, dispatches the
+        distinct misses to the shard pool when ``REPRO_SHARDS`` provides
+        one (defers them to collect time otherwise), and returns a
+        :class:`BatchTicket` for :meth:`collect_batch`.  Requires a
+        batched engine (:attr:`supports_batch_pipeline`); collect
+        tickets in submission order.
+        """
+        if not self.supports_batch_pipeline:
+            raise TrainingError(
+                f"{type(self).__name__} has no batched engine for "
+                "submit_batch/collect_batch")
+        plan = self._plan_batch(indices_2d, self._cache)
+        if not plan.fresh_values:
+            return BatchTicket(plan, "none", None)
+        pool = self._resolve_shard_pool(len(plan.fresh_values))
+        if pool is None:
+            return BatchTicket(plan, "deferred", plan.fresh_values)
+        ticket = pool.submit_values(self._values_matrix(plan.fresh_values))
+        return BatchTicket(plan, "shard", ticket)
+
+    def collect_batch(self, ticket: BatchTicket) -> list[dict[str, float]]:
+        """Blocking back half of :meth:`submit_batch`: the B spec dicts."""
+        if ticket.collected:
+            raise TrainingError("batch ticket already collected")
+        ticket.collected = True
+        if ticket.kind == "shard":
+            if self._pool is None:
+                raise TrainingError(
+                    "shard pool closed with batches in flight")
+            specs = self._rows_to_specs(self._pool.collect(ticket.handle))
+        elif ticket.kind == "deferred":
+            specs = self._inprocess_batch(ticket.handle)
+        else:
+            specs = []
+        return self._finish_batch(ticket.plan, specs, self._cache)
+
+    # -- sharding -------------------------------------------------------------
     def shard_factory(self):
         """Picklable zero-argument factory building an equivalent simulator
         in a worker process (None = sharding unsupported)."""
         return None
 
-    def _shard_eval(self, values_list: list[dict[str, float]]
-                    ) -> list[dict[str, float]] | None:
-        """Distribute fresh evaluations over the shard pool, if configured.
+    def _inprocess_batch(self, values_list: list[dict[str, float]]
+                         ) -> list[dict[str, float]]:
+        """Batched engine entry for distinct fresh values (no sharding).
+
+        Overridden by the simulators with a vectorised engine; the base
+        simulator has none, so the batched async/shard paths refuse
+        rather than silently degrade."""
+        raise TrainingError(
+            f"{type(self).__name__} has no batched engine")
+
+    def _fresh_batch(self, values_list: list[dict[str, float]]
+                     ) -> list[dict[str, float]]:
+        """Compute distinct cache misses: sharded when configured,
+        in-process otherwise."""
+        sharded = self._shard_eval(values_list)
+        if sharded is not None:
+            return sharded
+        return self._inprocess_batch(values_list)
+
+    def _values_matrix(self, values_list: list[dict[str, float]]
+                       ) -> np.ndarray:
+        """Stack value dicts into the shard pool's (B, P) wire format."""
+        names = self.parameter_space.names
+        return np.array([[values[name] for name in names]
+                         for values in values_list])
+
+    def _rows_to_specs(self, out: np.ndarray) -> list[dict[str, float]]:
+        """Inverse of the wire format: (B, S) spec rows back to dicts."""
+        spec_names = self.spec_space.names
+        return [{name: float(x) for name, x in zip(spec_names, row)}
+                for row in out]
+
+    def _resolve_shard_pool(self, n_values: int):
+        """The live shard pool, or None when sharding does not apply.
 
         Returns None when sharding is off (``REPRO_SHARDS`` <= 1), the
         batch is trivial, or the simulator has no factory — callers then
-        run the in-process engine.
+        run the in-process engine.  Spawns/respawns the pool when the
+        requested worker count changes or a previous pool died.
         """
         from repro.sim.parallel import ShardPool, shard_count
 
         n = shard_count()
-        if n <= 1 or len(values_list) < 2:
+        if n <= 1 or n_values < 2:
             if n <= 1:
                 self.close_shard_pool()  # sharding turned off: reap workers
             return None
@@ -381,13 +533,20 @@ class CircuitSimulator(abc.ABC):
             pool = ShardPool(factory, n, self.parameter_space.names,
                              self.spec_space.names)
             self._pool = pool
-        names = self.parameter_space.names
-        arr = np.array([[values[name] for name in names]
-                        for values in values_list])
-        out = pool.evaluate_values(arr)
-        spec_names = self.spec_space.names
-        return [{name: float(x) for name, x in zip(spec_names, row)}
-                for row in out]
+        return pool
+
+    def _shard_eval(self, values_list: list[dict[str, float]]
+                    ) -> list[dict[str, float]] | None:
+        """Distribute fresh evaluations over the shard pool, if configured.
+
+        Returns None when :meth:`_resolve_shard_pool` declines — callers
+        then run the in-process engine.
+        """
+        pool = self._resolve_shard_pool(len(values_list))
+        if pool is None:
+            return None
+        out = pool.evaluate_values(self._values_matrix(values_list))
+        return self._rows_to_specs(out)
 
     def close_shard_pool(self) -> None:
         """Shut down this simulator's shard pool, if one was spawned."""
@@ -444,12 +603,9 @@ class SchematicSimulator(CircuitSimulator):
         return self._evaluate_batch_cached(
             indices_2d, self._fresh_batch, self._cache)
 
-    def _fresh_batch(self, values_list: list[dict[str, float]]
-                     ) -> list[dict[str, float]]:
-        """Batched engine entry for distinct cache misses (shard hook)."""
-        sharded = self._shard_eval(values_list)
-        if sharded is not None:
-            return sharded
+    def _inprocess_batch(self, values_list: list[dict[str, float]]
+                         ) -> list[dict[str, float]]:
+        """Batched engine entry for distinct cache misses (stacked solve)."""
         return self.topology.simulate_batch(values_list)
 
     def shard_factory(self):

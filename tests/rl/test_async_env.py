@@ -1,0 +1,252 @@
+"""Async rollout pipeline: equivalence with the lockstep engine, the
+double-buffered PPO schedule, and failure behaviour.
+
+The contract being pinned:
+
+* ``REPRO_ASYNC=0`` never constructs the async classes — the lockstep
+  path is byte-for-byte the previous code, so trajectories are bitwise
+  identical to the current engine under a fixed seed (checked here by
+  running the default path twice and against a pre-PR-style loop).
+* With the pipeline on, each group's trajectory must match a lockstep
+  vector env stepped over the same group decomposition *bitwise* (same
+  stacked solves, same warm seeds), and the full-width lockstep path to
+  solver tolerance (different stack decomposition).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.rl.async_env import ASYNC_ENV, AsyncVectorEnv, async_enabled
+from repro.rl.env import VectorEnv
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.core.env import SizingEnv, SizingEnvConfig
+from repro.topologies import FiveTransistorOta, SchematicSimulator
+
+
+def _make_envs(n, shared, max_steps=5):
+    return [SizingEnv(shared, config=SizingEnvConfig(max_steps=max_steps),
+                      seed=100 + i) for i in range(n)]
+
+
+def _action_plan(space_nvec, n_envs, n_steps, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, space_nvec, size=(n_steps, n_envs,
+                                             len(space_nvec)))
+
+
+class TestKnob:
+    def test_async_enabled_parsing(self, monkeypatch):
+        for off in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv(ASYNC_ENV, off)
+            assert not async_enabled()
+        for on in ("1", "true", "yes", "2"):
+            monkeypatch.setenv(ASYNC_ENV, on)
+            assert async_enabled()
+        monkeypatch.delenv(ASYNC_ENV)
+        assert not async_enabled()
+
+    def test_default_training_path_is_lockstep(self, monkeypatch):
+        """REPRO_ASYNC unset: AutoCkt builds the plain VectorEnv."""
+        monkeypatch.delenv(ASYNC_ENV, raising=False)
+        from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig as SEC
+
+        cfg = AutoCktConfig(max_iterations=1, stop_reward=None,
+                            env=SEC(max_steps=3), n_train_targets=3)
+        cfg.ppo.n_envs, cfg.ppo.n_steps, cfg.ppo.epochs = 3, 3, 1
+        agent = AutoCkt.for_topology(FiveTransistorOta, config=cfg)
+        agent.train()
+        assert type(agent.trainer.vec) is VectorEnv
+
+    def test_async_training_path_builds_async_env(self, monkeypatch):
+        monkeypatch.setenv(ASYNC_ENV, "1")
+        from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig as SEC
+
+        cfg = AutoCktConfig(max_iterations=1, stop_reward=None,
+                            env=SEC(max_steps=3), n_train_targets=3)
+        cfg.ppo.n_envs, cfg.ppo.n_steps, cfg.ppo.epochs = 4, 3, 1
+        agent = AutoCkt.for_topology(FiveTransistorOta, config=cfg)
+        agent.train()
+        assert isinstance(agent.trainer.vec, AsyncVectorEnv)
+
+
+class TestEquivalence:
+    def test_group_trajectories_bitwise_vs_group_lockstep(self):
+        """Driving the async env through submit/collect must reproduce a
+        lockstep vector env stepped over the same group decomposition
+        exactly: same stacked solves, same env bookkeeping."""
+        n_envs, n_steps = 6, 4
+        shared_a = SchematicSimulator(FiveTransistorOta(), cache=False)
+        async_vec = AsyncVectorEnv(_make_envs(n_envs, shared_a),
+                                   batch_simulator=shared_a, n_groups=2)
+        slices = async_vec.group_slices
+        # Reference: one lockstep vector env per group (same sizes).
+        shared_b = SchematicSimulator(FiveTransistorOta(), cache=False)
+        ref_envs = _make_envs(n_envs, shared_b)
+        refs = [VectorEnv(ref_envs[sl], batch_simulator=shared_b)
+                for sl in slices]
+
+        obs_async = async_vec.reset()
+        obs_ref = np.concatenate([ref.reset() for ref in refs])
+        np.testing.assert_array_equal(obs_async, obs_ref)
+
+        plan = _action_plan(async_vec.action_space.nvec, n_envs, n_steps)
+        for t in range(n_steps):
+            for g, sl in enumerate(slices):
+                async_vec.submit(g, plan[t, sl])
+            for g, sl in enumerate(slices):
+                obs_a, rew_a, done_a, _, _ = async_vec.collect(g)
+                obs_r, rew_r, done_r, _, _ = refs[g].step(plan[t, sl])
+                np.testing.assert_array_equal(obs_a, obs_r)
+                np.testing.assert_array_equal(rew_a, rew_r)
+                np.testing.assert_array_equal(done_a, done_r)
+
+    def test_async_matches_full_lockstep_within_tolerance(self):
+        """Against the full-width lockstep step (one stacked solve for
+        all envs), group-decomposed trajectories agree to solver
+        tolerance."""
+        n_envs, n_steps = 6, 3
+        shared_a = SchematicSimulator(FiveTransistorOta(), cache=False)
+        async_vec = AsyncVectorEnv(_make_envs(n_envs, shared_a),
+                                   batch_simulator=shared_a, n_groups=2)
+        shared_b = SchematicSimulator(FiveTransistorOta(), cache=False)
+        lock_vec = VectorEnv(_make_envs(n_envs, shared_b),
+                             batch_simulator=shared_b)
+        obs_a = async_vec.reset()
+        obs_l = lock_vec.reset()
+        np.testing.assert_array_equal(obs_a, obs_l)
+        plan = _action_plan(async_vec.action_space.nvec, n_envs, n_steps)
+        for t in range(n_steps):
+            for g, sl in enumerate(async_vec.group_slices):
+                async_vec.submit(g, plan[t, sl])
+            rows = [async_vec.collect(g)
+                    for g in range(async_vec.n_groups)]
+            obs_a = np.concatenate([r[0] for r in rows])
+            rew_a = np.concatenate([r[1] for r in rows])
+            obs_l, rew_l, _, _, _ = lock_vec.step(plan[t])
+            np.testing.assert_allclose(obs_a, obs_l, rtol=1e-6, atol=1e-9)
+            np.testing.assert_allclose(rew_a, rew_l, rtol=1e-6, atol=1e-9)
+
+    def test_step_is_lockstep_compatible(self):
+        """AsyncVectorEnv.step keeps the synchronous VectorEnv contract."""
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
+        obs = vec.reset()
+        actions = np.ones((4, len(vec.action_space.nvec)), dtype=np.int64)
+        obs2, rewards, dones, infos, _ = vec.step(actions)
+        assert obs2.shape == obs.shape
+        assert len(infos) == 4 and rewards.shape == (4,)
+
+
+class TestPPOAsyncSchedule:
+    def test_async_rollout_fills_buffer_and_reproduces(self):
+        """The double-buffered schedule fills every (t, env) cell, counts
+        env steps exactly, and is deterministic run-to-run."""
+        def run():
+            shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+            vec = AsyncVectorEnv(_make_envs(4, shared),
+                                 batch_simulator=shared, n_groups=2)
+            cfg = PPOConfig(n_envs=4, n_steps=5, epochs=1,
+                            minibatch_size=8, seed=7)
+            trainer = PPOTrainer(None, config=cfg, vec_env=vec)
+            obs = vec.reset()
+            buffer, next_obs, _ = trainer.collect_rollout(obs)
+            return trainer, buffer, next_obs
+
+        trainer, buffer, next_obs = run()
+        assert buffer.full
+        assert trainer.total_env_steps == 4 * 5
+        assert np.all(np.isfinite(buffer.obs))
+        assert np.all(np.isfinite(buffer.advantages))
+        _, buffer2, next_obs2 = run()
+        np.testing.assert_array_equal(buffer.obs, buffer2.obs)
+        np.testing.assert_array_equal(buffer.actions, buffer2.actions)
+        np.testing.assert_array_equal(next_obs, next_obs2)
+
+    def test_single_group_degenerates_cleanly(self):
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(2, shared),
+                             batch_simulator=shared, n_groups=1)
+        cfg = PPOConfig(n_envs=2, n_steps=3, epochs=1, minibatch_size=4,
+                        seed=0)
+        trainer = PPOTrainer(None, config=cfg, vec_env=vec)
+        buffer, _, _ = trainer.collect_rollout(vec.reset())
+        assert buffer.full and trainer.total_env_steps == 6
+
+    def test_async_train_iteration_end_to_end(self):
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared),
+                             batch_simulator=shared)
+        cfg = PPOConfig(n_envs=4, n_steps=4, epochs=2, minibatch_size=8,
+                        seed=2)
+        trainer = PPOTrainer(None, config=cfg, vec_env=vec)
+        history = trainer.train(max_iterations=2, stop_reward=None)
+        assert len(history.iterations) == 2
+        assert np.isfinite(history.policy_loss).all()
+
+
+class TestProtocol:
+    def test_requires_batch_simulator(self):
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        with pytest.raises(TrainingError):
+            AsyncVectorEnv(_make_envs(2, shared), batch_simulator=None)
+
+    def test_double_submit_and_out_of_order_collect_rejected(self):
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
+        vec.reset()
+        actions = np.ones((2, len(vec.action_space.nvec)), dtype=np.int64)
+        vec.submit(0, actions)
+        with pytest.raises(TrainingError):
+            vec.submit(0, actions)
+        vec.submit(1, actions)
+        with pytest.raises(TrainingError):
+            vec.collect(1)          # group 0 was submitted first
+        vec.drain()
+        with pytest.raises(TrainingError):
+            vec.collect(0)          # nothing in flight
+
+    def test_step_with_inflight_group_rejected_and_drain_recovers(self):
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
+        vec.reset()
+        actions = np.ones((4, len(vec.action_space.nvec)), dtype=np.int64)
+        vec.submit(0, actions[:2])
+        with pytest.raises(TrainingError):
+            vec.step(actions)
+        vec.drain()
+        vec.reset()
+        vec.step(actions)       # clean again
+
+    def test_close_drains_and_reaps_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
+        vec.reset()
+        actions = np.ones((2, len(vec.action_space.nvec)), dtype=np.int64)
+        vec.submit(0, actions)
+        vec.close()
+        assert shared._pool is None
+
+
+class TestWorkerFailure:
+    def test_shard_worker_death_raises_not_hangs(self, monkeypatch):
+        """A shard worker killed with a group in flight must surface a
+        TrainingError from collect (pool torn down), never a hang."""
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        shared = SchematicSimulator(FiveTransistorOta(), cache=False)
+        vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
+        vec.reset()
+        actions = np.ones((2, len(vec.action_space.nvec)), dtype=np.int64)
+        vec.submit(0, actions)
+        assert shared._pool is not None
+        shared._pool._group.processes[0].kill()
+        with pytest.raises(TrainingError):
+            vec.collect(0)
+        assert shared._pool.closed
+        # The env recovers on the next evaluation (fresh pool).
+        vec.reset()
+        obs, *_ = vec.step(np.ones((4, len(vec.action_space.nvec)),
+                                   dtype=np.int64))
+        assert np.all(np.isfinite(obs))
+        shared.close_shard_pool()

@@ -89,6 +89,30 @@ class TestStepSemantics:
         assert all("success" in info for info in infos)
 
 
+class TestWorkerFailure:
+    def test_worker_death_midstep_raises_not_hangs(self):
+        """An env worker killed mid-rollout must surface a clear
+        TrainingError (group closed), never a raw pipe error or hang."""
+        vec = ParallelVectorEnv([lambda i=i: CorridorEnv(i)
+                                 for i in range(3)])
+        vec.reset()
+        vec._group.processes[0].kill()
+        vec._group.processes[0].join(timeout=5.0)
+        with pytest.raises(TrainingError, match="died"):
+            vec.step(np.ones((3, 1), dtype=np.int64))
+        # The group tore down; further use reports closed, not a hang.
+        with pytest.raises(TrainingError):
+            vec.reset()
+
+    def test_worker_death_before_reset_raises(self):
+        vec = ParallelVectorEnv([lambda: BanditEnv()])
+        for process in vec._group.processes:
+            process.kill()
+            process.join(timeout=5.0)
+        with pytest.raises(TrainingError):
+            vec.reset()
+
+
 class TestPPOThroughParallelEnv:
     def test_bandit_learned(self):
         config = PPOConfig(n_envs=4, n_steps=16, epochs=4, minibatch_size=32,

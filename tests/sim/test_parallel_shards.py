@@ -146,6 +146,101 @@ class TestShardedEvaluation:
             pex.close_shard_pool()
 
 
+class TestSubmitCollect:
+    def test_submit_collect_matches_blocking_call(self, opamp_batch):
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        try:
+            arr = np.array([[sim.parameter_space.values(row)[n]
+                             for n in sim.parameter_space.names]
+                            for row in designs[:6]])
+            blocking = pool.evaluate_values(arr)
+            ticket = pool.submit_values(arr)
+            assert pool.n_inflight == 1
+            np.testing.assert_array_equal(pool.collect(ticket), blocking)
+            assert pool.n_inflight == 0
+        finally:
+            pool.close()
+
+    def test_two_tickets_in_flight_fifo(self, opamp_batch):
+        """The double-buffered steady state: two batches queued in the
+        workers at once, collected in submission order."""
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        try:
+            names = sim.parameter_space.names
+            arr = np.array([[sim.parameter_space.values(row)[n]
+                             for n in names] for row in designs])
+            base = [pool.evaluate_values(arr[:6]),
+                    pool.evaluate_values(arr[6:])]
+            t1 = pool.submit_values(arr[:6])
+            t2 = pool.submit_values(arr[6:])
+            assert pool.n_inflight == 2
+            with pytest.raises(TrainingError):
+                pool.collect(t2)        # FIFO: t1 first
+            np.testing.assert_array_equal(pool.collect(t1), base[0])
+            np.testing.assert_array_equal(pool.collect(t2), base[1])
+            with pytest.raises(TrainingError):
+                pool.collect(t2)        # already collected
+        finally:
+            pool.close()
+
+
+class TestWorkerFailure:
+    def test_worker_death_midbatch_raises_and_closes(self, opamp_batch):
+        """A worker killed while its batch is in flight must surface a
+        clear TrainingError (pool closed) at collect, never a hang."""
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        arr = np.array([[sim.parameter_space.values(row)[n]
+                         for n in sim.parameter_space.names]
+                        for row in designs[:6]])
+        ticket = pool.submit_values(arr)
+        pool._group.processes[0].kill()
+        with pytest.raises(TrainingError, match="died"):
+            pool.collect(ticket)
+        assert pool.closed
+
+    def test_worker_death_before_submit_raises(self, opamp_batch):
+        """Submitting into a dead pool raises instead of BrokenPipeError."""
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        arr = np.array([[sim.parameter_space.values(row)[n]
+                         for n in sim.parameter_space.names]
+                        for row in designs[:6]])
+        for process in pool._group.processes:
+            process.kill()
+            process.join(timeout=5.0)
+        with pytest.raises(TrainingError):
+            pool.submit_values(arr)
+        assert pool.closed
+
+    def test_simulator_recovers_with_fresh_pool(self, shards_env,
+                                                opamp_batch):
+        """After a pool death the next evaluate_batch rebuilds workers."""
+        sim, designs = opamp_batch
+        shards_env(2)
+        try:
+            values = [sim.parameter_space.values(row) for row in designs[:2]]
+            # Same decomposition the 2-shard pool will use: one per worker.
+            base = (sim.topology.simulate_batch(values[:1])
+                    + sim.topology.simulate_batch(values[1:]))
+            sim.evaluate_batch(designs[:4])
+            for process in sim._pool._group.processes:
+                process.kill()
+                process.join(timeout=5.0)
+            with pytest.raises(TrainingError):
+                sim.evaluate_batch(designs[:4])
+            result = sim.evaluate_batch(designs[:2])   # fresh pool
+            assert result == base
+        finally:
+            sim.close_shard_pool()
+
+
 class TestPoolLifecycle:
     def test_close_idempotent_and_use_after_close(self, opamp_batch):
         sim, designs = opamp_batch

@@ -3,6 +3,13 @@
 Every public module, class and function in the package must carry a
 docstring — deliverable (e) of the reproduction is "doc comments on every
 public item", and this test keeps that true as the library grows.
+
+The parallel/sparse hot modules get a stricter contract: *every*
+function, method and class — private helpers included — must be
+documented (they carry the subtle process/shared-memory/pattern
+invariants).  CI additionally runs ``ruff check --select D1`` over the
+same modules (see ``.github/workflows/ci.yml``); this test keeps the
+rule enforceable without ruff installed locally.
 """
 
 import importlib
@@ -10,6 +17,15 @@ import inspect
 import pkgutil
 
 import repro
+
+#: Modules under the strict everything-documented rule (the three
+#: least-obvious hot modules: process plumbing and the sparse backend).
+STRICT_MODULES = (
+    "repro.sim.parallel",
+    "repro.sim.sparse",
+    "repro.rl.parallel",
+    "repro.rl.async_env",
+)
 
 
 def _public_items():
@@ -44,3 +60,37 @@ def test_every_public_class_method_documented():
             if not inspect.getdoc(meth):
                 missing.append(f"{mod}.{name}.{meth_name}")
     assert not missing, f"undocumented public methods: {missing}"
+
+
+def _strict_items(modname):
+    """Every function, class and method defined in ``modname`` — private
+    helpers and dunders-with-bodies excluded only for ``__weakrefs``-style
+    auto-generated attributes."""
+    mod = importlib.import_module(modname)
+    skip = {"__init__", "__repr__", "__len__", "__enter__", "__exit__",
+            "__del__"}
+    for name, obj in vars(mod).items():
+        if getattr(obj, "__module__", None) != modname:
+            continue
+        if inspect.isfunction(obj):
+            yield f"{modname}.{name}", obj
+        elif inspect.isclass(obj):
+            yield f"{modname}.{name}", obj
+            for meth_name, meth in vars(obj).items():
+                if not inspect.isfunction(meth) or meth_name in skip:
+                    continue
+                yield f"{modname}.{name}.{meth_name}", meth
+
+
+def test_hot_modules_fully_documented():
+    """Strict D1-style rule for the process/sparse hot modules: every
+    def — including private helpers — carries a docstring."""
+    missing = []
+    for modname in STRICT_MODULES:
+        mod = importlib.import_module(modname)
+        if not inspect.getdoc(mod):
+            missing.append(modname)
+        for qualname, obj in _strict_items(modname):
+            if not inspect.getdoc(obj):
+                missing.append(qualname)
+    assert not missing, f"undocumented items in strict modules: {missing}"
