@@ -1,0 +1,113 @@
+"""Stacked vs per-design measurement on the OTA chain (PR-5 tentpole).
+
+Before the declarative measurement pipeline, ``OtaChain.measure_batch``
+returned None and every chain batch was measured design by design
+(restamp + scalar AC sweep per design) — the only topology that opted
+out of the stacked measurement layer.  This bench records the
+before/after: one batched DC solve, then the old per-design measurement
+loop versus the pipeline's stacked path (per-design sparse
+``SweepFactorization`` reuse, no dense ``(B, n, n)`` operators).
+
+Run directly::
+
+    python benchmarks/bench_measurement.py
+
+Results go to ``benchmarks/results/measurement_pipeline.txt`` (narrative)
+and the ``measurement_pipeline`` section of ``BENCH_simulator.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+sys.path[:0] = [str(pathlib.Path(__file__).resolve().parent.parent / "src"),
+                str(pathlib.Path(__file__).resolve().parent)]
+
+import numpy as np
+
+from _harness import publish, publish_json
+from repro.sim.batch import solve_dc_batch
+from repro.sim.dc import OperatingPoint
+from repro.topologies import OtaChain, TransimpedanceAmplifier
+
+
+def _percorner_loop(topology, values_list, result):
+    """The pre-pipeline fallback: measure each converged design by
+    restamping its system and running the scalar measurement."""
+    specs = []
+    for i, values in enumerate(values_list):
+        if not result.converged[i]:
+            specs.append(topology.failure_measurement())
+            continue
+        system = topology._plan.restamp(values)
+        op = OperatingPoint(system, result.x[i].copy(),
+                           int(result.iterations[i]),
+                           float(result.residual_norm[i]))
+        specs.append(topology.measure(system, op))
+    return specs
+
+
+def _bench_topology(factory, label: str, n_designs: int, repeats: int,
+                    rng) -> dict:
+    """Time stacked vs per-design measurement of one solved batch."""
+    topology = factory()
+    space = topology.parameter_space
+    center = np.asarray(space.center)
+    values_list = [space.values(space.clip(
+        center + rng.integers(-2, 3, size=len(space))))
+        for _ in range(n_designs)]
+    # Warm the structure caches, then solve the batch once — the bench
+    # isolates the *measurement* halves.
+    topology.simulate(values_list[0])
+    stack = topology._plan.stack(values_list)
+    result = solve_dc_batch(stack, x0=topology._batch_warm_start(stack))
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        stacked = topology.measure_batch(stack, result)
+    t_stacked = (time.perf_counter() - t0) / repeats
+    assert stacked is not None
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        looped = _percorner_loop(topology, values_list, result)
+    t_loop = (time.perf_counter() - t0) / repeats
+
+    for s, l in zip(stacked, looped):
+        for name in s:
+            assert abs(s[name] - l[name]) <= 1e-6 * max(1.0, abs(l[name]))
+    return {
+        "scenario": label,
+        "n_designs": n_designs,
+        "unknowns": topology._plan.system.size,
+        "stacked_ms": t_stacked * 1e3,
+        "scalar_loop_ms": t_loop * 1e3,
+        "speedup": t_loop / t_stacked,
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    rows = []
+    # The headline row: the 221-unknown chain that used to opt out of
+    # stacked measurement entirely (sparse engine via the auto threshold).
+    rows.append(_bench_topology(OtaChain, "ota_chain 8x24", 16, 3, rng))
+    # Control: a small dense topology whose stacked chain already existed.
+    rows.append(_bench_topology(TransimpedanceAmplifier, "tia", 64, 3, rng))
+
+    lines = ["measurement pipeline: stacked vs per-design scalar loop",
+             "(one solved batch; measurement halves only)", "",
+             f"{'scenario':>16} {'B':>4} {'n':>5} {'stacked':>10} "
+             f"{'loop':>10} {'speedup':>8}"]
+    for r in rows:
+        lines.append(f"{r['scenario']:>16} {r['n_designs']:>4} "
+                     f"{r['unknowns']:>5} {r['stacked_ms']:>9.2f}m "
+                     f"{r['scalar_loop_ms']:>9.2f}m {r['speedup']:>7.2f}x")
+    publish("measurement_pipeline.txt", "\n".join(lines))
+    publish_json("measurement_pipeline", {"rows": rows})
+
+
+if __name__ == "__main__":
+    main()

@@ -124,6 +124,17 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.rl.async_env", "repro.rl.ppo", "repro.sim.parallel",
              "repro.topologies.ota_chain")),
         Experiment(
+            "measurement_pipeline",
+            "Stacked vs per-design measurement (declarative pipeline)",
+            "Beyond the paper: one declarative spec graph per topology "
+            "serves the scalar and stacked paths alike; the OTA chain, "
+            "which used to fall back to a per-design measurement loop, "
+            "measures whole batches through per-design sparse sweep "
+            "factorisations",
+            "benchmarks/bench_measurement.py",
+            ("repro.measure.pipeline", "repro.topologies.base",
+             "repro.topologies.ota_chain")),
+        Experiment(
             "sparse_engine", "Sparse vs dense engine on large netlists",
             "Beyond the paper: the OTA repeater chain scenario family "
             "(>=200 MNA unknowns) runs >=3x faster on the SuperLU "

@@ -32,6 +32,7 @@ from repro.core import AutoCkt, AutoCktConfig, SizingEnvConfig
 from repro.rl.ppo import PPOConfig
 from repro.topologies import (
     FiveTransistorOta,
+    FoldedCascodeOta,
     NegGmOta,
     OtaChain,
     SchematicSimulator,
@@ -44,6 +45,7 @@ TOPOLOGIES = {
     "opamp": TwoStageOpAmp,
     "ngm": NegGmOta,
     "ota5": FiveTransistorOta,
+    "folded": FoldedCascodeOta,
     "ota_chain": OtaChain,
 }
 

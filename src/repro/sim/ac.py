@@ -173,6 +173,15 @@ def _modal_decompose(G: np.ndarray, C: np.ndarray, b: np.ndarray,
     if cols is None:
         # Dynamic columns: fixed by structure, shared across stacked designs.
         cols = np.nonzero(np.abs(C).max(axis=tuple(range(C.ndim - 1))) > 0.0)[0]
+    if G.ndim == 3 and G.shape[0] == 1 and _DGESV is not None:
+        # Batch of one (the scalar measurement path): route through the
+        # low-overhead single-design LAPACK handles and re-stack — the
+        # numpy wrappers cost as much as the 10-20 unknown factorisations.
+        dec = _modal_decompose(G[0], C[0], b[0], cols)
+        if dec is None:
+            return None
+        y, lam, z, T = dec
+        return y[None], lam[None], z[None], T[None]
     r = len(cols)
     single = G.ndim == 2 and _DGESV is not None
     try:

@@ -120,6 +120,12 @@ class SystemStack:
         self.noise_res_names: tuple[str, ...] = tuple(names)
         self.noise_res_idx = np.asarray(idx, dtype=np.intp).reshape(-1, 2)
         self.noise_res_psd = np.empty((n_designs, len(names)))
+        #: Per-slice resistance of every resistor (same column order as
+        #: ``noise_res_names``); the measurement pipeline reads element
+        #: values (e.g. the TIA's feedback resistor for noise referral)
+        #: from here instead of re-binding netlists or requiring the
+        #: per-slice ``values`` dicts.
+        self.noise_res_r = np.empty((n_designs, len(names)))
 
     def set_design(self, i: int, system: MnaSystem,
                    values: dict[str, float] | None = None) -> None:
@@ -139,11 +145,36 @@ class SystemStack:
         self.values[i] = values
         four_kt = 4.0 * BOLTZMANN * system.temperature
         for r, name in enumerate(self.noise_res_names):
-            self.noise_res_psd[i, r] = four_kt / system.netlist[name].resistance
+            resistance = system.netlist[name].resistance
+            self.noise_res_r[i, r] = resistance
+            self.noise_res_psd[i, r] = four_kt / resistance
         self._devs[i] = system.device_arrays
         self._filled += 1
         if self._filled == self.n_designs and self._devs[0] is not None:
             self.dev = DeviceArrays.stack(self._devs)  # (B, K) fields
+
+    def reuse(self) -> None:
+        """Reset the fill counter so every slice can be re-snapshotted.
+
+        The scalar measurement path keeps one one-slice stack per
+        topology and refills it per sizing; without the reset,
+        :meth:`set_design` would skip re-stacking the device bank."""
+        self._filled = 0
+
+    def resistances(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Per-slice resistance of resistor ``name`` for slices ``rows``.
+
+        The batched measurement layer's element-value accessor: spec
+        extraction that needs a component value (e.g. noise referral
+        through a feedback resistor) reads the value captured at
+        :meth:`set_design` time instead of requiring per-slice sizing
+        dicts — so every slice of every stack is measurable stacked.
+        """
+        try:
+            col = self.noise_res_names.index(name)
+        except ValueError:
+            raise KeyError(f"stack has no resistor {name!r}") from None
+        return self.noise_res_r[rows, col]
 
     def G_rows(self, rows: np.ndarray) -> np.ndarray:
         """Dense ``(len(rows), n, n)`` conductance matrices of ``rows``

@@ -92,8 +92,6 @@ def output_noise_rms_batch(stack, rows: np.ndarray, gm: np.ndarray,
     ``G``/``C`` are the stacked small-signal matrices of designs ``rows``
     (as produced by ``Topology.batch_small_signal``).
     """
-    from repro.units import BOLTZMANN
-
     frequencies = np.asarray(frequencies, dtype=float)
     if np.any(frequencies <= 0.0):
         raise AnalysisError("noise frequencies must be positive")
@@ -106,6 +104,26 @@ def output_noise_rms_batch(stack, rows: np.ndarray, gm: np.ndarray,
     CT = np.ascontiguousarray(np.swapaxes(C, 1, 2))
     y = np.conjugate(ac_solutions(GT, CT, np.tile(e_out, (B, 1)),
                                   frequencies))            # (B, F, n)
+    return output_noise_rms_from_adjoint(stack, rows, gm, y, frequencies)
+
+
+def output_noise_rms_from_adjoint(stack, rows: np.ndarray, gm: np.ndarray,
+                                  y: np.ndarray,
+                                  frequencies: np.ndarray) -> np.ndarray:
+    """Integrated output noise [V rms] from stacked adjoint solutions.
+
+    The PSD-accumulation half of :func:`output_noise_rms_batch`, shared
+    with the sparse stacked path (which produces its adjoint solutions
+    ``y`` of shape ``(B, F, n)`` through per-design
+    :class:`~repro.sim.sparse.SweepFactorization` transpose solves
+    instead of a dense stacked sweep): resistor thermal PSDs and the
+    MOSFET channel thermal/flicker PSDs are rebuilt from the constants
+    the stack captured at snapshot time and weighted by the adjoint
+    transfer impedances.
+    """
+    from repro.units import BOLTZMANN
+
+    B, n = y.shape[0], y.shape[2]
     # Ground (-1) routes to a zero padding column.
     y_pad = np.concatenate([y, np.zeros((B, len(frequencies), 1))], axis=-1)
 

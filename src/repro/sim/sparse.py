@@ -350,6 +350,30 @@ class SweepFactorization:
         return self._lu.solve(rhs, trans=trans).reshape(self.F, self.n)
 
 
+def stack_sweep_factors(stack, rows: np.ndarray, g3: np.ndarray,
+                        c4: np.ndarray, omega: np.ndarray
+                        ) -> list[SweepFactorization]:
+    """Per-design :class:`SweepFactorization` list for sparse stack slices.
+
+    The stacked-measurement primitive of the sparse engine: instead of
+    densifying a sparse :class:`~repro.sim.batch.SystemStack` into
+    ``(B, n, n)`` operators, each design's small-signal ``.data`` rows are
+    assembled on the master pattern (linear base from the stack's
+    ``G_pat``/``C_pat`` snapshot plus the device ``g3``/``c4`` stamp
+    values, shapes ``(B, 3K)`` / ``(B, 4K)``) and factored with one
+    block-diagonal ``splu`` per design — exactly the scalar AC path of
+    :meth:`repro.sim.system.MnaSystem.sparse_sweep_lus`, applied slice by
+    slice.  Callers memoise the returned factors so the forward sweep and
+    the noise adjoint of one measurement share them.
+    """
+    st = stack.template.sparse_state
+    facts = []
+    for j, r in enumerate(rows):
+        Gd, Cd = st.ss_data(stack.G_pat[r], stack.C_pat[r], g3[j], c4[j])
+        facts.append(SweepFactorization(st, Gd, Cd, omega))
+    return facts
+
+
 def sweep_solve(fact: SweepFactorization, b: np.ndarray,
                 adjoint: bool = False) -> np.ndarray:
     """Solve every factored frequency point against one RHS.

@@ -11,6 +11,9 @@ machinery their action spaces are built from.
   (§III-C/D);
 * :mod:`repro.topologies.five_t_ota` — single-stage 5T OTA, the
   "add your own circuit" extensibility example;
+* :mod:`repro.topologies.folded_cascode` — folded-cascode OTA, the
+  declarative-measurement-pipeline extensibility example (one
+  ``measurements()`` declaration, no measurement code);
 * :mod:`repro.topologies.ota_chain` — OTA repeater chain over
   distributed RC interconnect, the large-netlist (sparse-engine)
   scenario family.
@@ -18,6 +21,7 @@ machinery their action spaces are built from.
 
 from repro.topologies.base import CircuitSimulator, SchematicSimulator, Topology
 from repro.topologies.five_t_ota import FiveTransistorOta
+from repro.topologies.folded_cascode import FoldedCascodeOta
 from repro.topologies.ngm_ota import NegGmOta
 from repro.topologies.ota_chain import OtaChain
 from repro.topologies.params import GridParam, ParameterSpace
@@ -27,6 +31,7 @@ from repro.topologies.two_stage import TwoStageOpAmp
 __all__ = [
     "CircuitSimulator",
     "FiveTransistorOta",
+    "FoldedCascodeOta",
     "GridParam",
     "NegGmOta",
     "OtaChain",

@@ -6,8 +6,11 @@ A :class:`Topology` owns three things:
   paper's action space),
 * a netlist builder mapping physical parameter values to a
   :class:`~repro.circuits.netlist.Netlist` testbench,
-* a measurement routine extracting the topology's design specs from
-  DC/AC/noise/transient analyses.
+* a *measurement declaration* (:meth:`Topology.measurements`): the
+  topology's design specs as a composition of reusable pipeline
+  primitives (:mod:`repro.measure.pipeline`), which the base class
+  evaluates for the scalar and stacked paths alike — scalar
+  measurement is literally a batch of one.
 
 :class:`SchematicSimulator` wraps a topology into the object the RL
 environment and the baselines consume: ``evaluate(index_vector) -> specs``
@@ -25,7 +28,8 @@ import numpy as np
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Corner, Technology
 from repro.core.specs import SpecKind, SpecSpace
-from repro.errors import ConvergenceError, MeasurementError, TrainingError
+from repro.errors import (ConvergenceError, MeasurementError, TopologyError,
+                          TrainingError)
 from repro.sim.batch import SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
@@ -75,9 +79,74 @@ class Topology(abc.ABC):
     def build(self, values: dict[str, float]) -> Netlist:
         """Construct the testbench netlist for physical parameter values."""
 
-    @abc.abstractmethod
+    def measurements(self):
+        """Declare this topology's specs as a measurement-pipeline graph.
+
+        Returns a :class:`~repro.measure.pipeline.MeasurementPlan`
+        composing reusable primitives (AC node-response specs, step
+        settling, adjoint noise, supply current), or None for legacy
+        topologies that override :meth:`measure` directly.  The
+        declaration is the *single* source of the topology's measurement
+        physics: the base class evaluates it for the scalar path
+        (:meth:`measure`, literally a batch of one) and the stacked path
+        (:meth:`measure_batch`) alike, on both engine backends.
+        """
+        return None
+
     def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
-        """Extract all design specs from a solved testbench."""
+        """Extract all design specs from a solved testbench.
+
+        The default runs the topology's declared measurement plan on a
+        batch-of-1 stack snapshot of ``system`` — the same code the
+        stacked path runs, so scalar and batched measurements cannot
+        drift apart.  Topologies without a declaration must override
+        this (the pre-pipeline extension API, still honoured everywhere).
+        """
+        from repro.measure.pipeline import MeasureContext
+
+        plan = self._measurement_plan()
+        if plan is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must declare measurements() or "
+                "override measure()")
+        # One-slice stack cached per system object: the StampPlan reuses
+        # one restamped MnaSystem across the sizing loop, so the scalar
+        # hot path pays the stack's structure scan once, not per call.
+        stack = getattr(self, "_scalar_stack", None)
+        if stack is None or stack.template is not system:
+            stack = SystemStack(system, 1)
+            self._scalar_stack = stack
+        else:
+            stack.reuse()
+        stack.set_design(0, system)
+        ctx = MeasureContext(self, stack, np.zeros(1, dtype=np.intp),
+                             op.x[np.newaxis, :])
+        cols, ok = plan.evaluate(ctx)
+        if not ok[0]:
+            return self.failure_measurement()
+        return {name: float(cols[name][0]) for name in plan.spec_names}
+
+    def _measurement_plan(self):
+        """The validated, cached measurement declaration (or None).
+
+        Built once per topology instance; the declared spec names are
+        checked against the spec space so :meth:`failure_measurement`
+        (which is derived from the same declaration surface) always
+        covers exactly the measured specs.
+        """
+        try:
+            return self._mplan
+        except AttributeError:
+            pass
+        plan = self.measurements()
+        if plan is not None and set(plan.spec_names) != set(
+                self.spec_space.names):
+            raise TopologyError(
+                f"{type(self).__name__} declares specs "
+                f"{sorted(plan.spec_names)} but its spec space defines "
+                f"{sorted(self.spec_space.names)}")
+        self._mplan = plan
+        return plan
 
     def update_netlist(self, netlist: Netlist,
                        values: dict[str, float]) -> bool:
@@ -207,16 +276,34 @@ class Topology(abc.ABC):
 
     def measure_batch(self, stack: SystemStack, result) -> (
             list[dict[str, float]] | None):
-        """Optional stacked measurement for :meth:`simulate_batch`.
+        """Stacked measurement for :meth:`simulate_batch`.
 
-        Returns one spec dict per design (failure measurements for
-        non-converged ones), or None when the topology has no batched
-        measurement — the caller then measures design by design.  AC-only
-        topologies override this with one batched small-signal sweep for
-        the whole stack; topologies with time-domain or noise specs (the
-        TIA) keep the scalar path.
+        Evaluates the topology's declared measurement plan over every
+        converged slice of the stack in one pass — stacked AC/noise/step
+        solves on the dense engine, per-design sweep-factorisation reuse
+        on the sparse engine — and returns one spec dict per slice
+        (pessimistic failure measurements for non-converged or gated-out
+        designs).  Returns None (caller measures design by design) only
+        for legacy topologies without a declaration, or when a subclass
+        overrides :meth:`measure` (whose custom physics the stacked path
+        could not reproduce).
         """
-        return None
+        from repro.measure.pipeline import MeasureContext
+
+        plan = self._measurement_plan()
+        if plan is None or type(self).measure is not Topology.measure:
+            return None
+        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
+        rows = np.nonzero(result.converged)[0]
+        if len(rows) == 0:
+            return specs
+        ctx = MeasureContext(self, stack, rows, result.x[rows])
+        cols, ok = plan.evaluate(ctx)
+        for j, b in enumerate(rows):
+            if ok[j]:
+                specs[b] = {name: float(cols[name][j])
+                            for name in plan.spec_names}
+        return specs
 
     def batch_state_arrays(self, stack: SystemStack, X: np.ndarray,
                            rows: np.ndarray) -> dict[str, np.ndarray]:
@@ -581,6 +668,8 @@ class SchematicSimulator(CircuitSimulator):
         self._cache = SimulationCache(cache_size) if cache else None
 
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
+        """Simulate the sizing at grid ``indices`` (memoised when caching
+        is on) and return its measured specs."""
         indices = self.parameter_space.clip(indices)
         values = self.parameter_space.values(indices)
         if self._cache is None:
@@ -609,12 +698,14 @@ class SchematicSimulator(CircuitSimulator):
         return self.topology.simulate_batch(values_list)
 
     def shard_factory(self):
+        """Picklable recipe rebuilding this simulator in a shard worker."""
         topology = self.topology
         return _SchematicShardFactory(type(topology), topology.technology,
                                       topology.corner, topology.temperature)
 
     @property
     def cache_stats(self) -> dict[str, float]:
+        """Hit/miss counters of the memo cache (zeros when caching is off)."""
         if self._cache is None:
             return {"hits": 0, "misses": 0, "hit_rate": 0.0}
         return {"hits": self._cache.hits, "misses": self._cache.misses,

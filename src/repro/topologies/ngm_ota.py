@@ -26,13 +26,16 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, finfet16
 from repro.core.specs import Spec, SpecKind, SpecSpace
-import numpy as np
 
-from repro.measure.acspecs import amplifier_ac_specs, amplifier_ac_specs_batch
-from repro.sim.ac import (ac_node_response, ac_node_response_batch,
-                          log_frequencies)
+from repro.measure.pipeline import (
+    DcGain,
+    Gate,
+    MeasurementPlan,
+    PhaseMargin,
+    UnityGainBandwidth,
+)
+from repro.sim.ac import log_frequencies
 from repro.sim.dc import OperatingPoint
-from repro.sim.system import MnaSystem
 from repro.topologies.base import Topology
 from repro.topologies.params import GridParam, ParameterSpace
 from repro.units import MICRO, PICO
@@ -49,6 +52,7 @@ class NegGmOta(Topology):
 
     @classmethod
     def default_technology(cls) -> Technology:
+        """Technology card this topology runs on by default."""
         return finfet16()
 
     def _build_parameter_space(self) -> ParameterSpace:
@@ -75,6 +79,8 @@ class NegGmOta(Topology):
         ])
 
     def build(self, values: dict[str, float]) -> Netlist:
+        """Construct the sized testbench netlist (see the module
+        docstring for the circuit)."""
         tech = self.technology
         length = tech.l_default
         vcm = self.VCM_FRACTION * tech.vdd
@@ -141,44 +147,25 @@ class NegGmOta(Topology):
 
     #: AC sweep grid (class-level: building it per measurement is waste).
     AC_FREQUENCIES = log_frequencies(1e2, 1e11, points_per_decade=8)
-    _LOGF = np.log10(AC_FREQUENCIES)
 
-    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
-        if not self.first_stage_stable(op):
-            return self.failure_measurement()
-        freqs = self.AC_FREQUENCIES
-        h = ac_node_response(system, op, freqs, "out")
-        return amplifier_ac_specs(freqs, h, logf=self._LOGF)
-
-    def measure_batch(self, stack, result) -> list[dict[str, float]]:
-        """Stacked AC measurement with the per-design latch-up gate."""
-        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
-        rows = np.nonzero(result.converged)[0]
-        if len(rows) == 0:
-            return specs
-        X = result.x[rows]
-        arrays = self.batch_state_arrays(stack, X, rows)
-        # first_stage_stable, vectorised: the differential load conductance
-        # must exceed the cross-coupled pair's negative gm.
-        names = [m.name for m in stack.template.mosfets]
-        kd, kc, kp = names.index("MD1"), names.index("MC1"), names.index("M1")
+    @staticmethod
+    def _stable_mask(ctx):
+        """Vectorised :meth:`first_stage_stable` over stacked slices: the
+        differential load conductance must exceed the cross-coupled
+        pair's negative gm, or the first stage is a latch."""
+        names = [m.name for m in ctx.stack.template.mosfets]
+        kd, kc, kp = (names.index("MD1"), names.index("MC1"),
+                      names.index("M1"))
+        arrays = ctx.arrays
         load_g = (arrays["gm"][:, kd] + arrays["gds"][:, kd]
                   + arrays["gds"][:, kc] + arrays["gds"][:, kp])
-        stable = load_g > arrays["gm"][:, kc]
-        if stable.any():
-            sub = np.nonzero(stable)[0]
-            G_ss, C_ss = self.batch_small_signal(
-                stack, X[sub], rows[sub],
-                arrays={k: v[sub] for k, v in arrays.items()})
-            freqs = self.AC_FREQUENCIES
-            h = ac_node_response_batch(
-                G_ss, C_ss, stack.b_ac[rows[sub]], freqs,
-                stack.template.node_index["out"])
-            vals = amplifier_ac_specs_batch(freqs, h)
-            for pos, b in enumerate(rows[sub]):
-                specs[b] = {
-                    "gain": float(vals["gain"][pos]),
-                    "ugbw": float(vals["ugbw"][pos]),
-                    "phase_margin": float(vals["phase_margin"][pos]),
-                }
-        return specs
+        return load_g > arrays["gm"][:, kc]
+
+    def measurements(self) -> MeasurementPlan:
+        """AC specs at the output behind the first-stage latch-up gate."""
+        freqs = self.AC_FREQUENCIES
+        return MeasurementPlan([
+            DcGain("gain", "out", freqs),
+            UnityGainBandwidth("ugbw", "out", freqs),
+            PhaseMargin("phase_margin", "out", freqs),
+        ], gates=[Gate(self._stable_mask, label="first-stage stability")])

@@ -41,10 +41,13 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, ptm45
 from repro.core.specs import Spec, SpecKind, SpecSpace
-from repro.measure.acspecs import dc_gain, f3db
-from repro.sim.ac import ac_node_response, log_frequencies
-from repro.sim.dc import OperatingPoint
-from repro.sim.system import MnaSystem
+from repro.measure.pipeline import (
+    Bandwidth3dB,
+    DcGain,
+    MeasurementPlan,
+    SupplyCurrent,
+)
+from repro.sim.ac import log_frequencies
 from repro.topologies.base import Topology
 from repro.topologies.params import GridParam, ParameterSpace
 from repro.units import MICRO, PICO
@@ -92,6 +95,7 @@ class OtaChain(Topology):
 
     @classmethod
     def default_technology(cls) -> Technology:
+        """Technology card this topology runs on by default."""
         return ptm45()
 
     def _build_parameter_space(self) -> ParameterSpace:
@@ -128,6 +132,8 @@ class OtaChain(Topology):
         return "out" if s == self.n_stages else f"x{s + 1}"
 
     def build(self, values: dict[str, float]) -> Netlist:
+        """Construct the sized testbench netlist (see the module
+        docstring for the circuit)."""
         tech = self.technology
         length = tech.l_default
         vcm = self.VCM_FRACTION * tech.vdd
@@ -195,25 +201,23 @@ class OtaChain(Topology):
     #: does.
     AC_FREQUENCIES = log_frequencies(1e4, 1e9, points_per_decade=5)
 
-    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
+    def measurements(self) -> MeasurementPlan:
         """End-to-end gain, chain -3 dB bandwidth and supply current.
 
-        One AC sweep at the probe node serves both AC specs; on the
-        sparse engine (the default at this topology's size) the sweep
-        runs through cached per-frequency ``splu`` factorisations.
+        One AC sweep at the probe node serves both AC specs.  On the
+        sparse engine (the default at this topology's size) the stacked
+        path measures every design through its own
+        :class:`~repro.sim.sparse.SweepFactorization` — per-design
+        block-diagonal ``splu`` factors, no dense ``(B, n, n)``
+        operators — so chain batches no longer fall back to the scalar
+        measurement loop.
         """
         freqs = self.AC_FREQUENCIES
-        h = ac_node_response(system, op, freqs, "out")
-        return {"gain": dc_gain(freqs, h),
-                "bandwidth": f3db(freqs, h),
-                "ibias": op.supply_current("VDD")}
-
-    def measure_batch(self, stack, result) -> list[dict[str, float]] | None:
-        """Chain batches measure per design (None defers to the scalar
-        loop): the stacked dense small-signal path would materialise
-        ``(B, n, n)`` operators, which is exactly what the sparse engine
-        exists to avoid at this size."""
-        return None
+        return MeasurementPlan([
+            DcGain("gain", "out", freqs),
+            Bandwidth3dB("bandwidth", "out", freqs),
+            SupplyCurrent("ibias", "VDD"),
+        ])
 
     def unknown_count(self) -> int:
         """MNA unknowns of this configuration: per stage 3 internal nodes

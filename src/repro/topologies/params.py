@@ -89,6 +89,7 @@ class ParameterSpace:
 
     @property
     def names(self) -> tuple[str, ...]:
+        """Parameter names, in grid order."""
         return tuple(p.name for p in self.params)
 
     def __len__(self) -> int:

@@ -18,21 +18,18 @@ frequency (0.5–7 GHz, lower bound), and integrated input-referred noise
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.elements import Capacitor, CurrentSource, Resistor, VoltageSource
 from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, ptm45
 from repro.core.specs import Spec, SpecKind, SpecSpace
-from repro.errors import MeasurementError
-from repro.measure.acspecs import f3db, f3db_batch
-from repro.measure.transpecs import settling_time
-from repro.sim.ac import ac_node_response_batch, ac_sweep, log_frequencies
-from repro.sim.dc import OperatingPoint
-from repro.sim.linear import linear_step_response, step_response_node_batch
-from repro.sim.noise import noise_analysis, output_noise_rms_batch
-from repro.sim.system import MnaSystem
+from repro.measure.pipeline import (
+    Bandwidth3dB,
+    MeasurementPlan,
+    OutputNoiseRms,
+    StepSettling,
+)
+from repro.sim.ac import log_frequencies
 from repro.topologies.base import Topology
 from repro.topologies.params import GridParam, ParameterSpace
 from repro.units import FEMTO, KILO, MICRO, PICO
@@ -57,6 +54,7 @@ class TransimpedanceAmplifier(Topology):
 
     @classmethod
     def default_technology(cls) -> Technology:
+        """Technology card this topology runs on by default."""
         return ptm45()
 
     def _build_parameter_space(self) -> ParameterSpace:
@@ -94,6 +92,8 @@ class TransimpedanceAmplifier(Topology):
         return self.R_UNIT * values["rf_series"] / values["rf_parallel"]
 
     def build(self, values: dict[str, float]) -> Netlist:
+        """Construct the sized testbench netlist (see the module
+        docstring for the circuit)."""
         tech = self.technology
         length = self.LENGTH
         net = Netlist("tia")
@@ -126,81 +126,23 @@ class TransimpedanceAmplifier(Topology):
     AC_FREQUENCIES = log_frequencies(1e5, 1e12, points_per_decade=10)
     NOISE_FREQUENCIES = log_frequencies(1e3, 1e12, points_per_decade=8)
 
-    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
-        """Extract settling time, cutoff frequency and integrated noise."""
-        ac_freqs = self.AC_FREQUENCIES
-        transimpedance = ac_sweep(system, op, ac_freqs).voltage("out")
-        cutoff = f3db(ac_freqs, transimpedance)
+    def measurements(self) -> MeasurementPlan:
+        """Settling time, cutoff frequency and feedback-referred noise.
 
-        # Small-signal step response of the output to a photodiode current step.
-        duration = 6.0 / max(cutoff, 1e7)
-        response = linear_step_response(system, op, duration=duration, n_steps=600)
-        wave = response.voltage("out")
-        settle = settling_time(response.time, wave,
-                               final=response.final_value("out"),
-                               initial=0.0, tolerance=self.SETTLE_TOL)
-
-        noise = noise_analysis(system, op, self.NOISE_FREQUENCIES, "out",
-                               refer_to_input=False)
-        vn_out = noise.integrated_output_rms()
-        # Refer to the input through the DC transimpedance, expressed as an
-        # equivalent voltage across the feedback resistor (volts, as the
-        # paper's spec table uses).
-        rt0 = float(np.abs(transimpedance[0]))
-        rf = system.netlist["RF"].resistance
-        vn_in = vn_out * rf / max(rt0, 1.0)
-
-        return {"settling_time": settle, "cutoff_freq": cutoff, "noise": vn_in}
-
-    def measure_batch(self, stack, result) -> list[dict[str, float]] | None:
-        """Stacked settling/cutoff/noise measurement for a whole batch.
-
-        Mirrors :meth:`measure` with every solve stacked across designs:
-        one batched AC sweep (cutoff), one batched closed-form step
-        response (settling), and one batched adjoint noise sweep whose
-        per-design PSDs are rebuilt from the noise constants the stack
-        captured at snapshot time — the chain that used to run design by
-        design.  Needs the per-slice sizing ``values`` (for the feedback
-        resistance referral); returns None when a slice lacks them so the
-        caller falls back to the scalar path.
+        One AC transimpedance sweep serves the -3 dB cutoff, the
+        step-response record length (6 time constants of the cutoff) and
+        the DC transimpedance the noise referral divides by; the
+        feedback resistance is read from the stack's captured element
+        values, so every slice of every stack — schematic batches, PEX
+        corner stacks, mismatch draws — measures stacked with no
+        per-slice fallback.
         """
-        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
-        rows = np.nonzero(result.converged)[0]
-        if len(rows) == 0:
-            return specs
-        if any(stack.values[r] is None for r in rows):
-            return None
-        X = result.x[rows]
-        arrays = self.batch_state_arrays(stack, X, rows)
-        G_ss, C_ss = self.batch_small_signal(stack, X, rows, arrays)
-        out_idx = stack.template.node_index["out"]
-        freqs = self.AC_FREQUENCIES
-        h = ac_node_response_batch(G_ss, C_ss, stack.b_ac[rows], freqs,
-                                   out_idx)
-        rt0 = np.abs(h[:, 0])
-        ok = rt0 > 0.0
-        cutoff = f3db_batch(freqs, h)
-        durations = 6.0 / np.maximum(cutoff, 1e7)
-        times, waves, finals = step_response_node_batch(
-            G_ss, C_ss, np.real(stack.b_ac[rows]).astype(float),
-            durations, out_idx, n_steps=600)
-        vn_out = output_noise_rms_batch(stack, rows, arrays["gm"],
-                                        G_ss, C_ss, self.NOISE_FREQUENCIES,
-                                        out_idx)
-        for j, b in enumerate(rows):
-            if not (ok[j] and np.isfinite(finals[j])
-                    and np.all(np.isfinite(waves[j]))
-                    and np.isfinite(vn_out[j])):
-                continue
-            try:
-                settle = settling_time(times[j], waves[j], final=finals[j],
-                                       initial=0.0, tolerance=self.SETTLE_TOL)
-            except MeasurementError:
-                continue
-            rf = self.feedback_resistance(stack.values[b])
-            specs[b] = {
-                "settling_time": float(settle),
-                "cutoff_freq": float(cutoff[j]),
-                "noise": float(vn_out[j] * rf / max(rt0[j], 1.0)),
-            }
-        return specs
+        ac, nf = self.AC_FREQUENCIES, self.NOISE_FREQUENCIES
+        return MeasurementPlan([
+            Bandwidth3dB("cutoff_freq", "out", ac),
+            StepSettling("settling_time", "out", ac,
+                         tolerance=self.SETTLE_TOL, n_steps=600,
+                         duration_factor=6.0, min_corner=1e7),
+            OutputNoiseRms("noise", "out", nf, refer_resistor="RF",
+                           refer_frequencies=ac, refer_node="out"),
+        ])

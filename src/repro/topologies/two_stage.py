@@ -27,13 +27,15 @@ from repro.circuits.mosfet import Mosfet
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Technology, ptm45
 from repro.core.specs import Spec, SpecKind, SpecSpace
-import numpy as np
 
-from repro.measure.acspecs import amplifier_ac_specs, amplifier_ac_specs_batch
-from repro.sim.ac import (ac_node_response, ac_node_response_batch,
-                          log_frequencies)
-from repro.sim.dc import OperatingPoint
-from repro.sim.system import MnaSystem
+from repro.measure.pipeline import (
+    DcGain,
+    MeasurementPlan,
+    PhaseMargin,
+    SupplyCurrent,
+    UnityGainBandwidth,
+)
+from repro.sim.ac import log_frequencies
 from repro.topologies.base import Topology
 from repro.topologies.params import GridParam, ParameterSpace
 from repro.units import MICRO, PICO
@@ -53,6 +55,7 @@ class TwoStageOpAmp(Topology):
 
     @classmethod
     def default_technology(cls) -> Technology:
+        """Technology card this topology runs on by default."""
         return ptm45()
 
     def _build_parameter_space(self) -> ParameterSpace:
@@ -79,6 +82,8 @@ class TwoStageOpAmp(Topology):
         ])
 
     def build(self, values: dict[str, float]) -> Netlist:
+        """Construct the sized testbench netlist (see the module
+        docstring for the circuit)."""
         tech = self.technology
         length = tech.l_default
         vcm = self.VCM_FRACTION * tech.vdd
@@ -126,32 +131,14 @@ class TwoStageOpAmp(Topology):
 
     #: AC sweep grid (class-level: building it per measurement is waste).
     AC_FREQUENCIES = log_frequencies(1e2, 1e11, points_per_decade=8)
-    _LOGF = np.log10(AC_FREQUENCIES)
 
-    def measure(self, system: MnaSystem, op: OperatingPoint) -> dict[str, float]:
-        """Open-loop differential gain, UGBW, phase margin and bias current."""
+    def measurements(self) -> MeasurementPlan:
+        """Open-loop differential gain, UGBW, phase margin and bias
+        current — one AC sweep at the output plus one branch current."""
         freqs = self.AC_FREQUENCIES
-        h = ac_node_response(system, op, freqs, "out")
-        specs = amplifier_ac_specs(freqs, h, logf=self._LOGF)
-        specs["ibias"] = op.supply_current("VDD")
-        return specs
-
-    def measure_batch(self, stack, result) -> list[dict[str, float]]:
-        """One stacked AC sweep and spec extraction for the whole batch."""
-        specs = [self.failure_measurement() for _ in range(stack.n_designs)]
-        rows = np.nonzero(result.converged)[0]
-        if len(rows) == 0:
-            return specs
-        X = result.x[rows]
-        G_ss, C_ss = self.batch_small_signal(stack, X, rows)
-        freqs = self.AC_FREQUENCIES
-        h = ac_node_response_batch(G_ss, C_ss, stack.b_ac[rows], freqs,
-                                   stack.template.node_index["out"])
-        vals = amplifier_ac_specs_batch(freqs, h)
-        ibias = np.abs(X[:, stack.template.branch_index["VDD"]])
-        for j, b in enumerate(rows):
-            specs[b] = {"gain": float(vals["gain"][j]),
-                        "ugbw": float(vals["ugbw"][j]),
-                        "phase_margin": float(vals["phase_margin"][j]),
-                        "ibias": float(ibias[j])}
-        return specs
+        return MeasurementPlan([
+            DcGain("gain", "out", freqs),
+            UnityGainBandwidth("ugbw", "out", freqs),
+            PhaseMargin("phase_margin", "out", freqs),
+            SupplyCurrent("ibias", "VDD"),
+        ])

@@ -26,6 +26,7 @@ from repro.sim import MnaSystem, OperatingPoint, ac_sweep, noise_analysis, solve
 from repro.sim.transient import step_waveform, transient_analysis
 from repro.topologies import (
     FiveTransistorOta,
+    FoldedCascodeOta,
     NegGmOta,
     OtaChain,
     SchematicSimulator,
@@ -38,6 +39,7 @@ TOPOLOGIES = {
     "two_stage_opamp": TwoStageOpAmp,
     "ngm_ota": NegGmOta,
     "five_t_ota": FiveTransistorOta,
+    "folded_cascode": FoldedCascodeOta,
     "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
 }
 

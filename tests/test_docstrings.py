@@ -18,13 +18,16 @@ import pkgutil
 
 import repro
 
-#: Modules under the strict everything-documented rule (the three
-#: least-obvious hot modules: process plumbing and the sparse backend).
+#: Modules under the strict everything-documented rule (the least-obvious
+#: hot modules: process plumbing, the sparse backend, and the measurement
+#: pipeline every topology's specs now flow through).
 STRICT_MODULES = (
     "repro.sim.parallel",
     "repro.sim.sparse",
     "repro.rl.parallel",
     "repro.rl.async_env",
+    "repro.measure.pipeline",
+    "repro.topologies.base",
 )
 
 

@@ -31,6 +31,7 @@ import pytest
 
 from repro.topologies import (
     FiveTransistorOta,
+    FoldedCascodeOta,
     NegGmOta,
     OtaChain,
     TransimpedanceAmplifier,
@@ -47,6 +48,7 @@ CASES = {
     "two_stage_opamp": TwoStageOpAmp,
     "ngm_ota": NegGmOta,
     "five_t_ota": FiveTransistorOta,
+    "folded_cascode": FoldedCascodeOta,
     "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
 }
 
