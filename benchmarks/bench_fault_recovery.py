@@ -1,0 +1,109 @@
+"""Fault-recovery cost of the supervised shard pool (beyond the paper).
+
+The self-healing evaluation layer promises that worker loss never costs
+the caller a batch: the supervisor respawns the dead worker and re-runs
+its shard bitwise-identically (`docs/knobs.md`, "Fault tolerance").
+That promise has a price — process respawn, retry dispatch, the work
+redone — and this bench measures it with the deterministic fault plane
+(``REPRO_FAULTS``), comparing a warm-pool batch under three profiles:
+
+* no faults (the clean sharded baseline);
+* ``exc@3`` — one injected solve exception, recovered by an in-place
+  retry on the same worker (no respawn);
+* ``kill@3`` — one worker SIGKILL mid-batch, recovered by respawn +
+  shard re-run.
+
+Every faulted batch is asserted bitwise equal to the clean one — the
+bench measures the *cost* of recovery, never a different answer.  The
+pool is warmed with two clean batches first (directives fire on each
+worker's third eval), so spawn and first-touch time are excluded and
+the overhead numbers isolate recovery itself.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.topologies import FiveTransistorOta, SchematicSimulator
+
+from benchmarks._harness import FULL_SCALE, publish, publish_json
+
+N_DESIGNS = 64 if FULL_SCALE else 24
+N_WORKERS = 2
+
+PROFILES = [
+    ("none", None),
+    ("exc@3 (retry)", "exc@3"),
+    ("kill@3 (respawn)", "kill@3"),
+]
+
+
+def _timed_batch(profile: str | None, designs: np.ndarray):
+    """One warm-pool batch under a fault profile; returns (secs, specs,
+    report)."""
+    sim = SchematicSimulator(FiveTransistorOta(), cache=False)
+    os.environ["REPRO_SHARDS"] = str(N_WORKERS)
+    os.environ["REPRO_RETRY_BACKOFF"] = "0"
+    if profile is None:
+        os.environ.pop("REPRO_FAULTS", None)
+    else:
+        os.environ["REPRO_FAULTS"] = profile
+    try:
+        sim.evaluate_batch(designs)          # warm: spawn pool, eval 1
+        sim.evaluate_batch(designs)          # warm: eval 2
+        started = time.perf_counter()
+        specs = sim.evaluate_batch(designs)  # measured: eval 3 faults
+        elapsed = time.perf_counter() - started
+        return elapsed, specs, sim.last_batch_report
+    finally:
+        sim.close_shard_pool()
+        for env in ("REPRO_SHARDS", "REPRO_RETRY_BACKOFF", "REPRO_FAULTS"):
+            os.environ.pop(env, None)
+
+
+def _run():
+    sim = SchematicSimulator(FiveTransistorOta(), cache=False)
+    rng = np.random.default_rng(17)
+    designs = np.stack([sim.parameter_space.sample(rng)
+                        for _ in range(N_DESIGNS)])
+
+    rows, payload = [], {"n_designs": N_DESIGNS, "n_workers": N_WORKERS,
+                         "profiles": {}}
+    clean_specs = clean_time = None
+    for label, profile in PROFILES:
+        elapsed, specs, report = _timed_batch(profile, designs)
+        if profile is None:
+            clean_specs, clean_time = specs, elapsed
+        equal = specs == clean_specs
+        overhead = elapsed / clean_time if clean_time else float("nan")
+        rows.append([label, f"{elapsed * 1e3:.1f}", f"{overhead:.2f}x",
+                     str(report.respawns), str(report.retries),
+                     "yes" if equal else "NO"])
+        payload["profiles"][label] = {
+            "batch_s": elapsed,
+            "overhead_vs_clean": overhead,
+            "respawns": report.respawns,
+            "retries": report.retries,
+            "bitwise_equal": bool(equal),
+        }
+        assert equal, f"profile {label} changed the batch results"
+    table = ascii_table(
+        ["profile", "batch [ms]", "vs clean", "respawns", "retries",
+         "bitwise"],
+        rows,
+        title=(f"Fault-recovery cost ({N_DESIGNS} designs, "
+               f"{N_WORKERS} shard workers, warm pool)"))
+    return table, payload
+
+
+def test_fault_recovery(benchmark):
+    table, payload = benchmark.pedantic(_run, iterations=1, rounds=1)
+    publish("fault_recovery.txt", table)
+    publish_json("fault_recovery", payload)
+    kill = payload["profiles"]["kill@3 (respawn)"]
+    exc = payload["profiles"]["exc@3 (retry)"]
+    assert kill["respawns"] >= 1 and kill["bitwise_equal"]
+    assert exc["retries"] >= 1 and exc["respawns"] == 0
+    assert exc["bitwise_equal"]

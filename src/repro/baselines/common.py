@@ -115,6 +115,30 @@ class TargetObjective:
         self.best_indices: np.ndarray | None = None
         self.best_specs: dict[str, float] = {}
         self.succeeded = False
+        #: Cumulative supervision counters folded in from each batch's
+        #: :class:`~repro.sim.faults.BatchReport`: quarantined designs
+        #: score their pessimistic failure measurements through Eq. (1)
+        #: like any other individual (and stay charged to the budget),
+        #: so the search keeps going — these counters are how a run
+        #: reports what it survived.
+        self.fault_stats = {"faults": 0, "retries": 0, "respawns": 0,
+                            "quarantined": 0}
+        self._seen_report = None
+
+    def _absorb_report(self) -> None:
+        """Fold the simulator's last batch report into ``fault_stats``.
+
+        Guarded by report identity: a fully-cached evaluation publishes
+        no fresh report, and re-reading the previous one must not
+        double-count its faults.
+        """
+        report = getattr(self.simulator, "last_batch_report", None)
+        if report is not None and report is not self._seen_report:
+            self._seen_report = report
+            self.fault_stats["faults"] += len(report.faults)
+            self.fault_stats["retries"] += report.retries
+            self.fault_stats["respawns"] += report.respawns
+            self.fault_stats["quarantined"] += report.n_quarantined
 
     def __call__(self, indices: np.ndarray) -> float:
         """Evaluate one sizing; returns its Eq. (1) fitness."""
@@ -122,6 +146,7 @@ class TargetObjective:
             raise BudgetExhausted
         indices = self.simulator.parameter_space.clip(np.asarray(indices))
         specs = self.simulator.evaluate(indices)
+        self._absorb_report()
         self.simulations += 1
         breakdown = compute_reward(specs, self.target,
                                    self.simulator.spec_space, self.reward)
@@ -168,6 +193,7 @@ class TargetObjective:
         fitness = np.empty(len(population))
         for offset, specs_chunk in iter_batch_specs(self.simulator,
                                                     np.stack(evaluated)):
+            self._absorb_report()
             for i, specs in enumerate(specs_chunk, start=offset):
                 indices = evaluated[i]
                 breakdown = compute_reward(specs, self.target,

@@ -270,6 +270,14 @@ KNOBS = [
      "multicore shard-pool workers for batched evaluation"),
     ("REPRO_ASYNC", "0|1", "0",
      "double-buffered async rollout pipeline (RL + baselines)"),
+    ("REPRO_TIMEOUT", "seconds >= 0", "0",
+     "per-attempt shard deadline (0 disables; hung workers get killed)"),
+    ("REPRO_RETRIES", "int >= 0", "2",
+     "extra attempts per shard node before bisection/quarantine"),
+    ("REPRO_RETRY_BACKOFF", "seconds >= 0", "0.05",
+     "base exponential backoff between shard retry attempts"),
+    ("REPRO_FAULTS", "profile", "",
+     "deterministic fault injection (kill/exc/hang/delay/poison)"),
     ("REPRO_MODAL_AC", "1|0", "1",
      "modal pole-residue AC fast path (0 forces direct solves)"),
     ("AUTOCKT_FULL", "0|1", "0",

@@ -122,6 +122,30 @@ class Spec:
         return float(rng.uniform(self.low, self.high))
 
 
+def failure_measurements(spec_space: "SpecSpace") -> dict[str, float]:
+    """Pessimistic spec values charged to designs that produced none.
+
+    Non-convergent solves, measurement failures and quarantined poison
+    designs (see :mod:`repro.sim.faults`) all pay the same penalty: each
+    lower-bound spec reports far below its sampling range, each
+    upper-bound/minimise spec far above it, and range specs report zero
+    — so optimisers always receive a numeric, heavily penalised result
+    and the reward surface stays finite.  This is the single source of
+    the penalty row; :meth:`repro.topologies.base.Topology.failure_measurement`
+    and ``CircuitSimulator.failure_measurements`` both delegate here.
+    """
+    failed: dict[str, float] = {}
+    for spec in spec_space:
+        if spec.kind is SpecKind.LOWER_BOUND:
+            failed[spec.name] = (spec.low * 1e-3 if spec.low > 0
+                                 else -abs(spec.high))
+        elif spec.kind is SpecKind.RANGE:
+            failed[spec.name] = 0.0
+        else:
+            failed[spec.name] = spec.high * 1e3
+    return failed
+
+
 class SpecSpace:
     """An ordered collection of :class:`Spec` axes.
 

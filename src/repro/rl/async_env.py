@@ -33,9 +33,15 @@ Semantics versus the lockstep :class:`~repro.rl.env.VectorEnv`:
   seed, but not bitwise equal to the lockstep schedule; the cache
   front-end also dedupes per group rather than across the full width.
 
-Failure contract: a shard worker dying mid-batch surfaces as a
-:class:`~repro.errors.TrainingError` from :meth:`AsyncVectorEnv.collect`
-(the pool tears down; nothing hangs), mirroring the lockstep path.
+Failure contract: the shard pool is supervised
+(:mod:`repro.sim.parallel`), so a worker dying mid-batch is respawned
+and its shard re-run bitwise-identically — :meth:`AsyncVectorEnv.collect`
+returns normal results and training never notices.  Designs whose solve
+keeps crashing are quarantined with pessimistic failure measurements
+(a heavily penalised but ordinary transition).  Each collect folds the
+simulator's :class:`~repro.sim.faults.BatchReport` into the env's
+cumulative :attr:`AsyncVectorEnv.fault_stats`; only unrecoverable
+infrastructure failures still raise :class:`~repro.errors.TrainingError`.
 """
 
 from __future__ import annotations
@@ -105,6 +111,28 @@ class AsyncVectorEnv(VectorEnv):
                         for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
         self._tickets = [None] * len(self._slices)
         self._order: list[int] = []   # groups in submission order (FIFO)
+        #: Cumulative supervision counters over this env's lifetime:
+        #: faults seen, work retries, worker respawns, designs
+        #: quarantined (folded in from each batch's
+        #: :class:`~repro.sim.faults.BatchReport`).
+        self.fault_stats = {"faults": 0, "retries": 0, "respawns": 0,
+                            "quarantined": 0}
+        self._seen_report = None
+
+    def _absorb_report(self) -> None:
+        """Fold the simulator's last batch report into fault_stats.
+
+        Guarded by report identity: a fully-cached step publishes no
+        fresh report, and re-reading the previous one must not
+        double-count its faults.
+        """
+        report = getattr(self._batch_sim, "last_batch_report", None)
+        if report is not None and report is not self._seen_report:
+            self._seen_report = report
+            self.fault_stats["faults"] += len(report.faults)
+            self.fault_stats["retries"] += report.retries
+            self.fault_stats["respawns"] += report.respawns
+            self.fault_stats["quarantined"] += report.n_quarantined
 
     @property
     def n_groups(self) -> int:
@@ -155,6 +183,7 @@ class AsyncVectorEnv(VectorEnv):
         self._tickets[group] = None
         self._order.pop(0)
         specs = self._batch_sim.collect_batch(ticket)
+        self._absorb_report()
         envs = self.envs[sl]
         outcomes = [env.finish_step(s) for env, s in zip(envs, specs)]
         return self._finish_outcomes(sl.start, envs, outcomes)
@@ -169,7 +198,9 @@ class AsyncVectorEnv(VectorEnv):
         if any(ticket is not None for ticket in self._tickets):
             raise TrainingError("step() with groups in flight; collect "
                                 "or drain them first")
-        return super().step(actions)
+        result = super().step(actions)
+        self._absorb_report()
+        return result
 
     def drain(self) -> None:
         """Collect and discard every in-flight group (submission order).

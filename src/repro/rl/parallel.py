@@ -17,6 +17,14 @@ The interface matches :class:`~repro.rl.env.VectorEnv` exactly — same
 :class:`~repro.rl.env.EpisodeStats` for finished episodes — so
 :class:`~repro.rl.ppo.PPOTrainer` accepts either implementation.
 
+Failure contract: a worker that dies mid-rollout (crash, OOM, kill) is
+respawned in place with a fresh environment; its slot reports one
+synthetic truncated episode (``done`` True, zero reward,
+``info["worker_fault"]``) and training continues — the healed faults
+are listed in ``fault_events``.  Only a worker that dies *again* before
+delivering a single successful reply (a broken factory) tears the group
+down with a :class:`~repro.errors.TrainingError`.
+
 Parallelism only pays when a single environment step is expensive (PEX
 simulation, big transient sweeps); for the microsecond-scale schematic
 steps in this reproduction the in-process :class:`VectorEnv` is usually
@@ -100,6 +108,12 @@ class ParallelVectorEnv:
         self._remotes = self._group.remotes
         self._remotes[0].send(("spaces", None))
         self.observation_space, self.action_space = self._remotes[0].recv()
+        #: Human-readable record of every worker fault healed so far.
+        self.fault_events: list[str] = []
+        # Workers healed since their last successful reply: a second
+        # death before any success means the factory (or machine) is
+        # broken — healing again would churn forever.
+        self._suspect: set[int] = set()
 
     def __len__(self) -> int:
         return len(self._remotes)
@@ -109,51 +123,82 @@ class ParallelVectorEnv:
         if self._group.closed:
             raise TrainingError("ParallelVectorEnv is closed")
 
-    def _send(self, remote, message) -> None:
-        """Send one command, translating a dead worker into a clear error.
+    def _heal(self, index: int, detail: str) -> np.ndarray:
+        """Respawn a dead worker and reset its env; returns the fresh obs.
 
-        A worker that died (crash, OOM, kill) closes its pipe end; the
-        group is mid-protocol and unrecoverable, so it is torn down and
-        the caller gets a :class:`TrainingError` instead of a raw
-        ``BrokenPipeError`` — and never a hang."""
-        try:
-            remote.send(message)
-        except (BrokenPipeError, OSError):
+        Healing is bounded: a worker that dies again before delivering a
+        single successful reply points at a broken factory (or machine),
+        so the second death tears the group down with a clear
+        :class:`TrainingError` instead of churning respawns forever.
+        """
+        if index in self._suspect:
             self.close()
             raise TrainingError(
-                "environment worker died; vector env closed") from None
-
-    def _recv(self, remote):
-        """Receive one reply, translating a dead worker into a clear error."""
+                f"environment worker {index} died twice in a row "
+                f"({detail}); vector env closed")
+        self._suspect.add(index)
+        self.fault_events.append(f"worker {index}: {detail}")
+        remote = self._group.respawn(index)
         try:
+            remote.send(("reset", None))
             return remote.recv()
-        except (EOFError, OSError):
+        except (BrokenPipeError, EOFError, OSError):
             self.close()
             raise TrainingError(
-                "environment worker died mid-step; vector env closed"
-            ) from None
+                f"environment worker {index} failed to respawn; "
+                "vector env closed") from None
 
     def reset(self) -> np.ndarray:
-        """Reset every worker; returns the stacked initial observations."""
+        """Reset every worker; returns the stacked initial observations.
+
+        A worker found dead (crash, OOM, kill) is respawned and reset in
+        place — the caller only sees fresh observations."""
         self._ensure_open()
-        for remote in self._remotes:
-            self._send(remote, ("reset", None))
-        return np.stack([self._recv(remote) for remote in self._remotes])
+        obs: list = [None] * len(self._remotes)
+        for i, remote in enumerate(self._remotes):
+            try:
+                remote.send(("reset", None))
+            except (BrokenPipeError, OSError):
+                obs[i] = self._heal(i, "died before reset")
+        for i in range(len(self._remotes)):
+            if obs[i] is None:
+                try:
+                    obs[i] = self._remotes[i].recv()
+                    self._suspect.discard(i)
+                except (EOFError, OSError):
+                    obs[i] = self._heal(i, "died during reset")
+        return np.stack(obs)
 
     def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
                                                  np.ndarray, list[dict],
                                                  list[EpisodeStats]]:
-        """Step every worker; identical contract to ``VectorEnv.step``."""
+        """Step every worker; identical contract to ``VectorEnv.step``.
+
+        A worker that dies mid-step is respawned with a fresh env and its
+        slot reports a synthetic truncated episode — ``done`` True,
+        zero reward, ``info["worker_fault"]`` set and an
+        :class:`EpisodeStats` marking the episode unsuccessful — so the
+        trainer's bookkeeping stays consistent and training continues."""
         self._ensure_open()
         if len(actions) != len(self._remotes):
             raise TrainingError(
                 f"got {len(actions)} actions for {len(self._remotes)} envs")
-        for remote, action in zip(self._remotes, actions):
-            self._send(remote, ("step", action))
+        outcomes: list = [None] * len(self._remotes)
+        for i, action in enumerate(actions):
+            try:
+                self._remotes[i].send(("step", action))
+            except (BrokenPipeError, OSError):
+                outcomes[i] = self._fault_outcome(i, "died before step")
+        for i in range(len(self._remotes)):
+            if outcomes[i] is None:
+                try:
+                    outcomes[i] = self._remotes[i].recv()
+                    self._suspect.discard(i)
+                except (EOFError, OSError):
+                    outcomes[i] = self._fault_outcome(i, "died mid-step")
         obs_list, rewards, dones, infos = [], [], [], []
         finished: list[EpisodeStats] = []
-        for remote in self._remotes:
-            obs, reward, done, info, stats = self._recv(remote)
+        for obs, reward, done, info, stats in outcomes:
             obs_list.append(obs)
             rewards.append(reward)
             dones.append(done)
@@ -162,6 +207,13 @@ class ParallelVectorEnv:
                 finished.append(stats)
         return (np.stack(obs_list), np.asarray(rewards, dtype=float),
                 np.asarray(dones, dtype=bool), infos, finished)
+
+    def _fault_outcome(self, index: int, detail: str):
+        """Heal one worker and synthesise its truncated step outcome."""
+        obs = self._heal(index, detail)
+        info = {"worker_fault": True, "success": False}
+        return (obs, 0.0, True, info,
+                EpisodeStats(reward=0.0, length=0, success=False))
 
     def close(self) -> None:
         """Shut down the workers (idempotent)."""

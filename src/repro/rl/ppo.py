@@ -157,6 +157,22 @@ class PPOTrainer:
         self.total_env_steps = 0
         self._last_mean_reward = float("-inf")
         self._ent_coef = self.config.ent_coef
+        #: Mirror of the vector env's cumulative supervision counters
+        #: (shard faults/retries/respawns/quarantines, healed env
+        #: workers) — updated after every rollout so operators can see
+        #: what training survived.  Deliberately kept out of
+        #: :class:`TrainingHistory` (whose schema benchmark artifacts
+        #: pin).
+        self.fault_stats: dict[str, int] = {}
+
+    def _absorb_vec_faults(self) -> None:
+        """Mirror the vector env's cumulative fault counters, if any."""
+        stats = getattr(self.vec, "fault_stats", None)
+        if stats is not None:
+            self.fault_stats.update(stats)
+        events = getattr(self.vec, "fault_events", None)
+        if events is not None:
+            self.fault_stats["env_worker_faults"] = len(events)
 
     # -- rollout ---------------------------------------------------------------
     def collect_rollout(self, obs: np.ndarray) -> tuple[RolloutBuffer, np.ndarray, list]:
@@ -168,7 +184,9 @@ class PPOTrainer:
         classic lockstep loop.
         """
         if getattr(self.vec, "is_async", False):
-            return self._collect_rollout_async(obs)
+            result = self._collect_rollout_async(obs)
+            self._absorb_vec_faults()
+            return result
         cfg = self.config
         buffer = RolloutBuffer(cfg.n_steps, cfg.n_envs,
                                int(np.prod(self.vec.observation_space.shape)),
@@ -183,6 +201,7 @@ class PPOTrainer:
             self.total_env_steps += cfg.n_envs
         last_values = self.policy.value(obs)
         buffer.compute_gae(last_values, cfg.gamma, cfg.gae_lambda)
+        self._absorb_vec_faults()
         return buffer, obs, finished
 
     def _collect_rollout_async(self, obs: np.ndarray

@@ -32,30 +32,65 @@ Two evaluation surfaces share the plumbing:
   pipe, so the workers stay saturated while the parent runs policy
   inference or reward bookkeeping between ``collect`` calls.
 
-Failure contract: a worker that dies mid-batch (OOM, native crash) is
-detected at the next send or receive — the pool tears itself down and
-raises :class:`~repro.errors.TrainingError` instead of hanging; the
-caller's next evaluation rebuilds a fresh pool.
+Failure contract (the supervised pool): a worker that dies mid-batch
+(OOM, native crash, SIGKILL) is detected at ``collect`` — the
+supervisor respawns the worker slot, re-queues everything the dead
+worker still owed, and re-runs the lost shard.  Because every worker
+computes from the same canonical warm seeds, the re-run is bitwise
+identical to what the dead worker would have produced, so callers never
+see the fault in their results.  A shard that *keeps* failing is
+bisected until the offending design is isolated and quarantined: its
+spec row is charged the simulator's pessimistic
+``failure_measurements()`` (the same penalty a non-convergent design
+pays) and the rest of the batch completes normally.  Per-attempt
+deadlines (``REPRO_TIMEOUT``) turn hangs into retryable timeouts; retry
+counts and backoff come from ``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF``
+(:class:`~repro.sim.faults.SupervisorConfig`).  Every supervision event
+is recorded on the ticket's :class:`~repro.sim.faults.BatchReport`.
+Only unrecoverable infrastructure failures (a worker slot that cannot
+be respawned, protocol corruption) still tear the pool down — and
+tearing down a pool with tickets in flight raises
+:class:`~repro.errors.TicketAbandonedError` naming the abandoned
+tickets instead of dropping them silently.
+
+Deterministic chaos testing rides the same wire: the ``REPRO_FAULTS``
+profile (:mod:`repro.sim.faults`) tells a specific worker to kill
+itself, hang, delay or raise on a specific eval request, so every
+recovery path above is pinned by ordinary unit tests.
 
 :class:`WorkerGroup` is the generic pipe/process plumbing, shared with
-:class:`repro.rl.parallel.ParallelVectorEnv`.
+:class:`repro.rl.parallel.ParallelVectorEnv`; it owns per-slot
+:meth:`WorkerGroup.respawn` and an always-clean idempotent
+:meth:`WorkerGroup.close`.
 """
 
 from __future__ import annotations
 
 import atexit
 import collections
+import itertools
+import math
 import multiprocessing as mp
 import os
+import time
 import weakref
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.errors import TrainingError
+from repro.errors import TicketAbandonedError, TrainingError
+from repro.sim.faults import (FAULTS_ENV, BatchReport, FaultInjector,
+                              FaultRecord, SupervisorConfig, active_profile,
+                              worker_directives)
 
 #: Environment variable selecting the worker count (1 = in-process).
 SHARDS_ENV = "REPRO_SHARDS"
+
+#: Seconds a (re)spawned worker gets to report ready before the pool
+#: declares the slot unrecoverable (generous: spawn-method workers
+#: re-import the package from scratch).
+_HANDSHAKE_TIMEOUT = 120.0
 
 
 def shard_count(default: int = 1) -> int:
@@ -90,47 +125,103 @@ class WorkerGroup:
     ``(pipe_end, *args)`` and speak a ``(command, payload)`` protocol in
     which ``("close", None)`` is answered once and ends the worker.
     ``args_list`` must be picklable under the resolved start method.
+
+    The group keeps its spawn recipe, so a supervisor can
+    :meth:`respawn` a dead slot in place; :meth:`close` is idempotent
+    and never raises on already-dead children (every per-worker step is
+    individually guarded, with a terminate/kill escalation for stuck or
+    hung workers).
     """
 
     def __init__(self, target, args_list, context: str | None = None):
         if not args_list:
             raise TrainingError("WorkerGroup needs at least one worker")
-        ctx = mp.get_context(resolve_context(context))
+        self._target = target
+        self._args_list = list(args_list)
+        self._ctx = mp.get_context(resolve_context(context))
         self.remotes = []
         self.processes = []
-        for args in args_list:
-            parent, child = ctx.Pipe()
-            process = ctx.Process(target=target, args=(child, *args),
-                                  daemon=True)
-            process.start()
-            child.close()
-            self.remotes.append(parent)
+        for args in self._args_list:
+            remote, process = self._spawn(args)
+            self.remotes.append(remote)
             self.processes.append(process)
         self.closed = False
+
+    def _spawn(self, args):
+        """Start one worker process; returns its (remote, process)."""
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(target=self._target,
+                                    args=(child, *args), daemon=True)
+        process.start()
+        child.close()
+        return parent, process
 
     def __len__(self) -> int:
         return len(self.remotes)
 
+    def respawn(self, index: int, args=None):
+        """Replace worker ``index`` with a fresh process (same recipe).
+
+        The old process is reaped (terminate, then kill if stuck) and
+        its pipe closed — any replies it buffered die with the pipe, so
+        a respawned slot can never deliver stale acknowledgements.
+        ``args`` optionally replaces the slot's spawn arguments (the
+        shard supervisor uses this to strip one-shot fault directives
+        from replacement workers).  Returns the new parent pipe end.
+        """
+        if self.closed:
+            raise TrainingError("cannot respawn a worker in a closed group")
+        try:
+            self.remotes[index].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._reap(self.processes[index])
+        if args is not None:
+            self._args_list[index] = args
+        remote, process = self._spawn(self._args_list[index])
+        self.remotes[index] = remote
+        self.processes[index] = process
+        return remote
+
+    @staticmethod
+    def _reap(process) -> None:
+        """Join a worker process, escalating terminate -> kill."""
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - stuck worker guard
+            process.kill()
+            process.join(timeout=2.0)
+
     def close(self) -> None:
-        """Send ``("close", None)`` everywhere and reap (idempotent)."""
+        """Shut every worker down and reap it (idempotent, never raises).
+
+        Every per-worker step is guarded individually: a child that
+        already died (so its pipe raises on send), never answers the
+        close handshake (hung in a solve), or ignores SIGTERM cannot
+        prevent the remaining workers from being torn down cleanly.
+        """
         if self.closed:
             return
         self.closed = True
         for remote in self.remotes:
             try:
                 remote.send(("close", None))
-            except (BrokenPipeError, OSError):  # pragma: no cover
+            except (BrokenPipeError, OSError):
                 continue
         for remote in self.remotes:
             try:
-                remote.recv()
-            except (EOFError, OSError):  # pragma: no cover
+                if remote.poll(1.0):   # hung workers never answer
+                    remote.recv()
+            except (EOFError, OSError):
                 pass
-            remote.close()
+            try:
+                remote.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         for process in self.processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker guard
-                process.terminate()
+            self._reap(process)
 
 
 def _attach(cache: dict, name: str) -> shared_memory.SharedMemory:
@@ -180,10 +271,23 @@ def _attach_pair(cache: dict, in_name: str, out_name: str):
     return shm_in, shm_out
 
 
-def _shard_worker(remote, factory, param_names, spec_names) -> None:
-    """Worker loop: one simulator replica, evaluates value-array shards."""
+def _shard_worker(remote, worker_index, factory, param_names, spec_names,
+                  directives=()) -> None:
+    """Worker loop: one simulator replica, evaluates value-array shards.
+
+    Each ``eval`` request is tagged with a parent-issued ``req_id`` that
+    is echoed in the ``("ok", req_id)`` / ``("error", (req_id, text))``
+    reply, so the supervisor can sanity-check reply/job pairing across
+    respawns.  Fault injection (``directives``, parsed from the parent's
+    ``REPRO_FAULTS`` profile) runs through a
+    :class:`~repro.sim.faults.FaultInjector` before each solve; the
+    worker's own environment copy of the profile is dropped so nested
+    evaluation never double-injects.
+    """
     os.environ[SHARDS_ENV] = "1"    # no nested sharding in workers
+    os.environ.pop(FAULTS_ENV, None)   # injection comes via directives
     simulator = factory()
+    injector = FaultInjector(tuple(directives))
     remote.send(("ready", tuple(simulator.spec_space.names)))
     attachments: dict[str, shared_memory.SharedMemory] = {}
     P, S = len(param_names), len(spec_names)
@@ -191,7 +295,7 @@ def _shard_worker(remote, factory, param_names, spec_names) -> None:
         while True:
             cmd, payload = remote.recv()
             if cmd == "eval":
-                in_name, out_name, lo, hi, B = payload
+                req_id, in_name, out_name, lo, hi, B = payload
                 try:
                     shm_in, shm_out = _attach_pair(attachments, in_name,
                                                    out_name)
@@ -199,15 +303,22 @@ def _shard_worker(remote, factory, param_names, spec_names) -> None:
                                       buffer=shm_in.buf)
                     out = np.ndarray((B, S), dtype=np.float64,
                                      buffer=shm_out.buf)
+                    delay = injector.on_eval(vals[lo:hi])
                     values_list = [
                         {name: float(v) for name, v in zip(param_names, row)}
                         for row in vals[lo:hi]]
-                    specs = simulator._fresh_batch(values_list)
+                    # The raw engine, not the recovering wrapper: faults
+                    # escape to the parent supervisor, which owns retry,
+                    # bisection and quarantine policy.
+                    specs = simulator._inprocess_batch(values_list)
                     for r, spec in zip(range(lo, hi), specs):
                         out[r] = [spec[name] for name in spec_names]
-                    remote.send(("ok", None))
+                    if delay > 0:
+                        time.sleep(delay)
+                    remote.send(("ok", req_id))
                 except Exception as exc:  # surface, don't kill the pool
-                    remote.send(("error", f"{type(exc).__name__}: {exc}"))
+                    remote.send(("error",
+                                 (req_id, f"{type(exc).__name__}: {exc}")))
             elif cmd == "close":
                 remote.send(None)
                 break
@@ -246,19 +357,54 @@ class _BlockPair:
                 pass
 
 
+class _ShardJob:
+    """One dispatched contiguous row range ``[lo, hi)`` of a ticket.
+
+    Jobs are the supervisor's unit of retry: a worker death, timeout or
+    solve error fails exactly one job, which is then re-dispatched (with
+    backoff) until its attempt budget runs out and it is bisected into
+    two child jobs — down to single-row jobs, which quarantine instead.
+    ``attempts`` counts failures so far; ``deadline`` is the wall-clock
+    limit of the *running* attempt (infinite while the job waits behind
+    others in the worker's pipe — it is re-armed on promotion to the
+    queue head, so queueing time is never charged against the solve).
+    """
+
+    __slots__ = ("ticket", "lo", "hi", "worker", "req_id", "attempts",
+                 "deadline")
+
+    def __init__(self, ticket: "ShardTicket", lo: int, hi: int):
+        self.ticket = ticket
+        self.lo = lo
+        self.hi = hi
+        self.worker = -1
+        self.req_id = -1
+        self.attempts = 0
+        self.deadline = math.inf
+
+
 class ShardTicket:
     """Handle for one in-flight :meth:`ShardPool.submit_values` batch.
 
-    Tickets are collected in submission order (the worker pipes are
-    FIFO queues, so replies arrive in exactly that order)."""
+    Tickets are collected in submission order; ``report`` accumulates
+    the batch's :class:`~repro.sim.faults.BatchReport` (faults, retries,
+    respawns, per-row attempts/latency/quarantine) as the supervisor
+    works.  A ticket whose pool was torn down before collection is
+    marked ``abandoned`` and collecting it raises
+    :class:`~repro.errors.TicketAbandonedError`."""
 
-    __slots__ = ("pair", "busy", "n_rows", "collected")
+    __slots__ = ("id", "pair", "n_rows", "collected", "abandoned",
+                 "unresolved", "submitted", "report")
 
-    def __init__(self, pair: _BlockPair, busy: list, n_rows: int):
+    def __init__(self, ticket_id: int, pair: _BlockPair, n_rows: int):
+        self.id = ticket_id
         self.pair = pair
-        self.busy = busy
         self.n_rows = n_rows
         self.collected = False
+        self.abandoned = False
+        self.unresolved = 0
+        self.submitted = time.perf_counter()
+        self.report = BatchReport(n_rows)
 
 
 #: Free-list bound: the RL double buffer cycles two pairs and the
@@ -269,7 +415,8 @@ _FREE_PAIRS = 4
 
 
 class ShardPool:
-    """Persistent multicore shard pool over one simulator family.
+    """Persistent, supervised multicore shard pool over one simulator
+    family.
 
     Parameters
     ----------
@@ -281,17 +428,36 @@ class ShardPool:
     param_names / spec_names:
         Wire format: sizing values and spec results travel as float64
         arrays in these column orders.
+    context:
+        Multiprocessing start method (None resolves portably).
+    supervisor:
+        Retry/timeout policy; defaults to
+        :meth:`~repro.sim.faults.SupervisorConfig.from_env` (knobs
+        ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_RETRY_BACKOFF``).
+    failure_row:
+        Spec row (in ``spec_names`` order) written for quarantined
+        designs — the simulator's pessimistic ``failure_measurements``.
+        None (raw pools) quarantines to NaN rows.
     """
 
     def __init__(self, factory, n_shards: int, param_names, spec_names,
-                 context: str | None = None):
+                 context: str | None = None,
+                 supervisor: SupervisorConfig | None = None,
+                 failure_row=None):
         if n_shards < 1:
             raise TrainingError("ShardPool needs at least one shard")
         self.param_names = tuple(param_names)
         self.spec_names = tuple(spec_names)
+        self._supervisor = supervisor or SupervisorConfig.from_env()
+        self._profile = active_profile()
+        self._factory = factory
+        self._failure_row = (None if failure_row is None else
+                             np.asarray(failure_row, dtype=np.float64))
         self._group = WorkerGroup(
             _shard_worker,
-            [(factory, self.param_names, self.spec_names)] * n_shards,
+            [(w, factory, self.param_names, self.spec_names,
+              worker_directives(self._profile, w))
+             for w in range(n_shards)],
             context=context)
         for remote in self._group.remotes:
             cmd, names = remote.recv()
@@ -301,6 +467,13 @@ class ShardPool:
                     f"shard worker handshake failed: {cmd} {names!r}")
         self._free: list[_BlockPair] = []
         self._inflight: collections.deque[ShardTicket] = collections.deque()
+        #: Per-worker mirror of the jobs queued in its pipe, FIFO.
+        self._pending: list[collections.deque[_ShardJob]] = [
+            collections.deque() for _ in range(n_shards)]
+        self._req_ids = itertools.count(1)
+        self._ticket_ids = itertools.count(1)
+        self.respawns = 0
+        self.retries = 0
         # Exit hook through a weak reference: the atexit registry must not
         # keep abandoned pools (and their workers) alive until exit —
         # dropped pools get reaped by __del__/GC, live ones at shutdown.
@@ -311,7 +484,7 @@ class ShardPool:
         """Interpreter-exit cleanup through a weak reference."""
         pool = pool_ref()
         if pool is not None:
-            pool.close()
+            pool.close(abandon_ok=True)
 
     def __len__(self) -> int:
         return len(self._group)
@@ -340,6 +513,219 @@ class ShardPool:
         while len(self._free) > _FREE_PAIRS:
             self._free.pop(0).release()
 
+    # -- supervision core -----------------------------------------------------
+    def _fatal(self, message: str):
+        """Unrecoverable infrastructure failure: tear down and raise."""
+        self.close(abandon_ok=True)
+        raise TrainingError(message)
+
+    def _deadline(self) -> float:
+        """Wall-clock limit for an attempt starting now (inf = no limit)."""
+        timeout = self._supervisor.timeout
+        return time.perf_counter() + timeout if timeout > 0 else math.inf
+
+    def _dispatch(self, worker: int, job: _ShardJob) -> None:
+        """Send one job to ``worker`` and mirror it in the pending queue.
+
+        A send that hits a dead pipe triggers a respawn of the slot and
+        one resend; a second failure is unrecoverable.
+        """
+        job.worker = worker
+        job.req_id = next(self._req_ids)
+        pair = job.ticket.pair
+        message = ("eval", (job.req_id, pair.shm_in.name, pair.shm_out.name,
+                            int(job.lo), int(job.hi), job.ticket.n_rows))
+        try:
+            self._group.remotes[worker].send(message)
+        except (BrokenPipeError, OSError):
+            job.ticket.report.faults.append(FaultRecord(
+                "worker-death", worker, tuple(range(job.lo, job.hi)),
+                job.attempts, "shard worker died before accepting work"))
+            self._respawn_worker(worker, extra_ticket=job.ticket)
+            try:
+                self._group.remotes[worker].send(message)
+            except (BrokenPipeError, OSError):
+                self._fatal("respawned shard worker died before accepting "
+                            "work; pool closed")
+        queue = self._pending[worker]
+        job.deadline = self._deadline() if not queue else math.inf
+        queue.append(job)
+
+    def _respawn_worker(self, worker: int, extra_ticket=None) -> None:
+        """Replace a dead/hung worker slot and re-queue what it owed.
+
+        The replacement inherits only the content (poison) fault
+        directives — one-shot event directives died with the original
+        incarnation, so recovery cannot re-trigger the fault forever.
+        Jobs the dead worker had queued are re-sent in order (same
+        req_ids: the old pipe died with any stale replies).
+        ``extra_ticket`` is charged the respawn when its failed job was
+        already popped off the queue (death/timeout handling).
+        """
+        remote = self._group.respawn(
+            worker, args=(worker, self._factory, self.param_names,
+                          self.spec_names,
+                          worker_directives(self._profile, worker,
+                                            respawned=True)))
+        if not remote.poll(_HANDSHAKE_TIMEOUT):
+            self._fatal("respawned shard worker did not report ready")
+        try:
+            cmd, names = remote.recv()
+        except (EOFError, OSError):
+            self._fatal("respawned shard worker died during handshake")
+        if cmd != "ready" or names != self.spec_names:
+            self._fatal(f"respawned shard worker handshake failed: {cmd}")
+        self.respawns += 1
+        affected = {job.ticket for job in self._pending[worker]}
+        if extra_ticket is not None:
+            affected.add(extra_ticket)
+        for ticket in affected:
+            ticket.report.respawns += 1
+        for job in self._pending[worker]:
+            pair = job.ticket.pair
+            remote.send(("eval", (job.req_id, pair.shm_in.name,
+                                  pair.shm_out.name, int(job.lo),
+                                  int(job.hi), job.ticket.n_rows)))
+        self._promote(worker)
+
+    def _promote(self, worker: int) -> None:
+        """(Re-)arm the deadline of the worker's new queue head."""
+        queue = self._pending[worker]
+        if queue:
+            queue[0].deadline = self._deadline()
+
+    def _resolve(self, job: _ShardJob) -> None:
+        """Mark one job done and record its rows' attempts/latency."""
+        ticket = job.ticket
+        ticket.unresolved -= 1
+        now = time.perf_counter()
+        ticket.report.latency[job.lo:job.hi] = now - ticket.submitted
+        ticket.report.attempts[job.lo:job.hi] = job.attempts + 1
+
+    def _quarantine(self, job: _ShardJob) -> None:
+        """Charge a single-row job the failure row and resolve it."""
+        ticket = job.ticket
+        out = np.ndarray((ticket.n_rows, len(self.spec_names)),
+                         dtype=np.float64, buffer=ticket.pair.shm_out.buf)
+        row = (self._failure_row if self._failure_row is not None
+               else np.full(len(self.spec_names), np.nan))
+        out[job.lo] = row
+        ticket.report.quarantined[job.lo] = True
+        ticket.report.faults.append(FaultRecord(
+            "quarantine", job.worker, (job.lo,), job.attempts,
+            "design quarantined after repeated faults"))
+        self._resolve(job)
+
+    def _retry_or_split(self, job: _ShardJob) -> None:
+        """Retry a failed job, bisect it, or quarantine its last row."""
+        ticket = job.ticket
+        if job.attempts <= self._supervisor.retries:
+            self._supervisor.sleep_before(job.attempts)
+            ticket.report.retries += 1
+            self.retries += 1
+            self._dispatch(job.worker, job)
+        elif job.hi - job.lo > 1:
+            mid = (job.lo + job.hi) // 2
+            ticket.unresolved += 1   # one job becomes two
+            for lo, hi in ((job.lo, mid), (mid, job.hi)):
+                self._dispatch(job.worker, _ShardJob(ticket, lo, hi))
+        else:
+            self._quarantine(job)
+
+    def _handle_death(self, worker: int, kind: str, detail: str) -> None:
+        """A worker died (or was killed on deadline): respawn and retry."""
+        queue = self._pending[worker]
+        failed = queue.popleft() if queue else None
+        if failed is not None:
+            failed.attempts += 1
+            failed.ticket.report.faults.append(FaultRecord(
+                kind, worker, tuple(range(failed.lo, failed.hi)),
+                failed.attempts, detail))
+        self._respawn_worker(
+            worker,
+            extra_ticket=failed.ticket if failed is not None else None)
+        if failed is not None:   # the rest of the queue was re-sent above
+            self._retry_or_split(failed)
+
+    def _handle_solve_error(self, job: _ShardJob, detail: str) -> None:
+        """A worker reported an exception for one job: retry/bisect it."""
+        job.attempts += 1
+        job.ticket.report.faults.append(FaultRecord(
+            "solve-error", job.worker, tuple(range(job.lo, job.hi)),
+            job.attempts, detail))
+        self._retry_or_split(job)
+
+    def _handle_reply(self, worker: int) -> None:
+        """Process whatever the worker's pipe holds: reply or EOF."""
+        remote = self._group.remotes[worker]
+        try:
+            cmd, payload = remote.recv()
+        except (EOFError, OSError):
+            self._handle_death(worker, "worker-death",
+                               "shard worker died mid-evaluation")
+            return
+        queue = self._pending[worker]
+        if not queue:
+            self._fatal(f"unexpected reply {cmd!r} from idle shard worker "
+                        f"{worker}; pool closed")
+        job = queue.popleft()
+        self._promote(worker)
+        if cmd == "ok" and payload == job.req_id:
+            self._resolve(job)
+        elif cmd == "error" and payload[0] == job.req_id:
+            self._handle_solve_error(job, payload[1])
+        else:
+            self._fatal(f"shard worker {worker} protocol corruption "
+                        f"({cmd!r}); pool closed")
+
+    def _handle_timeout(self, worker: int) -> None:
+        """The worker's running attempt blew its deadline: kill + retry.
+
+        One last zero-timeout poll first — the reply may have raced the
+        deadline, in which case it is simply taken (killing a worker
+        that just delivered would waste a clean result)."""
+        remote = self._group.remotes[worker]
+        if remote.poll(0):
+            self._handle_reply(worker)
+            return
+        process = self._group.processes[worker]
+        process.kill()
+        process.join(timeout=5.0)
+        self._handle_death(
+            worker, "timeout",
+            f"shard worker blew the {self._supervisor.timeout:.3g}s "
+            f"per-attempt deadline")
+
+    def _service(self, ticket: ShardTicket) -> None:
+        """One supervision step towards resolving ``ticket``.
+
+        Waits on every worker whose queue contains any of the ticket's
+        jobs and processes whatever arrives first — replies for *other*
+        (earlier or later) tickets are resolved on the spot, which is
+        what keeps the FIFO pipes drained when a retry re-queues one of
+        this ticket's jobs behind another ticket's work."""
+        workers = [w for w, queue in enumerate(self._pending)
+                   if any(job.ticket is ticket for job in queue)]
+        if not workers:  # pragma: no cover - invariant guard
+            self._fatal("shard ticket lost its jobs; pool closed")
+        conns = {self._group.remotes[w]: w for w in workers}
+        timeout = None
+        if self._supervisor.timeout > 0:
+            deadline = min(self._pending[w][0].deadline for w in workers)
+            if deadline < math.inf:
+                timeout = max(0.0, deadline - time.perf_counter())
+        ready = mp_connection.wait(list(conns), timeout)
+        if ready:
+            for conn in ready:
+                self._handle_reply(conns[conn])
+            return
+        now = time.perf_counter()
+        for worker in workers:
+            queue = self._pending[worker]
+            if queue and queue[0].deadline <= now:
+                self._handle_timeout(worker)
+
+    # -- public API -----------------------------------------------------------
     def submit_values(self, values_array: np.ndarray) -> ShardTicket:
         """Dispatch ``(B, P)`` stacked sizing values without waiting.
 
@@ -348,6 +734,7 @@ class ShardPool:
         live in a borrowed shared block pair until :meth:`collect` reaps
         the replies.  Batches queue FIFO in the worker pipes, so several
         tickets may be outstanding — collect them in submission order.
+        A worker found dead at submit time is respawned transparently.
         """
         if self._group.closed:
             raise TrainingError("ShardPool is closed")
@@ -359,35 +746,31 @@ class ShardPool:
         pair = self._acquire_pair(B)
         vals = np.ndarray((B, P), dtype=np.float64, buffer=pair.shm_in.buf)
         vals[:] = values_array
+        ticket = ShardTicket(next(self._ticket_ids), pair, B)
         bounds = np.linspace(0, B, len(self._group) + 1).astype(int)
-        busy = []
-        try:
-            for remote, lo, hi in zip(self._group.remotes, bounds, bounds[1:]):
-                if hi > lo:
-                    remote.send(("eval", (pair.shm_in.name, pair.shm_out.name,
-                                          int(lo), int(hi), B)))
-                    busy.append(remote)
-        except (BrokenPipeError, OSError):
-            # A worker died before accepting work: the pool is mid-protocol
-            # and unrecoverable — tear it down so the caller's next attempt
-            # rebuilds a fresh one.  The borrowed pair goes back to the
-            # free list first so close() unlinks it.
-            self._release_pair(pair)
-            self.close()
-            raise TrainingError(
-                "shard worker died before accepting work; pool closed"
-            ) from None
-        ticket = ShardTicket(pair, busy, B)
+        spans = [(w, int(lo), int(hi))
+                 for w, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+                 if hi > lo]
+        ticket.unresolved = len(spans)
         self._inflight.append(ticket)
+        for worker, lo, hi in spans:
+            self._dispatch(worker, _ShardJob(ticket, lo, hi))
         return ticket
 
     def collect(self, ticket: ShardTicket) -> np.ndarray:
-        """Wait for a ticket's workers and return its ``(B, S)`` specs.
+        """Supervise a ticket to completion; returns its ``(B, S)`` specs.
 
         Tickets must be collected in submission order (worker pipes are
         FIFO, so an out-of-order collect would hand one batch another
-        batch's acknowledgements).
+        batch's acknowledgements).  Worker deaths, timeouts and solve
+        errors encountered on the way are healed per the supervisor
+        policy and recorded on ``ticket.report`` — only unrecoverable
+        infrastructure failures raise.
         """
+        if ticket.abandoned:
+            raise TicketAbandonedError(
+                f"shard ticket #{ticket.id} ({ticket.n_rows} designs) was "
+                "abandoned when its pool closed")
         if ticket.collected:
             raise TrainingError("shard ticket already collected")
         if self._group.closed:
@@ -395,32 +778,14 @@ class ShardPool:
         if not self._inflight or self._inflight[0] is not ticket:
             raise TrainingError(
                 "shard tickets must be collected in submission order")
-        errors = []
-        dead = False
-        for remote in ticket.busy:
-            try:
-                cmd, payload = remote.recv()
-            except (EOFError, OSError):
-                # A worker died mid-eval (OOM, native crash): the pool is
-                # mid-protocol and unrecoverable — tear it down so the
-                # caller's next attempt rebuilds a fresh one.
-                dead = True
-                continue
-            if cmd != "ok":
-                errors.append(payload)
+        while ticket.unresolved > 0:
+            self._service(ticket)
         self._inflight.popleft()
         ticket.collected = True
-        if dead:
-            self._release_pair(ticket.pair)
-            self.close()
-            raise TrainingError("shard worker died mid-evaluation; "
-                                "pool closed")
         out = np.ndarray((ticket.n_rows, len(self.spec_names)),
                          dtype=np.float64, buffer=ticket.pair.shm_out.buf
                          ).copy()
         self._release_pair(ticket.pair)
-        if errors:
-            raise TrainingError(f"shard worker failed: {errors[0]}")
         return out
 
     def evaluate_values(self, values_array: np.ndarray) -> np.ndarray:
@@ -432,19 +797,37 @@ class ShardPool:
         """
         return self.collect(self.submit_values(values_array))
 
-    def close(self) -> None:
-        """Shut the workers down and release every shared block."""
+    def close(self, abandon_ok: bool = False) -> None:
+        """Shut the workers down and release every shared block.
+
+        Teardown is always completed; afterwards, if tickets were still
+        in flight, they are marked abandoned and (unless ``abandon_ok``)
+        a :class:`~repro.errors.TicketAbandonedError` names them — the
+        caller learns exactly which designs were dropped instead of
+        inferring it from missing results.
+        """
+        if self._group.closed:
+            return
+        abandoned = [t for t in self._inflight if not t.collected]
+        for ticket in abandoned:
+            ticket.abandoned = True
         self._group.close()
         for ticket in self._inflight:
             self._release_pair(ticket.pair)
-            ticket.collected = True
         self._inflight.clear()
+        for queue in self._pending:
+            queue.clear()
         for pair in self._free:
             pair.release()
         self._free = []
+        if abandoned and not abandon_ok:
+            names = ", ".join(f"#{t.id} ({t.n_rows} designs)"
+                              for t in abandoned)
+            raise TicketAbandonedError(
+                f"ShardPool closed with tickets in flight: {names}")
 
     def __del__(self):  # pragma: no cover - interpreter teardown best effort
         try:
-            self.close()
+            self.close(abandon_ok=True)
         except Exception:
             pass

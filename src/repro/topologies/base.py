@@ -22,14 +22,18 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import time
 
 import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.circuits.technology import Corner, Technology
-from repro.core.specs import SpecKind, SpecSpace
-from repro.errors import (ConvergenceError, MeasurementError, TopologyError,
-                          TrainingError)
+from repro.core.specs import SpecSpace, failure_measurements
+from repro.errors import (ConvergenceError, EvaluationFault,
+                          MeasurementError, TicketAbandonedError,
+                          TopologyError, TrainingError)
+from repro.sim.faults import BatchReport, FaultRecord, active_profile, \
+    check_poison
 from repro.sim.batch import SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
@@ -341,16 +345,10 @@ class Topology(abc.ABC):
                 np.ascontiguousarray(Cp[:, :n, :n]))
 
     def failure_measurement(self) -> dict[str, float]:
-        """Pessimistic spec values reported for non-convergent designs."""
-        failed: dict[str, float] = {}
-        for spec in self.spec_space:
-            if spec.kind is SpecKind.LOWER_BOUND:
-                failed[spec.name] = spec.low * 1e-3 if spec.low > 0 else -abs(spec.high)
-            elif spec.kind is SpecKind.RANGE:
-                failed[spec.name] = 0.0
-            else:
-                failed[spec.name] = spec.high * 1e3
-        return failed
+        """Pessimistic spec values reported for non-convergent designs
+        (delegates to :func:`repro.core.specs.failure_measurements`, the
+        shared penalty-row source)."""
+        return failure_measurements(self.spec_space)
 
     def reset_warm_start(self) -> None:
         """Drop the warm-start state (used when jumping across the grid)."""
@@ -411,6 +409,15 @@ class CircuitSimulator(abc.ABC):
     bookkeeping while the workers solve.  Without a pool the fresh work
     is simply deferred to collect time (same results, no overlap).
     Tickets are collected in submission order.
+
+    Both paths are *supervised*: a dead/hung shard worker is respawned
+    and its shard re-run (bitwise identical — canonical warm seeds), and
+    a design whose solve keeps crashing is bisected out and quarantined
+    with pessimistic :meth:`failure_measurements` instead of failing the
+    batch (the in-process engine applies the same bisection directly).
+    Each batched call publishes a
+    :class:`~repro.sim.faults.BatchReport` as :attr:`last_batch_report`
+    describing any faults, retries and quarantines it absorbed.
     """
 
     parameter_space: ParameterSpace
@@ -418,6 +425,10 @@ class CircuitSimulator(abc.ABC):
     counter: SimulationCounter
     _pool = None
     _cache = None
+    #: Supervision record of the most recent batched evaluation
+    #: (:class:`~repro.sim.faults.BatchReport`; None before the first).
+    last_batch_report = None
+    _fresh_report = None
 
     @abc.abstractmethod
     def evaluate(self, indices: np.ndarray) -> dict[str, float]:
@@ -501,10 +512,40 @@ class CircuitSimulator(abc.ABC):
 
         ``fresh_fn(values_list) -> list[dict]`` computes the distinct
         cache misses (see :meth:`_plan_batch` / :meth:`_finish_batch`).
+        The fresh path's supervision record is republished as
+        :attr:`last_batch_report` in caller-batch coordinates.
         """
         plan = self._plan_batch(indices_2d, cache)
+        self._fresh_report = None
         specs = fresh_fn(plan.fresh_values) if plan.fresh_values else []
-        return self._finish_batch(plan, specs, cache)
+        results = self._finish_batch(plan, specs, cache)
+        self._publish_report(plan, len(results))
+        return results
+
+    def _publish_report(self, plan: _BatchPlan, n_designs: int) -> None:
+        """Translate the fresh-path report into caller coordinates.
+
+        ``_fresh_report`` (set by :meth:`_shard_eval` or
+        :meth:`_recover_batch`) is indexed by *fresh* row; the cache
+        front-end may have deduped, so each fresh row is mapped back to
+        the caller rows it served.  All-cache-hit batches publish a
+        clean report — nothing was at risk.
+        """
+        fresh = self._fresh_report
+        if fresh is None:
+            self.last_batch_report = BatchReport(n_designs)
+            return
+        if plan.pending:
+            row_map = {i: plan.pending[key]
+                       for i, key in enumerate(plan.fresh_keys)}
+        else:   # uncached: fresh rows are caller rows, positionally
+            row_map = {i: [i] for i in range(fresh.n_designs)}
+        self.last_batch_report = fresh.translate(row_map, n_designs)
+
+    def failure_measurements(self) -> dict[str, float]:
+        """Pessimistic spec values charged to quarantined designs
+        (delegates to :func:`repro.core.specs.failure_measurements`)."""
+        return failure_measurements(self.spec_space)
 
     # -- async submit/collect -------------------------------------------------
     @property
@@ -542,20 +583,29 @@ class CircuitSimulator(abc.ABC):
         return BatchTicket(plan, "shard", ticket)
 
     def collect_batch(self, ticket: BatchTicket) -> list[dict[str, float]]:
-        """Blocking back half of :meth:`submit_batch`: the B spec dicts."""
+        """Blocking back half of :meth:`submit_batch`: the B spec dicts.
+
+        Supervision (worker respawn, retry, quarantine) happens inside
+        the shard pool's collect; the resulting report is republished as
+        :attr:`last_batch_report`."""
         if ticket.collected:
             raise TrainingError("batch ticket already collected")
         ticket.collected = True
+        self._fresh_report = None
         if ticket.kind == "shard":
             if self._pool is None:
-                raise TrainingError(
-                    "shard pool closed with batches in flight")
+                raise TicketAbandonedError(
+                    f"shard pool closed with batches in flight (ticket "
+                    f"#{ticket.handle.id}, {ticket.handle.n_rows} designs)")
             specs = self._rows_to_specs(self._pool.collect(ticket.handle))
+            self._fresh_report = ticket.handle.report
         elif ticket.kind == "deferred":
-            specs = self._inprocess_batch(ticket.handle)
+            specs = self._recover_batch(ticket.handle)
         else:
             specs = []
-        return self._finish_batch(ticket.plan, specs, self._cache)
+        results = self._finish_batch(ticket.plan, specs, self._cache)
+        self._publish_report(ticket.plan, len(results))
+        return results
 
     # -- sharding -------------------------------------------------------------
     def shard_factory(self):
@@ -576,11 +626,71 @@ class CircuitSimulator(abc.ABC):
     def _fresh_batch(self, values_list: list[dict[str, float]]
                      ) -> list[dict[str, float]]:
         """Compute distinct cache misses: sharded when configured,
-        in-process otherwise."""
+        in-process (with the same quarantine semantics) otherwise."""
         sharded = self._shard_eval(values_list)
         if sharded is not None:
             return sharded
-        return self._inprocess_batch(values_list)
+        return self._recover_batch(values_list)
+
+    def _recover_batch(self, values_list: list[dict[str, float]]
+                       ) -> list[dict[str, float]]:
+        """In-process engine run with poison quarantine (no pool).
+
+        Mirrors the shard supervisor's contract on the single-process
+        path: an evaluation fault (injected poison, a numerical crash
+        escaping the solver's own fallbacks) bisects the batch until the
+        offending design is isolated, which is then charged
+        :meth:`failure_measurements` — healthy designs in the same batch
+        are re-run in their sub-batches and keep normal results.  The
+        resulting :class:`~repro.sim.faults.BatchReport` lands in
+        ``_fresh_report`` for :meth:`_publish_report`.
+        """
+        report = BatchReport(len(values_list))
+        poison = tuple(d for d in active_profile() if d.kind == "poison")
+        t0 = time.perf_counter()
+        specs: list[dict[str, float] | None] = [None] * len(values_list)
+        self._recover_into(values_list, 0, specs, report, poison)
+        report.latency[:] = time.perf_counter() - t0
+        self._fresh_report = report
+        return specs
+
+    def _recover_into(self, values_list, base: int, specs, report,
+                      poison) -> None:
+        """Recursive bisection helper of :meth:`_recover_batch`.
+
+        Fills ``specs[base:base+len(values_list)]``; only evaluation
+        faults and numerical crashes trigger bisection — configuration
+        errors (bad topology parameters, missing engines) still raise.
+        """
+        rows = tuple(range(base, base + len(values_list)))
+        try:
+            if poison:
+                check_poison(self._values_matrix(values_list), poison)
+            out = self._inprocess_batch(values_list)
+        except (EvaluationFault, np.linalg.LinAlgError,
+                FloatingPointError) as exc:
+            report.faults.append(FaultRecord(
+                "solve-error", -1, rows, int(report.attempts[base]) + 1,
+                f"{type(exc).__name__}: {exc}"))
+            report.attempts[list(rows)] += 1
+            if len(values_list) == 1:
+                specs[base] = self.failure_measurements()
+                report.quarantined[base] = True
+                report.faults.append(FaultRecord(
+                    "quarantine", -1, (base,),
+                    int(report.attempts[base]),
+                    "design quarantined after in-process fault"))
+                return
+            mid = len(values_list) // 2
+            report.retries += 1
+            self._recover_into(values_list[:mid], base, specs, report,
+                               poison)
+            self._recover_into(values_list[mid:], base + mid, specs,
+                               report, poison)
+            return
+        for i, spec in enumerate(out):
+            specs[base + i] = spec
+        report.attempts[list(rows)] += 1
 
     def _values_matrix(self, values_list: list[dict[str, float]]
                        ) -> np.ndarray:
@@ -616,9 +726,12 @@ class CircuitSimulator(abc.ABC):
         pool = self._pool
         if pool is None or len(pool) != n or pool.closed:
             if pool is not None:
-                pool.close()
+                pool.close(abandon_ok=True)
+            failed = self.failure_measurements()
             pool = ShardPool(factory, n, self.parameter_space.names,
-                             self.spec_space.names)
+                             self.spec_space.names,
+                             failure_row=[failed[name] for name
+                                          in self.spec_space.names])
             self._pool = pool
         return pool
 
@@ -627,12 +740,15 @@ class CircuitSimulator(abc.ABC):
         """Distribute fresh evaluations over the shard pool, if configured.
 
         Returns None when :meth:`_resolve_shard_pool` declines — callers
-        then run the in-process engine.
+        then run the in-process engine.  The ticket's supervision record
+        lands in ``_fresh_report`` for :meth:`_publish_report`.
         """
         pool = self._resolve_shard_pool(len(values_list))
         if pool is None:
             return None
-        out = pool.evaluate_values(self._values_matrix(values_list))
+        ticket = pool.submit_values(self._values_matrix(values_list))
+        out = pool.collect(ticket)
+        self._fresh_report = ticket.report
         return self._rows_to_specs(out)
 
     def close_shard_pool(self) -> None:

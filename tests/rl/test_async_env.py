@@ -13,6 +13,9 @@ The contract being pinned:
   solver tolerance (different stack decomposition).
 """
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -230,22 +233,31 @@ class TestProtocol:
 
 
 class TestWorkerFailure:
-    def test_shard_worker_death_raises_not_hangs(self, monkeypatch):
-        """A shard worker killed with a group in flight must surface a
-        TrainingError from collect (pool torn down), never a hang."""
+    def test_shard_worker_death_heals_and_collect_succeeds(self,
+                                                           monkeypatch):
+        """A shard worker killed with a group in flight is respawned by
+        the supervisor: collect returns normal results, the pool stays
+        alive, and the fault lands in the env's fault_stats."""
         monkeypatch.setenv("REPRO_SHARDS", "2")
         shared = SchematicSimulator(FiveTransistorOta(), cache=False)
         vec = AsyncVectorEnv(_make_envs(4, shared), batch_simulator=shared)
         vec.reset()
         actions = np.ones((2, len(vec.action_space.nvec)), dtype=np.int64)
-        vec.submit(0, actions)
+        vec.submit(0, actions)      # warm cycle: spawns the pool
+        vec.collect(0)
         assert shared._pool is not None
-        shared._pool._group.processes[0].kill()
-        with pytest.raises(TrainingError):
-            vec.collect(0)
-        assert shared._pool.closed
-        # The env recovers on the next evaluation (fresh pool).
-        vec.reset()
+        pool = shared._pool
+        # Freeze worker 0 before submitting so it cannot answer before
+        # the kill lands — the death is mid-batch for sure.
+        os.kill(pool._group.processes[0].pid, signal.SIGSTOP)
+        vec.submit(0, actions)
+        pool._group.processes[0].kill()
+        obs, rewards, dones, infos, _ = vec.collect(0)
+        assert np.all(np.isfinite(obs)) and np.all(np.isfinite(rewards))
+        assert shared._pool is pool and not pool.closed
+        assert vec.fault_stats["respawns"] >= 1
+        assert vec.fault_stats["faults"] >= 1
+        # The healed pipeline keeps rolling.
         obs, *_ = vec.step(np.ones((4, len(vec.action_space.nvec)),
                                    dtype=np.int64))
         assert np.all(np.isfinite(obs))

@@ -90,27 +90,53 @@ class TestStepSemantics:
 
 
 class TestWorkerFailure:
-    def test_worker_death_midstep_raises_not_hangs(self):
-        """An env worker killed mid-rollout must surface a clear
-        TrainingError (group closed), never a raw pipe error or hang."""
+    def test_worker_death_midstep_heals_with_truncated_episode(self):
+        """An env worker killed mid-rollout is respawned in place: its
+        slot reports one synthetic truncated episode and the vector env
+        keeps stepping — never a raw pipe error, hang, or teardown."""
         vec = ParallelVectorEnv([lambda i=i: CorridorEnv(i)
                                  for i in range(3)])
+        try:
+            vec.reset()
+            vec._group.processes[0].kill()
+            vec._group.processes[0].join(timeout=5.0)
+            obs, rewards, dones, infos, finished = vec.step(
+                np.ones((3, 1), dtype=np.int64))
+            assert obs.shape == (3, 1)
+            assert dones[0] and rewards[0] == 0.0
+            assert infos[0].get("worker_fault")
+            assert any(f.length == 0 and not f.success for f in finished)
+            assert vec.fault_events
+            # The healed group keeps working (worker 0 included).
+            obs, _, _, infos, _ = vec.step(np.full((3, 1), 2))
+            assert not any(info.get("worker_fault") for info in infos)
+        finally:
+            vec.close()
+
+    def test_worker_death_before_reset_heals(self):
+        vec = ParallelVectorEnv([lambda: BanditEnv()])
+        try:
+            for process in vec._group.processes:
+                process.kill()
+                process.join(timeout=5.0)
+            assert vec.reset().shape == (1, 1)
+            assert len(vec.fault_events) == 1
+        finally:
+            vec.close()
+
+    def test_repeatedly_dying_worker_is_fatal(self):
+        """A worker that dies again without ever answering (broken
+        factory) must stop the churn with a clear TrainingError."""
+        vec = ParallelVectorEnv([lambda: BanditEnv()])
         vec.reset()
         vec._group.processes[0].kill()
         vec._group.processes[0].join(timeout=5.0)
-        with pytest.raises(TrainingError, match="died"):
-            vec.step(np.ones((3, 1), dtype=np.int64))
-        # The group tore down; further use reports closed, not a hang.
-        with pytest.raises(TrainingError):
-            vec.reset()
-
-    def test_worker_death_before_reset_raises(self):
-        vec = ParallelVectorEnv([lambda: BanditEnv()])
-        for process in vec._group.processes:
-            process.kill()
-            process.join(timeout=5.0)
-        with pytest.raises(TrainingError):
-            vec.reset()
+        vec.step(np.zeros((1, 1), dtype=np.int64))   # healed once
+        vec._group.processes[0].kill()               # dies again before
+        vec._group.processes[0].join(timeout=5.0)    # any success
+        with pytest.raises(TrainingError, match="twice"):
+            vec.step(np.zeros((1, 1), dtype=np.int64))
+        assert vec._group.closed
 
 
 class TestPPOThroughParallelEnv:

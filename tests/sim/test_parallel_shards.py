@@ -2,6 +2,7 @@
 engine exactly."""
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -189,56 +190,100 @@ class TestSubmitCollect:
 
 
 class TestWorkerFailure:
-    def test_worker_death_midbatch_raises_and_closes(self, opamp_batch):
-        """A worker killed while its batch is in flight must surface a
-        clear TrainingError (pool closed) at collect, never a hang."""
+    """The supervised pool's healing contract: worker loss is invisible
+    in the results (respawn + bitwise-identical re-run), never a
+    teardown."""
+
+    def _values(self, sim, designs):
+        return np.array([[sim.parameter_space.values(row)[n]
+                          for n in sim.parameter_space.names]
+                         for row in designs])
+
+    def test_worker_death_midbatch_heals_bitwise(self, opamp_batch):
+        """SIGKILL of a shard worker mid-batch: collect still returns
+        specs bitwise-equal to the fault-free run, on a respawned
+        worker, with the pool alive and the fault on the report."""
         sim, designs = opamp_batch
         pool = ShardPool(sim.shard_factory(), 2,
                          sim.parameter_space.names, sim.spec_space.names)
-        arr = np.array([[sim.parameter_space.values(row)[n]
-                         for n in sim.parameter_space.names]
-                        for row in designs[:6]])
-        ticket = pool.submit_values(arr)
-        pool._group.processes[0].kill()
-        with pytest.raises(TrainingError, match="died"):
-            pool.collect(ticket)
-        assert pool.closed
+        try:
+            arr = self._values(sim, designs[:6])
+            baseline = pool.evaluate_values(arr)
+            # Freeze worker 0 before submitting so it cannot answer
+            # before the kill lands — the death is mid-batch for sure.
+            os.kill(pool._group.processes[0].pid, signal.SIGSTOP)
+            ticket = pool.submit_values(arr)
+            pool._group.processes[0].kill()
+            out = pool.collect(ticket)
+            np.testing.assert_array_equal(out, baseline)
+            assert not pool.closed
+            assert pool.respawns >= 1
+            assert ticket.report.respawns >= 1
+            assert any(f.kind == "worker-death"
+                       for f in ticket.report.faults)
+            assert not ticket.report.quarantined.any()
+            # The healed pool keeps working.
+            np.testing.assert_array_equal(pool.evaluate_values(arr),
+                                          baseline)
+        finally:
+            pool.close()
 
-    def test_worker_death_before_submit_raises(self, opamp_batch):
-        """Submitting into a dead pool raises instead of BrokenPipeError."""
+    def test_worker_death_before_submit_heals(self, opamp_batch):
+        """Submitting into a pool whose workers all died respawns them
+        transparently instead of raising."""
         sim, designs = opamp_batch
         pool = ShardPool(sim.shard_factory(), 2,
                          sim.parameter_space.names, sim.spec_space.names)
-        arr = np.array([[sim.parameter_space.values(row)[n]
-                         for n in sim.parameter_space.names]
-                        for row in designs[:6]])
-        for process in pool._group.processes:
-            process.kill()
-            process.join(timeout=5.0)
-        with pytest.raises(TrainingError):
-            pool.submit_values(arr)
-        assert pool.closed
+        try:
+            arr = self._values(sim, designs[:6])
+            baseline = pool.evaluate_values(arr)
+            for process in pool._group.processes:
+                process.kill()
+                process.join(timeout=5.0)
+            np.testing.assert_array_equal(pool.evaluate_values(arr),
+                                          baseline)
+            assert not pool.closed
+            assert pool.respawns >= 2
+        finally:
+            pool.close()
 
-    def test_simulator_recovers_with_fresh_pool(self, shards_env,
-                                                opamp_batch):
-        """After a pool death the next evaluate_batch rebuilds workers."""
+    def test_simulator_heals_killed_workers_in_place(self, shards_env,
+                                                     opamp_batch):
+        """evaluate_batch survives external worker kills: the same pool
+        heals and the batch completes with identical results."""
         sim, designs = opamp_batch
         shards_env(2)
         try:
-            values = [sim.parameter_space.values(row) for row in designs[:2]]
-            # Same decomposition the 2-shard pool will use: one per worker.
-            base = (sim.topology.simulate_batch(values[:1])
-                    + sim.topology.simulate_batch(values[1:]))
-            sim.evaluate_batch(designs[:4])
-            for process in sim._pool._group.processes:
+            base = sim.evaluate_batch(designs[:4])
+            pool = sim._pool
+            for process in pool._group.processes:
                 process.kill()
                 process.join(timeout=5.0)
-            with pytest.raises(TrainingError):
-                sim.evaluate_batch(designs[:4])
-            result = sim.evaluate_batch(designs[:2])   # fresh pool
-            assert result == base
+            assert sim.evaluate_batch(designs[:4]) == base
+            assert sim._pool is pool and not pool.closed
+            report = sim.last_batch_report
+            assert report is not None and report.respawns >= 1
         finally:
             sim.close_shard_pool()
+
+    def test_close_with_inflight_names_abandoned_tickets(self,
+                                                         opamp_batch):
+        """Teardown with tickets in flight raises an error naming them
+        (after completing the teardown), and collecting an abandoned
+        ticket names it too."""
+        from repro.errors import TicketAbandonedError
+
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        arr = self._values(sim, designs[:6])
+        ticket = pool.submit_values(arr)
+        with pytest.raises(TicketAbandonedError, match=f"#{ticket.id}"):
+            pool.close()
+        assert pool.closed          # teardown completed before raising
+        pool.close()                # and close stays idempotent
+        with pytest.raises(TicketAbandonedError, match="abandoned"):
+            pool.collect(ticket)
 
 
 class TestPoolLifecycle:
@@ -257,19 +302,24 @@ class TestPoolLifecycle:
         with pytest.raises(TrainingError):
             pool.evaluate_values(values)
 
-    def test_worker_error_is_surfaced(self, opamp_batch):
+    def test_worker_error_quarantines_not_kills(self, monkeypatch,
+                                                opamp_batch):
         sim, _ = opamp_batch
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
         pool = ShardPool(sim.shard_factory(), 1,
                          sim.parameter_space.names, sim.spec_space.names)
         try:
             with pytest.raises(TrainingError):
                 # Wrong column count is rejected parent-side...
                 pool.evaluate_values(np.zeros((2, 3)))
-            # ...and degenerate sizings surface the worker's exception
-            # instead of hanging or killing the pool.
-            with pytest.raises(TrainingError):
-                pool.evaluate_values(
-                    np.zeros((2, len(sim.parameter_space.names))))
+            # ...and degenerate sizings that crash the worker's solve are
+            # bisected out and quarantined (NaN rows on a raw pool with
+            # no failure_row) instead of raising or killing the pool.
+            out = pool.evaluate_values(
+                np.zeros((2, len(sim.parameter_space.names))))
+            assert np.isnan(out).all()
+            assert not pool.closed
         finally:
             pool.close()
 
