@@ -1,0 +1,187 @@
+"""Result-store payoff: exact-hit replay and warm Newton seeds (beyond
+the paper).
+
+The persistent evaluation store (``REPRO_CACHE``, `repro.sim.store`)
+promises two speedups over a cold engine:
+
+* **exact-hit replay** — a sizing already evaluated in any process or
+  run replays its recorded spec row bit for bit without touching the
+  engine.  Measured here as a fresh-process replay of a revisit-heavy
+  sizing walk against a disk store populated by an earlier run — the
+  across-process regime the in-process memo cannot cover;
+* **warm Newton seeds** — on a store miss, Newton starts from the
+  nearest previously-converged operating point on the quantized grid
+  instead of the canonical grid-centre seed, cutting iterations while
+  the polished endpoint stays spec-equivalent to a cold solve.
+
+The replay leg asserts the contract, not just the speed: every replayed
+row is bitwise equal to what the populating run recorded, the
+simulation counter charges every replay as ``cached`` (zero ``fresh``),
+and replayed specs match the store-off run within 1e-9 relative.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.sim.cache import sizing_key
+from repro.sim.dc import solve_dc
+from repro.sim.store import EvaluationStore, reset_store
+from repro.topologies import FiveTransistorOta, SchematicSimulator
+
+from benchmarks._harness import FULL_SCALE, publish, publish_json
+
+TRACE_LEN = 240 if FULL_SCALE else 72
+N_PROBES = 24 if FULL_SCALE else 12
+
+#: Relative spec tolerance of the store-warm vs cold contract.
+EQUIV_RTOL = 1e-9
+
+
+def _walk_trace(space, rng, length):
+    """Revisit-heavy sizing walk: one grid step at a time, and half the
+    moves return to an already-visited design — the trajectory regime
+    (RL rollouts, GA populations) the exact tier is built for."""
+    idx = space.center.copy()
+    seen = [idx.copy()]
+    trace = [idx.copy()]
+    while len(trace) < length:
+        if len(seen) > 1 and rng.random() < 0.5:
+            trace.append(seen[int(rng.integers(len(seen)))].copy())
+            continue
+        step = np.zeros(len(space), dtype=idx.dtype)
+        axis = int(rng.integers(len(space)))
+        step[axis] = int(rng.choice((-1, 1)))
+        idx = space.clip(idx + step)
+        seen.append(idx.copy())
+        trace.append(idx.copy())
+    return trace
+
+
+def _timed_trace(trace):
+    """Evaluate ``trace`` on a fresh simulator; returns (secs, specs,
+    counter snapshot)."""
+    sim = SchematicSimulator(FiveTransistorOta(), cache=True)
+    started = time.perf_counter()
+    specs = [sim.evaluate(idx) for idx in trace]
+    elapsed = time.perf_counter() - started
+    return elapsed, specs, sim.counter.snapshot()
+
+
+def _replay_experiment(store_dir):
+    """Cold walk vs fresh-process replay against a populated disk store."""
+    space = FiveTransistorOta().parameter_space
+    trace = _walk_trace(space, np.random.default_rng(17), TRACE_LEN)
+    saved = {k: os.environ.get(k) for k in ("REPRO_CACHE", "REPRO_CACHE_DIR")}
+    try:
+        os.environ["REPRO_CACHE"] = "off"
+        reset_store()
+        cold_s, cold_specs, cold_snap = _timed_trace(trace)
+
+        os.environ["REPRO_CACHE"] = "disk"
+        os.environ["REPRO_CACHE_DIR"] = str(store_dir)
+        reset_store()
+        _, recorded, _ = _timed_trace(trace)      # populating run (untimed)
+        reset_store()                             # "new process": drop all
+        replay_s, replay_specs, replay_snap = _timed_trace(trace)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        reset_store()
+
+    assert replay_snap["fresh"] == 0, replay_snap
+    assert replay_snap["cached"] == TRACE_LEN, replay_snap
+    assert replay_specs == recorded, "replayed rows are not bitwise-identical"
+    for cold, replay in zip(cold_specs, replay_specs):
+        for name in cold:
+            scale = max(abs(cold[name]), abs(replay[name]), 1e-30)
+            assert abs(cold[name] - replay[name]) <= EQUIV_RTOL * scale, (
+                f"{name}: cold {cold[name]} vs replay {replay[name]}")
+    return {
+        "trace_len": TRACE_LEN,
+        "cold_s": cold_s,
+        "cold_counter": cold_snap,
+        "replay_s": replay_s,
+        "replay_counter": replay_snap,
+        "replay_speedup": cold_s / replay_s,
+        "bitwise_identical": True,
+    }
+
+
+def _warm_seed_experiment():
+    """Newton iteration cost: canonical grid-centre seed vs the store's
+    nearest recorded operating point, over near-neighbour probes."""
+    topology = FiveTransistorOta()
+    space = topology.parameter_space
+    plan = topology._plan
+    center_x = solve_dc(plan.restamp(space.values(space.center))).x
+    store = EvaluationStore("mem")
+    rng = np.random.default_rng(7)
+    bases = [space.clip(space.center + rng.integers(-3, 4, size=len(space)))
+             for _ in range(N_PROBES)]
+    for base in bases:
+        op = solve_dc(plan.restamp(space.values(base)), x0=center_x.copy())
+        store.record_seed("bench", sizing_key(base), op.x)
+    cold_iters, warm_iters = [], []
+    for base in bases:
+        probe = base.copy()
+        axis = int(rng.integers(len(space)))
+        probe[axis] += int(rng.choice((-1, 1)))
+        probe = space.clip(probe)
+        system = plan.restamp(space.values(probe))
+        cold = solve_dc(system, x0=center_x.copy())
+        seed, _dist = store.nearest_seed("bench", sizing_key(probe),
+                                         system.size)
+        warm = solve_dc(system, x0=seed)
+        cold_iters.append(cold.iterations)
+        warm_iters.append(warm.iterations)
+    store.close()
+    return {
+        "n_probes": N_PROBES,
+        "cold_mean_iters": float(np.mean(cold_iters)),
+        "warm_mean_iters": float(np.mean(warm_iters)),
+        "iter_reduction": float(np.mean(cold_iters) - np.mean(warm_iters)),
+    }
+
+
+def _run(store_dir):
+    """Both experiments; returns (ascii table, JSON payload)."""
+    replay = _replay_experiment(store_dir)
+    warm = _warm_seed_experiment()
+    rows = [
+        ["cold walk (store off)", f"{replay['cold_s'] * 1e3:.1f}",
+         str(replay["cold_counter"]["fresh"]),
+         str(replay["cold_counter"]["cached"]), "-"],
+        ["fresh-process replay (disk)", f"{replay['replay_s'] * 1e3:.1f}",
+         str(replay["replay_counter"]["fresh"]),
+         str(replay["replay_counter"]["cached"]),
+         f"{replay['replay_speedup']:.1f}x"],
+        ["warm Newton seeds [iters/solve]",
+         f"{warm['cold_mean_iters']:.2f} -> {warm['warm_mean_iters']:.2f}",
+         "-", "-",
+         f"-{warm['iter_reduction']:.2f} it"],
+    ]
+    table = ascii_table(
+        ["leg", "time [ms] / iters", "fresh", "cached", "gain"],
+        rows,
+        title=(f"Result store: {TRACE_LEN}-step revisit walk replay + "
+               f"{N_PROBES} warm-seeded probe solves (five-transistor OTA)"))
+    return table, {"replay": replay, "warm_seeds": warm}
+
+
+def test_result_store(benchmark, tmp_path):
+    """Replay >=3x over the cold walk; warm seeds cut mean iterations."""
+    table, payload = benchmark.pedantic(_run, args=(tmp_path,),
+                                        iterations=1, rounds=1)
+    publish("result_store.txt", table)
+    publish_json("result_store", payload)
+    assert payload["replay"]["replay_speedup"] >= 3.0
+    assert payload["replay"]["bitwise_identical"]
+    assert payload["replay"]["replay_counter"]["fresh"] == 0
+    assert (payload["warm_seeds"]["warm_mean_iters"]
+            < payload["warm_seeds"]["cold_mean_iters"])

@@ -278,6 +278,10 @@ KNOBS = [
      "base exponential backoff between shard retry attempts"),
     ("REPRO_FAULTS", "profile", "",
      "deterministic fault injection (kill/exc/hang/delay/poison)"),
+    ("REPRO_CACHE", "off|mem|disk", "off",
+     "persistent result store + Newton warm-start cache"),
+    ("REPRO_CACHE_DIR", "path", ".repro-cache",
+     "disk-tier location of the REPRO_CACHE=disk store"),
     ("REPRO_MODAL_AC", "1|0", "1",
      "modal pole-residue AC fast path (0 forces direct solves)"),
     ("AUTOCKT_FULL", "0|1", "0",

@@ -97,6 +97,11 @@ class SizingEnv(Env):
         else:
             self._indices = self.space.center.copy()
         self._steps = 0
+        # One episode's final operating point must not seed the next
+        # episode's first solve: a reset is a jump across the grid, and
+        # warm state leaking between designs would make a trajectory's
+        # numerics depend on which episode ran before it.
+        getattr(self.simulator, "reset_warm_start", lambda: None)()
         self._observed = self.simulator.evaluate(self._indices)
         return self._observation()
 

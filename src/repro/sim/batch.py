@@ -48,6 +48,7 @@ from repro.circuits.mosfet import (
     eval_companion_batch,
     eval_ids_batch,
 )
+from repro.sim.dc import _POLISH_ITERS, _POLISH_STAG
 from repro.sim.system import MnaSystem
 from repro.units import BOLTZMANN
 
@@ -246,6 +247,14 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
     Returns ``(converged, iterations, fnorm)`` aligned with ``idx`` —
     the batched counterpart of ``repro.sim.dc._newton``, with converged
     designs dropping out of the stacked linear solve.
+
+    Like the scalar driver, designs that pass the residual gate stay in
+    the batch for up to ``_POLISH_ITERS`` extra polish rounds (skipped
+    once their step is below ``_POLISH_STAG``), which pins each endpoint
+    to the root at machine precision: warm-started and cold solves of
+    the same design agree to <= 1e-9 in the measured specs — the
+    :mod:`repro.sim.store` cold-equivalence contract.  A polish round
+    can only tighten an already-converged design, never un-converge it.
     """
     tpl = stack.template
     n, n1 = stack.size, stack.size + 1
@@ -254,6 +263,7 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
     dead = np.zeros(B, dtype=bool)        # singular-matrix designs
     iterations = np.zeros(B, dtype=np.int64)
     fnorm = np.full(B, np.inf)
+    polish = np.full(B, -1, dtype=np.int64)  # -1: converging; >=0: rounds left
     active = np.arange(B)                 # positions into idx
     diag = np.arange(stack.n_nodes)
     # Per-round work buffers, sliced to the active count (the active set
@@ -297,7 +307,11 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
         iterations[active] = it
         shrunk = False
         if singular.any():
-            dead[active[singular]] = True
+            # A design whose Jacobian degenerates *during polish* is
+            # already converged — drop it from the batch, keep the
+            # pre-polish iterate; only pre-convergence singularity kills.
+            sing_rows = active[singular]
+            dead[sing_rows[polish[sing_rows] < 0]] = True
             ok_rows = ~singular
             active = active[ok_rows]
             x_new, Xa = x_new[ok_rows], Xa[ok_rows]
@@ -311,7 +325,14 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
         if over.any():
             dx[over] *= (damping / step[over])[:, None]
         X[rows] = Xa + dx
-        check = step < vtol
+        drop = np.zeros(len(active), dtype=bool)
+        polishing = polish[active] >= 0
+        if polishing.any():
+            pol_rows = active[polishing]
+            polish[pol_rows] -= 1
+            finished = (polish[pol_rows] < 0) | (step[polishing] < _POLISH_STAG)
+            drop[np.nonzero(polishing)[0][finished]] = True
+        check = (step < vtol) & ~polishing
         if check.any():
             sub_local = np.nonzero(check)[0]
             sub = active[sub_local]
@@ -321,10 +342,13 @@ def _newton_batch(stack: SystemStack, X: np.ndarray, idx: np.ndarray,
             fnorm[sub] = fn
             if good.any():
                 converged[sub[good]] = True
-                stay = np.ones(len(active), dtype=bool)
-                stay[sub_local[good]] = False
-                active = active[stay]
-                shrunk = True
+                stag = (step[sub_local[good]] < _POLISH_STAG) \
+                    if _POLISH_ITERS > 0 else np.ones(int(good.sum()), dtype=bool)
+                polish[sub[good][~stag]] = _POLISH_ITERS
+                drop[sub_local[good][stag]] = True
+        if drop.any():
+            active = active[~drop]
+            shrunk = True
         if shrunk:
             # Active set shrank: re-subset the per-round operands.
             G_act = stack.G[idx[active]]

@@ -142,6 +142,17 @@ class OperatingPoint:
                 for name, st in self._states().items()}
 
 
+#: Newton-step size [V] below which an iterate counts as *stagnated*:
+#: quadratic convergence puts its error at ~step^2, i.e. the machine
+#: floor, so further polishing cannot move the endpoint.
+_POLISH_STAG = 1e-9
+
+#: Extra full Newton iterations taken after the ``itol`` residual gate
+#: passes (see :func:`_newton`).  One step from the ``vtol`` trust
+#: region (error <= ~1e-6 V) lands at ~1e-12 V.
+_POLISH_ITERS = 1
+
+
 def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
             max_iter: int, vtol: float, itol: float,
             damping: float) -> tuple[np.ndarray, int, float, bool]:
@@ -154,12 +165,25 @@ def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
     millivolt-scale steps) routinely saves a whole assemble+solve
     iteration per warm evaluation without weakening the ``itol`` quality
     gate.
+
+    Converged iterates are *polished* with up to :data:`_POLISH_ITERS`
+    extra Newton steps (skipped once the step is below
+    :data:`_POLISH_STAG`).  Polish pins the endpoint to the root at
+    machine precision, which makes the solved operating point a function
+    of the circuit alone — two solves from different seeds (canonical,
+    trajectory or a :mod:`repro.sim.store` warm start) return the same
+    specs to <= 1e-9, the store's cold-equivalence contract.  Polish can
+    only tighten an already-converged iterate; it never un-converges one.
     """
     x = x0.copy()
+    polish = -1          # -1: still converging; >= 0: polish steps left
+    fnorm = np.inf
     for iteration in range(1, max_iter + 1):
         A, rhs = system.newton_matrices(x, gmin=gmin, source_scale=source_scale)
         lu = _lu_factor(A)
         if lu is None:
+            if polish >= 0:
+                return x, iteration, fnorm, True
             return x, iteration, np.inf, False
         x_new = _lu_solve(lu, rhs)
         dx = np.subtract(x_new, x, out=x_new)
@@ -167,13 +191,22 @@ def _newton(system: MnaSystem, x0: np.ndarray, gmin: float, source_scale: float,
         if step > damping:
             dx *= damping / step
         np.add(x, dx, out=x)
+        if polish >= 0:
+            polish -= 1
+            if polish < 0 or step < _POLISH_STAG:
+                return x, iteration, fnorm, True
+            continue
         if step < vtol:
             f = system.residual(x, source_scale=source_scale)
             if gmin > 0.0:
                 f[:system.n_nodes] += gmin * x[:system.n_nodes]
             fnorm = float(np.max(np.abs(f))) if f.size else 0.0
             if fnorm < itol:
-                return x, iteration, fnorm, True
+                if _POLISH_ITERS <= 0 or step < _POLISH_STAG:
+                    return x, iteration, fnorm, True
+                polish = _POLISH_ITERS
+    if polish >= 0:
+        return x, max_iter, fnorm, True
     f = system.residual(x, source_scale=source_scale)
     return x, max_iter, float(np.max(np.abs(f))), False
 

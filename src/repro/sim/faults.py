@@ -65,6 +65,15 @@ BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 #: Event directive kinds (one-shot, per original worker incarnation).
 _EVENT_KINDS = ("kill", "exc", "hang", "delay")
 
+#: Per-row result provenance codes (``BatchReport.provenance``): a cold
+#: Newton solve from the canonical seed, a solve seeded from the
+#: persistent warm-start store, an exact hit replayed from the
+#: persistent result store, and a per-simulator memo hit.
+PROV_COLD = 0
+PROV_WARM = 1
+PROV_HIT = 2
+PROV_MEMO = 3
+
 
 @dataclasses.dataclass(frozen=True)
 class SupervisorConfig:
@@ -290,9 +299,13 @@ class BatchReport:
     Arrays are indexed by design row: ``attempts`` counts solve
     attempts that touched the row (1 = clean first try), ``latency``
     is seconds from submit to the row's final result, ``quarantined``
-    marks rows charged pessimistic failure measurements.  ``faults``
-    lists every supervision event in occurrence order; ``respawns``
-    and ``retries`` count worker replacements and re-dispatches.
+    marks rows charged pessimistic failure measurements, and
+    ``provenance`` records how each row's result was obtained
+    (:data:`PROV_COLD` / :data:`PROV_WARM` / :data:`PROV_HIT` /
+    :data:`PROV_MEMO` — cold solve, store-warm-started solve, exact
+    store hit, memo hit).  ``faults`` lists every supervision event in
+    occurrence order; ``respawns`` and ``retries`` count worker
+    replacements and re-dispatches.
     """
 
     n_designs: int
@@ -302,6 +315,7 @@ class BatchReport:
     attempts: np.ndarray = None
     latency: np.ndarray = None
     quarantined: np.ndarray = None
+    provenance: np.ndarray = None
 
     def __post_init__(self):
         """Allocate the per-row arrays when not provided."""
@@ -311,6 +325,8 @@ class BatchReport:
             self.latency = np.zeros(self.n_designs, dtype=np.float64)
         if self.quarantined is None:
             self.quarantined = np.zeros(self.n_designs, dtype=bool)
+        if self.provenance is None:
+            self.provenance = np.zeros(self.n_designs, dtype=np.int8)
 
     @property
     def clean(self) -> bool:
@@ -339,6 +355,7 @@ class BatchReport:
                 out.attempts[r] = self.attempts[i]
                 out.latency[r] = self.latency[i]
                 out.quarantined[r] = self.quarantined[i]
+                out.provenance[r] = self.provenance[i]
         for fault in self.faults:
             rows = tuple(sorted(r for i in fault.rows
                                 for r in row_map.get(i, ())))

@@ -155,5 +155,11 @@ class ParameterSpace:
         return 2.0 * indices / span - 1.0
 
     def as_key(self, indices: np.ndarray) -> tuple[int, ...]:
-        """Hashable cache key for an index vector."""
-        return tuple(int(i) for i in np.asarray(indices, dtype=np.int64))
+        """Hashable cache key for an index vector.
+
+        Delegates to :func:`repro.sim.cache.sizing_key` — the one
+        quantization helper shared with the batch dedupe keys and the
+        persistent store digests, so the three can never drift apart.
+        """
+        from repro.sim.cache import sizing_key
+        return sizing_key(indices)

@@ -65,10 +65,10 @@ class TestCounterAccounting:
                             for _ in range(4)])
         pex.reset_counter()
         pex.evaluate_batch(designs)
-        assert pex.counter.snapshot() == {"fresh": 4, "cached": 0, "total": 4}
+        assert pex.counter.snapshot() == {"fresh": 4, "cached": 0, "warm_started": 0, "total": 4}
         # Re-evaluating the same designs is all cache hits.
         pex.evaluate_batch(designs)
-        assert pex.counter.snapshot() == {"fresh": 4, "cached": 4, "total": 8}
+        assert pex.counter.snapshot() == {"fresh": 4, "cached": 4, "warm_started": 0, "total": 8}
         # Duplicates inside one batch count like sequential cache hits.
         row = pex.parameter_space.center + 1
         pex.reset_counter()

@@ -11,7 +11,7 @@ class TestCounter:
         c.fresh += 3
         c.cached += 2
         assert c.total == 5
-        assert c.snapshot() == {"fresh": 3, "cached": 2, "total": 5}
+        assert c.snapshot() == {"fresh": 3, "cached": 2, "warm_started": 0, "total": 5}
 
     def test_reset(self):
         c = SimulationCounter()

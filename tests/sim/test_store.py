@@ -1,0 +1,425 @@
+"""Persistent result store + Newton warm-start cache (REPRO_CACHE).
+
+Pins the tentpole contracts of the store layer:
+
+* exact hits replay the recorded spec row **bit for bit**, are charged
+  ``cached`` and never touch the engine;
+* store-warm-started solves are charged ``fresh`` (sub-counted
+  ``warm_started``) and stay spec-equivalent to cold solves within
+  1e-9 across one-grid-step deltas, on both engine backends;
+* a corrupted/truncated disk store is detected and rebuilt, never
+  crashing an evaluation;
+* concurrent ShardPool workers share one disk store safely;
+* ``reset_warm_start`` drops per-trajectory state (and the RL env
+  resets it every episode) without disturbing the content-addressed
+  store seeds.
+"""
+
+import contextlib
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.env import SizingEnv
+from repro.pex.extraction import PexSimulator
+from repro.sim.cache import sizing_key
+from repro.sim.faults import PROV_HIT, PROV_WARM, BatchReport
+from repro.sim.store import (CACHE_DIR_ENV, CACHE_ENV, EvaluationStore,
+                             _WarmIndex, cache_mode, get_store, reset_store,
+                             scope_digest)
+from repro.topologies import (FiveTransistorOta, SchematicSimulator,
+                              TwoStageOpAmp)
+
+
+@contextlib.contextmanager
+def store_env(mode, directory=None):
+    """Set the store knobs for one test block, always restoring and
+    dropping the process-wide stores afterwards."""
+    saved = {k: os.environ.get(k) for k in (CACHE_ENV, CACHE_DIR_ENV)}
+    os.environ[CACHE_ENV] = mode
+    if directory is not None:
+        os.environ[CACHE_DIR_ENV] = str(directory)
+    else:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    reset_store()
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        reset_store()
+
+
+@pytest.fixture(autouse=True)
+def _clean_store_state():
+    reset_store()
+    yield
+    reset_store()
+
+
+class TestKnobs:
+    def test_mode_parsing(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert cache_mode() == "off"
+        monkeypatch.setenv(CACHE_ENV, "mem")
+        assert cache_mode() == "mem"
+        monkeypatch.setenv(CACHE_ENV, "DISK ")
+        assert cache_mode() == "disk"
+        monkeypatch.setenv(CACHE_ENV, "banana")
+        assert cache_mode() == "off"
+
+    def test_get_store_off_and_singleton(self):
+        with store_env("off"):
+            assert get_store() is None
+        with store_env("mem"):
+            assert get_store() is get_store()
+
+    def test_scope_digest_orders_and_separates(self):
+        a = scope_digest(("x", 1, "dense"))
+        assert a == scope_digest(("x", 1, "dense"))
+        assert a != scope_digest(("x", 1, "sparse"))
+        assert len(a) == 16
+
+
+class TestWarmIndex:
+    def test_nearest_and_replace(self):
+        idx = _WarmIndex(capacity=8)
+        idx.record((0, 0), np.array([1.0, 2.0]))
+        idx.record((3, 3), np.array([3.0, 4.0]))
+        x, d = idx.nearest((1, 0), size=2)
+        assert d == 1 and x[0] == 1.0
+        idx.record((0, 0), np.array([9.0, 9.0]))   # in-place replace
+        x, d = idx.nearest((0, 0), size=2)
+        assert d == 0 and x[0] == 9.0
+        assert idx.n == 2                          # no duplicate slot
+
+    def test_ring_overwrite_beyond_capacity(self):
+        idx = _WarmIndex(capacity=4)
+        for i in range(6):
+            idx.record((i,), np.array([float(i)]))
+        assert idx.n == 4
+        # the two oldest sizings were retired
+        x, d = idx.nearest((0,), size=1)
+        assert d >= 2
+
+    def test_size_guard(self):
+        idx = _WarmIndex(capacity=4)
+        idx.record((1,), np.array([1.0, 2.0, 3.0]))
+        assert idx.nearest((1,), size=5) is None
+
+
+class TestExactTier:
+    def test_mem_roundtrip_and_lru(self):
+        store = EvaluationStore("mem", capacity=2)
+        row = np.array([1.5, -2.25, 3.125])
+        store.put_result("s", (1, 2), row)
+        got = store.get_result("s", (1, 2))
+        assert got.tolist() == row.tolist()
+        store.put_result("s", (3, 4), row)
+        store.put_result("s", (5, 6), row)          # evicts (1, 2)
+        assert store.get_result("s", (1, 2)) is None
+        assert store.stats.puts == 3
+
+    def test_disk_survives_process_restart(self, tmp_path):
+        row = np.array([0.1, 0.2])
+        store = EvaluationStore("disk", tmp_path)
+        store.put_result("s", (7,), row)
+        store.record_seed("s", (7,), np.array([1.0, 2.0, 3.0]))
+        store.close()
+        fresh = EvaluationStore("disk", tmp_path)   # "another process"
+        assert fresh.get_result("s", (7,)).tolist() == row.tolist()
+        near = fresh.nearest_seed("s", (8,), size=3)
+        assert near is not None and near[1] == 1
+        fresh.close()
+
+    def test_scopes_never_exchange_rows(self):
+        store = EvaluationStore("mem")
+        store.put_result("scope-a", (1,), np.array([1.0]))
+        assert store.get_result("scope-b", (1,)) is None
+        store.record_seed("scope-a", (1,), np.array([1.0]))
+        assert store.nearest_seed("scope-b", (1,), size=1) is None
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_rebuilt(self, tmp_path):
+        (tmp_path / "store.sqlite").write_bytes(b"this is not sqlite" * 64)
+        store = EvaluationStore("disk", tmp_path)
+        assert store.stats.rebuilds == 1
+        store.put_result("s", (1,), np.array([1.0]))
+        assert store.get_result("s", (1,)) is not None
+        store.close()
+
+    def test_truncated_file_rebuilt(self, tmp_path):
+        store = EvaluationStore("disk", tmp_path)
+        store.put_result("s", (1,), np.array([1.0]))
+        store.close()
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(path.read_bytes()[:100])   # truncate mid-header
+        fresh = EvaluationStore("disk", tmp_path)
+        assert fresh.stats.rebuilds == 1
+        assert fresh.get_result("s", (1,)) is None  # rebuilt empty, no crash
+        fresh.close()
+
+    def test_schema_mismatch_starts_fresh(self, tmp_path):
+        store = EvaluationStore("disk", tmp_path)
+        store._conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES ('schema', '999')")
+        store._conn.commit()
+        store.close()
+        fresh = EvaluationStore("disk", tmp_path)
+        assert fresh.stats.rebuilds == 1
+        fresh.close()
+
+    def test_end_to_end_corrupted_store_never_crashes(self, tmp_path):
+        (tmp_path / "store.sqlite").write_bytes(b"\x00" * 512)
+        with store_env("disk", tmp_path):
+            sim = SchematicSimulator(FiveTransistorOta(), cache=False)
+            specs = sim.evaluate(sim.parameter_space.center)
+        assert np.isfinite(list(specs.values())).all()
+
+
+def _rel_close(a, b, tol=1e-9):
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+class TestSimulatorIntegration:
+    def test_exact_hit_bitwise_and_charged_cached(self):
+        t1, t2 = FiveTransistorOta(), FiveTransistorOta()
+        idx = t1.parameter_space.center
+        with store_env("mem"):
+            cold_sim = SchematicSimulator(t1, cache=False)
+            cold = cold_sim.evaluate(idx)
+            assert cold_sim.counter.snapshot()["fresh"] == 1
+            hit_sim = SchematicSimulator(t2, cache=False)
+            hit = hit_sim.evaluate(idx)
+            snap = hit_sim.counter.snapshot()
+        assert snap == {"fresh": 0, "cached": 1, "warm_started": 0,
+                        "total": 1}
+        for name in cold:
+            assert hit[name] == cold[name]          # bitwise replay
+
+    def test_batch_exact_hits_bitwise_with_provenance(self):
+        t1, t2 = TwoStageOpAmp(), TwoStageOpAmp()
+        rng = np.random.default_rng(3)
+        designs = np.stack([t1.parameter_space.sample(rng) for _ in range(5)])
+        with store_env("mem"):
+            cold = SchematicSimulator(t1, cache=False).evaluate_batch(designs)
+            hit_sim = SchematicSimulator(t2, cache=False)
+            hit = hit_sim.evaluate_batch(designs)
+            report = hit_sim.last_batch_report
+            snap = hit_sim.counter.snapshot()
+        assert snap["cached"] == 5 and snap["fresh"] == 0
+        assert (report.provenance == PROV_HIT).all()
+        for a, b in zip(cold, hit):
+            for name in a:
+                assert b[name] == a[name]
+
+    def test_warm_started_charged_fresh_and_subcounted(self):
+        topology = FiveTransistorOta()
+        center = topology.parameter_space.center
+        step = center.copy()
+        step[0] += 1
+        with store_env("mem"):
+            sim = SchematicSimulator(topology, cache=False)
+            sim.evaluate(center)
+            sim.reset_warm_start()   # drop the trajectory seed
+            sim.evaluate(step)       # nearest store seed: the centre
+            snap = sim.counter.snapshot()
+        assert snap["fresh"] == 2
+        assert snap["warm_started"] == 1
+        assert snap["cached"] == 0
+
+    def test_batch_warm_rows_marked_in_report(self):
+        t1, t2 = TwoStageOpAmp(), TwoStageOpAmp()
+        rng = np.random.default_rng(11)
+        designs = np.stack([t1.parameter_space.sample(rng) for _ in range(4)])
+        shifted = designs.copy()
+        shifted[:, 0] = np.clip(shifted[:, 0] + 1, 0,
+                                t1.parameter_space.counts[0] - 1)
+        with store_env("mem"):
+            SchematicSimulator(t1, cache=False).evaluate_batch(designs)
+            warm_sim = SchematicSimulator(t2, cache=False)
+            warm_sim.evaluate_batch(shifted)
+            report = warm_sim.last_batch_report
+            snap = warm_sim.counter.snapshot()
+        warm = report.provenance == PROV_WARM
+        assert warm.any()
+        assert snap["warm_started"] == int(warm.sum())
+
+    def test_store_off_is_bit_identical_accounting(self):
+        with store_env("off"):
+            sim = SchematicSimulator(FiveTransistorOta(), cache=False)
+            designs = np.stack([sim.parameter_space.center] * 3)
+            sim.evaluate_batch(designs)
+            # historical uncached policy: every row fresh, dups re-solved
+            assert sim.counter.snapshot() == {
+                "fresh": 3, "cached": 0, "warm_started": 0, "total": 3}
+
+
+class TestWarmColdEquivalence:
+    """Warm-vs-cold spec equivalence <= 1e-9 across one-grid-step deltas."""
+
+    _topologies = {}
+
+    @classmethod
+    def _topology(cls, engine):
+        t = cls._topologies.get(engine)
+        if t is None:
+            os.environ["REPRO_ENGINE"] = engine
+            try:
+                t = cls._topologies[engine] = FiveTransistorOta()
+            finally:
+                os.environ.pop("REPRO_ENGINE", None)
+        return t
+
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_one_step_delta(self, engine, data):
+        topology = self._topology(engine)
+        space = topology.parameter_space
+        idx = np.array([data.draw(st.integers(0, int(c) - 1), label="idx")
+                        for c in space.counts], dtype=np.int64)
+        axis = data.draw(st.integers(0, len(space) - 1), label="axis")
+        sign = data.draw(st.sampled_from([-1, 1]), label="sign")
+        neighbor = space.clip(idx.copy())
+        neighbor[axis] = np.clip(neighbor[axis] + sign, 0,
+                                 space.counts[axis] - 1)
+        with store_env("off"):
+            topology.reset_warm_start()
+            cold = SchematicSimulator(topology, cache=False).evaluate(idx)
+        with store_env("mem"):
+            topology.reset_warm_start()
+            warm_sim = SchematicSimulator(topology, cache=False)
+            warm_sim.evaluate(neighbor)      # populate the warm tier
+            topology.reset_warm_start()      # force the store seed path
+            warm = warm_sim.evaluate(idx)
+        for name in cold:
+            assert _rel_close(cold[name], warm[name]), (
+                f"{name}: cold {cold[name]!r} vs warm {warm[name]!r}")
+
+
+class TestShardedStore:
+    def test_concurrent_workers_share_disk_store(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        rng = np.random.default_rng(7)
+        with store_env("disk", tmp_path):
+            sim = SchematicSimulator(TwoStageOpAmp(), cache=False)
+            designs = np.stack([sim.parameter_space.sample(rng)
+                                for _ in range(8)])
+            try:
+                first = sim.evaluate_batch(designs)
+                assert sim.counter.snapshot()["fresh"] == 8
+                # replay: every row resolves from the shared store
+                second = sim.evaluate_batch(designs)
+            finally:
+                sim.close_shard_pool()
+            snap = sim.counter.snapshot()
+            store = get_store()
+            assert store.stats.dropped_writes == 0
+        assert snap["cached"] == 8
+        for a, b in zip(first, second):
+            for name in a:
+                assert b[name] == a[name]
+        assert (tmp_path / "store.sqlite").exists()
+
+
+class TestWarmStartReset:
+    def test_reset_clears_trajectory_state(self):
+        topology = FiveTransistorOta()
+        sim = SchematicSimulator(topology, cache=False)
+        sim.evaluate(topology.parameter_space.center)
+        assert topology._warm_x is not None
+        sim.reset_warm_start()
+        assert topology._warm_x is None
+        assert topology.last_warm_rows == []
+        assert topology.last_solve_warm is False
+
+    def test_env_reset_resets_warm_state_each_episode(self):
+        topology = FiveTransistorOta()
+        sim = SchematicSimulator(topology, cache=False)
+        calls = []
+        original = sim.reset_warm_start
+        sim.reset_warm_start = lambda: (calls.append(1), original())
+        env = SizingEnv(sim, seed=0)
+        env.reset()
+        env.step([2] * len(sim.parameter_space))
+        env.reset()
+        assert len(calls) == 2
+
+    def test_store_seeds_survive_reset_and_respect_it(self):
+        topology = FiveTransistorOta()
+        center = topology.parameter_space.center
+        with store_env("mem"):
+            sim = SchematicSimulator(topology, cache=False)
+            sim.evaluate(center)
+            sim.reset_warm_start()
+            step = center.copy()
+            step[0] += 1
+            sim.evaluate(step)
+            # the solve after a reset used the store, not the trajectory
+            assert sim.counter.snapshot()["warm_started"] == 1
+
+    def test_no_cross_topology_leak(self):
+        with store_env("mem"):
+            ota = SchematicSimulator(FiveTransistorOta(), cache=False)
+            amp = SchematicSimulator(TwoStageOpAmp(), cache=False)
+            assert ota._store_scope() != amp._store_scope()
+            ota.evaluate(ota.parameter_space.center)
+            store = get_store()
+            # the op-amp's scope has no seed from the OTA's evaluations
+            assert store.nearest_seed(
+                amp._store_scope(), sizing_key(amp.parameter_space.center),
+                size=8) is None
+
+    def test_pex_reset_clears_per_corner_warm(self):
+        pex = PexSimulator(FiveTransistorOta, cache=False)
+        pex.evaluate_percorner(pex.parameter_space.center)
+        assert pex._warm
+        pex.reset_warm_start()
+        assert not pex._warm
+
+
+class TestPexStore:
+    def test_pex_exact_hit_and_warm_accounting(self):
+        with store_env("mem"):
+            pex1 = PexSimulator(FiveTransistorOta, cache=False)
+            center = pex1.parameter_space.center
+            cold = pex1.evaluate(center)
+            pex2 = PexSimulator(FiveTransistorOta, cache=False)
+            hit = pex2.evaluate(center)
+            assert pex2.counter.snapshot()["cached"] == 1
+            for name in cold:
+                assert hit[name] == cold[name]
+            step = center.copy()
+            step[0] += 1
+            pex2.evaluate(step)
+            snap = pex2.counter.snapshot()
+        assert snap["fresh"] == 1
+        assert snap["warm_started"] == 1
+
+
+class TestKeyUnification:
+    def test_one_quantizer_everywhere(self):
+        space = FiveTransistorOta().parameter_space
+        idx = space.center
+        assert space.as_key(idx) == sizing_key(idx)
+        assert sizing_key(np.asarray(idx, dtype=np.int32)) == sizing_key(idx)
+        assert sizing_key([float(i) for i in idx]) == sizing_key(idx)
+
+
+class TestProvenanceReport:
+    def test_report_allocates_and_translates_provenance(self):
+        report = BatchReport(3)
+        assert report.provenance.tolist() == [0, 0, 0]
+        report.provenance[1] = PROV_WARM
+        out = report.translate({0: [2], 1: [0], 2: [1]}, 3)
+        assert out.provenance[0] == PROV_WARM

@@ -25,6 +25,7 @@ STRICT_MODULES = (
     "repro.sim.faults",
     "repro.sim.parallel",
     "repro.sim.sparse",
+    "repro.sim.store",
     "repro.rl.parallel",
     "repro.rl.async_env",
     "repro.measure.pipeline",

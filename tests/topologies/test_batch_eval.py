@@ -47,9 +47,9 @@ def test_batch_uses_and_fills_cache():
     designs = np.stack([sim.parameter_space.sample(rng) for _ in range(5)])
     sim.reset_counter()
     first = sim.evaluate_batch(designs)
-    assert sim.counter.snapshot() == {"fresh": 5, "cached": 0, "total": 5}
+    assert sim.counter.snapshot() == {"fresh": 5, "cached": 0, "warm_started": 0, "total": 5}
     second = sim.evaluate_batch(designs)
-    assert sim.counter.snapshot() == {"fresh": 5, "cached": 5, "total": 10}
+    assert sim.counter.snapshot() == {"fresh": 5, "cached": 5, "warm_started": 0, "total": 10}
     for a, b in zip(first, second):
         assert a == b
 
