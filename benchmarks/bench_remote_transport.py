@@ -1,0 +1,158 @@
+"""Remote shard transport overhead and drop-recovery cost (beyond the
+paper).
+
+``REPRO_WORKERS`` swaps the shard pool's transport from local pipes +
+shared memory to TCP without touching the supervisor
+(`docs/architecture.md`, "Distributed evaluation").  This bench pins
+what that substitution costs on loopback, where the network is free and
+every measured microsecond is pure transport/serialisation overhead:
+
+* in-process batched evaluation (no pool at all);
+* the local 2-shard pool (pipes + shared memory);
+* two remote loopback workers (``repro worker`` subprocesses);
+* the remote pool under ``drop@1`` — one severed connection mid-batch,
+  recovered by reconnect + shard re-run.
+
+Every pooled batch is asserted bitwise equal to the in-process engine
+on the same shard decomposition — the bench measures transport cost,
+never a different answer.  Pools are warmed with one clean batch first
+so spawn/connect/first-touch time is excluded from the steady-state
+rows (the drop directive fires on the worker's second eval).
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.analysis import ascii_table
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+from benchmarks._harness import FULL_SCALE, publish, publish_json
+
+N_DESIGNS = 64 if FULL_SCALE else 24
+N_WORKERS = 2
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spawn_workers():
+    """Start N_WORKERS `repro worker tia` subprocesses on loopback.
+
+    Returns (procs, "host:port,host:port") after every worker printed
+    its readiness line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    for var in ("REPRO_WORKERS", "REPRO_FAULTS", "REPRO_SHARDS"):
+        env.pop(var, None)
+    procs, addresses = [], []
+    for _ in range(N_WORKERS):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker", "tia",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True)
+        line = proc.stdout.readline()
+        assert "listening on" in line, f"worker failed to start: {line!r}"
+        addresses.append(line.strip().rpartition(" ")[2])
+        procs.append(proc)
+    return procs, ",".join(addresses)
+
+
+def _timed_batch(designs, env, warmups=1):
+    """Warm a fresh simulator under ``env`` knobs, then time one batch."""
+    saved = {k: os.environ.get(k) for k in
+             ("REPRO_SHARDS", "REPRO_WORKERS", "REPRO_FAULTS",
+              "REPRO_RETRY_BACKOFF")}
+    os.environ.update({k: v for k, v in env.items() if v is not None})
+    for k, v in env.items():
+        if v is None:
+            os.environ.pop(k, None)
+    sim = SchematicSimulator(TransimpedanceAmplifier(), cache=False)
+    try:
+        for _ in range(warmups):
+            sim.evaluate_batch(designs)
+        started = time.perf_counter()
+        specs = sim.evaluate_batch(designs)
+        elapsed = time.perf_counter() - started
+        return elapsed, specs, sim.last_batch_report
+    finally:
+        sim.close_shard_pool()
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _run():
+    sim = SchematicSimulator(TransimpedanceAmplifier(), cache=False)
+    rng = np.random.default_rng(23)
+    designs = np.stack([sim.parameter_space.sample(rng)
+                        for _ in range(N_DESIGNS)])
+
+    procs, workers = _spawn_workers()
+    try:
+        cases = [
+            ("in-process", {"REPRO_SHARDS": None, "REPRO_WORKERS": None,
+                            "REPRO_FAULTS": None}),
+            ("local pool (shm)", {"REPRO_SHARDS": str(N_WORKERS),
+                                  "REPRO_WORKERS": None,
+                                  "REPRO_FAULTS": None}),
+            ("remote loopback", {"REPRO_SHARDS": None,
+                                 "REPRO_WORKERS": workers,
+                                 "REPRO_FAULTS": None}),
+            ("remote + drop@2", {"REPRO_SHARDS": None,
+                                 "REPRO_WORKERS": workers,
+                                 "REPRO_FAULTS": "drop@2",
+                                 "REPRO_RETRY_BACKOFF": "0"}),
+        ]
+        rows, payload = [], {"n_designs": N_DESIGNS,
+                             "n_workers": N_WORKERS, "cases": {}}
+        base_specs = base_time = remote_time = None
+        for label, env in cases:
+            elapsed, specs, report = _timed_batch(designs, env)
+            if label == "in-process":
+                base_specs, base_time = specs, elapsed
+            if label == "remote loopback":
+                remote_time = elapsed
+            equal = specs == base_specs
+            assert equal, f"case {label!r} changed the batch results"
+            throughput = N_DESIGNS / elapsed
+            rows.append([label, f"{elapsed * 1e3:.1f}",
+                         f"{throughput:.0f}",
+                         f"{elapsed / base_time:.2f}x",
+                         str(report.respawns), "yes" if equal else "NO"])
+            payload["cases"][label] = {
+                "batch_s": elapsed,
+                "designs_per_s": throughput,
+                "vs_in_process": elapsed / base_time,
+                "respawns": report.respawns,
+                "bitwise_equal": bool(equal),
+            }
+        payload["drop_recovery_overhead"] = (
+            payload["cases"]["remote + drop@2"]["batch_s"] / remote_time)
+        table = ascii_table(
+            ["case", "batch [ms]", "designs/s", "vs in-proc", "respawns",
+             "bitwise"],
+            rows,
+            title=(f"Remote shard transport ({N_DESIGNS} designs, "
+                   f"{N_WORKERS} workers, loopback, warm pools)"))
+        return table, payload
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_remote_transport(benchmark):
+    table, payload = benchmark.pedantic(_run, iterations=1, rounds=1)
+    publish("remote_transport.txt", table)
+    publish_json("remote_transport", payload)
+    drop = payload["cases"]["remote + drop@2"]
+    assert drop["respawns"] >= 1 and drop["bitwise_equal"]
+    assert payload["cases"]["remote loopback"]["bitwise_equal"]
+    assert payload["drop_recovery_overhead"] >= 1.0

@@ -144,6 +144,17 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_fault_recovery.py",
             ("repro.sim.parallel", "repro.sim.faults")),
         Experiment(
+            "remote_transport", "Remote shard workers over sockets",
+            "Beyond the paper: REPRO_WORKERS puts the same supervised "
+            "shard workers behind TCP (repro worker / repro serve) with "
+            "results bitwise-identical to the local pool; this bench "
+            "measures the loopback transport overhead versus in-process "
+            "and shared-memory evaluation and the cost of recovering a "
+            "dropped connection mid-batch",
+            "benchmarks/bench_remote_transport.py",
+            ("repro.sim.remote", "repro.sim.parallel",
+             "repro.topologies.base")),
+        Experiment(
             "result_store", "Content-addressed result store & warm starts",
             "Beyond the paper: the persistent evaluation store "
             "(REPRO_CACHE) replays exact hits bitwise without touching "

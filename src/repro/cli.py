@@ -13,6 +13,10 @@ writing any Python:
 * ``sweep``           — sweep one parameter, plot every spec;
 * ``montecarlo``      — mismatch Monte Carlo of one sizing;
 * ``poles``           — pole analysis / stability verdict;
+* ``worker``          — host a remote shard worker on a TCP port
+  (evaluation backend for ``REPRO_WORKERS`` / ``repro serve``);
+* ``serve``           — stateless sizing-evaluation front-end answering
+  newline-delimited JSON queries over a socket;
 * ``experiments``     — list the paper-experiment registry;
 * ``knobs``           — list the runtime knobs (``REPRO_*``; see
   ``docs/knobs.md``).
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -254,6 +259,41 @@ def cmd_datasheet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(text: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` listen address (port 0 = ephemeral)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"bad --listen address {text!r}: expected HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"bad --listen port in {text!r}") from None
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Host a remote shard worker for one topology on a TCP port."""
+    from repro.sim.remote import serve_worker
+
+    topo = _topology(args.topology)
+    host, port = _parse_listen(args.listen)
+    # A worker is a leaf: it must never recurse into remote evaluation.
+    os.environ.pop("REPRO_WORKERS", None)
+    serve_worker(host, port, SchematicSimulator(topo, cache=False))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the stateless sizing-evaluation front-end for one topology."""
+    from repro.sim.remote import WORKERS_ENV, serve_queries
+
+    if args.workers:
+        os.environ[WORKERS_ENV] = args.workers
+    topo = _topology(args.topology)
+    host, port = _parse_listen(args.listen)
+    serve_queries(host, port, SchematicSimulator(topo))
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     """List the paper-experiment registry."""
     rows = [[e.key, e.title, e.bench] for e in EXPERIMENTS.values()]
@@ -268,6 +308,8 @@ KNOBS = [
      "linear-algebra backend (auto: sparse at >= 128 unknowns)"),
     ("REPRO_SHARDS", "int >= 1", "1",
      "multicore shard-pool workers for batched evaluation"),
+    ("REPRO_WORKERS", "host:port,...", "",
+     "remote shard workers (repro worker); overrides REPRO_SHARDS"),
     ("REPRO_ASYNC", "0|1", "0",
      "double-buffered async rollout pipeline (RL + baselines)"),
     ("REPRO_TIMEOUT", "seconds >= 0", "0",
@@ -379,6 +421,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("topology", choices=sorted(TOPOLOGIES))
     p.add_argument("--indices", help="comma-separated grid indices")
     p.set_defaults(fn=cmd_datasheet)
+
+    p = sub.add_parser("worker",
+                       help="host a remote shard worker (REPRO_WORKERS "
+                            "backend)")
+    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("--listen", default="127.0.0.1:0",
+                   help="HOST:PORT to listen on (port 0 = ephemeral; the "
+                        "bound port is printed on the readiness line)")
+    p.set_defaults(fn=cmd_worker)
+
+    p = sub.add_parser("serve",
+                       help="stateless sizing front-end (newline JSON "
+                            "queries in, spec rows out)")
+    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("--listen", default="127.0.0.1:0",
+                   help="HOST:PORT to listen on (port 0 = ephemeral)")
+    p.add_argument("--workers", default="",
+                   help="host:port,... of repro worker processes to "
+                        "evaluate on (default: in this process)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("experiments", help="list the paper experiments")
     p.set_defaults(fn=cmd_experiments)

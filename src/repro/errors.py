@@ -67,6 +67,16 @@ class WorkerCrashFault(EvaluationFault):
     so a respawned worker reproduces the lost shard bitwise."""
 
 
+class ConnectionDropFault(EvaluationFault):
+    """The transport to a worker was severed mid-evaluation (socket
+    reset, injected ``drop`` directive, network partition).
+
+    Retryable: the supervisor treats a dropped connection exactly like a
+    killed local worker — the slot is respawned (reconnected, for remote
+    workers) and the lost shard re-runs bitwise identically from the
+    same canonical warm seeds."""
+
+
 class TimeoutFault(EvaluationFault):
     """A worker blew its per-attempt deadline (``REPRO_TIMEOUT``) and was
     killed by the supervisor.  Retryable — a transient stall (page cache,

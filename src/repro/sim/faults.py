@@ -16,9 +16,10 @@ Profile syntax (comma-separated directives)::
     REPRO_FAULTS="exc@2#1"           # worker 1 raises on its 2nd eval
     REPRO_FAULTS="hang@1"            # worker 0 sleeps forever on eval 1
     REPRO_FAULTS="delay@1:0.2"       # worker 0 delays reply 1 by 0.2 s
+    REPRO_FAULTS="drop@1"            # worker 0 severs its transport on eval 1
     REPRO_FAULTS="poison@3f2a9c0d11ee"   # design digest always raises
 
-``kill``/``exc``/``hang``/``delay`` are *event* directives: they count a
+``kill``/``exc``/``hang``/``delay``/``drop`` are *event* directives: they count a
 worker's ``eval`` requests (1-based) and fire once — a respawned worker
 does not inherit them, otherwise recovery would re-trigger the fault
 forever.  ``poison`` is a *content* directive: it follows the design
@@ -48,7 +49,8 @@ import time
 
 import numpy as np
 
-from repro.errors import PoisonDesignFault, SolveFault, TrainingError
+from repro.errors import (ConnectionDropFault, PoisonDesignFault, SolveFault,
+                          TrainingError)
 
 #: Environment variable holding the fault-injection profile (default none).
 FAULTS_ENV = "REPRO_FAULTS"
@@ -63,7 +65,7 @@ RETRIES_ENV = "REPRO_RETRIES"
 BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
 #: Event directive kinds (one-shot, per original worker incarnation).
-_EVENT_KINDS = ("kill", "exc", "hang", "delay")
+_EVENT_KINDS = ("kill", "exc", "hang", "delay", "drop")
 
 #: Per-row result provenance codes (``BatchReport.provenance``): a cold
 #: Newton solve from the canonical seed, a solve seeded from the
@@ -125,18 +127,33 @@ class SupervisorConfig:
                    retries=int(_read(RETRIES_ENV, cls.retries, int)),
                    backoff=_read(BACKOFF_ENV, cls.backoff, float))
 
-    def sleep_before(self, attempt: int) -> None:
-        """Exponential backoff before retry ``attempt`` (1-based)."""
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds of exponential backoff before retry ``attempt``
+        (1-based); 0.0 when backoff is disabled.  The shard supervisor
+        turns this into a per-job ``not_before`` timestamp instead of
+        sleeping, so one flaky shard's backoff never stalls replies from
+        healthy workers."""
         if self.backoff > 0 and attempt >= 1:
-            time.sleep(self.backoff * (2.0 ** (attempt - 1)))
+            return self.backoff * (2.0 ** (attempt - 1))
+        return 0.0
+
+    def sleep_before(self, attempt: int) -> None:
+        """Exponential backoff before retry ``attempt`` (1-based).
+
+        The blocking convenience for single-threaded callers; the shard
+        supervisor uses the non-blocking :meth:`backoff_delay` form."""
+        delay = self.backoff_delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
 
 
 @dataclasses.dataclass(frozen=True)
 class FaultDirective:
     """One parsed ``REPRO_FAULTS`` token.
 
-    ``kind`` is one of ``kill``/``exc``/``hang``/``delay`` (event
-    directives firing once on the ``at``-th eval of worker ``worker``)
+    ``kind`` is one of ``kill``/``exc``/``hang``/``delay``/``drop``
+    (event directives firing once on the ``at``-th eval of worker
+    ``worker``)
     or ``poison`` (content directive matching the design whose sizing
     row hashes to ``digest``).  ``arg`` carries the delay seconds for
     ``delay`` directives.
@@ -267,6 +284,12 @@ class FaultInjector:
             elif directive.kind == "exc":
                 raise SolveFault(
                     f"injected solve exception at eval {self._count}")
+            elif directive.kind == "drop":
+                # The worker loop catches this *before* its generic
+                # error reply and severs its transport instead — the
+                # supervisor must see a dead connection, not an error.
+                raise ConnectionDropFault(
+                    f"injected connection drop at eval {self._count}")
             elif directive.kind == "delay":
                 delay = directive.arg
         check_poison(rows, self._poison)

@@ -67,6 +67,14 @@ recovery path above is pinned by ordinary unit tests.
 :class:`repro.rl.parallel.ParallelVectorEnv`; it owns per-slot
 :meth:`WorkerGroup.respawn` and an always-clean idempotent
 :meth:`WorkerGroup.close`.
+
+Workers need not be local: with ``addresses`` the pool supervises
+socket-backed workers on other hosts through
+:class:`repro.sim.remote.RemoteWorkerGroup`, which duck-types the
+worker group (a dropped connection is a dead worker, a reconnect is a
+respawn) so every supervision path above applies to the distributed
+transport unchanged.  The ``REPRO_WORKERS`` knob selects it (see
+:mod:`repro.sim.remote`).
 """
 
 from __future__ import annotations
@@ -84,7 +92,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.errors import TicketAbandonedError, TrainingError
+from repro.errors import (ConnectionDropFault, TicketAbandonedError,
+                          TrainingError)
 from repro.sim.faults import (FAULTS_ENV, BatchReport, FaultInjector,
                               FaultRecord, SupervisorConfig, active_profile,
                               worker_directives)
@@ -292,6 +301,7 @@ def _shard_worker(remote, worker_index, factory, param_names, spec_names,
     evaluation never double-injects.
     """
     os.environ[SHARDS_ENV] = "1"    # no nested sharding in workers
+    os.environ.pop("REPRO_WORKERS", None)   # no nested remote evaluation
     os.environ.pop(FAULTS_ENV, None)   # injection comes via directives
     simulator = factory()
     injector = FaultInjector(tuple(directives))
@@ -326,6 +336,11 @@ def _shard_worker(remote, worker_index, factory, param_names, spec_names,
                     if delay > 0:
                         time.sleep(delay)
                     remote.send(("ok", (req_id, prov)))
+                except ConnectionDropFault:
+                    # Sever the transport abruptly (no error reply): the
+                    # parent must see EOF and walk its worker-death
+                    # path, exactly as with a remote connection drop.
+                    break
                 except Exception as exc:  # surface, don't kill the pool
                     remote.send(("error",
                                  (req_id, f"{type(exc).__name__}: {exc}")))
@@ -378,10 +393,14 @@ class _ShardJob:
     limit of the *running* attempt (infinite while the job waits behind
     others in the worker's pipe — it is re-armed on promotion to the
     queue head, so queueing time is never charged against the solve).
+    ``not_before`` is the retry-backoff gate: a failed job parks on the
+    pool's deferred list until this wall-clock time instead of blocking
+    the service loop, so one flaky shard's backoff never delays replies
+    from healthy workers.
     """
 
     __slots__ = ("ticket", "lo", "hi", "worker", "req_id", "attempts",
-                 "deadline")
+                 "deadline", "not_before")
 
     def __init__(self, ticket: "ShardTicket", lo: int, hi: int):
         self.ticket = ticket
@@ -391,6 +410,7 @@ class _ShardJob:
         self.req_id = -1
         self.attempts = 0
         self.deadline = math.inf
+        self.not_before = 0.0
 
 
 class ShardTicket:
@@ -448,29 +468,65 @@ class ShardPool:
         Spec row (in ``spec_names`` order) written for quarantined
         designs — the simulator's pessimistic ``failure_measurements``.
         None (raw pools) quarantines to NaN rows.
+    addresses:
+        Remote worker addresses (``(host, port)`` tuples).  When given,
+        the pool supervises socket-backed workers
+        (:class:`~repro.sim.remote.RemoteWorkerGroup`) instead of
+        spawning local processes; ``n_shards`` is ignored (one slot per
+        address) and ``hello`` is required.
+    hello:
+        Handshake payload for remote workers (the simulator's
+        ``_remote_hello()``: schema version, store-scope digest,
+        parameter/spec names).  A worker hosting an incompatible
+        simulator rejects it and construction raises.
     """
 
     def __init__(self, factory, n_shards: int, param_names, spec_names,
                  context: str | None = None,
                  supervisor: SupervisorConfig | None = None,
-                 failure_row=None):
+                 failure_row=None, addresses=None, hello=None):
+        if addresses:
+            addresses = tuple(tuple(address) for address in addresses)
+            n_shards = len(addresses)
+            if hello is None:
+                raise TrainingError(
+                    "a remote ShardPool needs the simulator's handshake "
+                    "hello (see CircuitSimulator._remote_hello)")
         if n_shards < 1:
             raise TrainingError("ShardPool needs at least one shard")
         self.param_names = tuple(param_names)
         self.spec_names = tuple(spec_names)
+        self.addresses = addresses or None
         self._supervisor = supervisor or SupervisorConfig.from_env()
         self._profile = active_profile()
         self._factory = factory
         self._failure_row = (None if failure_row is None else
                              np.asarray(failure_row, dtype=np.float64))
-        self._group = WorkerGroup(
-            _shard_worker,
-            [(w, factory, self.param_names, self.spec_names,
-              worker_directives(self._profile, w))
-             for w in range(n_shards)],
-            context=context)
+        if addresses:
+            from repro.sim.remote import RemoteWorkerGroup
+            self._group = RemoteWorkerGroup(
+                addresses, self.param_names, self.spec_names, hello,
+                self._profile)
+        else:
+            self._group = WorkerGroup(
+                _shard_worker,
+                [(w, factory, self.param_names, self.spec_names,
+                  worker_directives(self._profile, w))
+                 for w in range(n_shards)],
+                context=context)
         for remote in self._group.remotes:
-            cmd, names = remote.recv()
+            try:
+                if not remote.poll(_HANDSHAKE_TIMEOUT):
+                    raise TrainingError(
+                        "shard worker did not report ready in time")
+                cmd, names = remote.recv()
+            except (EOFError, OSError):
+                self._group.close()
+                raise TrainingError(
+                    "shard worker died during the handshake") from None
+            except TrainingError:
+                self._group.close()
+                raise
             if cmd != "ready" or names != self.spec_names:
                 self._group.close()
                 raise TrainingError(
@@ -480,6 +536,10 @@ class ShardPool:
         #: Per-worker mirror of the jobs queued in its pipe, FIFO.
         self._pending: list[collections.deque[_ShardJob]] = [
             collections.deque() for _ in range(n_shards)]
+        #: Jobs parked for retry backoff (dispatched once their
+        #: ``not_before`` passes) — the non-blocking replacement for
+        #: sleeping in the service loop.
+        self._deferred: list[_ShardJob] = []
         self._req_ids = itertools.count(1)
         self._ticket_ids = itertools.count(1)
         self.respawns = 0
@@ -627,13 +687,23 @@ class ShardPool:
         self._resolve(job)
 
     def _retry_or_split(self, job: _ShardJob) -> None:
-        """Retry a failed job, bisect it, or quarantine its last row."""
+        """Retry a failed job, bisect it, or quarantine its last row.
+
+        Retry backoff never sleeps here: the job is parked on the
+        deferred list with a ``not_before`` timestamp and re-dispatched
+        by the service loop once it passes — replies from healthy
+        workers keep being read (and their armed deadlines keep being
+        honoured) while a flaky shard backs off."""
         ticket = job.ticket
         if job.attempts <= self._supervisor.retries:
-            self._supervisor.sleep_before(job.attempts)
             ticket.report.retries += 1
             self.retries += 1
-            self._dispatch(job.worker, job)
+            delay = self._supervisor.backoff_delay(job.attempts)
+            if delay > 0:
+                job.not_before = time.perf_counter() + delay
+                self._deferred.append(job)
+            else:
+                self._dispatch(job.worker, job)
         elif job.hi - job.lo > 1:
             mid = (job.lo + job.hi) // 2
             ticket.unresolved += 1   # one job becomes two
@@ -716,6 +786,15 @@ class ShardPool:
             f"shard worker blew the {self._supervisor.timeout:.3g}s "
             f"per-attempt deadline")
 
+    def _flush_deferred(self, now: float) -> None:
+        """Dispatch every backoff-parked job whose ``not_before`` passed."""
+        if not self._deferred:
+            return
+        due = [job for job in self._deferred if job.not_before <= now]
+        for job in due:
+            self._deferred.remove(job)
+            self._dispatch(job.worker, job)
+
     def _service(self, ticket: ShardTicket) -> None:
         """One supervision step towards resolving ``ticket``.
 
@@ -723,23 +802,42 @@ class ShardPool:
         jobs and processes whatever arrives first — replies for *other*
         (earlier or later) tickets are resolved on the spot, which is
         what keeps the FIFO pipes drained when a retry re-queues one of
-        this ticket's jobs behind another ticket's work."""
+        this ticket's jobs behind another ticket's work.  Backoff-parked
+        jobs are flushed on the way in and bound the wait, so a retry
+        becomes due promptly without ever blocking the loop."""
+        self._flush_deferred(time.perf_counter())
         workers = [w for w, queue in enumerate(self._pending)
                    if any(job.ticket is ticket for job in queue)]
-        if not workers:  # pragma: no cover - invariant guard
-            self._fatal("shard ticket lost its jobs; pool closed")
+        if not workers:
+            deferred = [job for job in self._deferred
+                        if job.ticket is ticket]
+            if not deferred:  # pragma: no cover - invariant guard
+                self._fatal("shard ticket lost its jobs; pool closed")
+            # Everything this ticket still owes is parked for backoff:
+            # nothing can arrive before the earliest gate, so sleep to
+            # it and re-dispatch.
+            wake = min(job.not_before for job in deferred)
+            time.sleep(max(0.0, wake - time.perf_counter()))
+            self._flush_deferred(time.perf_counter())
+            return
         conns = {self._group.remotes[w]: w for w in workers}
         timeout = None
         if self._supervisor.timeout > 0:
             deadline = min(self._pending[w][0].deadline for w in workers)
             if deadline < math.inf:
                 timeout = max(0.0, deadline - time.perf_counter())
+        if self._deferred:
+            wake = min(job.not_before for job in self._deferred)
+            until_wake = max(0.0, wake - time.perf_counter())
+            timeout = (until_wake if timeout is None
+                       else min(timeout, until_wake))
         ready = mp_connection.wait(list(conns), timeout)
         if ready:
             for conn in ready:
                 self._handle_reply(conns[conn])
             return
         now = time.perf_counter()
+        self._flush_deferred(now)
         for worker in workers:
             queue = self._pending[worker]
             if queue and queue[0].deadline <= now:
@@ -755,11 +853,23 @@ class ShardPool:
         the replies.  Batches queue FIFO in the worker pipes, so several
         tickets may be outstanding — collect them in submission order.
         A worker found dead at submit time is respawned transparently.
+        An empty batch (``B`` = 0) short-circuits: no shared blocks are
+        created (zero-size blocks are illegal) and no work is dispatched
+        — its ticket collects to an empty spec array with a clean,
+        well-formed report.
         """
         if self._group.closed:
             raise TrainingError("ShardPool is closed")
         values_array = np.ascontiguousarray(values_array, dtype=np.float64)
+        if values_array.ndim != 2:
+            raise TrainingError(
+                f"submit_values needs a (B, P) array, got shape "
+                f"{values_array.shape}")
         B, P = values_array.shape
+        if B == 0:
+            ticket = ShardTicket(next(self._ticket_ids), None, 0)
+            self._inflight.append(ticket)
+            return ticket
         if P != len(self.param_names):
             raise TrainingError(
                 f"got {P} parameters, expected {len(self.param_names)}")
@@ -802,6 +912,8 @@ class ShardPool:
             self._service(ticket)
         self._inflight.popleft()
         ticket.collected = True
+        if ticket.pair is None:   # empty batch: nothing was dispatched
+            return np.zeros((0, len(self.spec_names)), dtype=np.float64)
         out = np.ndarray((ticket.n_rows, len(self.spec_names)),
                          dtype=np.float64, buffer=ticket.pair.shm_out.buf
                          ).copy()
@@ -812,9 +924,18 @@ class ShardPool:
         """Evaluate ``(B, P)`` stacked sizing values; returns ``(B, S)``.
 
         The blocking convenience around :meth:`submit_values` +
-        :meth:`collect` (requires no other batch in flight, so the FIFO
-        collect order is trivially respected).
+        :meth:`collect`.  Requires no other batch in flight (enforced:
+        the FIFO collect order would otherwise hand this batch another
+        batch's acknowledgements) — callers mixing the async and
+        blocking surfaces must collect their outstanding tickets first.
         """
+        if self._inflight:
+            names = ", ".join(f"#{t.id} ({t.n_rows} designs)"
+                              for t in self._inflight)
+            raise TrainingError(
+                "evaluate_values requires no other batch in flight, but "
+                f"these tickets are outstanding: {names}; collect them "
+                "first (or use submit_values/collect)")
         return self.collect(self.submit_values(values_array))
 
     def close(self, abandon_ok: bool = False) -> None:
@@ -833,10 +954,12 @@ class ShardPool:
             ticket.abandoned = True
         self._group.close()
         for ticket in self._inflight:
-            self._release_pair(ticket.pair)
+            if ticket.pair is not None:
+                self._release_pair(ticket.pair)
         self._inflight.clear()
         for queue in self._pending:
             queue.clear()
+        self._deferred.clear()
         for pair in self._free:
             pair.release()
         self._free = []

@@ -1,0 +1,650 @@
+"""Socket transport for shard workers on other hosts (distributed axis).
+
+:mod:`repro.sim.parallel` scales batched evaluation across the local
+cores; this module puts the same workers behind TCP so they can live on
+other machines.  The design constraint is that the supervised
+:class:`~repro.sim.parallel.ShardPool` must not change: its retry
+ladder, per-attempt deadlines, respawn, bisection, quarantine and
+:class:`~repro.sim.faults.BatchReport` provenance all operate on a
+*worker group* abstraction — so the remote transport simply duck-types
+it.  :class:`RemoteWorkerGroup` mirrors
+:class:`~repro.sim.parallel.WorkerGroup` (``remotes`` / ``processes`` /
+``respawn`` / ``close``), each :class:`_RemoteConnection` mirrors one
+worker pipe (``send`` / ``recv`` / ``poll`` / ``fileno``), and
+"respawning" a dead slot means reconnecting to the same address.  A
+dropped connection is therefore handled exactly like a killed local
+worker: the supervisor sees EOF, reconnects, re-queues what the slot
+owed, and the re-run is bitwise identical from the same canonical warm
+seeds.
+
+Wire protocol (length-prefixed frames, see :func:`send_frame`)::
+
+    client -> server   hello {schema, scope, param_names, spec_names,
+                              directives}
+    server -> client   ready {spec_names}          | reject {reason}
+    client -> server   eval  {req_id, lo, hi}      + float64 values blob
+    server -> client   ok    {req_id, prov}        + float64 specs blob
+                       error {req_id, detail}
+    client -> server   close {}
+    server -> client   closed {}
+
+The frames mirror the pipe protocol of ``_shard_worker`` one-to-one;
+the only difference is that sizing values and spec rows ship inline as
+binary blobs instead of through shared memory (the client side still
+reads/writes the parent pool's shared blocks, so the supervisor's
+bookkeeping is unchanged).  The ``hello`` pins the schema version and
+the simulator's store-scope digest — the strictest compatibility check
+the repo has (topology class, corner, temperature, parameter grids,
+spec names, resolved engine, netlist structure) — so a worker can never
+silently answer for the wrong circuit.
+
+Worker hosting (``repro worker --listen HOST:PORT <topology>``) is a
+forking acceptor: every accepted connection gets its own daemon child
+running :func:`_serve_connection` with a fresh simulator replica, so
+several client pools may use one worker host concurrently and a child
+hung in a solve never blocks the acceptor (the client's deadline policy
+kills the *connection*; the stranded child dies with the acceptor).
+Fault directives arrive in the ``hello`` — the client derives them from
+its own ``REPRO_FAULTS`` profile exactly as it does for local workers,
+so one-shot event semantics across respawns carry over unchanged.
+
+Pool selection is the ``REPRO_WORKERS=host:port,...`` knob (it takes
+precedence over ``REPRO_SHARDS``; see
+``CircuitSimulator._resolve_shard_pool``), and
+:func:`serve_queries` (``repro serve``) wraps a simulator in a
+stateless front-end answering newline-delimited JSON sizing queries
+over its own socket, built on ``submit_batch`` / ``collect_batch``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing as mp
+import os
+import select
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ConnectionDropFault, TrainingError
+from repro.sim.faults import FAULTS_ENV, FaultDirective, FaultInjector
+from repro.sim.parallel import (SHARDS_ENV, _attach, _attach_pair,
+                                resolve_context)
+
+#: Environment variable listing remote worker addresses
+#: (``host:port,host:port,...``; empty = no remote evaluation).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Wire-protocol version, pinned by the ``hello`` frame: client and
+#: server must agree exactly, otherwise the handshake is rejected and
+#: the client falls back to local evaluation.
+REMOTE_SCHEMA_VERSION = 1
+
+#: Seconds a TCP connect (initial or reconnect) may take before the
+#: slot is declared unreachable.
+_CONNECT_TIMEOUT = 20.0
+
+#: Reconnect attempts when respawning a dropped slot (the acceptor is
+#: normally still alive, so the first retry succeeds; a short ladder
+#: rides out worker restarts).
+_RECONNECT_TRIES = 5
+
+#: Seconds between reconnect attempts.
+_RECONNECT_PAUSE = 0.2
+
+#: Frame sanity bound (64 MiB): a length prefix beyond this is protocol
+#: corruption, not a real batch.
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def remote_addresses() -> tuple[tuple[str, int], ...]:
+    """Parsed ``REPRO_WORKERS`` addresses (empty tuple when unset).
+
+    Raises :class:`TrainingError` on malformed entries — a distributed
+    run silently falling back to one process would be a very quiet way
+    to lose a cluster."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return ()
+    out = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        host, sep, port_text = token.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not sep or not host or not 0 < port < 65536:
+            raise TrainingError(
+                f"bad {WORKERS_ENV} entry {token!r}: expected HOST:PORT")
+        out.append((host, port))
+    return tuple(out)
+
+
+# -- frame layer --------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; :class:`EOFError` on a closed peer.
+
+    A peer that disappears mid-frame (connection drop, killed worker)
+    surfaces as the same :class:`EOFError` as a clean shutdown — the
+    supervisor treats both as a dead worker."""
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("remote peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
+    """Send one length-prefixed frame: JSON header + optional binary blob.
+
+    Layout: ``uint32 header_len | uint32 blob_len | header | blob``
+    (big-endian prefixes).  The JSON header carries the command and its
+    small fields; bulk float64 arrays travel as the raw blob."""
+    payload = json.dumps(header, separators=(",", ":")).encode()
+    sock.sendall(struct.pack(">II", len(payload), len(blob))
+                 + payload + blob)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one frame; returns ``(header, blob)``.
+
+    Raises :class:`EOFError` when the peer closed (cleanly or not) and
+    :class:`TrainingError` on corrupt prefixes."""
+    header_len, blob_len = struct.unpack(">II", _recv_exact(sock, 8))
+    if header_len > _MAX_FRAME or blob_len > _MAX_FRAME:
+        raise TrainingError(
+            f"remote frame corrupt: header {header_len} / blob {blob_len} "
+            "bytes exceed the protocol bound")
+    header = json.loads(_recv_exact(sock, header_len).decode())
+    blob = _recv_exact(sock, blob_len) if blob_len else b""
+    return header, blob
+
+
+# -- client side (the pool's worker-group duck type) --------------------------
+class _RemoteConnection:
+    """One remote worker slot, duck-typing a worker pipe end.
+
+    Translates the supervisor's pipe messages to wire frames: an
+    outgoing ``("eval", (req_id, shm_in, shm_out, lo, hi, B))`` reads
+    the sizing rows out of the parent's shared input block and ships
+    them inline; an incoming ``ok`` frame writes the spec rows back
+    into the shared output block before handing the supervisor the
+    exact ``("ok", (req_id, provenance))`` tuple a local worker would
+    have sent.  ``fileno`` exposes the socket to
+    ``multiprocessing.connection.wait``, so the supervisor's service
+    loop needs no changes at all."""
+
+    def __init__(self, address: tuple[str, int], param_names, spec_names,
+                 hello: dict, directives=()):
+        self.address = address
+        self._param_names = tuple(param_names)
+        self._spec_names = tuple(spec_names)
+        try:
+            self._sock = socket.create_connection(
+                address, timeout=_CONNECT_TIMEOUT)
+        except OSError as exc:
+            raise TrainingError(
+                f"cannot connect to remote shard worker "
+                f"{address[0]}:{address[1]}: {exc}") from None
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        #: req_id -> (out block name, lo, hi, B) of in-flight evals.
+        self._jobs: dict[int, tuple[str, int, int, int]] = {}
+        self._attachments: dict = {}
+        send_frame(self._sock, {
+            "cmd": "hello", **hello,
+            "directives": [dataclasses.asdict(d) for d in directives]})
+
+    def send(self, message) -> None:
+        """Translate one supervisor pipe message into a wire frame.
+
+        A severed slot raises :class:`BrokenPipeError` exactly like a
+        local worker's dead pipe, so the supervisor's respawn-and-resend
+        path applies unchanged."""
+        if self._sock is None:
+            raise BrokenPipeError("remote shard connection is closed")
+        cmd, payload = message
+        if cmd == "eval":
+            req_id, in_name, out_name, lo, hi, B = payload
+            shm_in, _ = _attach_pair(self._attachments, in_name, out_name)
+            vals = np.ndarray((B, len(self._param_names)), dtype=np.float64,
+                              buffer=shm_in.buf)
+            self._jobs[req_id] = (out_name, lo, hi, B)
+            send_frame(self._sock,
+                       {"cmd": "eval", "req_id": req_id,
+                        "lo": int(lo), "hi": int(hi)},
+                       np.ascontiguousarray(vals[lo:hi]).tobytes())
+        elif cmd == "close":
+            send_frame(self._sock, {"cmd": "close"})
+        else:  # pragma: no cover - protocol misuse guard
+            raise TrainingError(f"unknown remote command {cmd!r}")
+
+    def recv(self):
+        """Receive one frame and translate it to a pipe-protocol tuple.
+
+        ``ok`` frames scatter their spec blob into the parent's shared
+        output block first, so by the time the supervisor resolves the
+        job the rows are exactly where a local worker would have left
+        them."""
+        header, blob = recv_frame(self._sock)
+        cmd = header.get("cmd")
+        if cmd == "ok":
+            req_id = int(header["req_id"])
+            try:
+                out_name, lo, hi, B = self._jobs.pop(req_id)
+            except KeyError:  # pragma: no cover - protocol corruption
+                raise TrainingError(
+                    f"remote worker acknowledged unknown request {req_id}"
+                    ) from None
+            shm_out = _attach(self._attachments, out_name)
+            out = np.ndarray((B, len(self._spec_names)), dtype=np.float64,
+                             buffer=shm_out.buf)
+            out[lo:hi] = np.frombuffer(blob, dtype=np.float64).reshape(
+                hi - lo, len(self._spec_names))
+            return ("ok", (req_id, [int(p) for p in header.get("prov", [])]))
+        if cmd == "error":
+            self._jobs.pop(int(header["req_id"]), None)
+            return ("error", (int(header["req_id"]),
+                              str(header.get("detail", ""))))
+        if cmd == "ready":
+            return ("ready", tuple(header.get("spec_names", ())))
+        if cmd == "reject":
+            return ("reject", str(header.get("reason", "")))
+        if cmd == "closed":
+            return ("closed", None)
+        raise TrainingError(  # pragma: no cover - protocol corruption
+            f"unknown remote reply {cmd!r}")
+
+    def poll(self, timeout: float | None = 0.0) -> bool:
+        """Whether a frame is ready to read (select on the socket)."""
+        if self._sock is None:
+            return False
+        ready, _, _ = select.select([self._sock], [], [], timeout)
+        return bool(ready)
+
+    def fileno(self) -> int:
+        """Socket file descriptor (for ``multiprocessing.connection.wait``)."""
+        return self._sock.fileno() if self._sock is not None else -1
+
+    def drop(self) -> None:
+        """Abruptly sever the transport (the remote analogue of killing
+        a local worker process): the server child's next send fails and
+        it exits; the client side is closed immediately."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        sock.close()
+        for shm in self._attachments.values():
+            shm.close()
+        self._attachments.clear()
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        self.drop()
+
+
+class _RemoteProcess:
+    """Duck type of a worker ``Process`` whose body lives elsewhere.
+
+    The supervisor kills hung local workers with ``process.kill()``; the
+    remote analogue is severing the connection — the server-side child
+    is not ours to signal, and the forking acceptor hands the respawned
+    connection a fresh child anyway.  ``join``/``is_alive``/``terminate``
+    are no-ops shaped to satisfy ``WorkerGroup``-style reaping."""
+
+    def __init__(self, connection: _RemoteConnection):
+        self._connection = connection
+
+    def kill(self) -> None:
+        """Sever the slot's transport (supervisor deadline enforcement)."""
+        self._connection.drop()
+
+    def terminate(self) -> None:
+        """Alias of :meth:`kill` (same escalation ladder shape)."""
+        self.kill()
+
+    def join(self, timeout: float | None = None) -> None:
+        """No-op: there is no local process to wait for."""
+
+    def is_alive(self) -> bool:
+        """Always False: reaping a remote slot has nothing left to do."""
+        return False
+
+
+class RemoteWorkerGroup:
+    """Socket-backed duck type of :class:`~repro.sim.parallel.WorkerGroup`.
+
+    One :class:`_RemoteConnection` per address plays the worker pipe,
+    one :class:`_RemoteProcess` stub plays the process handle, and
+    :meth:`respawn` reconnects the slot to the same address — so
+    :class:`~repro.sim.parallel.ShardPool` supervises remote workers
+    with the exact code paths it uses for local ones.  Construction
+    sends every slot's ``hello`` without waiting: the pool's normal
+    handshake loop consumes the ``ready``/``reject`` replies.
+    """
+
+    def __init__(self, addresses, param_names, spec_names, hello: dict,
+                 profile=()):
+        from repro.sim.faults import worker_directives
+
+        if not addresses:
+            raise TrainingError("RemoteWorkerGroup needs at least one "
+                                "worker address")
+        self._addresses = [tuple(address) for address in addresses]
+        self._param_names = tuple(param_names)
+        self._spec_names = tuple(spec_names)
+        self._hello = dict(hello)
+        self.remotes = []
+        self.processes = []
+        try:
+            for w, address in enumerate(self._addresses):
+                conn = _RemoteConnection(
+                    address, self._param_names, self._spec_names,
+                    self._hello, worker_directives(tuple(profile), w))
+                self.remotes.append(conn)
+                self.processes.append(_RemoteProcess(conn))
+        except TrainingError:
+            for conn in self.remotes:
+                conn.close()
+            raise
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self.remotes)
+
+    def respawn(self, index: int, args=None):
+        """Reconnect slot ``index`` (the remote analogue of respawning).
+
+        ``args`` is the local spawn recipe the supervisor passes
+        (worker index, factory, names, replacement directives); only the
+        directives element applies remotely — it carries the
+        respawned-worker fault semantics (one-shot event directives do
+        not survive), so chaos behaviour matches local workers exactly.
+        Returns the new connection; raises :class:`TrainingError` when
+        the worker host stays unreachable."""
+        if self.closed:
+            raise TrainingError("cannot respawn a worker in a closed group")
+        directives = tuple(args[4]) if args is not None and len(args) > 4 \
+            else ()
+        self.remotes[index].close()
+        last_error = None
+        for attempt in range(_RECONNECT_TRIES):
+            if attempt:
+                time.sleep(_RECONNECT_PAUSE)
+            try:
+                conn = _RemoteConnection(
+                    self._addresses[index], self._param_names,
+                    self._spec_names, self._hello, directives)
+                break
+            except TrainingError as exc:
+                last_error = exc
+        else:
+            raise TrainingError(
+                f"cannot reconnect to remote shard worker "
+                f"{self._addresses[index][0]}:{self._addresses[index][1]} "
+                f"after {_RECONNECT_TRIES} attempts: {last_error}")
+        self.remotes[index] = conn
+        self.processes[index] = _RemoteProcess(conn)
+        return conn
+
+    def close(self) -> None:
+        """Close every connection politely (idempotent, never raises).
+
+        Mirrors ``WorkerGroup.close``: best-effort ``close`` frames, a
+        short wait for the ``closed`` acknowledgement, then the sockets
+        are torn down regardless."""
+        if self.closed:
+            return
+        self.closed = True
+        for remote in self.remotes:
+            try:
+                remote.send(("close", None))
+            except (TrainingError, OSError):
+                continue
+        for remote in self.remotes:
+            try:
+                if remote.poll(1.0):
+                    remote.recv()
+            except (EOFError, TrainingError, OSError):
+                pass
+            remote.close()
+
+
+# -- server side (repro worker) -----------------------------------------------
+def _hello_mismatch(header: dict, expected: dict) -> str:
+    """Reason the client's ``hello`` is incompatible ('' = compatible).
+
+    Schema version first (frames may change shape between versions),
+    then the store-scope digest — which already pins topology class,
+    corner, temperature, technology, parameter grids, spec names,
+    resolved engine and netlist structure — then the explicit name
+    lists as a readable double check."""
+    if header.get("schema") != expected["schema"]:
+        return (f"schema version mismatch: client "
+                f"{header.get('schema')!r}, worker {expected['schema']!r}")
+    if header.get("scope") != expected["scope"]:
+        return ("simulator scope mismatch: the worker hosts a different "
+                "topology/corner/engine configuration")
+    for field in ("param_names", "spec_names"):
+        if list(header.get(field, ())) != list(expected[field]):
+            return (f"{field} mismatch: client {header.get(field)!r}, "
+                    f"worker {expected[field]!r}")
+    return ""
+
+
+def _serve_connection(sock: socket.socket, factory, expected: dict) -> None:
+    """One accepted connection: handshake, then the eval/reply loop.
+
+    Runs in its own daemon child of the acceptor, with its own simulator
+    replica built from ``factory`` — concurrent client pools therefore
+    never share solver state.  The loop mirrors ``_shard_worker``: the
+    store-aware ``_worker_batch`` entry consults the persistent result
+    store per row, faults surface as ``error`` replies for the client's
+    supervisor to retry/bisect, and an injected
+    :class:`~repro.errors.ConnectionDropFault` severs the socket
+    abruptly so the client exercises its worker-death path."""
+    os.environ[SHARDS_ENV] = "1"      # no nested sharding in workers
+    os.environ.pop(WORKERS_ENV, None)  # no nested remote evaluation
+    os.environ.pop(FAULTS_ENV, None)   # injection comes via the hello
+    param_names = tuple(expected["param_names"])
+    spec_names = tuple(expected["spec_names"])
+    try:
+        header, _ = recv_frame(sock)
+        reason = (_hello_mismatch(header, expected)
+                  if header.get("cmd") == "hello"
+                  else f"expected hello, got {header.get('cmd')!r}")
+        if reason:
+            send_frame(sock, {"cmd": "reject", "reason": reason})
+            return
+        injector = FaultInjector(tuple(
+            FaultDirective(**d) for d in header.get("directives", ())))
+        simulator = factory()
+        send_frame(sock, {"cmd": "ready", "spec_names": list(spec_names)})
+        while True:
+            header, blob = recv_frame(sock)
+            cmd = header.get("cmd")
+            if cmd == "eval":
+                req_id = int(header["req_id"])
+                try:
+                    vals = np.frombuffer(blob, dtype=np.float64).reshape(
+                        -1, len(param_names))
+                    delay = injector.on_eval(vals)
+                    values_list = [
+                        {name: float(v) for name, v in zip(param_names, row)}
+                        for row in vals]
+                    specs, prov = simulator._worker_batch(values_list)
+                    out = np.array([[spec[name] for name in spec_names]
+                                    for spec in specs], dtype=np.float64)
+                    if delay > 0:
+                        time.sleep(delay)
+                    send_frame(sock, {"cmd": "ok", "req_id": req_id,
+                                      "prov": [int(p) for p in prov]},
+                               out.tobytes())
+                except ConnectionDropFault:
+                    return   # sever abruptly: client sees a dead worker
+                except Exception as exc:  # surface, don't kill the slot
+                    send_frame(sock, {"cmd": "error", "req_id": req_id,
+                                      "detail":
+                                          f"{type(exc).__name__}: {exc}"})
+            elif cmd == "close":
+                send_frame(sock, {"cmd": "closed"})
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def serve_worker(host: str, port: int, simulator, context: str | None = None,
+                 max_connections: int | None = None) -> None:
+    """Host a remote shard worker: accept forever, fork per connection.
+
+    ``simulator`` supplies the picklable replica recipe
+    (``shard_factory``) and the handshake expectation
+    (``_remote_hello``); the acceptor itself never solves anything, so
+    a child hung in a solve cannot block new connections.  Finished
+    children are reaped on every accept; live ones are daemons, so they
+    die with the acceptor.  Prints ``repro worker listening on
+    HOST:PORT`` (the resolved port — ``port`` 0 binds an ephemeral one)
+    once the socket is ready, which scripts use as the readiness
+    signal.  ``max_connections`` stops the acceptor after that many
+    connections (tests); normal operation runs until interrupted."""
+    factory = simulator.shard_factory()
+    hello = simulator._remote_hello()
+    if factory is None or hello is None:
+        raise TrainingError(
+            f"{type(simulator).__name__} cannot host a remote worker "
+            "(no picklable shard factory / remote handshake)")
+    expected = dict(hello)
+    ctx = mp.get_context(resolve_context(context))
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    children: list = []
+    try:
+        listener.bind((host, port))
+        listener.listen(16)
+        bound_host, bound_port = listener.getsockname()[:2]
+        print(f"repro worker listening on {bound_host}:{bound_port}",
+              flush=True)
+        served = 0
+        while max_connections is None or served < max_connections:
+            sock, _peer = listener.accept()
+            served += 1
+            child = ctx.Process(target=_serve_connection,
+                                args=(sock, factory, expected), daemon=True)
+            child.start()
+            sock.close()
+            for done in [c for c in children if not c.is_alive()]:
+                done.join(timeout=0)
+                children.remove(done)
+            children.append(child)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        listener.close()
+
+
+# -- stateless evaluation front-end (repro serve) -----------------------------
+def _answer_query(simulator, line: str, lock: threading.Lock) -> dict:
+    """Evaluate one JSON query line; returns the reply object.
+
+    A query is ``{"indices": [[...], ...]}`` (rows of grid indices)
+    with an optional ``"id"`` echoed back; the reply carries the spec
+    dicts row by row plus the batch's supervision summary.  Malformed
+    queries come back as ``{"error": ...}`` instead of killing the
+    connection — the front-end is stateless, so the next line starts
+    fresh."""
+    try:
+        query = json.loads(line)
+        indices = np.asarray(query["indices"], dtype=np.int64)
+        with lock:   # one batch at a time: the pool's FIFO is not reentrant
+            ticket = simulator.submit_batch(indices)
+            specs = simulator.collect_batch(ticket)
+        report = simulator.last_batch_report
+        return {"id": query.get("id"), "specs": specs,
+                "clean": bool(report.clean),
+                "quarantined": int(report.n_quarantined)}
+    except Exception as exc:
+        return {"id": None, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _serve_client(sock: socket.socket, simulator,
+                  lock: threading.Lock) -> None:
+    """Per-client thread: newline-delimited JSON in, JSON lines out."""
+    buffer = b""
+    try:
+        while True:
+            chunk = sock.recv(1 << 20)
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                if not line.strip():
+                    continue
+                reply = _answer_query(simulator, line.decode(), lock)
+                sock.sendall(json.dumps(reply).encode() + b"\n")
+    except OSError:
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def serve_queries(host: str, port: int, simulator,
+                  max_connections: int | None = None) -> None:
+    """Stateless sizing-evaluation front-end over newline JSON.
+
+    Accepts TCP clients, each served by a thread; every request line is
+    an independent batch evaluated through ``submit_batch`` /
+    ``collect_batch`` (so ``REPRO_WORKERS`` / ``REPRO_SHARDS`` decide
+    where the solves actually run), serialised by a lock because the
+    shard FIFO is collected in submission order.  Prints ``repro serve
+    listening on HOST:PORT`` once ready; ``max_connections`` bounds the
+    accept loop for tests."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    lock = threading.Lock()
+    threads: list[threading.Thread] = []
+    try:
+        listener.bind((host, port))
+        listener.listen(16)
+        bound_host, bound_port = listener.getsockname()[:2]
+        print(f"repro serve listening on {bound_host}:{bound_port}",
+              flush=True)
+        served = 0
+        while max_connections is None or served < max_connections:
+            sock, _peer = listener.accept()
+            served += 1
+            thread = threading.Thread(target=_serve_client,
+                                      args=(sock, simulator, lock),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:   # bounded runs drain their clients
+            thread.join(timeout=60.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        listener.close()

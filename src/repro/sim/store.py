@@ -449,6 +449,31 @@ class EvaluationStore:
 #: Process-wide stores, one per (mode, directory) configuration.
 _STORES: dict[tuple[str, str], EvaluationStore] = {}
 
+#: Pid that populated :data:`_STORES` — a forked child inherits the
+#: dict (and the parent's open SQLite connections) by copy, and using an
+#: inherited connection from two processes is undefined behavior.
+_STORES_PID = os.getpid()
+
+#: Stores inherited from a parent process, parked instead of closed:
+#: closing (or garbage-collecting) an inherited connection object would
+#: finalise the parent's live handle from the child, so the child keeps
+#: a reference forever and simply never uses it.
+_ORPHANS: list[EvaluationStore] = []
+
+
+def _guard_fork() -> None:
+    """Retire stores inherited across a fork before any use.
+
+    Pid-stamps the cache: the first :func:`get_store` call in a forked
+    child moves every inherited instance to :data:`_ORPHANS` (never
+    closed — the SQLite handle belongs to the parent) and restamps, so
+    each process always opens its own connections."""
+    global _STORES_PID
+    if _STORES_PID != os.getpid():
+        _ORPHANS.extend(_STORES.values())
+        _STORES.clear()
+        _STORES_PID = os.getpid()
+
 
 def get_store() -> EvaluationStore | None:
     """The process-wide store for the current knob values (None = off).
@@ -457,11 +482,14 @@ def get_store() -> EvaluationStore | None:
     resolves ``REPRO_SHARDS`` per batch), so tests and long-lived
     processes can flip the knobs without rebuilding simulators; the
     same configuration always returns the same store instance, which
-    is what makes the ``mem`` tier process-wide.
+    is what makes the ``mem`` tier process-wide.  The cache is
+    pid-guarded: a forked worker never reuses connections it inherited
+    from its parent (see :func:`_guard_fork`).
     """
     mode = cache_mode()
     if mode == "off":
         return None
+    _guard_fork()
     directory = str(cache_dir()) if mode == "disk" else ""
     store = _STORES.get((mode, directory))
     if store is None:
@@ -472,7 +500,15 @@ def get_store() -> EvaluationStore | None:
 
 
 def reset_store() -> None:
-    """Drop every process-wide store (test isolation hook)."""
-    for store in _STORES.values():
-        store.close()
+    """Drop every process-wide store (test isolation hook).
+
+    Stores inherited across a fork are parked, not closed — only
+    connections this process opened itself are finalised."""
+    global _STORES_PID
+    if _STORES_PID == os.getpid():
+        for store in _STORES.values():
+            store.close()
+    else:
+        _ORPHANS.extend(_STORES.values())
     _STORES.clear()
+    _STORES_PID = os.getpid()

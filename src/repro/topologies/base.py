@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import time
+import warnings
 
 import numpy as np
 
@@ -549,6 +550,13 @@ class CircuitSimulator(abc.ABC):
     spec_space: SpecSpace
     counter: SimulationCounter
     _pool = None
+    #: Address tuple of the current pool when it is remote (None = local).
+    _pool_remote = None
+    #: Address tuple of a worker set that failed to handshake/connect —
+    #: remembered so fallback does not re-dial every batch.
+    _remote_failed = None
+    #: Whether the one-shot remote-degradation warning already fired.
+    _remote_warned = False
     _cache = None
     #: Supervision record of the most recent batched evaluation
     #: (:class:`~repro.sim.faults.BatchReport`; None before the first).
@@ -568,8 +576,22 @@ class CircuitSimulator(abc.ABC):
         :class:`~repro.pex.extraction.PexSimulator`) override this with a
         stacked solve that is several times faster than the loop.
         """
-        indices_2d = np.atleast_2d(np.asarray(indices_2d, dtype=np.int64))
+        indices_2d = self._normalize_batch(indices_2d)
         return [self.evaluate(row) for row in indices_2d]
+
+    def _normalize_batch(self, indices_2d) -> np.ndarray:
+        """Coerce a batch argument into a well-formed ``(B, P)`` array.
+
+        ``np.atleast_2d`` maps an empty input to shape ``(1, 0)`` — one
+        bogus zero-parameter design — so empty batches are normalised to
+        ``(0, P)`` explicitly: they flow through the pipeline as a real
+        (trivial) batch and come back as an empty result with a clean,
+        well-formed report instead of crashing in the engine or the
+        shared-memory layer."""
+        indices_2d = np.asarray(indices_2d, dtype=np.int64)
+        if indices_2d.size == 0:
+            return indices_2d.reshape(0, len(self.parameter_space.names))
+        return np.atleast_2d(indices_2d)
 
     def _plan_batch(self, indices_2d: np.ndarray, cache) -> _BatchPlan:
         """Cache/counting front half of batched evaluation.
@@ -586,7 +608,7 @@ class CircuitSimulator(abc.ABC):
         individually).
         """
         indices_2d = self.parameter_space.clip(
-            np.atleast_2d(np.asarray(indices_2d, dtype=np.int64)))
+            self._normalize_batch(indices_2d))
         B = len(indices_2d)
         store = get_store()
         scope = self._store_scope() if store is not None else None
@@ -981,16 +1003,89 @@ class CircuitSimulator(abc.ABC):
         return [{name: float(x) for name, x in zip(spec_names, row)}
                 for row in out]
 
+    def _remote_hello(self):
+        """Handshake payload for remote shard workers, or None when the
+        simulator cannot be served remotely (no content-addressable
+        identity to verify against the worker's replica) — callers then
+        fall back to local evaluation.  Implemented by
+        :class:`SchematicSimulator`."""
+        return None
+
+    def _warn_remote_once(self, message: str) -> None:
+        """Emit one remote-transport degradation warning per simulator.
+
+        Falling back to local evaluation is the healing path (a batch
+        must never fail because a worker host is incompatible or down),
+        but doing it silently would hide a dead cluster — so the first
+        fallback warns and the rest stay quiet."""
+        if not self._remote_warned:
+            self._remote_warned = True
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+    def _resolve_remote_pool(self, addresses):
+        """The live remote shard pool for ``addresses``, or None.
+
+        Reuses the current pool while the address list is unchanged;
+        reconnects when it changed or the pool died.  Handshake or
+        connection failures warn once and return None (local fallback)
+        — and are remembered per address list, so an incompatible or
+        unreachable worker set is not re-dialled on every batch.
+        """
+        from repro.sim.parallel import ShardPool
+
+        hello = self._remote_hello()
+        if hello is None:
+            self._warn_remote_once(
+                f"{type(self).__name__} cannot evaluate remotely "
+                "(no remote handshake); REPRO_WORKERS ignored")
+            return None
+        pool = self._pool
+        if pool is not None and self._pool_remote == addresses \
+                and not pool.closed:
+            return pool
+        if self._remote_failed == addresses:
+            return None
+        self.close_shard_pool(abandon_ok=True)
+        failed = self.failure_measurements()
+        try:
+            pool = ShardPool(None, len(addresses),
+                             self.parameter_space.names,
+                             self.spec_space.names,
+                             failure_row=[failed[name] for name
+                                          in self.spec_space.names],
+                             addresses=addresses, hello=hello)
+        except TrainingError as exc:
+            self._remote_failed = addresses
+            self._warn_remote_once(
+                f"remote shard workers unavailable ({exc}); "
+                "evaluating locally")
+            return None
+        self._pool = pool
+        self._pool_remote = addresses
+        return pool
+
     def _resolve_shard_pool(self, n_values: int):
         """The live shard pool, or None when sharding does not apply.
 
-        Returns None when sharding is off (``REPRO_SHARDS`` <= 1), the
-        batch is trivial, or the simulator has no factory — callers then
-        run the in-process engine.  Spawns/respawns the pool when the
-        requested worker count changes or a previous pool died.
+        Remote workers (``REPRO_WORKERS=host:port,...``) take precedence
+        over local sharding and apply to any non-empty batch; an
+        unreachable or incompatible worker set warns once and falls
+        back to the local policy below.  Locally, returns None when
+        sharding is off (``REPRO_SHARDS`` <= 1), the batch is trivial,
+        or the simulator has no factory — callers then run the
+        in-process engine.  Spawns/respawns the pool when the requested
+        worker count changes or a previous pool died.
         """
         from repro.sim.parallel import ShardPool, shard_count
+        from repro.sim.remote import remote_addresses
 
+        addresses = remote_addresses()
+        if addresses and n_values >= 1:
+            pool = self._resolve_remote_pool(addresses)
+            if pool is not None:
+                return pool
+        elif not addresses and self._pool_remote is not None:
+            self.close_shard_pool()   # remote turned off: hang up
         n = shard_count()
         if n <= 1 or n_values < 2:
             if n <= 1:
@@ -1000,9 +1095,9 @@ class CircuitSimulator(abc.ABC):
         if factory is None:
             return None
         pool = self._pool
-        if pool is None or len(pool) != n or pool.closed:
-            if pool is not None:
-                pool.close(abandon_ok=True)
+        if (pool is None or len(pool) != n or pool.closed
+                or self._pool_remote is not None):
+            self.close_shard_pool(abandon_ok=True)
             failed = self.failure_measurements()
             pool = ShardPool(factory, n, self.parameter_space.names,
                              self.spec_space.names,
@@ -1028,11 +1123,17 @@ class CircuitSimulator(abc.ABC):
         self._absorb_fresh_provenance()
         return self._rows_to_specs(out)
 
-    def close_shard_pool(self) -> None:
-        """Shut down this simulator's shard pool, if one was spawned."""
+    def close_shard_pool(self, abandon_ok: bool = False) -> None:
+        """Shut down this simulator's shard pool, if one was spawned
+        (local workers are reaped; remote connections hang up).
+
+        ``abandon_ok`` forwards to :meth:`ShardPool.close`: pool
+        reconfiguration tears the old pool down without raising over
+        tickets it abandoned."""
         if self._pool is not None:
-            self._pool.close()
+            self._pool.close(abandon_ok=abandon_ok)
             self._pool = None
+        self._pool_remote = None
 
     def reset_counter(self) -> None:
         """Zero the simulation counter (per-experiment accounting)."""
@@ -1149,6 +1250,21 @@ class SchematicSimulator(CircuitSimulator):
         topology = self.topology
         return _SchematicShardFactory(type(topology), topology.technology,
                                       topology.corner, topology.temperature)
+
+    def _remote_hello(self) -> dict:
+        """Handshake payload for remote shard workers.
+
+        The store-scope digest is the compatibility check: it pins the
+        schema version, topology class, corner, temperature,
+        technology, parameter grids, spec names, resolved engine and
+        netlist structure — a worker hosting anything else rejects the
+        connection and the client falls back to local evaluation."""
+        from repro.sim.remote import REMOTE_SCHEMA_VERSION
+
+        return {"schema": REMOTE_SCHEMA_VERSION,
+                "scope": self._store_scope(),
+                "param_names": list(self.parameter_space.names),
+                "spec_names": list(self.spec_space.names)}
 
     @property
     def cache_stats(self) -> dict[str, float]:

@@ -38,6 +38,12 @@ class TestProfileParsing:
         assert hang == FaultDirective("hang", at=3, worker=0)
         assert delay == FaultDirective("delay", at=1, worker=2, arg=0.2)
 
+    def test_drop_directive(self):
+        """drop@N is the remote chaos event: the worker severs its
+        transport instead of dying, and parses like any other event."""
+        (d,) = parse_fault_profile("drop@2#1")
+        assert d == FaultDirective("drop", at=2, worker=1)
+
     def test_poison_directive(self):
         (d,) = parse_fault_profile("poison@3f2a9c0d11ee")
         assert d.kind == "poison" and d.digest == "3f2a9c0d11ee"
@@ -104,6 +110,50 @@ class TestSupervisorConfig:
     def test_negative_values_rejected(self):
         with pytest.raises(TrainingError):
             SupervisorConfig(timeout=-1.0)
+
+    def test_backoff_delay_ladder(self):
+        config = SupervisorConfig(backoff=0.1)
+        assert config.backoff_delay(1) == pytest.approx(0.1)
+        assert config.backoff_delay(2) == pytest.approx(0.2)
+        assert config.backoff_delay(3) == pytest.approx(0.4)
+        assert SupervisorConfig(backoff=0.0).backoff_delay(2) == 0.0
+
+
+class TestNonBlockingBackoff:
+    """Retry backoff must gate only the flaky job, never the pool
+    (regression: the supervisor used to time.sleep the backoff in its
+    service loop, stalling every shard and — with a timeout armed —
+    spuriously expiring healthy queue-head deadlines)."""
+
+    def test_healthy_shard_unaffected_by_backoff(self, opamp_batch,
+                                                 monkeypatch):
+        sim, designs = opamp_batch
+        backoff = 1.2
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_TIMEOUT", raising=False)
+        base = sim.evaluate_batch(designs)
+        sim.close_shard_pool()
+        monkeypatch.setenv("REPRO_FAULTS", "exc@1")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", str(backoff))
+        # A timeout far below the backoff: if deferral blocked the
+        # service loop, the healthy shard's deadline would expire while
+        # the supervisor slept and the run would report timeout faults.
+        monkeypatch.setenv("REPRO_TIMEOUT", "30")
+        try:
+            out = sim.evaluate_batch(designs)
+            report = sim.last_batch_report
+        finally:
+            sim.close_shard_pool()
+        assert out == base
+        assert report.retries >= 1
+        assert all(f.kind == "solve-error" for f in report.faults)
+        # The healthy shard (rows 4..) finished at normal solve speed;
+        # only the flaky shard's rows carry the backoff wait.
+        healthy = report.latency[len(designs) // 2:]
+        flaky = report.latency[:len(designs) // 2]
+        assert healthy.max() < backoff
+        assert flaky.max() >= backoff
 
 
 class TestChaosEquivalence:

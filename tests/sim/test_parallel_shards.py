@@ -189,6 +189,72 @@ class TestSubmitCollect:
             pool.close()
 
 
+class TestInflightGuard:
+    def test_evaluate_values_rejects_inflight_tickets(self, opamp_batch):
+        """The blocking entry drains the FIFO, so letting it run with
+        tickets outstanding would collect another caller's batch
+        (regression: it silently returned the oldest ticket's rows).
+        It must raise, naming the outstanding tickets, and leave them
+        collectable."""
+        sim, designs = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        try:
+            arr = np.array([[sim.parameter_space.values(row)[n]
+                             for n in sim.parameter_space.names]
+                            for row in designs[:6]])
+            baseline = pool.evaluate_values(arr)
+            ticket = pool.submit_values(arr)
+            with pytest.raises(TrainingError,
+                               match=f"#{ticket.id} \\(6 designs\\)"):
+                pool.evaluate_values(arr)
+            # The guard did not disturb the outstanding batch.
+            np.testing.assert_array_equal(pool.collect(ticket), baseline)
+            np.testing.assert_array_equal(pool.evaluate_values(arr),
+                                          baseline)
+        finally:
+            pool.close()
+
+
+class TestEmptyBatch:
+    def test_pool_empty_batch_round_trips(self, opamp_batch):
+        """B=0 must flow through submit/collect as a (0, n_specs) array
+        (regression: np.atleast_2d turned the empty batch into one
+        garbage design row)."""
+        sim, _ = opamp_batch
+        pool = ShardPool(sim.shard_factory(), 2,
+                         sim.parameter_space.names, sim.spec_space.names)
+        try:
+            empty = np.zeros((0, len(sim.parameter_space.names)))
+            out = pool.evaluate_values(empty)
+            assert out.shape == (0, len(sim.spec_space.names))
+            ticket = pool.submit_values(empty)
+            assert ticket.n_rows == 0
+            out = pool.collect(ticket)
+            assert out.shape == (0, len(sim.spec_space.names))
+            assert pool.n_inflight == 0
+        finally:
+            pool.close()
+
+    def test_simulator_empty_batch(self, shards_env, opamp_batch):
+        """evaluate_batch([]) returns [] with a clean 0-design report —
+        in-process and through a shard pool alike."""
+        sim, _ = opamp_batch
+        empty = np.zeros((0, len(sim.parameter_space.names)), dtype=np.int64)
+        for shards in (1, 2):
+            shards_env(shards)
+            try:
+                assert sim.evaluate_batch(empty) == []
+                assert sim.evaluate_batch([]) == []
+                report = sim.last_batch_report
+                assert report.clean and len(report.attempts) == 0
+            finally:
+                sim.close_shard_pool()
+        ticket = sim.submit_batch(empty)
+        assert sim.collect_batch(ticket) == []
+        sim.close_shard_pool()
+
+
 class TestWorkerFailure:
     """The supervised pool's healing contract: worker loss is invisible
     in the results (respawn + bitwise-identical re-run), never a

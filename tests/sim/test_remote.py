@@ -1,0 +1,382 @@
+"""Remote shard transport: socket-backed workers must be
+indistinguishable from local shard workers — same FIFO, same
+supervision, bitwise-identical results — and `repro serve` must answer
+sizing queries over plain newline JSON."""
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import TrainingError
+from repro.sim.parallel import ShardPool
+from repro.sim.remote import (REMOTE_SCHEMA_VERSION, WORKERS_ENV,
+                              recv_frame, remote_addresses, send_frame)
+from repro.topologies import SchematicSimulator, TransimpedanceAmplifier
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spawn_server(*cli_args, env_extra=None):
+    """Start a repro CLI server subprocess; returns (proc, host, port).
+
+    Readiness is the printed ``... listening on HOST:PORT`` line, so the
+    test never races the bind."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    for var in ("REPRO_WORKERS", "REPRO_FAULTS", "REPRO_SHARDS"):
+        env.pop(var, None)
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+    return proc, host, int(port)
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    """Two `repro worker tia` subprocesses on loopback ephemeral ports."""
+    procs, addresses = [], []
+    for _ in range(2):
+        proc, host, port = _spawn_server("worker", "tia",
+                                         "--listen", "127.0.0.1:0")
+        procs.append(proc)
+        addresses.append(f"{host}:{port}")
+    yield ",".join(addresses)
+    for proc in procs:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def tia_batch():
+    sim = SchematicSimulator(TransimpedanceAmplifier(), cache=False)
+    rng = np.random.default_rng(17)
+    designs = np.stack([sim.parameter_space.sample(rng) for _ in range(8)])
+    yield sim, designs
+    sim.close_shard_pool()
+
+
+class TestAddressParsing:
+    def test_unset_is_empty(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert remote_addresses() == ()
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert remote_addresses() == ()
+
+    def test_valid_list(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "a:1, b:65535 ,127.0.0.1:9100")
+        assert remote_addresses() == (("a", 1), ("b", 65535),
+                                      ("127.0.0.1", 9100))
+
+    @pytest.mark.parametrize("bad", ["host", "host:", ":123", "host:0",
+                                     "host:70000", "host:x"])
+    def test_malformed_raises(self, monkeypatch, bad):
+        monkeypatch.setenv(WORKERS_ENV, bad)
+        with pytest.raises(TrainingError, match=WORKERS_ENV):
+            remote_addresses()
+
+
+class TestFrameLayer:
+    def test_round_trip_and_eof(self):
+        a, b = socket.socketpair()
+        try:
+            blob = np.arange(6, dtype=np.float64).tobytes()
+            send_frame(a, {"cmd": "eval", "req_id": 3}, blob)
+            header, payload = recv_frame(b)
+            assert header == {"cmd": "eval", "req_id": 3}
+            assert payload == blob
+            send_frame(b, {"cmd": "ok"})
+            assert recv_frame(a) == ({"cmd": "ok"}, b"")
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            for sock in (a, b):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def test_corrupt_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">II", 1 << 30, 0))
+            with pytest.raises(TrainingError, match="corrupt"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestLoopbackEquivalence:
+    def test_remote_bitwise_equal_to_local_pool(self, worker_pair,
+                                                tia_batch, monkeypatch):
+        """The whole point of the duck-typed transport: the same batch
+        through two remote workers is bitwise identical to the local
+        two-shard pool (same decomposition, same store-aware worker
+        entry, same canonical warm seeds)."""
+        sim, designs = tia_batch
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        local = sim.evaluate_batch(designs)
+        assert sim._pool_remote is None
+        sim.close_shard_pool()
+        monkeypatch.setenv(WORKERS_ENV, worker_pair)
+        remote = sim.evaluate_batch(designs)
+        assert sim._pool_remote is not None
+        assert sim.last_batch_report.clean
+        assert remote == local   # bitwise: dict float equality
+        sim.close_shard_pool()
+
+    def test_pool_reused_and_released(self, worker_pair, tia_batch,
+                                      monkeypatch):
+        sim, designs = tia_batch
+        monkeypatch.setenv(WORKERS_ENV, worker_pair)
+        sim.evaluate_batch(designs[:4])
+        pool = sim._pool
+        assert pool is not None and len(pool) == 2
+        sim.evaluate_batch(designs[4:])
+        assert sim._pool is pool      # reused, not re-dialed
+        # Dropping the knob tears the remote pool down again.
+        monkeypatch.delenv(WORKERS_ENV)
+        sim.evaluate_batch(designs[:2])
+        assert sim._pool_remote is None
+
+    def test_workers_env_overrides_shards(self, worker_pair, tia_batch,
+                                          monkeypatch):
+        sim, designs = tia_batch
+        monkeypatch.setenv(WORKERS_ENV, worker_pair)
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        sim.close_shard_pool()
+        sim.evaluate_batch(designs[:2])
+        assert sim._pool is not None and len(sim._pool) == 2
+        sim.close_shard_pool()
+
+
+class TestRemoteChaos:
+    """Fault directives ship in the hello, so the chaos plane drives the
+    remote transport exactly like local workers — and every profile must
+    heal bitwise."""
+
+    def _run(self, sim, designs, monkeypatch, workers, profile=None,
+             timeout=None):
+        monkeypatch.setenv(WORKERS_ENV, workers)
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        if profile is None:
+            monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_FAULTS", profile)
+        if timeout is None:
+            monkeypatch.delenv("REPRO_TIMEOUT", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_TIMEOUT", str(timeout))
+        try:
+            return sim.evaluate_batch(designs), sim.last_batch_report
+        finally:
+            sim.close_shard_pool()   # next run re-reads the profile
+
+    def test_connection_drop_heals_bitwise(self, worker_pair, tia_batch,
+                                           monkeypatch):
+        """drop@1: the server child severs the socket mid-batch; the
+        supervisor sees EOF, reconnects the slot and re-runs — results
+        stay bitwise equal and the fault lands on the report as a
+        worker death."""
+        sim, designs = tia_batch
+        base, base_report = self._run(sim, designs, monkeypatch, worker_pair)
+        assert base_report.clean
+        out, report = self._run(sim, designs, monkeypatch, worker_pair,
+                                profile="drop@1")
+        assert out == base
+        assert any(f.kind == "worker-death" for f in report.faults)
+        assert report.respawns >= 1
+        assert not report.quarantined.any()
+
+    def test_injected_kill_heals_bitwise(self, worker_pair, tia_batch,
+                                         monkeypatch):
+        sim, designs = tia_batch
+        base, _ = self._run(sim, designs, monkeypatch, worker_pair)
+        out, report = self._run(sim, designs, monkeypatch, worker_pair,
+                                profile="kill@1")
+        assert out == base
+        assert any(f.kind == "worker-death" for f in report.faults)
+        assert report.respawns >= 1
+
+    def test_slow_worker_times_out_and_heals(self, worker_pair, tia_batch,
+                                             monkeypatch):
+        """hang@1 + REPRO_TIMEOUT: the deadline kills the *connection*
+        (the remote analogue of killing the process); the reconnected
+        slot answers and the batch completes bitwise equal."""
+        sim, designs = tia_batch
+        base, _ = self._run(sim, designs, monkeypatch, worker_pair)
+        out, report = self._run(sim, designs, monkeypatch, worker_pair,
+                                profile="hang@1", timeout=3)
+        assert out == base
+        assert any(f.kind == "timeout" for f in report.faults)
+        assert report.respawns >= 1
+
+    def test_worker_error_is_retried_not_fatal(self, worker_pair,
+                                               tia_batch, monkeypatch):
+        sim, designs = tia_batch
+        base, _ = self._run(sim, designs, monkeypatch, worker_pair)
+        out, report = self._run(sim, designs, monkeypatch, worker_pair,
+                                profile="exc@1")
+        assert out == base
+        assert any(f.kind == "solve-error" for f in report.faults)
+        assert report.respawns == 0   # error replies keep the slot alive
+
+
+class TestHandshake:
+    def test_schema_mismatch_raises(self, worker_pair, tia_batch):
+        sim, _ = tia_batch
+        hello = dict(sim._remote_hello())
+        hello["schema"] = REMOTE_SCHEMA_VERSION + 1
+        addresses = [tuple([h, int(p)]) for h, _, p in
+                     (a.rpartition(":") for a in worker_pair.split(","))]
+        with pytest.raises(TrainingError, match="schema version"):
+            ShardPool(None, len(addresses), sim.parameter_space.names,
+                      sim.spec_space.names, addresses=addresses,
+                      hello=hello)
+
+    def test_scope_mismatch_falls_back_local(self, worker_pair,
+                                             monkeypatch):
+        """A client for a different circuit must never get answers from
+        tia workers: the scope digest rejects the handshake, a
+        RuntimeWarning names the failure, and evaluation completes
+        locally."""
+        from repro.topologies import TwoStageOpAmp
+
+        sim = SchematicSimulator(TwoStageOpAmp(), cache=False)
+        rng = np.random.default_rng(3)
+        designs = np.stack([sim.parameter_space.sample(rng)
+                            for _ in range(3)])
+        monkeypatch.setenv(WORKERS_ENV, worker_pair)
+        try:
+            with pytest.warns(RuntimeWarning, match="remote shard workers"):
+                out = sim.evaluate_batch(designs)
+            assert sim._pool_remote is None   # fell back to local
+            assert len(out) == 3 and sim.last_batch_report.clean
+            # The failed address set is remembered: no warning spam, no
+            # re-dial per batch.
+            out2 = sim.evaluate_batch(designs)
+            assert out2 == out
+        finally:
+            sim.close_shard_pool()
+
+    def test_unreachable_worker_falls_back_local(self, tia_batch,
+                                                 monkeypatch):
+        sim, designs = tia_batch
+        # A bound-then-closed socket yields a port nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        monkeypatch.setenv(WORKERS_ENV, f"127.0.0.1:{dead_port}")
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            out = sim.evaluate_batch(designs[:2])
+        assert sim._pool_remote is None
+        assert len(out) == 2
+        sim.close_shard_pool()
+
+
+class TestServeFrontend:
+    def test_query_round_trip_bitwise(self, tia_batch):
+        """`repro serve` answers a JSON sizing query with spec dicts
+        bitwise equal to a local evaluate_batch of the same rows."""
+        sim, designs = tia_batch
+        expected = sim.evaluate_batch(designs[:3])
+        proc, host, port = _spawn_server("serve", "tia",
+                                         "--listen", "127.0.0.1:0")
+        try:
+            sock = socket.create_connection((host, port), timeout=20)
+            stream = sock.makefile("rw", encoding="utf-8")
+            query = {"id": 42, "indices": designs[:3].tolist()}
+            stream.write(json.dumps(query) + "\n")
+            stream.flush()
+            reply = json.loads(stream.readline())
+            assert reply["id"] == 42
+            assert reply["clean"] is True and reply["quarantined"] == 0
+            assert reply["specs"] == expected
+            # Malformed queries answer with an error, not a hangup.
+            stream.write("{\"nope\": 1}\n")
+            stream.flush()
+            bad = json.loads(stream.readline())
+            assert bad["id"] is None and "KeyError" in bad["error"]
+            # And the connection still serves the next good query.
+            stream.write(json.dumps(query) + "\n")
+            stream.flush()
+            assert json.loads(stream.readline())["specs"] == expected
+            sock.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    def test_serve_chained_to_remote_workers(self, worker_pair, tia_batch):
+        """serve --workers chains the front-end onto remote shard
+        workers: the reply is still bitwise equal to local evaluation."""
+        sim, designs = tia_batch
+        expected = sim.evaluate_batch(designs[:4])
+        proc, host, port = _spawn_server(
+            "serve", "tia", "--listen", "127.0.0.1:0",
+            "--workers", worker_pair)
+        try:
+            sock = socket.create_connection((host, port), timeout=20)
+            stream = sock.makefile("rw", encoding="utf-8")
+            stream.write(json.dumps(
+                {"id": "x", "indices": designs[:4].tolist()}) + "\n")
+            stream.flush()
+            reply = json.loads(stream.readline())
+            assert reply["id"] == "x" and reply["clean"] is True
+            assert reply["specs"] == expected
+            sock.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestConcurrentClients:
+    def test_one_worker_host_serves_two_pools(self, worker_pair,
+                                              tia_batch):
+        """The forking acceptor hands every connection its own child, so
+        two client pools can share one worker address concurrently."""
+        sim, designs = tia_batch
+        address = worker_pair.split(",")[0]
+        host, _, port = address.rpartition(":")
+        arr = np.array([[sim.parameter_space.values(row)[n]
+                         for n in sim.parameter_space.names]
+                        for row in designs[:4]])
+        hello = sim._remote_hello()
+        results, errors = {}, []
+
+        def run(key):
+            try:
+                pool = ShardPool(None, 1, sim.parameter_space.names,
+                                 sim.spec_space.names,
+                                 addresses=[(host, int(port))], hello=hello)
+                try:
+                    results[key] = pool.evaluate_values(arr)
+                finally:
+                    pool.close()
+            except Exception as exc:   # surface in the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(k,)) for k in "ab"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        np.testing.assert_array_equal(results["a"], results["b"])

@@ -88,6 +88,58 @@ class TestKnobs:
         assert len(a) == 16
 
 
+class TestForkGuard:
+    """The store singleton is per-process: a fork-started child that
+    inherits the parent's ``_STORES`` must not reuse the parent's SQLite
+    handle (regression: cross-process use of one sqlite3 connection
+    corrupts the shared store file)."""
+
+    def test_inherited_stores_parked_not_reused(self, tmp_path):
+        import repro.sim.store as store_mod
+
+        with store_env("disk", tmp_path):
+            parent_store = get_store()
+            assert parent_store is not None
+            # Simulate what a fork-started child observes: a stale pid
+            # stamp over an inherited _STORES dict.
+            store_mod._STORES_PID -= 1
+            orphans_before = len(store_mod._ORPHANS)
+            child_store = get_store()
+            assert child_store is not parent_store
+            assert store_mod._STORES_PID == os.getpid()
+            # The inherited handle is parked (the connection belongs to
+            # the "parent"), never closed from the "child".
+            assert store_mod._ORPHANS[orphans_before:] == [parent_store]
+            store_mod._ORPHANS[:] = store_mod._ORPHANS[:orphans_before]
+
+    def test_fork_started_child_gets_fresh_store(self, tmp_path):
+        """End to end: the child re-opens the disk store under its own
+        pid, reads the parent's row, and the parent's handle still works
+        afterwards."""
+        import multiprocessing as mp
+
+        import repro.sim.store as store_mod
+
+        def child(queue):
+            store = get_store()
+            queue.put((store_mod._STORES_PID == os.getpid(),
+                       store.get_result("scope", (1, 2)) is not None,
+                       len(store_mod._ORPHANS)))
+
+        with store_env("disk", tmp_path):
+            store = get_store()
+            store.put_result("scope", (1, 2), np.array([1.0, 2.0]))
+            ctx = mp.get_context("fork")
+            queue = ctx.Queue()
+            process = ctx.Process(target=child, args=(queue,))
+            process.start()
+            fresh_pid, row_readable, orphans = queue.get(timeout=30)
+            process.join(timeout=30)
+            assert process.exitcode == 0
+            assert fresh_pid and row_readable and orphans == 1
+            assert store.get_result("scope", (1, 2)) is not None
+
+
 class TestWarmIndex:
     def test_nearest_and_replace(self):
         idx = _WarmIndex(capacity=8)

@@ -24,6 +24,7 @@ import repro
 STRICT_MODULES = (
     "repro.sim.faults",
     "repro.sim.parallel",
+    "repro.sim.remote",
     "repro.sim.sparse",
     "repro.sim.store",
     "repro.rl.parallel",
