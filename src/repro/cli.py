@@ -17,9 +17,15 @@ writing any Python:
   (evaluation backend for ``REPRO_WORKERS`` / ``repro serve``);
 * ``serve``           — stateless sizing-evaluation front-end answering
   newline-delimited JSON queries over a socket;
+* ``zoo``             — the declarative scenario zoo (:mod:`repro.zoo`):
+  ``zoo list``, ``zoo validate [name|--all]``, ``zoo show <name>``;
 * ``experiments``     — list the paper-experiment registry;
 * ``knobs``           — list the runtime knobs (``REPRO_*``; see
   ``docs/knobs.md``).
+
+Every command taking a topology accepts zoo scenario names (builtin and
+``REPRO_ZOO_DIR``) alongside the module aliases below — a declared
+scenario trains, serves and simulates exactly like a module class.
 """
 
 from __future__ import annotations
@@ -55,12 +61,35 @@ TOPOLOGIES = {
 }
 
 
-def _topology(name: str):
+def _topology_factory(name: str):
+    """Resolve a topology argument to a zero-argument factory.
+
+    Module aliases win on collision; everything else looks up the zoo
+    registry, so compiled scenarios flow through ``train``/``serve``/
+    ``worker``/... exactly like classes."""
+    from repro.errors import TopologyError
+    from repro.zoo import scenario
+
+    if name in TOPOLOGIES:
+        return TOPOLOGIES[name]
     try:
-        return TOPOLOGIES[name]()
-    except KeyError:
-        raise SystemExit(f"unknown topology {name!r}; choose from "
-                         f"{sorted(TOPOLOGIES)}")
+        return scenario(name)
+    except TopologyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _topology(name: str):
+    """Build the topology instance a CLI command operates on."""
+    return _topology_factory(name)()
+
+
+def _topology_names() -> list[str]:
+    """Argparse choices: module aliases plus every registered scenario
+    (best effort — a broken user zoo degrades to the builtin set so the
+    parser, and ``repro zoo validate``'s diagnosis, keep working)."""
+    from repro.zoo import scenario_names
+
+    return sorted(set(TOPOLOGIES) | set(scenario_names(strict=False)))
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -114,7 +143,8 @@ def cmd_train(args: argparse.Namespace) -> int:
             stop_patience=3,
             seed=args.seed,
         )
-    agent = AutoCkt.for_topology(TOPOLOGIES[args.topology], config=config)
+    agent = AutoCkt.for_topology(_topology_factory(args.topology),
+                                 config=config)
 
     def progress(trainer, history):
         i = history.iterations[-1]
@@ -151,7 +181,7 @@ def cmd_config_template(args: argparse.Namespace) -> int:
 
 def cmd_deploy(args: argparse.Namespace) -> int:
     """Load a policy and chase N random unseen targets."""
-    agent = AutoCkt.for_topology(TOPOLOGIES[args.topology])
+    agent = AutoCkt.for_topology(_topology_factory(args.topology))
     agent.load_policy(args.policy)
     report = agent.deploy(args.targets, seed=args.seed,
                           max_steps=args.horizon)
@@ -294,6 +324,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_zoo_list(_args: argparse.Namespace) -> int:
+    """List every registered zoo scenario."""
+    from repro.errors import TopologyError
+    from repro.zoo import registry
+
+    try:
+        scenarios = registry()
+    except TopologyError as exc:
+        raise SystemExit(str(exc)) from None
+    rows = [[name, s.base_cls.__name__, os.path.basename(s.source),
+             s.description] for name, s in sorted(scenarios.items())]
+    print(ascii_table(["scenario", "class", "file", "description"], rows,
+                      title=f"Scenario zoo ({len(rows)} registered)"))
+    return 0
+
+
+def cmd_zoo_validate(args: argparse.Namespace) -> int:
+    """Validate the zoo (one scenario, or everything with ``--all``).
+
+    The registry load *is* the validation — parsing, inheritance
+    resolution, variant expansion and semantic checks all run there —
+    so any broken builtin or ``REPRO_ZOO_DIR`` file surfaces here with
+    its file and key path, exit code 1."""
+    from repro.errors import TopologyError
+    from repro.zoo import registry
+
+    try:
+        scenarios = registry()
+    except TopologyError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    if args.name:
+        if args.name not in scenarios:
+            print(f"INVALID: unknown scenario {args.name!r}; registered: "
+                  f"{', '.join(sorted(scenarios))}")
+            return 1
+        print(f"OK: {args.name} ({scenarios[args.name].source})")
+        return 0
+    for name in sorted(scenarios):
+        print(f"OK: {name}")
+    print(f"{len(scenarios)} scenarios valid")
+    return 0
+
+
+def cmd_zoo_show(args: argparse.Namespace) -> int:
+    """Print one scenario's resolved description as JSON."""
+    from repro.errors import TopologyError
+    from repro.zoo import scenario
+
+    try:
+        print(json.dumps(scenario(args.name).describe(), indent=2))
+    except TopologyError as exc:
+        raise SystemExit(str(exc)) from None
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     """List the paper-experiment registry."""
     rows = [[e.key, e.title, e.bench] for e in EXPERIMENTS.values()]
@@ -324,6 +410,8 @@ KNOBS = [
      "persistent result store + Newton warm-start cache"),
     ("REPRO_CACHE_DIR", "path", ".repro-cache",
      "disk-tier location of the REPRO_CACHE=disk store"),
+    ("REPRO_ZOO_DIR", "dir[:dir...]", "",
+     "user scenario-zoo directories (repro zoo; YAML/JSON declarations)"),
     ("REPRO_MODAL_AC", "1|0", "1",
      "modal pole-residue AC fast path (0 forces direct solves)"),
     ("AUTOCKT_FULL", "0|1", "0",
@@ -344,19 +432,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AutoCkt reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
+    topologies = _topology_names()
 
     p = sub.add_parser("info", help="describe a topology")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("simulate", help="evaluate one sizing")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--indices", help="comma-separated grid indices "
                                      "(default: grid centre)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("train", help="train an agent")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--config", help="JSON config file (see config-template); "
                                     "overrides the other training flags")
     p.add_argument("--output", default="policy.npz")
@@ -377,7 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_config_template)
 
     p = sub.add_parser("deploy", help="deploy a trained policy")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--policy", default="policy.npz")
     p.add_argument("--targets", type=int, default=100)
     p.add_argument("--horizon", type=int, default=30)
@@ -386,7 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sensitivity",
                        help="spec-vs-parameter sensitivity matrix")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--indices", help="comma-separated grid indices")
     p.add_argument("--step", type=int, default=1)
     p.add_argument("--slopes", action="store_true",
@@ -395,14 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_sensitivity)
 
     p = sub.add_parser("sweep", help="sweep one parameter, plot the specs")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("parameter")
     p.add_argument("--indices", help="comma-separated grid indices")
     p.add_argument("--points", type=int, default=25)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("montecarlo", help="mismatch Monte Carlo of a sizing")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--indices", help="comma-separated grid indices")
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--avth", type=float, default=3.5,
@@ -411,21 +500,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_montecarlo)
 
     p = sub.add_parser("poles", help="pole analysis of a sizing")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--indices", help="comma-separated grid indices")
     p.set_defaults(fn=cmd_poles)
 
     p = sub.add_parser("datasheet",
                        help="full datasheet of a sizing (specs, bias, "
                             "poles, power, area)")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--indices", help="comma-separated grid indices")
     p.set_defaults(fn=cmd_datasheet)
 
     p = sub.add_parser("worker",
                        help="host a remote shard worker (REPRO_WORKERS "
                             "backend)")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--listen", default="127.0.0.1:0",
                    help="HOST:PORT to listen on (port 0 = ephemeral; the "
                         "bound port is printed on the readiness line)")
@@ -434,13 +523,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve",
                        help="stateless sizing front-end (newline JSON "
                             "queries in, spec rows out)")
-    p.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p.add_argument("topology", choices=topologies)
     p.add_argument("--listen", default="127.0.0.1:0",
                    help="HOST:PORT to listen on (port 0 = ephemeral)")
     p.add_argument("--workers", default="",
                    help="host:port,... of repro worker processes to "
                         "evaluate on (default: in this process)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("zoo", help="declarative scenario zoo "
+                                   "(list / validate / show)")
+    zoo_sub = p.add_subparsers(dest="zoo_command", required=True)
+    zp = zoo_sub.add_parser("list", help="list registered scenarios")
+    zp.set_defaults(fn=cmd_zoo_list)
+    zp = zoo_sub.add_parser("validate",
+                            help="validate scenario declarations "
+                                 "(builtin + REPRO_ZOO_DIR)")
+    zp.add_argument("name", nargs="?",
+                    help="one scenario to validate (default: all)")
+    zp.add_argument("--all", action="store_true",
+                    help="validate every declaration (the default when "
+                         "no name is given)")
+    zp.set_defaults(fn=cmd_zoo_validate)
+    zp = zoo_sub.add_parser("show", help="show one scenario, resolved")
+    zp.add_argument("name")
+    zp.set_defaults(fn=cmd_zoo_show)
 
     p = sub.add_parser("experiments", help="list the paper experiments")
     p.set_defaults(fn=cmd_experiments)

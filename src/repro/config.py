@@ -1,4 +1,4 @@
-"""Declarative experiment configuration (JSON round-trip).
+"""Declarative experiment configuration (JSON/YAML round-trip).
 
 Training runs are described by a tree of frozen/plain dataclasses
 (:class:`~repro.core.agent.AutoCktConfig` at the root, nesting
@@ -9,6 +9,11 @@ converts that tree to and from plain dicts/JSON so experiments can be
 versioned as files and re-run from the CLI:
 
     repro train opamp --config runs/opamp.json
+
+Config files may be JSON or YAML — :func:`load_config` parses either
+through the scenario zoo's structured-file loader
+(:func:`repro.zoo.schema.load_structured_file`), so experiment configs
+and zoo declarations share one file dialect and one parse-error surface.
 
 Schedules are polymorphic, so they serialise with a ``"type"`` tag; every
 other node is a plain field dict.  Unknown keys are rejected — a config
@@ -177,14 +182,17 @@ def save_config(config: AutoCktConfig, path: str | pathlib.Path) -> None:
 
 
 def load_config(path: str | pathlib.Path) -> AutoCktConfig:
-    """Read a training configuration from a JSON file."""
+    """Read a training configuration from a JSON or YAML file."""
+    from repro.errors import TopologyError
+    from repro.zoo.schema import load_structured_file
+
     path = pathlib.Path(path)
     if not path.exists():
         raise ConfigError(f"config file not found: {path}")
     try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ConfigError(f"invalid JSON in {path}: {exc}") from None
+        data = load_structured_file(path)
+    except TopologyError as exc:
+        raise ConfigError(str(exc)) from None
     if not isinstance(data, dict):
         raise ConfigError(f"config root must be an object, got {type(data).__name__}")
     return autockt_from_dict(data)

@@ -32,12 +32,17 @@ class CornerSpec:
         The topology is built with the corner's process/temperature and its
         technology's supply voltage scaled by ``vdd_scale``.  When the
         factory is the :class:`Topology` subclass itself (the common
-        case), the corner instance is built directly from the class's
-        default technology card — one construction instead of building a
-        throwaway nominal instance first.
+        case) — or any factory advertising ``supports_corner_kwargs``,
+        such as a compiled zoo scenario — the corner instance is built
+        directly from the factory's default technology card in one
+        construction, instead of building a throwaway nominal instance
+        first (which, for a zoo scenario, would also strip its
+        declaration overrides in the rebuild).
         """
-        if isinstance(topology_factory, type) and issubclass(
-                topology_factory, Topology):
+        if ((isinstance(topology_factory, type)
+             and issubclass(topology_factory, Topology))
+                or getattr(topology_factory, "supports_corner_kwargs",
+                           False)):
             tech = topology_factory.default_technology()
             scaled_tech = dataclasses.replace(
                 tech, vdd=tech.vdd * self.vdd_scale)

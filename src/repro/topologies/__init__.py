@@ -17,6 +17,13 @@ machinery their action spaces are built from.
 * :mod:`repro.topologies.ota_chain` — OTA repeater chain over
   distributed RC interconnect, the large-netlist (sparse-engine)
   scenario family.
+
+Module classes are one of two ways to add a scenario: the declarative
+scenario zoo (:mod:`repro.zoo`) compiles YAML/JSON declarations —
+constructor/attribute/grid/spec overrides plus seeded variant
+generators, inheriting from these classes by their registered ``name``
+— onto the same :class:`Topology` machinery, so variant families cost a
+config file instead of a module.
 """
 
 from repro.topologies.base import CircuitSimulator, SchematicSimulator, Topology

@@ -24,6 +24,7 @@ import abc
 import dataclasses
 import time
 import warnings
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +52,14 @@ class Topology(abc.ABC):
 
     #: Subclasses set a short identifier, e.g. "tia".
     name: str = "topology"
+
+    #: When this instance was built by a compiled zoo scenario
+    #: (:class:`repro.zoo.loader.CompiledScenario`), the scenario recipe
+    #: — the picklable ``(technology, corner, temperature)`` factory the
+    #: shard/PVT machinery must rebuild from, so declaration overrides
+    #: (ctor arguments, attribute patches, narrowed grids) survive the
+    #: round trip to a worker process.  None for module-built instances.
+    zoo_recipe = None
 
     def __init__(self, technology: Technology | None = None,
                  corner: Corner = Corner.TT,
@@ -1246,9 +1255,14 @@ class SchematicSimulator(CircuitSimulator):
         self.topology.reset_warm_start()
 
     def shard_factory(self):
-        """Picklable recipe rebuilding this simulator in a shard worker."""
+        """Picklable recipe rebuilding this simulator in a shard worker.
+
+        Zoo-built topologies rebuild through their scenario recipe
+        (:attr:`Topology.zoo_recipe`) so declaration overrides survive;
+        module-built topologies rebuild from their class."""
         topology = self.topology
-        return _SchematicShardFactory(type(topology), topology.technology,
+        builder = topology.zoo_recipe or type(topology)
+        return _SchematicShardFactory(builder, topology.technology,
                                       topology.corner, topology.temperature)
 
     def _remote_hello(self) -> dict:
@@ -1278,9 +1292,13 @@ class SchematicSimulator(CircuitSimulator):
 @dataclasses.dataclass
 class _SchematicShardFactory:
     """Picklable recipe rebuilding a :class:`SchematicSimulator` replica
-    in a shard worker (caches off: the parent dedupes before sharding)."""
+    in a shard worker (caches off: the parent dedupes before sharding).
 
-    topology_cls: type
+    ``topology_cls`` is any builder accepting the ``(technology, corner,
+    temperature)`` keywords — a :class:`Topology` subclass or a compiled
+    zoo scenario."""
+
+    topology_cls: Callable[..., Topology]
     technology: Technology
     corner: Corner
     temperature: float

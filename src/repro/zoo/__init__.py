@@ -1,0 +1,53 @@
+"""The declarative scenario zoo: sizing scenarios as YAML/JSON data.
+
+A *scenario* is everything the framework needs to size one circuit —
+topology, parameter grids, spec space, environment (corner /
+temperature / technology), optional PEX settings — declared in a small
+config file instead of a Python module.  Declarations inherit from a
+registered :class:`~repro.topologies.base.Topology` class or from each
+other (child overrides win, per key), and seeded variant generators
+expand one file into whole families: chain-length sweeps, load/corner
+grids, randomised scenario families for RL generalisation.
+
+* :mod:`repro.zoo.schema` — the declaration model: allowed fields,
+  parsing, structural validation, round-trip serialisation;
+* :mod:`repro.zoo.loader` — the compile step: inheritance resolution,
+  variant expansion, semantic validation against the base topology, and
+  the cached :func:`~repro.zoo.loader.registry`;
+* ``repro/zoo/builtin/*.yml`` — the shipped scenarios, each proven
+  bitwise-identical to its module-defined base by the test suite.
+
+User scenarios load from the directories named by ``REPRO_ZOO_DIR``
+(``os.pathsep``-separated); the golden, equivalence and CLI test
+matrices enumerate the registry, so a new scenario file grows the test
+matrix with no test-code edit.  Every validation failure raises
+:class:`~repro.errors.TopologyError` naming the file and key path.
+"""
+
+from repro.zoo.loader import (BASE_TOPOLOGIES, TECHNOLOGIES, ZOO_DIR_ENV,
+                              CompiledScenario, builtin_dir,
+                              compile_declarations, registry, scenario,
+                              scenario_names, zoo_dirs)
+from repro.zoo.schema import (Declaration, GridOverride, PexSettings,
+                              SpecOverride, VariantSpec,
+                              load_structured_file, parse_declaration)
+
+__all__ = [
+    "BASE_TOPOLOGIES",
+    "CompiledScenario",
+    "Declaration",
+    "GridOverride",
+    "PexSettings",
+    "SpecOverride",
+    "TECHNOLOGIES",
+    "VariantSpec",
+    "ZOO_DIR_ENV",
+    "builtin_dir",
+    "compile_declarations",
+    "load_structured_file",
+    "parse_declaration",
+    "registry",
+    "scenario",
+    "scenario_names",
+    "zoo_dirs",
+]

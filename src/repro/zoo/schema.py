@@ -1,0 +1,457 @@
+"""Declaration model of the scenario zoo: fields, parsing, validation.
+
+A *scenario declaration* is a small YAML/JSON mapping describing a
+sizing scenario as data — the layered defaults/overrides pattern of
+metadata-generator config files: a ``base`` pointer (a registered
+:class:`~repro.topologies.base.Topology` class or another declaration),
+plus optional overrides for the constructor, numeric class attributes,
+parameter grids, spec ranges, environment (corner / temperature /
+technology card), PEX extraction settings and a seeded variant
+generator.  This module owns the *shape* of that mapping:
+
+* :data:`TOP_LEVEL_KEYS` etc. — the allowed keys per section;
+* :func:`parse_declaration` — one raw mapping to a typed, structurally
+  validated :class:`Declaration` (unknown fields, wrong types, bad enum
+  values all raise :class:`~repro.errors.TopologyError` naming the
+  source file and the offending key path);
+* :meth:`Declaration.to_dict` — the exact inverse, so declarations
+  round-trip (compile → re-serialise → compile) bit for bit.
+
+Semantic validation — does the base exist, is an overridden grid inside
+the base topology's allowed range, does a spec override name a spec the
+base actually measures — needs the resolved base topology and therefore
+lives in the compile step (:mod:`repro.zoo.loader`), which reports
+errors through the same ``source: key.path: message`` convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.circuits.technology import Corner
+from repro.errors import TopologyError
+
+#: Keys allowed at the top level of a declaration mapping.
+TOP_LEVEL_KEYS = frozenset((
+    "name", "base", "description", "corner", "temperature", "technology",
+    "ctor", "attrs", "grid", "specs", "pex", "variants"))
+
+#: Keys allowed inside one ``grid`` parameter override.
+GRID_KEYS = frozenset(("start", "stop", "step"))
+
+#: Keys allowed inside one ``specs`` range override.
+SPEC_KEYS = frozenset(("low", "high"))
+
+#: Keys allowed inside the ``variants`` generator section, per kind.
+VARIANT_KEYS = {
+    "sweep": frozenset(("kind", "path", "values", "tag")),
+    "grid": frozenset(("kind", "axes")),
+    "random": frozenset(("kind", "count", "seed", "span", "params")),
+}
+
+#: Axis paths a sweep/grid variant generator may drive.
+AXIS_PREFIXES = ("ctor.", "attrs.")
+AXIS_SCALARS = ("corner", "temperature")
+
+
+def _fail(source: str, path: str, message: str) -> None:
+    """Raise the zoo's uniform validation error: source, key path, why."""
+    raise TopologyError(f"{source}: {path}: {message}")
+
+
+def _require_mapping(value: Any, source: str, path: str) -> dict:
+    """The value must be a mapping (a YAML block); returns it."""
+    if not isinstance(value, dict):
+        _fail(source, path, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _require_number(value: Any, source: str, path: str) -> float:
+    """The value must be a plain int/float (bool excluded); returns it."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(source, path,
+              f"expected a number, got {type(value).__name__} {value!r} "
+              "(YAML floats need a decimal point: write 1.0e-12, not 1e-12)")
+    return float(value)
+
+
+def _require_string(value: Any, source: str, path: str) -> str:
+    """The value must be a non-empty string; returns it."""
+    if not isinstance(value, str) or not value:
+        _fail(source, path, f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def parse_corner(value: Any, source: str, path: str) -> Corner:
+    """Parse a process-corner name (``tt``/``ss``/...) into the enum."""
+    text = _require_string(value, source, path).lower()
+    try:
+        return Corner(text)
+    except ValueError:
+        _fail(source, path, f"unknown corner {value!r}; choose from "
+              f"{sorted(c.value for c in Corner)}")
+
+
+@dataclasses.dataclass(frozen=True)
+class GridOverride:
+    """Override of one parameter-grid axis (unset fields inherit)."""
+
+    start: float | None = None
+    stop: float | None = None
+    step: float | None = None
+
+    def to_dict(self) -> dict[str, float]:
+        """Serialise the set fields only (the round-trip contract)."""
+        return {k: v for k, v in dataclasses.asdict(self).items()
+                if v is not None}
+
+    def merged_over(self, parent: "GridOverride") -> "GridOverride":
+        """Layer this override on top of a parent's (child fields win)."""
+        return GridOverride(
+            start=self.start if self.start is not None else parent.start,
+            stop=self.stop if self.stop is not None else parent.stop,
+            step=self.step if self.step is not None else parent.step)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecOverride:
+    """Override of one spec's sampling range (unset fields inherit)."""
+
+    low: float | None = None
+    high: float | None = None
+
+    def to_dict(self) -> dict[str, float]:
+        """Serialise the set fields only (the round-trip contract)."""
+        return {k: v for k, v in dataclasses.asdict(self).items()
+                if v is not None}
+
+    def merged_over(self, parent: "SpecOverride") -> "SpecOverride":
+        """Layer this override on top of a parent's (child fields win)."""
+        return SpecOverride(
+            low=self.low if self.low is not None else parent.low,
+            high=self.high if self.high is not None else parent.high)
+
+
+@dataclasses.dataclass(frozen=True)
+class PexSettings:
+    """Declared PEX extraction settings: rule overrides + corner list."""
+
+    #: Names of :func:`~repro.pex.corners.signoff_corners` entries to
+    #: sweep (empty = the full signoff set).
+    corners: tuple[str, ...] = ()
+    #: Numeric :class:`~repro.pex.extraction.ExtractionRules` field
+    #: overrides (e.g. ``mesh_segments``, ``c_wire_per_m``).
+    rules: tuple[tuple[str, float], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise back to the declaration's ``pex`` mapping."""
+        out: dict[str, Any] = dict(self.rules)
+        if self.corners:
+            out["corners"] = list(self.corners)
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantSpec:
+    """One seeded variant generator (``sweep`` / ``grid`` / ``random``)."""
+
+    kind: str
+    #: ``sweep``: the driven axis path and its values.
+    path: str = ""
+    values: tuple = ()
+    tag: str = ""
+    #: ``grid``: ordered (path, values) product axes.
+    axes: tuple[tuple[str, tuple], ...] = ()
+    #: ``random``: family size, RNG seed, per-axis span fraction and the
+    #: (optional) subset of grid parameters to randomise.
+    count: int = 0
+    seed: int = 0
+    span: float = 0.5
+    params: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise back to the declaration's ``variants`` mapping."""
+        if self.kind == "sweep":
+            out: dict[str, Any] = {"kind": "sweep", "path": self.path,
+                                   "values": list(self.values)}
+            if self.tag:
+                out["tag"] = self.tag
+            return out
+        if self.kind == "grid":
+            return {"kind": "grid",
+                    "axes": {path: list(values)
+                             for path, values in self.axes}}
+        out = {"kind": "random", "count": self.count, "seed": self.seed,
+               "span": self.span}
+        if self.params:
+            out["params"] = list(self.params)
+        return out
+
+
+@dataclasses.dataclass
+class Declaration:
+    """One structurally validated scenario declaration.
+
+    The fields mirror the YAML surface one to one; everything except
+    ``base`` is optional.  Semantic meaning (what the overrides resolve
+    against) is applied by :mod:`repro.zoo.loader`.
+    """
+
+    name: str
+    base: str
+    source: str
+    description: str = ""
+    corner: Corner | None = None
+    temperature: float | None = None
+    technology: str | None = None
+    ctor: dict[str, Any] = dataclasses.field(default_factory=dict)
+    attrs: dict[str, float] = dataclasses.field(default_factory=dict)
+    grid: dict[str, GridOverride] = dataclasses.field(default_factory=dict)
+    specs: dict[str, SpecOverride] = dataclasses.field(default_factory=dict)
+    pex: PexSettings | None = None
+    variants: VariantSpec | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise back to the raw declaration mapping.
+
+        ``parse_declaration(decl.to_dict(), ...)`` reproduces an equal
+        declaration — the round-trip half of the zoo's idempotence
+        contract (property-tested in ``tests/zoo``).
+        """
+        out: dict[str, Any] = {"name": self.name, "base": self.base}
+        if self.description:
+            out["description"] = self.description
+        if self.corner is not None:
+            out["corner"] = self.corner.value
+        if self.temperature is not None:
+            out["temperature"] = self.temperature
+        if self.technology is not None:
+            out["technology"] = self.technology
+        if self.ctor:
+            out["ctor"] = dict(self.ctor)
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.grid:
+            out["grid"] = {name: ov.to_dict()
+                           for name, ov in self.grid.items()}
+        if self.specs:
+            out["specs"] = {name: ov.to_dict()
+                            for name, ov in self.specs.items()}
+        if self.pex is not None:
+            out["pex"] = self.pex.to_dict()
+        if self.variants is not None:
+            out["variants"] = self.variants.to_dict()
+        return out
+
+
+def _parse_grid(data: Any, source: str) -> dict[str, GridOverride]:
+    """Parse and structurally validate the ``grid`` section."""
+    out: dict[str, GridOverride] = {}
+    for pname, fields in _require_mapping(data, source, "grid").items():
+        path = f"grid.{pname}"
+        fields = _require_mapping(fields, source, path)
+        unknown = set(fields) - GRID_KEYS
+        if unknown:
+            _fail(source, f"{path}.{sorted(unknown)[0]}",
+                  f"unknown grid field; choose from {sorted(GRID_KEYS)}")
+        parsed = {key: _require_number(value, source, f"{path}.{key}")
+                  for key, value in fields.items()}
+        if not parsed:
+            _fail(source, path, "empty grid override (set start/stop/step)")
+        if parsed.get("step") is not None and parsed["step"] <= 0:
+            _fail(source, f"{path}.step", "step must be positive")
+        out[pname] = GridOverride(**parsed)
+    return out
+
+
+def _parse_specs(data: Any, source: str) -> dict[str, SpecOverride]:
+    """Parse and structurally validate the ``specs`` section."""
+    out: dict[str, SpecOverride] = {}
+    for sname, fields in _require_mapping(data, source, "specs").items():
+        path = f"specs.{sname}"
+        fields = _require_mapping(fields, source, path)
+        unknown = set(fields) - SPEC_KEYS
+        if unknown:
+            _fail(source, f"{path}.{sorted(unknown)[0]}",
+                  f"unknown spec field; choose from {sorted(SPEC_KEYS)}")
+        parsed = {key: _require_number(value, source, f"{path}.{key}")
+                  for key, value in fields.items()}
+        if not parsed:
+            _fail(source, path, "empty spec override (set low/high)")
+        out[sname] = SpecOverride(**parsed)
+    return out
+
+
+def _parse_pex(data: Any, source: str) -> PexSettings:
+    """Parse and structurally validate the ``pex`` section."""
+    from repro.pex.extraction import ExtractionRules
+
+    rule_fields = {f.name for f in dataclasses.fields(ExtractionRules)}
+    corners: tuple[str, ...] = ()
+    rules: list[tuple[str, float]] = []
+    for key, value in _require_mapping(data, source, "pex").items():
+        path = f"pex.{key}"
+        if key == "corners":
+            if (not isinstance(value, list) or not value
+                    or not all(isinstance(v, str) for v in value)):
+                _fail(source, path, "expected a non-empty list of "
+                      "signoff-corner names")
+            corners = tuple(value)
+        elif key in rule_fields:
+            rules.append((key, _require_number(value, source, path)))
+        else:
+            _fail(source, path, "unknown pex field; choose from "
+                  f"{sorted(rule_fields | {'corners'})}")
+    return PexSettings(corners=corners, rules=tuple(rules))
+
+
+def _check_axis_path(path_value: str, source: str, path: str) -> None:
+    """An axis path must be ``corner``/``temperature``/``ctor.*``/``attrs.*``."""
+    if path_value in AXIS_SCALARS:
+        return
+    if any(path_value.startswith(p) and len(path_value) > len(p)
+           for p in AXIS_PREFIXES):
+        return
+    _fail(source, path, f"bad axis path {path_value!r}; expected one of "
+          f"{AXIS_SCALARS} or a {'/'.join(AXIS_PREFIXES)} prefix")
+
+
+def _parse_variants(data: Any, source: str) -> VariantSpec:
+    """Parse and structurally validate the ``variants`` section."""
+    data = _require_mapping(data, source, "variants")
+    kind = data.get("kind")
+    if kind not in VARIANT_KEYS:
+        _fail(source, "variants.kind",
+              f"unknown variant kind {kind!r}; choose from "
+              f"{sorted(VARIANT_KEYS)}")
+    unknown = set(data) - VARIANT_KEYS[kind]
+    if unknown:
+        _fail(source, f"variants.{sorted(unknown)[0]}",
+              f"unknown {kind}-variant field; choose from "
+              f"{sorted(VARIANT_KEYS[kind] - {'kind'})}")
+    if kind == "sweep":
+        path_value = _require_string(data.get("path"), source, "variants.path")
+        _check_axis_path(path_value, source, "variants.path")
+        values = data.get("values")
+        if not isinstance(values, list) or not values:
+            _fail(source, "variants.values", "expected a non-empty list")
+        tag = data.get("tag", "")
+        if tag and not isinstance(tag, str):
+            _fail(source, "variants.tag", f"expected a string, got {tag!r}")
+        return VariantSpec(kind="sweep", path=path_value,
+                           values=tuple(values), tag=tag)
+    if kind == "grid":
+        axes_map = _require_mapping(data.get("axes"), source, "variants.axes")
+        if not axes_map:
+            _fail(source, "variants.axes", "expected at least one axis")
+        axes = []
+        for path_value, values in axes_map.items():
+            apath = f"variants.axes.{path_value}"
+            _check_axis_path(path_value, source, apath)
+            if not isinstance(values, list) or not values:
+                _fail(source, apath, "expected a non-empty list of values")
+            axes.append((path_value, tuple(values)))
+        return VariantSpec(kind="grid", axes=tuple(axes))
+    count = data.get("count")
+    if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+        _fail(source, "variants.count", f"expected an integer >= 1, "
+              f"got {count!r}")
+    seed = data.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+        _fail(source, "variants.seed", f"expected an integer >= 0, "
+              f"got {seed!r}")
+    span = data.get("span", 0.5)
+    span = _require_number(span, source, "variants.span")
+    if not 0.0 < span <= 1.0:
+        _fail(source, "variants.span", f"span {span} outside (0, 1]")
+    params = data.get("params", [])
+    if (not isinstance(params, list)
+            or not all(isinstance(p, str) for p in params)):
+        _fail(source, "variants.params",
+              "expected a list of parameter names")
+    return VariantSpec(kind="random", count=count, seed=seed, span=span,
+                       params=tuple(params))
+
+
+def parse_declaration(data: Any, name: str | None = None,
+                      source: str = "<declaration>") -> Declaration:
+    """Parse one raw mapping into a validated :class:`Declaration`.
+
+    ``name`` supplies the scenario name when the mapping omits the
+    ``name`` key (the loader passes the file stem).  Structural problems
+    — a non-mapping document, unknown fields, wrong value types, bad
+    corner/technology names — raise :class:`~repro.errors.TopologyError`
+    as ``source: key.path: message``.
+    """
+    data = _require_mapping(data, source, "<root>")
+    unknown = set(data) - TOP_LEVEL_KEYS
+    if unknown:
+        _fail(source, sorted(unknown)[0],
+              f"unknown field; choose from {sorted(TOP_LEVEL_KEYS)}")
+    if "name" in data:
+        name = _require_string(data["name"], source, "name")
+    if not name:
+        _fail(source, "name", "scenario needs a name (key or file stem)")
+    base = _require_string(data.get("base"), source, "base")
+    description = data.get("description", "")
+    if not isinstance(description, str):
+        _fail(source, "description", f"expected a string, "
+              f"got {description!r}")
+    corner = (parse_corner(data["corner"], source, "corner")
+              if "corner" in data else None)
+    temperature = None
+    if "temperature" in data:
+        temperature = _require_number(data["temperature"], source,
+                                      "temperature")
+        if temperature <= 0:
+            _fail(source, "temperature",
+                  f"temperature {temperature} K must be positive")
+    technology = None
+    if "technology" in data:
+        technology = _require_string(data["technology"], source,
+                                     "technology")
+    ctor = dict(_require_mapping(data.get("ctor", {}), source, "ctor"))
+    for key in ctor:
+        if not isinstance(key, str):
+            _fail(source, f"ctor.{key}", "ctor keys must be strings")
+    attrs = {}
+    for key, value in _require_mapping(data.get("attrs", {}), source,
+                                       "attrs").items():
+        attrs[key] = _require_number(value, source, f"attrs.{key}")
+    grid = _parse_grid(data.get("grid", {}), source)
+    specs = _parse_specs(data.get("specs", {}), source)
+    pex = _parse_pex(data["pex"], source) if "pex" in data else None
+    variants = (_parse_variants(data["variants"], source)
+                if "variants" in data else None)
+    return Declaration(name=name, base=base, source=source,
+                       description=description, corner=corner,
+                       temperature=temperature, technology=technology,
+                       ctor=ctor, attrs=attrs, grid=grid, specs=specs,
+                       pex=pex, variants=variants)
+
+
+def load_structured_file(path: pathlib.Path | str) -> Any:
+    """Load one YAML or JSON document from disk.
+
+    ``.json`` files parse with the :mod:`json` module (strict), anything
+    else through :func:`yaml.safe_load` (which accepts JSON too).  Parse
+    errors raise :class:`~repro.errors.TopologyError` naming the file —
+    the zoo's uniform error surface; :mod:`repro.config` reuses this for
+    YAML experiment configs.
+    """
+    import yaml
+
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TopologyError(f"{path}: unreadable: {exc}") from None
+    try:
+        if path.suffix == ".json":
+            return json.loads(text)
+        return yaml.safe_load(text)
+    except (json.JSONDecodeError, yaml.YAMLError) as exc:
+        raise TopologyError(f"{path}: parse error: {exc}") from None

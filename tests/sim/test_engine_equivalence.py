@@ -24,24 +24,15 @@ from repro.pex.corners import signoff_corners
 from repro.pex.extraction import ExtractionRules, PexSimulator
 from repro.sim import MnaSystem, OperatingPoint, ac_sweep, noise_analysis, solve_dc
 from repro.sim.transient import step_waveform, transient_analysis
-from repro.topologies import (
-    FiveTransistorOta,
-    FoldedCascodeOta,
-    NegGmOta,
-    OtaChain,
-    SchematicSimulator,
-    TransimpedanceAmplifier,
-    TwoStageOpAmp,
-)
+from repro.topologies import (FiveTransistorOta, SchematicSimulator,
+                              TransimpedanceAmplifier)
+from repro.zoo import registry
 
-TOPOLOGIES = {
-    "tia": TransimpedanceAmplifier,
-    "two_stage_opamp": TwoStageOpAmp,
-    "ngm_ota": NegGmOta,
-    "five_t_ota": FiveTransistorOta,
-    "folded_cascode": FoldedCascodeOta,
-    "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
-}
+#: Topology factories, enumerated from the scenario-zoo registry
+#: (builtin + ``REPRO_ZOO_DIR``): every registered scenario gets the
+#: full dense-vs-sparse parity treatment with no test-code edit.
+TOPOLOGIES = {name: scenario.create
+              for name, scenario in registry().items()}
 
 FREQS = np.logspace(3, 10, 36)
 

@@ -1,4 +1,8 @@
-"""CLI commands (exercised in-process)."""
+"""CLI commands (exercised in-process).
+
+The zoo smoke tests parametrize over the scenario registry itself, so a
+new declaration file is exercised through the CLI with no test edit.
+"""
 
 import json
 
@@ -6,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.cli import TOPOLOGIES, build_parser, main
+from repro.zoo import scenario_names
 
 
 class TestParser:
@@ -106,6 +111,67 @@ class TestTrainWithConfig:
         assert "checkpoint_json" in data
         meta = json.loads(str(data["checkpoint_json"]))
         assert meta["config"]["max_iterations"] == 2
+
+
+class TestZoo:
+    def test_list(self, capsys):
+        assert main(["zoo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario zoo" in out
+        assert "folded_pvt_ss_2em12" in out
+        assert "FoldedCascodeOta" in out
+
+    def test_validate_all(self, capsys):
+        assert main(["zoo", "validate", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: tia" in out
+        assert "scenarios valid" in out
+
+    def test_validate_one(self, capsys):
+        assert main(["zoo", "validate", "chain_sweep_n3"]) == 0
+        assert "OK: chain_sweep_n3" in capsys.readouterr().out
+
+    def test_validate_unknown_name(self, capsys):
+        assert main(["zoo", "validate", "nope"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_validate_reports_broken_user_file(self, tmp_path, monkeypatch,
+                                               capsys):
+        (tmp_path / "broken.yml").write_text(
+            "base: five_t_ota\ngrid:\n  w_in:\n    stop: 500.0\n")
+        monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+        assert main(["zoo", "validate", "--all"]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "grid.w_in.stop" in out
+
+    def test_show(self, capsys):
+        assert main(["zoo", "show", "ota_chain_small"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["class"] == "OtaChain"
+        assert payload["ctor"] == {"n_stages": 2, "segments": 4}
+        assert payload["cardinality"] > 0
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_scenario_names_drive_info(self, name, capsys):
+        assert main(["info", name]) == 0
+        assert name in capsys.readouterr().out
+
+    def test_scenario_names_drive_simulate(self, capsys):
+        assert main(["simulate", "ota5_random_r0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["indices"]) == 4
+        assert "gain" in payload["specs"]
+
+    def test_user_scenario_reaches_parser_choices(self, tmp_path,
+                                                  monkeypatch, capsys):
+        (tmp_path / "user_ota.yml").write_text(
+            "base: five_t_ota\ngrid:\n  w_in:\n    stop: 50.0\n")
+        monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+        args = build_parser().parse_args(["info", "user_ota"])
+        assert args.topology == "user_ota"
+        assert main(["simulate", "user_ota"]) == 0
+        assert "gain" in json.loads(capsys.readouterr().out)["specs"]
 
 
 class TestAnalysisCommands:

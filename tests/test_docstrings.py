@@ -31,6 +31,8 @@ STRICT_MODULES = (
     "repro.rl.async_env",
     "repro.measure.pipeline",
     "repro.topologies.base",
+    "repro.zoo.schema",
+    "repro.zoo.loader",
 )
 
 

@@ -19,6 +19,11 @@ canonical sizings to versioned JSON fixtures (``tests/golden/``):
 The fixtures were generated on the dense engine; the sparse CI leg runs
 the same comparisons, so dense/sparse spec agreement is enforced here a
 second time at golden tolerance on top of the strict equivalence suite.
+
+The case list is the scenario-zoo registry (:mod:`repro.zoo`): every
+registered scenario — builtin and ``REPRO_ZOO_DIR`` — is pinned, so
+adding a declaration file grows this matrix with no test-code edit (a
+guard test fails until ``--update-golden`` generates the new fixture).
 """
 
 from __future__ import annotations
@@ -29,28 +34,14 @@ import pathlib
 import numpy as np
 import pytest
 
-from repro.topologies import (
-    FiveTransistorOta,
-    FoldedCascodeOta,
-    NegGmOta,
-    OtaChain,
-    TransimpedanceAmplifier,
-    TwoStageOpAmp,
-)
+from repro.zoo import registry
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
-#: Topology factories; the chain runs in a small configuration so the
-#: golden tier stays fast (its full-size behaviour is benchmarked, not
-#: regression-pinned).
-CASES = {
-    "tia": TransimpedanceAmplifier,
-    "two_stage_opamp": TwoStageOpAmp,
-    "ngm_ota": NegGmOta,
-    "five_t_ota": FiveTransistorOta,
-    "folded_cascode": FoldedCascodeOta,
-    "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
-}
+#: Topology factories, enumerated from the zoo registry.  The shipped
+#: declarations keep this tier fast (the chain family runs in small
+#: configurations; full-size chains are benchmarked, not pinned).
+CASES = {name: scenario.create for name, scenario in registry().items()}
 
 #: Per-spec relative tolerance; settling-time extraction interpolates on
 #: a fixed step grid, so it gets a slightly wider band.
@@ -77,6 +68,23 @@ def _measure_records(topology) -> list[dict]:
         records.append({"indices": [int(i) for i in indices],
                         "specs": {k: float(v) for k, v in sorted(specs.items())}})
     return records
+
+
+def test_every_scenario_has_golden_fixture(request):
+    """Every registered zoo scenario must carry a golden fixture.
+
+    The registry is the single source of test enumeration: a new
+    declaration file fails here until ``pytest --update-golden``
+    generates its fixture (which the update run does automatically for
+    missing names).
+    """
+    if request.config.getoption("--update-golden"):
+        pytest.skip("fixtures being regenerated")
+    missing = sorted(name for name in CASES
+                     if not (GOLDEN_DIR / f"{name}.json").exists())
+    assert not missing, (
+        f"scenarios without golden fixtures: {missing}; "
+        "run pytest --update-golden to generate them")
 
 
 @pytest.mark.parametrize("name", sorted(CASES))

@@ -1,0 +1,141 @@
+"""Property tests of the zoo's parse/compile pipeline (Hypothesis).
+
+Three contracts, each over randomly generated declarations on the
+``five_t_ota`` base:
+
+* every structurally valid declaration compiles, and the compiled grid
+  stays inside the base topology's allowed ranges;
+* compile → re-serialise (``to_dict``) → compile is idempotent, down to
+  equality of the compiled scenarios;
+* targeted mutations — a grid bound pushed out of range, an inheritance
+  cycle — raise :class:`~repro.errors.TopologyError` naming the
+  offending key path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.technology import Corner
+from repro.errors import TopologyError
+from repro.topologies import FiveTransistorOta
+from repro.zoo import compile_declarations, parse_declaration
+
+SETTINGS = dict(deadline=None, max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: The base's grid axes all run [1, 100] step 1 (five_t_ota widths).
+PARAM_NAMES = ("w_in", "w_load", "w_tail", "w_bias")
+#: The base's linear-scale spec ranges and a safe override window each.
+SPEC_WINDOWS = {"gain": (50.0, 500.0), "ibias": (1.0e-5, 1.0e-3)}
+
+
+@st.composite
+def grid_sections(draw):
+    """``grid`` mapping with bounds inside the base's [1, 100] range."""
+    out = {}
+    for pname in draw(st.lists(st.sampled_from(PARAM_NAMES), unique=True,
+                               max_size=len(PARAM_NAMES))):
+        start = draw(st.integers(1, 100))
+        stop = draw(st.integers(start, 100))
+        fields = {"start": float(start), "stop": float(stop)}
+        if draw(st.booleans()):
+            fields["step"] = float(draw(st.integers(1, 5)))
+        out[pname] = fields
+    return out
+
+
+@st.composite
+def spec_sections(draw):
+    """``specs`` mapping with low < high inside each safe window."""
+    out = {}
+    for sname in draw(st.lists(st.sampled_from(sorted(SPEC_WINDOWS)),
+                               unique=True, max_size=len(SPEC_WINDOWS))):
+        lo, hi = SPEC_WINDOWS[sname]
+        low = draw(st.floats(lo, hi * 0.5, allow_nan=False))
+        high = draw(st.floats(low * 1.5, hi, allow_nan=False))
+        out[sname] = {"low": low, "high": high}
+    return out
+
+
+@st.composite
+def declarations(draw):
+    """One structurally valid declaration mapping on ``five_t_ota``."""
+    data = {"name": "gen", "base": "five_t_ota"}
+    if draw(st.booleans()):
+        data["corner"] = draw(st.sampled_from([c.value for c in Corner]))
+    if draw(st.booleans()):
+        data["temperature"] = draw(st.floats(250.0, 400.0))
+    if draw(st.booleans()):
+        data["technology"] = draw(st.sampled_from(["ptm45", "finfet16"]))
+    grid = draw(grid_sections())
+    if grid:
+        data["grid"] = grid
+    specs = draw(spec_sections())
+    if specs:
+        data["specs"] = specs
+    return data
+
+
+def _compile(data):
+    return compile_declarations(
+        [parse_declaration(data, source="gen.yml")])["gen"]
+
+
+@settings(**SETTINGS)
+@given(data=declarations())
+def test_valid_declarations_compile(data):
+    scenario = _compile(data)
+    topology = scenario.create()
+    assert topology.name == "gen"
+    base_space = FiveTransistorOta().parameter_space
+    for param in topology.parameter_space:
+        base = base_space[param.name]
+        assert base.start <= param.start <= param.stop <= base.stop
+        assert param.count >= 1
+    for spec in topology.spec_space.specs:
+        assert spec.low < spec.high
+
+
+@settings(**SETTINGS)
+@given(data=declarations())
+def test_round_trip_idempotent(data):
+    decl = parse_declaration(data, source="gen.yml")
+    again = parse_declaration(decl.to_dict(), source="gen.yml")
+    assert again == decl
+    assert again.to_dict() == decl.to_dict()
+    assert (compile_declarations([again])["gen"]
+            == compile_declarations([decl])["gen"])
+
+
+@settings(**SETTINGS)
+@given(data=declarations(),
+       pname=st.sampled_from(PARAM_NAMES),
+       bound=st.sampled_from(["start", "stop"]))
+def test_out_of_range_mutation_names_key_path(data, pname, bound):
+    value = 0.0 if bound == "start" else 101.0
+    data = dict(data)
+    grid = {k: dict(v) for k, v in data.get("grid", {}).items()}
+    grid[pname] = dict(grid.get(pname, {}), **{bound: value})
+    data["grid"] = grid
+    with pytest.raises(TopologyError) as err:
+        _compile(data)
+    assert f"grid.{pname}.{bound}" in str(err.value)
+
+
+@settings(**SETTINGS)
+@given(names=st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+                      min_size=2, max_size=4, unique=True))
+def test_inheritance_cycle_names_key_path(names):
+    decls = [parse_declaration(
+        {"name": name, "base": names[(i + 1) % len(names)]},
+        source=f"{name}.yml") for i, name in enumerate(names)]
+    with pytest.raises(TopologyError) as err:
+        compile_declarations(decls)
+    message = str(err.value)
+    assert "base: inheritance cycle" in message
+    assert names[0] in message

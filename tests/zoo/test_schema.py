@@ -1,0 +1,247 @@
+"""Structural validation of scenario declarations (:mod:`repro.zoo.schema`).
+
+Every rejection must name the source and the offending key path — the
+zoo's error contract — so most tests here assert on the message, not
+just the exception type.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.technology import Corner
+from repro.errors import TopologyError
+from repro.zoo import load_structured_file, parse_declaration
+
+SOURCE = "mem.yml"
+
+
+def _parse(data, name=None):
+    return parse_declaration(data, name=name, source=SOURCE)
+
+
+def _rejects(data, *fragments, name=None):
+    with pytest.raises(TopologyError) as err:
+        _parse(data, name=name)
+    message = str(err.value)
+    assert SOURCE in message
+    for fragment in fragments:
+        assert fragment in message, (fragment, message)
+
+
+class TestTopLevel:
+    def test_minimal(self):
+        decl = _parse({"base": "tia"}, name="stem")
+        assert decl.name == "stem"
+        assert decl.base == "tia"
+        assert decl.corner is None and decl.temperature is None
+        assert decl.ctor == {} and decl.grid == {} and decl.specs == {}
+        assert decl.pex is None and decl.variants is None
+
+    def test_name_key_wins_over_stem(self):
+        assert _parse({"name": "real", "base": "tia"}, name="stem").name == "real"
+
+    def test_missing_name(self):
+        _rejects({"base": "tia"}, "name: scenario needs a name")
+
+    def test_missing_base(self):
+        _rejects({"name": "x"}, "base: expected a non-empty string")
+
+    def test_root_must_be_mapping(self):
+        _rejects([1, 2], "<root>: expected a mapping")
+
+    def test_unknown_field(self):
+        _rejects({"name": "x", "base": "tia", "bogus": 1},
+                 "bogus: unknown field")
+
+    def test_bad_corner(self):
+        _rejects({"name": "x", "base": "tia", "corner": "xx"},
+                 "corner: unknown corner 'xx'", "choose from")
+
+    def test_corner_parses_case_insensitively(self):
+        assert _parse({"name": "x", "base": "tia",
+                       "corner": "SS"}).corner is Corner.SS
+
+    def test_negative_temperature(self):
+        _rejects({"name": "x", "base": "tia", "temperature": -5.0},
+                 "temperature", "must be positive")
+
+    def test_non_numeric_temperature(self):
+        _rejects({"name": "x", "base": "tia", "temperature": "hot"},
+                 "temperature: expected a number")
+
+    def test_boolean_is_not_a_number(self):
+        _rejects({"name": "x", "base": "tia", "attrs": {"C_LOAD": True}},
+                 "attrs.C_LOAD: expected a number, got bool")
+
+
+class TestGridSection:
+    def test_unknown_grid_field(self):
+        _rejects({"name": "x", "base": "tia", "grid": {"w": {"stp": 1.0}}},
+                 "grid.w.stp: unknown grid field")
+
+    def test_string_number_names_the_yaml_gotcha(self):
+        # PyYAML parses a bare ``1e-12`` as a *string*; the message must
+        # point the user at the fix.
+        _rejects({"name": "x", "base": "tia",
+                  "grid": {"w": {"start": "1e-12"}}},
+                 "grid.w.start: expected a number", "1.0e-12")
+
+    def test_empty_override(self):
+        _rejects({"name": "x", "base": "tia", "grid": {"w": {}}},
+                 "grid.w: empty grid override")
+
+    def test_non_positive_step(self):
+        _rejects({"name": "x", "base": "tia", "grid": {"w": {"step": 0.0}}},
+                 "grid.w.step: step must be positive")
+
+    def test_section_must_be_mapping(self):
+        _rejects({"name": "x", "base": "tia", "grid": [1]},
+                 "grid: expected a mapping")
+
+
+class TestSpecsSection:
+    def test_unknown_spec_field(self):
+        _rejects({"name": "x", "base": "tia", "specs": {"gain": {"min": 1.0}}},
+                 "specs.gain.min: unknown spec field")
+
+    def test_empty_override(self):
+        _rejects({"name": "x", "base": "tia", "specs": {"gain": {}}},
+                 "specs.gain: empty spec override")
+
+
+class TestPexSection:
+    def test_parses_corners_and_rules(self):
+        decl = _parse({"name": "x", "base": "tia",
+                       "pex": {"corners": ["tt_nom_27c"],
+                               "mesh_segments": 3,
+                               "c_wire_per_m": 1.0e-10}})
+        assert decl.pex.corners == ("tt_nom_27c",)
+        assert dict(decl.pex.rules) == {"mesh_segments": 3.0,
+                                        "c_wire_per_m": 1.0e-10}
+
+    def test_unknown_pex_field(self):
+        _rejects({"name": "x", "base": "tia", "pex": {"bogus": 1.0}},
+                 "pex.bogus: unknown pex field")
+
+    def test_corners_must_be_string_list(self):
+        _rejects({"name": "x", "base": "tia", "pex": {"corners": "tt"}},
+                 "pex.corners", "list")
+
+
+class TestVariantsSection:
+    def test_unknown_kind(self):
+        _rejects({"name": "x", "base": "tia", "variants": {"kind": "zip"}},
+                 "variants.kind: unknown variant kind 'zip'")
+
+    def test_field_from_wrong_kind(self):
+        _rejects({"name": "x", "base": "tia",
+                  "variants": {"kind": "sweep", "path": "ctor.n",
+                               "values": [1], "count": 3}},
+                 "variants.count: unknown sweep-variant field")
+
+    def test_bad_axis_path(self):
+        _rejects({"name": "x", "base": "tia",
+                  "variants": {"kind": "sweep", "path": "engine",
+                               "values": [1]}},
+                 "variants.path: bad axis path 'engine'")
+
+    def test_sweep_needs_values(self):
+        _rejects({"name": "x", "base": "tia",
+                  "variants": {"kind": "sweep", "path": "corner",
+                               "values": []}},
+                 "variants.values: expected a non-empty list")
+
+    def test_grid_needs_axes(self):
+        _rejects({"name": "x", "base": "tia",
+                  "variants": {"kind": "grid", "axes": {}}},
+                 "variants.axes: expected at least one axis")
+
+    def test_grid_axis_path_checked(self):
+        _rejects({"name": "x", "base": "tia",
+                  "variants": {"kind": "grid", "axes": {"nope": [1]}}},
+                 "variants.axes.nope: bad axis path")
+
+    @pytest.mark.parametrize("field,value,fragment", [
+        ("count", 0, "variants.count: expected an integer >= 1"),
+        ("seed", -1, "variants.seed: expected an integer >= 0"),
+        ("span", 0.0, "variants.span"),
+        ("span", 1.5, "variants.span"),
+        ("params", "w_in", "variants.params"),
+    ])
+    def test_random_field_validation(self, field, value, fragment):
+        data = {"name": "x", "base": "tia",
+                "variants": {"kind": "random", "count": 3, field: value}}
+        _rejects(data, fragment)
+
+
+FULL_DECLARATIONS = {
+    "sweep": {
+        "name": "full", "base": "five_t_ota", "description": "all fields",
+        "corner": "ss", "temperature": 350.0, "technology": "ptm45",
+        "ctor": {"flag": 1}, "attrs": {"C_LOAD": 2.0e-12},
+        "grid": {"w_in": {"start": 4.0, "stop": 40.0, "step": 2.0}},
+        "specs": {"gain": {"low": 120.0, "high": 400.0}},
+        "pex": {"corners": ["tt_nom_27c"], "mesh_segments": 2.0},
+        "variants": {"kind": "sweep", "path": "ctor.flag",
+                     "values": [1, 2], "tag": "f"},
+    },
+    "grid": {
+        "name": "full", "base": "five_t_ota",
+        "variants": {"kind": "grid",
+                     "axes": {"corner": ["tt", "ss"],
+                              "attrs.C_LOAD": [1.0e-12, 2.0e-12]}},
+    },
+    "random": {
+        "name": "full", "base": "five_t_ota",
+        "grid": {"w_in": {"stop": 60.0}},
+        "variants": {"kind": "random", "count": 2, "seed": 7,
+                     "span": 0.25, "params": ["w_in"]},
+    },
+}
+
+
+@pytest.mark.parametrize("kind", sorted(FULL_DECLARATIONS))
+def test_to_dict_round_trip(kind):
+    """``parse(decl.to_dict())`` reproduces an equal declaration."""
+    decl = _parse(FULL_DECLARATIONS[kind])
+    again = _parse(decl.to_dict())
+    assert again == decl
+    assert again.to_dict() == decl.to_dict()
+
+
+class TestLoadStructuredFile:
+    def test_yaml(self, tmp_path):
+        path = tmp_path / "s.yml"
+        path.write_text("base: tia\ngrid:\n  w:\n    stop: 4.0\n")
+        assert load_structured_file(path) == {
+            "base": "tia", "grid": {"w": {"stop": 4.0}}}
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text('{"base": "tia"}')
+        assert load_structured_file(path) == {"base": "tia"}
+
+    def test_parse_error_names_file(self, tmp_path):
+        path = tmp_path / "bad.yml"
+        path.write_text("base: [unclosed\n")
+        with pytest.raises(TopologyError) as err:
+            load_structured_file(path)
+        assert "bad.yml" in str(err.value)
+        assert "parse error" in str(err.value)
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(TopologyError) as err:
+            load_structured_file(tmp_path / "missing.yml")
+        assert "unreadable" in str(err.value)
+
+    def test_yaml_exponent_without_decimal_is_a_string(self, tmp_path):
+        # End-to-end version of the gotcha: the YAML 1.1 loader reads a
+        # bare ``1e-12`` as a string, and the declaration parser turns
+        # that into an actionable message.
+        path = tmp_path / "s.yml"
+        path.write_text("base: tia\nattrs:\n  C_LOAD: 1e-12\n")
+        data = load_structured_file(path)
+        assert data["attrs"]["C_LOAD"] == "1e-12"
+        with pytest.raises(TopologyError, match="1.0e-12"):
+            parse_declaration(data, name="s", source=str(path))

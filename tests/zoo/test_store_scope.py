@@ -1,0 +1,60 @@
+"""Store-scope digests of zoo scenarios (:mod:`repro.sim.store` keying).
+
+Two scenarios that evaluate differently must never exchange persistent
+result rows.  The scope digest already folds in the topology name, the
+environment and the parameter grids; these tests pin that zoo variants
+land in distinct scopes — including the regression case of two
+declarations differing *only* in a grid override — while a mirror
+declaration (bitwise identical to its module class) intentionally
+shares the class's scope.
+"""
+
+from __future__ import annotations
+
+from repro.topologies import FiveTransistorOta, SchematicSimulator
+from repro.zoo import compile_declarations, parse_declaration, scenario
+
+
+def _scope(mapping):
+    compiled = compile_declarations(
+        [parse_declaration(mapping, source="mem.yml")])
+    (sc,) = compiled.values()
+    return SchematicSimulator(sc.create())._store_scope()
+
+
+class TestGridOverrideScoping:
+    def test_grid_override_changes_scope(self):
+        # Same name, same base, same everything — except one grid
+        # override.  The narrowed variant simulates different sizings
+        # for the same grid indices, so sharing rows would corrupt the
+        # store.
+        base = {"name": "x", "base": "five_t_ota"}
+        narrow = dict(base, grid={"w_in": {"stop": 50.0}})
+        narrower = dict(base, grid={"w_in": {"stop": 60.0}})
+        assert _scope(narrow) != _scope(narrower)
+        assert _scope(narrow) != _scope(base)
+
+    def test_step_override_changes_scope(self):
+        base = {"name": "x", "base": "five_t_ota"}
+        coarse = dict(base, grid={"w_in": {"step": 2.0}})
+        assert _scope(coarse) != _scope(base)
+
+
+class TestVariantScoping:
+    def test_registered_variants_have_distinct_scopes(self):
+        names = ["folded_cascode", "folded_pvt_tt_1em12",
+                 "folded_pvt_ss_1em12", "folded_pvt_tt_2em12",
+                 "ota5_random_r0", "ota5_random_r1"]
+        scopes = {name: SchematicSimulator(
+            scenario(name).create())._store_scope() for name in names}
+        assert len(set(scopes.values())) == len(names), scopes
+
+    def test_mirror_shares_the_module_class_scope(self):
+        # A mirror declaration evaluates bitwise identically to the
+        # module class (tests/zoo/test_bitwise.py), so sharing its store
+        # scope — and therefore its cached rows — is correct and wanted.
+        zoo_scope = SchematicSimulator(
+            scenario("five_t_ota").create())._store_scope()
+        module_scope = SchematicSimulator(
+            FiveTransistorOta())._store_scope()
+        assert zoo_scope == module_scope
