@@ -173,6 +173,17 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_sparse_engine.py",
             ("repro.sim.sparse", "repro.sim.engine",
              "repro.topologies.ota_chain")),
+        Experiment(
+            "krylov_engine", "Iterative vs sparse-direct engine at mesh "
+            "scale",
+            "Beyond the paper: the power-grid OTA scenario family "
+            "(5k-50k MNA unknowns) runs its warm AC sweeps and DC "
+            "Newton re-solves on ILU-preconditioned GMRES, bracketing "
+            "the sparse-vs-iterative crossover that sets the auto "
+            "selector's second threshold",
+            "benchmarks/bench_krylov_engine.py",
+            ("repro.sim.krylov", "repro.sim.engine",
+             "repro.topologies.power_grid")),
     ]
 }
 

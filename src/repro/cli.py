@@ -390,8 +390,12 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
 
 #: Runtime knobs surfaced by ``repro knobs`` (reference: docs/knobs.md).
 KNOBS = [
-    ("REPRO_ENGINE", "auto|dense|sparse", "auto",
-     "linear-algebra backend (auto: sparse at >= 128 unknowns)"),
+    ("REPRO_ENGINE", "auto|dense|sparse|iterative", "auto",
+     "linear-algebra backend (auto: size-thresholded, see below)"),
+    ("REPRO_SPARSE_THRESHOLD", "int >= 1", "128",
+     "auto engine: unknown count where dense hands over to sparse"),
+    ("REPRO_ITERATIVE_THRESHOLD", "int >= 1", "4096",
+     "auto engine: unknown count where sparse hands over to iterative"),
     ("REPRO_SHARDS", "int >= 1", "1",
      "multicore shard-pool workers for batched evaluation"),
     ("REPRO_WORKERS", "host:port,...", "",

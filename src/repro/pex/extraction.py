@@ -244,9 +244,15 @@ class PexSimulator(CircuitSimulator):
                 repr(tuple(self.corners)),
                 repr(self.parameter_space.params),
                 ",".join(self.spec_space.names),
-                "sparse" if system.sparse else "dense",
+                system.engine,
                 repr(system.netlist.structure_signature())))
         return self._scope
+
+    def _krylov_systems(self) -> list:
+        """Every corner plan's cached system (iterative solve counters
+        drain from all of them at publish time)."""
+        return [plan.system for plan in self._plans
+                if plan.system is not None]
 
     def _corner_scope(self, k: int) -> str:
         """Warm-start namespace of corner ``k`` (operating points of
@@ -310,10 +316,18 @@ class PexSimulator(CircuitSimulator):
         return self._evaluate_fresh_batch(values_list)
 
     def shard_factory(self):
-        if not isinstance(self._topology_factory, type):
+        """Picklable replica recipe for shard workers, or None.
+
+        Topology classes and corner-kwargs factories (compiled zoo
+        scenarios declare ``supports_corner_kwargs`` and pickle whole —
+        the same duck check as :meth:`CornerSpec.apply`) shard; ad-hoc
+        closures are not spawn-safe and keep the in-process path.
+        """
+        factory = self._topology_factory
+        if not (isinstance(factory, type)
+                or getattr(factory, "supports_corner_kwargs", False)):
             return None  # closure factories are not spawn-safe
-        return _PexShardFactory(self._topology_factory, list(self.corners),
-                                self._rules)
+        return _PexShardFactory(factory, list(self.corners), self._rules)
 
     def _evaluate_fresh(self, indices: np.ndarray) -> dict[str, float]:
         values = self.parameter_space.values(indices)
@@ -618,9 +632,12 @@ class PexSimulator(CircuitSimulator):
 @dataclasses.dataclass
 class _PexShardFactory:
     """Picklable recipe rebuilding a :class:`PexSimulator` replica in a
-    shard worker (caches off: the parent dedupes before sharding)."""
+    shard worker (caches off: the parent dedupes before sharding).
 
-    topology_factory: type
+    ``topology_factory`` is a :class:`Topology` subclass or a picklable
+    corner-kwargs factory (e.g. a compiled zoo scenario)."""
+
+    topology_factory: object
     corners: list[CornerSpec]
     rules: ExtractionRules | None
 

@@ -24,11 +24,17 @@ batched solves):
   processes (``REPRO_SHARDS``), sharing index/spec arrays through
   ``multiprocessing.shared_memory``;
 * :mod:`repro.sim.engine` selects the linear-algebra backend per system
-  (``REPRO_ENGINE=auto|dense|sparse``, size-thresholded in ``auto``);
+  (``REPRO_ENGINE=auto|dense|sparse|iterative``, double-thresholded in
+  ``auto`` via ``REPRO_SPARSE_THRESHOLD``/``REPRO_ITERATIVE_THRESHOLD``);
 * :mod:`repro.sim.sparse` is the SuperLU backend for large netlists:
   one structure-cached CSC master pattern per system, in-place ``.data``
   refresh per sizing, cached ``splu`` factorisations for DC Newton, AC
   sweeps, the noise adjoint and transient steps;
+* :mod:`repro.sim.krylov` is the ILU-preconditioned GMRES backend for
+  mesh-scale netlists (10^4+ unknowns): trust-gated Krylov solves in
+  Newton's contractive endgame with direct-``splu`` fallback, shifted-ILU
+  AC sweeps with adjoint support, preconditioner reuse across Newton
+  steps, frequency points and evaluations;
 * :mod:`repro.sim.noise` computes output/input-referred noise spectra;
 * :mod:`repro.sim.poles` extracts natural frequencies (pole analysis);
 * :mod:`repro.sim.sweep` steps a source for VTC/output-swing analysis;
@@ -40,7 +46,15 @@ from repro.sim.ac import ACResult, ac_node_response, ac_sweep, transfer_function
 from repro.sim.batch import BatchDcResult, SystemStack, solve_dc_batch
 from repro.sim.cache import SimulationCache, SimulationCounter
 from repro.sim.dc import OperatingPoint, solve_dc
-from repro.sim.engine import SPARSE_AUTO_THRESHOLD, engine_mode, use_sparse
+from repro.sim.engine import (
+    ITERATIVE_AUTO_THRESHOLD,
+    SPARSE_AUTO_THRESHOLD,
+    engine_mode,
+    iterative_threshold,
+    resolve_engine,
+    sparse_threshold,
+    use_sparse,
+)
 from repro.sim.linear import linear_step_response
 from repro.sim.noise import NoiseResult, noise_analysis
 from repro.sim.poles import PoleSet, circuit_poles
@@ -60,8 +74,12 @@ __all__ = [
     "BatchTransientResult",
     "DcSweepResult",
     "MnaSystem",
+    "ITERATIVE_AUTO_THRESHOLD",
     "SPARSE_AUTO_THRESHOLD",
     "engine_mode",
+    "iterative_threshold",
+    "resolve_engine",
+    "sparse_threshold",
     "use_sparse",
     "NoiseResult",
     "OperatingPoint",

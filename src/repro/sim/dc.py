@@ -37,10 +37,16 @@ except ImportError:  # pragma: no cover - scipy is present in the toolchain
 def _lu_factor(A):
     """LU-factor ``A`` (overwritten); None when singular.
 
-    Accepts a dense array (LAPACK getrf) or a scipy CSC matrix from the
-    sparse engine (:func:`scipy.sparse.linalg.splu`); the Newton driver
+    Accepts a dense array (LAPACK getrf), a scipy CSC matrix from the
+    sparse engine (:func:`scipy.sparse.linalg.splu`), or a
+    :class:`~repro.sim.krylov.KrylovOperator` from the iterative engine
+    (duck-typed via its ``krylov_factor`` attribute); the Newton driver
     never needs to know which backend assembled its Jacobian.
     """
+    krylov = getattr(A, "krylov_factor", None)
+    if krylov is not None:             # iterative engine: ILU + GMRES
+        factor = krylov()
+        return ("krylov", factor) if factor is not None else None
     if not isinstance(A, np.ndarray):  # sparse engine: CSC + SuperLU
         try:
             from scipy.sparse.linalg import splu
@@ -58,7 +64,7 @@ def _lu_factor(A):
 
 def _lu_solve(lu, b: np.ndarray) -> np.ndarray:
     """Solve with factors from :func:`_lu_factor`."""
-    if isinstance(lu[0], str):     # ("sparse", SuperLU)
+    if isinstance(lu[0], str):     # ("sparse", SuperLU)/("krylov", factor)
         return lu[1].solve(b)
     if len(lu) == 2:
         x, _ = _DGETRS(lu[0], lu[1], b)

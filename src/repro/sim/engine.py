@@ -1,4 +1,5 @@
-"""Linear-algebra engine selection: dense LAPACK vs sparse SuperLU.
+"""Linear-algebra engine selection: dense LAPACK, sparse SuperLU, or
+ILU-preconditioned Krylov iteration.
 
 The repo's historical circuits have 5–40 unknowns, where dense matrices
 (and the dense stamp scatter maps of :mod:`repro.sim.system`) beat any
@@ -6,7 +7,13 @@ sparse format on both constant factors and simplicity.  Post-PEX mesh
 netlists and the RC-interconnect chain scenarios push the unknown count
 into the hundreds, where the dense ``O(n^3)`` solves (and the
 ``O(K n^2)`` scatter maps) stop scaling; those systems route their
-factorisations through :mod:`repro.sim.sparse` instead.
+factorisations through :mod:`repro.sim.sparse` instead.  Power-grid
+meshes (:class:`~repro.topologies.power_grid.PowerGridOta`) push another
+order of magnitude, past the point where SuperLU's superlinear fill-in
+and ordering cost dominate — those systems keep the sparse *assembly*
+(the CSC master pattern) but solve iteratively through
+:mod:`repro.sim.krylov` (ILU-preconditioned GMRES/BiCGSTAB with
+factor-reuse across Newton steps and frequency points).
 
 Selection contract
 ------------------
@@ -15,38 +22,93 @@ MnaSystem` built afterwards (the variable is read at *construction* time,
 so tests can monkeypatch it per-case):
 
 * ``auto`` (default) — dense below :data:`SPARSE_AUTO_THRESHOLD`
-  unknowns, sparse at or above it.  The threshold sits well above every
-  schematic/PEX topology shipped before the chain scenarios, so existing
-  workloads keep their measured dense performance bit for bit.
+  unknowns, sparse direct between the two thresholds, iterative at or
+  above :data:`ITERATIVE_AUTO_THRESHOLD`.  Both thresholds sit at
+  empirically-measured crossovers (``benchmarks/bench_sparse_engine.py``
+  and ``benchmarks/bench_krylov_engine.py``) and are env-tunable via
+  ``REPRO_SPARSE_THRESHOLD`` / ``REPRO_ITERATIVE_THRESHOLD`` for
+  machines whose crossover sits elsewhere.
 * ``dense`` — force dense everywhere (the pre-PR-3 behaviour).
-* ``sparse`` — force sparse everywhere, including the small circuits.
-  Slower there (SuperLU's per-call overhead dwarfs a 15x15
+* ``sparse`` — force sparse direct everywhere, including the small
+  circuits.  Slower there (SuperLU's per-call overhead dwarfs a 15x15
   factorisation) but invaluable for the engine-equivalence test matrix.
+* ``iterative`` — force the Krylov leg everywhere.  Same assembly as
+  ``sparse``; solves run preconditioned GMRES with a direct-``splu``
+  fallback on non-convergence, so forcing it is always safe.
 
 Callers that need a specific backend regardless of the environment pass
-``engine="dense"``/``"sparse"`` explicitly to :class:`MnaSystem` or
-:class:`~repro.sim.stamp.StampPlan`.
+``engine="dense"``/``"sparse"``/``"iterative"`` explicitly to
+:class:`MnaSystem` or :class:`~repro.sim.stamp.StampPlan`.
 """
 
 from __future__ import annotations
 
 import os
 
-#: ``auto`` switches to the sparse backend at this many MNA unknowns.
-#: Set from the crossover measured in ``benchmarks/bench_sparse_engine.py``
-#: on warm full evaluations of the OTA chain family: dense wins ~1.6x at
-#: 41 unknowns, sparse wins ~2x at 125 and ~3x at 221, so the single-eval
-#: crossover sits around 60-90.  The threshold is kept above it because
-#: *batched* workloads amortise dense dispatch over the stack — 128 keeps
-#: every pre-chain topology (schematic and lumped PEX) on the measured
-#: dense batch path while routing mesh/chain scenarios sparse.
+#: ``auto`` switches from dense to the sparse backend at this many MNA
+#: unknowns.  Set from the crossover measured in
+#: ``benchmarks/bench_sparse_engine.py`` on warm full evaluations of the
+#: OTA chain family: dense wins ~1.6x at 41 unknowns, sparse wins ~2x at
+#: 125 and ~3x at 221, so the single-eval crossover sits around 60-90.
+#: The threshold is kept above it because *batched* workloads amortise
+#: dense dispatch over the stack — 128 keeps every pre-chain topology
+#: (schematic and lumped PEX) on the measured dense batch path while
+#: routing mesh/chain scenarios sparse.
 SPARSE_AUTO_THRESHOLD = 128
 
-_MODES = ("auto", "dense", "sparse")
+#: ``auto`` switches from sparse direct to the Krylov leg at this many
+#: unknowns.  Set from ``benchmarks/bench_krylov_engine.py`` on the
+#: power-grid OTA family: warm full evaluations break even around the
+#: 1.3k-unknown mesh (1.08x, within run-to-run noise) and win clearly
+#: from the 5k mesh up (1.5x), with the gap widening as ``splu``'s
+#: superlinear fill-in cost pulls away from the reused-ILU iterative
+#: solves (warm DC linear algebra 2.4x, AC sweeps ~5x at 15k); 4096
+#: sits above the noisy breakeven band so every workload the direct
+#: path clearly wins stays on it.
+ITERATIVE_AUTO_THRESHOLD = 4096
+
+#: Environment variables overriding the ``auto`` thresholds at runtime.
+SPARSE_THRESHOLD_ENV = "REPRO_SPARSE_THRESHOLD"
+ITERATIVE_THRESHOLD_ENV = "REPRO_ITERATIVE_THRESHOLD"
+
+_MODES = ("auto", "dense", "sparse", "iterative")
+_EXPLICIT = ("dense", "sparse", "iterative")
+
+
+def _env_threshold(env: str, default: int) -> int:
+    """An ``auto`` threshold from the environment (forgiving parse).
+
+    Malformed or negative values fall back to ``default`` rather than
+    raising — a tuning knob must never turn a working simulation into a
+    crash (the same contract as :func:`engine_mode`).
+    """
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 0 else default
+
+
+def sparse_threshold() -> int:
+    """Unknown count at which ``auto`` leaves the dense backend
+    (``REPRO_SPARSE_THRESHOLD``, default
+    :data:`SPARSE_AUTO_THRESHOLD`)."""
+    return _env_threshold(SPARSE_THRESHOLD_ENV, SPARSE_AUTO_THRESHOLD)
+
+
+def iterative_threshold() -> int:
+    """Unknown count at which ``auto`` switches from sparse direct to
+    the Krylov leg (``REPRO_ITERATIVE_THRESHOLD``, default
+    :data:`ITERATIVE_AUTO_THRESHOLD`)."""
+    return _env_threshold(ITERATIVE_THRESHOLD_ENV, ITERATIVE_AUTO_THRESHOLD)
 
 
 def engine_mode() -> str:
-    """The configured engine mode (``auto``/``dense``/``sparse``).
+    """The configured engine mode (``auto``/``dense``/``sparse``/
+    ``iterative``).
 
     Unknown values fall back to ``auto`` rather than raising: an engine
     knob must never turn a working simulation into a crash.
@@ -55,21 +117,36 @@ def engine_mode() -> str:
     return mode if mode in _MODES else "auto"
 
 
-def use_sparse(size: int, engine: str | None = None) -> bool:
-    """Decide the backend for a system of ``size`` unknowns.
+def resolve_engine(size: int, engine: str | None = None) -> str:
+    """Resolve the backend for a system of ``size`` unknowns to one of
+    ``"dense"``/``"sparse"``/``"iterative"``.
 
-    ``engine`` overrides the environment when given (``"dense"`` /
-    ``"sparse"``; ``"auto"`` and None defer to :func:`engine_mode`).
-    Unlike the forgiving environment knob, a bad *explicit* override is
-    a programming error and raises — a typo must not silently hand a
-    sparse-pinned test the dense backend.
+    ``engine`` overrides the environment when given (``"auto"`` and None
+    defer to :func:`engine_mode`).  Unlike the forgiving environment
+    knob, a bad *explicit* override is a programming error and raises —
+    a typo must not silently hand a backend-pinned test the wrong
+    engine.  ``auto`` applies both thresholds: dense below
+    :func:`sparse_threshold`, iterative at or above
+    :func:`iterative_threshold`, sparse direct in between.
     """
     if engine not in (None, *_MODES):
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {_MODES}")
-    mode = engine if engine in ("dense", "sparse") else engine_mode()
-    if mode == "dense":
-        return False
-    if mode == "sparse":
-        return True
-    return size >= SPARSE_AUTO_THRESHOLD
+    mode = engine if engine in _EXPLICIT else engine_mode()
+    if mode in _EXPLICIT:
+        return mode
+    if size >= iterative_threshold():
+        return "iterative"
+    if size >= sparse_threshold():
+        return "sparse"
+    return "dense"
+
+
+def use_sparse(size: int, engine: str | None = None) -> bool:
+    """Whether a system of ``size`` unknowns assembles on the CSC master
+    pattern (True for both the sparse-direct and iterative legs).
+
+    Kept as the historical boolean entry point; callers that need the
+    three-way decision use :func:`resolve_engine`.
+    """
+    return resolve_engine(size, engine) != "dense"

@@ -329,6 +329,15 @@ class BatchReport:
     store hit, memo hit).  ``faults`` lists every supervision event in
     occurrence order; ``respawns`` and ``retries`` count worker
     replacements and re-dispatches.
+
+    Iterative-engine batches additionally account their linear solves:
+    ``krylov_solves`` / ``krylov_iterations`` count preconditioned
+    Krylov solves and their summed inner iterations,
+    ``krylov_fallbacks`` the solves that degraded to the direct sparse
+    path (non-convergence), and ``krylov_residual`` the worst relative
+    true residual accepted.  All zero on the dense/sparse legs, and for
+    work dispatched to shard/remote workers (whose solve counters live
+    in their own processes).
     """
 
     n_designs: int
@@ -339,6 +348,10 @@ class BatchReport:
     latency: np.ndarray = None
     quarantined: np.ndarray = None
     provenance: np.ndarray = None
+    krylov_solves: int = 0
+    krylov_iterations: int = 0
+    krylov_fallbacks: int = 0
+    krylov_residual: float = 0.0
 
     def __post_init__(self):
         """Allocate the per-row arrays when not provided."""
@@ -372,7 +385,11 @@ class BatchReport:
         zeroed entries (they were never at risk).
         """
         out = BatchReport(n_designs, respawns=self.respawns,
-                          retries=self.retries)
+                          retries=self.retries,
+                          krylov_solves=self.krylov_solves,
+                          krylov_iterations=self.krylov_iterations,
+                          krylov_fallbacks=self.krylov_fallbacks,
+                          krylov_residual=self.krylov_residual)
         for i in range(self.n_designs):
             for r in row_map.get(i, ()):
                 out.attempts[r] = self.attempts[i]

@@ -364,9 +364,16 @@ def stack_sweep_factors(stack, rows: np.ndarray, g3: np.ndarray,
     block-diagonal ``splu`` per design — exactly the scalar AC path of
     :meth:`repro.sim.system.MnaSystem.sparse_sweep_lus`, applied slice by
     slice.  Callers memoise the returned factors so the forward sweep and
-    the noise adjoint of one measurement share them.
+    the noise adjoint of one measurement share them.  Iterative-engine
+    stacks get per-design :class:`~repro.sim.krylov.KrylovSweep` objects
+    instead — same ``solve(b, adjoint=)`` contract, shared solve counters.
     """
-    st = stack.template.sparse_state
+    tpl = stack.template
+    if getattr(tpl, "iterative", False):
+        from repro.sim.krylov import stack_sweep_factors_krylov
+        return stack_sweep_factors_krylov(stack, rows, g3, c4, omega,
+                                          stats=tpl.krylov_state.stats)
+    st = tpl.sparse_state
     facts = []
     for j, r in enumerate(rows):
         Gd, Cd = st.ss_data(stack.G_pat[r], stack.C_pat[r], g3[j], c4[j])
@@ -411,6 +418,13 @@ class SparseSlice:
         self._b_dc = stack.b_dc[i]
         self._dev = stack.dev.take(i) if stack.dev is not None else None
         self._G_csc = self._st.matrix(self._G_data)
+        if getattr(tpl, "iterative", False):
+            # Per-slice ILU cache (each design's Jacobian drifts on its
+            # own), counters shared with the template system's stats.
+            from repro.sim.krylov import KrylovState
+            self._krylov = KrylovState(self._st, stats=tpl.krylov_state.stats)
+        else:
+            self._krylov = None
 
     @property
     def device_arrays(self):
@@ -436,6 +450,10 @@ class SparseSlice:
             data = self._G_data.copy()
         if gmin > 0.0:
             data[st.node_diag_pos] += gmin
+        if self._krylov is not None:
+            return self._krylov.operator(
+                data, x0=np.array(x[:self.size], dtype=float),
+                gmin=gmin), rhs
         return st.matrix(data), rhs
 
     def residual(self, x: np.ndarray, source_scale: float = 1.0) -> np.ndarray:

@@ -42,12 +42,16 @@ linear algebra (and dense scatter maps) is both simpler and faster than
 sparse there — but post-PEX mesh netlists and the RC-interconnect chain
 scenarios reach hundreds of unknowns, where both stop scaling.  Each
 system therefore carries an *engine* flag (:mod:`repro.sim.engine`,
-``REPRO_ENGINE=auto|dense|sparse``): sparse systems keep the dense
-``G/C/b`` arrays as the stamped value source of truth but factor their
-Newton/AC/transient operators through the structure-cached CSC pattern of
-:class:`repro.sim.sparse.SparseState` (one fixed sparsity pattern per
-structure, ``.data`` refreshed in place per sizing) and never build the
-large dense scatter maps, which are lazy for exactly that reason.
+``REPRO_ENGINE=auto|dense|sparse|iterative``): sparse systems keep the
+dense ``G/C/b`` arrays as the stamped value source of truth but factor
+their Newton/AC/transient operators through the structure-cached CSC
+pattern of :class:`repro.sim.sparse.SparseState` (one fixed sparsity
+pattern per structure, ``.data`` refreshed in place per sizing) and never
+build the large dense scatter maps, which are lazy for exactly that
+reason.  The ``iterative`` leg shares that CSC assembly but replaces the
+``splu`` factorisations with ILU-preconditioned Krylov solves
+(:mod:`repro.sim.krylov`) for the 10^4-unknown mesh scenarios where
+direct factorisation walls.
 """
 
 from __future__ import annotations
@@ -74,7 +78,7 @@ from repro.circuits.mosfet import (
 from repro.circuits.netlist import GROUND, Netlist
 from repro.errors import NetlistError
 from repro.sim import sparse as sparse_engine
-from repro.sim.engine import use_sparse
+from repro.sim.engine import resolve_engine
 from repro.units import ROOM_TEMPERATURE
 
 
@@ -211,11 +215,24 @@ class MnaSystem:
         self._g3_buf = np.empty((K, 3))
         self._c4_buf = np.empty((K, 4))
 
-        #: True when solves route through the sparse (SuperLU) backend.
-        self.sparse = (use_sparse(self.size, engine)
-                       and sparse_engine.HAVE_SCIPY)
+        #: Resolved engine leg: "dense", "sparse" or "iterative".
+        self.engine = resolve_engine(self.size, engine)
+        if not sparse_engine.HAVE_SCIPY:
+            self.engine = "dense"
+        #: True when assembly routes through the CSC master pattern
+        #: (both the sparse-direct and iterative legs).
+        self.sparse = self.engine != "dense"
+        #: True when solves run ILU-preconditioned Krylov iteration.
+        self.iterative = self.engine == "iterative"
         self.sparse_state = (sparse_engine.SparseState(self, netlist)
                              if self.sparse else None)
+        if self.iterative:
+            from repro.sim.krylov import KrylovState
+            #: Drift-gated ILU cache + solve counters; deliberately
+            #: survives restamps (cross-evaluation preconditioner reuse).
+            self.krylov_state = KrylovState(self.sparse_state)
+        else:
+            self.krylov_state = None
         self._sp_Gdata: np.ndarray | None = None   # master-pattern G gather
         self._sp_Cdata: np.ndarray | None = None   # master-pattern C gather
         self._ss_sparse_memo: tuple | None = None  # (op, G_csc, C_csc)
@@ -502,6 +519,13 @@ class MnaSystem:
             data = self._sparse_G_data().copy()
         if gmin > 0.0:
             data[st.node_diag_pos] += gmin
+        if self.iterative:
+            # Hand the driver a Krylov operator instead of a CSC matrix:
+            # the current iterate warm-starts the linear solve, so
+            # store-seeded Newton cuts Krylov iterations too.
+            return self.krylov_state.operator(
+                data, x0=np.array(x[:self.size], dtype=float),
+                gmin=gmin), rhs
         return st.matrix(data), rhs
 
     def _sparse_G_data(self) -> np.ndarray:
@@ -691,19 +715,26 @@ class MnaSystem:
         return Gs, Cs
 
     def sparse_sweep_lus(self, op, frequencies: np.ndarray) -> list:
-        """Cached ``splu`` factors of ``G_ss + j w C_ss`` over a sweep.
+        """Cached sweep factors of ``G_ss + j w C_ss`` (``splu`` on the
+        sparse-direct leg, a :class:`~repro.sim.krylov.KrylovSweep` on
+        the iterative one — same ``solve(b, adjoint=)`` contract).
 
         Memoised per (operating point, frequency-grid object): within one
         measurement the forward AC sweep, the gain referral and the noise
         adjoint all linearise at the same ``op`` over the same grid, so
-        every frequency point is factored exactly once.
+        every frequency point is factored (or anchored) exactly once.
         """
         memo = self._sp_lu_memo
         if memo is not None and memo[0] is op and memo[1] is frequencies:
             return memo[2]
         Gs, Cs = self.small_signal_sparse(op)
         omega = 2.0 * np.pi * np.asarray(frequencies, dtype=float)
-        lus = self.sparse_state.sweep_lus(Gs.data, Cs.data, omega)
+        if self.iterative:
+            from repro.sim.krylov import KrylovSweep
+            lus = KrylovSweep(self.sparse_state, Gs.data, Cs.data, omega,
+                              stats=self.krylov_state.stats)
+        else:
+            lus = self.sparse_state.sweep_lus(Gs.data, Cs.data, omega)
         self._sp_lu_memo = (op, frequencies, lus)
         return lus
 

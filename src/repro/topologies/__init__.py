@@ -16,7 +16,9 @@ machinery their action spaces are built from.
   ``measurements()`` declaration, no measurement code);
 * :mod:`repro.topologies.ota_chain` — OTA repeater chain over
   distributed RC interconnect, the large-netlist (sparse-engine)
-  scenario family.
+  scenario family;
+* :mod:`repro.topologies.power_grid` — OTA array fed from a resistive
+  power mesh, the 10^4-unknown (iterative-engine) scenario family.
 
 Module classes are one of two ways to add a scenario: the declarative
 scenario zoo (:mod:`repro.zoo`) compiles YAML/JSON declarations —
@@ -32,6 +34,7 @@ from repro.topologies.folded_cascode import FoldedCascodeOta
 from repro.topologies.ngm_ota import NegGmOta
 from repro.topologies.ota_chain import OtaChain
 from repro.topologies.params import GridParam, ParameterSpace
+from repro.topologies.power_grid import PowerGridOta
 from repro.topologies.tia import TransimpedanceAmplifier
 from repro.topologies.two_stage import TwoStageOpAmp
 
@@ -43,6 +46,7 @@ __all__ = [
     "NegGmOta",
     "OtaChain",
     "ParameterSpace",
+    "PowerGridOta",
     "SchematicSimulator",
     "Topology",
     "TransimpedanceAmplifier",

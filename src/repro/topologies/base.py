@@ -749,7 +749,24 @@ class CircuitSimulator(abc.ABC):
             # overwrite whatever the fresh translation scattered there.
             mask = plan.provenance != PROV_COLD
             report.provenance[mask] = plan.provenance[mask]
+        for system in self._krylov_systems():
+            stats = getattr(system, "krylov_state", None)
+            if stats is None:
+                continue
+            taken = stats.stats.take()
+            report.krylov_solves += taken["solves"]
+            report.krylov_iterations += taken["iterations"]
+            report.krylov_fallbacks += taken["fallbacks"]
+            report.krylov_residual = max(report.krylov_residual,
+                                         taken["max_residual"])
         self.last_batch_report = report
+
+    def _krylov_systems(self) -> list:
+        """Systems whose iterative solve counters this batch should
+        drain into its report (empty for non-engine simulators; in
+        shard/remote runs the workers' counters stay in their own
+        processes — only in-process solves are surfaced)."""
+        return []
 
     def failure_measurements(self) -> dict[str, float]:
         """Pessimistic spec values charged to quarantined designs
@@ -1175,8 +1192,9 @@ class SchematicSimulator(CircuitSimulator):
         """Content digest namespacing this topology in the persistent
         store: schema version, topology class, corner/temperature/
         technology, parameter grids, spec names, netlist structure
-        signature and the *resolved* engine backend (a dense and a
-        sparse run never exchange rows).  Computed lazily once — the
+        signature and the *resolved* engine backend (dense, sparse and
+        iterative runs never exchange rows — iterative specs agree with
+        sparse to 1e-8, not bitwise).  Computed lazily once — the
         grid-centre system it restamps is the same structure every
         evaluation reuses."""
         if self._scope is None:
@@ -1187,9 +1205,16 @@ class SchematicSimulator(CircuitSimulator):
                 SCHEMA_VERSION, "schematic", type(t).__name__, t.name,
                 t.corner.name, t.temperature, repr(t.technology),
                 repr(t.parameter_space.params), ",".join(t.spec_space.names),
-                "sparse" if system.sparse else "dense",
+                system.engine,
                 repr(system.netlist.structure_signature())))
         return self._scope
+
+    def _krylov_systems(self) -> list:
+        """The topology's planned system (iterative counters drain from
+        there at publish time)."""
+        plan = getattr(self.topology, "_plan", None)
+        system = getattr(plan, "system", None)
+        return [system] if system is not None else []
 
     def _wire_store(self) -> None:
         """Point the topology at the current store (resolved per call,

@@ -47,8 +47,8 @@ from repro.circuits.technology import Corner, Technology, finfet16, ptm45
 from repro.core.specs import SpecSpace
 from repro.errors import TopologyError
 from repro.topologies import (FiveTransistorOta, FoldedCascodeOta, NegGmOta,
-                              OtaChain, Topology, TransimpedanceAmplifier,
-                              TwoStageOpAmp)
+                              OtaChain, PowerGridOta, Topology,
+                              TransimpedanceAmplifier, TwoStageOpAmp)
 from repro.topologies.params import ParameterSpace
 from repro.zoo.schema import (Declaration, GridOverride, PexSettings,
                               SpecOverride, VariantSpec, load_structured_file,
@@ -63,7 +63,7 @@ ZOO_DIR_ENV = "REPRO_ZOO_DIR"
 BASE_TOPOLOGIES: dict[str, type[Topology]] = {
     cls.name: cls for cls in (
         TransimpedanceAmplifier, TwoStageOpAmp, NegGmOta, FiveTransistorOta,
-        FoldedCascodeOta, OtaChain)}
+        FoldedCascodeOta, OtaChain, PowerGridOta)}
 
 #: Technology cards a declaration's ``technology`` field may name.
 TECHNOLOGIES = {"ptm45": ptm45, "finfet16": finfet16}

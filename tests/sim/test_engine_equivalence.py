@@ -1,10 +1,18 @@
-"""Dense-vs-sparse engine equivalence.
+"""Three-way engine equivalence: dense vs sparse vs iterative.
 
 The sparse backend (:mod:`repro.sim.sparse`) must be a pure
 linear-algebra substitution: same stamps, same Newton trajectory, same
 physics.  This suite pins that across every analysis and every topology,
 at tolerances far below anything a measurement could amplify into spec
 drift (DC solutions agree to <= 1e-9, assembled operators bit-for-bit).
+
+The iterative backend (:mod:`repro.sim.krylov`) is held to a looser but
+still spec-proof bar — <= 1e-8 against the sparse leg on every
+registered scenario.  It cannot be bitwise: trust-gated ILU/GMRES
+solves replace direct factorisation only in Newton's contractive
+endgame, where iterative refinement drives the backward error to the
+rounding plateau but the forward answer still differs from SuperLU's at
+the level the conditioning allows.
 
 The modal AC fast path is disabled for the strict comparisons — it is a
 *verified approximation* (residual-checked to 1e-7) on the dense side
@@ -104,6 +112,40 @@ class TestScalarParity:
                                    atol=1e-9 * np.abs(hd).max())
 
 
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestIterativeParity:
+    """Sparse-vs-iterative parity on every registered scenario.
+
+    1e-8 absolute (scaled by the solution/response magnitude) is the
+    acceptance bar: far below what any measurement turns into spec
+    drift, far above solver rounding, honest about the fact that a
+    Krylov solve at condition 1e10 is not a SuperLU solve.
+    """
+
+    def test_dc_operating_point(self, name):
+        sparse = MnaSystem(_center_netlist(name), engine="sparse")
+        iterative = MnaSystem(_center_netlist(name), engine="iterative")
+        assert iterative.iterative and not sparse.iterative
+        xs = solve_dc(sparse).x
+        xi = solve_dc(iterative).x
+        scale = max(1.0, float(np.abs(xs).max()))
+        np.testing.assert_allclose(xi, xs, rtol=0.0, atol=1e-8 * scale)
+
+    def test_ac_sweep(self, name, monkeypatch):
+        """Same operating point -> KrylovSweep shifted-ILU solutions
+        agree with the block splu factors to <= 1e-8 of the peak."""
+        monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+        sparse = MnaSystem(_center_netlist(name), engine="sparse")
+        iterative = MnaSystem(_center_netlist(name), engine="iterative")
+        ops = solve_dc(sparse)
+        opi = OperatingPoint(iterative, ops.x.copy(), ops.iterations,
+                             ops.residual_norm)
+        hs = ac_sweep(sparse, ops, FREQS).voltage("out")
+        hi = ac_sweep(iterative, opi, FREQS).voltage("out")
+        np.testing.assert_allclose(hi, hs, rtol=0.0,
+                                   atol=1e-8 * np.abs(hs).max())
+
+
 class TestAnalysisParity:
     def test_noise_adjoint(self, monkeypatch):
         monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
@@ -114,6 +156,17 @@ class TestAnalysisParity:
         np.testing.assert_allclose(ns.output_psd, nd.output_psd, rtol=1e-9)
         assert ns.integrated_output_rms() == pytest.approx(
             nd.integrated_output_rms(), rel=1e-9)
+
+    def test_noise_adjoint_iterative(self, monkeypatch):
+        """Noise transposed solves route through the ILU ``trans="T"``
+        operator on the iterative leg; the PSD must still match the
+        sparse adjoint path."""
+        monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
+        sparse = MnaSystem(_cs_amp(), engine="sparse")
+        iterative = MnaSystem(_cs_amp(), engine="iterative")
+        ns = noise_analysis(sparse, solve_dc(sparse), FREQS, "d")
+        ni = noise_analysis(iterative, solve_dc(iterative), FREQS, "d")
+        np.testing.assert_allclose(ni.output_psd, ns.output_psd, rtol=1e-8)
 
     def test_noise_adjoint_tia(self, monkeypatch):
         monkeypatch.setattr(ac_mod, "_MODAL_ENABLED", False)
@@ -181,9 +234,14 @@ def test_evaluate_batch_parity(name, monkeypatch):
 
     dense_specs, sim = run("dense")
     sparse_specs, _ = run("sparse")
+    iterative_specs, _ = run("iterative")
     for d, s in zip(dense_specs, sparse_specs):
         for spec in d:
             assert s[spec] == pytest.approx(d[spec], rel=1e-9, abs=1e-15), (
+                name, spec)
+    for s, i in zip(sparse_specs, iterative_specs):
+        for spec in s:
+            assert i[spec] == pytest.approx(s[spec], rel=1e-8, abs=1e-12), (
                 name, spec)
 
 

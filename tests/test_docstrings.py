@@ -23,6 +23,7 @@ import repro
 #: pipeline every topology's specs now flow through).
 STRICT_MODULES = (
     "repro.sim.faults",
+    "repro.sim.krylov",
     "repro.sim.parallel",
     "repro.sim.remote",
     "repro.sim.sparse",

@@ -24,8 +24,9 @@ import pytest
 from repro.circuits.technology import Corner
 from repro.core.specs import SpecSpace
 from repro.topologies import (FiveTransistorOta, FoldedCascodeOta, NegGmOta,
-                              OtaChain, ParameterSpace, SchematicSimulator,
-                              TransimpedanceAmplifier, TwoStageOpAmp)
+                              OtaChain, ParameterSpace, PowerGridOta,
+                              SchematicSimulator, TransimpedanceAmplifier,
+                              TwoStageOpAmp)
 from repro.zoo import builtin_dir, registry, scenario
 
 
@@ -66,6 +67,10 @@ HAND_BUILT = {
     "ota_chain_small": lambda: OtaChain(n_stages=2, segments=4),
     "chain_sweep_n3": lambda: OtaChain(n_stages=3, segments=4),
     "chain_sweep_n4": lambda: OtaChain(n_stages=4, segments=4),
+    # Test-sized power-grid array and its mesh-side sweep children.
+    "power_grid_ota": lambda: PowerGridOta(grid_n=5, n_amps=2),
+    "power_grid_sweep_g7": lambda: PowerGridOta(grid_n=7, n_amps=2),
+    "power_grid_sweep_g9": lambda: PowerGridOta(grid_n=9, n_amps=2),
     # folded_pvt corner x load grid variants.
     "folded_pvt_tt_1em12": _folded_pvt(Corner.TT, 1.0e-12),
     "folded_pvt_tt_2em12": _folded_pvt(Corner.TT, 2.0e-12),

@@ -30,6 +30,7 @@ BUILTIN_NAMES = {
     "folded_pvt_tt_1em12", "folded_pvt_tt_2em12",
     "folded_pvt_ss_1em12", "folded_pvt_ss_2em12",
     "ota5_random_r0", "ota5_random_r1", "ota5_random_r2",
+    "power_grid_ota", "power_grid_sweep_g7", "power_grid_sweep_g9",
 }
 
 
